@@ -1,0 +1,66 @@
+//! Filter-bitmap hot paths: predicate evaluation, boolean combination,
+//! and the compress-for-the-wire step of the filter stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fusion_format::value::{ColumnData, Value};
+use fusion_sql::ast::CmpOp;
+use fusion_sql::bitmap::Bitmap;
+use fusion_sql::eval::eval_filter;
+use fusion_sql::plan::FilterLeaf;
+
+const N: usize = 1_000_000;
+
+fn leaf(op: CmpOp, constant: Value) -> FilterLeaf {
+    FilterLeaf { id: 0, column: 0, column_name: "c".into(), op, constant }
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let ints = ColumnData::Int64((0..N as i64).map(|i| i.wrapping_mul(2_654_435_761)).collect());
+    let strings = ColumnData::Utf8((0..N / 10).map(|i| format!("val{:06}", i % 5000)).collect());
+    let mut g = c.benchmark_group("filter_eval");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("int_lt", |b| {
+        let l = leaf(CmpOp::Lt, Value::Int(0));
+        b.iter(|| eval_filter(&l, std::hint::black_box(&ints)).expect("typed"));
+    });
+    g.throughput(Throughput::Elements((N / 10) as u64));
+    g.bench_function("string_eq", |b| {
+        let l = leaf(CmpOp::Eq, Value::Str("val000042".into()));
+        b.iter(|| eval_filter(&l, std::hint::black_box(&strings)).expect("typed"));
+    });
+    g.finish();
+}
+
+fn bench_combine_ops(c: &mut Criterion) {
+    let a: Bitmap = (0..N).map(|i| i % 3 == 0).collect();
+    let b2: Bitmap = (0..N).map(|i| i % 7 == 0).collect();
+    let mut g = c.benchmark_group("bitmap_ops");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("and", |b| {
+        b.iter(|| {
+            let mut x = a.clone();
+            x.and_assign(std::hint::black_box(&b2));
+            x
+        });
+    });
+    g.bench_function("count_ones", |b| b.iter(|| std::hint::black_box(&a).count_ones()));
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap_wire");
+    for sel in [0.001f64, 0.5] {
+        let bm: Bitmap = (0..N).map(|i| (i as f64 / N as f64) < sel).collect();
+        let bytes = bm.to_bytes();
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("compress", format!("sel_{sel}")),
+            &bytes,
+            |b, bytes| b.iter(|| fusion_snappy::compress(std::hint::black_box(bytes))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_combine_ops, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Columnar format hot paths: chunk encode/decode for the three column
+//! regimes (low-cardinality dictionary, incompressible numerics, text),
+//! plus footer parse — the only format work on FAC's Put critical path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fusion_format::chunk::{decode_column_chunk, encode_column_chunk};
+use fusion_format::schema::LogicalType;
+use fusion_format::value::ColumnData;
+use fusion_workloads::tpch::{lineitem_file, TpchConfig};
+
+fn columns() -> Vec<(&'static str, ColumnData, LogicalType)> {
+    let n = 100_000;
+    vec![
+        (
+            "dict_strings",
+            ColumnData::Utf8((0..n).map(|i| ["AIR", "RAIL", "SHIP", "TRUCK"][i % 4].into()).collect()),
+            LogicalType::Utf8,
+        ),
+        (
+            "random_floats",
+            ColumnData::Float64((0..n).map(|i| (i as f64 * 77.7).sin() * 1e6).collect()),
+            LogicalType::Float64,
+        ),
+        (
+            "text",
+            ColumnData::Utf8(
+                (0..n / 10)
+                    .map(|i| format!("free text value number {i} with some words"))
+                    .collect(),
+            ),
+            LogicalType::Utf8,
+        ),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunk_encode");
+    for (name, col, _) in columns() {
+        g.throughput(Throughput::Bytes(col.plain_size() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &col, |b, col| {
+            b.iter(|| encode_column_chunk(std::hint::black_box(col)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunk_decode");
+    for (name, col, ty) in columns() {
+        let (bytes, _) = encode_column_chunk(&col);
+        g.throughput(Throughput::Bytes(col.plain_size() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &bytes, |b, bytes| {
+            b.iter(|| decode_column_chunk(std::hint::black_box(bytes), ty).expect("valid chunk"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_footer_parse(c: &mut Criterion) {
+    let file = lineitem_file(TpchConfig { rows_per_group: 2_000, row_groups: 10, seed: 3 });
+    c.bench_function("footer_parse_160_chunks", |b| {
+        b.iter(|| fusion_format::footer::parse_footer(std::hint::black_box(&file)).expect("valid"));
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_footer_parse);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Packer micro-benchmarks — the numbers behind Figure 16c: FAC must be
+//! microseconds even at thousands of chunks, while the oracle blows up
+//! past a few dozen.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fusion_core::layout::{fac, fixed, oracle, padding, PackItem};
+use fusion_workloads::synth::{zipf_chunk_sizes, SynthConfig};
+use std::time::Duration;
+
+fn items(n: usize, theta: f64) -> Vec<PackItem> {
+    let sizes = zipf_chunk_sizes(SynthConfig {
+        num_chunks: n,
+        theta,
+        seed: 0xBE_7C + n as u64,
+        ..Default::default()
+    });
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 0u64;
+    for (i, s) in sizes.into_iter().enumerate() {
+        out.push(PackItem { chunk: i, start: pos, end: pos + s });
+        pos += s;
+    }
+    out
+}
+
+fn bench_fac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack_fac");
+    for n in [160usize, 1000, 5000] {
+        let its = items(n, 0.5);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &its, |b, its| {
+            b.iter(|| fac::pack(6, std::hint::black_box(its)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_alternatives(c: &mut Criterion) {
+    let its = items(160, 0.5); // a lineitem-sized object
+    let len: u64 = its.last().map_or(0, |i| i.end);
+    let mut g = c.benchmark_group("pack_alternatives_160_chunks");
+    g.bench_function("fac", |b| b.iter(|| fac::pack(6, std::hint::black_box(&its))));
+    g.bench_function("padding", |b| {
+        b.iter(|| padding::pack(100 << 20, 6, std::hint::black_box(&its)))
+    });
+    g.bench_function("fixed", |b| {
+        b.iter(|| fixed::pack(len, 100 << 20, 6, std::hint::black_box(&its)))
+    });
+    g.finish();
+}
+
+fn bench_oracle_small(c: &mut Criterion) {
+    // Exact solves stay feasible only for small instances (Fig 10a).
+    let mut g = c.benchmark_group("pack_oracle");
+    g.sample_size(10);
+    for n in [10usize, 20] {
+        let its = items(n, 0.0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &its, |b, its| {
+            b.iter(|| oracle::pack(6, std::hint::black_box(its), Duration::from_secs(30)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fac, bench_alternatives, bench_oracle_small);
+criterion_main!(benches);

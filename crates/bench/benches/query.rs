@@ -1,0 +1,71 @@
+//! End-to-end query-path benchmarks: the real data plane (decode +
+//! filter + project + workflow construction) for both executors on a
+//! scaled lineitem object.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fusion_bench::harness::{BenchEnv, SystemKind};
+use fusion_core::store::Store;
+
+fn stores() -> (BenchEnv, Store, Store) {
+    let env = BenchEnv::new(0.05, 1, 1, 1);
+    let file = env.lineitem_file().to_vec();
+    let fusion = env.build_store(SystemKind::Fusion, "lineitem", &file);
+    let baseline = env.build_store(SystemKind::Baseline, "lineitem", &file);
+    (env, fusion, baseline)
+}
+
+fn bench_query_dataplane(c: &mut Criterion) {
+    let (_env, fusion, baseline) = stores();
+    let queries = [
+        ("selective_filter", "SELECT extendedprice FROM x WHERE extendedprice < 950.0"),
+        ("aggregate", "SELECT count(*), avg(discount) FROM x WHERE quantity < 10"),
+        ("multi_filter", "SELECT suppkey FROM x WHERE quantity < 25 AND discount < 0.05"),
+    ];
+    let mut g = c.benchmark_group("query_dataplane");
+    g.sample_size(20);
+    for (name, sql) in queries {
+        g.bench_with_input(BenchmarkId::new("fusion", name), &sql, |b, sql| {
+            b.iter(|| fusion.query_as("lineitem_0", std::hint::black_box(sql)).expect("runs"));
+        });
+        g.bench_with_input(BenchmarkId::new("baseline", name), &sql, |b, sql| {
+            b.iter(|| baseline.query_as("lineitem_0", std::hint::black_box(sql)).expect("runs"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_put(c: &mut Criterion) {
+    let env = BenchEnv::new(0.02, 1, 1, 1);
+    let file = env.lineitem_file().to_vec();
+    let mut g = c.benchmark_group("put");
+    g.sample_size(10);
+    g.bench_function("fusion_put_160_chunks", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut store =
+                Store::new(BenchEnv::store_config(SystemKind::Fusion, file.len(), 10 << 30))
+                    .expect("valid config");
+            i += 1;
+            store.put(&format!("obj{i}"), file.clone()).expect("put")
+        });
+    });
+    g.finish();
+}
+
+fn bench_simulation_replay(c: &mut Criterion) {
+    // The DES itself: replaying 1000 queries through the engine.
+    let env = BenchEnv::new(0.02, 2, 1000, 10);
+    let store = env.lineitem_store(SystemKind::Fusion);
+    let outputs = env.outputs_per_copy(store, "lineitem", |obj| {
+        format!("SELECT extendedprice FROM {obj} WHERE extendedprice < 950.0")
+    });
+    let mut g = c.benchmark_group("des_replay");
+    g.sample_size(10);
+    g.bench_function("1000_queries_10_clients", |b| {
+        b.iter(|| env.replay(store, std::hint::black_box(&outputs)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_query_dataplane, bench_put, bench_simulation_replay);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Snappy codec throughput on the three regimes that matter to the store:
+//! highly repetitive pages, text, and incompressible data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn inputs() -> Vec<(&'static str, Vec<u8>)> {
+    let repetitive: Vec<u8> = (0..1 << 20).map(|i| ((i / 4096) % 7) as u8).collect();
+    let text: Vec<u8> = fusion_workloads::text::WORDS
+        .iter()
+        .cycle()
+        .take(150_000)
+        .flat_map(|w| {
+            let mut v = w.as_bytes().to_vec();
+            v.push(b' ');
+            v
+        })
+        .collect();
+    let mut x = 0x2545F491_u64;
+    let random: Vec<u8> = (0..1 << 20)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x as u8
+        })
+        .collect();
+    vec![("repetitive", repetitive), ("text", text), ("random", random)]
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snappy_compress");
+    for (name, data) in inputs() {
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, d| {
+            b.iter(|| fusion_snappy::compress(std::hint::black_box(d)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snappy_decompress");
+    for (name, data) in inputs() {
+        let compressed = fusion_snappy::compress(&data);
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &compressed, |b, d| {
+            b.iter(|| fusion_snappy::decompress(std::hint::black_box(d)).expect("valid stream"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

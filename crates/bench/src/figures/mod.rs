@@ -1,0 +1,51 @@
+//! One function per table/figure of the paper's evaluation. Each returns
+//! rendered text; the `figures` binary prints and archives them.
+//!
+//! See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured values.
+
+pub mod latency;
+pub mod storage;
+
+use crate::harness::BenchEnv;
+
+/// Every artifact id, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "table3", "table4", "fig4a", "fig4b", "fig4c", "fig4d", "fig6", "fig10a", "fig10b",
+    "fig12", "fig13", "fig14ab", "fig14c", "fig14d", "fig15", "fig16a", "fig16bc",
+    "ablation", "extagg",
+];
+
+/// Runs one artifact by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the binary validates first).
+pub fn run(id: &str, env: &BenchEnv) -> String {
+    match id {
+        "table3" => storage::table3(env),
+        "table4" => latency::table4(env),
+        "fig4a" => storage::fig4a(env),
+        "fig4b" => latency::fig4b(env),
+        "fig4c" => storage::fig4c(env),
+        "fig4d" => storage::fig4d(env),
+        "fig6" => storage::fig6(env),
+        "fig10a" => storage::fig10a(env),
+        "fig10b" => latency::fig10b(env),
+        "fig12" => storage::fig12(env),
+        "fig13" => latency::fig13(env),
+        "fig14ab" => latency::fig14ab(env),
+        "fig14c" => latency::fig14c(env),
+        "fig14d" => latency::fig14d(env),
+        "fig15" => latency::fig15(env),
+        "fig16a" => storage::fig16a(env),
+        "fig16bc" => storage::fig16bc(env),
+        "ablation" => latency::ablation_adaptive(env),
+        "extagg" => latency::ext_aggregate_pushdown(env),
+        id if id.starts_with("debugcol") => {
+            let col: usize = id.trim_start_matches("debugcol").parse().unwrap_or(0);
+            latency::debug_column(env, col)
+        }
+        other => panic!("unknown artifact id: {other}"),
+    }
+}

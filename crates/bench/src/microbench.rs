@@ -1,0 +1,192 @@
+//! The paper's microbenchmark (§6): `SELECT column FROM lineitem WHERE
+//! column < value`, with the cutoff chosen per column to hit a target
+//! selectivity (default 1%, as in production traces).
+
+use crate::harness::{reduction, summarize, BenchEnv, LatencySummary, SystemKind};
+use fusion_cluster::engine::Breakdown;
+use fusion_cluster::time::Nanos;
+use fusion_core::query::QueryOutput;
+use fusion_core::store::Store;
+use fusion_format::schema::LogicalType;
+use fusion_format::table::Table;
+use fusion_format::value::ColumnData;
+use fusion_sql::date::format_date;
+
+/// Outcome of one microbenchmark cell (one column × one system ×
+/// one selectivity).
+#[derive(Debug, Clone)]
+pub struct MicrobenchResult {
+    /// Column swept.
+    pub column: usize,
+    /// Selectivity actually achieved (discrete domains cannot hit an
+    /// arbitrary target exactly).
+    pub achieved_selectivity: f64,
+    /// Latency percentiles over the replayed queries.
+    pub latency: LatencySummary,
+    /// Mean critical-path breakdown.
+    pub breakdown: Breakdown,
+    /// Network bytes per query (identical across replays).
+    pub net_bytes: u64,
+}
+
+/// Renders a SQL literal for a cutoff value of the given column type.
+fn literal(ty: LogicalType, v: &fusion_format::value::Value) -> String {
+    use fusion_format::value::Value;
+    match (ty, v) {
+        (LogicalType::Date, Value::Int(days)) => format!("'{}'", format_date(*days)),
+        (_, Value::Str(s)) => format!("'{}'", s.replace('\'', "''")),
+        (_, Value::Int(x)) => x.to_string(),
+        (_, Value::Float(x)) => format!("{x:?}"),
+    }
+}
+
+/// Cutoff value achieving (approximately) `target` selectivity for
+/// `col < cutoff`. On discrete domains where the target quantile equals
+/// the minimum (selectivity would be 0), the cutoff is bumped to the next
+/// distinct value so the query matches the *smallest achievable nonzero*
+/// selectivity — the closest realizable analogue of the paper's target.
+pub fn cutoff_for(table: &Table, column: usize, target: f64) -> fusion_format::value::Value {
+    use fusion_format::value::Value;
+    let col = table.column(column);
+    let rank = ((col.len() as f64) * target) as usize;
+    match col {
+        ColumnData::Int64(v) => {
+            let mut s = v.clone();
+            s.sort_unstable();
+            let mut c = s[rank.min(s.len() - 1)];
+            if c == s[0] {
+                c = s.iter().copied().find(|&x| x > c).unwrap_or(c + 1);
+            }
+            Value::Int(c)
+        }
+        ColumnData::Float64(v) => {
+            let mut s = v.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in workloads"));
+            let mut c = s[rank.min(s.len() - 1)];
+            if c == s[0] {
+                c = s.iter().copied().find(|&x| x > c).unwrap_or(c + 1.0);
+            }
+            Value::Float(c)
+        }
+        ColumnData::Utf8(v) => {
+            let mut s = v.clone();
+            s.sort();
+            let mut c = s[rank.min(s.len() - 1)].clone();
+            if c == s[0] {
+                if let Some(next) = s.iter().find(|x| **x > c) {
+                    c = next.clone();
+                }
+            }
+            Value::Str(c)
+        }
+    }
+}
+
+/// Builds the microbenchmark SQL for `column` at `target` selectivity.
+pub fn microbench_sql(env: &BenchEnv, column: usize, target: f64, object: &str) -> String {
+    let table = env.lineitem_table();
+    let name = &table.schema().fields()[column].name;
+    let ty = table.schema().fields()[column].ty;
+    let cutoff = cutoff_for(table, column, target);
+    format!("SELECT {name} FROM {object} WHERE {name} < {}", literal(ty, &cutoff))
+}
+
+/// Runs the microbenchmark for one column on one (cached) system store.
+pub fn microbench_query(
+    env: &BenchEnv,
+    kind: SystemKind,
+    column: usize,
+    target_selectivity: f64,
+) -> MicrobenchResult {
+    let store = env.lineitem_store(kind);
+    microbench_on(env, store, column, target_selectivity)
+}
+
+/// Runs the microbenchmark for one column on an explicit store (used by
+/// the bandwidth sweep, which needs stores with modified cost models).
+pub fn microbench_on(
+    env: &BenchEnv,
+    store: &Store,
+    column: usize,
+    target_selectivity: f64,
+) -> MicrobenchResult {
+    let outputs: Vec<QueryOutput> = env.outputs_per_copy(store, "lineitem", |obj| {
+        microbench_sql(env, column, target_selectivity, obj)
+    });
+    let stats = env.replay(store, &outputs);
+    let latency = summarize(&stats);
+    let n = stats.len().max(1) as u64;
+    let mut breakdown = Breakdown::default();
+    for s in &stats {
+        breakdown.disk += s.breakdown.disk;
+        breakdown.processing += s.breakdown.processing;
+        breakdown.network += s.breakdown.network;
+        breakdown.other += s.breakdown.other;
+    }
+    breakdown.disk = Nanos(breakdown.disk.0 / n);
+    breakdown.processing = Nanos(breakdown.processing.0 / n);
+    breakdown.network = Nanos(breakdown.network.0 / n);
+    breakdown.other = Nanos(breakdown.other.0 / n);
+    MicrobenchResult {
+        column,
+        achieved_selectivity: outputs[0].selectivity,
+        latency,
+        breakdown,
+        net_bytes: outputs.iter().map(|o| o.net_bytes).sum::<u64>() / outputs.len() as u64,
+    }
+}
+
+/// Convenience: p50/p99 reduction of Fusion vs the baseline on a column.
+pub fn column_reduction(env: &BenchEnv, column: usize, sel: f64) -> (f64, f64) {
+    let f = microbench_query(env, SystemKind::Fusion, column, sel);
+    let b = microbench_query(env, SystemKind::Baseline, column, sel);
+    (
+        reduction(b.latency.p50, f.latency.p50),
+        reduction(b.latency.p99, f.latency.p99),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_env() -> BenchEnv {
+        BenchEnv::new(0.02, 2, 30, 3)
+    }
+
+    #[test]
+    fn cutoffs_hit_target_on_continuous_columns() {
+        let env = tiny_env();
+        let table = env.lineitem_table();
+        // extendedprice (5) is continuous: 1% target should be close.
+        let cut = cutoff_for(table, 5, 0.01);
+        let prices = table.column(5).as_float64().unwrap();
+        let c = match cut {
+            fusion_format::value::Value::Float(x) => x,
+            ref other => panic!("wrong type {other:?}"),
+        };
+        let sel = prices.iter().filter(|&&p| p < c).count() as f64 / prices.len() as f64;
+        assert!((sel - 0.01).abs() < 0.005, "sel {sel}");
+    }
+
+    #[test]
+    fn sql_renders_for_every_column_type() {
+        let env = tiny_env();
+        for col in 0..16 {
+            let sql = microbench_sql(&env, col, 0.01, "lineitem_0");
+            fusion_sql::parser::parse(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        }
+    }
+
+    #[test]
+    fn microbench_runs_both_systems() {
+        let env = tiny_env();
+        let f = microbench_query(&env, SystemKind::Fusion, 5, 0.01);
+        let b = microbench_query(&env, SystemKind::Baseline, 5, 0.01);
+        assert!(f.latency.p50 > Nanos::ZERO);
+        assert!(b.latency.p50 > Nanos::ZERO);
+        assert!((f.achieved_selectivity - b.achieved_selectivity).abs() < 1e-12);
+        // Selective query on a big column: Fusion must move fewer bytes.
+        assert!(f.net_bytes < b.net_bytes);
+    }
+}

@@ -1,0 +1,801 @@
+//! The discrete-event simulation engine.
+//!
+//! Queries compile into **workflows**: DAGs of steps, each step occupying
+//! one server of one resource (a disk, a NIC direction, a CPU core pool)
+//! for a duration. The engine executes workflows under FIFO contention on
+//! a virtual clock and reports per-workflow latency, a critical-path
+//! breakdown by cost class (disk / processing / network — the categories
+//! of the paper's Figures 4b and 13c/d), network traffic, and per-resource
+//! busy time (CPU utilization, Figure 14d).
+
+use crate::spec::ClusterSpec;
+use crate::time::Nanos;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// A contended resource in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResourceKey {
+    /// The disk of a storage node.
+    Disk(usize),
+    /// The transmit direction of a storage node's NIC.
+    NicTx(usize),
+    /// The receive direction of a storage node's NIC.
+    NicRx(usize),
+    /// The CPU core pool of a storage node.
+    Cpu(usize),
+    /// The client machine's CPU.
+    ClientCpu,
+    /// The client machine's NIC, transmit direction.
+    ClientNicTx,
+    /// The client machine's NIC, receive direction.
+    ClientNicRx,
+    /// A pure-latency stage (RPC round-trip, propagation): never a
+    /// bottleneck, infinitely many servers.
+    Delay,
+}
+
+/// Cost class for latency breakdowns (paper Figure 4b categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// Reading raw data from disk.
+    DiskRead,
+    /// Decoding chunks and evaluating SQL operations.
+    Processing,
+    /// Network transfer and RPC overhead.
+    Network,
+    /// Everything else (planning, assembly).
+    Other,
+}
+
+/// Identifier of a step within a workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StepId(usize);
+
+/// One unit of work.
+#[derive(Debug, Clone)]
+struct StepSpec {
+    resource: ResourceKey,
+    duration: Nanos,
+    class: CostClass,
+    deps: Vec<StepId>,
+    net_bytes: u64,
+}
+
+/// A DAG of steps modelling one query (or one Put, recovery, …).
+///
+/// # Examples
+///
+/// ```
+/// use fusion_cluster::engine::{CostClass, ResourceKey, Workflow};
+/// use fusion_cluster::time::Nanos;
+///
+/// let mut wf = Workflow::new();
+/// let read = wf.step(ResourceKey::Disk(0), Nanos::from_micros(100), CostClass::DiskRead, &[]);
+/// let cpu = wf.step(ResourceKey::Cpu(0), Nanos::from_micros(50), CostClass::Processing, &[read]);
+/// wf.transfer_bytes(cpu, 4096);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Workflow {
+    steps: Vec<StepSpec>,
+}
+
+impl Workflow {
+    /// An empty workflow (completes instantly).
+    pub fn new() -> Workflow {
+        Workflow::default()
+    }
+
+    /// Adds a step that holds one server of `resource` for `duration` once
+    /// all `deps` complete. Returns its id for use as a dependency.
+    pub fn step(
+        &mut self,
+        resource: ResourceKey,
+        duration: Nanos,
+        class: CostClass,
+        deps: &[StepId],
+    ) -> StepId {
+        for d in deps {
+            assert!(d.0 < self.steps.len(), "dependency on a future step");
+        }
+        self.steps.push(StepSpec {
+            resource,
+            duration,
+            class,
+            deps: deps.to_vec(),
+            net_bytes: 0,
+        });
+        StepId(self.steps.len() - 1)
+    }
+
+    /// Tags a step as moving `bytes` over the network (for traffic
+    /// accounting; idempotent per step).
+    pub fn transfer_bytes(&mut self, step: StepId, bytes: u64) {
+        self.steps[step.0].net_bytes = bytes;
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the workflow has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Latency partition along the critical path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Time attributed to disk reads.
+    pub disk: Nanos,
+    /// Time attributed to decode + SQL evaluation.
+    pub processing: Nanos,
+    /// Time attributed to network transfer, queueing, and RPC overhead.
+    pub network: Nanos,
+    /// Time attributed to other work.
+    pub other: Nanos,
+}
+
+impl Breakdown {
+    /// Sum of all components (equals workflow latency).
+    pub fn total(&self) -> Nanos {
+        self.disk + self.processing + self.network + self.other
+    }
+
+    fn add(&mut self, class: CostClass, d: Nanos) {
+        match class {
+            CostClass::DiskRead => self.disk += d,
+            CostClass::Processing => self.processing += d,
+            CostClass::Network => self.network += d,
+            CostClass::Other => self.other += d,
+        }
+    }
+}
+
+/// Per-workflow results.
+#[derive(Debug, Clone)]
+pub struct WorkflowStats {
+    /// Client that issued the workflow.
+    pub client: usize,
+    /// Sequence number within the client.
+    pub seq: usize,
+    /// Virtual start time.
+    pub start: Nanos,
+    /// Virtual completion time.
+    pub finish: Nanos,
+    /// `finish - start`.
+    pub latency: Nanos,
+    /// Critical-path partition of `latency`.
+    pub breakdown: Breakdown,
+    /// Total bytes this workflow moved over the network (all steps, not
+    /// just the critical path).
+    pub net_bytes: u64,
+}
+
+/// Results of a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Stats for every workflow, ordered by (client, seq).
+    pub stats: Vec<WorkflowStats>,
+    /// Busy time per resource.
+    pub resource_busy: HashMap<ResourceKey, Nanos>,
+    /// Completion time of the last workflow.
+    pub makespan: Nanos,
+}
+
+impl RunReport {
+    /// All latencies, in (client, seq) order.
+    pub fn latencies(&self) -> Vec<Nanos> {
+        self.stats.iter().map(|s| s.latency).collect()
+    }
+
+    /// Total network traffic of the run in bytes.
+    pub fn total_net_bytes(&self) -> u64 {
+        self.stats.iter().map(|s| s.net_bytes).sum()
+    }
+
+    /// Average CPU utilization across storage nodes: busy core-time over
+    /// available core-time.
+    pub fn cpu_utilization(&self, spec: &ClusterSpec) -> f64 {
+        if self.makespan == Nanos::ZERO {
+            return 0.0;
+        }
+        let busy: u64 = (0..spec.nodes)
+            .map(|n| {
+                self.resource_busy
+                    .get(&ResourceKey::Cpu(n))
+                    .copied()
+                    .unwrap_or(Nanos::ZERO)
+                    .0
+            })
+            .sum();
+        let avail = self.makespan.0 as f64 * (spec.nodes * spec.cores_per_node) as f64;
+        busy as f64 / avail
+    }
+}
+
+/// One submission: a workflow plus when it may start.
+#[derive(Debug, Clone)]
+enum Trigger {
+    /// Start at an absolute virtual time.
+    At(Nanos),
+    /// Start when the same client's previous workflow finishes.
+    AfterPrevious,
+}
+
+/// The engine. Holds the static spec; each [`Engine::run_closed_loop`] /
+/// [`Engine::run_open_loop`] call is an independent simulation.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    spec: ClusterSpec,
+}
+
+impl Engine {
+    /// Creates an engine over `spec`.
+    pub fn new(spec: ClusterSpec) -> Engine {
+        Engine { spec }
+    }
+
+    /// The cluster spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Runs `clients`, where each client executes its workflows strictly
+    /// in order (closed loop — the paper's 10-client setup).
+    pub fn run_closed_loop(&self, clients: Vec<Vec<Workflow>>) -> RunReport {
+        let jobs = clients
+            .into_iter()
+            .enumerate()
+            .flat_map(|(c, wfs)| {
+                wfs.into_iter().enumerate().map(move |(i, wf)| {
+                    let trig = if i == 0 { Trigger::At(Nanos::ZERO) } else { Trigger::AfterPrevious };
+                    (c, i, wf, trig)
+                })
+            })
+            .collect();
+        self.run(jobs)
+    }
+
+    /// Runs workflows at fixed arrival times (open loop — the paper's
+    /// 10-queries-per-second utilization experiment).
+    pub fn run_open_loop(&self, arrivals: Vec<(Nanos, Workflow)>) -> RunReport {
+        let jobs = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, (t, wf))| (i, 0, wf, Trigger::At(t)))
+            .collect();
+        self.run(jobs)
+    }
+
+    fn run(&self, jobs: Vec<(usize, usize, Workflow, Trigger)>) -> RunReport {
+        let mut sim = Sim::new(self.spec.cores_per_node);
+        sim.execute(jobs)
+    }
+}
+
+/// Runtime state for one step.
+#[derive(Debug, Clone, Copy, Default)]
+struct StepState {
+    remaining_deps: usize,
+    done_at: Option<Nanos>,
+}
+
+/// Runtime state for one workflow.
+#[derive(Debug)]
+struct WfState {
+    client: usize,
+    seq: usize,
+    wf: Workflow,
+    trigger: Trigger,
+    started: Option<Nanos>,
+    steps: Vec<StepState>,
+    successors: Vec<Vec<usize>>,
+    remaining_steps: usize,
+}
+
+#[derive(Debug)]
+struct Res {
+    servers: usize,
+    busy: usize,
+    pending: VecDeque<(usize, usize)>, // (workflow, step)
+    busy_time: Nanos,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    StepDone { wf: usize, step: usize },
+    StartWorkflow { wf: usize },
+}
+
+struct Sim {
+    now: Nanos,
+    seq: u64,
+    cores_per_node: usize,
+    #[allow(clippy::type_complexity)]
+    events: BinaryHeap<Reverse<(Nanos, u64, EventBox)>>,
+    resources: HashMap<ResourceKey, Res>,
+}
+
+// BinaryHeap needs Ord; wrap Event with a trivially ordered box keyed by seq
+// (the tuple's second element already makes ordering total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EventBox(Event);
+
+impl PartialOrd for EventBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventBox {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl Sim {
+    fn new(cores_per_node: usize) -> Sim {
+        Sim {
+            now: Nanos::ZERO,
+            seq: 0,
+            cores_per_node,
+            events: BinaryHeap::new(),
+            resources: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, at: Nanos, ev: Event) {
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, EventBox(ev))));
+    }
+
+    fn servers_for(&self, key: ResourceKey) -> usize {
+        // CPU pools are multi-server; disks and NIC directions serialize;
+        // delays never queue.
+        match key {
+            ResourceKey::Cpu(_) | ResourceKey::ClientCpu => self.cores_per_node.max(1),
+            ResourceKey::Delay => usize::MAX,
+            _ => 1,
+        }
+    }
+
+    fn execute(&mut self, jobs: Vec<(usize, usize, Workflow, Trigger)>) -> RunReport {
+        // Build runtime state.
+        let mut wfs: Vec<WfState> = jobs
+            .into_iter()
+            .map(|(client, seq, wf, trigger)| {
+                let steps: Vec<StepState> = wf
+                    .steps
+                    .iter()
+                    .map(|s| StepState {
+                        remaining_deps: s.deps.len(),
+                        done_at: None,
+                    })
+                    .collect();
+                let mut successors = vec![Vec::new(); wf.steps.len()];
+                for (i, s) in wf.steps.iter().enumerate() {
+                    for d in &s.deps {
+                        successors[d.0].push(i);
+                    }
+                }
+                let remaining_steps = wf.steps.len();
+                WfState {
+                    client,
+                    seq,
+                    wf,
+                    trigger,
+                    started: None,
+                    steps,
+                    successors,
+                    remaining_steps,
+                }
+            })
+            .collect();
+
+        // Next workflow per client, for AfterPrevious chaining.
+        let mut next_of: HashMap<(usize, usize), usize> = HashMap::new();
+        for (i, w) in wfs.iter().enumerate() {
+            if w.seq > 0 {
+                // find the predecessor index
+                next_of.insert((w.client, w.seq - 1), i);
+            }
+        }
+
+        let mut finished: Vec<Option<WorkflowStats>> = (0..wfs.len()).map(|_| None).collect();
+
+        // Seed At-triggers.
+        for (i, w) in wfs.iter().enumerate() {
+            if let Trigger::At(t) = w.trigger {
+                self.push(t, Event::StartWorkflow { wf: i });
+            }
+        }
+
+        while let Some(Reverse((t, _, EventBox(ev)))) = self.events.pop() {
+            self.now = t;
+            match ev {
+                Event::StartWorkflow { wf } => {
+                    wfs[wf].started = Some(t);
+                    if wfs[wf].wf.steps.is_empty() {
+                        self.complete_workflow(wf, &mut wfs, &mut finished, &next_of);
+                        continue;
+                    }
+                    let ready: Vec<usize> = wfs[wf]
+                        .wf
+                        .steps
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.deps.is_empty())
+                        .map(|(i, _)| i)
+                        .collect();
+                    for s in ready {
+                        self.request(wf, s, &mut wfs);
+                    }
+                }
+                Event::StepDone { wf, step } => {
+                    // Release the resource and admit a queued request.
+                    let key = wfs[wf].wf.steps[step].resource;
+                    let next = {
+                        let res = self.resources.get_mut(&key).expect("resource exists");
+                        res.busy -= 1;
+                        res.pending.pop_front()
+                    };
+                    if let Some((nwf, nstep)) = next {
+                        self.start_step(nwf, nstep, &mut wfs);
+                    }
+
+                    wfs[wf].steps[step].done_at = Some(t);
+                    wfs[wf].remaining_steps -= 1;
+
+                    // Propagate to successors.
+                    let succs = wfs[wf].successors[step].clone();
+                    for s in succs {
+                        wfs[wf].steps[s].remaining_deps -= 1;
+                        if wfs[wf].steps[s].remaining_deps == 0 {
+                            self.request(wf, s, &mut wfs);
+                        }
+                    }
+
+                    if wfs[wf].remaining_steps == 0 {
+                        self.complete_workflow(wf, &mut wfs, &mut finished, &next_of);
+                    }
+                }
+            }
+        }
+
+        let mut stats: Vec<WorkflowStats> = finished.into_iter().flatten().collect();
+        stats.sort_by_key(|s| (s.client, s.seq));
+        let makespan = stats.iter().map(|s| s.finish).max().unwrap_or(Nanos::ZERO);
+        let resource_busy = self
+            .resources
+            .iter()
+            .map(|(k, r)| (*k, r.busy_time))
+            .collect();
+        RunReport {
+            stats,
+            resource_busy,
+            makespan,
+        }
+    }
+
+    fn request(&mut self, wf: usize, step: usize, wfs: &mut [WfState]) {
+        let key = wfs[wf].wf.steps[step].resource;
+        let servers = self.servers_for(key);
+        let res = self.resources.entry(key).or_insert_with(|| Res {
+            servers,
+            busy: 0,
+            pending: VecDeque::new(),
+            busy_time: Nanos::ZERO,
+        });
+        if res.busy < res.servers {
+            self.start_step(wf, step, wfs);
+        } else {
+            res.pending.push_back((wf, step));
+        }
+    }
+
+    fn start_step(&mut self, wf: usize, step: usize, wfs: &mut [WfState]) {
+        let (key, dur) = {
+            let s = &wfs[wf].wf.steps[step];
+            (s.resource, s.duration)
+        };
+        let res = self.resources.get_mut(&key).expect("resource exists");
+        res.busy += 1;
+        res.busy_time += dur;
+        let at = self.now + dur;
+        self.push(at, Event::StepDone { wf, step });
+    }
+
+    fn complete_workflow(
+        &mut self,
+        wf: usize,
+        wfs: &mut [WfState],
+        finished: &mut [Option<WorkflowStats>],
+        next_of: &HashMap<(usize, usize), usize>,
+    ) {
+        let w = &wfs[wf];
+        let start = w.started.expect("workflow started");
+        let finish = self.now;
+        let breakdown = critical_path_breakdown(w, start);
+        let net_bytes = w.wf.steps.iter().map(|s| s.net_bytes).sum();
+        finished[wf] = Some(WorkflowStats {
+            client: w.client,
+            seq: w.seq,
+            start,
+            finish,
+            latency: finish - start,
+            breakdown,
+            net_bytes,
+        });
+        if let Some(&next) = next_of.get(&(w.client, w.seq)) {
+            self.push(finish, Event::StartWorkflow { wf: next });
+        }
+    }
+}
+
+/// Walks the critical path backwards, attributing each hop (queue wait +
+/// service) to the step's cost class. The components sum exactly to the
+/// workflow latency.
+fn critical_path_breakdown(w: &WfState, start: Nanos) -> Breakdown {
+    let mut bd = Breakdown::default();
+    if w.wf.steps.is_empty() {
+        return bd;
+    }
+    // Find the step that finished last.
+    let mut cur = (0..w.wf.steps.len())
+        .max_by_key(|&i| w.steps[i].done_at.expect("all steps done"))
+        .expect("nonempty");
+    loop {
+        let done = w.steps[cur].done_at.expect("done");
+        let spec = &w.wf.steps[cur];
+        // The latest-finishing dependency bounds when this step could begin.
+        let dep = spec
+            .deps
+            .iter()
+            .max_by_key(|d| w.steps[d.0].done_at.expect("deps done"));
+        let from = dep.map_or(start, |d| w.steps[d.0].done_at.expect("done"));
+        bd.add(spec.class, done.saturating_sub(from));
+        match dep {
+            Some(d) => cur = d.0,
+            None => break,
+        }
+    }
+    bd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(ClusterSpec::with_nodes(3))
+    }
+
+    #[test]
+    fn single_step_workflow() {
+        let mut wf = Workflow::new();
+        wf.step(ResourceKey::Disk(0), Nanos(100), CostClass::DiskRead, &[]);
+        let report = engine().run_closed_loop(vec![vec![wf]]);
+        assert_eq!(report.stats.len(), 1);
+        assert_eq!(report.stats[0].latency, Nanos(100));
+        assert_eq!(report.stats[0].breakdown.disk, Nanos(100));
+        assert_eq!(report.makespan, Nanos(100));
+    }
+
+    #[test]
+    fn chain_accumulates_classes() {
+        let mut wf = Workflow::new();
+        let a = wf.step(ResourceKey::Disk(0), Nanos(100), CostClass::DiskRead, &[]);
+        let b = wf.step(ResourceKey::Cpu(0), Nanos(50), CostClass::Processing, &[a]);
+        let c = wf.step(ResourceKey::NicTx(0), Nanos(25), CostClass::Network, &[b]);
+        wf.transfer_bytes(c, 1234);
+        let report = engine().run_closed_loop(vec![vec![wf]]);
+        let s = &report.stats[0];
+        assert_eq!(s.latency, Nanos(175));
+        assert_eq!(s.breakdown.disk, Nanos(100));
+        assert_eq!(s.breakdown.processing, Nanos(50));
+        assert_eq!(s.breakdown.network, Nanos(25));
+        assert_eq!(s.breakdown.total(), s.latency);
+        assert_eq!(s.net_bytes, 1234);
+    }
+
+    #[test]
+    fn parallel_fanout_takes_max() {
+        let mut wf = Workflow::new();
+        let a = wf.step(ResourceKey::Disk(0), Nanos(100), CostClass::DiskRead, &[]);
+        let b = wf.step(ResourceKey::Disk(1), Nanos(300), CostClass::DiskRead, &[]);
+        wf.step(ResourceKey::Cpu(0), Nanos(10), CostClass::Processing, &[a, b]);
+        let report = engine().run_closed_loop(vec![vec![wf]]);
+        assert_eq!(report.stats[0].latency, Nanos(310));
+        // Critical path goes through the 300ns disk.
+        assert_eq!(report.stats[0].breakdown.disk, Nanos(300));
+    }
+
+    #[test]
+    fn fifo_contention_on_single_server() {
+        // Two workflows contending for one disk serialize.
+        let mk = || {
+            let mut wf = Workflow::new();
+            wf.step(ResourceKey::Disk(0), Nanos(100), CostClass::DiskRead, &[]);
+            wf
+        };
+        let report = engine().run_closed_loop(vec![vec![mk()], vec![mk()]]);
+        let mut latencies = report.latencies();
+        latencies.sort();
+        assert_eq!(latencies, vec![Nanos(100), Nanos(200)]);
+        assert_eq!(report.makespan, Nanos(200));
+        // Queue wait is charged to the waiting step's class.
+        let slow = report.stats.iter().find(|s| s.latency == Nanos(200)).unwrap();
+        assert_eq!(slow.breakdown.disk, Nanos(200));
+    }
+
+    #[test]
+    fn cpu_pool_runs_in_parallel() {
+        let mk = || {
+            let mut wf = Workflow::new();
+            wf.step(ResourceKey::Cpu(0), Nanos(100), CostClass::Processing, &[]);
+            wf
+        };
+        let report = engine().run_closed_loop(vec![vec![mk()], vec![mk()], vec![mk()]]);
+        assert!(report.latencies().iter().all(|&l| l == Nanos(100)));
+        assert_eq!(report.makespan, Nanos(100));
+    }
+
+    #[test]
+    fn closed_loop_serializes_per_client() {
+        let mk = || {
+            let mut wf = Workflow::new();
+            wf.step(ResourceKey::Cpu(0), Nanos(100), CostClass::Processing, &[]);
+            wf
+        };
+        let report = engine().run_closed_loop(vec![vec![mk(), mk(), mk()]]);
+        assert_eq!(report.stats.len(), 3);
+        assert_eq!(report.stats[2].start, Nanos(200));
+        assert_eq!(report.makespan, Nanos(300));
+    }
+
+    #[test]
+    fn open_loop_arrivals() {
+        let mk = || {
+            let mut wf = Workflow::new();
+            wf.step(ResourceKey::Disk(0), Nanos(50), CostClass::DiskRead, &[]);
+            wf
+        };
+        let report = engine().run_open_loop(vec![
+            (Nanos(0), mk()),
+            (Nanos(10), mk()),
+            (Nanos(1000), mk()),
+        ]);
+        assert_eq!(report.stats[0].latency, Nanos(50));
+        assert_eq!(report.stats[1].latency, Nanos(90)); // waited 40
+        assert_eq!(report.stats[2].latency, Nanos(50));
+    }
+
+    #[test]
+    fn empty_workflow_completes_instantly() {
+        let report = engine().run_closed_loop(vec![vec![Workflow::new()]]);
+        assert_eq!(report.stats[0].latency, Nanos::ZERO);
+    }
+
+    #[test]
+    fn busy_time_and_utilization() {
+        let mut wf = Workflow::new();
+        wf.step(ResourceKey::Cpu(0), Nanos(400), CostClass::Processing, &[]);
+        wf.step(ResourceKey::Cpu(1), Nanos(100), CostClass::Processing, &[]);
+        let spec = ClusterSpec { nodes: 2, cores_per_node: 1, ..Default::default() };
+        let report = Engine::new(spec.clone()).run_closed_loop(vec![vec![wf]]);
+        assert_eq!(report.resource_busy[&ResourceKey::Cpu(0)], Nanos(400));
+        assert_eq!(report.resource_busy[&ResourceKey::Cpu(1)], Nanos(100));
+        // 500 busy core-ns over 400ns * 2 cores = 0.625.
+        assert!((report.cpu_utilization(&spec) - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_partitions_latency_under_contention() {
+        // Random-ish DAGs: breakdown must always sum to latency.
+        let mut clients = Vec::new();
+        for c in 0..5 {
+            let mut wfs = Vec::new();
+            for q in 0..4 {
+                let mut wf = Workflow::new();
+                let d = wf.step(
+                    ResourceKey::Disk(c % 3),
+                    Nanos(30 + (q as u64) * 7),
+                    CostClass::DiskRead,
+                    &[],
+                );
+                let p = wf.step(
+                    ResourceKey::Cpu(c % 3),
+                    Nanos(11 * (c as u64 + 1)),
+                    CostClass::Processing,
+                    &[d],
+                );
+                let n1 = wf.step(
+                    ResourceKey::NicTx(c % 3),
+                    Nanos(13),
+                    CostClass::Network,
+                    &[p],
+                );
+                wf.step(ResourceKey::ClientCpu, Nanos(5), CostClass::Other, &[n1, d]);
+                wfs.push(wf);
+            }
+            clients.push(wfs);
+        }
+        let report = engine().run_closed_loop(clients);
+        assert_eq!(report.stats.len(), 20);
+        for s in &report.stats {
+            assert_eq!(s.breakdown.total(), s.latency, "breakdown must partition latency");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency on a future step")]
+    fn forward_dependency_panics() {
+        let mut wf = Workflow::new();
+        wf.step(ResourceKey::Disk(0), Nanos(1), CostClass::DiskRead, &[StepId(5)]);
+    }
+}
+
+#[cfg(test)]
+mod delay_tests {
+    use super::*;
+
+    #[test]
+    fn delay_resource_never_queues() {
+        // 50 concurrent workflows each holding Delay for 100ns: all finish
+        // at 100ns — no serialization.
+        let mk = || {
+            let mut wf = Workflow::new();
+            wf.step(ResourceKey::Delay, Nanos(100), CostClass::Network, &[]);
+            wf
+        };
+        let clients: Vec<Vec<Workflow>> = (0..50).map(|_| vec![mk()]).collect();
+        let report = Engine::new(ClusterSpec::with_nodes(3)).run_closed_loop(clients);
+        assert!(report.latencies().iter().all(|&l| l == Nanos(100)));
+        assert_eq!(report.makespan, Nanos(100));
+    }
+
+    #[test]
+    fn cpu_pool_respects_core_count() {
+        // 3 jobs on a 2-core node: the third waits.
+        let mk = || {
+            let mut wf = Workflow::new();
+            wf.step(ResourceKey::Cpu(0), Nanos(100), CostClass::Processing, &[]);
+            wf
+        };
+        let spec = ClusterSpec { nodes: 1, cores_per_node: 2, ..Default::default() };
+        let report =
+            Engine::new(spec).run_closed_loop((0..3).map(|_| vec![mk()]).collect());
+        let mut lat = report.latencies();
+        lat.sort();
+        assert_eq!(lat, vec![Nanos(100), Nanos(100), Nanos(200)]);
+    }
+
+    #[test]
+    fn transfer_bytes_do_not_double_count() {
+        let mut wf = Workflow::new();
+        let a = wf.step(ResourceKey::NicTx(0), Nanos(10), CostClass::Network, &[]);
+        wf.transfer_bytes(a, 500);
+        wf.transfer_bytes(a, 700); // overwrite, not accumulate
+        let report = Engine::new(ClusterSpec::with_nodes(1)).run_closed_loop(vec![vec![wf]]);
+        assert_eq!(report.total_net_bytes(), 700);
+    }
+
+    #[test]
+    fn diamond_dag_critical_path() {
+        // a -> {b (fast), c (slow)} -> d: path goes through c.
+        let mut wf = Workflow::new();
+        let a = wf.step(ResourceKey::Cpu(0), Nanos(10), CostClass::Other, &[]);
+        let b = wf.step(ResourceKey::Disk(0), Nanos(5), CostClass::DiskRead, &[a]);
+        let c = wf.step(ResourceKey::NicTx(0), Nanos(50), CostClass::Network, &[a]);
+        wf.step(ResourceKey::Cpu(0), Nanos(10), CostClass::Other, &[b, c]);
+        let report = Engine::new(ClusterSpec::with_nodes(1)).run_closed_loop(vec![vec![wf]]);
+        let s = &report.stats[0];
+        assert_eq!(s.latency, Nanos(70));
+        assert_eq!(s.breakdown.network, Nanos(50));
+        assert_eq!(s.breakdown.disk, Nanos::ZERO, "fast branch is off the critical path");
+        assert_eq!(s.breakdown.other, Nanos(20));
+    }
+}

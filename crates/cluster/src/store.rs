@@ -1,0 +1,293 @@
+//! The data plane: per-node in-memory block stores holding **real bytes**.
+//!
+//! The simulator's time plane is virtual, but its data plane is not —
+//! erasure-coded blocks, chunk bytes, bitmaps, and query results are all
+//! materialized, moved, and verified for real. This is what lets the
+//! latency model be driven by measured byte counts instead of estimates.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// Identifier of a stored block, assigned by the storage layer above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "block#{}", self.0)
+    }
+}
+
+/// Errors from block operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The node index does not exist.
+    NoSuchNode(usize),
+    /// The node exists but is marked failed.
+    NodeDown(usize),
+    /// The block is not stored on that node.
+    NoSuchBlock {
+        /// Node queried.
+        node: usize,
+        /// Block requested.
+        block: BlockId,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoSuchNode(n) => write!(f, "no such node: {n}"),
+            ClusterError::NodeDown(n) => write!(f, "node {n} is down"),
+            ClusterError::NoSuchBlock { node, block } => {
+                write!(f, "{block} not found on node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[derive(Debug, Default)]
+struct NodeState {
+    alive: bool,
+    blocks: HashMap<BlockId, Bytes>,
+}
+
+/// The cluster-wide collection of node-local block stores.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_cluster::store::{BlockId, BlockStore};
+///
+/// let mut store = BlockStore::new(3);
+/// store.put(1, BlockId(7), bytes::Bytes::from_static(b"hello"))?;
+/// assert_eq!(store.get(1, BlockId(7))?.as_ref(), b"hello");
+/// store.fail_node(1)?;
+/// assert!(store.get(1, BlockId(7)).is_err());
+/// # Ok::<(), fusion_cluster::store::ClusterError>(())
+/// ```
+#[derive(Debug)]
+pub struct BlockStore {
+    nodes: Vec<NodeState>,
+}
+
+impl BlockStore {
+    /// Creates a store with `n` healthy nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> BlockStore {
+        assert!(n > 0, "cluster needs at least one node");
+        BlockStore {
+            nodes: (0..n)
+                .map(|_| NodeState { alive: true, blocks: HashMap::new() })
+                .collect(),
+        }
+    }
+
+    /// Number of nodes (alive or not).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn node(&self, i: usize) -> Result<&NodeState, ClusterError> {
+        self.nodes.get(i).ok_or(ClusterError::NoSuchNode(i))
+    }
+
+    fn node_mut(&mut self, i: usize) -> Result<&mut NodeState, ClusterError> {
+        self.nodes.get_mut(i).ok_or(ClusterError::NoSuchNode(i))
+    }
+
+    /// Stores a block on a node.
+    ///
+    /// # Errors
+    ///
+    /// Node missing or down.
+    pub fn put(&mut self, node: usize, id: BlockId, data: Bytes) -> Result<(), ClusterError> {
+        let n = self.node_mut(node)?;
+        if !n.alive {
+            return Err(ClusterError::NodeDown(node));
+        }
+        n.blocks.insert(id, data);
+        Ok(())
+    }
+
+    /// Fetches a block.
+    ///
+    /// # Errors
+    ///
+    /// Node missing/down or block absent.
+    pub fn get(&self, node: usize, id: BlockId) -> Result<Bytes, ClusterError> {
+        let n = self.node(node)?;
+        if !n.alive {
+            return Err(ClusterError::NodeDown(node));
+        }
+        n.blocks
+            .get(&id)
+            .cloned()
+            .ok_or(ClusterError::NoSuchBlock { node, block: id })
+    }
+
+    /// Reads a byte range of a block (a ranged GET).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BlockStore::get`]; out-of-range yields an empty slice
+    /// clamp rather than an error.
+    pub fn get_range(
+        &self,
+        node: usize,
+        id: BlockId,
+        offset: usize,
+        len: usize,
+    ) -> Result<Bytes, ClusterError> {
+        let b = self.get(node, id)?;
+        let start = offset.min(b.len());
+        let end = (offset + len).min(b.len());
+        Ok(b.slice(start..end))
+    }
+
+    /// Removes a block. Missing blocks are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Node missing or down.
+    pub fn delete(&mut self, node: usize, id: BlockId) -> Result<(), ClusterError> {
+        let n = self.node_mut(node)?;
+        if !n.alive {
+            return Err(ClusterError::NodeDown(node));
+        }
+        n.blocks.remove(&id);
+        Ok(())
+    }
+
+    /// Marks a node failed. Its blocks are **lost** (crash-stop model), so
+    /// revival brings back an empty node, as in a replacement machine.
+    ///
+    /// # Errors
+    ///
+    /// Node missing.
+    pub fn fail_node(&mut self, node: usize) -> Result<(), ClusterError> {
+        let n = self.node_mut(node)?;
+        n.alive = false;
+        n.blocks.clear();
+        Ok(())
+    }
+
+    /// Brings a (replacement) node online, empty.
+    ///
+    /// # Errors
+    ///
+    /// Node missing.
+    pub fn revive_node(&mut self, node: usize) -> Result<(), ClusterError> {
+        self.node_mut(node)?.alive = true;
+        Ok(())
+    }
+
+    /// Whether a node is alive.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.nodes.get(node).is_some_and(|n| n.alive)
+    }
+
+    /// Indices of alive nodes.
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.is_alive(i)).collect()
+    }
+
+    /// Bytes stored on one node.
+    pub fn node_bytes(&self, node: usize) -> u64 {
+        self.nodes
+            .get(node)
+            .map_or(0, |n| n.blocks.values().map(|b| b.len() as u64).sum())
+    }
+
+    /// Bytes stored cluster-wide.
+    pub fn total_bytes(&self) -> u64 {
+        (0..self.nodes.len()).map(|i| self.node_bytes(i)).sum()
+    }
+
+    /// Block ids held by a node (unordered).
+    pub fn blocks_on(&self, node: usize) -> Vec<BlockId> {
+        self.nodes
+            .get(node)
+            .map_or_else(Vec::new, |n| n.blocks.keys().copied().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = BlockStore::new(2);
+        s.put(0, BlockId(1), Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(s.get(0, BlockId(1)).unwrap().as_ref(), b"abc");
+        assert_eq!(
+            s.get(1, BlockId(1)).unwrap_err(),
+            ClusterError::NoSuchBlock { node: 1, block: BlockId(1) }
+        );
+    }
+
+    #[test]
+    fn ranged_reads() {
+        let mut s = BlockStore::new(1);
+        s.put(0, BlockId(1), Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(s.get_range(0, BlockId(1), 2, 3).unwrap().as_ref(), b"234");
+        assert_eq!(s.get_range(0, BlockId(1), 8, 10).unwrap().as_ref(), b"89");
+        assert_eq!(s.get_range(0, BlockId(1), 50, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn failure_loses_blocks() {
+        let mut s = BlockStore::new(2);
+        s.put(0, BlockId(1), Bytes::from_static(b"abc")).unwrap();
+        s.fail_node(0).unwrap();
+        assert_eq!(s.get(0, BlockId(1)).unwrap_err(), ClusterError::NodeDown(0));
+        assert!(!s.is_alive(0));
+        assert_eq!(s.alive_nodes(), vec![1]);
+        s.revive_node(0).unwrap();
+        // Crash-stop: data is gone after revival.
+        assert_eq!(
+            s.get(0, BlockId(1)).unwrap_err(),
+            ClusterError::NoSuchBlock { node: 0, block: BlockId(1) }
+        );
+    }
+
+    #[test]
+    fn accounting() {
+        let mut s = BlockStore::new(3);
+        s.put(0, BlockId(1), Bytes::from(vec![0u8; 100])).unwrap();
+        s.put(0, BlockId(2), Bytes::from(vec![0u8; 50])).unwrap();
+        s.put(2, BlockId(3), Bytes::from(vec![0u8; 25])).unwrap();
+        assert_eq!(s.node_bytes(0), 150);
+        assert_eq!(s.total_bytes(), 175);
+        let mut blocks = s.blocks_on(0);
+        blocks.sort();
+        assert_eq!(blocks, vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn bad_node_indices() {
+        let mut s = BlockStore::new(1);
+        assert_eq!(
+            s.put(5, BlockId(0), Bytes::new()).unwrap_err(),
+            ClusterError::NoSuchNode(5)
+        );
+        assert_eq!(s.get(5, BlockId(0)).unwrap_err(), ClusterError::NoSuchNode(5));
+        assert!(!s.is_alive(5));
+    }
+
+    #[test]
+    fn delete_blocks() {
+        let mut s = BlockStore::new(1);
+        s.put(0, BlockId(1), Bytes::from_static(b"x")).unwrap();
+        s.delete(0, BlockId(1)).unwrap();
+        assert!(s.get(0, BlockId(1)).is_err());
+        // Deleting a missing block is fine.
+        s.delete(0, BlockId(9)).unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+//! Virtual time: nanosecond-resolution instants and durations on the
+//! simulated clock.
+
+/// A duration (or instant, measured from simulation start) in virtual
+/// nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_cluster::time::Nanos;
+///
+/// let t = Nanos::from_millis(2) + Nanos::from_micros(500);
+/// assert_eq!(t.as_secs_f64(), 0.0025);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// From fractional seconds (saturating at zero for negatives).
+    pub fn from_secs_f64(s: f64) -> Nanos {
+        Nanos((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::ops::Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Nanos {
+    type Output = Nanos;
+    /// # Panics
+    ///
+    /// Panics on underflow in debug builds.
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl std::iter::Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        Nanos(iter.map(|n| n.0).sum())
+    }
+}
+
+impl std::fmt::Display for Nanos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// Computes the transfer time of `bytes` at `bytes_per_sec`.
+pub fn transfer_time(bytes: u64, bytes_per_sec: f64) -> Nanos {
+    if bytes == 0 {
+        return Nanos::ZERO;
+    }
+    Nanos::from_secs_f64(bytes as f64 / bytes_per_sec)
+}
+
+/// Percentile over a slice of durations (nearest-rank, `p` in [0, 100]).
+///
+/// Returns [`Nanos::ZERO`] for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_cluster::time::{percentile, Nanos};
+/// let xs = vec![Nanos(10), Nanos(20), Nanos(30), Nanos(40)];
+/// assert_eq!(percentile(&xs, 50.0), Nanos(20));
+/// assert_eq!(percentile(&xs, 99.0), Nanos(40));
+/// ```
+pub fn percentile(samples: &[Nanos], p: f64) -> Nanos {
+    if samples.is_empty() {
+        return Nanos::ZERO;
+    }
+    let mut sorted: Vec<Nanos> = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Nanos::from_secs(2).0, 2_000_000_000);
+        assert_eq!(Nanos::from_millis(3).0, 3_000_000);
+        assert_eq!(Nanos::from_micros(5).0, 5_000);
+        assert_eq!(Nanos::from_secs_f64(0.5), Nanos(500_000_000));
+        assert_eq!(Nanos::from_secs_f64(-1.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Nanos(5) + Nanos(7), Nanos(12));
+        assert_eq!(Nanos(7) - Nanos(5), Nanos(2));
+        assert_eq!(Nanos(5).saturating_sub(Nanos(7)), Nanos::ZERO);
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+    }
+
+    #[test]
+    fn transfer_times() {
+        // 1 GiB at 1 GiB/s = 1s.
+        let gib = 1u64 << 30;
+        assert_eq!(transfer_time(gib, gib as f64), Nanos::from_secs(1));
+        assert_eq!(transfer_time(0, 1e9), Nanos::ZERO);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs: Vec<Nanos> = (1..=100).map(Nanos).collect();
+        assert_eq!(percentile(&xs, 50.0), Nanos(50));
+        assert_eq!(percentile(&xs, 99.0), Nanos(99));
+        assert_eq!(percentile(&xs, 100.0), Nanos(100));
+        assert_eq!(percentile(&xs, 0.0), Nanos(1));
+        assert_eq!(percentile(&[], 50.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Nanos(500).to_string(), "500ns");
+        assert_eq!(Nanos(2_500).to_string(), "2.500us");
+        assert_eq!(Nanos(2_500_000).to_string(), "2.500ms");
+        assert_eq!(Nanos::from_secs(3).to_string(), "3.000s");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the DES engine: conservation laws that must hold for
+//! any workload shape.
+
+use fusion_cluster::engine::{CostClass, Engine, ResourceKey, Workflow};
+use fusion_cluster::spec::ClusterSpec;
+use fusion_cluster::time::Nanos;
+use proptest::prelude::*;
+
+/// Builds a random layered workflow: steps in layer i depend on one random
+/// step of layer i-1.
+fn arb_workflow() -> impl Strategy<Value = Workflow> {
+    prop::collection::vec(
+        (0usize..3, 1u64..500, 0usize..4, any::<u32>()),
+        1..12,
+    )
+    .prop_map(|specs| {
+        let mut wf = Workflow::new();
+        let mut ids = Vec::new();
+        for (res, dur, class, dep_seed) in specs {
+            let resource = match res {
+                0 => ResourceKey::Disk(dur as usize % 3),
+                1 => ResourceKey::Cpu(dur as usize % 3),
+                _ => ResourceKey::NicTx(dur as usize % 3),
+            };
+            let class = match class {
+                0 => CostClass::DiskRead,
+                1 => CostClass::Processing,
+                2 => CostClass::Network,
+                _ => CostClass::Other,
+            };
+            let deps: Vec<_> = if ids.is_empty() {
+                vec![]
+            } else {
+                vec![ids[dep_seed as usize % ids.len()]]
+            };
+            let id = wf.step(resource, Nanos(dur), class, &deps);
+            ids.push(id);
+        }
+        wf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn breakdown_always_partitions_latency(
+        clients in prop::collection::vec(prop::collection::vec(arb_workflow(), 1..4), 1..5),
+    ) {
+        let report = Engine::new(ClusterSpec::with_nodes(3)).run_closed_loop(clients);
+        for s in &report.stats {
+            prop_assert_eq!(s.breakdown.total(), s.latency);
+            prop_assert!(s.finish >= s.start);
+        }
+    }
+
+    #[test]
+    fn makespan_bounds_everything(
+        clients in prop::collection::vec(prop::collection::vec(arb_workflow(), 1..4), 1..5),
+    ) {
+        let report = Engine::new(ClusterSpec::with_nodes(3)).run_closed_loop(clients);
+        for s in &report.stats {
+            prop_assert!(s.finish <= report.makespan);
+        }
+        // Work conservation: busy time on any single-server resource can't
+        // exceed the makespan.
+        for (k, busy) in &report.resource_busy {
+            if !matches!(k, ResourceKey::Cpu(_) | ResourceKey::ClientCpu) {
+                prop_assert!(
+                    *busy <= report.makespan,
+                    "resource {:?} busy {} > makespan {}", k, busy, report.makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latency_at_least_critical_work(wf in arb_workflow()) {
+        // A workflow alone in the cluster still takes nonzero time unless
+        // it is genuinely empty.
+        let report = Engine::new(ClusterSpec::with_nodes(3)).run_closed_loop(vec![vec![wf]]);
+        let s = &report.stats[0];
+        prop_assert!(s.latency.0 > 0 || s.breakdown.total() == Nanos::ZERO);
+    }
+
+    #[test]
+    fn closed_loop_client_is_sequential(
+        wfs in prop::collection::vec(arb_workflow(), 2..5),
+    ) {
+        let report = Engine::new(ClusterSpec::with_nodes(3)).run_closed_loop(vec![wfs]);
+        for pair in report.stats.windows(2) {
+            prop_assert!(pair[1].start >= pair[0].finish);
+        }
+    }
+}

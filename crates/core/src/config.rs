@@ -1,0 +1,215 @@
+//! Store configuration: erasure-code parameters, layout policy, pushdown
+//! policy, and the simulated cluster spec.
+
+use fusion_cluster::spec::ClusterSpec;
+use fusion_cluster::time::Nanos;
+
+/// Erasure-code parameters `(n, k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EcConfig {
+    /// Total blocks per stripe.
+    pub n: usize,
+    /// Data blocks per stripe.
+    pub k: usize,
+}
+
+impl EcConfig {
+    /// The paper's default: RS(9, 6).
+    pub const RS_9_6: EcConfig = EcConfig { n: 9, k: 6 };
+    /// The other common production code: RS(14, 10).
+    pub const RS_14_10: EcConfig = EcConfig { n: 14, k: 10 };
+
+    /// Parity blocks per stripe.
+    pub fn parity(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Optimal storage overhead `(n − k) / k`.
+    pub fn optimal_overhead(&self) -> f64 {
+        (self.n - self.k) as f64 / self.k as f64
+    }
+}
+
+impl std::fmt::Display for EcConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RS({}, {})", self.n, self.k)
+    }
+}
+
+/// How objects are cut into erasure-code data blocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LayoutPolicy {
+    /// Fixed-size blocks, format-oblivious — what MinIO/Ceph-class systems
+    /// do. Column chunks may split across nodes.
+    Fixed,
+    /// The padding approach of Adams et al.: fixed-size blocks, chunks
+    /// aligned to block boundaries by inserting physical padding.
+    Padding,
+    /// Fusion's file-format-aware coding: variable block sizes per stripe,
+    /// chunks never split, bin-packed to minimize overhead (Algorithm 1).
+    Fac,
+    /// Exact branch-and-bound solution of the stripe-construction ILP,
+    /// with a wall-clock deadline (stands in for the paper's Gurobi
+    /// oracle).
+    Oracle {
+        /// Give up and return the best incumbent after this much real time.
+        deadline: std::time::Duration,
+    },
+}
+
+impl LayoutPolicy {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayoutPolicy::Fixed => "fixed",
+            LayoutPolicy::Padding => "padding",
+            LayoutPolicy::Fac => "fac",
+            LayoutPolicy::Oracle { .. } => "oracle",
+        }
+    }
+}
+
+/// How queries execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Reassemble needed chunks at the coordinator, then evaluate locally
+    /// (the baseline, with footer-based chunk pruning).
+    Reassemble,
+    /// Push filters down always; push projections down only when the Cost
+    /// Equation `selectivity × compressibility < 1` holds (Fusion).
+    AdaptivePushdown,
+    /// Push everything down unconditionally (the ablation of §4.3).
+    AlwaysPushdown,
+}
+
+/// Complete store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Erasure code.
+    pub ec: EcConfig,
+    /// Block size for [`LayoutPolicy::Fixed`] / [`LayoutPolicy::Padding`]
+    /// (paper default: 100 MB).
+    pub block_size: u64,
+    /// Layout policy.
+    pub layout: LayoutPolicy,
+    /// Maximum additional storage overhead w.r.t. optimal that FAC may
+    /// incur before falling back to fixed blocks (paper default: 2%).
+    pub overhead_threshold: f64,
+    /// Query execution mode.
+    pub query_mode: QueryMode,
+    /// Simulated cluster.
+    pub cluster: ClusterSpec,
+    /// Seed for placement randomness.
+    pub seed: u64,
+    /// Extension (the paper's stated future work): push aggregates
+    /// (COUNT/SUM/AVG/MIN/MAX) down to storage nodes for aggregate-only
+    /// queries, so only tiny partial results cross the network.
+    pub aggregate_pushdown: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            ec: EcConfig::RS_9_6,
+            block_size: 100 << 20,
+            layout: LayoutPolicy::Fac,
+            overhead_threshold: 0.02,
+            query_mode: QueryMode::AdaptivePushdown,
+            cluster: ClusterSpec::default(),
+            seed: 0xF051_0A11,
+            aggregate_pushdown: false,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// The Fusion configuration used throughout the paper's evaluation.
+    pub fn fusion() -> StoreConfig {
+        StoreConfig::default()
+    }
+
+    /// The baseline configuration: fixed blocks + coordinator reassembly
+    /// (representative of MinIO / Ceph).
+    pub fn baseline() -> StoreConfig {
+        StoreConfig {
+            layout: LayoutPolicy::Fixed,
+            query_mode: QueryMode::Reassemble,
+            ..StoreConfig::default()
+        }
+    }
+
+    /// Overrides the placement seed (placement randomness is the only
+    /// nondeterminism in the store).
+    pub fn with_seed(mut self, seed: u64) -> StoreConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the erasure code.
+    pub fn with_ec(mut self, ec: EcConfig) -> StoreConfig {
+        self.ec = ec;
+        self
+    }
+
+    /// Overrides the fixed/padding block size.
+    pub fn with_block_size(mut self, bytes: u64) -> StoreConfig {
+        self.block_size = bytes;
+        self
+    }
+
+    /// Enables aggregate pushdown (the paper's future-work extension).
+    pub fn with_aggregate_pushdown(mut self, on: bool) -> StoreConfig {
+        self.aggregate_pushdown = on;
+        self
+    }
+
+    /// Fixed per-query coordinator overhead from the cost model.
+    pub fn query_overhead(&self) -> Nanos {
+        self.cluster.cost.query_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ec_math() {
+        assert_eq!(EcConfig::RS_9_6.parity(), 3);
+        assert_eq!(EcConfig::RS_9_6.optimal_overhead(), 0.5);
+        assert_eq!(EcConfig::RS_14_10.optimal_overhead(), 0.4);
+        assert_eq!(EcConfig::RS_9_6.to_string(), "RS(9, 6)");
+    }
+
+    #[test]
+    fn presets() {
+        let f = StoreConfig::fusion();
+        assert_eq!(f.layout, LayoutPolicy::Fac);
+        assert_eq!(f.query_mode, QueryMode::AdaptivePushdown);
+        let b = StoreConfig::baseline();
+        assert_eq!(b.layout, LayoutPolicy::Fixed);
+        assert_eq!(b.query_mode, QueryMode::Reassemble);
+        assert_eq!(b.block_size, 100 << 20);
+        assert!((b.overhead_threshold - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders() {
+        let c = StoreConfig::default()
+            .with_seed(7)
+            .with_ec(EcConfig::RS_14_10)
+            .with_block_size(1 << 20);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.ec, EcConfig::RS_14_10);
+        assert_eq!(c.block_size, 1 << 20);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(LayoutPolicy::Fixed.name(), "fixed");
+        assert_eq!(
+            LayoutPolicy::Oracle { deadline: std::time::Duration::from_secs(1) }.name(),
+            "oracle"
+        );
+    }
+}

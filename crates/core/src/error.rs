@@ -1,0 +1,114 @@
+//! Unified error type for the Fusion store.
+
+use fusion_cluster::store::ClusterError;
+use fusion_ec::rs::{CodeParamsError, ReconstructError};
+use fusion_format::error::FormatError;
+use fusion_sql::error::SqlError;
+
+/// Errors returned by [`crate::store::Store`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// No object with that name.
+    ObjectNotFound(String),
+    /// An object with that name already exists (updates are fresh inserts
+    /// under a new name, per the paper).
+    ObjectExists(String),
+    /// The request addressed a non-analytics object with an analytics
+    /// operation.
+    NotAnalytics(String),
+    /// Problems in the columnar file itself.
+    Format(FormatError),
+    /// SQL frontend failure.
+    Sql(SqlError),
+    /// Cluster-level failure (node down, block missing).
+    Cluster(ClusterError),
+    /// Erasure-code configuration problem.
+    Code(CodeParamsError),
+    /// Data is unrecoverable (more failures than parity).
+    Unrecoverable(ReconstructError),
+    /// Ranged read outside the object.
+    OutOfRange {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Actual object size.
+        size: u64,
+    },
+    /// Anything else.
+    Internal(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::ObjectNotFound(n) => write!(f, "object not found: {n}"),
+            StoreError::ObjectExists(n) => write!(f, "object already exists: {n}"),
+            StoreError::NotAnalytics(n) => {
+                write!(f, "object {n} is not an analytics file")
+            }
+            StoreError::Format(e) => write!(f, "format error: {e}"),
+            StoreError::Sql(e) => write!(f, "sql error: {e}"),
+            StoreError::Cluster(e) => write!(f, "cluster error: {e}"),
+            StoreError::Code(e) => write!(f, "erasure code error: {e}"),
+            StoreError::Unrecoverable(e) => write!(f, "unrecoverable data: {e}"),
+            StoreError::OutOfRange { offset, len, size } => write!(
+                f,
+                "range {offset}+{len} outside object of {size} bytes"
+            ),
+            StoreError::Internal(why) => write!(f, "internal error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<FormatError> for StoreError {
+    fn from(e: FormatError) -> Self {
+        StoreError::Format(e)
+    }
+}
+
+impl From<SqlError> for StoreError {
+    fn from(e: SqlError) -> Self {
+        StoreError::Sql(e)
+    }
+}
+
+impl From<ClusterError> for StoreError {
+    fn from(e: ClusterError) -> Self {
+        StoreError::Cluster(e)
+    }
+}
+
+impl From<CodeParamsError> for StoreError {
+    fn from(e: CodeParamsError) -> Self {
+        StoreError::Code(e)
+    }
+}
+
+impl From<ReconstructError> for StoreError {
+    fn from(e: ReconstructError) -> Self {
+        StoreError::Unrecoverable(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: StoreError = FormatError::BadMagic.into();
+        assert!(e.to_string().contains("format error"));
+        let e: StoreError = SqlError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("sql error"));
+        let e: StoreError = ClusterError::NodeDown(3).into();
+        assert!(e.to_string().contains("node 3"));
+        let e = StoreError::OutOfRange { offset: 10, len: 5, size: 12 };
+        assert!(e.to_string().contains("10+5"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Format-oblivious fixed-size blocks — the layout used by production
+//! systems like MinIO and Ceph, and the baseline everywhere in the paper.
+//!
+//! The object is treated as a blob of bytes and cut every `block_size`
+//! bytes; `k` consecutive blocks form a stripe. Column chunks that cross a
+//! cut point end up **split across storage nodes**, which is the paper's
+//! core motivating observation (Figures 4a, 5 and 12).
+
+use super::{Bin, Layout, PackItem, Piece, Stripe};
+
+/// Packs `object_len` bytes into fixed `block_size` blocks.
+///
+/// `items` (may be empty for non-analytics blobs) is used only to tag the
+/// produced pieces with chunk ordinals, so the split statistics and the
+/// location map know which chunk each fragment belongs to. Items must tile
+/// the object when provided.
+///
+/// # Panics
+///
+/// Panics if `block_size == 0` or `k == 0`.
+pub fn pack(object_len: u64, block_size: u64, k: usize, items: &[PackItem]) -> Layout {
+    assert!(block_size > 0, "block size must be positive");
+    assert!(k > 0, "k must be positive");
+
+    let mut bins: Vec<Bin> = Vec::new();
+    let mut start = 0u64;
+    while start < object_len {
+        let end = (start + block_size).min(object_len);
+        bins.push(Bin {
+            pieces: intersect(start, end, items),
+            physical_pad: 0,
+        });
+        start = end;
+    }
+    if bins.is_empty() {
+        bins.push(Bin::default());
+    }
+
+    // Group k bins per stripe, padding the final stripe with empty bins.
+    let mut stripes = Vec::new();
+    for group in bins.chunks(k) {
+        let mut bins = group.to_vec();
+        bins.resize(k, Bin::default());
+        stripes.push(Stripe { bins });
+    }
+    Layout { stripes }
+}
+
+/// Splits `[start, end)` into pieces along item boundaries so each piece
+/// carries at most one chunk tag.
+fn intersect(start: u64, end: u64, items: &[PackItem]) -> Vec<Piece> {
+    if items.is_empty() {
+        return vec![Piece { start, end, chunk: None }];
+    }
+    let mut out = Vec::new();
+    let mut pos = start;
+    // Items are sorted by offset (file order); find overlaps.
+    for it in items {
+        if it.end <= pos || it.start >= end {
+            continue;
+        }
+        let s = pos.max(it.start);
+        let e = end.min(it.end);
+        if s > pos {
+            out.push(Piece { start: pos, end: s, chunk: None });
+        }
+        out.push(Piece { start: s, end: e, chunk: Some(it.chunk) });
+        pos = e;
+        if pos >= end {
+            break;
+        }
+    }
+    if pos < end {
+        out.push(Piece { start: pos, end, chunk: None });
+    }
+    out
+}
+
+/// Counts how many of `items` are split across more than one bin of
+/// `layout` — the y-axis of the paper's Figure 4a.
+pub fn count_split_chunks(layout: &Layout, items: &[PackItem]) -> usize {
+    let mut bins_of: std::collections::HashMap<usize, std::collections::HashSet<(usize, usize)>> =
+        std::collections::HashMap::new();
+    for (si, s) in layout.stripes.iter().enumerate() {
+        for (bi, b) in s.bins.iter().enumerate() {
+            for p in &b.pieces {
+                if let Some(c) = p.chunk {
+                    bins_of.entry(c).or_default().insert((si, bi));
+                }
+            }
+        }
+    }
+    items
+        .iter()
+        .filter(|it| bins_of.get(&it.chunk).is_some_and(|s| s.len() > 1))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EcConfig;
+
+    fn tile(sizes: &[u64]) -> Vec<PackItem> {
+        let mut items = Vec::new();
+        let mut pos = 0;
+        for (i, &s) in sizes.iter().enumerate() {
+            items.push(PackItem { chunk: i, start: pos, end: pos + s });
+            pos += s;
+        }
+        items
+    }
+
+    #[test]
+    fn blocks_tile_object() {
+        let layout = pack(1000, 256, 3, &[]);
+        layout.assert_valid(1000, 3, false);
+        // 4 blocks -> 2 stripes (3 + 1-with-2-empty).
+        assert_eq!(layout.stripes.len(), 2);
+        assert_eq!(layout.stripes[0].block_size(), 256);
+        assert_eq!(layout.stripes[1].bins[0].data_len(), 1000 - 3 * 256);
+        assert_eq!(layout.stripes[1].bins[1].data_len(), 0);
+    }
+
+    #[test]
+    fn chunk_tags_follow_boundaries() {
+        // Chunks of 100 bytes; blocks of 150: chunk 0 fits in block 0,
+        // chunk 1 splits.
+        let items = tile(&[100, 100, 100]);
+        let layout = pack(300, 150, 2, &items);
+        layout.assert_valid(300, 2, false);
+        assert_eq!(count_split_chunks(&layout, &items), 1);
+        // Block 0 holds all of chunk 0 and half of chunk 1.
+        let b0 = &layout.stripes[0].bins[0];
+        assert_eq!(b0.pieces.len(), 2);
+        assert_eq!(b0.pieces[0].chunk, Some(0));
+        assert_eq!(b0.pieces[1], Piece { start: 100, end: 150, chunk: Some(1) });
+    }
+
+    #[test]
+    fn small_block_splits_everything() {
+        let items = tile(&[100, 100, 100, 100]);
+        let layout = pack(400, 64, 6, &items);
+        // Every 100-byte chunk crosses a 64-byte boundary.
+        assert_eq!(count_split_chunks(&layout, &items), 4);
+    }
+
+    #[test]
+    fn huge_block_splits_nothing() {
+        let items = tile(&[100, 100, 100, 100]);
+        let layout = pack(400, 1 << 20, 6, &items);
+        assert_eq!(count_split_chunks(&layout, &items), 0);
+        assert_eq!(layout.stripes.len(), 1);
+    }
+
+    #[test]
+    fn near_optimal_overhead() {
+        // Fixed blocks are the storage-optimal reference when the object
+        // divides evenly.
+        let layout = pack(1200, 100, 6, &[]);
+        let ec = EcConfig { n: 9, k: 6 };
+        assert!(layout.overhead_vs_optimal(ec).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_object() {
+        let layout = pack(0, 100, 6, &[]);
+        assert_eq!(layout.stripes.len(), 1);
+        assert_eq!(layout.data_len(), 0);
+        layout.assert_valid(0, 6, false);
+    }
+}

@@ -1,0 +1,164 @@
+//! The padding baseline of Adams et al. (HotStorage '21): keep fixed-size
+//! erasure-code blocks, but insert physical zero padding into the object so
+//! that column chunks align with block boundaries.
+//!
+//! If placing a chunk in the current block would split it, the remainder of
+//! the block is filled with padding and the chunk starts the next block.
+//! Chunks larger than a block unavoidably span consecutive blocks. The
+//! padding is *stored*, which is what makes this approach expensive
+//! (paper Figure 4d: up to >100% extra storage, Figure 16b: up to 83.8%).
+
+use super::{Bin, Layout, PackItem, Piece, Stripe};
+
+/// Result of padding-based packing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaddingPack {
+    /// The produced layout (physical padding recorded per bin).
+    pub layout: Layout,
+    /// Total padding bytes inserted.
+    pub pad_bytes: u64,
+}
+
+/// Packs `items` (in object order) into `block_size` blocks with alignment
+/// padding; `k` blocks per stripe.
+///
+/// # Panics
+///
+/// Panics if `block_size == 0` or `k == 0`, or items are empty.
+pub fn pack(block_size: u64, k: usize, items: &[PackItem]) -> PaddingPack {
+    assert!(block_size > 0, "block size must be positive");
+    assert!(k > 0, "k must be positive");
+    assert!(!items.is_empty(), "padding pack needs items");
+
+    let mut bins: Vec<Bin> = vec![Bin::default()];
+    let mut pad_bytes = 0u64;
+
+    for it in items {
+        if it.is_empty() {
+            continue;
+        }
+        let cur = bins.last_mut().expect("at least one bin");
+        let used = cur.data_len() + cur.physical_pad;
+        let room = block_size - used;
+        if it.len() <= room {
+            cur.pieces.push(it.piece());
+            continue;
+        }
+        // Chunk doesn't fit in the remaining space.
+        if it.len() <= block_size {
+            // Pad out the current block and relocate the chunk.
+            if used > 0 {
+                cur.physical_pad += room;
+                pad_bytes += room;
+            }
+            bins.push(Bin {
+                pieces: vec![it.piece()],
+                physical_pad: 0,
+            });
+        } else {
+            // Oversized chunk: it must span blocks. Start it in a fresh
+            // block to keep the split count minimal.
+            if used > 0 {
+                cur.physical_pad += room;
+                pad_bytes += room;
+                bins.push(Bin::default());
+            }
+            let mut start = it.start;
+            while start < it.end {
+                let end = (start + block_size).min(it.end);
+                let cur = bins.last_mut().expect("fresh bin exists");
+                cur.pieces.push(Piece {
+                    start,
+                    end,
+                    chunk: Some(it.chunk),
+                });
+                start = end;
+                if start < it.end {
+                    bins.push(Bin::default());
+                }
+            }
+        }
+    }
+
+    // Drop a trailing empty bin left by an exactly-full block.
+    if bins.last().is_some_and(|b| b.stored_len() == 0) && bins.len() > 1 {
+        bins.pop();
+    }
+
+    let mut stripes = Vec::new();
+    for group in bins.chunks(k) {
+        let mut bins = group.to_vec();
+        bins.resize(k, Bin::default());
+        stripes.push(Stripe { bins });
+    }
+    PaddingPack {
+        layout: Layout { stripes },
+        pad_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EcConfig;
+    use crate::layout::fixed::count_split_chunks;
+
+    fn tile(sizes: &[u64]) -> Vec<PackItem> {
+        let mut items = Vec::new();
+        let mut pos = 0;
+        for (i, &s) in sizes.iter().enumerate() {
+            items.push(PackItem { chunk: i, start: pos, end: pos + s });
+            pos += s;
+        }
+        items
+    }
+
+    #[test]
+    fn aligns_chunks_with_padding() {
+        // Blocks of 100; chunks 60, 60: second must relocate, 40 pad.
+        let items = tile(&[60, 60]);
+        let p = pack(100, 2, &items);
+        assert_eq!(p.pad_bytes, 40);
+        assert_eq!(count_split_chunks(&p.layout, &items), 0);
+        assert_eq!(p.layout.stripes[0].bins[0].physical_pad, 40);
+        assert_eq!(p.layout.stripes[0].bins[0].stored_len(), 100);
+    }
+
+    #[test]
+    fn no_padding_when_chunks_fit_exactly() {
+        let items = tile(&[50, 50, 100]);
+        let p = pack(100, 2, &items);
+        assert_eq!(p.pad_bytes, 0);
+        assert_eq!(count_split_chunks(&p.layout, &items), 0);
+    }
+
+    #[test]
+    fn oversized_chunk_spans_blocks() {
+        let items = tile(&[30, 250, 30]);
+        let p = pack(100, 2, &items);
+        // The 250-byte chunk occupies 3 blocks (100+100+50); chunk 0's
+        // block is padded by 70.
+        assert_eq!(count_split_chunks(&p.layout, &items), 1);
+        assert_eq!(p.pad_bytes, 70);
+        // Data coverage is complete despite padding.
+        let data: u64 = p.layout.data_len();
+        assert_eq!(data, 310);
+    }
+
+    #[test]
+    fn worst_case_overhead_is_large() {
+        // Chunks of size B/2 + 1 waste nearly half of every block.
+        let items = tile(&[51, 51, 51, 51, 51, 51]);
+        let p = pack(100, 6, &items);
+        let ec = EcConfig { n: 9, k: 6 };
+        let overhead = p.layout.overhead_vs_optimal(ec);
+        assert!(overhead > 0.5, "expected large overhead, got {overhead}");
+    }
+
+    #[test]
+    fn coverage_is_exact() {
+        let items = tile(&[10, 90, 40, 170, 5, 5, 100]);
+        let p = pack(100, 3, &items);
+        p.layout.assert_valid(420, 3, false);
+    }
+}

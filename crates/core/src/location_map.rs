@@ -1,0 +1,113 @@
+//! The chunk location map (paper §5, "Metadata Management").
+//!
+//! Fusion keeps one map per object, tracking which storage node hosts each
+//! column chunk. Every entry is 8 bytes — 4 for the chunk's byte offset
+//! within the object, 4 for the storage node id — and the map is
+//! replicated to `k + 1` nodes so it survives the same number of failures
+//! as RS(n, k) data.
+
+use crate::object::ObjectMeta;
+
+/// One 8-byte entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocationEntry {
+    /// Byte offset of the chunk within the object (u32, as in the paper).
+    pub chunk_offset: u32,
+    /// Node id hosting the chunk (first fragment, for split chunks).
+    pub node: u32,
+}
+
+/// The per-object chunk location map.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LocationMap {
+    /// Entries ordered by chunk ordinal.
+    pub entries: Vec<LocationEntry>,
+}
+
+impl LocationMap {
+    /// Builds the map from object metadata (one entry per chunk).
+    pub fn build(meta: &ObjectMeta) -> LocationMap {
+        let entries = (0..meta.num_chunks())
+            .map(|c| {
+                let frags = meta.chunk_fragments(c);
+                let first = frags.first();
+                LocationEntry {
+                    chunk_offset: first.map_or(0, |f| f.object_offset as u32),
+                    node: first.map_or(0, |f| f.node as u32),
+                }
+            })
+            .collect();
+        LocationMap { entries }
+    }
+
+    /// Serialized size in bytes (8 per entry).
+    pub fn byte_size(&self) -> u64 {
+        self.entries.len() as u64 * 8
+    }
+
+    /// Serializes to the 8-bytes-per-entry wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.entries.len() * 8);
+        for e in &self.entries {
+            out.extend_from_slice(&e.chunk_offset.to_le_bytes());
+            out.extend_from_slice(&e.node.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the wire format. Returns `None` on a length that is not a
+    /// multiple of 8.
+    pub fn from_bytes(bytes: &[u8]) -> Option<LocationMap> {
+        if !bytes.len().is_multiple_of(8) {
+            return None;
+        }
+        let entries = bytes
+            .chunks_exact(8)
+            .map(|c| LocationEntry {
+                chunk_offset: u32::from_le_bytes(c[..4].try_into().expect("4 bytes")),
+                node: u32::from_le_bytes(c[4..].try_into().expect("4 bytes")),
+            })
+            .collect();
+        Some(LocationMap { entries })
+    }
+
+    /// The node hosting chunk ordinal `c`, if known.
+    pub fn node_of(&self, c: usize) -> Option<usize> {
+        self.entries.get(c).map(|e| e.node as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let map = LocationMap {
+            entries: vec![
+                LocationEntry { chunk_offset: 0, node: 3 },
+                LocationEntry { chunk_offset: 4096, node: 7 },
+                LocationEntry { chunk_offset: 123_456, node: 0 },
+            ],
+        };
+        let bytes = map.to_bytes();
+        assert_eq!(bytes.len() as u64, map.byte_size());
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(LocationMap::from_bytes(&bytes), Some(map));
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        assert_eq!(LocationMap::from_bytes(&[0u8; 7]), None);
+        assert!(LocationMap::from_bytes(&[]).is_some());
+    }
+
+    #[test]
+    fn node_lookup() {
+        let map = LocationMap {
+            entries: vec![LocationEntry { chunk_offset: 0, node: 5 }],
+        };
+        assert_eq!(map.node_of(0), Some(5));
+        assert_eq!(map.node_of(1), None);
+    }
+}

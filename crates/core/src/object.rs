@@ -1,0 +1,316 @@
+//! Per-object metadata: layout, stripe placement, and the byte-range /
+//! chunk-location indexes used by Get and Query.
+
+use crate::layout::Layout;
+use fusion_cluster::store::BlockId;
+use fusion_format::footer::FileMeta;
+
+/// Where one stripe's blocks live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripePlacement {
+    /// One node per block: `k` data nodes then `n − k` parity nodes.
+    pub nodes: Vec<usize>,
+    /// Block ids, parallel to `nodes`.
+    pub block_ids: Vec<BlockId>,
+    /// Stripe width: the size of the largest (stored) data block, which is
+    /// also every parity block's size.
+    pub width: u64,
+}
+
+/// One contiguous object byte range inside one data block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtentLoc {
+    /// Object offset where the extent starts.
+    pub start: u64,
+    /// Object offset where it ends (exclusive).
+    pub end: u64,
+    /// Stripe index.
+    pub stripe: usize,
+    /// Bin (data block) index within the stripe.
+    pub bin: usize,
+    /// Byte offset within the stored data block.
+    pub offset_in_block: u64,
+    /// Chunk ordinal, when the extent carries chunk data.
+    pub chunk: Option<usize>,
+}
+
+impl ExtentLoc {
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when empty (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A fragment of a column chunk as physically stored: the unit the
+/// baseline must fetch-and-reassemble, and that Fusion guarantees is whole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkFragment {
+    /// Node holding the fragment.
+    pub node: usize,
+    /// Block holding the fragment.
+    pub block: BlockId,
+    /// Offset within the block.
+    pub offset_in_block: u64,
+    /// Fragment length.
+    pub len: u64,
+    /// Object offset of the fragment start.
+    pub object_offset: u64,
+}
+
+/// Complete metadata for one stored object.
+#[derive(Debug, Clone)]
+pub struct ObjectMeta {
+    /// Object name.
+    pub name: String,
+    /// Object size in bytes.
+    pub size: u64,
+    /// The stripe layout.
+    pub layout: Layout,
+    /// Placement of each stripe.
+    pub placement: Vec<StripePlacement>,
+    /// Parsed analytics footer, when the object is an analytics file.
+    pub file_meta: Option<FileMeta>,
+    /// Which layout policy actually produced the layout (FAC may fall back
+    /// to fixed when over the overhead threshold).
+    pub policy_used: &'static str,
+    /// Additional storage overhead vs optimal, as a fraction.
+    pub overhead_vs_optimal: f64,
+    /// Sorted byte-range index.
+    extents: Vec<ExtentLoc>,
+}
+
+impl ObjectMeta {
+    /// Builds the metadata, deriving the extent index from the layout.
+    pub fn new(
+        name: String,
+        size: u64,
+        layout: Layout,
+        placement: Vec<StripePlacement>,
+        file_meta: Option<FileMeta>,
+        policy_used: &'static str,
+        overhead_vs_optimal: f64,
+    ) -> ObjectMeta {
+        let mut extents = Vec::new();
+        for (si, s) in layout.stripes.iter().enumerate() {
+            for (bi, b) in s.bins.iter().enumerate() {
+                let mut off = 0u64;
+                for p in &b.pieces {
+                    extents.push(ExtentLoc {
+                        start: p.start,
+                        end: p.end,
+                        stripe: si,
+                        bin: bi,
+                        offset_in_block: off,
+                        chunk: p.chunk,
+                    });
+                    off += p.len();
+                }
+            }
+        }
+        extents.sort_by_key(|e| e.start);
+        ObjectMeta {
+            name,
+            size,
+            layout,
+            placement,
+            file_meta,
+            policy_used,
+            overhead_vs_optimal,
+            extents,
+        }
+    }
+
+    /// The extent index (sorted by object offset).
+    pub fn extents(&self) -> &[ExtentLoc] {
+        &self.extents
+    }
+
+    /// Number of column chunks (0 for blobs).
+    pub fn num_chunks(&self) -> usize {
+        self.file_meta.as_ref().map_or(0, FileMeta::num_chunks)
+    }
+
+    /// Maps `(row_group, column)` to the chunk ordinal used by the layout
+    /// (file order: row group outer, column inner).
+    pub fn chunk_ordinal(&self, row_group: usize, column: usize) -> Option<usize> {
+        let meta = self.file_meta.as_ref()?;
+        let cols = meta.schema.len();
+        if row_group >= meta.row_groups.len() || column >= cols {
+            return None;
+        }
+        Some(row_group * cols + column)
+    }
+
+    /// Node that hosts `(stripe, bin)`'s data block.
+    pub fn node_of(&self, stripe: usize, bin: usize) -> usize {
+        self.placement[stripe].nodes[bin]
+    }
+
+    /// Block id of `(stripe, bin)`'s data block.
+    pub fn block_of(&self, stripe: usize, bin: usize) -> BlockId {
+        self.placement[stripe].block_ids[bin]
+    }
+
+    /// The physical fragments of a chunk, in object order. A FAC layout
+    /// returns exactly one fragment; a fixed layout may return several on
+    /// different nodes (the paper's Figure 12).
+    pub fn chunk_fragments(&self, chunk: usize) -> Vec<ChunkFragment> {
+        let mut frags: Vec<ChunkFragment> = self
+            .extents
+            .iter()
+            .filter(|e| e.chunk == Some(chunk))
+            .map(|e| ChunkFragment {
+                node: self.node_of(e.stripe, e.bin),
+                block: self.block_of(e.stripe, e.bin),
+                offset_in_block: e.offset_in_block,
+                len: e.len(),
+                object_offset: e.start,
+            })
+            .collect();
+        frags.sort_by_key(|f| f.object_offset);
+        frags
+    }
+
+    /// Distinct nodes holding any fragment of `chunk`.
+    pub fn chunk_nodes(&self, chunk: usize) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self.chunk_fragments(chunk).iter().map(|f| f.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Locates the physical pieces covering object range
+    /// `[offset, offset + len)`, clipped to the object.
+    pub fn locate(&self, offset: u64, len: u64) -> Vec<ChunkFragment> {
+        let end = (offset + len).min(self.size);
+        let mut out = Vec::new();
+        for e in &self.extents {
+            if e.end <= offset || e.start >= end {
+                continue;
+            }
+            let s = offset.max(e.start);
+            let t = end.min(e.end);
+            out.push(ChunkFragment {
+                node: self.node_of(e.stripe, e.bin),
+                block: self.block_of(e.stripe, e.bin),
+                offset_in_block: e.offset_in_block + (s - e.start),
+                len: t - s,
+                object_offset: s,
+            });
+        }
+        out.sort_by_key(|f| f.object_offset);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{fac, fixed, PackItem};
+
+    fn tile(sizes: &[u64]) -> Vec<PackItem> {
+        let mut items = Vec::new();
+        let mut pos = 0;
+        for (i, &s) in sizes.iter().enumerate() {
+            items.push(PackItem { chunk: i, start: pos, end: pos + s });
+            pos += s;
+        }
+        items
+    }
+
+    fn placement_for(layout: &Layout, n: usize) -> Vec<StripePlacement> {
+        let mut next = 0u64;
+        layout
+            .stripes
+            .iter()
+            .map(|s| {
+                let nodes: Vec<usize> = (0..n).collect();
+                let block_ids: Vec<BlockId> = (0..n)
+                    .map(|_| {
+                        next += 1;
+                        BlockId(next)
+                    })
+                    .collect();
+                StripePlacement {
+                    nodes,
+                    block_ids,
+                    width: s.block_size(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fac_chunks_have_single_fragment() {
+        let items = tile(&[500, 30, 470, 20, 10, 250, 250, 90]);
+        let layout = fac::pack(3, &items);
+        let placement = placement_for(&layout, 5);
+        let meta = ObjectMeta::new("o".into(), 1620, layout, placement, None, "fac", 0.0);
+        for c in 0..8 {
+            let frags = meta.chunk_fragments(c);
+            assert_eq!(frags.len(), 1, "chunk {c} fragmented under FAC");
+            assert_eq!(meta.chunk_nodes(c).len(), 1);
+        }
+    }
+
+    #[test]
+    fn fixed_chunks_fragment() {
+        let items = tile(&[100, 100, 100]);
+        let layout = fixed::pack(300, 80, 2, &items);
+        let placement = placement_for(&layout, 4);
+        let meta = ObjectMeta::new("o".into(), 300, layout, placement, None, "fixed", 0.0);
+        // Chunk 1 spans blocks 1 and 2.
+        assert!(meta.chunk_fragments(1).len() > 1);
+        // Fragments cover the full chunk.
+        let total: u64 = meta.chunk_fragments(1).iter().map(|f| f.len).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn locate_ranges() {
+        let items = tile(&[100, 100, 100]);
+        let layout = fixed::pack(300, 80, 2, &items);
+        let placement = placement_for(&layout, 4);
+        let meta = ObjectMeta::new("o".into(), 300, layout, placement, None, "fixed", 0.0);
+        // Range crossing two blocks: 70..90 spans blocks 0 and 1.
+        let frags = meta.locate(70, 20);
+        let total: u64 = frags.iter().map(|f| f.len).sum();
+        assert_eq!(total, 20);
+        assert!(frags.len() >= 2);
+        assert_eq!(frags[0].object_offset, 70);
+        // Clipped at object end.
+        let frags = meta.locate(290, 100);
+        assert_eq!(frags.iter().map(|f| f.len).sum::<u64>(), 10);
+        // Fully out of range.
+        assert!(meta.locate(500, 10).is_empty());
+    }
+
+    #[test]
+    fn offsets_within_blocks_accumulate() {
+        // Two chunks in the same bin: second must start after the first.
+        let items = tile(&[50, 30]);
+        let layout = crate::layout::fac::pack(1, &items);
+        let placement = placement_for(&layout, 2);
+        let meta = ObjectMeta::new("o".into(), 80, layout, placement, None, "fac", 0.0);
+        let f0 = meta.chunk_fragments(0)[0];
+        let f1 = meta.chunk_fragments(1)[0];
+        if f0.block == f1.block {
+            assert_ne!(f0.offset_in_block, f1.offset_in_block);
+        }
+    }
+
+    #[test]
+    fn chunk_ordinals_need_file_meta() {
+        let items = tile(&[10]);
+        let layout = fac::pack(1, &items);
+        let placement = placement_for(&layout, 1);
+        let meta = ObjectMeta::new("o".into(), 10, layout, placement, None, "fac", 0.0);
+        assert_eq!(meta.chunk_ordinal(0, 0), None);
+        assert_eq!(meta.num_chunks(), 0);
+    }
+}

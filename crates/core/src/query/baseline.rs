@@ -1,0 +1,163 @@
+//! The baseline executor: fetch-and-reassemble at the coordinator
+//! (representative of MinIO / Ceph with S3-Select-style evaluation at one
+//! node, paper §6 "Baseline").
+//!
+//! The baseline is granted the same footer optimization the paper gives
+//! it: only chunks of columns the query touches are fetched, and row
+//! groups whose min/max statistics prove no match are skipped. But because
+//! its fixed-block layout splits chunks across nodes, every needed chunk
+//! is pulled — fragment by fragment, in compressed form — to the
+//! coordinator, where all decoding and evaluation happens.
+
+use super::{
+    assemble_result, result_wire_bytes, row_group_may_match, Ctx, Loc, QueryOutput,
+};
+use crate::error::{Result, StoreError};
+use crate::query::fusion::concat_parts;
+use crate::store::Store;
+use fusion_cluster::engine::{CostClass, StepId};
+use fusion_format::chunk::decode_column_chunk;
+use fusion_format::value::ColumnData;
+use fusion_sql::bitmap::Bitmap;
+use fusion_sql::eval::{combine, eval_filter};
+use fusion_sql::plan::QueryPlan;
+
+/// Executes `plan` by reassembling all needed chunks at the coordinator.
+pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOutput> {
+    let meta = store.object(object)?;
+    let fm = meta
+        .file_meta
+        .as_ref()
+        .ok_or_else(|| StoreError::NotAnalytics(object.to_string()))?;
+    let coord = store.coordinator_of(object);
+    let cost = &store.config().cluster.cost;
+    let mut ctx = Ctx::new(cost);
+    let mut pruned = 0usize;
+
+    let arrival = ctx.rpc(Loc::Client, Loc::Node(coord), &[]);
+    let plan_step = ctx.cpu(Loc::Node(coord), cost.query_overhead, CostClass::Other, &arrival);
+
+    // Columns the query touches.
+    let mut needed: Vec<usize> = plan.filter_columns();
+    for &c in &plan.projections {
+        if !needed.contains(&c) {
+            needed.push(c);
+        }
+    }
+    needed.sort_unstable();
+
+    let num_rgs = fm.row_groups.len();
+    let mut rg_bitmaps: Vec<Bitmap> = Vec::with_capacity(num_rgs);
+    // Decoded chunks cache for this query: (rg, col) -> ColumnData.
+    let mut decoded: std::collections::HashMap<(usize, usize), ColumnData> =
+        std::collections::HashMap::new();
+    let mut eval_frontier: Vec<StepId> = vec![plan_step];
+
+    for rg in 0..num_rgs {
+        let rows = fm.row_groups[rg].row_count as usize;
+        if !row_group_may_match(plan.tree.as_ref(), &plan.filters, &fm.row_groups[rg]) {
+            pruned += needed.len();
+            rg_bitmaps.push(Bitmap::with_len(rows));
+            continue;
+        }
+        // Fetch every needed chunk of this row group to the coordinator.
+        let mut rg_arrived: Vec<StepId> = Vec::new();
+        let mut decode_cost = fusion_cluster::time::Nanos::ZERO;
+        for &col_idx in &needed {
+            let cm = fm.chunk(rg, col_idx)?;
+            let ty = fm.schema.fields()[col_idx].ty;
+            let ordinal = meta
+                .chunk_ordinal(rg, col_idx)
+                .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
+
+            // Data plane: reassemble + decode at the coordinator.
+            let chunk_bytes = store.chunk_bytes(object, ordinal)?;
+            let col = decode_column_chunk(&chunk_bytes, ty)?;
+            decoded.insert((rg, col_idx), col);
+
+            // Time plane: each fragment is read on its node and shipped to
+            // the coordinator in stored (compressed) form.
+            for f in meta.chunk_fragments(ordinal) {
+                let req = ctx.rpc(Loc::Node(coord), Loc::Node(f.node), &[plan_step]);
+                let read = ctx.disk(f.node, f.len, &req);
+                rg_arrived.extend(ctx.transfer(Loc::Node(f.node), Loc::Node(coord), f.len, &[read]));
+            }
+            decode_cost += cost.decode(cm.plain_size) + cost.eval(cm.value_count);
+        }
+        if rg_arrived.is_empty() {
+            rg_arrived.push(plan_step);
+        }
+        // Coordinator decodes and evaluates everything for this row group.
+        let eval =
+            ctx.cpu(Loc::Node(coord), decode_cost, CostClass::Processing, &rg_arrived);
+        eval_frontier.push(eval);
+
+        // Data plane: evaluate filters, combine.
+        let mut leaf_bitmaps = Vec::with_capacity(plan.filters.len());
+        for leaf in &plan.filters {
+            let col = decoded
+                .get(&(rg, leaf.column))
+                .expect("filter column fetched above");
+            leaf_bitmaps.push(eval_filter(leaf, col)?);
+        }
+        let rg_bitmap = match &plan.tree {
+            Some(tree) => combine(tree, &leaf_bitmaps)?,
+            None => Bitmap::ones_with_len(rows),
+        };
+        rg_bitmaps.push(rg_bitmap);
+    }
+
+    let total_rows: usize = fm.row_groups.iter().map(|g| g.row_count as usize).sum();
+    // Selectivity is measured before any LIMIT: it is the filter-stage
+    // statistic the Cost Equation reasons about.
+    let measured_matches: usize = rg_bitmaps.iter().map(Bitmap::count_ones).sum();
+    let selectivity = if total_rows == 0 {
+        0.0
+    } else {
+        measured_matches as f64 / total_rows as f64
+    };
+    super::apply_limit(plan, &mut rg_bitmaps);
+    let total_matches: usize = rg_bitmaps.iter().map(Bitmap::count_ones).sum();
+
+    // Project locally at the coordinator.
+    let mut projected: Vec<ColumnData> = Vec::with_capacity(plan.projections.len());
+    let mut project_bytes = 0u64;
+    for &col_idx in &plan.projections {
+        let ty = fm.schema.fields()[col_idx].ty;
+        let mut parts = Vec::new();
+        // `rg` also indexes the footer metadata, not just the bitmaps.
+        #[allow(clippy::needless_range_loop)]
+        for rg in 0..num_rgs {
+            let matches: Vec<usize> = rg_bitmaps[rg].ones().collect();
+            if matches.is_empty() {
+                continue;
+            }
+            let col = decoded
+                .get(&(rg, col_idx))
+                .expect("projection column fetched above");
+            let part = col.take(&matches);
+            project_bytes += part.plain_size() as u64;
+            parts.push(part);
+        }
+        projected.push(concat_parts(ty, parts));
+    }
+
+    let result = assemble_result(plan, &projected, total_matches)?;
+    let reply_bytes = result_wire_bytes(&result);
+    let assemble = ctx.cpu(
+        Loc::Node(coord),
+        cost.project(project_bytes + reply_bytes),
+        CostClass::Other,
+        &eval_frontier,
+    );
+    ctx.transfer(Loc::Node(coord), Loc::Client, reply_bytes, &[assemble]);
+
+    Ok(QueryOutput {
+        result,
+        selectivity,
+        workflow: ctx.wf,
+        net_bytes: ctx.net_bytes,
+        decisions: Vec::new(),
+        pruned_chunks: pruned,
+    })
+}

@@ -1,0 +1,493 @@
+//! Fusion's two-stage, fine-grained adaptive pushdown executor (paper
+//! §4.3 and §5).
+//!
+//! **Filter stage** — every filter comparison is dispatched to the node
+//! hosting the relevant column chunk (FAC guarantees the chunk is whole).
+//! The node reads the chunk, decodes it in situ, evaluates the predicate,
+//! and returns a Snappy-compressed bitmap. Chunks whose footer min/max
+//! statistics prove no match are skipped entirely.
+//!
+//! **Projection stage** — the coordinator, now knowing the exact
+//! selectivity, applies the Cost Equation per chunk:
+//! `selectivity × compressibility < 1` → push the projection down (the
+//! node sends only the selected values, uncompressed); otherwise fetch the
+//! compressed chunk and project locally at the coordinator.
+
+use super::{
+    assemble_result, result_wire_bytes, row_group_may_match, Ctx, Loc, ProjectionDecision,
+    QueryOutput, QueryResult,
+};
+use crate::error::{Result, StoreError};
+use crate::store::Store;
+use fusion_cluster::engine::{CostClass, StepId};
+use fusion_format::chunk::decode_column_chunk;
+use fusion_format::value::ColumnData;
+use fusion_sql::bitmap::Bitmap;
+use fusion_sql::eval::{combine, eval_filter, stats_may_match};
+use fusion_sql::plan::QueryPlan;
+
+/// Executes `plan` with pushdown. `adaptive == false` pushes every
+/// projection down unconditionally (the paper's always-on ablation).
+pub fn execute(
+    store: &Store,
+    object: &str,
+    plan: &QueryPlan,
+    adaptive: bool,
+) -> Result<QueryOutput> {
+    let meta = store.object(object)?;
+    let fm = meta
+        .file_meta
+        .as_ref()
+        .ok_or_else(|| StoreError::NotAnalytics(object.to_string()))?;
+    let coord = store.coordinator_of(object);
+    let cost = &store.config().cluster.cost;
+    let mut ctx = Ctx::new(cost);
+    let mut pruned = 0usize;
+
+    // Client issues the query.
+    let arrival = ctx.rpc(Loc::Client, Loc::Node(coord), &[]);
+    let plan_step = ctx.cpu(Loc::Node(coord), cost.query_overhead, CostClass::Other, &arrival);
+
+    let num_rgs = fm.row_groups.len();
+
+    // ---- Filter stage ----
+    let mut rg_bitmaps: Vec<Bitmap> = Vec::with_capacity(num_rgs);
+    let mut filter_frontier: Vec<StepId> = vec![plan_step];
+    let mut bitmap_wire_total = 0u64;
+    // Chunks already read + decoded on their node during the filter
+    // stage. The projection stage reuses them instead of re-reading, which
+    // is what makes Fusion's disk/processing time match the baseline's
+    // (paper Fig. 13c: "both systems spend approximately the same amount
+    // of time on disk read and chunk processing").
+    let mut decoded_on: std::collections::HashMap<usize, (usize, StepId)> =
+        std::collections::HashMap::new();
+
+    for rg in 0..num_rgs {
+        let rows = fm.row_groups[rg].row_count as usize;
+        let rg_alive = row_group_may_match(plan.tree.as_ref(), &plan.filters, &fm.row_groups[rg]);
+        let mut leaf_bitmaps: Vec<Bitmap> = Vec::with_capacity(plan.filters.len());
+        for leaf in &plan.filters {
+            let cm = fm.chunk(rg, leaf.column)?;
+            if !rg_alive || !stats_may_match(leaf, cm.min.as_ref(), cm.max.as_ref()) {
+                pruned += 1;
+                leaf_bitmaps.push(Bitmap::with_len(rows));
+                continue;
+            }
+            let ty = fm.schema.fields()[leaf.column].ty;
+            let ordinal = meta
+                .chunk_ordinal(rg, leaf.column)
+                .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
+            // Data plane: decode and evaluate for real.
+            let chunk_bytes = store.chunk_bytes(object, ordinal)?;
+            let col = decode_column_chunk(&chunk_bytes, ty)?;
+            let bm = eval_filter(leaf, &col)?;
+            let wire = fusion_snappy::compress(&bm.to_bytes());
+            bitmap_wire_total += wire.len() as u64;
+
+            // Time plane.
+            let frags = meta.chunk_fragments(ordinal);
+            if frags.len() == 1 {
+                let node = frags[0].node;
+                // Dispatch the sub-query, read, decode + evaluate in situ,
+                // return the compressed bitmap.
+                let req = ctx.rpc(Loc::Node(coord), Loc::Node(node), &[plan_step]);
+                let read = ctx.disk(node, cm.len, &req);
+                let eval = ctx.cpu(
+                    Loc::Node(node),
+                    cost.decode(cm.plain_size) + cost.eval(cm.value_count),
+                    CostClass::Processing,
+                    &[read],
+                );
+                let back = ctx.transfer(Loc::Node(node), Loc::Node(coord), wire.len() as u64, &[eval]);
+                filter_frontier.extend(back);
+                decoded_on.insert(ordinal, (node, eval));
+            } else {
+                // Split chunk (only when FAC fell back to fixed blocks):
+                // reassemble at the coordinator, evaluate there.
+                let mut arrived = Vec::new();
+                for f in &frags {
+                    let req = ctx.rpc(Loc::Node(coord), Loc::Node(f.node), &[plan_step]);
+                    let read = ctx.disk(f.node, f.len, &req);
+                    arrived.extend(ctx.transfer(
+                        Loc::Node(f.node),
+                        Loc::Node(coord),
+                        f.len,
+                        &[read],
+                    ));
+                }
+                let eval = ctx.cpu(
+                    Loc::Node(coord),
+                    cost.decode(cm.plain_size) + cost.eval(cm.value_count),
+                    CostClass::Processing,
+                    &arrived,
+                );
+                filter_frontier.push(eval);
+            }
+            leaf_bitmaps.push(bm);
+        }
+        let rg_bitmap = match &plan.tree {
+            Some(tree) => combine(tree, &leaf_bitmaps)?,
+            None => Bitmap::ones_with_len(rows),
+        };
+        rg_bitmaps.push(rg_bitmap);
+    }
+
+    // Coordinator consolidates all bitmaps (cheap CPU, but a real barrier).
+    let combine_step = ctx.cpu(
+        Loc::Node(coord),
+        cost.project(bitmap_wire_total + 1024),
+        CostClass::Other,
+        &filter_frontier,
+    );
+
+    let total_rows: usize = fm.row_groups.iter().map(|g| g.row_count as usize).sum();
+    // Selectivity is measured before any LIMIT: it is the filter-stage
+    // statistic the Cost Equation reasons about.
+    let measured_matches: usize = rg_bitmaps.iter().map(Bitmap::count_ones).sum();
+    let selectivity = if total_rows == 0 {
+        0.0
+    } else {
+        measured_matches as f64 / total_rows as f64
+    };
+    super::apply_limit(plan, &mut rg_bitmaps);
+    let total_matches: usize = rg_bitmaps.iter().map(Bitmap::count_ones).sum();
+
+    // ---- Aggregate pushdown (extension; paper future work) ----
+    // For aggregate-only queries the nodes can compute partial aggregates
+    // over their matched rows and ship back a handful of bytes instead of
+    // the selected values.
+    if store.config().aggregate_pushdown
+        && plan.aggregate_only()
+        && !plan.aggregates.is_empty()
+        && total_matches > 0
+    {
+        return aggregate_pushdown_stage(
+            store,
+            object,
+            plan,
+            AggStageInputs {
+                fm,
+                meta,
+                coord,
+                ctx,
+                combine_step,
+                rg_bitmaps: &rg_bitmaps,
+                decoded_on: &decoded_on,
+                selectivity,
+                total_matches,
+                pruned,
+            },
+        );
+    }
+
+    // ---- Projection stage ----
+    let mut projected: Vec<ColumnData> = Vec::with_capacity(plan.projections.len());
+    let mut decisions = Vec::new();
+    let mut proj_frontier: Vec<StepId> = vec![combine_step];
+
+    for (pos, &col_idx) in plan.projections.iter().enumerate() {
+        let _ = pos;
+        let ty = fm.schema.fields()[col_idx].ty;
+        let mut parts: Vec<ColumnData> = Vec::with_capacity(num_rgs);
+        // `rg` also indexes the footer metadata, not just the bitmaps.
+        #[allow(clippy::needless_range_loop)]
+        for rg in 0..num_rgs {
+            let matches: Vec<usize> = rg_bitmaps[rg].ones().collect();
+            if matches.is_empty() {
+                continue;
+            }
+            let cm = fm.chunk(rg, col_idx)?;
+            let ordinal = meta
+                .chunk_ordinal(rg, col_idx)
+                .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
+
+            // Data plane.
+            let chunk_bytes = store.chunk_bytes(object, ordinal)?;
+            let col = decode_column_chunk(&chunk_bytes, ty)?;
+            let part = col.take(&matches);
+            let out_bytes = part.plain_size() as u64;
+
+            // Cost Equation (paper §4.3): push down only when the
+            // uncompressed projection result is smaller than the encoded
+            // chunk. The coordinator knows the exact per-chunk match
+            // count from the bitmap, so the product is computed with the
+            // chunk's own selectivity.
+            let product = out_bytes as f64 / cm.len.max(1) as f64;
+            let frags = meta.chunk_fragments(ordinal);
+            let push = (!adaptive || product < 1.0) && frags.len() == 1;
+            decisions.push(ProjectionDecision {
+                row_group: rg,
+                column: col_idx,
+                cost_product: product,
+                pushed_down: push,
+            });
+
+            // Time plane.
+            if push {
+                let node = frags[0].node;
+                let bm_wire = fusion_snappy::compress(&rg_bitmaps[rg].to_bytes()).len() as u64;
+                let mut deps =
+                    ctx.transfer(Loc::Node(coord), Loc::Node(node), bm_wire, &[combine_step]);
+                let work = match decoded_on.get(&ordinal) {
+                    // The filter stage already read and decoded this chunk
+                    // on this node: only the selection remains (paper
+                    // Fig. 13c shows both systems spending the same time on
+                    // disk read and chunk processing).
+                    Some(&(n, eval_step)) if n == node => {
+                        deps.push(eval_step);
+                        ctx.cpu(
+                            Loc::Node(node),
+                            cost.project(out_bytes),
+                            CostClass::Processing,
+                            &deps,
+                        )
+                    }
+                    _ => {
+                        let read = ctx.disk(node, cm.len, &deps);
+                        ctx.cpu(
+                            Loc::Node(node),
+                            cost.decode(cm.plain_size) + cost.project(out_bytes),
+                            CostClass::Processing,
+                            &[read],
+                        )
+                    }
+                };
+                let back = ctx.transfer(Loc::Node(node), Loc::Node(coord), out_bytes, &[work]);
+                proj_frontier.extend(back);
+            } else {
+                // Fetch the chunk in compressed form; project locally.
+                let mut arrived = Vec::new();
+                for f in &frags {
+                    let req = ctx.rpc(Loc::Node(coord), Loc::Node(f.node), &[combine_step]);
+                    let read = ctx.disk(f.node, f.len, &req);
+                    arrived.extend(ctx.transfer(Loc::Node(f.node), Loc::Node(coord), f.len, &[read]));
+                }
+                let work = ctx.cpu(
+                    Loc::Node(coord),
+                    cost.decode(cm.plain_size) + cost.project(out_bytes),
+                    CostClass::Processing,
+                    &arrived,
+                );
+                proj_frontier.push(work);
+            }
+            parts.push(part);
+        }
+        projected.push(concat_parts(ty, parts));
+    }
+
+    // ---- Assemble and reply ----
+    let result = assemble_result(plan, &projected, total_matches)?;
+    let reply_bytes = result_wire_bytes(&result);
+    let assemble = ctx.cpu(
+        Loc::Node(coord),
+        cost.project(reply_bytes),
+        CostClass::Other,
+        &proj_frontier,
+    );
+    ctx.transfer(Loc::Node(coord), Loc::Client, reply_bytes, &[assemble]);
+
+    Ok(QueryOutput {
+        result,
+        selectivity,
+        workflow: ctx.wf,
+        net_bytes: ctx.net_bytes,
+        decisions,
+        pruned_chunks: pruned,
+    })
+}
+
+/// Bundled borrow context for [`aggregate_pushdown_stage`].
+struct AggStageInputs<'a> {
+    fm: &'a fusion_format::footer::FileMeta,
+    meta: &'a crate::object::ObjectMeta,
+    coord: usize,
+    ctx: Ctx<'a>,
+    combine_step: StepId,
+    rg_bitmaps: &'a [Bitmap],
+    decoded_on: &'a std::collections::HashMap<usize, (usize, StepId)>,
+    selectivity: f64,
+    total_matches: usize,
+    pruned: usize,
+}
+
+/// Completes an aggregate-only query by pushing partial-aggregate
+/// computation to the chunk-hosting nodes (extension: the paper's §5
+/// future work). Each node visit serves every aggregate over that column;
+/// only tagged scalars return.
+fn aggregate_pushdown_stage(
+    store: &Store,
+    object: &str,
+    plan: &QueryPlan,
+    inputs: AggStageInputs<'_>,
+) -> Result<QueryOutput> {
+    use fusion_sql::partial::PartialAgg;
+    let AggStageInputs {
+        fm,
+        meta,
+        coord,
+        mut ctx,
+        combine_step,
+        rg_bitmaps,
+        decoded_on,
+        selectivity,
+        total_matches,
+        pruned,
+    } = inputs;
+    let cost = store.config().cluster.cost.clone();
+    let num_rgs = fm.row_groups.len();
+
+    // Group aggregate specs by their argument column.
+    let mut by_col: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (ai, spec) in plan.aggregates.iter().enumerate() {
+        if let Some(col) = spec.column {
+            match by_col.iter_mut().find(|(c, _)| *c == col) {
+                Some((_, v)) => v.push(ai),
+                None => by_col.push((col, vec![ai])),
+            }
+        }
+    }
+
+    let mut acc: Vec<Option<PartialAgg>> = vec![None; plan.aggregates.len()];
+    let mut frontier: Vec<StepId> = vec![combine_step];
+    let mut decisions = Vec::new();
+
+    for (col_idx, agg_idxs) in &by_col {
+        let ty = fm.schema.fields()[*col_idx].ty;
+        // `rg` also indexes the footer metadata, not just the bitmaps.
+        #[allow(clippy::needless_range_loop)]
+        for rg in 0..num_rgs {
+            let matches: Vec<usize> = rg_bitmaps[rg].ones().collect();
+            if matches.is_empty() {
+                continue;
+            }
+            let cm = fm.chunk(rg, *col_idx)?;
+            let ordinal = meta
+                .chunk_ordinal(rg, *col_idx)
+                .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
+
+            // Data plane: decode once, compute every partial.
+            let chunk_bytes = store.chunk_bytes(object, ordinal)?;
+            let col = decode_column_chunk(&chunk_bytes, ty)?;
+            let part = col.take(&matches);
+            let mut wire = 0u64;
+            for &ai in agg_idxs {
+                let p = PartialAgg::compute(plan.aggregates[ai].func, &part)?;
+                wire += p.wire_bytes();
+                match &mut acc[ai] {
+                    Some(a) => a.merge(&p)?,
+                    slot => *slot = Some(p),
+                }
+            }
+            decisions.push(ProjectionDecision {
+                row_group: rg,
+                column: *col_idx,
+                cost_product: wire as f64 / cm.len.max(1) as f64,
+                pushed_down: true,
+            });
+
+            // Time plane: bitmap down, partial scalars back.
+            let frags = meta.chunk_fragments(ordinal);
+            if frags.len() == 1 {
+                let node = frags[0].node;
+                let bm_wire = fusion_snappy::compress(&rg_bitmaps[rg].to_bytes()).len() as u64;
+                let mut deps = ctx.transfer(Loc::Node(coord), Loc::Node(node), bm_wire, &[combine_step]);
+                let work = match decoded_on.get(&ordinal) {
+                    Some(&(n, eval_step)) if n == node => {
+                        deps.push(eval_step);
+                        ctx.cpu(
+                            Loc::Node(node),
+                            cost.eval(matches.len() as u64 * agg_idxs.len() as u64),
+                            CostClass::Processing,
+                            &deps,
+                        )
+                    }
+                    _ => {
+                        let read = ctx.disk(node, cm.len, &deps);
+                        ctx.cpu(
+                            Loc::Node(node),
+                            cost.decode(cm.plain_size)
+                                + cost.eval(matches.len() as u64 * agg_idxs.len() as u64),
+                            CostClass::Processing,
+                            &[read],
+                        )
+                    }
+                };
+                frontier.extend(ctx.transfer(Loc::Node(node), Loc::Node(coord), wire, &[work]));
+            } else {
+                // Split chunk: fetch fragments and aggregate locally.
+                let mut arrived = Vec::new();
+                for f in &frags {
+                    let req = ctx.rpc(Loc::Node(coord), Loc::Node(f.node), &[combine_step]);
+                    let read = ctx.disk(f.node, f.len, &req);
+                    arrived.extend(ctx.transfer(Loc::Node(f.node), Loc::Node(coord), f.len, &[read]));
+                }
+                frontier.push(ctx.cpu(
+                    Loc::Node(coord),
+                    cost.decode(cm.plain_size) + cost.eval(matches.len() as u64),
+                    CostClass::Processing,
+                    &arrived,
+                ));
+            }
+        }
+    }
+
+    // Finalize in output order.
+    let mut aggregates = Vec::with_capacity(plan.aggregates.len());
+    for (ai, spec) in plan.aggregates.iter().enumerate() {
+        let value = match (&acc[ai], spec.column) {
+            (_, None) => fusion_format::value::Value::Int(total_matches as i64),
+            (Some(p), _) => p.finalize(),
+            (None, Some(_)) => PartialAgg::identity(spec.func, None).finalize(),
+        };
+        let label = match &spec.column_name {
+            Some(c) => format!("{}({})", spec.func, c),
+            None => format!("{}(*)", spec.func),
+        };
+        aggregates.push((label, value));
+    }
+    let result = QueryResult {
+        row_count: total_matches,
+        columns: Vec::new(),
+        aggregates,
+    };
+
+    let reply_bytes = result_wire_bytes(&result);
+    let assemble = ctx.cpu(
+        Loc::Node(coord),
+        cost.project(reply_bytes),
+        CostClass::Other,
+        &frontier,
+    );
+    ctx.transfer(Loc::Node(coord), Loc::Client, reply_bytes, &[assemble]);
+
+    Ok(QueryOutput {
+        result,
+        selectivity,
+        workflow: ctx.wf,
+        net_bytes: ctx.net_bytes,
+        decisions,
+        pruned_chunks: pruned,
+    })
+}
+
+/// Concatenates per-row-group projection parts (possibly none).
+pub(crate) fn concat_parts(
+    ty: fusion_format::schema::LogicalType,
+    parts: Vec<ColumnData>,
+) -> ColumnData {
+    use fusion_format::schema::LogicalType;
+    let mut acc = match ty {
+        LogicalType::Int64 | LogicalType::Date => ColumnData::Int64(Vec::new()),
+        LogicalType::Float64 => ColumnData::Float64(Vec::new()),
+        LogicalType::Utf8 => ColumnData::Utf8(Vec::new()),
+    };
+    for p in parts {
+        match (&mut acc, p) {
+            (ColumnData::Int64(a), ColumnData::Int64(b)) => a.extend(b),
+            (ColumnData::Float64(a), ColumnData::Float64(b)) => a.extend(b),
+            (ColumnData::Utf8(a), ColumnData::Utf8(b)) => a.extend(b),
+            _ => unreachable!("parts decoded with a single logical type"),
+        }
+    }
+    acc
+}

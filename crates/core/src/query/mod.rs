@@ -1,0 +1,456 @@
+//! Query execution: the two-stage adaptive pushdown engine (Fusion) and
+//! the fetch-and-reassemble engine (baseline).
+//!
+//! Both executors run the **data plane for real** — they decode actual
+//! chunk bytes, evaluate predicates, and materialize results — while
+//! simultaneously building a [`Workflow`] that models where each byte
+//! travels and how long each stage occupies disks, CPUs, and NICs. The
+//! two executors must produce identical [`QueryResult`]s; only their
+//! workflows (and therefore latency and traffic) differ.
+
+pub mod baseline;
+pub mod fusion;
+
+use crate::error::{Result, StoreError};
+use crate::store::Store;
+use fusion_cluster::engine::{CostClass, Engine, ResourceKey, RunReport, StepId, Workflow};
+use fusion_cluster::spec::CostModel;
+use fusion_cluster::time::Nanos;
+use fusion_format::value::{ColumnData, Value};
+use fusion_sql::plan::{BoolTree, FilterLeaf, QueryPlan};
+
+/// The rows and aggregates a query returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Number of rows that satisfied the predicate.
+    pub row_count: usize,
+    /// Output projection columns `(name, filtered values)`.
+    pub columns: Vec<(String, ColumnData)>,
+    /// Output aggregates `(label, value)`.
+    pub aggregates: Vec<(String, Value)>,
+}
+
+/// The per-chunk projection pushdown decision (paper §4.3 Cost Equation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProjectionDecision {
+    /// Row group of the chunk.
+    pub row_group: usize,
+    /// Column index of the chunk.
+    pub column: usize,
+    /// `selectivity × compressibility` for this chunk, computed with the
+    /// chunk's exact match count: uncompressed selected bytes over
+    /// encoded chunk bytes. Pushed down iff `< 1`.
+    pub cost_product: f64,
+    /// Whether the projection was pushed down.
+    pub pushed_down: bool,
+}
+
+/// Everything a query execution produces.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The result rows/aggregates (identical across executors).
+    pub result: QueryResult,
+    /// Exact query selectivity measured at the end of the filter stage.
+    pub selectivity: f64,
+    /// The virtual-time workflow modelling this execution.
+    pub workflow: Workflow,
+    /// Bytes moved over the network.
+    pub net_bytes: u64,
+    /// Per-chunk projection decisions (empty for the baseline).
+    pub decisions: Vec<ProjectionDecision>,
+    /// Chunks skipped via footer min/max statistics.
+    pub pruned_chunks: usize,
+}
+
+impl Store {
+    /// Runs a SQL query; the `FROM` table names the object.
+    ///
+    /// # Errors
+    ///
+    /// Parse/plan failures, unknown objects, non-analytics objects, or
+    /// data-plane failures.
+    pub fn query(&self, sql: &str) -> Result<QueryOutput> {
+        let q = fusion_sql::parser::parse(sql)?;
+        self.query_as(&q.table, sql)
+    }
+
+    /// Runs a SQL query against an explicit object, ignoring the `FROM`
+    /// name (used when one logical table is stored as several object
+    /// copies).
+    ///
+    /// # Errors
+    ///
+    /// See [`Store::query`].
+    pub fn query_as(&self, object: &str, sql: &str) -> Result<QueryOutput> {
+        let meta = self.object(object)?;
+        let fm = meta
+            .file_meta
+            .as_ref()
+            .ok_or_else(|| StoreError::NotAnalytics(object.to_string()))?;
+        let q = fusion_sql::parser::parse(sql)?;
+        let plan = fusion_sql::plan::plan(&q, &fm.schema)?;
+        match self.query_mode() {
+            crate::config::QueryMode::Reassemble => baseline::execute(self, object, &plan),
+            crate::config::QueryMode::AdaptivePushdown => {
+                fusion::execute(self, object, &plan, true)
+            }
+            crate::config::QueryMode::AlwaysPushdown => {
+                fusion::execute(self, object, &plan, false)
+            }
+        }
+    }
+
+    /// Runs workflows on this store's cluster spec (closed loop) and
+    /// returns the engine report.
+    pub fn simulate(&self, clients: Vec<Vec<Workflow>>) -> RunReport {
+        Engine::new(self.config().cluster.clone()).run_closed_loop(clients)
+    }
+
+    /// Simulates a single workflow alone on the cluster and returns its
+    /// latency.
+    pub fn simulate_solo(&self, workflow: &Workflow) -> Nanos {
+        self.simulate(vec![vec![workflow.clone()]]).stats[0].latency
+    }
+}
+
+/// A location in the cluster for transfer modelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Loc {
+    /// A storage node.
+    Node(usize),
+    /// The client machine.
+    Client,
+}
+
+impl Loc {
+    fn tx(self) -> ResourceKey {
+        match self {
+            Loc::Node(n) => ResourceKey::NicTx(n),
+            Loc::Client => ResourceKey::ClientNicTx,
+        }
+    }
+
+    fn rx(self) -> ResourceKey {
+        match self {
+            Loc::Node(n) => ResourceKey::NicRx(n),
+            Loc::Client => ResourceKey::ClientNicRx,
+        }
+    }
+
+    fn cpu(self) -> ResourceKey {
+        match self {
+            Loc::Node(n) => ResourceKey::Cpu(n),
+            Loc::Client => ResourceKey::ClientCpu,
+        }
+    }
+}
+
+/// Workflow construction context shared by both executors.
+#[derive(Debug)]
+pub(crate) struct Ctx<'a> {
+    pub cost: &'a CostModel,
+    pub wf: Workflow,
+    pub net_bytes: u64,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn new(cost: &'a CostModel) -> Ctx<'a> {
+        Ctx {
+            cost,
+            wf: Workflow::new(),
+            net_bytes: 0,
+        }
+    }
+
+    /// Models a transfer of `bytes` from `from` to `to`; local transfers
+    /// are free (the paper's nodes are storage and coordinator at once).
+    ///
+    /// The sender's NIC is held for the wire time; the RPC overhead (framing
+    /// plus propagation) is a pure delay that does not occupy the NIC; the
+    /// receiver's NIC is then held for the wire time. Returns the
+    /// dependency frontier for successors.
+    pub fn transfer(&mut self, from: Loc, to: Loc, bytes: u64, deps: &[StepId]) -> Vec<StepId> {
+        if from == to {
+            return deps.to_vec();
+        }
+        let tx = self
+            .wf
+            .step(from.tx(), self.cost.wire(bytes), CostClass::Network, deps);
+        self.wf.transfer_bytes(tx, bytes);
+        self.net_bytes += bytes;
+        let lat = self.wf.step(
+            ResourceKey::Delay,
+            self.cost.rpc_overhead,
+            CostClass::Network,
+            &[tx],
+        );
+        let rx = self
+            .wf
+            .step(to.rx(), self.cost.wire(bytes), CostClass::Network, &[lat]);
+        // Kernel/TCP processing at both endpoints: occupies CPU cores (the
+        // paper's "network processing CPU") without extending the transfer
+        // chain — modelled as work concurrent with the transfer.
+        let net_cpu = self.cost.net_cpu(bytes);
+        if net_cpu > Nanos::ZERO {
+            self.wf.step(from.cpu(), net_cpu, CostClass::Network, &[]);
+            self.wf.step(to.cpu(), net_cpu, CostClass::Network, &[]);
+        }
+        vec![rx]
+    }
+
+    /// Models a control-plane RPC (sub-query dispatch, fetch request):
+    /// pure latency, no payload — constant-size messages are negligible on
+    /// the wire and must not inherit the data-plane's scaled byte costs.
+    pub fn rpc(&mut self, from: Loc, to: Loc, deps: &[StepId]) -> Vec<StepId> {
+        if from == to {
+            return deps.to_vec();
+        }
+        let lat = self.wf.step(
+            ResourceKey::Delay,
+            self.cost.rpc_overhead,
+            CostClass::Network,
+            deps,
+        );
+        vec![lat]
+    }
+
+    /// Models a disk read of `bytes` on `node`.
+    pub fn disk(&mut self, node: usize, bytes: u64, deps: &[StepId]) -> StepId {
+        self.wf.step(
+            ResourceKey::Disk(node),
+            self.cost.disk_read(bytes),
+            CostClass::DiskRead,
+            deps,
+        )
+    }
+
+    /// Models CPU work at `loc`.
+    pub fn cpu(&mut self, loc: Loc, dur: Nanos, class: CostClass, deps: &[StepId]) -> StepId {
+        self.wf.step(loc.cpu(), dur, class, deps)
+    }
+}
+
+/// Applies a LIMIT by clearing every match bit after the first `limit`
+/// set bits (row order across row groups). Aggregate-bearing plans keep
+/// their bitmaps intact: SQL LIMIT caps output rows, and aggregates
+/// summarize all matches into one row anyway.
+pub(crate) fn apply_limit(plan: &QueryPlan, rg_bitmaps: &mut [fusion_sql::bitmap::Bitmap]) {
+    let Some(limit) = plan.limit else { return };
+    if !plan.aggregates.is_empty() {
+        return;
+    }
+    let mut remaining = limit;
+    for bm in rg_bitmaps.iter_mut() {
+        if remaining == 0 {
+            *bm = fusion_sql::bitmap::Bitmap::with_len(bm.len());
+            continue;
+        }
+        let ones: Vec<usize> = bm.ones().collect();
+        if ones.len() <= remaining {
+            remaining -= ones.len();
+            continue;
+        }
+        let mut truncated = fusion_sql::bitmap::Bitmap::with_len(bm.len());
+        for &i in ones.iter().take(remaining) {
+            truncated.set(i);
+        }
+        *bm = truncated;
+        remaining = 0;
+    }
+}
+
+/// Conservative "could this row group contain matches?" over the boolean
+/// tree, using per-chunk min/max stats. `true` means "cannot rule out".
+pub(crate) fn row_group_may_match(
+    tree: Option<&BoolTree>,
+    filters: &[FilterLeaf],
+    rg_meta: &fusion_format::footer::RowGroupMeta,
+) -> bool {
+    fn rec(t: &BoolTree, filters: &[FilterLeaf], rg: &fusion_format::footer::RowGroupMeta) -> bool {
+        match t {
+            BoolTree::Leaf(id) => {
+                let leaf = &filters[*id];
+                let cm = &rg.chunks[leaf.column];
+                fusion_sql::eval::stats_may_match(leaf, cm.min.as_ref(), cm.max.as_ref())
+            }
+            BoolTree::And(a, b) => rec(a, filters, rg) && rec(b, filters, rg),
+            BoolTree::Or(a, b) => rec(a, filters, rg) || rec(b, filters, rg),
+            // NOT over a may-match bound is not a may-match bound; stay
+            // conservative.
+            BoolTree::Not(_) => true,
+        }
+    }
+    match tree {
+        None => true,
+        Some(t) => rec(t, filters, rg_meta),
+    }
+}
+
+/// Builds the final result (projected output columns + aggregates) from
+/// filtered projection data. Shared by both executors so their outputs are
+/// identical by construction.
+pub(crate) fn assemble_result(
+    plan: &QueryPlan,
+    projected: &[ColumnData],
+    total_matches: usize,
+) -> Result<QueryResult> {
+    use fusion_sql::plan::OutputItem;
+    let mut columns = Vec::new();
+    let mut aggregates = Vec::new();
+    for out in &plan.outputs {
+        match out {
+            OutputItem::Projection(pos) => {
+                columns.push((plan.projection_names[*pos].clone(), projected[*pos].clone()));
+            }
+            OutputItem::Aggregate(ai) => {
+                let spec = &plan.aggregates[*ai];
+                let data = spec.column.map(|schema_idx| {
+                    let pos = plan
+                        .projections
+                        .iter()
+                        .position(|&c| c == schema_idx)
+                        .expect("aggregate argument was planned as a projection");
+                    &projected[pos]
+                });
+                let v = fusion_sql::eval::eval_aggregate(spec, total_matches, data)?;
+                let label = match &spec.column_name {
+                    Some(c) => format!("{}({})", spec.func, c),
+                    None => format!("{}(*)", spec.func),
+                };
+                aggregates.push((label, v));
+            }
+        }
+    }
+    Ok(QueryResult {
+        row_count: total_matches,
+        columns,
+        aggregates,
+    })
+}
+
+/// Plain-encoding size of the final result payload sent back to the
+/// client.
+pub(crate) fn result_wire_bytes(result: &QueryResult) -> u64 {
+    let cols: u64 = result.columns.iter().map(|(_, c)| c.plain_size() as u64).sum();
+    let aggs = result.aggregates.len() as u64 * 16;
+    cols + aggs + 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_sql::ast::CmpOp;
+    use fusion_sql::bitmap::Bitmap;
+    use fusion_sql::plan::QueryPlan;
+
+    fn plan_with_limit(limit: Option<usize>, aggregates: bool) -> QueryPlan {
+        QueryPlan {
+            table: "t".into(),
+            filters: vec![],
+            tree: None,
+            projections: vec![0],
+            projection_names: vec!["x".into()],
+            aggregates: if aggregates {
+                vec![fusion_sql::plan::AggregateSpec {
+                    func: fusion_sql::ast::AggFunc::Count,
+                    column: None,
+                    column_name: None,
+                }]
+            } else {
+                vec![]
+            },
+            outputs: vec![fusion_sql::plan::OutputItem::Projection(0)],
+            limit,
+        }
+    }
+
+    #[test]
+    fn apply_limit_truncates_across_row_groups() {
+        let mut bms = vec![
+            (0..10).map(|i| i % 2 == 0).collect::<Bitmap>(), // 5 ones
+            (0..10).map(|i| i < 4).collect::<Bitmap>(),      // 4 ones
+        ];
+        apply_limit(&plan_with_limit(Some(7), false), &mut bms);
+        assert_eq!(bms[0].count_ones(), 5);
+        assert_eq!(bms[1].count_ones(), 2);
+        assert_eq!(bms[1].ones().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn apply_limit_zero_and_none() {
+        let mk = || vec![(0..8).map(|_| true).collect::<Bitmap>()];
+        let mut bms = mk();
+        apply_limit(&plan_with_limit(Some(0), false), &mut bms);
+        assert_eq!(bms[0].count_ones(), 0);
+        let mut bms = mk();
+        apply_limit(&plan_with_limit(None, false), &mut bms);
+        assert_eq!(bms[0].count_ones(), 8);
+    }
+
+    #[test]
+    fn apply_limit_skips_aggregate_plans() {
+        let mut bms = vec![(0..8).map(|_| true).collect::<Bitmap>()];
+        apply_limit(&plan_with_limit(Some(1), true), &mut bms);
+        assert_eq!(bms[0].count_ones(), 8);
+    }
+    use fusion_format::footer::{ChunkMeta, RowGroupMeta};
+    use fusion_format::encoding::Encoding;
+
+    fn leaf(column: usize, op: CmpOp, constant: Value) -> FilterLeaf {
+        FilterLeaf {
+            id: 0,
+            column,
+            column_name: format!("c{column}"),
+            op,
+            constant,
+        }
+    }
+
+    fn rg(mins: &[i64], maxs: &[i64]) -> RowGroupMeta {
+        RowGroupMeta {
+            row_count: 10,
+            chunks: mins
+                .iter()
+                .zip(maxs)
+                .map(|(&mn, &mx)| ChunkMeta {
+                    offset: 0,
+                    len: 10,
+                    value_count: 10,
+                    plain_size: 80,
+                    encoding: Encoding::Plain,
+                    min: Some(Value::Int(mn)),
+                    max: Some(Value::Int(mx)),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn rg_pruning_logic() {
+        let filters = vec![leaf(0, CmpOp::Gt, Value::Int(100))];
+        let tree = BoolTree::Leaf(0);
+        // max 50 < 100: cannot match.
+        assert!(!row_group_may_match(Some(&tree), &filters, &rg(&[0], &[50])));
+        // max 150: may match.
+        assert!(row_group_may_match(Some(&tree), &filters, &rg(&[0], &[150])));
+        // No predicate: always may match.
+        assert!(row_group_may_match(None, &filters, &rg(&[0], &[50])));
+        // NOT stays conservative.
+        let nt = BoolTree::Not(Box::new(BoolTree::Leaf(0)));
+        assert!(row_group_may_match(Some(&nt), &filters, &rg(&[0], &[50])));
+    }
+
+    #[test]
+    fn and_or_pruning() {
+        let filters = vec![
+            leaf(0, CmpOp::Gt, Value::Int(100)),
+            leaf(1, CmpOp::Lt, Value::Int(5)),
+        ];
+        let and = BoolTree::And(Box::new(BoolTree::Leaf(0)), Box::new(BoolTree::Leaf(1)));
+        let or = BoolTree::Or(Box::new(BoolTree::Leaf(0)), Box::new(BoolTree::Leaf(1)));
+        // col0 in [0,50] can't be >100; col1 in [0,50] may be <5.
+        let meta = rg(&[0, 0], &[50, 50]);
+        assert!(!row_group_may_match(Some(&and), &filters, &meta));
+        assert!(row_group_may_match(Some(&or), &filters, &meta));
+    }
+}

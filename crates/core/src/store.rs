@@ -1,0 +1,822 @@
+//! The Fusion object store: `Put`, `Get`, node failure and recovery.
+//! (`Query` lives in [`crate::query`].)
+//!
+//! Every node in Fusion can coordinate any request; the coordinator for an
+//! object is chosen by hashing its name over the alive nodes (paper §5).
+//! `Put` parses the analytics footer, runs the configured packer, erasure
+//! codes the stripes **for real**, and scatters blocks over `n` random
+//! distinct nodes per stripe. `Get` serves ranged reads, transparently
+//! reconstructing from parity when nodes have failed.
+
+use crate::config::{LayoutPolicy, QueryMode, StoreConfig};
+use crate::error::{Result, StoreError};
+use crate::layout::{fac, fixed, items_from_meta, oracle, padding, Layout, PackItem};
+use crate::location_map::LocationMap;
+use crate::object::{ObjectMeta, StripePlacement};
+use bytes::Bytes;
+use fusion_cluster::engine::{CostClass, Engine, ResourceKey, Workflow};
+use fusion_cluster::store::{BlockId, BlockStore, ClusterError};
+use fusion_cluster::time::Nanos;
+use fusion_ec::rs::ReedSolomon;
+use fusion_format::footer::parse_footer;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Report returned by [`Store::put`].
+#[derive(Debug, Clone)]
+pub struct PutReport {
+    /// Which packer produced the layout (`"fac"`, `"fixed"`, `"padding"`,
+    /// `"oracle"`, or `"fixed-fallback"` when FAC exceeded the overhead
+    /// threshold).
+    pub policy_used: &'static str,
+    /// Additional storage overhead vs optimal (fraction).
+    pub overhead_vs_optimal: f64,
+    /// Real wall-clock time the packer took (the paper's Figure 16c
+    /// numerator).
+    pub pack_runtime: std::time::Duration,
+    /// Simulated end-to-end Put latency on the virtual clock.
+    pub simulated_latency: Nanos,
+    /// Total bytes stored (data + padding + parity + location map
+    /// replicas).
+    pub stored_bytes: u64,
+    /// Number of stripes created.
+    pub stripes: usize,
+    /// Number of column chunks detected (0 for blobs).
+    pub chunks: usize,
+}
+
+/// Report returned by [`Store::recover_node`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Stripes that needed repair.
+    pub stripes_repaired: usize,
+    /// Bytes written to the recovered node.
+    pub bytes_restored: u64,
+    /// Simulated wall time of the repair on the virtual clock: per stripe,
+    /// read `k` surviving blocks in parallel, ship them to the recovering
+    /// node, decode, and write the rebuilt block.
+    pub simulated_latency: Nanos,
+}
+
+/// The Fusion analytics object store (or, with
+/// [`StoreConfig::baseline`], a MinIO/Ceph-class baseline).
+///
+/// # Examples
+///
+/// ```
+/// use fusion_core::config::StoreConfig;
+/// use fusion_core::store::Store;
+/// use fusion_format::prelude::*;
+///
+/// let schema = Schema::new(vec![Field::new("x", LogicalType::Int64)]);
+/// let table = Table::new(schema, vec![ColumnData::Int64((0..1000).collect())])?;
+/// let bytes = write_table(&table, WriteOptions { rows_per_group: 250 })?;
+///
+/// let mut store = Store::new(StoreConfig::fusion())?;
+/// let report = store.put("t", bytes.clone())?;
+/// assert_eq!(report.chunks, 4);
+/// assert_eq!(store.get("t", 0, bytes.len() as u64)?, bytes);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Store {
+    config: StoreConfig,
+    rs: ReedSolomon,
+    blocks: BlockStore,
+    objects: HashMap<String, ObjectMeta>,
+    maps: HashMap<String, (LocationMap, Vec<usize>)>,
+    next_block: u64,
+    rng: SmallRng,
+}
+
+impl Store {
+    /// Creates an empty store over a fresh simulated cluster.
+    ///
+    /// # Errors
+    ///
+    /// Invalid erasure-code parameters, or fewer cluster nodes than `n`.
+    pub fn new(config: StoreConfig) -> Result<Store> {
+        let rs = ReedSolomon::new(config.ec.n, config.ec.k)?;
+        if config.cluster.nodes < config.ec.n {
+            return Err(StoreError::Internal(format!(
+                "cluster has {} nodes but {} needs {}",
+                config.cluster.nodes, config.ec, config.ec.n
+            )));
+        }
+        Ok(Store {
+            rs,
+            blocks: BlockStore::new(config.cluster.nodes),
+            objects: HashMap::new(),
+            maps: HashMap::new(),
+            next_block: 0,
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The erasure codec.
+    pub fn codec(&self) -> &ReedSolomon {
+        &self.rs
+    }
+
+    /// Metadata of a stored object.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ObjectNotFound`].
+    pub fn object(&self, name: &str) -> Result<&ObjectMeta> {
+        self.objects
+            .get(name)
+            .ok_or_else(|| StoreError::ObjectNotFound(name.to_string()))
+    }
+
+    /// Names of stored objects (unordered).
+    pub fn object_names(&self) -> Vec<String> {
+        self.objects.keys().cloned().collect()
+    }
+
+    /// The location map of an object plus its replica nodes.
+    pub fn location_map(&self, name: &str) -> Option<&(LocationMap, Vec<usize>)> {
+        self.maps.get(name)
+    }
+
+    /// Total bytes stored across the cluster (blocks + map replicas).
+    pub fn stored_bytes(&self) -> u64 {
+        self.blocks.total_bytes()
+    }
+
+    /// Direct access to the block data plane (read-only uses in queries
+    /// and tests).
+    pub fn blocks(&self) -> &BlockStore {
+        &self.blocks
+    }
+
+    /// Mutable access to the data plane (management operations and fault
+    /// injection in tests).
+    pub fn blocks_mut(&mut self) -> &mut BlockStore {
+        &mut self.blocks
+    }
+
+    /// Removes and returns an object's metadata (used by delete).
+    pub(crate) fn take_object(&mut self, name: &str) -> Option<ObjectMeta> {
+        self.maps.remove(name);
+        self.objects.remove(name)
+    }
+
+    /// The coordinator node for an object: hash of the name over alive
+    /// nodes (paper §5 — every node can coordinate; no dedicated
+    /// coordinator).
+    pub fn coordinator_of(&self, name: &str) -> usize {
+        let alive = self.blocks.alive_nodes();
+        let h = name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            });
+        alive[(h % alive.len() as u64) as usize]
+    }
+
+    fn fresh_block(&mut self) -> BlockId {
+        self.next_block += 1;
+        BlockId(self.next_block)
+    }
+
+    /// Stores an object. Analytics files (recognized by the trailing
+    /// magic) are packed with the configured layout policy; other blobs use
+    /// fixed blocks.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate names, corrupt analytics footers, or cluster failures.
+    pub fn put(&mut self, name: &str, data: Vec<u8>) -> Result<PutReport> {
+        if self.objects.contains_key(name) {
+            return Err(StoreError::ObjectExists(name.to_string()));
+        }
+        let size = data.len() as u64;
+        let ec = self.config.ec;
+
+        // 1. Identify computable units from the footer, if analytics.
+        let file_meta = parse_footer(&data).ok();
+        let items: Vec<PackItem> = match &file_meta {
+            Some(meta) => items_from_meta(meta, size),
+            None => Vec::new(),
+        };
+
+        // 2. Pack (timed for Figure 16c).
+        let t0 = std::time::Instant::now();
+        let (layout, policy_used): (Layout, &'static str) = match self.config.layout {
+            LayoutPolicy::Fixed => (
+                fixed::pack(size, self.config.block_size, ec.k, &items),
+                "fixed",
+            ),
+            LayoutPolicy::Padding if !items.is_empty() => {
+                (padding::pack(self.config.block_size, ec.k, &items).layout, "padding")
+            }
+            LayoutPolicy::Padding => (
+                fixed::pack(size, self.config.block_size, ec.k, &items),
+                "fixed",
+            ),
+            LayoutPolicy::Fac if !items.is_empty() => {
+                let l = fac::pack(ec.k, &items);
+                if l.overhead_vs_optimal(ec) > self.config.overhead_threshold {
+                    // Paper §4.2: fall back to fixed blocks when the
+                    // budget cannot be met.
+                    (
+                        fixed::pack(size, self.config.block_size, ec.k, &items),
+                        "fixed-fallback",
+                    )
+                } else {
+                    (l, "fac")
+                }
+            }
+            LayoutPolicy::Fac => (
+                fixed::pack(size, self.config.block_size, ec.k, &items),
+                "fixed",
+            ),
+            LayoutPolicy::Oracle { deadline } if !items.is_empty() => {
+                (oracle::pack(ec.k, &items, deadline).layout, "oracle")
+            }
+            LayoutPolicy::Oracle { .. } => (
+                fixed::pack(size, self.config.block_size, ec.k, &items),
+                "fixed",
+            ),
+        };
+        let pack_runtime = t0.elapsed();
+        let overhead = layout.overhead_vs_optimal(ec);
+
+        // 3. Materialize blocks: encode parity for real, place stripes on
+        //    n random distinct nodes.
+        let alive = self.blocks.alive_nodes();
+        if alive.len() < ec.n {
+            return Err(StoreError::Internal(format!(
+                "only {} alive nodes, {} required",
+                alive.len(),
+                ec.n
+            )));
+        }
+        let mut placement = Vec::with_capacity(layout.stripes.len());
+        let mut stored_bytes = 0u64;
+        for stripe in &layout.stripes {
+            let width = stripe.block_size();
+            // Assemble data block contents (pieces + physical padding).
+            let data_blocks: Vec<Vec<u8>> = stripe
+                .bins
+                .iter()
+                .map(|b| {
+                    let mut buf = Vec::with_capacity(b.stored_len() as usize);
+                    for p in &b.pieces {
+                        buf.extend_from_slice(&data[p.start as usize..p.end as usize]);
+                    }
+                    buf.resize(buf.len() + b.physical_pad as usize, 0);
+                    buf
+                })
+                .collect();
+            let parity = self.rs.encode(&data_blocks);
+            debug_assert!(parity.iter().all(|p| p.len() as u64 == width));
+
+            let mut nodes = alive.clone();
+            nodes.shuffle(&mut self.rng);
+            nodes.truncate(ec.n);
+            let mut block_ids = Vec::with_capacity(ec.n);
+            for (i, content) in data_blocks.into_iter().chain(parity).enumerate() {
+                let id = self.fresh_block();
+                stored_bytes += content.len() as u64;
+                self.blocks.put(nodes[i], id, Bytes::from(content))?;
+                block_ids.push(id);
+            }
+            placement.push(StripePlacement { nodes, block_ids, width });
+        }
+
+        let meta = ObjectMeta::new(
+            name.to_string(),
+            size,
+            layout,
+            placement,
+            file_meta,
+            policy_used,
+            overhead,
+        );
+
+        // 4. Replicate the location map to k + 1 nodes.
+        let map = LocationMap::build(&meta);
+        let map_bytes = map.to_bytes();
+        let mut map_nodes = alive;
+        map_nodes.shuffle(&mut self.rng);
+        map_nodes.truncate(ec.k + 1);
+        for &n in &map_nodes {
+            let id = self.fresh_block();
+            stored_bytes += map_bytes.len() as u64;
+            self.blocks.put(n, id, Bytes::from(map_bytes.clone()))?;
+        }
+
+        // 5. Simulate the Put on the virtual clock.
+        let workflow = self.put_workflow(&meta, size, stored_bytes, pack_runtime);
+        let report = Engine::new(self.config.cluster.clone()).run_closed_loop(vec![vec![workflow]]);
+        let simulated_latency = report.stats[0].latency;
+
+        let stripes = meta.layout.stripes.len();
+        let chunks = meta.num_chunks();
+        self.objects.insert(name.to_string(), meta);
+        self.maps.insert(name.to_string(), (map, map_nodes));
+
+        Ok(PutReport {
+            policy_used,
+            overhead_vs_optimal: overhead,
+            pack_runtime,
+            simulated_latency,
+            stored_bytes,
+            stripes,
+            chunks,
+        })
+    }
+
+    /// Builds the virtual-time workflow of a Put: client ships the object
+    /// to the coordinator; the coordinator packs and erasure codes; blocks
+    /// fan out to their nodes and are written to disk.
+    fn put_workflow(
+        &self,
+        meta: &ObjectMeta,
+        size: u64,
+        stored_bytes: u64,
+        pack_runtime: std::time::Duration,
+    ) -> Workflow {
+        let cost = &self.config.cluster.cost;
+        let coord = self.coordinator_of(&meta.name);
+        let mut wf = Workflow::new();
+        // Client -> coordinator: the whole object.
+        let tx = wf.step(ResourceKey::ClientNicTx, cost.wire(size), CostClass::Network, &[]);
+        wf.transfer_bytes(tx, size);
+        let lat = wf.step(ResourceKey::Delay, cost.rpc_overhead, CostClass::Network, &[tx]);
+        let rx = wf.step(ResourceKey::NicRx(coord), cost.wire(size), CostClass::Network, &[lat]);
+        // Pack (real measured runtime) + erasure encode.
+        let pack = wf.step(
+            ResourceKey::Cpu(coord),
+            Nanos::from_secs_f64(pack_runtime.as_secs_f64()),
+            CostClass::Processing,
+            &[rx],
+        );
+        let encode = wf.step(
+            ResourceKey::Cpu(coord),
+            cost.ec(stored_bytes),
+            CostClass::Processing,
+            &[pack],
+        );
+        // Fan blocks out to their nodes.
+        for sp in &meta.placement {
+            for (&node, _) in sp.nodes.iter().zip(&sp.block_ids) {
+                let bytes = sp.width; // conservative: every block ≤ width
+                if node == coord {
+                    wf.step(
+                        ResourceKey::Disk(node),
+                        cost.disk_read(bytes),
+                        CostClass::DiskRead,
+                        &[encode],
+                    );
+                    continue;
+                }
+                let tx = wf.step(
+                    ResourceKey::NicTx(coord),
+                    cost.wire(bytes),
+                    CostClass::Network,
+                    &[encode],
+                );
+                wf.transfer_bytes(tx, bytes);
+                let lat =
+                    wf.step(ResourceKey::Delay, cost.rpc_overhead, CostClass::Network, &[tx]);
+                let rx = wf.step(
+                    ResourceKey::NicRx(node),
+                    cost.wire(bytes),
+                    CostClass::Network,
+                    &[lat],
+                );
+                wf.step(
+                    ResourceKey::Disk(node),
+                    cost.disk_read(bytes),
+                    CostClass::DiskRead,
+                    &[rx],
+                );
+            }
+        }
+        wf
+    }
+
+    /// Reads `len` bytes at `offset`. Transparently reconstructs from
+    /// parity when a hosting node is down (degraded read).
+    ///
+    /// # Errors
+    ///
+    /// Unknown object, out-of-range request, or unrecoverable data loss.
+    pub fn get(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let meta = self.object(name)?;
+        if offset + len > meta.size {
+            return Err(StoreError::OutOfRange { offset, len, size: meta.size });
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for frag in meta.locate(offset, len) {
+            match self
+                .blocks
+                .get_range(frag.node, frag.block, frag.offset_in_block as usize, frag.len as usize)
+            {
+                Ok(bytes) => {
+                    // A healthy block may still be shorter than the
+                    // requested range only through corruption.
+                    if bytes.len() as u64 != frag.len {
+                        return Err(StoreError::Internal(format!(
+                            "short read: wanted {}, got {}",
+                            frag.len,
+                            bytes.len()
+                        )));
+                    }
+                    out.extend_from_slice(&bytes);
+                }
+                Err(ClusterError::NodeDown(_)) => {
+                    // Degraded path: rebuild the bin from the stripe.
+                    let (stripe_idx, bin_idx) = self
+                        .stripe_of(meta, frag.block)
+                        .ok_or_else(|| StoreError::Internal("fragment without stripe".into()))?;
+                    let rebuilt = self.reconstruct_bin(meta, stripe_idx, bin_idx)?;
+                    let s = frag.offset_in_block as usize;
+                    let e = s + frag.len as usize;
+                    out.extend_from_slice(&rebuilt[s..e]);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(out)
+    }
+
+    fn stripe_of(&self, meta: &ObjectMeta, block: BlockId) -> Option<(usize, usize)> {
+        for (si, sp) in meta.placement.iter().enumerate() {
+            if let Some(bi) = sp.block_ids.iter().position(|&b| b == block) {
+                return Some((si, bi));
+            }
+        }
+        None
+    }
+
+    /// Reconstructs the full contents of one data bin from surviving
+    /// blocks (used by degraded reads and recovery).
+    fn reconstruct_bin(&self, meta: &ObjectMeta, stripe: usize, bin: usize) -> Result<Vec<u8>> {
+        let sp = &meta.placement[stripe];
+        let width = sp.width as usize;
+        let n = self.config.ec.n;
+        let mut shards: Vec<Option<Vec<u8>>> = (0..n)
+            .map(|i| {
+                self.blocks
+                    .get(sp.nodes[i], sp.block_ids[i])
+                    .ok()
+                    .map(|b| b.to_vec())
+            })
+            .collect();
+        self.rs.reconstruct(&mut shards, width)?;
+        let mut rebuilt = shards[bin].take().expect("reconstructed");
+        // Trim back to stored length (implicit padding removed).
+        let stored = meta.layout.stripes[stripe].bins[bin].stored_len() as usize;
+        debug_assert!(stored <= width);
+        rebuilt.truncate(stored);
+        Ok(rebuilt)
+    }
+
+    /// Marks a node failed. Its blocks are lost until
+    /// [`Store::recover_node`].
+    ///
+    /// # Errors
+    ///
+    /// Unknown node.
+    pub fn fail_node(&mut self, node: usize) -> Result<()> {
+        self.blocks.fail_node(node)?;
+        Ok(())
+    }
+
+    /// Brings a node back (as an empty replacement) and restores every
+    /// block it should hold via erasure-code reconstruction.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node or unrecoverable stripes.
+    pub fn recover_node(&mut self, node: usize) -> Result<RecoveryReport> {
+        self.blocks.revive_node(node)?;
+        let mut report = RecoveryReport::default();
+        let cost = self.config.cluster.cost.clone();
+        let mut wf = Workflow::new();
+        let names: Vec<String> = self.objects.keys().cloned().collect();
+        for name in names {
+            let meta = self.objects.get(&name).expect("object exists").clone();
+            for (si, sp) in meta.placement.iter().enumerate() {
+                for (bi, (&bnode, &bid)) in sp.nodes.iter().zip(&sp.block_ids).enumerate() {
+                    if bnode != node || self.blocks.get(bnode, bid).is_ok() {
+                        continue;
+                    }
+                    // Rebuild this block from the stripe.
+                    let n = self.config.ec.n;
+                    let width = sp.width as usize;
+                    let mut shards: Vec<Option<Vec<u8>>> = (0..n)
+                        .map(|i| {
+                            self.blocks
+                                .get(sp.nodes[i], sp.block_ids[i])
+                                .ok()
+                                .map(|b| b.to_vec())
+                        })
+                        .collect();
+                    self.rs.reconstruct(&mut shards, width)?;
+                    let mut content = shards[bi].take().expect("reconstructed");
+                    // Data bins are stored unpadded; parity at full width.
+                    if bi < self.config.ec.k {
+                        content.truncate(meta.layout.stripes[si].bins[bi].stored_len() as usize);
+                    }
+                    report.stripes_repaired += 1;
+                    report.bytes_restored += content.len() as u64;
+
+                    // Virtual-time model of this stripe repair.
+                    let mut arrived = Vec::new();
+                    let mut sources = 0;
+                    for (&src, &src_bid) in sp.nodes.iter().zip(&sp.block_ids) {
+                        if src == node || self.blocks.get(src, src_bid).is_err() {
+                            continue;
+                        }
+                        if sources == self.config.ec.k {
+                            break;
+                        }
+                        sources += 1;
+                        let read = wf.step(
+                            ResourceKey::Disk(src),
+                            cost.disk_read(sp.width),
+                            CostClass::DiskRead,
+                            &[],
+                        );
+                        let tx = wf.step(
+                            ResourceKey::NicTx(src),
+                            cost.wire(sp.width),
+                            CostClass::Network,
+                            &[read],
+                        );
+                        wf.transfer_bytes(tx, sp.width);
+                        arrived.push(wf.step(
+                            ResourceKey::NicRx(node),
+                            cost.wire(sp.width),
+                            CostClass::Network,
+                            &[tx],
+                        ));
+                    }
+                    let decode = wf.step(
+                        ResourceKey::Cpu(node),
+                        cost.ec(sp.width * self.config.ec.k as u64),
+                        CostClass::Processing,
+                        &arrived,
+                    );
+                    wf.step(
+                        ResourceKey::Disk(node),
+                        cost.disk_read(content.len() as u64),
+                        CostClass::DiskRead,
+                        &[decode],
+                    );
+                    self.blocks.put(node, bid, Bytes::from(content))?;
+                }
+            }
+            // Restore location-map replicas that lived on the node. The
+            // map is recomputable from object metadata.
+            let map_bytes = match self.maps.get(&name) {
+                Some((map, nodes)) if nodes.contains(&node) => Some(map.to_bytes()),
+                _ => None,
+            };
+            if let Some(bytes) = map_bytes {
+                let id = self.fresh_block();
+                report.bytes_restored += bytes.len() as u64;
+                self.blocks.put(node, id, Bytes::from(bytes))?;
+            }
+        }
+        if !wf.is_empty() {
+            let run = Engine::new(self.config.cluster.clone()).run_closed_loop(vec![vec![wf]]);
+            report.simulated_latency = run.stats[0].latency;
+        }
+        Ok(report)
+    }
+
+    /// Reads the full raw bytes of one column chunk (reassembling
+    /// fragments if the layout split it; degraded reads supported).
+    ///
+    /// # Errors
+    ///
+    /// Unknown object/chunk, or unrecoverable loss.
+    pub fn chunk_bytes(&self, name: &str, ordinal: usize) -> Result<Vec<u8>> {
+        let meta = self.object(name)?;
+        let frags = meta.chunk_fragments(ordinal);
+        if frags.is_empty() {
+            return Err(StoreError::Internal(format!("no such chunk ordinal {ordinal}")));
+        }
+        let start = frags[0].object_offset;
+        let len: u64 = frags.iter().map(|f| f.len).sum();
+        self.get(name, start, len)
+    }
+
+    /// Query-mode accessor used by the executors.
+    pub fn query_mode(&self) -> QueryMode {
+        self.config.query_mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_format::prelude::*;
+
+    fn analytics_bytes(rows: usize, per_group: usize) -> Vec<u8> {
+        let schema = Schema::new(vec![
+            Field::new("id", LogicalType::Int64),
+            Field::new("flag", LogicalType::Utf8),
+        ]);
+        let table = Table::new(
+            schema,
+            vec![
+                ColumnData::Int64((0..rows as i64).collect()),
+                ColumnData::Utf8((0..rows).map(|i| ["N", "O", "F"][i % 3].into()).collect()),
+            ],
+        )
+        .unwrap();
+        write_table(&table, WriteOptions { rows_per_group: per_group }).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_fusion() {
+        let bytes = analytics_bytes(5000, 250);
+        // Small files have few chunks; loosen the overhead budget so FAC
+        // does not fall back (the 2% default targets 100+ chunks).
+        let mut cfg = StoreConfig::fusion();
+        cfg.overhead_threshold = 0.5;
+        let mut store = Store::new(cfg).unwrap();
+        let report = store.put("obj", bytes.clone()).unwrap();
+        assert_eq!(report.policy_used, "fac");
+        assert_eq!(report.chunks, 40); // 20 row groups x 2 cols
+        assert!(report.overhead_vs_optimal <= store.config().overhead_threshold + 1e-9);
+        let meta = store.object("obj").unwrap();
+        for c in 0..meta.num_chunks() {
+            assert_eq!(meta.chunk_fragments(c).len(), 1, "FAC must not split chunk {c}");
+        }
+        assert_eq!(store.get("obj", 0, bytes.len() as u64).unwrap(), bytes);
+        // Ranged read.
+        assert_eq!(
+            store.get("obj", 100, 500).unwrap(),
+            bytes[100..600].to_vec()
+        );
+    }
+
+    #[test]
+    fn put_get_roundtrip_baseline() {
+        let bytes = analytics_bytes(3000, 1000);
+        let mut store = Store::new(StoreConfig::baseline().with_block_size(4096)).unwrap();
+        let report = store.put("obj", bytes.clone()).unwrap();
+        assert_eq!(report.policy_used, "fixed");
+        assert_eq!(store.get("obj", 0, bytes.len() as u64).unwrap(), bytes);
+    }
+
+    #[test]
+    fn blob_objects_use_fixed() {
+        let blob: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut store = Store::new(StoreConfig::fusion().with_block_size(1 << 12)).unwrap();
+        let report = store.put("blob", blob.clone()).unwrap();
+        assert_eq!(report.policy_used, "fixed");
+        assert_eq!(report.chunks, 0);
+        assert_eq!(store.get("blob", 0, blob.len() as u64).unwrap(), blob);
+    }
+
+    #[test]
+    fn duplicate_put_rejected() {
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        store.put("x", analytics_bytes(100, 50)).unwrap();
+        assert!(matches!(
+            store.put("x", vec![1, 2, 3]),
+            Err(StoreError::ObjectExists(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_get() {
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        let bytes = analytics_bytes(100, 50);
+        let size = bytes.len() as u64;
+        store.put("x", bytes).unwrap();
+        assert!(matches!(
+            store.get("x", size - 1, 2),
+            Err(StoreError::OutOfRange { .. })
+        ));
+        assert!(store.get("missing", 0, 1).is_err());
+    }
+
+    #[test]
+    fn degraded_read_after_failures() {
+        let bytes = analytics_bytes(4000, 800);
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        store.put("obj", bytes.clone()).unwrap();
+        // RS(9,6) tolerates 3 failures.
+        store.fail_node(0).unwrap();
+        store.fail_node(4).unwrap();
+        store.fail_node(8).unwrap();
+        assert_eq!(store.get("obj", 0, bytes.len() as u64).unwrap(), bytes);
+    }
+
+    #[test]
+    fn too_many_failures_unrecoverable() {
+        let bytes = analytics_bytes(2000, 500);
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        store.put("obj", bytes.clone()).unwrap();
+        // Fail the node holding the first data block, then three more:
+        // its stripe now has only five of the six survivors RS(9,6)
+        // needs, so the read must fail rather than return wrong data.
+        let first_data_node = store.object("obj").unwrap().node_of(0, 0);
+        store.fail_node(first_data_node).unwrap();
+        let mut failed = 1;
+        for n in 0..9 {
+            if failed == 4 {
+                break;
+            }
+            if n != first_data_node {
+                store.fail_node(n).unwrap();
+                failed += 1;
+            }
+        }
+        let r = store.get("obj", 0, bytes.len() as u64);
+        assert!(r.is_err(), "read should fail with 4 of 9 nodes lost");
+    }
+
+    #[test]
+    fn recovery_restores_blocks() {
+        let bytes = analytics_bytes(4000, 800);
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        store.put("obj", bytes.clone()).unwrap();
+        let before = store.stored_bytes();
+        store.fail_node(2).unwrap();
+        assert!(store.stored_bytes() < before);
+        let report = store.recover_node(2).unwrap();
+        assert!(report.bytes_restored > 0);
+        // All healthy reads again, without degraded paths.
+        assert_eq!(store.get("obj", 0, bytes.len() as u64).unwrap(), bytes);
+        // Every stripe is fully present again.
+        let meta = store.object("obj").unwrap();
+        for sp in &meta.placement {
+            for (&n, &b) in sp.nodes.iter().zip(&sp.block_ids) {
+                assert!(store.blocks().get(n, b).is_ok(), "block {b} missing after recovery");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bytes_match_source() {
+        let bytes = analytics_bytes(3000, 600);
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        store.put("obj", bytes.clone()).unwrap();
+        let meta = store.object("obj").unwrap();
+        let fm = meta.file_meta.clone().unwrap();
+        for (rg, col, cm) in fm.chunks() {
+            let ordinal = meta.chunk_ordinal(rg, col).unwrap();
+            let got = store.chunk_bytes("obj", ordinal).unwrap();
+            assert_eq!(
+                got,
+                bytes[cm.offset as usize..(cm.offset + cm.len) as usize].to_vec(),
+                "chunk ({rg},{col})"
+            );
+        }
+    }
+
+    #[test]
+    fn location_map_replicated() {
+        let bytes = analytics_bytes(1000, 250);
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        store.put("obj", bytes).unwrap();
+        let (map, nodes) = store.location_map("obj").unwrap();
+        assert_eq!(map.entries.len(), store.object("obj").unwrap().num_chunks());
+        assert_eq!(nodes.len(), store.config().ec.k + 1);
+        // Map points at the true hosting nodes.
+        let meta = store.object("obj").unwrap();
+        for (c, e) in map.entries.iter().enumerate() {
+            assert_eq!(e.node as usize, meta.chunk_fragments(c)[0].node);
+        }
+    }
+
+    #[test]
+    fn coordinator_is_stable_and_alive() {
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        let c1 = store.coordinator_of("some-object");
+        assert_eq!(c1, store.coordinator_of("some-object"));
+        store.fail_node(c1).unwrap();
+        let c2 = store.coordinator_of("some-object");
+        assert_ne!(c1, c2);
+        assert!(store.blocks().is_alive(c2));
+    }
+
+    #[test]
+    fn put_simulates_latency() {
+        let bytes = analytics_bytes(2000, 500);
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        let report = store.put("obj", bytes).unwrap();
+        assert!(report.simulated_latency > Nanos::ZERO);
+        assert!(report.stored_bytes > 0);
+        assert!(report.stripes >= 1);
+    }
+}

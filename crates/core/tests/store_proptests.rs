@@ -1,0 +1,145 @@
+//! Property tests over the whole store: arbitrary tables must roundtrip
+//! through put/get under every layout policy, survive any tolerable
+//! failure pattern, and give identical query answers across executors.
+
+use fusion_core::config::{LayoutPolicy, QueryMode, StoreConfig};
+use fusion_core::store::Store;
+use fusion_format::prelude::*;
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (50usize..400).prop_flat_map(|rows| {
+        (
+            prop::collection::vec(-1000i64..1000, rows),
+            prop::collection::vec(0u8..5, rows),
+            prop::collection::vec(-1e3f64..1e3, rows),
+        )
+            .prop_map(|(ints, tags, floats)| {
+                let schema = Schema::new(vec![
+                    Field::new("n", LogicalType::Int64),
+                    Field::new("tag", LogicalType::Utf8),
+                    Field::new("x", LogicalType::Float64),
+                ]);
+                Table::new(
+                    schema,
+                    vec![
+                        ColumnData::Int64(ints),
+                        ColumnData::Utf8(
+                            tags.into_iter().map(|t| format!("t{t}")).collect(),
+                        ),
+                        ColumnData::Float64(floats),
+                    ],
+                )
+                .expect("consistent")
+            })
+    })
+}
+
+fn mk_store(layout: LayoutPolicy, mode: QueryMode, seed: u64) -> Store {
+    let mut cfg = StoreConfig::fusion().with_seed(seed).with_block_size(2048);
+    cfg.layout = layout;
+    cfg.query_mode = mode;
+    cfg.overhead_threshold = 0.95;
+    Store::new(cfg).expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn put_get_roundtrip_all_layouts(
+        table in arb_table(),
+        per_group in 20usize..120,
+        seed: u64,
+    ) {
+        let bytes = write_table(&table, WriteOptions { rows_per_group: per_group }).unwrap();
+        for layout in [LayoutPolicy::Fixed, LayoutPolicy::Padding, LayoutPolicy::Fac] {
+            let mut store = mk_store(layout, QueryMode::AdaptivePushdown, seed);
+            store.put("o", bytes.clone()).unwrap();
+            prop_assert_eq!(&store.get("o", 0, bytes.len() as u64).unwrap(), &bytes);
+            // A few random-ish sub-ranges.
+            let len = bytes.len() as u64;
+            for (a, b) in [(0, len / 3), (len / 2, len / 4), (len - 1, 1)] {
+                let b = b.min(len - a);
+                prop_assert_eq!(
+                    &store.get("o", a, b).unwrap()[..],
+                    &bytes[a as usize..(a + b) as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_reads_under_any_tolerable_failure(
+        table in arb_table(),
+        failures in prop::collection::btree_set(0usize..9, 1..=3),
+        seed: u64,
+    ) {
+        let bytes = write_table(&table, WriteOptions { rows_per_group: 64 }).unwrap();
+        let mut store = mk_store(LayoutPolicy::Fac, QueryMode::AdaptivePushdown, seed);
+        store.put("o", bytes.clone()).unwrap();
+        for &f in &failures {
+            store.fail_node(f).unwrap();
+        }
+        prop_assert_eq!(store.get("o", 0, bytes.len() as u64).unwrap(), bytes);
+    }
+
+    #[test]
+    fn recovery_is_complete(
+        table in arb_table(),
+        node in 0usize..9,
+        seed: u64,
+    ) {
+        let bytes = write_table(&table, WriteOptions { rows_per_group: 64 }).unwrap();
+        let mut store = mk_store(LayoutPolicy::Fac, QueryMode::AdaptivePushdown, seed);
+        store.put("o", bytes.clone()).unwrap();
+        store.fail_node(node).unwrap();
+        store.recover_node(node).unwrap();
+        // Every block is present again and parity verifies.
+        let scrub = store.scrub();
+        prop_assert_eq!(scrub.stripes_degraded, 0);
+        prop_assert!(scrub.is_clean());
+        prop_assert_eq!(store.get("o", 0, bytes.len() as u64).unwrap(), bytes);
+    }
+
+    #[test]
+    fn executors_agree_on_random_predicates(
+        table in arb_table(),
+        cutoff in -1000i64..1000,
+        seed: u64,
+    ) {
+        let bytes = write_table(&table, WriteOptions { rows_per_group: 64 }).unwrap();
+        let mut fusion = mk_store(LayoutPolicy::Fac, QueryMode::AdaptivePushdown, seed);
+        fusion.put("o", bytes.clone()).unwrap();
+        let mut baseline = mk_store(LayoutPolicy::Fixed, QueryMode::Reassemble, seed);
+        baseline.put("o", bytes).unwrap();
+        let sql = format!("SELECT n, tag FROM o WHERE n < {cutoff}");
+        let a = fusion.query(&sql).unwrap();
+        let b = baseline.query(&sql).unwrap();
+        prop_assert_eq!(&a.result, &b.result);
+        // And against a brute-force oracle.
+        let ns = table.column_by_name("n").unwrap().as_int64().unwrap();
+        let expect = ns.iter().filter(|&&v| v < cutoff).count();
+        prop_assert_eq!(a.result.row_count, expect);
+    }
+
+    #[test]
+    fn fac_layout_invariants_hold_for_any_table(
+        table in arb_table(),
+        per_group in 10usize..100,
+        seed: u64,
+    ) {
+        let bytes = write_table(&table, WriteOptions { rows_per_group: per_group }).unwrap();
+        let mut store = mk_store(LayoutPolicy::Fac, QueryMode::AdaptivePushdown, seed);
+        store.put("o", bytes.clone()).unwrap();
+        let meta = store.object("o").unwrap();
+        if meta.policy_used == "fac" {
+            for c in 0..meta.num_chunks() {
+                prop_assert_eq!(meta.chunk_fragments(c).len(), 1);
+            }
+        }
+        // The layout always tiles the object exactly.
+        let covered: u64 = meta.extents().iter().map(|e| e.len()).sum();
+        prop_assert_eq!(covered, bytes.len() as u64);
+    }
+}

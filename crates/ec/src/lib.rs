@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # fusion-ec
+//!
+//! Systematic Reed-Solomon erasure coding over GF(2^8), written from
+//! scratch for the Fusion analytics object store (ASPLOS '25).
+//!
+//! Two properties distinguish this implementation from a generic RS
+//! library, both required by Fusion's file-format-aware coding (FAC):
+//!
+//! 1. **Variable-length data blocks per stripe.** [`rs::ReedSolomon::encode`]
+//!    accepts `k` blocks of different sizes; parity blocks take the size of
+//!    the largest data block, and shorter blocks are treated as implicitly
+//!    zero-padded (the padding is never stored). This is exactly the stripe
+//!    model of the paper's Figure 2.
+//! 2. **Systematic layout.** Data blocks are stored in plaintext, which is
+//!    what makes in-situ computation pushdown on storage nodes possible.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fusion_ec::rs::ReedSolomon;
+//!
+//! let rs = ReedSolomon::new(9, 6)?;                     // the paper's default code
+//! let blocks: Vec<Vec<u8>> = (0..6).map(|i| vec![i; 1024]).collect();
+//! let parity = rs.encode(&blocks);
+//!
+//! let mut stripe: Vec<Option<Vec<u8>>> =
+//!     blocks.into_iter().map(Some).chain(parity.into_iter().map(Some)).collect();
+//! stripe[2] = None;                                     // lose a node
+//! rs.reconstruct(&mut stripe, 1024)?;                   // bring it back
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod gf;
+pub mod matrix;
+pub mod rs;
+
+pub use gf::Gf256;
+pub use matrix::Matrix;
+pub use rs::{CodeParamsError, ReconstructError, ReedSolomon};

@@ -1,0 +1,381 @@
+//! Dense matrices over GF(2^8), sized for erasure-code dimensions
+//! (n, k ≤ 256). Provides the construction and inversion routines needed to
+//! build systematic encoding matrices and to recover erased blocks.
+
+use crate::gf::Gf256;
+
+/// A row-major dense matrix over GF(2^8).
+///
+/// # Examples
+///
+/// ```
+/// use fusion_ec::matrix::Matrix;
+///
+/// let m = Matrix::identity(3);
+/// assert_eq!(m.mul(&m), m);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf256>,
+}
+
+/// Error returned when a singular matrix is inverted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError;
+
+impl std::fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular and cannot be inverted")
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![Gf256::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates an `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, Gf256::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major byte grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged or the grid is empty.
+    pub fn from_rows(rows: &[&[u8]]) -> Matrix {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut m = Matrix::zero(rows.len(), cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "ragged rows");
+            for (j, &v) in r.iter().enumerate() {
+                m.set(i, j, Gf256::new(v));
+            }
+        }
+        m
+    }
+
+    /// Builds the `rows`×`cols` Vandermonde matrix with `m[i][j] = i^j`
+    /// evaluated in GF(2^8) (row index taken as a field element).
+    ///
+    /// Any `cols` rows of this matrix are linearly independent as long as
+    /// the row indices are distinct, which is the property that makes it a
+    /// suitable starting point for an MDS code.
+    pub fn vandermonde(rows: usize, cols: usize) -> Matrix {
+        let mut m = Matrix::zero(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, Gf256::new(i as u8).pow(j));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Gf256 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: Gf256) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[Gf256] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix multiply");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self.get(i, l);
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + a * rhs.get(l, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a new matrix consisting of the selected rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `indices` is empty.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        assert!(!indices.is_empty(), "must select at least one row");
+        let mut m = Matrix::zero(indices.len(), self.cols);
+        for (out_r, &r) in indices.iter().enumerate() {
+            assert!(r < self.rows, "row index out of range");
+            for c in 0..self.cols {
+                m.set(out_r, c, self.get(r, c));
+            }
+        }
+        m
+    }
+
+    /// Returns the sub-matrix of the first `n` rows.
+    pub fn top_rows(&self, n: usize) -> Matrix {
+        self.select_rows(&(0..n).collect::<Vec<_>>())
+    }
+
+    /// Inverts a square matrix via Gauss-Jordan elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the matrix has no inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn invert(&self) -> Result<Matrix, SingularMatrixError> {
+        assert_eq!(self.rows, self.cols, "only square matrices can be inverted");
+        let n = self.rows;
+        let mut work = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n)
+                .find(|&r| !work.get(r, col).is_zero())
+                .ok_or(SingularMatrixError)?;
+            if pivot != col {
+                work.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Scale pivot row to 1.
+            let p = work.get(col, col);
+            let pinv = p.inverse();
+            work.scale_row(col, pinv);
+            inv.scale_row(col, pinv);
+            // Eliminate the column everywhere else.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = work.get(r, col);
+                if f.is_zero() {
+                    continue;
+                }
+                work.add_scaled_row(col, r, f);
+                inv.add_scaled_row(col, r, f);
+            }
+        }
+        Ok(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let (va, vb) = (self.get(a, c), self.get(b, c));
+            self.set(a, c, vb);
+            self.set(b, c, va);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, f: Gf256) {
+        for c in 0..self.cols {
+            let v = self.get(r, c);
+            self.set(r, c, v * f);
+        }
+    }
+
+    /// `row[dst] += f * row[src]`
+    fn add_scaled_row(&mut self, src: usize, dst: usize, f: Gf256) {
+        for c in 0..self.cols {
+            let v = self.get(dst, c) + f * self.get(src, c);
+            self.set(dst, c, v);
+        }
+    }
+
+    /// Builds the systematic encoding matrix for an `(n, k)` MDS code: the
+    /// top `k`×`k` block is the identity and every `k`×`k` sub-matrix of the
+    /// full `n`×`k` matrix is invertible.
+    ///
+    /// Construction: take the `n`×`k` Vandermonde matrix `V`, then compute
+    /// `V × V_top⁻¹` where `V_top` is its first `k` rows. Row operations of
+    /// this form preserve the MDS property and make the top block identity,
+    /// so data blocks are stored in plaintext (systematic code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `n <= k`, or `n > 256`.
+    pub fn systematic_encode_matrix(n: usize, k: usize) -> Matrix {
+        assert!(k > 0, "k must be positive");
+        assert!(n > k, "n must exceed k");
+        assert!(n <= 256, "GF(256) codes support at most 256 total blocks");
+        let v = Matrix::vandermonde(n, k);
+        let top = v.top_rows(k);
+        let top_inv = top
+            .invert()
+            .expect("Vandermonde top block is always invertible");
+        v.mul(&top_inv)
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:02x} ", self.get(r, c).value())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mul_is_noop() {
+        let m = Matrix::from_rows(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]);
+        let i = Matrix::identity(3);
+        assert_eq!(i.mul(&m), m);
+        assert_eq!(m.mul(&i), m);
+    }
+
+    #[test]
+    fn invert_identity() {
+        let i = Matrix::identity(5);
+        assert_eq!(i.invert().unwrap(), i);
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let m = Matrix::from_rows(&[&[56, 23, 98], &[3, 100, 200], &[45, 201, 123]]);
+        let inv = m.invert().unwrap();
+        assert_eq!(m.mul(&inv), Matrix::identity(3));
+        assert_eq!(inv.mul(&m), Matrix::identity(3));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let m = Matrix::from_rows(&[&[1, 2], &[1, 2]]);
+        assert_eq!(m.invert(), Err(SingularMatrixError));
+        let z = Matrix::zero(2, 2);
+        assert!(z.invert().is_err());
+    }
+
+    #[test]
+    fn vandermonde_shape() {
+        let v = Matrix::vandermonde(4, 3);
+        // Row i is [1, i, i^2].
+        for i in 0..4u8 {
+            assert_eq!(v.get(i as usize, 0), Gf256::ONE);
+            assert_eq!(v.get(i as usize, 1), Gf256::new(i));
+            assert_eq!(v.get(i as usize, 2), Gf256::new(i) * Gf256::new(i));
+        }
+    }
+
+    #[test]
+    fn systematic_matrix_top_is_identity() {
+        for (n, k) in [(9, 6), (14, 10), (3, 2), (6, 4)] {
+            let m = Matrix::systematic_encode_matrix(n, k);
+            assert_eq!(m.top_rows(k), Matrix::identity(k), "({n},{k})");
+        }
+    }
+
+    #[test]
+    fn systematic_matrix_is_mds() {
+        // Every k-subset of rows must be invertible. Exhaustive for (6,4).
+        let (n, k) = (6usize, 4usize);
+        let m = Matrix::systematic_encode_matrix(n, k);
+        let mut combo = vec![];
+        fn rec(start: usize, n: usize, k: usize, combo: &mut Vec<usize>, m: &Matrix) {
+            if combo.len() == k {
+                assert!(
+                    m.select_rows(combo).invert().is_ok(),
+                    "rows {combo:?} are singular; code is not MDS"
+                );
+                return;
+            }
+            for i in start..n {
+                combo.push(i);
+                rec(i + 1, n, k, combo, m);
+                combo.pop();
+            }
+        }
+        rec(0, n, k, &mut combo, &m);
+    }
+
+    #[test]
+    fn select_rows_orders() {
+        let m = Matrix::from_rows(&[&[1], &[2], &[3]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.get(0, 0), Gf256::new(3));
+        assert_eq!(s.get(1, 0), Gf256::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_dimension_mismatch_panics() {
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(2, 3);
+        let _ = a.mul(&b);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!Matrix::identity(2).to_string().is_empty());
+    }
+}

@@ -1,0 +1,503 @@
+//! Systematic Reed-Solomon erasure codes over GF(2^8).
+//!
+//! An `(n, k)` code turns `k` data blocks into `n - k` parity blocks such
+//! that the stripe survives the loss of any `n - k` of its `n` blocks.
+//! Because the code is *systematic*, the data blocks are stored verbatim —
+//! the property Fusion relies on to run computations directly on storage
+//! nodes without decoding.
+//!
+//! Unlike textbook implementations, [`ReedSolomon::encode`] accepts data
+//! blocks of **different lengths**: shorter blocks are treated as if they
+//! were zero-padded to the length of the longest block in the stripe, and
+//! the parity blocks have that maximum length. This matches the stripe
+//! semantics of the paper (§2, Figure 2): the parity size — and therefore
+//! the storage overhead — of a stripe is dictated solely by its largest
+//! data block.
+
+use crate::gf::mul_acc;
+use crate::matrix::Matrix;
+
+/// Errors from constructing a [`ReedSolomon`] codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeParamsError {
+    /// `k` was zero.
+    ZeroDataBlocks,
+    /// `n <= k`, leaving no parity.
+    NoParityBlocks,
+    /// `n > 256`: GF(2^8) supports at most 256 blocks per stripe.
+    TooManyBlocks,
+}
+
+impl std::fmt::Display for CodeParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodeParamsError::ZeroDataBlocks => write!(f, "k must be at least 1"),
+            CodeParamsError::NoParityBlocks => write!(f, "n must exceed k"),
+            CodeParamsError::TooManyBlocks => write!(f, "n must be at most 256"),
+        }
+    }
+}
+
+impl std::error::Error for CodeParamsError {}
+
+/// Errors from [`ReedSolomon::reconstruct`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconstructError {
+    /// Fewer than `k` blocks survive; the stripe is unrecoverable.
+    TooFewBlocks {
+        /// How many blocks were present.
+        present: usize,
+        /// How many are required (`k`).
+        required: usize,
+    },
+    /// The shard vector length does not equal `n`.
+    WrongShardCount {
+        /// Provided length.
+        got: usize,
+        /// Expected `n`.
+        expected: usize,
+    },
+    /// A present shard is longer than the declared stripe width.
+    ShardTooLong,
+}
+
+impl std::fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconstructError::TooFewBlocks { present, required } => write!(
+                f,
+                "unrecoverable stripe: {present} blocks present, {required} required"
+            ),
+            ReconstructError::WrongShardCount { got, expected } => {
+                write!(f, "expected {expected} shard slots, got {got}")
+            }
+            ReconstructError::ShardTooLong => {
+                write!(f, "a shard exceeds the declared stripe width")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconstructError {}
+
+/// A systematic `(n, k)` Reed-Solomon codec.
+///
+/// The paper's default configuration is RS(9, 6); RS(14, 10) is the other
+/// common production setting. Any `1 ≤ k < n ≤ 256` works.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_ec::rs::ReedSolomon;
+///
+/// let rs = ReedSolomon::new(9, 6)?;
+/// let data: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 64]).collect();
+/// let parity = rs.encode(&data);
+/// assert_eq!(parity.len(), 3);
+///
+/// // Lose three arbitrary blocks and recover them.
+/// let mut shards: Vec<Option<Vec<u8>>> =
+///     data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+/// shards[0] = None;
+/// shards[5] = None;
+/// shards[7] = None;
+/// rs.reconstruct(&mut shards, 64)?;
+/// assert_eq!(shards[0].as_deref(), Some(&[0u8; 64][..]));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    n: usize,
+    k: usize,
+    encode_matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates an `(n, k)` codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeParamsError`] for degenerate parameters.
+    pub fn new(n: usize, k: usize) -> Result<ReedSolomon, CodeParamsError> {
+        if k == 0 {
+            return Err(CodeParamsError::ZeroDataBlocks);
+        }
+        if n <= k {
+            return Err(CodeParamsError::NoParityBlocks);
+        }
+        if n > 256 {
+            return Err(CodeParamsError::TooManyBlocks);
+        }
+        Ok(ReedSolomon {
+            n,
+            k,
+            encode_matrix: Matrix::systematic_encode_matrix(n, k),
+        })
+    }
+
+    /// Total blocks per stripe (`n`).
+    pub fn total_blocks(&self) -> usize {
+        self.n
+    }
+
+    /// Data blocks per stripe (`k`).
+    pub fn data_blocks(&self) -> usize {
+        self.k
+    }
+
+    /// Parity blocks per stripe (`n − k`).
+    pub fn parity_blocks(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Optimal storage overhead of this code: `(n − k) / k`.
+    pub fn optimal_overhead(&self) -> f64 {
+        (self.n - self.k) as f64 / self.k as f64
+    }
+
+    /// Encodes `k` (possibly variable-length) data blocks into `n − k`
+    /// parity blocks, each as long as the longest data block.
+    ///
+    /// Short data blocks are implicitly zero-padded: the pad bytes never
+    /// need to be materialized or stored, but reconstruction will return
+    /// padded blocks that the caller truncates to the original lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k`.
+    pub fn encode<T: AsRef<[u8]>>(&self, data: &[T]) -> Vec<Vec<u8>> {
+        assert_eq!(data.len(), self.k, "expected exactly k data blocks");
+        let width = data.iter().map(|d| d.as_ref().len()).max().unwrap_or(0);
+        let mut parity = vec![vec![0u8; width]; self.n - self.k];
+        for (p, out) in parity.iter_mut().enumerate() {
+            let row = self.encode_matrix.row(self.k + p);
+            for (j, d) in data.iter().enumerate() {
+                mul_acc(out, d.as_ref(), row[j]);
+            }
+        }
+        parity
+    }
+
+    /// Verifies that a full stripe (data followed by parity, all padded to
+    /// equal width) is consistent with this code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards.len() != n`.
+    pub fn verify<T: AsRef<[u8]>>(&self, shards: &[T]) -> bool {
+        assert_eq!(shards.len(), self.n, "expected n shards");
+        let expected = self.encode(&shards[..self.k]);
+        expected
+            .iter()
+            .zip(&shards[self.k..])
+            .all(|(e, s)| pad_eq(e, s.as_ref()))
+    }
+
+    /// Recovers all missing shards in place.
+    ///
+    /// `shards` must have exactly `n` slots (data blocks first, then
+    /// parity). Present shards may be shorter than `width` (their implicit
+    /// zero padding is reinstated for the math); reconstructed shards are
+    /// returned with length exactly `width`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than `k` shards are present, the slot count is wrong,
+    /// or a present shard exceeds `width`.
+    pub fn reconstruct(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        width: usize,
+    ) -> Result<(), ReconstructError> {
+        if shards.len() != self.n {
+            return Err(ReconstructError::WrongShardCount {
+                got: shards.len(),
+                expected: self.n,
+            });
+        }
+        let present: Vec<usize> = (0..self.n).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < self.k {
+            return Err(ReconstructError::TooFewBlocks {
+                present: present.len(),
+                required: self.k,
+            });
+        }
+        if present
+            .iter()
+            .any(|&i| shards[i].as_ref().is_some_and(|s| s.len() > width))
+        {
+            return Err(ReconstructError::ShardTooLong);
+        }
+        let missing: Vec<usize> = (0..self.n).filter(|&i| shards[i].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+
+        // Decode matrix: rows of the encode matrix for k surviving shards,
+        // inverted, recovers the original data from those survivors.
+        let chosen = &present[..self.k];
+        let sub = self.encode_matrix.select_rows(chosen);
+        let inv = sub
+            .invert()
+            .expect("any k rows of an MDS encode matrix are invertible");
+
+        // Zero-pad survivors we will read from.
+        let survivors: Vec<Vec<u8>> = chosen
+            .iter()
+            .map(|&i| {
+                let mut s = shards[i].clone().expect("chosen shards are present");
+                s.resize(width, 0);
+                s
+            })
+            .collect();
+
+        // Recover missing *data* shards directly from inv × survivors.
+        for &m in missing.iter().filter(|&&m| m < self.k) {
+            let mut out = vec![0u8; width];
+            for (j, s) in survivors.iter().enumerate() {
+                mul_acc(&mut out, s, inv.get(m, j));
+            }
+            shards[m] = Some(out);
+        }
+
+        // Recover missing parity shards by re-encoding: parity row of the
+        // encode matrix times the (now complete) data shards. Compose the
+        // two matrix products so we only touch survivor buffers:
+        // parity_row × (inv × survivors).
+        let missing_parity: Vec<usize> = missing.iter().copied().filter(|&m| m >= self.k).collect();
+        if !missing_parity.is_empty() {
+            // All data shards exist now; use them directly (cheaper and
+            // simpler than composing matrices).
+            let data: Vec<Vec<u8>> = (0..self.k)
+                .map(|i| {
+                    let mut s = shards[i].clone().expect("data shards recovered above");
+                    s.resize(width, 0);
+                    s
+                })
+                .collect();
+            for m in missing_parity {
+                let row = self.encode_matrix.row(m);
+                let mut out = vec![0u8; width];
+                for (j, d) in data.iter().enumerate() {
+                    mul_acc(&mut out, d, row[j]);
+                }
+                shards[m] = Some(out);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for ReedSolomon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RS({}, {})", self.n, self.k)
+    }
+}
+
+/// Compares two byte strings as if both were zero-padded to equal length.
+fn pad_eq(a: &[u8], b: &[u8]) -> bool {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    long[..short.len()] == *short && long[short.len()..].iter().all(|&x| x == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(k: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|j| (j as u8).wrapping_mul(31).wrapping_add(i as u8 ^ seed))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert_eq!(ReedSolomon::new(9, 0).unwrap_err(), CodeParamsError::ZeroDataBlocks);
+        assert_eq!(ReedSolomon::new(6, 6).unwrap_err(), CodeParamsError::NoParityBlocks);
+        assert_eq!(ReedSolomon::new(5, 6).unwrap_err(), CodeParamsError::NoParityBlocks);
+        assert_eq!(ReedSolomon::new(257, 6).unwrap_err(), CodeParamsError::TooManyBlocks);
+        assert!(ReedSolomon::new(9, 6).is_ok());
+    }
+
+    #[test]
+    fn encode_produces_expected_counts() {
+        let rs = ReedSolomon::new(9, 6).unwrap();
+        let data = sample_data(6, 100, 1);
+        let parity = rs.encode(&data);
+        assert_eq!(parity.len(), 3);
+        assert!(parity.iter().all(|p| p.len() == 100));
+        assert_eq!(rs.optimal_overhead(), 0.5);
+    }
+
+    #[test]
+    fn verify_accepts_encoded_stripe() {
+        let rs = ReedSolomon::new(9, 6).unwrap();
+        let data = sample_data(6, 64, 7);
+        let parity = rs.encode(&data);
+        let shards: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
+        assert!(rs.verify(&shards));
+    }
+
+    #[test]
+    fn verify_rejects_corruption() {
+        let rs = ReedSolomon::new(9, 6).unwrap();
+        let data = sample_data(6, 64, 7);
+        let parity = rs.encode(&data);
+        let mut shards: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
+        shards[3][10] ^= 0x01;
+        assert!(!rs.verify(&shards));
+    }
+
+    #[test]
+    fn reconstruct_any_three_losses() {
+        let rs = ReedSolomon::new(9, 6).unwrap();
+        let data = sample_data(6, 48, 3);
+        let parity = rs.encode(&data);
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+        // Exhaust all 3-subsets of 9.
+        for a in 0..9 {
+            for b in (a + 1)..9 {
+                for c in (b + 1)..9 {
+                    let mut shards: Vec<Option<Vec<u8>>> =
+                        full.iter().cloned().map(Some).collect();
+                    shards[a] = None;
+                    shards[b] = None;
+                    shards[c] = None;
+                    rs.reconstruct(&mut shards, 48).unwrap();
+                    for (i, s) in shards.iter().enumerate() {
+                        assert_eq!(s.as_deref(), Some(&full[i][..]), "shard {i} ({a},{b},{c})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_fails_with_too_few() {
+        let rs = ReedSolomon::new(9, 6).unwrap();
+        let data = sample_data(6, 16, 0);
+        let parity = rs.encode(&data);
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.into_iter().map(Some).chain(parity.into_iter().map(Some)).collect();
+        for s in shards.iter_mut().take(4) {
+            *s = None;
+        }
+        assert!(matches!(
+            rs.reconstruct(&mut shards, 16),
+            Err(ReconstructError::TooFewBlocks {
+                present: 5,
+                required: 6
+            })
+        ));
+    }
+
+    #[test]
+    fn variable_length_stripe_roundtrip() {
+        // The core Fusion property: blocks of unequal size, parity sized to
+        // the largest, short blocks recovered after truncation.
+        let rs = ReedSolomon::new(9, 6).unwrap();
+        let lens = [100usize, 7, 64, 0, 99, 100];
+        let data: Vec<Vec<u8>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (0..l).map(|j| (i * 37 + j * 11) as u8).collect())
+            .collect();
+        let parity = rs.encode(&data);
+        assert!(parity.iter().all(|p| p.len() == 100));
+
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        // Lose two short data blocks and one parity.
+        shards[1] = None;
+        shards[3] = None;
+        shards[8] = None;
+        rs.reconstruct(&mut shards, 100).unwrap();
+        for (i, &l) in lens.iter().enumerate() {
+            let got = shards[i].as_ref().unwrap();
+            assert_eq!(&got[..l], &data[i][..], "data block {i}");
+            assert!(got[l..].iter().all(|&b| b == 0), "padding of block {i}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_noop_when_complete() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data = sample_data(3, 10, 9);
+        let parity = rs.encode(&data);
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .clone()
+            .into_iter()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        let before = shards.clone();
+        rs.reconstruct(&mut shards, 10).unwrap();
+        assert_eq!(shards, before);
+    }
+
+    #[test]
+    fn wrong_shard_count_detected() {
+        let rs = ReedSolomon::new(9, 6).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = vec![Some(vec![0; 4]); 8];
+        assert!(matches!(
+            rs.reconstruct(&mut shards, 4),
+            Err(ReconstructError::WrongShardCount {
+                got: 8,
+                expected: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn shard_longer_than_width_detected() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data = sample_data(3, 10, 2);
+        let parity = rs.encode(&data);
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .into_iter()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        shards[4] = None;
+        assert_eq!(
+            rs.reconstruct(&mut shards, 5),
+            Err(ReconstructError::ShardTooLong)
+        );
+    }
+
+    #[test]
+    fn rs_14_10_roundtrip() {
+        let rs = ReedSolomon::new(14, 10).unwrap();
+        let data = sample_data(10, 33, 5);
+        let parity = rs.encode(&data);
+        let full: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        for i in [0, 4, 9, 12] {
+            shards[i] = None;
+        }
+        rs.reconstruct(&mut shards, 33).unwrap();
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.as_deref(), Some(&full[i][..]), "shard {i}");
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ReedSolomon::new(9, 6).unwrap().to_string(), "RS(9, 6)");
+    }
+
+    #[test]
+    fn zero_width_stripe() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let parity = rs.encode(&[vec![], vec![]]);
+        assert!(parity.iter().all(|p| p.is_empty()));
+    }
+}

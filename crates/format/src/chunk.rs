@@ -1,0 +1,323 @@
+//! Column-chunk encoding and decoding.
+//!
+//! A column chunk is the **smallest computable unit** of the format (paper
+//! §2): a self-contained byte range holding every value of one column
+//! within one row group, together with the dictionary needed to decode it.
+//! Chunks are what FAC refuses to split across erasure-code blocks and what
+//! pushdown executes on.
+//!
+//! On-disk layout of a chunk:
+//!
+//! ```text
+//! [encoding: u8]
+//! (Dictionary only) [dict page]
+//! [data page]
+//! page := [compressed_len: u32][uncompressed_len: u32][count: u32][crc32: u32][bytes]
+//! ```
+//!
+//! Page bytes are Snappy-compressed encodings; `crc32` covers the
+//! compressed bytes.
+
+use crate::encoding::{dict, plain, Encoding};
+use crate::error::{FormatError, Result};
+use crate::schema::LogicalType;
+use crate::util::{crc32, put, Cursor};
+use crate::value::{ColumnData, Value};
+
+/// Maximum distinct values before dictionary encoding is abandoned,
+/// mirroring Parquet's bounded dictionary pages.
+pub const MAX_DICT_DISTINCT: usize = 1 << 16;
+
+/// Statistics captured while encoding a chunk, destined for the footer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkStats {
+    /// Number of values.
+    pub value_count: u64,
+    /// Size under plain encoding (the "uncompressed size" used for
+    /// compressibility).
+    pub plain_size: u64,
+    /// Encoded, compressed on-disk size.
+    pub encoded_size: u64,
+    /// Encoding actually chosen.
+    pub encoding: Encoding,
+    /// Minimum value, if the chunk is nonempty.
+    pub min: Option<Value>,
+    /// Maximum value, if the chunk is nonempty.
+    pub max: Option<Value>,
+}
+
+impl ChunkStats {
+    /// The paper's *compressibility*: uncompressed size / compressed size.
+    pub fn compressibility(&self) -> f64 {
+        if self.encoded_size == 0 {
+            return 1.0;
+        }
+        self.plain_size as f64 / self.encoded_size as f64
+    }
+}
+
+/// Encodes a column into chunk bytes, choosing the smaller of dictionary
+/// and plain encoding (both Snappy-compressed).
+pub fn encode_column_chunk(col: &ColumnData) -> (Vec<u8>, ChunkStats) {
+    let plain_bytes = {
+        let mut enc = Vec::new();
+        plain::encode(col, &mut enc);
+        enc
+    };
+    let plain_size = plain_bytes.len() as u64;
+
+    // Candidate 1: plain + snappy.
+    let plain_page = fusion_snappy::compress(&plain_bytes);
+
+    // Candidate 2: dictionary + snappy, when cardinality allows.
+    let dict_candidate = dict::build(col, MAX_DICT_DISTINCT).map(|enc| {
+        let mut dict_bytes = Vec::new();
+        dict::encode_dictionary(&enc, &mut dict_bytes);
+        let mut idx_bytes = Vec::new();
+        dict::encode_indices(&enc, &mut idx_bytes);
+        (
+            fusion_snappy::compress(&dict_bytes),
+            dict_bytes.len(),
+            enc.dictionary.len(),
+            fusion_snappy::compress(&idx_bytes),
+            idx_bytes.len(),
+        )
+    });
+
+    let (min, max) = match col.min_max() {
+        Some((mn, mx)) => (Some(mn), Some(mx)),
+        None => (None, None),
+    };
+
+    let mut out = Vec::new();
+    let encoding;
+    match dict_candidate {
+        Some((dict_page, dict_unc, dict_count, idx_page, idx_unc))
+            if dict_page.len() + idx_page.len() + 16 < plain_page.len() =>
+        {
+            encoding = Encoding::Dictionary;
+            out.push(encoding.tag());
+            write_page(&mut out, &dict_page, dict_unc, dict_count);
+            write_page(&mut out, &idx_page, idx_unc, col.len());
+        }
+        _ => {
+            encoding = Encoding::Plain;
+            out.push(encoding.tag());
+            write_page(&mut out, &plain_page, plain_bytes.len(), col.len());
+        }
+    }
+
+    let stats = ChunkStats {
+        value_count: col.len() as u64,
+        plain_size,
+        encoded_size: out.len() as u64,
+        encoding,
+        min,
+        max,
+    };
+    (out, stats)
+}
+
+fn write_page(out: &mut Vec<u8>, compressed: &[u8], uncompressed_len: usize, count: usize) {
+    put::u32(out, compressed.len() as u32);
+    put::u32(out, uncompressed_len as u32);
+    put::u32(out, count as u32);
+    put::u32(out, crc32(compressed));
+    out.extend_from_slice(compressed);
+}
+
+struct Page<'a> {
+    bytes: &'a [u8],
+    uncompressed_len: usize,
+    count: usize,
+}
+
+fn read_page<'a>(c: &mut Cursor<'a>) -> Result<Page<'a>> {
+    let clen = c.u32()? as usize;
+    let ulen = c.u32()? as usize;
+    let count = c.u32()? as usize;
+    let crc = c.u32()?;
+    let bytes = c.bytes(clen)?;
+    if crc32(bytes) != crc {
+        // Row group / column filled in by the caller's context; chunk-level
+        // decode doesn't know them, so report 0/0 here.
+        return Err(FormatError::ChecksumMismatch { row_group: 0, column: 0 });
+    }
+    Ok(Page { bytes, uncompressed_len: ulen, count })
+}
+
+fn physical(ty: LogicalType) -> plain::PhysicalType {
+    match ty {
+        LogicalType::Int64 | LogicalType::Date => plain::PhysicalType::Int64,
+        LogicalType::Float64 => plain::PhysicalType::Float64,
+        LogicalType::Utf8 => plain::PhysicalType::Utf8,
+    }
+}
+
+/// Decodes chunk bytes back into a column.
+///
+/// # Errors
+///
+/// Fails on corruption, checksum mismatch, or type inconsistencies.
+pub fn decode_column_chunk(bytes: &[u8], ty: LogicalType) -> Result<ColumnData> {
+    let mut c = Cursor::new(bytes);
+    let enc = Encoding::from_tag(c.u8()?)
+        .ok_or_else(|| FormatError::Corrupt("unknown encoding tag".into()))?;
+    match enc {
+        Encoding::Plain => {
+            let page = read_page(&mut c)?;
+            let raw = fusion_snappy::decompress(page.bytes)?;
+            if raw.len() != page.uncompressed_len {
+                return Err(FormatError::Corrupt("page length mismatch".into()));
+            }
+            plain::decode(&raw, physical(ty), page.count)
+        }
+        Encoding::Dictionary => {
+            let dict_page = read_page(&mut c)?;
+            let dict_raw = fusion_snappy::decompress(dict_page.bytes)?;
+            let dictionary = plain::decode(&dict_raw, physical(ty), dict_page.count)?;
+            let idx_page = read_page(&mut c)?;
+            let idx_raw = fusion_snappy::decompress(idx_page.bytes)?;
+            dict::decode(&dictionary, &idx_raw, idx_page.count)
+        }
+    }
+}
+
+/// Decodes only the number of values in a chunk without materializing data
+/// (reads the final page header).
+///
+/// # Errors
+///
+/// Fails on corruption.
+pub fn chunk_value_count(bytes: &[u8], _ty: LogicalType) -> Result<usize> {
+    let mut c = Cursor::new(bytes);
+    let enc = Encoding::from_tag(c.u8()?)
+        .ok_or_else(|| FormatError::Corrupt("unknown encoding tag".into()))?;
+    if enc == Encoding::Dictionary {
+        let _ = read_page(&mut c)?;
+    }
+    let page = read_page(&mut c)?;
+    Ok(page.count)
+}
+
+/// Re-encodes only the dictionary indices of a chunk to count decode work —
+/// exposed for tests and the latency model, which needs decode cost per
+/// chunk. Returns `(is_dictionary, compressed_len)`.
+///
+/// # Errors
+///
+/// Fails on a corrupt header.
+pub fn chunk_layout(bytes: &[u8]) -> Result<(Encoding, usize)> {
+    let mut c = Cursor::new(bytes);
+    let enc = Encoding::from_tag(c.u8()?)
+        .ok_or_else(|| FormatError::Corrupt("unknown encoding tag".into()))?;
+    Ok((enc, bytes.len()))
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_cardinality_picks_dictionary() {
+        let col = ColumnData::Utf8(
+            (0..10_000)
+                .map(|i| ["AIR", "RAIL", "SHIP", "TRUCK"][i % 4].to_string())
+                .collect(),
+        );
+        let (bytes, stats) = encode_column_chunk(&col);
+        assert_eq!(stats.encoding, Encoding::Dictionary);
+        assert!(stats.compressibility() > 5.0, "got {}", stats.compressibility());
+        assert_eq!(decode_column_chunk(&bytes, LogicalType::Utf8).unwrap(), col);
+    }
+
+    #[test]
+    fn high_cardinality_strings_stay_plain_or_dict_but_roundtrip() {
+        let col = ColumnData::Utf8((0..5_000).map(|i| format!("unique-string-{i}")).collect());
+        let (bytes, stats) = encode_column_chunk(&col);
+        assert_eq!(decode_column_chunk(&bytes, LogicalType::Utf8).unwrap(), col);
+        assert_eq!(stats.value_count, 5000);
+    }
+
+    #[test]
+    fn int_roundtrip_with_stats() {
+        let col = ColumnData::Int64((0..1000).map(|i| i % 7).collect());
+        let (bytes, stats) = encode_column_chunk(&col);
+        assert_eq!(stats.min, Some(Value::Int(0)));
+        assert_eq!(stats.max, Some(Value::Int(6)));
+        assert_eq!(stats.plain_size, 8000);
+        assert_eq!(decode_column_chunk(&bytes, LogicalType::Int64).unwrap(), col);
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let col = ColumnData::Float64((0..500).map(|i| (i as f64) * 0.01).collect());
+        let (bytes, _) = encode_column_chunk(&col);
+        assert_eq!(decode_column_chunk(&bytes, LogicalType::Float64).unwrap(), col);
+    }
+
+    #[test]
+    fn date_uses_int_physical() {
+        let col = ColumnData::Int64(vec![19000, 19001, 19002]);
+        let (bytes, _) = encode_column_chunk(&col);
+        assert_eq!(decode_column_chunk(&bytes, LogicalType::Date).unwrap(), col);
+    }
+
+    #[test]
+    fn empty_chunk_roundtrip() {
+        let col = ColumnData::Int64(vec![]);
+        let (bytes, stats) = encode_column_chunk(&col);
+        assert_eq!(stats.value_count, 0);
+        assert_eq!(stats.min, None);
+        assert_eq!(decode_column_chunk(&bytes, LogicalType::Int64).unwrap(), col);
+    }
+
+    #[test]
+    fn corruption_detected_by_crc() {
+        let col = ColumnData::Int64((0..100).collect());
+        let (mut bytes, _) = encode_column_chunk(&col);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(decode_column_chunk(&bytes, LogicalType::Int64).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let col = ColumnData::Int64((0..100).collect());
+        let (bytes, _) = encode_column_chunk(&col);
+        assert!(decode_column_chunk(&bytes[..bytes.len() / 2], LogicalType::Int64).is_err());
+    }
+
+    #[test]
+    fn value_count_probe() {
+        let col = ColumnData::Utf8((0..321).map(|i| format!("v{}", i % 3)).collect());
+        let (bytes, _) = encode_column_chunk(&col);
+        assert_eq!(chunk_value_count(&bytes, LogicalType::Utf8).unwrap(), 321);
+    }
+
+    #[test]
+    fn compressibility_definition() {
+        let stats = ChunkStats {
+            value_count: 10,
+            plain_size: 1000,
+            encoded_size: 100,
+            encoding: Encoding::Plain,
+            min: None,
+            max: None,
+        };
+        assert_eq!(stats.compressibility(), 10.0);
+    }
+
+    #[test]
+    fn repeated_ints_compress_hard() {
+        // Like `linestatus`: a couple of distinct values over many rows.
+        let col = ColumnData::Int64((0..100_000).map(|i| i % 2).collect());
+        let (_, stats) = encode_column_chunk(&col);
+        assert!(
+            stats.compressibility() > 50.0,
+            "expected extreme compression, got {}",
+            stats.compressibility()
+        );
+    }
+}

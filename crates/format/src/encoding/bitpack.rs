@@ -1,0 +1,143 @@
+//! Fixed-width bit packing of `u32` values (LSB-first within a little-endian
+//! bit stream), the layout used for dictionary indices.
+
+use crate::error::{FormatError, Result};
+
+/// Smallest bit width that can represent `max`.
+///
+/// `bit_width(0) == 0`: a stream of all-zero values needs no payload bits.
+pub fn bit_width(max: u32) -> u32 {
+    32 - max.leading_zeros()
+}
+
+/// Packs `values` at `width` bits each, appending to `out`.
+///
+/// # Panics
+///
+/// Panics if any value does not fit in `width` bits, or `width > 32`.
+pub fn pack(values: &[u32], width: u32, out: &mut Vec<u8>) {
+    assert!(width <= 32, "width must be at most 32");
+    if width == 0 {
+        debug_assert!(values.iter().all(|&v| v == 0));
+        return;
+    }
+    let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+    let mut acc: u64 = 0;
+    let mut bits: u32 = 0;
+    for &v in values {
+        assert!(v & !mask == 0, "value {v} does not fit in {width} bits");
+        acc |= (v as u64) << bits;
+        bits += width;
+        while bits >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            bits -= 8;
+        }
+    }
+    if bits > 0 {
+        out.push(acc as u8);
+    }
+}
+
+/// Unpacks `count` values of `width` bits from `input`.
+///
+/// # Errors
+///
+/// Returns [`FormatError::Truncated`] if `input` is too short.
+pub fn unpack(input: &[u8], width: u32, count: usize) -> Result<Vec<u32>> {
+    assert!(width <= 32, "width must be at most 32");
+    if width == 0 {
+        return Ok(vec![0; count]);
+    }
+    let needed = (count * width as usize).div_ceil(8);
+    if input.len() < needed {
+        return Err(FormatError::Truncated);
+    }
+    let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+    let mut out = Vec::with_capacity(count);
+    let mut acc: u64 = 0;
+    let mut bits: u32 = 0;
+    let mut pos = 0;
+    for _ in 0..count {
+        while bits < width {
+            acc |= (input[pos] as u64) << bits;
+            pos += 1;
+            bits += 8;
+        }
+        out.push((acc as u32) & mask);
+        acc >>= width;
+        bits -= width;
+    }
+    Ok(out)
+}
+
+/// Number of bytes `count` values of `width` bits occupy.
+pub fn packed_len(width: u32, count: usize) -> usize {
+    (count * width as usize).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(bit_width(0), 0);
+        assert_eq!(bit_width(1), 1);
+        assert_eq!(bit_width(2), 2);
+        assert_eq!(bit_width(3), 2);
+        assert_eq!(bit_width(255), 8);
+        assert_eq!(bit_width(256), 9);
+        assert_eq!(bit_width(u32::MAX), 32);
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        for width in 0..=32u32 {
+            let max = if width == 0 {
+                0
+            } else if width == 32 {
+                u32::MAX
+            } else {
+                (1u32 << width) - 1
+            };
+            let values: Vec<u32> = (0..100u32)
+                .map(|i| i.wrapping_mul(2_654_435_761) & max)
+                .collect();
+            let mut buf = Vec::new();
+            pack(&values, width, &mut buf);
+            assert_eq!(buf.len(), packed_len(width, values.len()));
+            assert_eq!(unpack(&buf, width, values.len()).unwrap(), values, "width {width}");
+        }
+    }
+
+    #[test]
+    fn zero_width_is_empty() {
+        let mut buf = Vec::new();
+        pack(&[0, 0, 0], 0, &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(unpack(&buf, 0, 3).unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn truncated_input_detected() {
+        let mut buf = Vec::new();
+        pack(&[1, 2, 3], 8, &mut buf);
+        assert_eq!(unpack(&buf[..2], 8, 3).unwrap_err(), FormatError::Truncated);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let mut buf = Vec::new();
+        pack(&[4], 2, &mut buf);
+    }
+
+    #[test]
+    fn dense_packing() {
+        // 8 values * 3 bits = 24 bits = 3 bytes.
+        let mut buf = Vec::new();
+        pack(&[1, 2, 3, 4, 5, 6, 7, 0], 3, &mut buf);
+        assert_eq!(buf.len(), 3);
+    }
+}

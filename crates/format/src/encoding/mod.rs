@@ -1,0 +1,54 @@
+//! Value encodings used inside column-chunk pages.
+//!
+//! * [`plain`] — type-native byte layout, the fallback and the reference
+//!   for "uncompressed size".
+//! * [`dict`] — dictionary encoding with RLE/bit-packed indices, the
+//!   default for low-cardinality columns.
+//! * [`rle`] — the hybrid RLE/bit-packing used for index streams.
+//! * [`bitpack`] — fixed-width bit packing primitives.
+
+pub mod bitpack;
+pub mod dict;
+pub mod plain;
+pub mod rle;
+
+/// Encoding identifier stored in page headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// [`plain`] encoding.
+    Plain,
+    /// [`dict`] encoding (dictionary page + RLE/bit-packed indices).
+    Dictionary,
+}
+
+impl Encoding {
+    /// Stable wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Encoding::Plain => 0,
+            Encoding::Dictionary => 1,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(t: u8) -> Option<Encoding> {
+        match t {
+            0 => Some(Encoding::Plain),
+            1 => Some(Encoding::Dictionary),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_tags_roundtrip() {
+        for e in [Encoding::Plain, Encoding::Dictionary] {
+            assert_eq!(Encoding::from_tag(e.tag()), Some(e));
+        }
+        assert_eq!(Encoding::from_tag(9), None);
+    }
+}

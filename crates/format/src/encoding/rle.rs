@@ -1,0 +1,169 @@
+//! Hybrid run-length / bit-packed encoding of `u32` streams, modeled on
+//! Parquet's RLE/bit-packing hybrid. Used for dictionary indices, where long
+//! runs of the same code (sorted or low-cardinality data) compress to a few
+//! bytes.
+//!
+//! Stream layout: `[width: u8]` then a sequence of runs, each headed by a
+//! varint `h`:
+//! * `h & 1 == 0`: an **RLE run** — `h >> 1` repetitions of one value,
+//!   stored in `ceil(width/8)` bytes.
+//! * `h & 1 == 1`: a **literal run** — `h >> 1` values, bit-packed at
+//!   `width` bits.
+
+use super::bitpack;
+use crate::error::{FormatError, Result};
+use crate::util::{put, Cursor};
+
+/// Minimum repetition count worth switching from literal to RLE mode.
+const MIN_RLE_RUN: usize = 8;
+
+/// Encodes `values` (each < 2^width for the chosen width) into `out`.
+/// The width is derived from the maximum value and written as the first
+/// byte.
+pub fn encode(values: &[u32], out: &mut Vec<u8>) {
+    let width = bitpack::bit_width(values.iter().copied().max().unwrap_or(0));
+    out.push(width as u8);
+    let value_bytes = width.div_ceil(8) as usize;
+
+    let mut i = 0;
+    let mut lit_start = 0;
+    while i < values.len() {
+        // Measure the run of equal values starting at i.
+        let v = values[i];
+        let mut j = i + 1;
+        while j < values.len() && values[j] == v {
+            j += 1;
+        }
+        let run = j - i;
+        if run >= MIN_RLE_RUN {
+            flush_literals(&values[lit_start..i], width, out);
+            put::uvarint(out, (run as u64) << 1);
+            out.extend_from_slice(&v.to_le_bytes()[..value_bytes]);
+            lit_start = j;
+        }
+        i = j;
+    }
+    flush_literals(&values[lit_start..], width, out);
+}
+
+fn flush_literals(lits: &[u32], width: u32, out: &mut Vec<u8>) {
+    if lits.is_empty() {
+        return;
+    }
+    put::uvarint(out, ((lits.len() as u64) << 1) | 1);
+    bitpack::pack(lits, width, out);
+}
+
+/// Decodes exactly `count` values from `input`.
+///
+/// # Errors
+///
+/// Fails on truncation or if the stream holds a different number of values.
+pub fn decode(input: &[u8], count: usize) -> Result<Vec<u32>> {
+    let mut c = Cursor::new(input);
+    let width = c.u8()? as u32;
+    if width > 32 {
+        return Err(FormatError::Corrupt(format!("rle width {width} > 32")));
+    }
+    let value_bytes = width.div_ceil(8) as usize;
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let h = c.uvarint()?;
+        if h & 1 == 0 {
+            // RLE run.
+            let run = (h >> 1) as usize;
+            let raw = c.bytes(value_bytes)?;
+            let mut le = [0u8; 4];
+            le[..value_bytes].copy_from_slice(raw);
+            let v = u32::from_le_bytes(le);
+            if out.len() + run > count {
+                return Err(FormatError::Corrupt("rle run overflows value count".into()));
+            }
+            out.extend(std::iter::repeat_n(v, run));
+        } else {
+            let n = (h >> 1) as usize;
+            if out.len() + n > count {
+                return Err(FormatError::Corrupt("literal run overflows value count".into()));
+            }
+            let bytes = bitpack::packed_len(width, n);
+            let raw = c.bytes(bytes)?;
+            out.extend(bitpack::unpack(raw, width, n)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32]) -> usize {
+        let mut buf = Vec::new();
+        encode(values, &mut buf);
+        assert_eq!(decode(&buf, values.len()).unwrap(), values);
+        buf.len()
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert_eq!(roundtrip(&[]), 1); // just the width byte
+    }
+
+    #[test]
+    fn constant_stream_is_tiny() {
+        let values = vec![5u32; 10_000];
+        let size = roundtrip(&values);
+        assert!(size < 10, "constant stream took {size} bytes");
+    }
+
+    #[test]
+    fn alternating_values_stay_literal() {
+        let values: Vec<u32> = (0..1000).map(|i| i % 2).collect();
+        let size = roundtrip(&values);
+        // 1 bit each + headers; must be well under a byte per value.
+        assert!(size < 200, "alternating stream took {size} bytes");
+    }
+
+    #[test]
+    fn mixed_runs_and_literals() {
+        let mut values = Vec::new();
+        values.extend(std::iter::repeat_n(7u32, 100));
+        values.extend(0..50u32);
+        values.extend(std::iter::repeat_n(3u32, 9));
+        values.extend([1, 2, 1, 2, 1].iter());
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn short_runs_not_rle() {
+        // Runs below MIN_RLE_RUN should still roundtrip via literals.
+        let values = [9, 9, 9, 1, 1, 2, 2, 2, 2];
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn large_values() {
+        let values: Vec<u32> = (0..100).map(|i| u32::MAX - i).collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn wrong_count_is_error() {
+        let mut buf = Vec::new();
+        encode(&[1, 2, 3], &mut buf);
+        // Asking for more values than the stream has must error, not hang.
+        assert!(decode(&buf, 10).is_err());
+    }
+
+    #[test]
+    fn truncated_is_error() {
+        let mut buf = Vec::new();
+        encode(&(0..100u32).collect::<Vec<_>>(), &mut buf);
+        assert!(decode(&buf[..buf.len() / 2], 100).is_err());
+    }
+
+    #[test]
+    fn corrupt_width_is_error() {
+        assert!(decode(&[60, 2, 0], 1).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for reading and writing analytics files.
+
+use fusion_snappy::DecompressError;
+
+/// Errors produced while encoding or decoding a columnar file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The file is shorter than the fixed trailer or otherwise truncated.
+    Truncated,
+    /// The trailing magic bytes are wrong — not a Fusion analytics file.
+    BadMagic,
+    /// A structural invariant was violated; the payload describes it.
+    Corrupt(String),
+    /// A page failed its CRC check.
+    ChecksumMismatch {
+        /// Row group of the failing page.
+        row_group: usize,
+        /// Column of the failing page.
+        column: usize,
+    },
+    /// Snappy decompression of a page failed.
+    Decompress(DecompressError),
+    /// A requested column does not exist.
+    NoSuchColumn(String),
+    /// A requested row group index is out of range.
+    NoSuchRowGroup(usize),
+    /// Operation applied to a column of the wrong logical type.
+    TypeMismatch {
+        /// What the caller expected.
+        expected: &'static str,
+        /// What the column actually is.
+        actual: &'static str,
+    },
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Truncated => write!(f, "file is truncated"),
+            FormatError::BadMagic => write!(f, "bad magic: not a fusion analytics file"),
+            FormatError::Corrupt(why) => write!(f, "corrupt file: {why}"),
+            FormatError::ChecksumMismatch { row_group, column } => {
+                write!(f, "checksum mismatch in row group {row_group}, column {column}")
+            }
+            FormatError::Decompress(e) => write!(f, "page decompression failed: {e}"),
+            FormatError::NoSuchColumn(name) => write!(f, "no such column: {name}"),
+            FormatError::NoSuchRowGroup(i) => write!(f, "no such row group: {i}"),
+            FormatError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, found {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Decompress(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecompressError> for FormatError {
+    fn from(e: DecompressError) -> Self {
+        FormatError::Decompress(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, FormatError>;

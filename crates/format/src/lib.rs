@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # fusion-format
+//!
+//! A from-scratch columnar analytics file format in the PAX family
+//! (a deliberately compact "mini-Parquet"), built as the data substrate for
+//! the Fusion object store (ASPLOS '25).
+//!
+//! A file is a sequence of **row groups**; each row group stores one
+//! **column chunk** per column, laid out contiguously. A column chunk is
+//! the *smallest computable unit*: it is self-contained (its dictionary
+//! travels with it), so a storage node holding a chunk can decode it and
+//! evaluate filters/projections in place. The footer records every chunk's
+//! byte extent, value count, plain (uncompressed) size, encoding, and
+//! min/max statistics — the metadata FAC and the pushdown cost model
+//! consume.
+//!
+//! Encodings mirror Parquet defaults: dictionary encoding with
+//! RLE/bit-packed indices when cardinality allows, plain otherwise, with
+//! Snappy compression on every page.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fusion_format::prelude::*;
+//!
+//! let schema = Schema::new(vec![
+//!     Field::new("name", LogicalType::Utf8),
+//!     Field::new("salary", LogicalType::Int64),
+//! ]);
+//! let table = Table::new(schema, vec![
+//!     ColumnData::Utf8(vec!["Alice".into(), "Bob".into(), "Charlie".into()]),
+//!     ColumnData::Int64(vec![70_000, 80_000, 70_000]),
+//! ])?;
+//!
+//! let bytes = write_table(&table, WriteOptions { rows_per_group: 2 })?;
+//! let reader = FileReader::open(&bytes)?;
+//! assert_eq!(reader.meta().num_chunks(), 4); // 2 row groups × 2 columns
+//! assert_eq!(reader.read_table()?, table);
+//! # Ok::<(), fusion_format::error::FormatError>(())
+//! ```
+
+pub mod chunk;
+pub mod csv;
+pub mod encoding;
+pub mod error;
+pub mod footer;
+pub mod reader;
+pub mod schema;
+pub mod table;
+pub mod util;
+pub mod value;
+pub mod writer;
+
+/// Commonly used items, importable in one line.
+pub mod prelude {
+    pub use crate::chunk::{decode_column_chunk, encode_column_chunk, ChunkStats};
+    pub use crate::error::{FormatError, Result};
+    pub use crate::footer::{parse_footer, ChunkMeta, FileMeta, RowGroupMeta};
+    pub use crate::reader::FileReader;
+    pub use crate::schema::{Field, LogicalType, Schema};
+    pub use crate::table::Table;
+    pub use crate::value::{ColumnData, Value};
+    pub use crate::writer::{write_table, WriteOptions};
+}
+
+pub use prelude::*;

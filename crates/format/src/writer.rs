@@ -1,0 +1,165 @@
+//! Serializes an in-memory [`Table`] into analytics file bytes.
+
+use crate::chunk::encode_column_chunk;
+use crate::error::{FormatError, Result};
+use crate::footer::{append_footer, ChunkMeta, FileMeta, RowGroupMeta};
+use crate::table::Table;
+
+/// Options controlling file layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Rows per row group. The last group may be smaller.
+    pub rows_per_group: usize,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            rows_per_group: 1 << 20,
+        }
+    }
+}
+
+/// Writes `table` into a complete analytics file.
+///
+/// Chunks are laid out row group by row group, column by column (PAX
+/// order), followed by the footer.
+///
+/// # Errors
+///
+/// Returns [`FormatError::Corrupt`] when `rows_per_group` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_format::schema::{Field, LogicalType, Schema};
+/// use fusion_format::table::Table;
+/// use fusion_format::value::ColumnData;
+/// use fusion_format::writer::{write_table, WriteOptions};
+///
+/// let schema = Schema::new(vec![Field::new("x", LogicalType::Int64)]);
+/// let table = Table::new(schema, vec![ColumnData::Int64((0..100).collect())])?;
+/// let bytes = write_table(&table, WriteOptions { rows_per_group: 40 })?;
+/// let meta = fusion_format::footer::parse_footer(&bytes)?;
+/// assert_eq!(meta.row_groups.len(), 3); // 40 + 40 + 20
+/// # Ok::<(), fusion_format::error::FormatError>(())
+/// ```
+pub fn write_table(table: &Table, options: WriteOptions) -> Result<Vec<u8>> {
+    if options.rows_per_group == 0 {
+        return Err(FormatError::Corrupt("rows_per_group must be positive".into()));
+    }
+    let mut file: Vec<u8> = Vec::new();
+    let mut row_groups = Vec::new();
+    let total = table.num_rows();
+    let mut start = 0;
+    // An empty table still gets one empty row group so the schema is
+    // queryable.
+    loop {
+        let end = (start + options.rows_per_group).min(total);
+        let group = table.slice_rows(start..end);
+        let mut chunks = Vec::with_capacity(group.num_columns());
+        for col in group.columns() {
+            let offset = file.len() as u64;
+            let (bytes, stats) = encode_column_chunk(col);
+            file.extend_from_slice(&bytes);
+            chunks.push(ChunkMeta {
+                offset,
+                len: bytes.len() as u64,
+                value_count: stats.value_count,
+                plain_size: stats.plain_size,
+                encoding: stats.encoding,
+                min: stats.min,
+                max: stats.max,
+            });
+        }
+        row_groups.push(RowGroupMeta {
+            row_count: (end - start) as u64,
+            chunks,
+        });
+        start = end;
+        if start >= total {
+            break;
+        }
+    }
+    let meta = FileMeta {
+        schema: table.schema().clone(),
+        row_groups,
+    };
+    append_footer(&mut file, &meta);
+    Ok(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footer::parse_footer;
+    use crate::schema::{Field, LogicalType, Schema};
+    use crate::value::ColumnData;
+
+    fn two_col_table(rows: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("id", LogicalType::Int64),
+            Field::new("flag", LogicalType::Utf8),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                ColumnData::Int64((0..rows as i64).collect()),
+                ColumnData::Utf8((0..rows).map(|i| ["A", "B"][i % 2].to_string()).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chunk_extents_are_contiguous_and_exact() {
+        let table = two_col_table(1000);
+        let bytes = write_table(&table, WriteOptions { rows_per_group: 300 }).unwrap();
+        let meta = parse_footer(&bytes).unwrap();
+        assert_eq!(meta.row_groups.len(), 4); // 300*3 + 100
+        let mut expected_offset = 0u64;
+        for (_, _, c) in meta.chunks() {
+            assert_eq!(c.offset, expected_offset, "chunks must be contiguous");
+            expected_offset += c.len;
+        }
+        assert_eq!(meta.data_len(), expected_offset);
+        // Footer begins right after data.
+        assert!(bytes.len() as u64 > expected_offset);
+    }
+
+    #[test]
+    fn row_counts_partition_table() {
+        let table = two_col_table(1000);
+        let bytes = write_table(&table, WriteOptions { rows_per_group: 256 }).unwrap();
+        let meta = parse_footer(&bytes).unwrap();
+        assert_eq!(meta.num_rows(), 1000);
+        assert_eq!(
+            meta.row_groups.iter().map(|g| g.row_count).collect::<Vec<_>>(),
+            vec![256, 256, 256, 232]
+        );
+    }
+
+    #[test]
+    fn zero_rows_per_group_rejected() {
+        let table = two_col_table(10);
+        assert!(write_table(&table, WriteOptions { rows_per_group: 0 }).is_err());
+    }
+
+    #[test]
+    fn empty_table_still_has_footer() {
+        let schema = Schema::new(vec![Field::new("x", LogicalType::Int64)]);
+        let table = Table::new(schema, vec![ColumnData::Int64(vec![])]).unwrap();
+        let bytes = write_table(&table, WriteOptions::default()).unwrap();
+        let meta = parse_footer(&bytes).unwrap();
+        assert_eq!(meta.num_rows(), 0);
+        assert_eq!(meta.row_groups.len(), 1);
+    }
+
+    #[test]
+    fn default_options_single_group_for_small_tables() {
+        let table = two_col_table(100);
+        let bytes = write_table(&table, WriteOptions::default()).unwrap();
+        let meta = parse_footer(&bytes).unwrap();
+        assert_eq!(meta.row_groups.len(), 1);
+    }
+}

@@ -1,0 +1,497 @@
+#![warn(missing_docs)]
+
+//! # fusion-snappy
+//!
+//! A from-scratch implementation of the [Snappy] raw block format — the
+//! compression codec Parquet applies to column-chunk pages and the codec
+//! Fusion uses to compress filter bitmaps before shipping them to the
+//! coordinator (paper §5).
+//!
+//! Snappy is an LZ77-family byte-oriented codec that trades ratio for
+//! speed: a stream is a varint-encoded uncompressed length followed by a
+//! sequence of *literal* and *copy* elements. This implementation follows
+//! the reference format description and is written entirely in safe Rust.
+//!
+//! [Snappy]: https://github.com/google/snappy/blob/main/format_description.txt
+//!
+//! ## Quickstart
+//!
+//! ```
+//! let input = b"an analytics object store optimized for query pushdown \
+//!               pushdown pushdown pushdown".to_vec();
+//! let compressed = fusion_snappy::compress(&input);
+//! assert!(compressed.len() < input.len());
+//! assert_eq!(fusion_snappy::decompress(&compressed)?, input);
+//! # Ok::<(), fusion_snappy::DecompressError>(())
+//! ```
+
+pub mod varint;
+
+use varint::{read_uvarint, write_uvarint};
+
+/// Elements within a block are emitted per ≤64 KiB fragment, matching the
+/// reference implementation's working-set bound.
+const FRAGMENT: usize = 65536;
+
+/// Tag low bits.
+const TAG_LITERAL: u8 = 0b00;
+const TAG_COPY1: u8 = 0b01;
+const TAG_COPY2: u8 = 0b10;
+const TAG_COPY4: u8 = 0b11;
+
+/// Errors produced by [`decompress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The stream ended before the declared uncompressed length was produced.
+    Truncated,
+    /// The length header is not a valid varint or exceeds 2^32−1.
+    BadHeader,
+    /// A copy element referenced bytes before the start of the output.
+    OffsetTooFar,
+    /// A copy element had offset zero.
+    ZeroOffset,
+    /// The stream decoded to more bytes than the header declared.
+    TooLong,
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            DecompressError::Truncated => "compressed stream is truncated",
+            DecompressError::BadHeader => "invalid length header",
+            DecompressError::OffsetTooFar => "copy offset precedes start of output",
+            DecompressError::ZeroOffset => "copy offset of zero",
+            DecompressError::TooLong => "stream decodes past its declared length",
+        };
+        write!(f, "{msg}")
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+/// Returns an upper bound on the compressed size of `len` input bytes,
+/// useful for pre-allocating output buffers.
+///
+/// Mirrors the reference formula: `32 + len + len/6`.
+pub fn max_compressed_len(len: usize) -> usize {
+    32 + len + len / 6
+}
+
+/// Compresses `input` into a fresh buffer using the Snappy block format.
+///
+/// Compression is greedy LZ77 with a 16 K-entry hash table over 4-byte
+/// sequences, processed in 64 KiB fragments. Incompressible input degrades
+/// gracefully to literal runs (bounded expansion, see
+/// [`max_compressed_len`]).
+///
+/// # Examples
+///
+/// ```
+/// let c = fusion_snappy::compress(b"hello hello hello hello");
+/// assert_eq!(fusion_snappy::decompress(&c).unwrap(), b"hello hello hello hello");
+/// ```
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(max_compressed_len(input.len()));
+    write_uvarint(&mut out, input.len() as u64);
+    let mut pos = 0;
+    while pos < input.len() {
+        let end = (pos + FRAGMENT).min(input.len());
+        compress_fragment(pos, end, input, &mut out);
+        pos = end;
+    }
+    out
+}
+
+/// Compresses one fragment spanning `base..end` of `whole`. Matches may
+/// reach back across fragment boundaries (offsets are relative to the whole
+/// stream, as the format allows).
+fn compress_fragment(base: usize, end: usize, whole: &[u8], out: &mut Vec<u8>) {
+    const HASH_BITS: u32 = 14;
+    const HASH_SIZE: usize = 1 << HASH_BITS;
+    if end - base < 4 {
+        emit_literal(&whole[base..end], out);
+        return;
+    }
+    // table[h] = absolute position of a prior 4-byte sequence with hash h.
+    let mut table = vec![u32::MAX; HASH_SIZE];
+    let hash = |w: u32| -> usize { (w.wrapping_mul(0x1E35_A7BD) >> (32 - HASH_BITS)) as usize };
+    let load32 =
+        |p: usize| -> u32 { u32::from_le_bytes([whole[p], whole[p + 1], whole[p + 2], whole[p + 3]]) };
+
+    let mut lit_start = base; // start of pending literal run
+    let mut p = base;
+    // Last position where a 4-byte load is valid.
+    let limit = end - 4;
+
+    while p <= limit {
+        let h = hash(load32(p));
+        let cand = table[h] as usize;
+        table[h] = p as u32;
+        // Valid candidate: strictly before p and matching 4 bytes.
+        if cand < p && cand + 4 <= end && load32(cand) == load32(p) {
+            // Extend the match.
+            let mut len = 4;
+            while p + len < end && whole[cand + len] == whole[p + len] {
+                len += 1;
+            }
+            if lit_start < p {
+                emit_literal(&whole[lit_start..p], out);
+            }
+            emit_copy(p - cand, len, out);
+            p += len;
+            lit_start = p;
+            continue;
+        }
+        p += 1;
+    }
+    if lit_start < end {
+        emit_literal(&whole[lit_start..end], out);
+    }
+}
+
+/// Emits a literal element (tag + raw bytes).
+fn emit_literal(lit: &[u8], out: &mut Vec<u8>) {
+    if lit.is_empty() {
+        return;
+    }
+    let n = lit.len() - 1;
+    if n < 60 {
+        out.push(((n as u8) << 2) | TAG_LITERAL);
+    } else if n < (1 << 8) {
+        out.push((60 << 2) | TAG_LITERAL);
+        out.push(n as u8);
+    } else if n < (1 << 16) {
+        out.push((61 << 2) | TAG_LITERAL);
+        out.extend_from_slice(&(n as u16).to_le_bytes());
+    } else if n < (1 << 24) {
+        out.push((62 << 2) | TAG_LITERAL);
+        out.extend_from_slice(&(n as u32).to_le_bytes()[..3]);
+    } else {
+        out.push((63 << 2) | TAG_LITERAL);
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+    }
+    out.extend_from_slice(lit);
+}
+
+/// Emits a copy element, splitting long copies into ≤64-byte pieces as the
+/// format requires.
+fn emit_copy(offset: usize, mut len: usize, out: &mut Vec<u8>) {
+    debug_assert!(offset > 0);
+    // Long matches: emit 64-byte pieces while more than 68 remain so the
+    // final two pieces both stay within the 4..=64 range.
+    while len >= 68 {
+        emit_copy_piece(offset, 64, out);
+        len -= 64;
+    }
+    if len > 64 {
+        emit_copy_piece(offset, 60, out);
+        len -= 60;
+    }
+    emit_copy_piece(offset, len, out);
+}
+
+fn emit_copy_piece(offset: usize, len: usize, out: &mut Vec<u8>) {
+    debug_assert!((4..=64).contains(&len));
+    if len <= 11 && offset < 2048 {
+        // Copy with 1-byte offset: 3-bit length (len-4), 11-bit offset.
+        out.push(TAG_COPY1 | (((len - 4) as u8) << 2) | ((((offset >> 8) as u8) & 0b111) << 5));
+        out.push(offset as u8);
+    } else if offset < (1 << 16) {
+        out.push(TAG_COPY2 | (((len - 1) as u8) << 2));
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+    } else {
+        out.push(TAG_COPY4 | (((len - 1) as u8) << 2));
+        out.extend_from_slice(&(offset as u32).to_le_bytes());
+    }
+}
+
+/// Decompresses a Snappy block-format stream.
+///
+/// # Errors
+///
+/// Returns a [`DecompressError`] if the stream is malformed: truncated,
+/// bad header, invalid copy offsets, or length mismatch.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let (expected, mut pos) = read_uvarint(input).ok_or(DecompressError::BadHeader)?;
+    if expected > u32::MAX as u64 {
+        return Err(DecompressError::BadHeader);
+    }
+    let expected = expected as usize;
+    let mut out: Vec<u8> = Vec::with_capacity(expected);
+
+    while pos < input.len() {
+        let tag = input[pos];
+        pos += 1;
+        match tag & 0b11 {
+            TAG_LITERAL => {
+                let n6 = (tag >> 2) as usize;
+                let len = if n6 < 60 {
+                    n6 + 1
+                } else {
+                    let extra = n6 - 59; // 1..=4 length bytes
+                    if pos + extra > input.len() {
+                        return Err(DecompressError::Truncated);
+                    }
+                    let mut v = 0usize;
+                    for i in 0..extra {
+                        v |= (input[pos + i] as usize) << (8 * i);
+                    }
+                    pos += extra;
+                    v + 1
+                };
+                if pos + len > input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                out.extend_from_slice(&input[pos..pos + len]);
+                pos += len;
+            }
+            TAG_COPY1 => {
+                if pos >= input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                let len = 4 + ((tag >> 2) & 0b111) as usize;
+                let offset = (((tag >> 5) as usize) << 8) | input[pos] as usize;
+                pos += 1;
+                copy_within(&mut out, offset, len)?;
+            }
+            TAG_COPY2 => {
+                if pos + 2 > input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                let len = 1 + (tag >> 2) as usize;
+                let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+                pos += 2;
+                copy_within(&mut out, offset, len)?;
+            }
+            _ => {
+                if pos + 4 > input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                let len = 1 + (tag >> 2) as usize;
+                let offset =
+                    u32::from_le_bytes([input[pos], input[pos + 1], input[pos + 2], input[pos + 3]])
+                        as usize;
+                pos += 4;
+                copy_within(&mut out, offset, len)?;
+            }
+        }
+        if out.len() > expected {
+            return Err(DecompressError::TooLong);
+        }
+    }
+    if out.len() != expected {
+        return Err(DecompressError::Truncated);
+    }
+    Ok(out)
+}
+
+/// Appends `len` bytes copied from `offset` bytes before the end of `out`.
+/// Overlapping copies (offset < len) replicate the run byte-by-byte, which
+/// is the defined RLE-style semantics.
+fn copy_within(out: &mut Vec<u8>, offset: usize, len: usize) -> Result<(), DecompressError> {
+    if offset == 0 {
+        return Err(DecompressError::ZeroOffset);
+    }
+    if offset > out.len() {
+        return Err(DecompressError::OffsetTooFar);
+    }
+    let start = out.len() - offset;
+    for i in 0..len {
+        let b = out[start + i];
+        out.push(b);
+    }
+    Ok(())
+}
+
+/// Convenience: the compression ratio achieved on `input`
+/// (`uncompressed / compressed`). Returns 1.0 for empty input.
+pub fn ratio(input: &[u8]) -> f64 {
+    if input.is_empty() {
+        return 1.0;
+    }
+    input.len() as f64 / compress(input).len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert!(
+            c.len() <= max_compressed_len(data.len()),
+            "exceeded max_compressed_len"
+        );
+        assert_eq!(decompress(&c).expect("decompress"), data);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = compress(b"");
+        assert_eq!(c, vec![0u8]); // varint 0, no elements
+        assert_eq!(decompress(&c).unwrap(), b"");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for n in 1..16usize {
+            roundtrip(&vec![0xAAu8; n]);
+            let distinct: Vec<u8> = (0..n as u8).collect();
+            roundtrip(&distinct);
+        }
+    }
+
+    #[test]
+    fn repetitive_compresses_well() {
+        let data = vec![b'x'; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 15, "ratio too low: {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn text_compresses() {
+        let data = b"the quick brown fox jumps over the lazy dog. \
+                     the quick brown fox jumps over the lazy dog. \
+                     the quick brown fox jumps over the lazy dog."
+            .to_vec();
+        let c = compress(&data);
+        assert!(c.len() < data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_bounded_expansion() {
+        // Pseudo-random bytes: xorshift.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn crosses_fragment_boundary() {
+        let mut data = Vec::new();
+        for i in 0..50_000u32 {
+            data.extend_from_slice(&(i % 977).to_le_bytes());
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn literal_length_encodings() {
+        // Lengths that exercise the 1-, 2-, and 3-byte literal headers.
+        for n in [59usize, 60, 61, 255, 256, 65535, 65536, 70_000] {
+            let mut x = 7u32;
+            let data: Vec<u8> = (0..n)
+                .map(|_| {
+                    x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    (x >> 24) as u8
+                })
+                .collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn known_decode_vector() {
+        // Hand-assembled stream: len=10, literal "ab", copy offset=2 len=8.
+        // "ab" then 8 bytes copied from 2 back -> "ababababab".
+        let stream = vec![
+            10u8,                       // uvarint length 10
+            (2 - 1) << 2,               // literal, len 2
+            b'a',
+            b'b',
+            TAG_COPY1 | ((8 - 4) << 2), // copy1, len 8, offset high bits 0
+            2,                          // offset low byte
+        ];
+        assert_eq!(decompress(&stream).unwrap(), b"ababababab");
+    }
+
+    #[test]
+    fn known_encode_of_run() {
+        // A long run must produce a tiny stream beginning with the varint.
+        let c = compress(&[b'z'; 1000]);
+        let (len, _) = varint::read_uvarint(&c).unwrap();
+        assert_eq!(len, 1000);
+        assert!(c.len() < 80);
+    }
+
+    #[test]
+    fn error_truncated_literal() {
+        let stream = vec![5u8, (4 - 1) << 2, b'a']; // claims 4 literal bytes, has 1
+        assert_eq!(decompress(&stream), Err(DecompressError::Truncated));
+    }
+
+    #[test]
+    fn error_zero_offset() {
+        let stream = vec![8u8, (2 - 1) << 2, b'a', b'b', TAG_COPY1 | ((6 - 4) << 2), 0];
+        assert_eq!(decompress(&stream), Err(DecompressError::ZeroOffset));
+    }
+
+    #[test]
+    fn error_offset_too_far() {
+        let stream = vec![8u8, (2 - 1) << 2, b'a', b'b', TAG_COPY1 | ((6 - 4) << 2), 9];
+        assert_eq!(decompress(&stream), Err(DecompressError::OffsetTooFar));
+    }
+
+    #[test]
+    fn error_bad_header() {
+        assert_eq!(decompress(&[]), Err(DecompressError::BadHeader));
+        // varint larger than u32::MAX
+        assert_eq!(
+            decompress(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01]),
+            Err(DecompressError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn error_declared_length_mismatch() {
+        let c = compress(b"hello world hello world");
+        // Tamper: declare one more byte than the stream produces.
+        let (len, n) = varint::read_uvarint(&c).unwrap();
+        let mut fixed = Vec::new();
+        write_uvarint(&mut fixed, len + 1);
+        fixed.extend_from_slice(&c[n..]);
+        assert_eq!(decompress(&fixed), Err(DecompressError::Truncated));
+    }
+
+    #[test]
+    fn error_too_long() {
+        // Declare 1 byte, provide a 2-byte literal.
+        let stream = vec![1u8, (2 - 1) << 2, b'a', b'b'];
+        assert_eq!(decompress(&stream), Err(DecompressError::TooLong));
+    }
+
+    #[test]
+    fn overlapping_copy_rle_semantics() {
+        // literal 'q', copy offset=1 len=7 -> "qqqqqqqq"
+        let stream = vec![8u8, 0 << 2, b'q', TAG_COPY1 | ((7 - 4) << 2), 1];
+        assert_eq!(decompress(&stream).unwrap(), b"qqqqqqqq");
+    }
+
+    #[test]
+    fn ratio_helper() {
+        assert!(ratio(&vec![0u8; 10_000]) > 15.0);
+        assert_eq!(ratio(b""), 1.0);
+    }
+
+    #[test]
+    fn display_messages_nonempty() {
+        for e in [
+            DecompressError::Truncated,
+            DecompressError::BadHeader,
+            DecompressError::OffsetTooFar,
+            DecompressError::ZeroOffset,
+            DecompressError::TooLong,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

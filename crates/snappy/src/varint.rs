@@ -1,0 +1,100 @@
+//! LEB128-style unsigned varints, as used by the Snappy stream header and
+//! by `fusion-format` page headers.
+
+/// Appends `v` to `out` as a base-128 varint (7 bits per byte, LSB first,
+/// high bit = continuation).
+///
+/// # Examples
+///
+/// ```
+/// let mut buf = Vec::new();
+/// fusion_snappy::varint::write_uvarint(&mut buf, 300);
+/// assert_eq!(buf, vec![0xAC, 0x02]);
+/// ```
+pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint from the front of `input`, returning `(value,
+/// bytes_consumed)`, or `None` if the input is truncated or the varint
+/// would overflow a `u64` (more than 10 bytes).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(fusion_snappy::varint::read_uvarint(&[0xAC, 0x02, 0xFF]), Some((300, 2)));
+/// assert_eq!(fusion_snappy::varint::read_uvarint(&[0x80]), None);
+/// ```
+pub fn read_uvarint(input: &[u8]) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    for (i, &b) in input.iter().enumerate().take(10) {
+        if i == 9 && b > 1 {
+            return None; // would overflow 64 bits
+        }
+        v |= ((b & 0x7F) as u64) << (7 * i);
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            assert_eq!(read_uvarint(&buf), Some((v, buf.len())), "value {v}");
+        }
+    }
+
+    #[test]
+    fn single_byte_values() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            assert_eq!(buf, vec![v as u8]);
+        }
+    }
+
+    #[test]
+    fn truncated_returns_none() {
+        assert_eq!(read_uvarint(&[]), None);
+        assert_eq!(read_uvarint(&[0x80, 0x80]), None);
+    }
+
+    #[test]
+    fn overflow_returns_none() {
+        // 11 continuation bytes can't fit in u64.
+        let buf = vec![0xFFu8; 11];
+        assert_eq!(read_uvarint(&buf), None);
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        assert_eq!(read_uvarint(&[0x05, 0xAA, 0xBB]), Some((5, 1)));
+    }
+}

@@ -1,0 +1,37 @@
+//! Property tests: compression must be lossless for arbitrary inputs and
+//! varints must roundtrip.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn roundtrip_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..20_000)) {
+        let c = fusion_snappy::compress(&data);
+        prop_assert!(c.len() <= fusion_snappy::max_compressed_len(data.len()));
+        prop_assert_eq!(fusion_snappy::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_low_entropy(
+        seed in prop::collection::vec(0u8..4, 1..64),
+        reps in 1usize..500,
+    ) {
+        // Highly repetitive input exercises long overlapping copies.
+        let data: Vec<u8> = seed.iter().cycle().take(seed.len() * reps).copied().collect();
+        let c = fusion_snappy::compress(&data);
+        prop_assert_eq!(fusion_snappy::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn decompress_never_panics(junk in prop::collection::vec(any::<u8>(), 0..2048)) {
+        // Malformed input must produce an error, never a panic.
+        let _ = fusion_snappy::decompress(&junk);
+    }
+
+    #[test]
+    fn varint_roundtrip(v: u64) {
+        let mut buf = Vec::new();
+        fusion_snappy::varint::write_uvarint(&mut buf, v);
+        prop_assert_eq!(fusion_snappy::varint::read_uvarint(&buf), Some((v, buf.len())));
+    }
+}

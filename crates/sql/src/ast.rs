@@ -1,0 +1,304 @@
+//! Abstract syntax tree for the supported SQL subset:
+//!
+//! ```sql
+//! SELECT <item> [, <item>]* FROM <table> [WHERE <expr>] [LIMIT <n>]
+//! item  := column | COUNT(*) | COUNT(col) | SUM(col) | AVG(col)
+//!        | MIN(col) | MAX(col)
+//! expr  := expr OR expr | expr AND expr | NOT expr | (expr)
+//!        | column <cmp> literal | literal <cmp> column
+//! cmp   := = | == | != | <> | < | <= | > | >=
+//! ```
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=` / `==`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Applies this operator to an ordering result.
+    pub fn matches(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A literal constant in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String (also the surface syntax for dates: `'2015-12-31'`).
+    Str(String),
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => write!(f, "{v}"),
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+/// Aggregate functions (executed at the coordinator; Fusion does not push
+/// aggregates down — paper §5 "SQL Support").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(col)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+impl std::fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain column projection.
+    Column(String),
+    /// An aggregate; `arg == None` means `*` (only valid for COUNT).
+    Aggregate {
+        /// The function.
+        func: AggFunc,
+        /// Column argument, or `None` for `*`.
+        arg: Option<String>,
+    },
+}
+
+impl std::fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectItem::Column(c) => f.write_str(c),
+            SelectItem::Aggregate { func, arg } => match arg {
+                Some(c) => write!(f, "{func}({c})"),
+                None => write!(f, "{func}(*)"),
+            },
+        }
+    }
+}
+
+/// A boolean predicate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `column <op> literal` (normalized so the column is on the left).
+    Cmp {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Constant.
+        literal: Literal,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Collects the set of column names the expression references.
+    pub fn columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Cmp { column, .. } => out.push(column.clone()),
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(e) => e.collect_columns(out),
+        }
+    }
+
+    /// Number of atomic comparisons (the paper's "num filters").
+    pub fn num_comparisons(&self) -> usize {
+        match self {
+            Expr::Cmp { .. } => 1,
+            Expr::And(a, b) | Expr::Or(a, b) => a.num_comparisons() + b.num_comparisons(),
+            Expr::Not(e) => e.num_comparisons(),
+        }
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Cmp { column, op, literal } => write!(f, "{column} {op} {literal}"),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+        }
+    }
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM table (object) name.
+    pub table: String,
+    /// Optional WHERE predicate.
+    pub predicate: Option<Expr>,
+    /// Optional LIMIT on returned rows.
+    pub limit: Option<u64>,
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.table)?;
+        if let Some(p) = &self.predicate {
+            write!(f, " WHERE {p}")?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_flip() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Ge.flip(), CmpOp::Le);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn cmp_matches() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Le.matches(Equal));
+        assert!(CmpOp::Le.matches(Less));
+        assert!(!CmpOp::Le.matches(Greater));
+        assert!(CmpOp::Ne.matches(Less));
+        assert!(!CmpOp::Ne.matches(Equal));
+    }
+
+    #[test]
+    fn expr_columns_and_counts() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp {
+                column: "a".into(),
+                op: CmpOp::Lt,
+                literal: Literal::Int(5),
+            }),
+            Box::new(Expr::Or(
+                Box::new(Expr::Cmp {
+                    column: "b".into(),
+                    op: CmpOp::Eq,
+                    literal: Literal::Str("x".into()),
+                }),
+                Box::new(Expr::Cmp {
+                    column: "a".into(),
+                    op: CmpOp::Gt,
+                    literal: Literal::Int(1),
+                }),
+            )),
+        );
+        assert_eq!(e.columns(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(e.num_comparisons(), 3);
+    }
+
+    #[test]
+    fn display_roundtrippable_shape() {
+        let q = Query {
+            items: vec![
+                SelectItem::Column("x".into()),
+                SelectItem::Aggregate { func: AggFunc::Count, arg: None },
+            ],
+            table: "t".into(),
+            predicate: Some(Expr::Cmp {
+                column: "x".into(),
+                op: CmpOp::Le,
+                literal: Literal::Float(2.5),
+            }),
+            limit: Some(7),
+        };
+        assert_eq!(q.to_string(), "SELECT x, count(*) FROM t WHERE x <= 2.5 LIMIT 7");
+    }
+}

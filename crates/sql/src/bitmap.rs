@@ -1,0 +1,305 @@
+//! Dense row bitmaps: the wire format of the filter stage.
+//!
+//! Storage nodes evaluate filters over a column chunk and return one bit
+//! per row; the coordinator combines bitmaps to learn the exact query
+//! selectivity before deciding projection pushdown (paper §4.3). Bitmaps
+//! are Snappy-compressed for the network, which makes sparse results cost
+//! almost nothing.
+
+/// A fixed-length bitmap over row indices.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_sql::bitmap::Bitmap;
+///
+/// let mut b = Bitmap::with_len(10);
+/// b.set(3);
+/// b.set(7);
+/// assert_eq!(b.count_ones(), 2);
+/// assert_eq!(b.ones().collect::<Vec<_>>(), vec![3, 7]);
+/// assert!((b.selectivity() - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bitmap {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// Creates an all-zero bitmap of `len` bits.
+    pub fn with_len(len: usize) -> Bitmap {
+        Bitmap {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates an all-one bitmap of `len` bits.
+    pub fn ones_with_len(len: usize) -> Bitmap {
+        let mut b = Bitmap {
+            len,
+            words: vec![u64::MAX; len.div_ceil(64)],
+        };
+        b.clear_tail();
+        b
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range ({})", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range ({})", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of set bits (0.0 for an empty bitmap) — the paper's
+    /// *query selectivity* once all filters are combined.
+    pub fn selectivity(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        self.count_ones() as f64 / self.len as f64
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place complement.
+    pub fn not_assign(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = !*w;
+        }
+        self.clear_tail();
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Iterates indices of set bits in ascending order.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// Serializes as `len:u64` + little-endian words. Pair with
+    /// [`Bitmap::from_bytes`]; compress with `fusion_snappy` for the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.words.len() * 8);
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the [`Bitmap::to_bytes`] representation.
+    ///
+    /// Returns `None` for malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Bitmap> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let len = u64::from_le_bytes(bytes[..8].try_into().ok()?) as usize;
+        let expect_words = len.div_ceil(64);
+        if bytes.len() != 8 + expect_words * 8 {
+            return None;
+        }
+        let mut words = Vec::with_capacity(expect_words);
+        for c in bytes[8..].chunks_exact(8) {
+            words.push(u64::from_le_bytes(c.try_into().ok()?));
+        }
+        let mut b = Bitmap { len, words };
+        b.clear_tail();
+        Some(b)
+    }
+
+    /// Concatenates bitmaps (chunk-level results → object-level bitmap).
+    pub fn concat<'a>(parts: impl IntoIterator<Item = &'a Bitmap>) -> Bitmap {
+        let parts: Vec<&Bitmap> = parts.into_iter().collect();
+        let total: usize = parts.iter().map(|b| b.len).sum();
+        let mut out = Bitmap::with_len(total);
+        let mut base = 0;
+        for p in parts {
+            for i in p.ones() {
+                out.set(base + i);
+            }
+            base += p.len;
+        }
+        out
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Bitmap {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        let mut b = Bitmap::with_len(bits.len());
+        for (i, v) in bits.iter().enumerate() {
+            if *v {
+                b.set(i);
+            }
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = Bitmap::with_len(130);
+        for i in [0, 63, 64, 127, 129] {
+            b.set(i);
+        }
+        assert!(b.get(64));
+        assert!(!b.get(65));
+        assert_eq!(b.count_ones(), 5);
+    }
+
+    #[test]
+    fn logical_ops() {
+        let a: Bitmap = [true, true, false, false].into_iter().collect();
+        let b: Bitmap = [true, false, true, false].into_iter().collect();
+        let mut x = a.clone();
+        x.and_assign(&b);
+        assert_eq!(x.ones().collect::<Vec<_>>(), vec![0]);
+        let mut y = a.clone();
+        y.or_assign(&b);
+        assert_eq!(y.ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let mut z = a;
+        z.not_assign();
+        assert_eq!(z.ones().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn not_keeps_tail_clear() {
+        let mut b = Bitmap::with_len(70);
+        b.not_assign();
+        assert_eq!(b.count_ones(), 70);
+        b.not_assign();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn ones_with_len_tail() {
+        let b = Bitmap::ones_with_len(65);
+        assert_eq!(b.count_ones(), 65);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut b = Bitmap::with_len(100);
+        for i in (0..100).step_by(7) {
+            b.set(i);
+        }
+        let bytes = b.to_bytes();
+        assert_eq!(Bitmap::from_bytes(&bytes), Some(b));
+    }
+
+    #[test]
+    fn bad_bytes_rejected() {
+        assert_eq!(Bitmap::from_bytes(&[1, 2, 3]), None);
+        let mut bytes = 100u64.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 8]); // too few words for 100 bits
+        assert_eq!(Bitmap::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn sparse_bitmap_compresses() {
+        let mut b = Bitmap::with_len(1_000_000);
+        b.set(12345);
+        let compressed = fusion_snappy::compress(&b.to_bytes());
+        assert!(compressed.len() * 15 < b.to_bytes().len(), "sparse bitmap should shrink on the wire");
+        let back = Bitmap::from_bytes(&fusion_snappy::decompress(&compressed).unwrap()).unwrap();
+        assert_eq!(back.count_ones(), 1);
+    }
+
+    #[test]
+    fn concat_parts() {
+        let a: Bitmap = [true, false].into_iter().collect();
+        let b: Bitmap = [false, true, true].into_iter().collect();
+        let c = Bitmap::concat([&a, &b]);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.ones().collect::<Vec<_>>(), vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn selectivity() {
+        let b: Bitmap = (0..100).map(|i| i % 4 == 0).collect();
+        assert!((b.selectivity() - 0.25).abs() < 1e-12);
+        assert_eq!(Bitmap::with_len(0).selectivity(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_set_panics() {
+        Bitmap::with_len(3).set(3);
+    }
+}

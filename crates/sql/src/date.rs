@@ -1,0 +1,113 @@
+//! Calendar dates encoded as days since the Unix epoch (1970-01-01),
+//! matching the `Date` logical column type.
+
+use crate::error::{Result, SqlError};
+
+/// Converts a civil date to days since the Unix epoch.
+///
+/// Uses the classic days-from-civil algorithm (proleptic Gregorian
+/// calendar), valid for the full `i64` range of years we care about.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(fusion_sql::date::days_from_civil(1970, 1, 1), 0);
+/// assert_eq!(fusion_sql::date::days_from_civil(2015, 12, 31), 16800);
+/// ```
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Converts days since the Unix epoch back to `(year, month, day)`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(fusion_sql::date::civil_from_days(0), (1970, 1, 1));
+/// assert_eq!(fusion_sql::date::civil_from_days(16800), (2015, 12, 31));
+/// ```
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parses a `YYYY-MM-DD` string into epoch days.
+///
+/// # Errors
+///
+/// Returns [`SqlError::Invalid`] for anything not matching the pattern or
+/// with out-of-range month/day.
+pub fn parse_date(s: &str) -> Result<i64> {
+    let parts: Vec<&str> = s.split('-').collect();
+    let bad = || SqlError::Invalid(format!("bad date literal: {s}"));
+    if parts.len() != 3 {
+        return Err(bad());
+    }
+    let y: i64 = parts[0].parse().map_err(|_| bad())?;
+    let m: u32 = parts[1].parse().map_err(|_| bad())?;
+    let d: u32 = parts[2].parse().map_err(|_| bad())?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(bad());
+    }
+    Ok(days_from_civil(y, m, d))
+}
+
+/// Formats epoch days as `YYYY-MM-DD`.
+pub fn format_date(days: i64) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(days_from_civil(2000, 3, 1), 11017);
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+        assert_eq!(days_from_civil(2024, 2, 29), 19782); // leap day
+    }
+
+    #[test]
+    fn roundtrip_many_days() {
+        for z in (-400_000..400_000).step_by(263) {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+
+    #[test]
+    fn parse_and_format() {
+        assert_eq!(parse_date("2015-12-31").unwrap(), 16800);
+        assert_eq!(format_date(16800), "2015-12-31");
+        assert_eq!(parse_date("1992-01-02").unwrap(), days_from_civil(1992, 1, 2));
+    }
+
+    #[test]
+    fn bad_dates_rejected() {
+        for s in ["2015-13-01", "2015-00-10", "2015-01-40", "hello", "2015-1", "a-b-c"] {
+            assert!(parse_date(s).is_err(), "{s} should fail");
+        }
+    }
+}

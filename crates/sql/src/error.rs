@@ -1,0 +1,61 @@
+//! SQL frontend errors.
+
+/// Errors from lexing, parsing, planning, or evaluating a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// A character the lexer cannot start a token with.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Byte offset in the query text.
+        at: usize,
+    },
+    /// A string literal with no closing quote.
+    UnterminatedString {
+        /// Byte offset where the literal started.
+        at: usize,
+    },
+    /// A malformed numeric literal.
+    BadNumber {
+        /// The literal text.
+        text: String,
+    },
+    /// The parser expected something else.
+    Expected {
+        /// What was expected.
+        what: &'static str,
+        /// What was found instead.
+        found: String,
+    },
+    /// Column not present in the schema.
+    UnknownColumn(String),
+    /// Predicate or projection type error.
+    TypeError(String),
+    /// Anything else structurally invalid.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::UnexpectedChar { ch, at } => {
+                write!(f, "unexpected character {ch:?} at byte {at}")
+            }
+            SqlError::UnterminatedString { at } => {
+                write!(f, "unterminated string literal starting at byte {at}")
+            }
+            SqlError::BadNumber { text } => write!(f, "malformed number: {text}"),
+            SqlError::Expected { what, found } => {
+                write!(f, "expected {what}, found {found}")
+            }
+            SqlError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            SqlError::TypeError(why) => write!(f, "type error: {why}"),
+            SqlError::Invalid(why) => write!(f, "invalid query: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SqlError>;

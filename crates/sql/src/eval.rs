@@ -1,0 +1,314 @@
+//! Predicate and aggregate evaluation over decoded column chunks — the
+//! code that actually runs *in situ* on a storage node during pushdown.
+
+use crate::ast::AggFunc;
+use crate::bitmap::Bitmap;
+use crate::error::{Result, SqlError};
+use crate::plan::{AggregateSpec, BoolTree, FilterLeaf};
+use fusion_format::value::{ColumnData, Value};
+
+/// Evaluates a single comparison over a decoded chunk, producing one bit
+/// per row.
+///
+/// # Errors
+///
+/// Type mismatches between the chunk and the (already coerced) constant.
+pub fn eval_filter(leaf: &FilterLeaf, col: &ColumnData) -> Result<Bitmap> {
+    let mut bm = Bitmap::with_len(col.len());
+    match (col, &leaf.constant) {
+        (ColumnData::Int64(v), Value::Int(c)) => {
+            for (i, x) in v.iter().enumerate() {
+                if leaf.op.matches(x.cmp(c)) {
+                    bm.set(i);
+                }
+            }
+        }
+        (ColumnData::Int64(v), Value::Float(c)) => {
+            for (i, x) in v.iter().enumerate() {
+                if let Some(ord) = (*x as f64).partial_cmp(c) {
+                    if leaf.op.matches(ord) {
+                        bm.set(i);
+                    }
+                }
+            }
+        }
+        (ColumnData::Float64(v), Value::Float(c)) => {
+            for (i, x) in v.iter().enumerate() {
+                if let Some(ord) = x.partial_cmp(c) {
+                    if leaf.op.matches(ord) {
+                        bm.set(i);
+                    }
+                }
+            }
+        }
+        (ColumnData::Float64(v), Value::Int(c)) => {
+            let c = *c as f64;
+            for (i, x) in v.iter().enumerate() {
+                if let Some(ord) = x.partial_cmp(&c) {
+                    if leaf.op.matches(ord) {
+                        bm.set(i);
+                    }
+                }
+            }
+        }
+        (ColumnData::Utf8(v), Value::Str(c)) => {
+            for (i, x) in v.iter().enumerate() {
+                if leaf.op.matches(x.as_str().cmp(c.as_str())) {
+                    bm.set(i);
+                }
+            }
+        }
+        (col, c) => {
+            return Err(SqlError::TypeError(format!(
+                "cannot evaluate {} against {} column",
+                c.kind(),
+                col.physical_name()
+            )))
+        }
+    }
+    Ok(bm)
+}
+
+/// Combines per-leaf bitmaps according to the boolean tree. All bitmaps
+/// must have equal length (rows of one row group or one object).
+///
+/// # Errors
+///
+/// A leaf id with no bitmap.
+pub fn combine(tree: &BoolTree, leaves: &[Bitmap]) -> Result<Bitmap> {
+    Ok(match tree {
+        BoolTree::Leaf(id) => leaves
+            .get(*id)
+            .cloned()
+            .ok_or_else(|| SqlError::Invalid(format!("missing bitmap for leaf {id}")))?,
+        BoolTree::And(a, b) => {
+            let mut x = combine(a, leaves)?;
+            x.and_assign(&combine(b, leaves)?);
+            x
+        }
+        BoolTree::Or(a, b) => {
+            let mut x = combine(a, leaves)?;
+            x.or_assign(&combine(b, leaves)?);
+            x
+        }
+        BoolTree::Not(e) => {
+            let mut x = combine(e, leaves)?;
+            x.not_assign();
+            x
+        }
+    })
+}
+
+/// Uses chunk min/max statistics to decide whether a comparison can match
+/// *any* row of the chunk. Returns `false` only when the chunk provably
+/// contains no matching rows — the coordinator then skips it entirely
+/// (footer-based pruning, paper §5).
+pub fn stats_may_match(
+    leaf: &FilterLeaf,
+    min: Option<&Value>,
+    max: Option<&Value>,
+) -> bool {
+    use crate::ast::CmpOp::*;
+    let (min, max) = match (min, max) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return true, // no stats: cannot prune
+    };
+    let cmp_min = min.partial_cmp_value(&leaf.constant);
+    let cmp_max = max.partial_cmp_value(&leaf.constant);
+    let (cmp_min, cmp_max) = match (cmp_min, cmp_max) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return true, // incomparable types: be safe
+    };
+    use std::cmp::Ordering::*;
+    match leaf.op {
+        Eq => cmp_min != Greater && cmp_max != Less,
+        Ne => !(cmp_min == Equal && cmp_max == Equal),
+        Lt => cmp_min == Less,
+        Le => cmp_min != Greater,
+        Gt => cmp_max == Greater,
+        Ge => cmp_max != Less,
+    }
+}
+
+/// The result of an aggregate computation.
+pub type AggValue = Value;
+
+/// Computes one aggregate over already-filtered projection data.
+///
+/// `filtered_rows` is the match count (for `COUNT(*)`); `column` is the
+/// filtered column data when the aggregate has an argument.
+///
+/// # Errors
+///
+/// Missing column data or non-numeric input for SUM/AVG.
+pub fn eval_aggregate(
+    spec: &AggregateSpec,
+    filtered_rows: usize,
+    column: Option<&ColumnData>,
+) -> Result<AggValue> {
+    match (spec.func, column) {
+        (AggFunc::Count, None) => Ok(Value::Int(filtered_rows as i64)),
+        (AggFunc::Count, Some(c)) => Ok(Value::Int(c.len() as i64)),
+        (_, None) => Err(SqlError::Invalid(format!(
+            "aggregate {} requires column data",
+            spec.func
+        ))),
+        (func, Some(c)) => match c {
+            ColumnData::Int64(v) => Ok(match func {
+                AggFunc::Sum => Value::Int(v.iter().sum()),
+                AggFunc::Avg => {
+                    if v.is_empty() {
+                        Value::Float(f64::NAN)
+                    } else {
+                        Value::Float(v.iter().sum::<i64>() as f64 / v.len() as f64)
+                    }
+                }
+                AggFunc::Min => Value::Int(v.iter().copied().min().unwrap_or(0)),
+                AggFunc::Max => Value::Int(v.iter().copied().max().unwrap_or(0)),
+                AggFunc::Count => unreachable!("handled above"),
+            }),
+            ColumnData::Float64(v) => Ok(match func {
+                AggFunc::Sum => Value::Float(v.iter().sum()),
+                AggFunc::Avg => {
+                    if v.is_empty() {
+                        Value::Float(f64::NAN)
+                    } else {
+                        Value::Float(v.iter().sum::<f64>() / v.len() as f64)
+                    }
+                }
+                AggFunc::Min => Value::Float(v.iter().copied().fold(f64::INFINITY, f64::min)),
+                AggFunc::Max => {
+                    Value::Float(v.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+                }
+                AggFunc::Count => unreachable!("handled above"),
+            }),
+            ColumnData::Utf8(v) => match func {
+                AggFunc::Min => Ok(Value::Str(v.iter().min().cloned().unwrap_or_default())),
+                AggFunc::Max => Ok(Value::Str(v.iter().max().cloned().unwrap_or_default())),
+                other => Err(SqlError::TypeError(format!(
+                    "{other} is not defined for string columns"
+                ))),
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    fn leaf(op: CmpOp, constant: Value) -> FilterLeaf {
+        FilterLeaf {
+            id: 0,
+            column: 0,
+            column_name: "c".into(),
+            op,
+            constant,
+        }
+    }
+
+    #[test]
+    fn int_filters() {
+        let col = ColumnData::Int64(vec![1, 5, 10, 5]);
+        let bm = eval_filter(&leaf(CmpOp::Eq, Value::Int(5)), &col).unwrap();
+        assert_eq!(bm.ones().collect::<Vec<_>>(), vec![1, 3]);
+        let bm = eval_filter(&leaf(CmpOp::Lt, Value::Int(5)), &col).unwrap();
+        assert_eq!(bm.ones().collect::<Vec<_>>(), vec![0]);
+        let bm = eval_filter(&leaf(CmpOp::Ge, Value::Int(5)), &col).unwrap();
+        assert_eq!(bm.count_ones(), 3);
+    }
+
+    #[test]
+    fn float_and_cross_type_filters() {
+        let col = ColumnData::Float64(vec![0.5, 1.5, 2.5]);
+        let bm = eval_filter(&leaf(CmpOp::Gt, Value::Int(1)), &col).unwrap();
+        assert_eq!(bm.count_ones(), 2);
+        let icol = ColumnData::Int64(vec![1, 2, 3]);
+        let bm = eval_filter(&leaf(CmpOp::Le, Value::Float(2.5)), &icol).unwrap();
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn string_filters() {
+        let col = ColumnData::Utf8(vec!["Alice".into(), "Bob".into(), "Carol".into()]);
+        let bm = eval_filter(&leaf(CmpOp::Eq, Value::Str("Bob".into())), &col).unwrap();
+        assert_eq!(bm.ones().collect::<Vec<_>>(), vec![1]);
+        let bm = eval_filter(&leaf(CmpOp::Ne, Value::Str("Bob".into())), &col).unwrap();
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn type_mismatch_is_error() {
+        let col = ColumnData::Utf8(vec!["a".into()]);
+        assert!(eval_filter(&leaf(CmpOp::Eq, Value::Int(1)), &col).is_err());
+    }
+
+    #[test]
+    fn combine_trees() {
+        let a: Bitmap = [true, true, false, false].into_iter().collect();
+        let b: Bitmap = [true, false, true, false].into_iter().collect();
+        let leaves = vec![a, b];
+        let t = BoolTree::And(Box::new(BoolTree::Leaf(0)), Box::new(BoolTree::Leaf(1)));
+        assert_eq!(combine(&t, &leaves).unwrap().count_ones(), 1);
+        let t = BoolTree::Or(
+            Box::new(BoolTree::Leaf(0)),
+            Box::new(BoolTree::Not(Box::new(BoolTree::Leaf(1)))),
+        );
+        assert_eq!(combine(&t, &leaves).unwrap().count_ones(), 3);
+        assert!(combine(&BoolTree::Leaf(9), &leaves).is_err());
+    }
+
+    #[test]
+    fn stats_pruning() {
+        let l = leaf(CmpOp::Eq, Value::Int(50));
+        assert!(stats_may_match(&l, Some(&Value::Int(0)), Some(&Value::Int(100))));
+        assert!(!stats_may_match(&l, Some(&Value::Int(60)), Some(&Value::Int(100))));
+        assert!(!stats_may_match(&l, Some(&Value::Int(0)), Some(&Value::Int(40))));
+
+        let l = leaf(CmpOp::Lt, Value::Int(10));
+        assert!(!stats_may_match(&l, Some(&Value::Int(10)), Some(&Value::Int(20))));
+        assert!(stats_may_match(&l, Some(&Value::Int(9)), Some(&Value::Int(20))));
+
+        let l = leaf(CmpOp::Ne, Value::Int(5));
+        assert!(!stats_may_match(&l, Some(&Value::Int(5)), Some(&Value::Int(5))));
+        assert!(stats_may_match(&l, Some(&Value::Int(5)), Some(&Value::Int(6))));
+
+        // No stats -> never prune.
+        assert!(stats_may_match(&l, None, None));
+    }
+
+    #[test]
+    fn aggregates() {
+        let spec = |func, with_col: bool| AggregateSpec {
+            func,
+            column: with_col.then_some(0),
+            column_name: with_col.then(|| "c".to_string()),
+        };
+        assert_eq!(
+            eval_aggregate(&spec(AggFunc::Count, false), 7, None).unwrap(),
+            Value::Int(7)
+        );
+        let col = ColumnData::Int64(vec![1, 2, 3]);
+        assert_eq!(
+            eval_aggregate(&spec(AggFunc::Sum, true), 3, Some(&col)).unwrap(),
+            Value::Int(6)
+        );
+        assert_eq!(
+            eval_aggregate(&spec(AggFunc::Avg, true), 3, Some(&col)).unwrap(),
+            Value::Float(2.0)
+        );
+        let fcol = ColumnData::Float64(vec![2.0, 4.0]);
+        assert_eq!(
+            eval_aggregate(&spec(AggFunc::Min, true), 2, Some(&fcol)).unwrap(),
+            Value::Float(2.0)
+        );
+        let scol = ColumnData::Utf8(vec!["b".into(), "a".into()]);
+        assert_eq!(
+            eval_aggregate(&spec(AggFunc::Max, true), 2, Some(&scol)).unwrap(),
+            Value::Str("b".into())
+        );
+        assert!(eval_aggregate(&spec(AggFunc::Sum, true), 2, Some(&scol)).is_err());
+        assert!(eval_aggregate(&spec(AggFunc::Sum, true), 2, None).is_err());
+    }
+}

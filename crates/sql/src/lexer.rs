@@ -1,0 +1,304 @@
+//! Tokenizer for the S3-Select-class SQL dialect Fusion supports.
+
+use crate::error::{Result, SqlError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are recognized case-insensitively by
+    /// the parser; the lexer preserves the original text).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=` or `==`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// Tokenizes `input`.
+///
+/// # Errors
+///
+/// Fails on unknown characters, unterminated strings, or malformed
+/// numbers.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_sql::lexer::{tokenize, Token};
+/// let toks = tokenize("SELECT a FROM t WHERE a < 10")?;
+/// assert_eq!(toks.len(), 8);
+/// assert_eq!(toks[5], Token::Ident("a".into()));
+/// # Ok::<(), fusion_sql::error::SqlError>(())
+/// ```
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                // Accept both `=` and `==` (the paper's running example
+                // uses `==`).
+                i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                out.push(Token::Eq);
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(SqlError::UnexpectedChar { ch: '!', at: i });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::UnterminatedString { at: start }),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' | '-' | '.' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if !matches!(bytes.get(i), Some(b'0'..=b'9') | Some(b'.')) {
+                        return Err(SqlError::UnexpectedChar { ch: '-', at: start });
+                    }
+                }
+                let mut is_float = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' => {
+                            is_float = true;
+                            i += 1;
+                        }
+                        b'e' | b'E' => {
+                            is_float = true;
+                            i += 1;
+                            if matches!(bytes.get(i), Some(b'+') | Some(b'-')) {
+                                i += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| SqlError::BadNumber { text: text.to_string() })?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| SqlError::BadNumber { text: text.to_string() })?;
+                    out.push(Token::Int(v));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => return Err(SqlError::UnexpectedChar { ch: other, at: i }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query() {
+        let t = tokenize("SELECT salary FROM Employees WHERE name == 'Bob'").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("salary".into()),
+                Token::Ident("FROM".into()),
+                Token::Ident("Employees".into()),
+                Token::Ident("WHERE".into()),
+                Token::Ident("name".into()),
+                Token::Eq,
+                Token::Str("Bob".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("= == != <> < <= > >=").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Eq,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let t = tokenize("42 -7 3.25 -0.5 1e3 2.5E-2").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Int(42),
+                Token::Int(-7),
+                Token::Float(3.25),
+                Token::Float(-0.5),
+                Token::Float(1000.0),
+                Token::Float(0.025)
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = tokenize("'it''s'").unwrap();
+        assert_eq!(t, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn punctuation_and_star() {
+        let t = tokenize("count(*), avg(fare)").unwrap();
+        assert_eq!(t[0], Token::Ident("count".into()));
+        assert_eq!(t[1], Token::LParen);
+        assert_eq!(t[2], Token::Star);
+        assert_eq!(t[3], Token::RParen);
+        assert_eq!(t[4], Token::Comma);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            tokenize("a $ b").unwrap_err(),
+            SqlError::UnexpectedChar { ch: '$', .. }
+        ));
+        assert!(matches!(
+            tokenize("'oops").unwrap_err(),
+            SqlError::UnterminatedString { .. }
+        ));
+        assert!(matches!(tokenize("a ! b").unwrap_err(), SqlError::UnexpectedChar { .. }));
+    }
+
+    #[test]
+    fn bare_minus_is_error() {
+        assert!(tokenize("a - b").is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Partial (distributable) aggregates — the machinery behind aggregate
+//! pushdown, the extension the paper lists as future work (§5, "SQL
+//! Support": "It currently lacks support for aggregate pushdown such as
+//! SUM and AVG, which we aim to implement in the future").
+//!
+//! A storage node computes a [`PartialAgg`] over the matched rows of its
+//! chunk; the coordinator merges partials across chunks and finalizes.
+//! COUNT/SUM/MIN/MAX merge exactly; AVG carries (sum, count).
+
+use crate::ast::AggFunc;
+use crate::error::{Result, SqlError};
+use fusion_format::value::{ColumnData, Value};
+
+/// A mergeable partial aggregate state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartialAgg {
+    /// Row count.
+    Count(i64),
+    /// Integer sum.
+    SumInt(i64),
+    /// Float sum.
+    SumFloat(f64),
+    /// Running minimum (`None` when no rows seen).
+    Min(Option<Value>),
+    /// Running maximum.
+    Max(Option<Value>),
+    /// Average: (sum, count).
+    Avg(f64, i64),
+}
+
+impl PartialAgg {
+    /// The identity element for `func` over a column of this physical
+    /// type (`col` may be `None` for `COUNT(*)`).
+    pub fn identity(func: AggFunc, col: Option<&ColumnData>) -> PartialAgg {
+        match func {
+            AggFunc::Count => PartialAgg::Count(0),
+            AggFunc::Sum => match col {
+                Some(ColumnData::Float64(_)) => PartialAgg::SumFloat(0.0),
+                _ => PartialAgg::SumInt(0),
+            },
+            AggFunc::Avg => PartialAgg::Avg(0.0, 0),
+            AggFunc::Min => PartialAgg::Min(None),
+            AggFunc::Max => PartialAgg::Max(None),
+        }
+    }
+
+    /// Computes the partial for `func` over (already filtered) values.
+    ///
+    /// # Errors
+    ///
+    /// Type errors (e.g. SUM over strings).
+    pub fn compute(func: AggFunc, col: &ColumnData) -> Result<PartialAgg> {
+        Ok(match (func, col) {
+            (AggFunc::Count, c) => PartialAgg::Count(c.len() as i64),
+            (AggFunc::Sum, ColumnData::Int64(v)) => PartialAgg::SumInt(v.iter().sum()),
+            (AggFunc::Sum, ColumnData::Float64(v)) => PartialAgg::SumFloat(v.iter().sum()),
+            (AggFunc::Avg, ColumnData::Int64(v)) => {
+                PartialAgg::Avg(v.iter().sum::<i64>() as f64, v.len() as i64)
+            }
+            (AggFunc::Avg, ColumnData::Float64(v)) => {
+                PartialAgg::Avg(v.iter().sum::<f64>(), v.len() as i64)
+            }
+            (AggFunc::Min, c) => PartialAgg::Min(min_max_of(c, true)),
+            (AggFunc::Max, c) => PartialAgg::Max(min_max_of(c, false)),
+            (func, c) => {
+                return Err(SqlError::TypeError(format!(
+                    "{func} is not defined for {} columns",
+                    c.physical_name()
+                )))
+            }
+        })
+    }
+
+    /// Merges another partial of the same shape into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatch (indicates a planner bug).
+    pub fn merge(&mut self, other: &PartialAgg) -> Result<()> {
+        use PartialAgg::*;
+        match (self, other) {
+            (Count(a), Count(b)) => *a += b,
+            (SumInt(a), SumInt(b)) => *a += b,
+            (SumFloat(a), SumFloat(b)) => *a += b,
+            (Avg(s, n), Avg(s2, n2)) => {
+                *s += s2;
+                *n += n2;
+            }
+            (Min(a), Min(b)) => merge_extreme(a, b, true),
+            (Max(a), Max(b)) => merge_extreme(a, b, false),
+            (a, b) => {
+                return Err(SqlError::Invalid(format!(
+                    "cannot merge partial aggregates {a:?} and {b:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes into the result value.
+    pub fn finalize(&self) -> Value {
+        match self {
+            PartialAgg::Count(n) => Value::Int(*n),
+            PartialAgg::SumInt(s) => Value::Int(*s),
+            PartialAgg::SumFloat(s) => Value::Float(*s),
+            PartialAgg::Avg(s, n) => {
+                if *n == 0 {
+                    Value::Float(f64::NAN)
+                } else {
+                    Value::Float(s / *n as f64)
+                }
+            }
+            PartialAgg::Min(v) | PartialAgg::Max(v) => match v {
+                Some(v) => v.clone(),
+                None => Value::Int(0),
+            },
+        }
+    }
+
+    /// Wire size of a partial (for the latency model): a tagged scalar.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            PartialAgg::Min(Some(Value::Str(s))) | PartialAgg::Max(Some(Value::Str(s))) => {
+                16 + s.len() as u64
+            }
+            PartialAgg::Avg(..) => 24,
+            _ => 16,
+        }
+    }
+}
+
+fn min_max_of(col: &ColumnData, want_min: bool) -> Option<Value> {
+    col.min_max().map(|(mn, mx)| if want_min { mn } else { mx })
+}
+
+fn merge_extreme(acc: &mut Option<Value>, other: &Option<Value>, want_min: bool) {
+    let Some(o) = other else { return };
+    match acc {
+        None => *acc = Some(o.clone()),
+        Some(a) => {
+            if let Some(ord) = o.partial_cmp_value(a) {
+                let replace = if want_min {
+                    ord == std::cmp::Ordering::Less
+                } else {
+                    ord == std::cmp::Ordering::Greater
+                };
+                if replace {
+                    *acc = Some(o.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_merges() {
+        let mut a = PartialAgg::compute(AggFunc::Count, &ColumnData::Int64(vec![1, 2])).unwrap();
+        let b = PartialAgg::compute(AggFunc::Count, &ColumnData::Int64(vec![3])).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.finalize(), Value::Int(3));
+    }
+
+    #[test]
+    fn sums_merge_exactly_for_ints() {
+        let mut a = PartialAgg::compute(AggFunc::Sum, &ColumnData::Int64(vec![1, 2])).unwrap();
+        let b = PartialAgg::compute(AggFunc::Sum, &ColumnData::Int64(vec![10])).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.finalize(), Value::Int(13));
+    }
+
+    #[test]
+    fn avg_carries_sum_and_count() {
+        let mut a =
+            PartialAgg::compute(AggFunc::Avg, &ColumnData::Float64(vec![1.0, 3.0])).unwrap();
+        let b = PartialAgg::compute(AggFunc::Avg, &ColumnData::Float64(vec![8.0])).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.finalize(), Value::Float(4.0));
+        // Empty average is NaN, not a crash.
+        let empty = PartialAgg::identity(AggFunc::Avg, None);
+        match empty.finalize() {
+            Value::Float(x) => assert!(x.is_nan()),
+            other => panic!("expected NaN float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_max_across_partials() {
+        let mut mn =
+            PartialAgg::compute(AggFunc::Min, &ColumnData::Utf8(vec!["m".into(), "z".into()]))
+                .unwrap();
+        let other =
+            PartialAgg::compute(AggFunc::Min, &ColumnData::Utf8(vec!["c".into()])).unwrap();
+        mn.merge(&other).unwrap();
+        assert_eq!(mn.finalize(), Value::Str("c".into()));
+
+        let mut mx = PartialAgg::identity(AggFunc::Max, Some(&ColumnData::Int64(vec![])));
+        mx.merge(&PartialAgg::compute(AggFunc::Max, &ColumnData::Int64(vec![7])).unwrap())
+            .unwrap();
+        mx.merge(&PartialAgg::Max(None)).unwrap();
+        assert_eq!(mx.finalize(), Value::Int(7));
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let mut a = PartialAgg::Count(1);
+        assert!(a.merge(&PartialAgg::SumInt(2)).is_err());
+    }
+
+    #[test]
+    fn sum_over_strings_is_error() {
+        assert!(PartialAgg::compute(AggFunc::Sum, &ColumnData::Utf8(vec!["x".into()])).is_err());
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(PartialAgg::Count(5).wire_bytes(), 16);
+        assert_eq!(PartialAgg::Avg(1.0, 2).wire_bytes(), 24);
+        assert_eq!(
+            PartialAgg::Min(Some(Value::Str("abcd".into()))).wire_bytes(),
+            20
+        );
+    }
+
+    #[test]
+    fn merged_equals_whole_for_exact_aggregates() {
+        // Partition-then-merge must equal whole-column computation for the
+        // associative aggregates.
+        let whole = ColumnData::Int64((0..1000).map(|i| i * 3 - 500).collect());
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+            let direct = PartialAgg::compute(func, &whole).unwrap().finalize();
+            let mut acc = PartialAgg::identity(func, Some(&whole));
+            for part in [0..100usize, 100..101, 101..1000] {
+                let sub = whole.slice(part);
+                acc.merge(&PartialAgg::compute(func, &sub).unwrap()).unwrap();
+            }
+            assert_eq!(acc.finalize(), direct, "{func}");
+        }
+    }
+}

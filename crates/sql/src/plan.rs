@@ -1,0 +1,350 @@
+//! Logical planning: validates a parsed [`Query`] against a schema and
+//! decomposes it into the fine-grained operations the store pushes down —
+//! one *filter leaf* per comparison, a boolean combination tree, and a
+//! projection list (paper §4.3: "it breaks down the query into fine-grained
+//! operations").
+
+use crate::ast::{AggFunc, CmpOp, Expr, Literal, Query, SelectItem};
+use crate::date::parse_date;
+use crate::error::{Result, SqlError};
+use fusion_format::schema::{LogicalType, Schema};
+use fusion_format::value::Value;
+
+/// One pushable comparison, referencing a single column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterLeaf {
+    /// Index into [`QueryPlan::filters`] (and into the bitmap list the
+    /// coordinator combines).
+    pub id: usize,
+    /// Column index in the schema.
+    pub column: usize,
+    /// Column name (for display and routing).
+    pub column_name: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant, coerced to the column's type family (dates become epoch
+    /// days).
+    pub constant: Value,
+}
+
+impl std::fmt::Display for FilterLeaf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {}", self.column_name, self.op, self.constant)
+    }
+}
+
+/// Boolean structure over filter leaves, evaluated at the coordinator once
+/// the leaf bitmaps arrive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoolTree {
+    /// A leaf bitmap by id.
+    Leaf(usize),
+    /// Intersection.
+    And(Box<BoolTree>, Box<BoolTree>),
+    /// Union.
+    Or(Box<BoolTree>, Box<BoolTree>),
+    /// Complement.
+    Not(Box<BoolTree>),
+}
+
+/// An aggregate computed at the coordinator over filtered rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Column index, or `None` for `COUNT(*)`.
+    pub column: Option<usize>,
+    /// Column name for display.
+    pub column_name: Option<String>,
+}
+
+/// One output of the SELECT list, referencing plan structures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputItem {
+    /// The i-th entry of [`QueryPlan::projections`].
+    Projection(usize),
+    /// The i-th entry of [`QueryPlan::aggregates`].
+    Aggregate(usize),
+}
+
+/// A validated, decomposed query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Object (table) the query targets.
+    pub table: String,
+    /// All filter leaves, in discovery order.
+    pub filters: Vec<FilterLeaf>,
+    /// Boolean combination of the leaves, if a predicate exists.
+    pub tree: Option<BoolTree>,
+    /// Distinct column indices that must be projected (SELECT columns and
+    /// aggregate arguments), in first-appearance order.
+    pub projections: Vec<usize>,
+    /// Projection column names, parallel to `projections`.
+    pub projection_names: Vec<String>,
+    /// Aggregates to compute at the coordinator.
+    pub aggregates: Vec<AggregateSpec>,
+    /// Output shape, mapping SELECT items to plan structures.
+    pub outputs: Vec<OutputItem>,
+    /// Optional LIMIT on returned rows (applied after filtering; never
+    /// affects aggregates, which summarize all matched rows).
+    pub limit: Option<usize>,
+}
+
+impl QueryPlan {
+    /// Column indices referenced by any filter leaf, deduplicated and
+    /// sorted.
+    pub fn filter_columns(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.filters.iter().map(|f| f.column).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// True when the query computes only aggregates (no raw projections).
+    pub fn aggregate_only(&self) -> bool {
+        !self.outputs.is_empty()
+            && self.outputs.iter().all(|o| matches!(o, OutputItem::Aggregate(_)))
+    }
+}
+
+/// Plans `query` against `schema`.
+///
+/// # Errors
+///
+/// Unknown columns, type-incompatible predicates, or unsupported
+/// aggregate/type combinations.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_sql::parser::parse;
+/// use fusion_sql::plan::plan;
+/// use fusion_format::schema::{Field, LogicalType, Schema};
+///
+/// let schema = Schema::new(vec![
+///     Field::new("name", LogicalType::Utf8),
+///     Field::new("salary", LogicalType::Int64),
+/// ]);
+/// let q = parse("SELECT salary FROM Employees WHERE name == 'Bob'")?;
+/// let p = plan(&q, &schema)?;
+/// assert_eq!(p.filters.len(), 1);
+/// assert_eq!(p.projections, vec![1]);
+/// # Ok::<(), fusion_sql::error::SqlError>(())
+/// ```
+pub fn plan(query: &Query, schema: &Schema) -> Result<QueryPlan> {
+    let mut filters = Vec::new();
+    let tree = match &query.predicate {
+        Some(expr) => Some(build_tree(expr, schema, &mut filters)?),
+        None => None,
+    };
+
+    let mut projections: Vec<usize> = Vec::new();
+    let mut projection_names: Vec<String> = Vec::new();
+    let mut aggregates: Vec<AggregateSpec> = Vec::new();
+    let mut outputs = Vec::new();
+
+    let mut project = |name: &str| -> Result<usize> {
+        let idx = schema
+            .index_of(name)
+            .ok_or_else(|| SqlError::UnknownColumn(name.to_string()))?;
+        if let Some(pos) = projections.iter().position(|&c| c == idx) {
+            return Ok(pos);
+        }
+        projections.push(idx);
+        projection_names.push(name.to_string());
+        Ok(projections.len() - 1)
+    };
+
+    for item in &query.items {
+        match item {
+            SelectItem::Column(name) => {
+                let pos = project(name)?;
+                outputs.push(OutputItem::Projection(pos));
+            }
+            SelectItem::Aggregate { func, arg } => {
+                let (column, column_name) = match arg {
+                    None => (None, None),
+                    Some(name) => {
+                        let idx = schema
+                            .index_of(name)
+                            .ok_or_else(|| SqlError::UnknownColumn(name.to_string()))?;
+                        let ty = schema.fields()[idx].ty;
+                        let numeric = matches!(
+                            ty,
+                            LogicalType::Int64 | LogicalType::Float64 | LogicalType::Date
+                        );
+                        if matches!(func, AggFunc::Sum | AggFunc::Avg) && !numeric {
+                            return Err(SqlError::TypeError(format!(
+                                "{func}({name}) requires a numeric column, found {ty}"
+                            )));
+                        }
+                        // Aggregate arguments must be fetched like
+                        // projections.
+                        project(name)?;
+                        (Some(idx), Some(name.clone()))
+                    }
+                };
+                aggregates.push(AggregateSpec {
+                    func: *func,
+                    column,
+                    column_name,
+                });
+                outputs.push(OutputItem::Aggregate(aggregates.len() - 1));
+            }
+        }
+    }
+
+    Ok(QueryPlan {
+        table: query.table.clone(),
+        filters,
+        tree,
+        projections,
+        projection_names,
+        aggregates,
+        outputs,
+        limit: query.limit.map(|n| n as usize),
+    })
+}
+
+fn build_tree(expr: &Expr, schema: &Schema, filters: &mut Vec<FilterLeaf>) -> Result<BoolTree> {
+    Ok(match expr {
+        Expr::Cmp { column, op, literal } => {
+            let idx = schema
+                .index_of(column)
+                .ok_or_else(|| SqlError::UnknownColumn(column.clone()))?;
+            let ty = schema.fields()[idx].ty;
+            let constant = coerce(literal, ty, column)?;
+            let id = filters.len();
+            filters.push(FilterLeaf {
+                id,
+                column: idx,
+                column_name: column.clone(),
+                op: *op,
+                constant,
+            });
+            BoolTree::Leaf(id)
+        }
+        Expr::And(a, b) => BoolTree::And(
+            Box::new(build_tree(a, schema, filters)?),
+            Box::new(build_tree(b, schema, filters)?),
+        ),
+        Expr::Or(a, b) => BoolTree::Or(
+            Box::new(build_tree(a, schema, filters)?),
+            Box::new(build_tree(b, schema, filters)?),
+        ),
+        Expr::Not(e) => BoolTree::Not(Box::new(build_tree(e, schema, filters)?)),
+    })
+}
+
+/// Coerces a predicate literal to the column's type family.
+fn coerce(literal: &Literal, ty: LogicalType, column: &str) -> Result<Value> {
+    match (ty, literal) {
+        (LogicalType::Int64, Literal::Int(v)) => Ok(Value::Int(*v)),
+        (LogicalType::Int64, Literal::Float(v)) => Ok(Value::Float(*v)),
+        (LogicalType::Float64, Literal::Int(v)) => Ok(Value::Float(*v as f64)),
+        (LogicalType::Float64, Literal::Float(v)) => Ok(Value::Float(*v)),
+        (LogicalType::Utf8, Literal::Str(s)) => Ok(Value::Str(s.clone())),
+        (LogicalType::Date, Literal::Str(s)) => Ok(Value::Int(parse_date(s)?)),
+        (LogicalType::Date, Literal::Int(v)) => Ok(Value::Int(*v)),
+        (ty, lit) => Err(SqlError::TypeError(format!(
+            "cannot compare {ty} column {column} with literal {lit}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use fusion_format::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("name", LogicalType::Utf8),
+            Field::new("salary", LogicalType::Int64),
+            Field::new("fare", LogicalType::Float64),
+            Field::new("day", LogicalType::Date),
+        ])
+    }
+
+    #[test]
+    fn simple_plan() {
+        let q = parse("SELECT salary FROM e WHERE name = 'Bob'").unwrap();
+        let p = plan(&q, &schema()).unwrap();
+        assert_eq!(p.filters.len(), 1);
+        assert_eq!(p.filters[0].column, 0);
+        assert_eq!(p.filters[0].constant, Value::Str("Bob".into()));
+        assert_eq!(p.projections, vec![1]);
+        assert_eq!(p.tree, Some(BoolTree::Leaf(0)));
+        assert!(!p.aggregate_only());
+    }
+
+    #[test]
+    fn date_literal_coerced_to_days() {
+        let q = parse("SELECT day FROM t WHERE day < '2015-12-31'").unwrap();
+        let p = plan(&q, &schema()).unwrap();
+        assert_eq!(p.filters[0].constant, Value::Int(16800));
+    }
+
+    #[test]
+    fn shared_projection_deduplicated() {
+        let q = parse("SELECT day, avg(fare), fare FROM t").unwrap();
+        let p = plan(&q, &schema()).unwrap();
+        assert_eq!(p.projections, vec![3, 2]); // day, fare (fare reused)
+        assert_eq!(p.outputs.len(), 3);
+        assert_eq!(p.aggregates.len(), 1);
+    }
+
+    #[test]
+    fn count_star_needs_no_projection() {
+        let q = parse("SELECT count(*) FROM t WHERE salary > 10").unwrap();
+        let p = plan(&q, &schema()).unwrap();
+        assert!(p.projections.is_empty());
+        assert!(p.aggregate_only());
+    }
+
+    #[test]
+    fn filter_columns_deduplicated() {
+        let q = parse("SELECT name FROM t WHERE salary > 1 AND salary < 9 AND fare > 0").unwrap();
+        let p = plan(&q, &schema()).unwrap();
+        assert_eq!(p.filters.len(), 3);
+        assert_eq!(p.filter_columns(), vec![1, 2]);
+    }
+
+    #[test]
+    fn tree_shape_matches_expression() {
+        let q = parse("SELECT name FROM t WHERE NOT (salary > 1 OR fare < 2.0)").unwrap();
+        let p = plan(&q, &schema()).unwrap();
+        match p.tree.unwrap() {
+            BoolTree::Not(inner) => assert!(matches!(*inner, BoolTree::Or(_, _))),
+            other => panic!("bad tree {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_errors() {
+        let s = schema();
+        assert!(plan(&parse("SELECT name FROM t WHERE salary = 'x'").unwrap(), &s).is_err());
+        assert!(plan(&parse("SELECT name FROM t WHERE name < 3").unwrap(), &s).is_err());
+        assert!(plan(&parse("SELECT name FROM t WHERE day = 'not-a-date'").unwrap(), &s).is_err());
+        assert!(plan(&parse("SELECT sum(name) FROM t").unwrap(), &s).is_err());
+    }
+
+    #[test]
+    fn unknown_columns() {
+        let s = schema();
+        assert!(matches!(
+            plan(&parse("SELECT ghost FROM t").unwrap(), &s).unwrap_err(),
+            SqlError::UnknownColumn(_)
+        ));
+        assert!(plan(&parse("SELECT name FROM t WHERE ghost = 1").unwrap(), &s).is_err());
+        assert!(plan(&parse("SELECT avg(ghost) FROM t").unwrap(), &s).is_err());
+    }
+
+    #[test]
+    fn int_column_float_literal_allowed() {
+        let q = parse("SELECT name FROM t WHERE salary < 10.5").unwrap();
+        let p = plan(&q, &schema()).unwrap();
+        assert_eq!(p.filters[0].constant, Value::Float(10.5));
+    }
+}

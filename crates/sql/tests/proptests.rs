@@ -1,0 +1,136 @@
+//! Property tests for the SQL frontend: parse/print roundtrips, filter
+//! correctness against a brute-force oracle, and bitmap algebra.
+
+use fusion_format::schema::{Field, LogicalType, Schema};
+use fusion_format::value::{ColumnData, Value};
+use fusion_sql::ast::CmpOp;
+use fusion_sql::bitmap::Bitmap;
+use fusion_sql::eval::{combine, eval_filter, stats_may_match};
+use fusion_sql::plan::{BoolTree, FilterLeaf};
+use fusion_sql::parser::parse;
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn int_filter_matches_oracle(
+        data in prop::collection::vec(-50i64..50, 0..300),
+        c in -60i64..60,
+        op in arb_op(),
+    ) {
+        let col = ColumnData::Int64(data.clone());
+        let leaf = FilterLeaf { id: 0, column: 0, column_name: "x".into(), op, constant: Value::Int(c) };
+        let bm = eval_filter(&leaf, &col).unwrap();
+        for (i, v) in data.iter().enumerate() {
+            let expect = op.matches(v.cmp(&c));
+            prop_assert_eq!(bm.get(i), expect, "row {}", i);
+        }
+    }
+
+    #[test]
+    fn string_filter_matches_oracle(
+        data in prop::collection::vec("[a-c]{0,3}", 0..200),
+        c in "[a-c]{0,3}",
+        op in arb_op(),
+    ) {
+        let col = ColumnData::Utf8(data.clone());
+        let leaf = FilterLeaf { id: 0, column: 0, column_name: "s".into(), op, constant: Value::Str(c.clone()) };
+        let bm = eval_filter(&leaf, &col).unwrap();
+        for (i, v) in data.iter().enumerate() {
+            prop_assert_eq!(bm.get(i), op.matches(v.as_str().cmp(c.as_str())));
+        }
+    }
+
+    #[test]
+    fn pruning_is_sound(
+        data in prop::collection::vec(-50i64..50, 1..200),
+        c in -60i64..60,
+        op in arb_op(),
+    ) {
+        // If stats say "cannot match", the filter must indeed match nothing.
+        let col = ColumnData::Int64(data.clone());
+        let (min, max) = col.min_max().unwrap();
+        let leaf = FilterLeaf { id: 0, column: 0, column_name: "x".into(), op, constant: Value::Int(c) };
+        if !stats_may_match(&leaf, Some(&min), Some(&max)) {
+            let bm = eval_filter(&leaf, &col).unwrap();
+            prop_assert_eq!(bm.count_ones(), 0, "pruned a chunk with matches");
+        }
+    }
+
+    #[test]
+    fn bitmap_algebra_matches_bools(
+        a in prop::collection::vec(any::<bool>(), 1..200),
+        b_seed in any::<u64>(),
+    ) {
+        let n = a.len();
+        let b: Vec<bool> = (0..n).map(|i| (b_seed >> (i % 64)) & 1 == 1).collect();
+        let ba: Bitmap = a.iter().copied().collect();
+        let bb: Bitmap = b.iter().copied().collect();
+        let leaves = vec![ba, bb];
+        let tree = BoolTree::Or(
+            Box::new(BoolTree::And(Box::new(BoolTree::Leaf(0)), Box::new(BoolTree::Leaf(1)))),
+            Box::new(BoolTree::Not(Box::new(BoolTree::Leaf(0)))),
+        );
+        let got = combine(&tree, &leaves).unwrap();
+        for i in 0..n {
+            // (a AND b) OR (NOT a) — written as the tree reads, which
+            // simplifies to b || !a.
+            let expect = b[i] || !a[i];
+            prop_assert_eq!(got.get(i), expect);
+        }
+    }
+
+    #[test]
+    fn bitmap_bytes_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..500)) {
+        let bm: Bitmap = bits.into_iter().collect();
+        prop_assert_eq!(Bitmap::from_bytes(&bm.to_bytes()), Some(bm));
+    }
+
+    #[test]
+    fn display_parse_fixpoint(
+        raw_cols in prop::collection::vec("[a-z]{1,6}", 1..4),
+        c1 in -100i64..100,
+        s in "[a-z]{0,5}",
+    ) {
+        // Prefix generated names so they can never collide with reserved
+        // words (SELECT/FROM/WHERE/AND/OR/NOT).
+        let cols: Vec<String> = raw_cols.iter().map(|c| format!("col_{c}")).collect();
+        // Construct a query string, parse, print, parse again: ASTs equal.
+        let sql = format!(
+            "SELECT {} FROM t WHERE {} < {} AND {} != '{}'",
+            cols.join(", "), cols[0], c1, cols[0], s,
+        );
+        let q1 = parse(&sql).unwrap();
+        let q2 = parse(&q1.to_string()).unwrap();
+        prop_assert_eq!(q1, q2);
+    }
+}
+
+#[test]
+fn plan_smoke_against_schema() {
+    // A non-proptest integration sanity check combining parse + plan + eval.
+    let schema = Schema::new(vec![
+        Field::new("qty", LogicalType::Int64),
+        Field::new("price", LogicalType::Float64),
+    ]);
+    let q = parse("SELECT price FROM t WHERE qty >= 3 AND price < 9.5").unwrap();
+    let p = fusion_sql::plan::plan(&q, &schema).unwrap();
+    let qty = ColumnData::Int64(vec![1, 3, 5, 7]);
+    let price = ColumnData::Float64(vec![1.0, 20.0, 5.0, 9.5]);
+    let bms = vec![
+        eval_filter(&p.filters[0], &qty).unwrap(),
+        eval_filter(&p.filters[1], &price).unwrap(),
+    ];
+    let m = combine(p.tree.as_ref().unwrap(), &bms).unwrap();
+    assert_eq!(m.ones().collect::<Vec<_>>(), vec![2]);
+}

@@ -1,0 +1,179 @@
+#![warn(missing_docs)]
+
+//! # fusion-workloads
+//!
+//! Deterministic generators for every dataset the Fusion paper evaluates
+//! on (Table 3), plus the synthetic chunk-size workloads of §6.3:
+//!
+//! * [`tpch`] — TPC-H `lineitem` (16 columns, bimodal chunk sizes,
+//!   compression ratios from ~1.5× to >60×; the microbenchmark table).
+//! * [`taxi`] — NYC yellow-taxi trips (20 columns, uniform chunk sizes;
+//!   hosts queries Q3/Q4).
+//! * [`recipes`] — recipeNLG-shaped text corpus (7 columns, almost all
+//!   large text chunks).
+//! * [`ukpp`] — UK Price Paid transactions (16 columns, mixed
+//!   cardinalities).
+//! * [`synth`] — Zipfian chunk-size lists for the packer overhead studies.
+//!
+//! The generators are **schema- and distribution-faithful** stand-ins for
+//! the real downloads (see DESIGN.md §3): every experiment consumes chunk
+//! sizes, compressibilities, and selectivities, all of which these
+//! generators reproduce at a configurable scale.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fusion_workloads::tpch::{lineitem_file, TpchConfig};
+//!
+//! let cfg = TpchConfig { rows_per_group: 1_000, row_groups: 2, seed: 7 };
+//! let bytes = lineitem_file(cfg);
+//! let meta = fusion_format::footer::parse_footer(&bytes)?;
+//! assert_eq!(meta.schema.len(), 16);
+//! assert_eq!(meta.num_chunks(), 32);
+//! # Ok::<(), fusion_format::error::FormatError>(())
+//! ```
+
+pub mod recipes;
+pub mod synth;
+pub mod taxi;
+pub mod text;
+pub mod tpch;
+pub mod ukpp;
+
+use fusion_format::table::Table;
+
+/// The four real-world datasets of Table 3, by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// TPC-H `lineitem`.
+    TpchLineitem,
+    /// NYC yellow taxi.
+    Taxi,
+    /// recipeNLG.
+    RecipeNlg,
+    /// UK Price Paid.
+    UkPp,
+}
+
+impl Dataset {
+    /// All four datasets, in the paper's presentation order.
+    pub const ALL: [Dataset; 4] = [
+        Dataset::TpchLineitem,
+        Dataset::Taxi,
+        Dataset::RecipeNlg,
+        Dataset::UkPp,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::TpchLineitem => "tpc-h lineitem",
+            Dataset::Taxi => "taxi",
+            Dataset::RecipeNlg => "recipeNLG",
+            Dataset::UkPp => "uk pp",
+        }
+    }
+
+    /// Generates the dataset at a relative `scale` (1.0 = this repo's
+    /// default laptop scale; the paper's files are ~1000× larger with the
+    /// same shape).
+    pub fn table(self, scale: f64) -> Table {
+        let s = |base: usize| ((base as f64 * scale) as usize).max(200);
+        match self {
+            Dataset::TpchLineitem => tpch::lineitem(tpch::TpchConfig {
+                rows_per_group: s(30_000),
+                ..Default::default()
+            }),
+            Dataset::Taxi => taxi::taxi(taxi::TaxiConfig {
+                rows_per_group: s(25_000),
+                ..Default::default()
+            }),
+            Dataset::RecipeNlg => recipes::recipes(recipes::RecipesConfig {
+                rows_per_group: s(4_000),
+                ..Default::default()
+            }),
+            Dataset::UkPp => ukpp::ukpp(ukpp::UkppConfig {
+                rows_per_group: s(8_000),
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Generates the serialized analytics file at `scale`.
+    pub fn file(self, scale: f64) -> Vec<u8> {
+        let s = |base: usize| ((base as f64 * scale) as usize).max(200);
+        match self {
+            Dataset::TpchLineitem => tpch::lineitem_file(tpch::TpchConfig {
+                rows_per_group: s(30_000),
+                ..Default::default()
+            }),
+            Dataset::Taxi => taxi::taxi_file(taxi::TaxiConfig {
+                rows_per_group: s(25_000),
+                ..Default::default()
+            }),
+            Dataset::RecipeNlg => recipes::recipes_file(recipes::RecipesConfig {
+                rows_per_group: s(4_000),
+                ..Default::default()
+            }),
+            Dataset::UkPp => ukpp::ukpp_file(ukpp::UkppConfig {
+                rows_per_group: s(8_000),
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// The paper's file size for this dataset (Table 3), used to scale
+    /// block sizes that are absolute in the paper (e.g. its 100 MB
+    /// erasure-code blocks).
+    pub fn paper_bytes(self) -> u64 {
+        match self {
+            Dataset::TpchLineitem => 10 << 30,
+            Dataset::Taxi => (8.4 * (1u64 << 30) as f64) as u64,
+            Dataset::RecipeNlg => (0.98 * (1u64 << 30) as f64) as u64,
+            Dataset::UkPp => (1.5 * (1u64 << 30) as f64) as u64,
+        }
+    }
+
+    /// Number of columns (Table 3).
+    pub fn columns(self) -> usize {
+        match self {
+            Dataset::TpchLineitem | Dataset::UkPp => 16,
+            Dataset::Taxi => 20,
+            Dataset::RecipeNlg => 7,
+        }
+    }
+
+    /// Number of row groups (Table 3: chunks / columns).
+    pub fn row_groups(self) -> usize {
+        match self {
+            Dataset::TpchLineitem => 10,
+            Dataset::Taxi => 16,
+            Dataset::RecipeNlg => 12,
+            Dataset::UkPp => 15,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shapes() {
+        // chunks = columns × row groups, as in Table 3.
+        assert_eq!(Dataset::TpchLineitem.columns() * Dataset::TpchLineitem.row_groups(), 160);
+        assert_eq!(Dataset::Taxi.columns() * Dataset::Taxi.row_groups(), 320);
+        assert_eq!(Dataset::RecipeNlg.columns() * Dataset::RecipeNlg.row_groups(), 84);
+        assert_eq!(Dataset::UkPp.columns() * Dataset::UkPp.row_groups(), 240);
+    }
+
+    #[test]
+    fn tiny_scale_generation() {
+        for d in Dataset::ALL {
+            let file = d.file(0.01);
+            let meta = fusion_format::footer::parse_footer(&file).unwrap();
+            assert_eq!(meta.schema.len(), d.columns(), "{}", d.name());
+            assert_eq!(meta.row_groups.len(), d.row_groups(), "{}", d.name());
+        }
+    }
+}

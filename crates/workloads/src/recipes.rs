@@ -1,0 +1,146 @@
+//! recipeNLG-shaped generator: a text-heavy corpus of cooking recipes.
+//!
+//! The paper's file (Table 3): 7 columns, 84 chunks (12 row groups),
+//! 0.98 GB. Nearly every column is free text, so the chunk-size CDF is
+//! dominated by large chunks (Figure 4c) — the opposite extreme from the
+//! numeric-heavy taxi data.
+
+use crate::text::{ident, sentence};
+use fusion_format::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale/shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecipesConfig {
+    /// Rows per row group (default 4 K; the paper's file holds ~2.2 M
+    /// recipes total).
+    pub rows_per_group: usize,
+    /// Row groups (paper shape: 12 → 84 chunks over 7 columns).
+    pub row_groups: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RecipesConfig {
+    fn default() -> Self {
+        RecipesConfig {
+            rows_per_group: 4_000,
+            row_groups: 12,
+            seed: 0x4EC1,
+        }
+    }
+}
+
+impl RecipesConfig {
+    /// Total rows.
+    pub fn rows(&self) -> usize {
+        self.rows_per_group * self.row_groups
+    }
+}
+
+/// The 7-column recipeNLG schema.
+pub fn recipes_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", LogicalType::Int64),
+        Field::new("title", LogicalType::Utf8),
+        Field::new("ingredients", LogicalType::Utf8),
+        Field::new("directions", LogicalType::Utf8),
+        Field::new("link", LogicalType::Utf8),
+        Field::new("source", LogicalType::Utf8),
+        Field::new("ner", LogicalType::Utf8),
+    ])
+}
+
+/// Generates the recipes table.
+pub fn recipes(cfg: RecipesConfig) -> Table {
+    let rows = cfg.rows();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    let mut id = Vec::with_capacity(rows);
+    let mut title = Vec::with_capacity(rows);
+    let mut ingredients = Vec::with_capacity(rows);
+    let mut directions = Vec::with_capacity(rows);
+    let mut link = Vec::with_capacity(rows);
+    let mut source = Vec::with_capacity(rows);
+    let mut ner = Vec::with_capacity(rows);
+
+    for i in 0..rows {
+        id.push(i as i64);
+        title.push(sentence(&mut rng, 2, 6));
+        // Ingredients: several "quantity unit item" lines.
+        let n_ing = rng.gen_range(4..12);
+        let mut ing = String::new();
+        for j in 0..n_ing {
+            if j > 0 {
+                ing.push_str("; ");
+            }
+            ing.push_str(&format!(
+                "{} cup {}",
+                rng.gen_range(1..5),
+                sentence(&mut rng, 1, 3)
+            ));
+        }
+        ingredients.push(ing);
+        directions.push(sentence(&mut rng, 30, 120));
+        link.push(format!("www.recipes.example/{}", ident(&mut rng, 2)));
+        source.push(if rng.gen_bool(0.7) { "Gathered".into() } else { "Recipes1M".into() });
+        ner.push(sentence(&mut rng, 4, 10));
+    }
+
+    Table::new(
+        recipes_schema(),
+        vec![
+            ColumnData::Int64(id),
+            ColumnData::Utf8(title),
+            ColumnData::Utf8(ingredients),
+            ColumnData::Utf8(directions),
+            ColumnData::Utf8(link),
+            ColumnData::Utf8(source),
+            ColumnData::Utf8(ner),
+        ],
+    )
+    .expect("generator produces a consistent table")
+}
+
+/// Serializes with the paper's row-group structure.
+pub fn recipes_file(cfg: RecipesConfig) -> Vec<u8> {
+    let table = recipes(cfg);
+    write_table(&table, WriteOptions { rows_per_group: cfg.rows_per_group })
+        .expect("write cannot fail on a valid table")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RecipesConfig {
+        RecipesConfig { rows_per_group: 500, row_groups: 3, seed: 5 }
+    }
+
+    #[test]
+    fn shape() {
+        let bytes = recipes_file(small());
+        let meta = parse_footer(&bytes).unwrap();
+        assert_eq!(meta.schema.len(), 7);
+        assert_eq!(meta.row_groups.len(), 3);
+        assert_eq!(meta.num_chunks(), 21);
+    }
+
+    #[test]
+    fn text_chunks_dominate() {
+        let bytes = recipes_file(small());
+        let meta = parse_footer(&bytes).unwrap();
+        let rg = &meta.row_groups[0];
+        let directions = rg.chunks[3].len;
+        let id = rg.chunks[0].len;
+        let source = rg.chunks[5].len;
+        assert!(directions > 10 * id, "directions {directions} vs id {id}");
+        assert!(source < id * 4, "low-cardinality source stays small");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(recipes(small()), recipes(small()));
+    }
+}

@@ -1,0 +1,109 @@
+//! Synthetic chunk-size workloads for the storage-overhead studies
+//! (paper §6.3, Figures 10a and 16a): lists of chunk sizes drawn from a
+//! Zipfian distribution over 1–100 MB.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic chunk-size draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Number of chunks.
+    pub num_chunks: usize,
+    /// Zipf skew `θ` (0 = uniform, 0.99 = highly skewed — the paper's
+    /// three settings are 0, 0.5, 0.99).
+    pub theta: f64,
+    /// Smallest chunk size (paper: 1 MB).
+    pub min_size: u64,
+    /// Largest chunk size (paper: 100 MB).
+    pub max_size: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            num_chunks: 100,
+            theta: 0.0,
+            min_size: 1 << 20,
+            max_size: 100 << 20,
+            seed: 0x51_27,
+        }
+    }
+}
+
+/// Number of discrete size buckets in the Zipf draw.
+const BUCKETS: usize = 100;
+
+/// Draws chunk sizes: bucket ranks follow Zipf(θ); bucket `r` maps to a
+/// size band between `min_size` and `max_size` with uniform jitter inside
+/// the band. θ = 0 degenerates to uniform sizes.
+pub fn zipf_chunk_sizes(cfg: SynthConfig) -> Vec<u64> {
+    assert!(cfg.max_size > cfg.min_size, "size range must be nonempty");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    // Precompute the Zipf CDF over bucket ranks 1..=BUCKETS.
+    let weights: Vec<f64> = (1..=BUCKETS).map(|r| 1.0 / (r as f64).powf(cfg.theta)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(BUCKETS);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let band = (cfg.max_size - cfg.min_size) as f64 / BUCKETS as f64;
+    (0..cfg.num_chunks)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let rank = cdf.partition_point(|&c| c < u).min(BUCKETS - 1);
+            let lo = cfg.min_size as f64 + rank as f64 * band;
+            let size = lo + rng.gen_range(0.0..band);
+            size as u64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_in_range_and_deterministic() {
+        let cfg = SynthConfig { num_chunks: 500, theta: 0.5, ..Default::default() };
+        let a = zipf_chunk_sizes(cfg);
+        let b = zipf_chunk_sizes(cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().all(|&s| (cfg.min_size..=cfg.max_size).contains(&s)));
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let cfg = SynthConfig { num_chunks: 20_000, theta: 0.0, ..Default::default() };
+        let sizes = zipf_chunk_sizes(cfg);
+        let mid = (cfg.min_size + cfg.max_size) / 2;
+        let below = sizes.iter().filter(|&&s| s < mid).count();
+        let frac = below as f64 / sizes.len() as f64;
+        assert!((frac - 0.5).abs() < 0.03, "uniform split was {frac}");
+    }
+
+    #[test]
+    fn high_theta_skews_small() {
+        let uni = zipf_chunk_sizes(SynthConfig { num_chunks: 20_000, theta: 0.0, ..Default::default() });
+        let skew = zipf_chunk_sizes(SynthConfig { num_chunks: 20_000, theta: 0.99, ..Default::default() });
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!(
+            mean(&skew) < 0.6 * mean(&uni),
+            "skewed mean {} vs uniform {}",
+            mean(&skew),
+            mean(&uni)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = zipf_chunk_sizes(SynthConfig { seed: 1, ..Default::default() });
+        let b = zipf_chunk_sizes(SynthConfig { seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,283 @@
+//! NYC yellow-taxi trip-record generator (2015–2017 shape).
+//!
+//! The paper's file (Table 3): 20 columns, 16 row groups of 25 M rows,
+//! 8.4 GB, with a much more uniform chunk-size distribution than lineitem
+//! (Figure 4c) because trip attributes are diverse.
+//!
+//! Two columns anchor the real-world queries (Table 4):
+//!
+//! * `pickup_datetime` — epoch **seconds**, time-ordered with jitter:
+//!   nearly incompressible (the paper reports compression ratio 1.6 for
+//!   the date column of Q3).
+//! * `fare` — a small set of standard metered fares: extreme
+//!   compressibility (the paper reports ratio 152 for Q4's fare column),
+//!   which is what trips the Cost Equation and disables projection
+//!   pushdown.
+
+use fusion_format::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale/shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaxiConfig {
+    /// Rows per row group (paper: 25 M; default here 25 K).
+    pub rows_per_group: usize,
+    /// Row groups (paper and default: 16).
+    pub row_groups: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TaxiConfig {
+    fn default() -> Self {
+        TaxiConfig {
+            rows_per_group: 25_000,
+            row_groups: 16,
+            seed: 0x7A_21,
+        }
+    }
+}
+
+impl TaxiConfig {
+    /// Total rows.
+    pub fn rows(&self) -> usize {
+        self.rows_per_group * self.row_groups
+    }
+}
+
+/// Epoch seconds of 2015-01-01T00:00:00Z.
+pub const TRIPS_START: i64 = 1_420_070_400;
+/// Epoch seconds of 2018-01-01T00:00:00Z (exclusive end of the dataset).
+pub const TRIPS_END: i64 = 1_514_764_800;
+
+/// Standard metered fares: the column is dominated by a few flat rates
+/// (airport flat fare, minimum fares), giving it the extreme
+/// compressibility the paper measures (ratio 152) — 2-bit dictionary
+/// codes here.
+const STANDARD_FARES: [f64; 4] = [52.0, 6.5, 9.0, 12.5];
+
+/// The 20-column taxi schema.
+pub fn taxi_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("vendor_id", LogicalType::Int64),
+        Field::new("pickup_datetime", LogicalType::Int64),
+        Field::new("dropoff_datetime", LogicalType::Int64),
+        Field::new("passenger_count", LogicalType::Int64),
+        Field::new("trip_distance", LogicalType::Float64),
+        Field::new("rate_code", LogicalType::Int64),
+        Field::new("store_fwd_flag", LogicalType::Utf8),
+        Field::new("pu_location", LogicalType::Int64),
+        Field::new("do_location", LogicalType::Int64),
+        Field::new("payment_type", LogicalType::Int64),
+        Field::new("fare", LogicalType::Float64),
+        Field::new("extra", LogicalType::Float64),
+        Field::new("mta_tax", LogicalType::Float64),
+        Field::new("tip", LogicalType::Float64),
+        Field::new("tolls", LogicalType::Float64),
+        Field::new("improvement_surcharge", LogicalType::Float64),
+        Field::new("total", LogicalType::Float64),
+        Field::new("congestion_surcharge", LogicalType::Float64),
+        Field::new("pickup_date", LogicalType::Date),
+        Field::new("trip_duration", LogicalType::Int64),
+    ])
+}
+
+/// Generates the taxi trips table. Pickup times are uniform over the
+/// 2015–2017 span with no row-group-level time locality, matching the
+/// paper's file (whose date column compresses only 1.6× and whose Q3
+/// narrative implies footer statistics cannot prune row groups by time).
+pub fn taxi(cfg: TaxiConfig) -> Table {
+    let rows = cfg.rows();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let span = TRIPS_END - TRIPS_START;
+
+    let mut cols: Vec<ColumnData> = Vec::new();
+    let mut vendor = Vec::with_capacity(rows);
+    let mut pickup = Vec::with_capacity(rows);
+    let mut dropoff = Vec::with_capacity(rows);
+    let mut passengers = Vec::with_capacity(rows);
+    let mut distance = Vec::with_capacity(rows);
+    let mut rate = Vec::with_capacity(rows);
+    let mut store_fwd = Vec::with_capacity(rows);
+    let mut pu = Vec::with_capacity(rows);
+    let mut dol = Vec::with_capacity(rows);
+    let mut payment = Vec::with_capacity(rows);
+    let mut fare = Vec::with_capacity(rows);
+    let mut extra = Vec::with_capacity(rows);
+    let mut mta = Vec::with_capacity(rows);
+    let mut tip = Vec::with_capacity(rows);
+    let mut tolls = Vec::with_capacity(rows);
+    let mut improvement = Vec::with_capacity(rows);
+    let mut total = Vec::with_capacity(rows);
+    let mut congestion = Vec::with_capacity(rows);
+    let mut pdate = Vec::with_capacity(rows);
+    let mut duration = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        let p = TRIPS_START + rng.gen_range(0..span);
+        let dur = rng.gen_range(120..=3_600i64);
+        let dist = (dur as f64 / 300.0) * rng.gen_range(0.5..2.5);
+        let f = STANDARD_FARES[rng.gen_range(0..STANDARD_FARES.len())];
+        let tp = if rng.gen_bool(0.6) {
+            (f * rng.gen_range(0.0..0.3) * 4.0).round() / 4.0
+        } else {
+            0.0
+        };
+        let tl = if rng.gen_bool(0.05) { 5.76 } else { 0.0 };
+        let ex = [0.0, 0.5, 1.0, 4.5][rng.gen_range(0..4)];
+
+        vendor.push(1 + rng.gen_range(0..2i64));
+        pickup.push(p);
+        dropoff.push(p + dur);
+        passengers.push(rng.gen_range(1..=6i64));
+        distance.push((dist * 100.0).round() / 100.0);
+        rate.push(if rng.gen_bool(0.95) { 1 } else { rng.gen_range(2..=6i64) });
+        store_fwd.push(if rng.gen_bool(0.99) { "N".into() } else { "Y".into() });
+        pu.push(rng.gen_range(1..=265i64));
+        dol.push(rng.gen_range(1..=265i64));
+        payment.push(rng.gen_range(1..=5i64));
+        fare.push(f);
+        extra.push(ex);
+        mta.push(0.5);
+        tip.push(tp);
+        tolls.push(tl);
+        improvement.push(0.3);
+        total.push(f + ex + 0.5 + tp + tl + 0.3);
+        congestion.push([0.0, 2.5, 2.75][rng.gen_range(0..3)]);
+        pdate.push(p.div_euclid(86_400));
+        duration.push(dur);
+    }
+
+    cols.push(ColumnData::Int64(vendor));
+    cols.push(ColumnData::Int64(pickup));
+    cols.push(ColumnData::Int64(dropoff));
+    cols.push(ColumnData::Int64(passengers));
+    cols.push(ColumnData::Float64(distance));
+    cols.push(ColumnData::Int64(rate));
+    cols.push(ColumnData::Utf8(store_fwd));
+    cols.push(ColumnData::Int64(pu));
+    cols.push(ColumnData::Int64(dol));
+    cols.push(ColumnData::Int64(payment));
+    cols.push(ColumnData::Float64(fare));
+    cols.push(ColumnData::Float64(extra));
+    cols.push(ColumnData::Float64(mta));
+    cols.push(ColumnData::Float64(tip));
+    cols.push(ColumnData::Float64(tolls));
+    cols.push(ColumnData::Float64(improvement));
+    cols.push(ColumnData::Float64(total));
+    cols.push(ColumnData::Float64(congestion));
+    cols.push(ColumnData::Int64(pdate));
+    cols.push(ColumnData::Int64(duration));
+
+    Table::new(taxi_schema(), cols).expect("generator produces a consistent table")
+}
+
+/// Serializes the taxi table with the paper's row-group structure.
+pub fn taxi_file(cfg: TaxiConfig) -> Vec<u8> {
+    let table = taxi(cfg);
+    write_table(&table, WriteOptions { rows_per_group: cfg.rows_per_group })
+        .expect("write cannot fail on a valid table")
+}
+
+/// Epoch seconds for a calendar date (UTC midnight) — for query literals.
+pub fn epoch_seconds(y: i64, m: u32, d: u32) -> i64 {
+    fusion_sql::date::days_from_civil(y, m, d) * 86_400
+}
+
+/// Q3 (Table 4, "high selectivity"): one filter, one projection, ~37.5%
+/// selectivity over the 2015–2017 span.
+pub fn q3(object: &str) -> String {
+    format!(
+        "SELECT count(pickup_datetime) FROM {object} WHERE pickup_datetime < {}",
+        epoch_seconds(2016, 2, 15)
+    )
+}
+
+/// Q4 (Table 4, "low selectivity"): one filter, two projected columns
+/// (`fare` is extremely compressible — the Cost Equation disables its
+/// pushdown, while `pickup_date` stays pushed), ~6.3% selectivity.
+pub fn q4(object: &str) -> String {
+    format!(
+        "SELECT max(pickup_date), avg(fare) FROM {object} WHERE pickup_datetime < {}",
+        epoch_seconds(2015, 3, 10)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TaxiConfig {
+        TaxiConfig { rows_per_group: 2000, row_groups: 4, seed: 1 }
+    }
+
+    #[test]
+    fn schema_is_20_columns() {
+        assert_eq!(taxi_schema().len(), 20);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(taxi(small()), taxi(small()));
+    }
+
+    #[test]
+    fn pickups_cover_the_span_without_time_locality() {
+        let t = taxi(small());
+        let p = t.column_by_name("pickup_datetime").unwrap().as_int64().unwrap();
+        assert!(p.iter().all(|&x| (TRIPS_START..TRIPS_END).contains(&x)));
+        // Every row group must span most of the time range (no pruning
+        // possible), like the paper's file.
+        let quarter = (TRIPS_END - TRIPS_START) / 4;
+        for chunk in p.chunks(2000) {
+            let (mn, mx) = (chunk.iter().min().unwrap(), chunk.iter().max().unwrap());
+            assert!(mx - mn > 2 * quarter, "row group too time-local");
+        }
+    }
+
+    #[test]
+    fn fare_is_extreme_compressible_and_datetime_is_not() {
+        let bytes = taxi_file(small());
+        let meta = parse_footer(&bytes).unwrap();
+        let s = taxi_schema();
+        let ratio = |name: &str| {
+            meta.row_groups[0].chunks[s.index_of(name).unwrap()].compressibility()
+        };
+        assert!(ratio("fare") > 15.0, "fare ratio {}", ratio("fare"));
+        assert!(
+            ratio("pickup_datetime") < 4.0,
+            "pickup ratio {}",
+            ratio("pickup_datetime")
+        );
+        assert!(ratio("mta_tax") > 50.0, "constant column {}", ratio("mta_tax"));
+    }
+
+    #[test]
+    fn q3_selectivity_near_375() {
+        // 2015-01-01..2016-02-15 over a 3-year span ≈ 37.5%.
+        let t = taxi(small());
+        let p = t.column_by_name("pickup_datetime").unwrap().as_int64().unwrap();
+        let cut = epoch_seconds(2016, 2, 15);
+        let sel = p.iter().filter(|&&x| x < cut).count() as f64 / p.len() as f64;
+        assert!((sel - 0.375).abs() < 0.02, "selectivity {sel}");
+    }
+
+    #[test]
+    fn q4_selectivity_near_63() {
+        let t = taxi(small());
+        let p = t.column_by_name("pickup_datetime").unwrap().as_int64().unwrap();
+        let cut = epoch_seconds(2015, 3, 10);
+        let sel = p.iter().filter(|&&x| x < cut).count() as f64 / p.len() as f64;
+        assert!((sel - 0.063).abs() < 0.01, "selectivity {sel}");
+    }
+
+    #[test]
+    fn queries_plan() {
+        let s = taxi_schema();
+        for sql in [q3("taxi"), q4("taxi")] {
+            let q = fusion_sql::parser::parse(&sql).unwrap();
+            fusion_sql::plan::plan(&q, &s).unwrap();
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Shared deterministic text generation for the dataset generators.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A compact word pool in the spirit of the TPC-H grammar text pool.
+pub const WORDS: &[&str] = &[
+    "the", "special", "packages", "carefully", "final", "deposits", "sleep", "quickly",
+    "furiously", "ironic", "requests", "accounts", "pending", "regular", "instructions",
+    "theodolites", "slyly", "express", "foxes", "bold", "pinto", "beans", "wake", "blithely",
+    "even", "ideas", "haggle", "platelets", "unusual", "dependencies", "among", "silent",
+    "asymptotes", "cajole", "across", "daring", "courts", "dolphins", "nag", "fluffily",
+    "against", "epitaphs", "use", "never", "excuses", "detect", "above", "according",
+    "busy", "sometimes",
+];
+
+/// Generates a sentence of `min_words..=max_words` random words.
+pub fn sentence(rng: &mut SmallRng, min_words: usize, max_words: usize) -> String {
+    let n = rng.gen_range(min_words..=max_words);
+    let mut s = String::new();
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    s
+}
+
+/// Generates an uppercase pseudo-identifier like `A7F3-K2Q9` of `groups`
+/// dash-separated 4-char groups (high-cardinality strings).
+pub fn ident(rng: &mut SmallRng, groups: usize) -> String {
+    const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    let mut s = String::with_capacity(groups * 5);
+    for g in 0..groups {
+        if g > 0 {
+            s.push('-');
+        }
+        for _ in 0..4 {
+            s.push(ALPHABET[rng.gen_range(0..ALPHABET.len())] as char);
+        }
+    }
+    s
+}
+
+/// Picks an element of `pool` with a Zipf-ish skew (lower indices more
+/// likely) controlled by `skew` in `[0, 1]`; 0 = uniform.
+pub fn skewed_pick<'a>(rng: &mut SmallRng, pool: &[&'a str], skew: f64) -> &'a str {
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    let idx = (u.powf(1.0 + 3.0 * skew) * pool.len() as f64) as usize;
+    pool[idx.min(pool.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sentences_are_bounded_and_deterministic() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s1 = sentence(&mut a, 3, 8);
+            let s2 = sentence(&mut b, 3, 8);
+            assert_eq!(s1, s2);
+            let words = s1.split(' ').count();
+            assert!((3..=8).contains(&words));
+        }
+    }
+
+    #[test]
+    fn idents_have_shape() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let id = ident(&mut rng, 3);
+        assert_eq!(id.len(), 14);
+        assert_eq!(id.matches('-').count(), 2);
+    }
+
+    #[test]
+    fn skew_prefers_low_indices() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pool: Vec<&str> = WORDS.to_vec();
+        let mut low = 0;
+        for _ in 0..2000 {
+            let w = skewed_pick(&mut rng, &pool, 1.0);
+            if pool.iter().position(|x| x == &w).unwrap() < pool.len() / 4 {
+                low += 1;
+            }
+        }
+        assert!(low > 1200, "skewed picks should concentrate, got {low}");
+    }
+}

@@ -1,0 +1,196 @@
+//! UK Price Paid (HM Land Registry) generator.
+//!
+//! The paper's file (Table 3): 16 columns, 240 chunks (15 row groups),
+//! 1.5 GB. A mix of a high-cardinality transaction id, categorical codes,
+//! and address strings of moderate cardinality — a chunk-size distribution
+//! between lineitem's bimodal and taxi's uniform.
+
+use crate::text::{ident, WORDS};
+use fusion_format::prelude::*;
+use fusion_sql::date::days_from_civil;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale/shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UkppConfig {
+    /// Rows per row group (default 8 K).
+    pub rows_per_group: usize,
+    /// Row groups (paper shape: 15 → 240 chunks over 16 columns).
+    pub row_groups: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UkppConfig {
+    fn default() -> Self {
+        UkppConfig {
+            rows_per_group: 8_000,
+            row_groups: 15,
+            seed: 0x0CC5,
+        }
+    }
+}
+
+impl UkppConfig {
+    /// Total rows.
+    pub fn rows(&self) -> usize {
+        self.rows_per_group * self.row_groups
+    }
+}
+
+/// The 16-column price-paid schema.
+pub fn ukpp_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("transaction_id", LogicalType::Utf8),
+        Field::new("price", LogicalType::Int64),
+        Field::new("transfer_date", LogicalType::Date),
+        Field::new("postcode", LogicalType::Utf8),
+        Field::new("property_type", LogicalType::Utf8),
+        Field::new("old_new", LogicalType::Utf8),
+        Field::new("duration", LogicalType::Utf8),
+        Field::new("paon", LogicalType::Utf8),
+        Field::new("saon", LogicalType::Utf8),
+        Field::new("street", LogicalType::Utf8),
+        Field::new("locality", LogicalType::Utf8),
+        Field::new("town", LogicalType::Utf8),
+        Field::new("district", LogicalType::Utf8),
+        Field::new("county", LogicalType::Utf8),
+        Field::new("ppd_category", LogicalType::Utf8),
+        Field::new("record_status", LogicalType::Utf8),
+    ])
+}
+
+/// Generates the price-paid table.
+pub fn ukpp(cfg: UkppConfig) -> Table {
+    let rows = cfg.rows();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Moderate-cardinality address pools.
+    let towns: Vec<String> = (0..400).map(|i| format!("{}TON", WORDS[i % WORDS.len()].to_uppercase())).collect();
+    let counties: Vec<String> = (0..60).map(|i| format!("{}SHIRE", WORDS[i % WORDS.len()].to_uppercase())).collect();
+    let streets: Vec<String> = (0..5000)
+        .map(|i| format!("{} {} ROAD", WORDS[i % WORDS.len()].to_uppercase(), i / WORDS.len()))
+        .collect();
+
+    let start = days_from_civil(1995, 1, 1);
+    let end = days_from_civil(2017, 12, 31);
+
+    let mut tid = Vec::with_capacity(rows);
+    let mut price = Vec::with_capacity(rows);
+    let mut date = Vec::with_capacity(rows);
+    let mut postcode = Vec::with_capacity(rows);
+    let mut ptype = Vec::with_capacity(rows);
+    let mut old_new = Vec::with_capacity(rows);
+    let mut duration = Vec::with_capacity(rows);
+    let mut paon = Vec::with_capacity(rows);
+    let mut saon = Vec::with_capacity(rows);
+    let mut street = Vec::with_capacity(rows);
+    let mut locality = Vec::with_capacity(rows);
+    let mut town = Vec::with_capacity(rows);
+    let mut district = Vec::with_capacity(rows);
+    let mut county = Vec::with_capacity(rows);
+    let mut ppd = Vec::with_capacity(rows);
+    let mut status = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        tid.push(format!("{{{}}}", ident(&mut rng, 4)));
+        // Log-normal-ish prices.
+        let p = (40_000.0 * (1.0 + rng.gen_range(0.0f64..1.0).powi(3) * 60.0)) as i64;
+        price.push(p - p % 500);
+        date.push(rng.gen_range(start..=end));
+        postcode.push(format!(
+            "{}{} {}{}",
+            (b'A' + rng.gen_range(0..20u8)) as char,
+            rng.gen_range(1..30),
+            rng.gen_range(1..10),
+            (b'A' + rng.gen_range(0..26u8)) as char,
+        ));
+        ptype.push(["D", "S", "T", "F", "O"][rng.gen_range(0..5)].to_string());
+        old_new.push(if rng.gen_bool(0.1) { "Y".into() } else { "N".into() });
+        duration.push(if rng.gen_bool(0.75) { "F".into() } else { "L".into() });
+        paon.push(rng.gen_range(1..200).to_string());
+        saon.push(if rng.gen_bool(0.85) {
+            String::new()
+        } else {
+            format!("FLAT {}", rng.gen_range(1..40))
+        });
+        street.push(streets[rng.gen_range(0..streets.len())].clone());
+        locality.push(if rng.gen_bool(0.6) {
+            String::new()
+        } else {
+            towns[rng.gen_range(0..towns.len())].clone()
+        });
+        let t = rng.gen_range(0..towns.len());
+        town.push(towns[t].clone());
+        district.push(towns[(t + 13) % towns.len()].clone());
+        county.push(counties[t % counties.len()].clone());
+        ppd.push(if rng.gen_bool(0.9) { "A".into() } else { "B".into() });
+        status.push("A".to_string());
+    }
+
+    Table::new(
+        ukpp_schema(),
+        vec![
+            ColumnData::Utf8(tid),
+            ColumnData::Int64(price),
+            ColumnData::Int64(date),
+            ColumnData::Utf8(postcode),
+            ColumnData::Utf8(ptype),
+            ColumnData::Utf8(old_new),
+            ColumnData::Utf8(duration),
+            ColumnData::Utf8(paon),
+            ColumnData::Utf8(saon),
+            ColumnData::Utf8(street),
+            ColumnData::Utf8(locality),
+            ColumnData::Utf8(town),
+            ColumnData::Utf8(district),
+            ColumnData::Utf8(county),
+            ColumnData::Utf8(ppd),
+            ColumnData::Utf8(status),
+        ],
+    )
+    .expect("generator produces a consistent table")
+}
+
+/// Serializes with the paper's row-group structure.
+pub fn ukpp_file(cfg: UkppConfig) -> Vec<u8> {
+    let table = ukpp(cfg);
+    write_table(&table, WriteOptions { rows_per_group: cfg.rows_per_group })
+        .expect("write cannot fail on a valid table")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> UkppConfig {
+        UkppConfig { rows_per_group: 500, row_groups: 3, seed: 7 }
+    }
+
+    #[test]
+    fn shape() {
+        let bytes = ukpp_file(small());
+        let meta = parse_footer(&bytes).unwrap();
+        assert_eq!(meta.schema.len(), 16);
+        assert_eq!(meta.num_chunks(), 48);
+    }
+
+    #[test]
+    fn cardinality_extremes() {
+        let bytes = ukpp_file(small());
+        let meta = parse_footer(&bytes).unwrap();
+        let s = ukpp_schema();
+        let len = |n: &str| meta.row_groups[0].chunks[s.index_of(n).unwrap()].len;
+        // The unique transaction id dwarfs the constant record_status.
+        assert!(len("transaction_id") > 20 * len("record_status"));
+        let ratio = |n: &str| meta.row_groups[0].chunks[s.index_of(n).unwrap()].compressibility();
+        assert!(ratio("record_status") > 20.0);
+        assert!(ratio("transaction_id") < 3.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(ukpp(small()), ukpp(small()));
+    }
+}

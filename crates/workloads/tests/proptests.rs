@@ -1,0 +1,91 @@
+//! Property tests over the workload generators: structural invariants
+//! must hold at every scale and seed.
+
+use fusion_format::footer::parse_footer;
+use fusion_workloads::synth::{zipf_chunk_sizes, SynthConfig};
+use fusion_workloads::tpch::{lineitem, lineitem_file, TpchConfig};
+use fusion_workloads::taxi::{taxi, TaxiConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lineitem_invariants(rows in 200usize..2000, groups in 1usize..6, seed: u64) {
+        let cfg = TpchConfig { rows_per_group: rows, row_groups: groups, seed };
+        let t = lineitem(cfg);
+        prop_assert_eq!(t.num_rows(), rows * groups);
+        prop_assert_eq!(t.num_columns(), 16);
+        // Domain checks on a sample of columns.
+        let qty = t.column_by_name("quantity").unwrap().as_int64().unwrap();
+        prop_assert!(qty.iter().all(|&q| (1..=50).contains(&q)));
+        let ship = t.column_by_name("shipdate").unwrap().as_int64().unwrap();
+        let commit = t.column_by_name("commitdate").unwrap().as_int64().unwrap();
+        let receipt = t.column_by_name("receiptdate").unwrap().as_int64().unwrap();
+        for i in 0..t.num_rows() {
+            prop_assert!((commit[i] - ship[i]).abs() <= 30);
+            prop_assert!(receipt[i] > ship[i] && receipt[i] <= ship[i] + 30);
+        }
+        // returnflag/linestatus derive from receiptdate consistently.
+        let rf = t.column_by_name("returnflag").unwrap().as_utf8().unwrap();
+        let ls = t.column_by_name("linestatus").unwrap().as_utf8().unwrap();
+        for i in 0..t.num_rows() {
+            if ls[i] == "O" {
+                prop_assert_eq!(rf[i].as_str(), "N");
+            } else {
+                prop_assert!(rf[i] == "R" || rf[i] == "A");
+            }
+        }
+    }
+
+    #[test]
+    fn lineitem_file_footer_is_consistent(rows in 200usize..1500, seed: u64) {
+        let cfg = TpchConfig { rows_per_group: rows, row_groups: 3, seed };
+        let bytes = lineitem_file(cfg);
+        let meta = parse_footer(&bytes).unwrap();
+        prop_assert_eq!(meta.num_rows() as usize, rows * 3);
+        prop_assert_eq!(meta.num_chunks(), 48);
+        // Chunks tile the data region contiguously.
+        let mut pos = 0;
+        for (_, _, c) in meta.chunks() {
+            prop_assert_eq!(c.offset, pos);
+            pos += c.len;
+        }
+    }
+
+    #[test]
+    fn taxi_totals_add_up(rows in 200usize..1500, seed: u64) {
+        let cfg = TaxiConfig { rows_per_group: rows, row_groups: 2, seed };
+        let t = taxi(cfg);
+        let fare = t.column_by_name("fare").unwrap().as_float64().unwrap();
+        let extra = t.column_by_name("extra").unwrap().as_float64().unwrap();
+        let mta = t.column_by_name("mta_tax").unwrap().as_float64().unwrap();
+        let tip = t.column_by_name("tip").unwrap().as_float64().unwrap();
+        let tolls = t.column_by_name("tolls").unwrap().as_float64().unwrap();
+        let imp = t.column_by_name("improvement_surcharge").unwrap().as_float64().unwrap();
+        let total = t.column_by_name("total").unwrap().as_float64().unwrap();
+        for i in 0..t.num_rows() {
+            let sum = fare[i] + extra[i] + mta[i] + tip[i] + tolls[i] + imp[i];
+            prop_assert!((total[i] - sum).abs() < 1e-9, "row {}", i);
+        }
+        // Dropoff after pickup, by the recorded duration.
+        let p = t.column_by_name("pickup_datetime").unwrap().as_int64().unwrap();
+        let d = t.column_by_name("dropoff_datetime").unwrap().as_int64().unwrap();
+        let dur = t.column_by_name("trip_duration").unwrap().as_int64().unwrap();
+        for i in 0..t.num_rows() {
+            prop_assert_eq!(d[i] - p[i], dur[i]);
+        }
+    }
+
+    #[test]
+    fn zipf_sizes_respect_bounds(
+        n in 1usize..800,
+        theta in 0.0f64..1.2,
+        seed: u64,
+    ) {
+        let cfg = SynthConfig { num_chunks: n, theta, seed, ..Default::default() };
+        let sizes = zipf_chunk_sizes(cfg);
+        prop_assert_eq!(sizes.len(), n);
+        prop_assert!(sizes.iter().all(|&s| (cfg.min_size..=cfg.max_size).contains(&s)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Workspace-level integration tests: every crate together, through the
+//! public umbrella API.
+
+use fusion::prelude::*;
+use fusion_workloads::Dataset;
+
+fn scaled_store(file: &[u8]) -> Store {
+    let mut cfg = StoreConfig::fusion();
+    cfg.block_size = (file.len() as u64 / 100).max(16 << 10);
+    cfg.overhead_threshold = 0.1;
+    let mut store = Store::new(cfg).expect("valid config");
+    store.put("data", file.to_vec()).expect("put succeeds");
+    store
+}
+
+#[test]
+fn every_dataset_roundtrips_through_the_store() {
+    for d in Dataset::ALL {
+        let file = d.file(0.02);
+        let store = scaled_store(&file);
+        let got = store.get("data", 0, file.len() as u64).expect("get");
+        assert_eq!(got, file, "{} bytes corrupted", d.name());
+        // The stored object still parses as an analytics file.
+        let meta = parse_footer(&got).expect("valid footer");
+        assert_eq!(meta.schema.len(), d.columns());
+    }
+}
+
+#[test]
+fn fac_never_splits_chunks_on_any_dataset() {
+    for d in Dataset::ALL {
+        let file = d.file(0.02);
+        let store = scaled_store(&file);
+        let meta = store.object("data").expect("stored");
+        assert_eq!(meta.policy_used, "fac", "{}", d.name());
+        for c in 0..meta.num_chunks() {
+            assert_eq!(
+                meta.chunk_fragments(c).len(),
+                1,
+                "{}: chunk {c} fragmented",
+                d.name()
+            );
+        }
+        // And the storage overhead respects the configured budget.
+        assert!(meta.overhead_vs_optimal <= 0.1 + 1e-9, "{}", d.name());
+    }
+}
+
+#[test]
+fn queries_work_on_every_dataset() {
+    let cases = [
+        (Dataset::TpchLineitem, "SELECT count(*) FROM data WHERE quantity < 10"),
+        (Dataset::Taxi, "SELECT avg(fare) FROM data WHERE passenger_count = 1"),
+        (Dataset::RecipeNlg, "SELECT count(*) FROM data WHERE source = 'Gathered'"),
+        (Dataset::UkPp, "SELECT max(price) FROM data WHERE property_type = 'D'"),
+    ];
+    for (d, sql) in cases {
+        let file = d.file(0.02);
+        let store = scaled_store(&file);
+        let out = store.query(sql).unwrap_or_else(|e| panic!("{}: {e}", d.name()));
+        assert!(!out.result.aggregates.is_empty(), "{}", d.name());
+        assert!(out.selectivity > 0.0, "{} matched nothing", d.name());
+    }
+}
+
+#[test]
+fn baseline_and_fusion_agree_on_real_workload_queries() {
+    let file = Dataset::TpchLineitem.file(0.02);
+    let fusion = scaled_store(&file);
+    let mut base_cfg = StoreConfig::baseline().with_block_size((file.len() as u64 / 100).max(16 << 10));
+    base_cfg.overhead_threshold = 0.1;
+    let mut baseline = Store::new(base_cfg).expect("valid config");
+    baseline.put("data", file.to_vec()).expect("put");
+
+    for sql in [
+        fusion_workloads::tpch::q1("data"),
+        fusion_workloads::tpch::q2("data"),
+        "SELECT orderkey, extendedprice FROM data WHERE extendedprice < 1000.0".to_string(),
+        "SELECT shipmode FROM data WHERE returnflag = 'R' AND quantity >= 49".to_string(),
+    ] {
+        let a = fusion.query(&sql).expect("fusion query");
+        let b = baseline.query(&sql).expect("baseline query");
+        assert_eq!(a.result, b.result, "mismatch on {sql}");
+    }
+}
+
+#[test]
+fn degraded_queries_after_recovery_match() {
+    let file = Dataset::UkPp.file(0.02);
+    let mut cfg = StoreConfig::fusion();
+    cfg.overhead_threshold = 0.1;
+    cfg.block_size = (file.len() as u64 / 100).max(16 << 10);
+    let mut store = Store::new(cfg).expect("valid config");
+    store.put("data", file).expect("put");
+    let sql = "SELECT count(*), avg(price) FROM data WHERE duration = 'F'";
+    let before = store.query(sql).expect("healthy query");
+
+    store.fail_node(2).expect("fail");
+    store.fail_node(6).expect("fail");
+    // Ranged degraded read still correct while down.
+    let _ = store.get("data", 0, 128).expect("degraded read");
+    store.recover_node(2).expect("recover");
+    store.recover_node(6).expect("recover");
+    let after = store.query(sql).expect("query after recovery");
+    assert_eq!(before.result, after.result);
+}
+
+#[test]
+fn umbrella_prelude_supports_the_readme_flow() {
+    // The README quickstart, verbatim in spirit.
+    let schema = Schema::new(vec![
+        Field::new("name", LogicalType::Utf8),
+        Field::new("salary", LogicalType::Int64),
+    ]);
+    let table = Table::new(
+        schema,
+        vec![
+            ColumnData::Utf8(vec!["Alice".into(), "Bob".into()]),
+            ColumnData::Int64(vec![70_000, 80_000]),
+        ],
+    )
+    .expect("valid table");
+    let bytes = write_table(&table, WriteOptions { rows_per_group: 1 }).expect("write");
+    let reader = FileReader::open(&bytes).expect("open");
+    assert_eq!(reader.read_table().expect("read"), table);
+    let q = parse("SELECT salary FROM Employees WHERE name == 'Bob'").expect("parse");
+    assert_eq!(q.table, "Employees");
+}

@@ -1,0 +1,164 @@
+//! Paper-shape regression tests: the qualitative claims of the evaluation
+//! must keep holding as the code evolves. Each test names the paper
+//! artifact it guards.
+
+use fusion::prelude::*;
+use fusion_bench::harness::{reduction, BenchEnv, SystemKind};
+use fusion_bench::microbench::microbench_query;
+use fusion_core::layout::{fac, items_from_meta, padding};
+use fusion_core::config::EcConfig;
+use fusion_workloads::synth::{zipf_chunk_sizes, SynthConfig};
+use fusion_workloads::Dataset;
+
+fn tiny_env() -> BenchEnv {
+    BenchEnv::new(0.05, 4, 120, 8)
+}
+
+/// Figure 6: lineitem compression ratios span roughly 1.5×–60× with a
+/// median near 10.
+#[test]
+fn fig6_compression_shape() {
+    let env = tiny_env();
+    let meta = parse_footer(env.lineitem_file()).expect("valid");
+    let mut ratios: Vec<f64> = (0..16)
+        .map(|c| {
+            meta.row_groups.iter().map(|rg| rg.chunks[c].compressibility()).sum::<f64>()
+                / meta.row_groups.len() as f64
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = ratios[8];
+    assert!((4.0..25.0).contains(&median), "median ratio {median} (paper: 9.3)");
+    assert!(*ratios.last().expect("nonempty") > 20.0, "max {} (paper: 63.5)", ratios.last().unwrap());
+    assert!(ratios[0] < 3.5, "min {} (paper: ~1.4)", ratios[0]);
+}
+
+/// Figure 4a: a large fraction of chunks split under fixed blocks, and
+/// the fraction shrinks as blocks grow.
+#[test]
+fn fig4a_split_fraction_shrinks_with_block_size() {
+    let file = Dataset::TpchLineitem.file(0.05);
+    let meta = parse_footer(&file).expect("valid");
+    let items = items_from_meta(&meta, file.len() as u64);
+    let chunk_items = &items[..items.len() - 1];
+    let split_at = |block: u64| {
+        let layout = fusion_core::layout::fixed::pack(file.len() as u64, block, 6, &items);
+        fusion_core::layout::fixed::count_split_chunks(&layout, chunk_items)
+    };
+    let small = split_at(file.len() as u64 / 10_000);
+    let large = split_at(file.len() as u64 / 100);
+    assert!(small >= large, "splits must not grow with block size");
+    assert!(
+        large * 100 / chunk_items.len() >= 15,
+        "paper: even 100MB blocks split ~40% of lineitem chunks; got {}/{}",
+        large,
+        chunk_items.len()
+    );
+}
+
+/// Figure 16a: FAC's overhead falls toward 0 as chunk count grows, for
+/// every skew.
+#[test]
+fn fig16a_overhead_decreases_with_chunks() {
+    let ec = EcConfig::RS_9_6;
+    for theta in [0.0, 0.5, 0.99] {
+        let overhead = |n: usize| {
+            let sizes = zipf_chunk_sizes(SynthConfig { num_chunks: n, theta, seed: 7, ..Default::default() });
+            let mut pos = 0u64;
+            let items: Vec<_> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    let it = fusion_core::layout::PackItem { chunk: i, start: pos, end: pos + s };
+                    pos += s;
+                    it
+                })
+                .collect();
+            fac::pack(ec.k, &items).overhead_vs_optimal(ec)
+        };
+        let big = overhead(500);
+        assert!(big < 0.02, "theta {theta}: 500 chunks gave {big} (paper: <1%)");
+        assert!(overhead(20) > big, "theta {theta}: overhead must shrink with more chunks");
+    }
+}
+
+/// Figures 4d / 16b: padding costs dramatically more than FAC on every
+/// real-world dataset.
+#[test]
+fn fig16b_fac_beats_padding_everywhere() {
+    let ec = EcConfig::RS_9_6;
+    for d in Dataset::ALL {
+        let file = d.file(0.02);
+        let meta = parse_footer(&file).expect("valid");
+        let items = items_from_meta(&meta, file.len() as u64);
+        let block = (file.len() as u64 * (100 << 20) / d.paper_bytes()).max(1 << 10);
+        let pad = padding::pack(block, ec.k, &items).layout.overhead_vs_optimal(ec);
+        let fac_oh = fac::pack(ec.k, &items).overhead_vs_optimal(ec);
+        assert!(
+            fac_oh * 3.0 < pad,
+            "{}: fac {fac_oh:.4} should be far below padding {pad:.4}",
+            d.name()
+        );
+        assert!(fac_oh < 0.03, "{}: fac overhead {fac_oh:.4} (paper: ≤1.24%)", d.name());
+    }
+}
+
+/// Figure 13 headline: on the big low-compressibility column (5), Fusion
+/// cuts both median and tail latency; on the tiny compressed column (9)
+/// the two systems are within noise.
+#[test]
+fn fig13_headline_direction() {
+    let env = tiny_env();
+    let f5 = microbench_query(&env, SystemKind::Fusion, 5, 0.01);
+    let b5 = microbench_query(&env, SystemKind::Baseline, 5, 0.01);
+    assert!(
+        reduction(b5.latency.p50, f5.latency.p50) > 0.15,
+        "col5 p50: fusion {} vs baseline {}",
+        f5.latency.p50,
+        b5.latency.p50
+    );
+    assert!(
+        reduction(b5.latency.p99, f5.latency.p99) > 0.25,
+        "col5 p99: fusion {} vs baseline {}",
+        f5.latency.p99,
+        b5.latency.p99
+    );
+    let f9 = microbench_query(&env, SystemKind::Fusion, 9, 0.01);
+    let b9 = microbench_query(&env, SystemKind::Baseline, 9, 0.01);
+    let r = reduction(b9.latency.p50, f9.latency.p50);
+    assert!(r.abs() < 0.25, "col9 should be near parity, got {r}");
+    // Fusion moves far fewer bytes on the big column (paper: 64x).
+    assert!(f5.net_bytes * 5 < b5.net_bytes, "traffic {} vs {}", f5.net_bytes, b5.net_bytes);
+}
+
+/// Figure 15 / Table 4: the four real-world queries all favor Fusion, and
+/// Q4's fare projection is suppressed by the Cost Equation while its date
+/// projection is pushed.
+#[test]
+fn fig15_q4_mixed_decisions() {
+    let env = tiny_env();
+    let taxi_bytes = fusion_workloads::taxi::taxi_file(fusion_workloads::taxi::TaxiConfig {
+        rows_per_group: 1500,
+        ..Default::default()
+    });
+    let store = env.build_store_scaled(
+        SystemKind::Fusion,
+        "taxi",
+        &taxi_bytes,
+        Dataset::Taxi.paper_bytes(),
+    );
+    let out = store
+        .query_as("taxi_0", &fusion_workloads::taxi::q4("taxi_0"))
+        .expect("q4 runs");
+    let schema = store.object("taxi_0").expect("stored").file_meta.as_ref().expect("analytics").schema.clone();
+    let fare = schema.index_of("fare").expect("fare exists");
+    let date = schema.index_of("pickup_date").expect("date exists");
+    assert!(
+        out.decisions.iter().filter(|d| d.column == fare).all(|d| !d.pushed_down),
+        "fare must not be pushed down (paper: ratio 152 x 6.3% >> 1)"
+    );
+    assert!(
+        out.decisions.iter().filter(|d| d.column == date).all(|d| d.pushed_down),
+        "pickup_date must be pushed down"
+    );
+}
