@@ -11,11 +11,21 @@ use fusion_sql::plan::FilterLeaf;
 const N: usize = 1_000_000;
 
 fn leaf(op: CmpOp, constant: Value) -> FilterLeaf {
-    FilterLeaf { id: 0, column: 0, column_name: "c".into(), op, constant }
+    FilterLeaf {
+        id: 0,
+        column: 0,
+        column_name: "c".into(),
+        op,
+        constant,
+    }
 }
 
 fn bench_eval(c: &mut Criterion) {
-    let ints = ColumnData::Int64((0..N as i64).map(|i| i.wrapping_mul(2_654_435_761)).collect());
+    let ints = ColumnData::Int64(
+        (0..N as i64)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect(),
+    );
     let strings = ColumnData::Utf8((0..N / 10).map(|i| format!("val{:06}", i % 5000)).collect());
     let mut g = c.benchmark_group("filter_eval");
     g.throughput(Throughput::Elements(N as u64));
@@ -43,7 +53,9 @@ fn bench_combine_ops(c: &mut Criterion) {
             x
         });
     });
-    g.bench_function("count_ones", |b| b.iter(|| std::hint::black_box(&a).count_ones()));
+    g.bench_function("count_ones", |b| {
+        b.iter(|| std::hint::black_box(&a).count_ones())
+    });
     g.finish();
 }
 

@@ -17,9 +17,13 @@ fn bench_encode(c: &mut Criterion) {
         let block = 1 << 20;
         let data = stripe(k, block);
         g.throughput(Throughput::Bytes((k * block) as u64));
-        g.bench_with_input(BenchmarkId::new(format!("rs({n},{k})"), "1MiB_blocks"), &data, |b, d| {
-            b.iter(|| rs.encode(std::hint::black_box(d)));
-        });
+        g.bench_with_input(
+            BenchmarkId::new(format!("rs({n},{k})"), "1MiB_blocks"),
+            &data,
+            |b, d| {
+                b.iter(|| rs.encode(std::hint::black_box(d)));
+            },
+        );
     }
     g.finish();
 }
@@ -33,16 +37,20 @@ fn bench_reconstruct(c: &mut Criterion) {
     let full: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
     for losses in [1usize, 3] {
         g.throughput(Throughput::Bytes((6 * block) as u64));
-        g.bench_with_input(BenchmarkId::new("rs(9,6)", format!("{losses}_losses")), &losses, |b, &l| {
-            b.iter(|| {
-                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
-                for i in 0..l {
-                    shards[i * 3] = None;
-                }
-                rs.reconstruct(&mut shards, block).expect("recoverable");
-                shards
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("rs(9,6)", format!("{losses}_losses")),
+            &losses,
+            |b, &l| {
+                b.iter(|| {
+                    let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                    for i in 0..l {
+                        shards[i * 3] = None;
+                    }
+                    rs.reconstruct(&mut shards, block).expect("recoverable");
+                    shards
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -65,5 +73,10 @@ fn bench_variable_stripe(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_reconstruct, bench_variable_stripe);
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_reconstruct,
+    bench_variable_stripe
+);
 criterion_main!(benches);

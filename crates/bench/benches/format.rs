@@ -13,7 +13,11 @@ fn columns() -> Vec<(&'static str, ColumnData, LogicalType)> {
     vec![
         (
             "dict_strings",
-            ColumnData::Utf8((0..n).map(|i| ["AIR", "RAIL", "SHIP", "TRUCK"][i % 4].into()).collect()),
+            ColumnData::Utf8(
+                (0..n)
+                    .map(|i| ["AIR", "RAIL", "SHIP", "TRUCK"][i % 4].into())
+                    .collect(),
+            ),
             LogicalType::Utf8,
         ),
         (
@@ -57,7 +61,11 @@ fn bench_decode(c: &mut Criterion) {
 }
 
 fn bench_footer_parse(c: &mut Criterion) {
-    let file = lineitem_file(TpchConfig { rows_per_group: 2_000, row_groups: 10, seed: 3 });
+    let file = lineitem_file(TpchConfig {
+        rows_per_group: 2_000,
+        row_groups: 10,
+        seed: 3,
+    });
     c.bench_function("footer_parse_160_chunks", |b| {
         b.iter(|| fusion_format::footer::parse_footer(std::hint::black_box(&file)).expect("valid"));
     });

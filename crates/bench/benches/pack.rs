@@ -17,7 +17,11 @@ fn items(n: usize, theta: f64) -> Vec<PackItem> {
     let mut out = Vec::with_capacity(n);
     let mut pos = 0u64;
     for (i, s) in sizes.into_iter().enumerate() {
-        out.push(PackItem { chunk: i, start: pos, end: pos + s });
+        out.push(PackItem {
+            chunk: i,
+            start: pos,
+            end: pos + s,
+        });
         pos += s;
     }
     out
@@ -38,7 +42,9 @@ fn bench_alternatives(c: &mut Criterion) {
     let its = items(160, 0.5); // a lineitem-sized object
     let len: u64 = its.last().map_or(0, |i| i.end);
     let mut g = c.benchmark_group("pack_alternatives_160_chunks");
-    g.bench_function("fac", |b| b.iter(|| fac::pack(6, std::hint::black_box(&its))));
+    g.bench_function("fac", |b| {
+        b.iter(|| fac::pack(6, std::hint::black_box(&its)))
+    });
     g.bench_function("padding", |b| {
         b.iter(|| padding::pack(100 << 20, 6, std::hint::black_box(&its)))
     });

@@ -17,18 +17,35 @@ fn stores() -> (BenchEnv, Store, Store) {
 fn bench_query_dataplane(c: &mut Criterion) {
     let (_env, fusion, baseline) = stores();
     let queries = [
-        ("selective_filter", "SELECT extendedprice FROM x WHERE extendedprice < 950.0"),
-        ("aggregate", "SELECT count(*), avg(discount) FROM x WHERE quantity < 10"),
-        ("multi_filter", "SELECT suppkey FROM x WHERE quantity < 25 AND discount < 0.05"),
+        (
+            "selective_filter",
+            "SELECT extendedprice FROM x WHERE extendedprice < 950.0",
+        ),
+        (
+            "aggregate",
+            "SELECT count(*), avg(discount) FROM x WHERE quantity < 10",
+        ),
+        (
+            "multi_filter",
+            "SELECT suppkey FROM x WHERE quantity < 25 AND discount < 0.05",
+        ),
     ];
     let mut g = c.benchmark_group("query_dataplane");
     g.sample_size(20);
     for (name, sql) in queries {
         g.bench_with_input(BenchmarkId::new("fusion", name), &sql, |b, sql| {
-            b.iter(|| fusion.query_as("lineitem_0", std::hint::black_box(sql)).expect("runs"));
+            b.iter(|| {
+                fusion
+                    .query_as("lineitem_0", std::hint::black_box(sql))
+                    .expect("runs")
+            });
         });
         g.bench_with_input(BenchmarkId::new("baseline", name), &sql, |b, sql| {
-            b.iter(|| baseline.query_as("lineitem_0", std::hint::black_box(sql)).expect("runs"));
+            b.iter(|| {
+                baseline
+                    .query_as("lineitem_0", std::hint::black_box(sql))
+                    .expect("runs")
+            });
         });
     }
     g.finish();
@@ -42,9 +59,12 @@ fn bench_put(c: &mut Criterion) {
     g.bench_function("fusion_put_160_chunks", |b| {
         let mut i = 0u64;
         b.iter(|| {
-            let mut store =
-                Store::new(BenchEnv::store_config(SystemKind::Fusion, file.len(), 10 << 30))
-                    .expect("valid config");
+            let mut store = Store::new(BenchEnv::store_config(
+                SystemKind::Fusion,
+                file.len(),
+                10 << 30,
+            ))
+            .expect("valid config");
             i += 1;
             store.put(&format!("obj{i}"), file.clone()).expect("put")
         });
@@ -67,5 +87,10 @@ fn bench_simulation_replay(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_query_dataplane, bench_put, bench_simulation_replay);
+criterion_group!(
+    benches,
+    bench_query_dataplane,
+    bench_put,
+    bench_simulation_replay
+);
 criterion_main!(benches);

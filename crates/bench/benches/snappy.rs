@@ -24,7 +24,11 @@ fn inputs() -> Vec<(&'static str, Vec<u8>)> {
             x as u8
         })
         .collect();
-    vec![("repetitive", repetitive), ("text", text), ("random", random)]
+    vec![
+        ("repetitive", repetitive),
+        ("text", text),
+        ("random", random),
+    ]
 }
 
 fn bench_compress(c: &mut Criterion) {

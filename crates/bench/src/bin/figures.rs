@@ -62,9 +62,7 @@ fn main() {
 
     std::fs::create_dir_all(&out_dir).expect("create output dir");
     let env = BenchEnv::new(scale, copies, queries, clients);
-    println!(
-        "fusion figures: scale={scale} copies={copies} queries={queries} clients={clients}\n"
-    );
+    println!("fusion figures: scale={scale} copies={copies} queries={queries} clients={clients}\n");
     for id in &ids {
         let t0 = std::time::Instant::now();
         let text = run(id, &env);

@@ -1,0 +1,155 @@
+//! Degraded-mode query latency (robustness extension, Figure-13-style):
+//! the per-column Fusion-vs-baseline comparison repeated with 0, 1, 2,
+//! and 3 of the nine storage nodes failed — up to the m = 3 parity
+//! blocks RS(9,6) tolerates.
+//!
+//! Both systems keep answering (identical rows to the healthy cluster);
+//! what changes is the time plane: chunks whose hosting node died are
+//! rebuilt at the coordinator from the stripe's k surviving shards, so
+//! Fusion loses in-situ evaluation for exactly those chunks while the
+//! baseline pays the same reconstruction on its fetch path.
+//!
+//! Besides the rendered table, this experiment writes machine-readable
+//! JSON to `results/degraded_latency.json`.
+
+use crate::harness::{reduction, summarize, BenchEnv, SystemKind};
+use crate::microbench::microbench_sql;
+use crate::report::Table;
+use fusion_core::query::QueryOutput;
+use fusion_core::store::Store;
+
+/// The paper's default microbenchmark selectivity.
+const SEL: f64 = 0.01;
+/// Representative columns: 0/5 are pushdown winners in Figure 13, 4/9
+/// are the incompressible cases where pushdown gains little.
+const COLUMNS: [usize; 4] = [0, 4, 5, 9];
+/// Nodes killed cumulatively: spread across the ring so consecutive
+/// failure levels do not concentrate on adjacent placements.
+const KILL_ORDER: [usize; 3] = [0, 4, 8];
+
+struct Cell {
+    failed: usize,
+    system: &'static str,
+    column: usize,
+    p50_ns: u64,
+    p99_ns: u64,
+    net_bytes: u64,
+}
+
+fn run_cells(
+    env: &BenchEnv,
+    store: &Store,
+    system: &'static str,
+    failed: usize,
+    cells: &mut Vec<Cell>,
+) {
+    for &c in &COLUMNS {
+        let outputs: Vec<QueryOutput> =
+            env.outputs_per_copy(store, "lineitem", |obj| microbench_sql(env, c, SEL, obj));
+        let stats = env.replay(store, &outputs);
+        let s = summarize(&stats);
+        cells.push(Cell {
+            failed,
+            system,
+            column: c,
+            p50_ns: s.p50.0,
+            p99_ns: s.p99.0,
+            net_bytes: outputs.iter().map(|o| o.net_bytes).sum::<u64>()
+                / outputs.len().max(1) as u64,
+        });
+    }
+}
+
+fn json(cells: &[Cell]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"degraded_latency\",\n");
+    out.push_str(&format!("  \"selectivity\": {SEL},\n"));
+    out.push_str(&format!(
+        "  \"columns\": [{}],\n  \"cells\": [\n",
+        COLUMNS.map(|c| c.to_string()).join(", ")
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"failed_nodes\": {}, \"system\": \"{}\", \"column\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"net_bytes\": {}}}{}\n",
+            c.failed,
+            c.system,
+            c.column,
+            c.p50_ns,
+            c.p99_ns,
+            c.net_bytes,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Degraded query latency: Fusion vs baseline at 0–3 failed nodes.
+pub fn degraded_latency(env: &BenchEnv) -> String {
+    let file = env.lineitem_file().to_vec();
+    let mut fusion = env.build_store(SystemKind::Fusion, "lineitem", &file);
+    let mut baseline = env.build_store(SystemKind::Baseline, "lineitem", &file);
+
+    let mut cells = Vec::new();
+    for failed in 0..=KILL_ORDER.len() {
+        if failed > 0 {
+            let node = KILL_ORDER[failed - 1];
+            fusion.fail_node(node).expect("valid node");
+            baseline.fail_node(node).expect("valid node");
+        }
+        run_cells(env, &fusion, "fusion", failed, &mut cells);
+        run_cells(env, &baseline, "baseline", failed, &mut cells);
+    }
+
+    let _ = std::fs::create_dir_all("results");
+    std::fs::write("results/degraded_latency.json", json(&cells))
+        .expect("write results/degraded_latency.json");
+
+    let mut t = Table::new(&[
+        "failed",
+        "column",
+        "fusion p50",
+        "baseline p50",
+        "p50 reduction",
+        "p99 reduction",
+    ]);
+    for failed in 0..=KILL_ORDER.len() {
+        for &c in &COLUMNS {
+            let f = cells
+                .iter()
+                .find(|x| x.failed == failed && x.column == c && x.system == "fusion")
+                .expect("fusion cell");
+            let b = cells
+                .iter()
+                .find(|x| x.failed == failed && x.column == c && x.system == "baseline")
+                .expect("baseline cell");
+            t.row(vec![
+                failed.to_string(),
+                c.to_string(),
+                fusion_cluster::time::Nanos(f.p50_ns).to_string(),
+                fusion_cluster::time::Nanos(b.p50_ns).to_string(),
+                format!(
+                    "{:+.0}%",
+                    100.0
+                        * reduction(
+                            fusion_cluster::time::Nanos(b.p50_ns),
+                            fusion_cluster::time::Nanos(f.p50_ns)
+                        )
+                ),
+                format!(
+                    "{:+.0}%",
+                    100.0
+                        * reduction(
+                            fusion_cluster::time::Nanos(b.p99_ns),
+                            fusion_cluster::time::Nanos(f.p99_ns)
+                        )
+                ),
+            ]);
+        }
+    }
+    format!(
+        "Degraded query latency (extension): per-column p50/p99 vs failed nodes, RS(9,6), 1% selectivity\n\
+         (also written to results/degraded_latency.json)\n{}",
+        t.render()
+    )
+}

@@ -38,7 +38,14 @@ pub fn fig4b(env: &BenchEnv) -> String {
     // the chunk-splitting baseline; large, poorly compressed column
     // (extendedprice, id 5).
     let r = microbench_query(env, SystemKind::Baseline, 5, DEFAULT_SEL);
-    let mut t = Table::new(&["system", "disk read", "processing", "network", "other", "mean total"]);
+    let mut t = Table::new(&[
+        "system",
+        "disk read",
+        "processing",
+        "network",
+        "other",
+        "mean total",
+    ]);
     t.row(breakdown_row("baseline", &r.breakdown));
     format!(
         "Figure 4b: latency breakdown of a 1%-selectivity query on the baseline (paper: ~50% network)\n{}",
@@ -51,7 +58,10 @@ pub fn table4(env: &BenchEnv) -> String {
     let mut t = Table::new(&["query", "dataset", "filters", "projections", "selectivity"]);
     // TPC-H queries on the cached Fusion store.
     let store = env.lineitem_store(SystemKind::Fusion);
-    for (name, sql) in [("Q1 (projection heavy)", q1("lineitem_0")), ("Q2 (filter heavy)", q2("lineitem_0"))] {
+    for (name, sql) in [
+        ("Q1 (projection heavy)", q1("lineitem_0")),
+        ("Q2 (filter heavy)", q2("lineitem_0")),
+    ] {
         let out = store.query_as("lineitem_0", &sql).expect("query runs");
         let q = fusion_sql::parser::parse(&sql).expect("valid sql");
         let schema = store
@@ -82,10 +92,20 @@ pub fn table4(env: &BenchEnv) -> String {
         &taxi_bytes,
         fusion_workloads::Dataset::Taxi.paper_bytes(),
     );
-    for (name, sql) in [("Q3 (high selectivity)", q3("taxi_0")), ("Q4 (low selectivity)", q4("taxi_0"))] {
+    for (name, sql) in [
+        ("Q3 (high selectivity)", q3("taxi_0")),
+        ("Q4 (low selectivity)", q4("taxi_0")),
+    ] {
         let out = store.query_as("taxi_0", &sql).expect("query runs");
         let q = fusion_sql::parser::parse(&sql).expect("valid sql");
-        let schema = store.object("taxi_0").unwrap().file_meta.as_ref().unwrap().schema.clone();
+        let schema = store
+            .object("taxi_0")
+            .unwrap()
+            .file_meta
+            .as_ref()
+            .unwrap()
+            .schema
+            .clone();
         let plan = fusion_sql::plan::plan(&q, &schema).expect("valid plan");
         t.row(vec![
             name.into(),
@@ -95,7 +115,10 @@ pub fn table4(env: &BenchEnv) -> String {
             format!("{:.1}%", 100.0 * out.selectivity),
         ]);
     }
-    format!("Table 4: real-world SQL query description (measured)\n{}", t.render())
+    format!(
+        "Table 4: real-world SQL query description (measured)\n{}",
+        t.render()
+    )
 }
 
 /// Figure 10b: pushdown trade-off — p50 improvement over a
@@ -111,7 +134,10 @@ pub fn fig10b(env: &BenchEnv) -> String {
         for (si, &sel) in sels.iter().enumerate() {
             let f = microbench_query(env, SystemKind::Fusion, c, sel);
             let b = microbench_query(env, SystemKind::Baseline, c, sel);
-            grid[si].push(format!("{:+.0}%", 100.0 * reduction(b.latency.p50, f.latency.p50)));
+            grid[si].push(format!(
+                "{:+.0}%",
+                100.0 * reduction(b.latency.p50, f.latency.p50)
+            ));
         }
         let _ = &schema;
     }
@@ -130,7 +156,13 @@ pub fn fig10b(env: &BenchEnv) -> String {
 /// plus the latency breakdowns of columns 5 and 9 (13c/13d).
 pub fn fig13(env: &BenchEnv) -> String {
     let schema = env.lineitem_table().schema().clone();
-    let mut t = Table::new(&["column", "name", "sel (achieved)", "p50 reduction", "p99 reduction"]);
+    let mut t = Table::new(&[
+        "column",
+        "name",
+        "sel (achieved)",
+        "p50 reduction",
+        "p99 reduction",
+    ]);
     let mut col5 = None;
     let mut col9 = None;
     for c in 0..schema.len() {
@@ -149,7 +181,14 @@ pub fn fig13(env: &BenchEnv) -> String {
             col9 = Some((f.breakdown, b.breakdown));
         }
     }
-    let mut bt = Table::new(&["case", "disk read", "processing", "network", "other", "mean total"]);
+    let mut bt = Table::new(&[
+        "case",
+        "disk read",
+        "processing",
+        "network",
+        "other",
+        "mean total",
+    ]);
     let (f5, b5) = col5.expect("column 5 ran");
     let (f9, b9) = col9.expect("column 9 ran");
     bt.row(breakdown_row("col 5 / fusion", &f5));
@@ -178,8 +217,14 @@ pub fn fig14ab(env: &BenchEnv) -> String {
         for &c in &[5usize, 9] {
             let f = microbench_query(env, SystemKind::Fusion, c, sel);
             let b = microbench_query(env, SystemKind::Baseline, c, sel);
-            cells.push(format!("{:+.0}%", 100.0 * reduction(b.latency.p50, f.latency.p50)));
-            cells.push(format!("{:+.0}%", 100.0 * reduction(b.latency.p99, f.latency.p99)));
+            cells.push(format!(
+                "{:+.0}%",
+                100.0 * reduction(b.latency.p50, f.latency.p50)
+            ));
+            cells.push(format!(
+                "{:+.0}%",
+                100.0 * reduction(b.latency.p99, f.latency.p99)
+            ));
         }
         t.row(cells);
     }
@@ -204,7 +249,9 @@ pub fn fig14c(env: &BenchEnv) -> String {
                 .scaled_down(factor);
             let mut store = Store::new(cfg).expect("valid config");
             for i in 0..env.copies {
-                store.put(&format!("lineitem_{i}"), file.clone()).expect("put");
+                store
+                    .put(&format!("lineitem_{i}"), file.clone())
+                    .expect("put");
             }
             store
         };
@@ -261,8 +308,7 @@ pub fn fig14d(env: &BenchEnv) -> String {
                         .0
                 })
                 .sum();
-            let avail =
-                load_window.0 as f64 * (spec.nodes * spec.cores_per_node) as f64;
+            let avail = load_window.0 as f64 * (spec.nodes * spec.cores_per_node) as f64;
             cells.push(format!("{:.2}%", 100.0 * busy as f64 / avail));
         }
         t.row(cells);
@@ -277,18 +323,23 @@ pub fn fig14d(env: &BenchEnv) -> String {
 /// traffic.
 pub fn fig15(env: &BenchEnv) -> String {
     let mut lat = Table::new(&["query", "p50 reduction", "p99 reduction"]);
-    let mut net = Table::new(&["query", "fusion traffic/query", "baseline traffic/query", "ratio"]);
+    let mut net = Table::new(&[
+        "query",
+        "fusion traffic/query",
+        "baseline traffic/query",
+        "ratio",
+    ]);
 
     // TPC-H Q1/Q2 on the cached stores.
     let fusion = env.lineitem_store(SystemKind::Fusion);
     let baseline = env.lineitem_store(SystemKind::Baseline);
     let run_pair = |label: &str,
-                        fusion: &Store,
-                        baseline: &Store,
-                        name: &str,
-                        sql_for: &dyn Fn(&str) -> String,
-                        lat: &mut Table,
-                        net: &mut Table| {
+                    fusion: &Store,
+                    baseline: &Store,
+                    name: &str,
+                    sql_for: &dyn Fn(&str) -> String,
+                    lat: &mut Table,
+                    net: &mut Table| {
         let fo = env.outputs_per_copy(fusion, name, sql_for);
         let bo = env.outputs_per_copy(baseline, name, sql_for);
         let fs = summarize(&env.replay(fusion, &fo));
@@ -308,8 +359,24 @@ pub fn fig15(env: &BenchEnv) -> String {
         ]);
     };
 
-    run_pair("Q1", fusion, baseline, "lineitem", &|o| q1(o), &mut lat, &mut net);
-    run_pair("Q2", fusion, baseline, "lineitem", &|o| q2(o), &mut lat, &mut net);
+    run_pair(
+        "Q1",
+        fusion,
+        baseline,
+        "lineitem",
+        &|o| q1(o),
+        &mut lat,
+        &mut net,
+    );
+    run_pair(
+        "Q2",
+        fusion,
+        baseline,
+        "lineitem",
+        &|o| q2(o),
+        &mut lat,
+        &mut net,
+    );
 
     // Taxi Q3/Q4 on fresh stores.
     let taxi_bytes = taxi_file(TaxiConfig {
@@ -424,9 +491,18 @@ pub fn ext_aggregate_pushdown(env: &BenchEnv) -> String {
     };
     let without = env.lineitem_store(SystemKind::Fusion);
     let queries = [
-        ("sum(extendedprice), 20% sel", "SELECT sum(extendedprice) FROM {} WHERE quantity <= 10"),
-        ("avg(discount), 50% sel", "SELECT avg(discount), count(*) FROM {} WHERE quantity <= 25"),
-        ("min/max(shipdate), full scan", "SELECT min(shipdate), max(shipdate) FROM {}"),
+        (
+            "sum(extendedprice), 20% sel",
+            "SELECT sum(extendedprice) FROM {} WHERE quantity <= 10",
+        ),
+        (
+            "avg(discount), 50% sel",
+            "SELECT avg(discount), count(*) FROM {} WHERE quantity <= 25",
+        ),
+        (
+            "min/max(shipdate), full scan",
+            "SELECT min(shipdate), max(shipdate) FROM {}",
+        ),
     ];
     let mut t = Table::new(&[
         "query",

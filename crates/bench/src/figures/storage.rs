@@ -30,7 +30,11 @@ fn items_from_sizes(sizes: &[u64]) -> Vec<PackItem> {
     let mut items = Vec::with_capacity(sizes.len());
     let mut pos = 0u64;
     for (i, &s) in sizes.iter().enumerate() {
-        items.push(PackItem { chunk: i, start: pos, end: pos + s });
+        items.push(PackItem {
+            chunk: i,
+            start: pos,
+            end: pos + s,
+        });
         pos += s;
     }
     items
@@ -76,7 +80,10 @@ pub fn fig4a(env: &BenchEnv) -> String {
             let block = ((len as f64 * ratio) as u64).max(1 << 10);
             let layout = fixed::pack(len, block, k, &items);
             let split = fixed::count_split_chunks(&layout, chunk_items);
-            rows[i].push(format!("{:.1}%", 100.0 * split as f64 / chunk_items.len() as f64));
+            rows[i].push(format!(
+                "{:.1}%",
+                100.0 * split as f64 / chunk_items.len() as f64
+            ));
         }
     }
     for (i, label) in labels.iter().enumerate() {
@@ -181,7 +188,13 @@ pub fn fig6(env: &BenchEnv) -> String {
 /// Figure 10a: runtime of the exact ILP solver as chunk count grows.
 pub fn fig10a(_env: &BenchEnv) -> String {
     let deadline = Duration::from_secs(3);
-    let mut t = Table::new(&["num chunks", "oracle runtime", "proven optimal", "nodes explored", "fac runtime"]);
+    let mut t = Table::new(&[
+        "num chunks",
+        "oracle runtime",
+        "proven optimal",
+        "nodes explored",
+        "fac runtime",
+    ]);
     for n in [5usize, 10, 15, 20, 25, 30, 35] {
         let sizes = zipf_chunk_sizes(SynthConfig {
             num_chunks: n,
@@ -299,9 +312,11 @@ pub fn fig16bc(env: &BenchEnv) -> String {
 
         // Simulated put latency (FAC store, one copy) as the denominator
         // of the runtime-overhead percentages.
-        let mut store = fusion_core::store::Store::new(
-            BenchEnv::store_config(SystemKind::Fusion, file.len(), d.paper_bytes()),
-        )
+        let mut store = fusion_core::store::Store::new(BenchEnv::store_config(
+            SystemKind::Fusion,
+            file.len(),
+            d.paper_bytes(),
+        ))
         .expect("valid config");
         let put = store.put("obj", file.clone()).expect("put succeeds");
         let put_secs = put.simulated_latency.as_secs_f64();
@@ -309,7 +324,10 @@ pub fn fig16bc(env: &BenchEnv) -> String {
         let oracle_label = if o.proven_optimal {
             format!("{:.2}%", 100.0 * o.layout.overhead_vs_optimal(ec))
         } else {
-            format!("{:.2}% (deadline)", 100.0 * o.layout.overhead_vs_optimal(ec))
+            format!(
+                "{:.2}% (deadline)",
+                100.0 * o.layout.overhead_vs_optimal(ec)
+            )
         };
         storage.row(vec![
             d.name().into(),

@@ -83,7 +83,8 @@ impl BenchEnv {
 
     /// The lineitem table (cached).
     pub fn lineitem_table(&self) -> &Table {
-        self.lineitem_table.get_or_init(|| lineitem(self.lineitem_cfg()))
+        self.lineitem_table
+            .get_or_init(|| lineitem(self.lineitem_cfg()))
     }
 
     /// The serialized lineitem file (cached).
@@ -92,7 +93,9 @@ impl BenchEnv {
             let cfg = self.lineitem_cfg();
             fusion_format::writer::write_table(
                 self.lineitem_table(),
-                fusion_format::writer::WriteOptions { rows_per_group: cfg.rows_per_group },
+                fusion_format::writer::WriteOptions {
+                    rows_per_group: cfg.rows_per_group,
+                },
             )
             .expect("valid table")
         })

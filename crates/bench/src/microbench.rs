@@ -88,7 +88,10 @@ pub fn microbench_sql(env: &BenchEnv, column: usize, target: f64, object: &str) 
     let name = &table.schema().fields()[column].name;
     let ty = table.schema().fields()[column].ty;
     let cutoff = cutoff_for(table, column, target);
-    format!("SELECT {name} FROM {object} WHERE {name} < {}", literal(ty, &cutoff))
+    format!(
+        "SELECT {name} FROM {object} WHERE {name} < {}",
+        literal(ty, &cutoff)
+    )
 }
 
 /// Runs the microbenchmark for one column on one (cached) system store.

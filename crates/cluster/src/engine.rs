@@ -35,6 +35,21 @@ pub enum ResourceKey {
     Delay,
 }
 
+impl ResourceKey {
+    /// The storage node that owns this resource, if any. Client-side
+    /// resources and pure delays belong to no node and are never slowed
+    /// by a straggler multiplier.
+    pub fn node_index(&self) -> Option<usize> {
+        match *self {
+            ResourceKey::Disk(n)
+            | ResourceKey::NicTx(n)
+            | ResourceKey::NicRx(n)
+            | ResourceKey::Cpu(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
 /// Cost class for latency breakdowns (paper Figure 4b categories).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CostClass {
@@ -230,12 +245,34 @@ enum Trigger {
 #[derive(Debug, Clone)]
 pub struct Engine {
     spec: ClusterSpec,
+    slowdowns: HashMap<usize, f64>,
 }
 
 impl Engine {
     /// Creates an engine over `spec`.
     pub fn new(spec: ClusterSpec) -> Engine {
-        Engine { spec }
+        Engine {
+            spec,
+            slowdowns: HashMap::new(),
+        }
+    }
+
+    /// Installs per-node straggler multipliers: every step on a slow
+    /// node's disk, CPU, or NIC takes `factor`× its nominal duration
+    /// (factors ≤ 1.0 are ignored). Drives the fault injector's
+    /// slow-node model.
+    pub fn with_slowdowns(mut self, slowdowns: HashMap<usize, f64>) -> Engine {
+        self.slowdowns = slowdowns.into_iter().filter(|&(_, f)| f > 1.0).collect();
+        self
+    }
+
+    /// Marks one node as a straggler (see [`Engine::with_slowdowns`]).
+    pub fn set_slowdown(&mut self, node: usize, factor: f64) {
+        if factor > 1.0 {
+            self.slowdowns.insert(node, factor);
+        } else {
+            self.slowdowns.remove(&node);
+        }
     }
 
     /// The cluster spec.
@@ -251,7 +288,11 @@ impl Engine {
             .enumerate()
             .flat_map(|(c, wfs)| {
                 wfs.into_iter().enumerate().map(move |(i, wf)| {
-                    let trig = if i == 0 { Trigger::At(Nanos::ZERO) } else { Trigger::AfterPrevious };
+                    let trig = if i == 0 {
+                        Trigger::At(Nanos::ZERO)
+                    } else {
+                        Trigger::AfterPrevious
+                    };
                     (c, i, wf, trig)
                 })
             })
@@ -271,7 +312,7 @@ impl Engine {
     }
 
     fn run(&self, jobs: Vec<(usize, usize, Workflow, Trigger)>) -> RunReport {
-        let mut sim = Sim::new(self.spec.cores_per_node);
+        let mut sim = Sim::new(self.spec.cores_per_node, self.slowdowns.clone());
         sim.execute(jobs)
     }
 }
@@ -314,6 +355,7 @@ struct Sim {
     now: Nanos,
     seq: u64,
     cores_per_node: usize,
+    slowdowns: HashMap<usize, f64>,
     #[allow(clippy::type_complexity)]
     events: BinaryHeap<Reverse<(Nanos, u64, EventBox)>>,
     resources: HashMap<ResourceKey, Res>,
@@ -337,11 +379,12 @@ impl Ord for EventBox {
 }
 
 impl Sim {
-    fn new(cores_per_node: usize) -> Sim {
+    fn new(cores_per_node: usize, slowdowns: HashMap<usize, f64>) -> Sim {
         Sim {
             now: Nanos::ZERO,
             seq: 0,
             cores_per_node,
+            slowdowns,
             events: BinaryHeap::new(),
             resources: HashMap::new(),
         }
@@ -497,10 +540,17 @@ impl Sim {
     }
 
     fn start_step(&mut self, wf: usize, step: usize, wfs: &mut [WfState]) {
-        let (key, dur) = {
+        let (key, mut dur) = {
             let s = &wfs[wf].wf.steps[step];
             (s.resource, s.duration)
         };
+        // Straggler model: every step on a slowed node's resources is
+        // stretched by the node's factor. Breakdown attribution works
+        // off recorded completion times, so the stretch flows into the
+        // per-class critical-path split for free.
+        if let Some(factor) = key.node_index().and_then(|n| self.slowdowns.get(&n)) {
+            dur = Nanos((dur.0 as f64 * factor).round() as u64);
+        }
         let res = self.resources.get_mut(&key).expect("resource exists");
         res.busy += 1;
         res.busy_time += dur;
@@ -606,7 +656,12 @@ mod tests {
         let mut wf = Workflow::new();
         let a = wf.step(ResourceKey::Disk(0), Nanos(100), CostClass::DiskRead, &[]);
         let b = wf.step(ResourceKey::Disk(1), Nanos(300), CostClass::DiskRead, &[]);
-        wf.step(ResourceKey::Cpu(0), Nanos(10), CostClass::Processing, &[a, b]);
+        wf.step(
+            ResourceKey::Cpu(0),
+            Nanos(10),
+            CostClass::Processing,
+            &[a, b],
+        );
         let report = engine().run_closed_loop(vec![vec![wf]]);
         assert_eq!(report.stats[0].latency, Nanos(310));
         // Critical path goes through the 300ns disk.
@@ -627,7 +682,11 @@ mod tests {
         assert_eq!(latencies, vec![Nanos(100), Nanos(200)]);
         assert_eq!(report.makespan, Nanos(200));
         // Queue wait is charged to the waiting step's class.
-        let slow = report.stats.iter().find(|s| s.latency == Nanos(200)).unwrap();
+        let slow = report
+            .stats
+            .iter()
+            .find(|s| s.latency == Nanos(200))
+            .unwrap();
         assert_eq!(slow.breakdown.disk, Nanos(200));
     }
 
@@ -684,7 +743,11 @@ mod tests {
         let mut wf = Workflow::new();
         wf.step(ResourceKey::Cpu(0), Nanos(400), CostClass::Processing, &[]);
         wf.step(ResourceKey::Cpu(1), Nanos(100), CostClass::Processing, &[]);
-        let spec = ClusterSpec { nodes: 2, cores_per_node: 1, ..Default::default() };
+        let spec = ClusterSpec {
+            nodes: 2,
+            cores_per_node: 1,
+            ..Default::default()
+        };
         let report = Engine::new(spec.clone()).run_closed_loop(vec![vec![wf]]);
         assert_eq!(report.resource_busy[&ResourceKey::Cpu(0)], Nanos(400));
         assert_eq!(report.resource_busy[&ResourceKey::Cpu(1)], Nanos(100));
@@ -726,7 +789,11 @@ mod tests {
         let report = engine().run_closed_loop(clients);
         assert_eq!(report.stats.len(), 20);
         for s in &report.stats {
-            assert_eq!(s.breakdown.total(), s.latency, "breakdown must partition latency");
+            assert_eq!(
+                s.breakdown.total(),
+                s.latency,
+                "breakdown must partition latency"
+            );
         }
     }
 
@@ -734,7 +801,12 @@ mod tests {
     #[should_panic(expected = "dependency on a future step")]
     fn forward_dependency_panics() {
         let mut wf = Workflow::new();
-        wf.step(ResourceKey::Disk(0), Nanos(1), CostClass::DiskRead, &[StepId(5)]);
+        wf.step(
+            ResourceKey::Disk(0),
+            Nanos(1),
+            CostClass::DiskRead,
+            &[StepId(5)],
+        );
     }
 }
 
@@ -765,9 +837,12 @@ mod delay_tests {
             wf.step(ResourceKey::Cpu(0), Nanos(100), CostClass::Processing, &[]);
             wf
         };
-        let spec = ClusterSpec { nodes: 1, cores_per_node: 2, ..Default::default() };
-        let report =
-            Engine::new(spec).run_closed_loop((0..3).map(|_| vec![mk()]).collect());
+        let spec = ClusterSpec {
+            nodes: 1,
+            cores_per_node: 2,
+            ..Default::default()
+        };
+        let report = Engine::new(spec).run_closed_loop((0..3).map(|_| vec![mk()]).collect());
         let mut lat = report.latencies();
         lat.sort();
         assert_eq!(lat, vec![Nanos(100), Nanos(100), Nanos(200)]);
@@ -795,7 +870,11 @@ mod delay_tests {
         let s = &report.stats[0];
         assert_eq!(s.latency, Nanos(70));
         assert_eq!(s.breakdown.network, Nanos(50));
-        assert_eq!(s.breakdown.disk, Nanos::ZERO, "fast branch is off the critical path");
+        assert_eq!(
+            s.breakdown.disk,
+            Nanos::ZERO,
+            "fast branch is off the critical path"
+        );
         assert_eq!(s.breakdown.other, Nanos(20));
     }
 }

@@ -1,0 +1,571 @@
+//! Deterministic, seed-driven fault injection for the simulated cluster.
+//!
+//! A [`FaultSchedule`] is a time-ordered list of [`FaultEvent`]s — node
+//! crashes, transient outages with scheduled revival, straggler
+//! slowdowns, and silent single-block corruptions. Schedules are either
+//! built explicitly (tests pinning one scenario) or generated from a
+//! seed under a concurrency cap ([`FaultSchedule::generate`]), so the
+//! same seed always yields the same failure history.
+//!
+//! A [`FaultInjector`] replays a schedule against a
+//! [`BlockStore`](crate::store::BlockStore) as virtual time advances,
+//! tracking which nodes are currently slow (for the engine's latency
+//! multipliers) and which recently revived (for the
+//! [`RetryPolicy`](crate::spec::RetryPolicy) of the query executors).
+
+use crate::store::{BlockId, BlockStore};
+use crate::time::Nanos;
+use std::collections::HashMap;
+
+/// What a fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Permanent crash-stop: the node stays down until an external
+    /// repair (`recover_node`) brings it back.
+    Crash,
+    /// Crash-stop with a scheduled revival `down_for` later. The node
+    /// comes back **empty** (crash-stop loses its blocks) and is marked
+    /// flaky for retry modeling.
+    Transient {
+        /// How long the node stays down.
+        down_for: Nanos,
+    },
+    /// Straggler: every disk/CPU/NIC step on the node runs `factor`×
+    /// slower for `duration`.
+    Slowdown {
+        /// Latency multiplier (> 1.0 slows the node down).
+        factor: f64,
+        /// How long the slowdown lasts.
+        duration: Nanos,
+    },
+    /// Silent corruption: flips a byte of the node's `nth` block
+    /// (by sorted block id, modulo the block count) without touching
+    /// its checksum.
+    CorruptBlock {
+        /// Which of the node's blocks to corrupt.
+        nth: usize,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual time at which the fault fires.
+    pub at: Nanos,
+    /// Target node.
+    pub node: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered fault schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+/// Tiny deterministic generator (SplitMix64) so `fusion-cluster` needs
+/// no RNG dependency.
+#[derive(Debug, Clone)]
+struct Mix64 {
+    state: u64,
+}
+
+impl Mix64 {
+    fn new(seed: u64) -> Mix64 {
+        Mix64 {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// The scheduled events in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    fn push(&mut self, ev: FaultEvent) {
+        self.events.push(ev);
+        self.events.sort_by_key(|e| e.at.0);
+    }
+
+    /// Adds a permanent crash.
+    pub fn crash(mut self, at: Nanos, node: usize) -> FaultSchedule {
+        self.push(FaultEvent {
+            at,
+            node,
+            kind: FaultKind::Crash,
+        });
+        self
+    }
+
+    /// Adds a transient outage with scheduled revival.
+    pub fn transient(mut self, at: Nanos, node: usize, down_for: Nanos) -> FaultSchedule {
+        self.push(FaultEvent {
+            at,
+            node,
+            kind: FaultKind::Transient { down_for },
+        });
+        self
+    }
+
+    /// Adds a straggler slowdown.
+    pub fn slowdown(
+        mut self,
+        at: Nanos,
+        node: usize,
+        factor: f64,
+        duration: Nanos,
+    ) -> FaultSchedule {
+        self.push(FaultEvent {
+            at,
+            node,
+            kind: FaultKind::Slowdown { factor, duration },
+        });
+        self
+    }
+
+    /// Adds a silent single-block corruption.
+    pub fn corrupt(mut self, at: Nanos, node: usize, nth: usize) -> FaultSchedule {
+        self.push(FaultEvent {
+            at,
+            node,
+            kind: FaultKind::CorruptBlock { nth },
+        });
+        self
+    }
+
+    /// Generates a random schedule over `horizon` for a cluster of
+    /// `nodes` nodes: a mix of transient outages, stragglers, and silent
+    /// corruptions, with **at most `max_concurrent` nodes down at any
+    /// instant** (so an RS(n, k) store with `n − k ≥ max_concurrent`
+    /// always stays recoverable). Deterministic in `seed`.
+    pub fn generate(
+        seed: u64,
+        nodes: usize,
+        max_concurrent: usize,
+        horizon: Nanos,
+    ) -> FaultSchedule {
+        let mut rng = Mix64::new(seed);
+        let mut schedule = FaultSchedule::new();
+        if nodes == 0 || horizon == Nanos::ZERO {
+            return schedule;
+        }
+        // Downtime intervals per pending transient: (node, from, until).
+        let mut down: Vec<(usize, Nanos, Nanos)> = Vec::new();
+        let n_events = 3 + rng.below(6);
+        let mut t = Nanos(1 + rng.below(horizon.0 / 8 + 1));
+        for _ in 0..n_events {
+            if t >= horizon {
+                break;
+            }
+            down.retain(|&(_, _, until)| until > t);
+            let node = rng.below(nodes as u64) as usize;
+            let node_down = down.iter().any(|&(n, _, _)| n == node);
+            let roll = rng.unit();
+            if roll < 0.45 && !node_down && down.len() < max_concurrent {
+                let down_for = Nanos(1 + rng.below((horizon.0 / 4).max(1)));
+                down.push((node, t, t + down_for));
+                schedule.push(FaultEvent {
+                    at: t,
+                    node,
+                    kind: FaultKind::Transient { down_for },
+                });
+            } else if roll < 0.75 && !node_down {
+                let factor = 1.5 + rng.unit() * 6.0;
+                let duration = Nanos(1 + rng.below((horizon.0 / 4).max(1)));
+                schedule.push(FaultEvent {
+                    at: t,
+                    node,
+                    kind: FaultKind::Slowdown { factor, duration },
+                });
+            } else if !node_down {
+                schedule.push(FaultEvent {
+                    at: t,
+                    node,
+                    kind: FaultKind::CorruptBlock {
+                        nth: rng.below(64) as usize,
+                    },
+                });
+            }
+            t += Nanos(1 + rng.below(horizon.0 / (n_events + 1)));
+        }
+        schedule
+    }
+
+    /// Largest number of simultaneously-down nodes this schedule ever
+    /// produces (counting permanent crashes as down forever).
+    pub fn max_concurrent_failures(&self) -> usize {
+        let mut edges: Vec<(Nanos, i64)> = Vec::new();
+        for ev in &self.events {
+            match ev.kind {
+                FaultKind::Crash => edges.push((ev.at, 1)),
+                FaultKind::Transient { down_for } => {
+                    edges.push((ev.at, 1));
+                    edges.push((ev.at + down_for, -1));
+                }
+                _ => {}
+            }
+        }
+        edges.sort_by_key(|&(t, delta)| (t.0, delta));
+        let (mut cur, mut max) = (0i64, 0i64);
+        for (_, delta) in edges {
+            cur += delta;
+            max = max.max(cur);
+        }
+        max as usize
+    }
+}
+
+/// A fault applied to the data plane, reported by
+/// [`FaultInjector::advance`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AppliedFault {
+    /// A node went down (permanently or transiently).
+    Crashed {
+        /// When.
+        at: Nanos,
+        /// Which node.
+        node: usize,
+    },
+    /// A transiently-down node came back (empty).
+    Revived {
+        /// When.
+        at: Nanos,
+        /// Which node.
+        node: usize,
+        /// Blocks the outage lost.
+        lost_blocks: usize,
+    },
+    /// A node became a straggler.
+    Slowed {
+        /// When.
+        at: Nanos,
+        /// Which node.
+        node: usize,
+        /// Latency multiplier.
+        factor: f64,
+        /// When the slowdown ends.
+        until: Nanos,
+    },
+    /// A block was silently corrupted.
+    Corrupted {
+        /// When.
+        at: Nanos,
+        /// Node holding the block.
+        node: usize,
+        /// The corrupted block.
+        block: BlockId,
+    },
+}
+
+/// Replays a [`FaultSchedule`] against a `BlockStore` as virtual time
+/// advances.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    schedule: FaultSchedule,
+    next: usize,
+    now: Nanos,
+    /// Scheduled revivals: (at, node).
+    revivals: Vec<(Nanos, usize)>,
+    /// Active slowdowns: node → (factor, until).
+    slow: HashMap<usize, (f64, Nanos)>,
+    /// Nodes that came back from a transient outage (flaky until the
+    /// caller clears them): node → timed-out attempts to model.
+    flaky: HashMap<usize, u32>,
+}
+
+impl FaultInjector {
+    /// An injector over an explicit schedule.
+    pub fn new(schedule: FaultSchedule) -> FaultInjector {
+        FaultInjector {
+            schedule,
+            next: 0,
+            now: Nanos::ZERO,
+            revivals: Vec::new(),
+            slow: HashMap::new(),
+            flaky: HashMap::new(),
+        }
+    }
+
+    /// An injector over a generated schedule (see
+    /// [`FaultSchedule::generate`]).
+    pub fn from_seed(
+        seed: u64,
+        nodes: usize,
+        max_concurrent: usize,
+        horizon: Nanos,
+    ) -> FaultInjector {
+        FaultInjector::new(FaultSchedule::generate(
+            seed,
+            nodes,
+            max_concurrent,
+            horizon,
+        ))
+    }
+
+    /// The schedule being replayed.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// Current virtual time of the injector.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advances virtual time to `to`, applying every due fault (and
+    /// revival) to `store` in order. Returns what was applied.
+    pub fn advance(&mut self, to: Nanos, store: &mut BlockStore) -> Vec<AppliedFault> {
+        assert!(to >= self.now, "time cannot go backwards");
+        let mut applied = Vec::new();
+        loop {
+            let next_event = self.schedule.events.get(self.next).map(|e| e.at);
+            let next_revival = self.revivals.iter().map(|&(at, _)| at).min();
+            let due = match (next_event, next_revival) {
+                (Some(e), Some(r)) => Some(e.min(r)),
+                (Some(e), None) => Some(e),
+                (None, Some(r)) => Some(r),
+                (None, None) => None,
+            };
+            let Some(at) = due else { break };
+            if at > to {
+                break;
+            }
+            // Revivals first at equal timestamps: a node that revives the
+            // instant another fault fires should be up for it.
+            if next_revival.is_some_and(|r| r <= at) {
+                let i = self
+                    .revivals
+                    .iter()
+                    .position(|&(t, _)| Some(t) == next_revival)
+                    .expect("revival present");
+                let (rt, node) = self.revivals.swap_remove(i);
+                let lost = store.revive_node(node).unwrap_or(0);
+                self.flaky.insert(node, 1);
+                applied.push(AppliedFault::Revived {
+                    at: rt,
+                    node,
+                    lost_blocks: lost,
+                });
+                continue;
+            }
+            let ev = self.schedule.events[self.next];
+            self.next += 1;
+            match ev.kind {
+                FaultKind::Crash => {
+                    if store.fail_node(ev.node).is_ok() {
+                        applied.push(AppliedFault::Crashed {
+                            at: ev.at,
+                            node: ev.node,
+                        });
+                    }
+                }
+                FaultKind::Transient { down_for } => {
+                    if store.fail_node(ev.node).is_ok() {
+                        self.revivals.push((ev.at + down_for, ev.node));
+                        applied.push(AppliedFault::Crashed {
+                            at: ev.at,
+                            node: ev.node,
+                        });
+                    }
+                }
+                FaultKind::Slowdown { factor, duration } => {
+                    let until = ev.at + duration;
+                    self.slow.insert(ev.node, (factor, until));
+                    applied.push(AppliedFault::Slowed {
+                        at: ev.at,
+                        node: ev.node,
+                        factor,
+                        until,
+                    });
+                }
+                FaultKind::CorruptBlock { nth } => {
+                    let mut blocks = store.blocks_on(ev.node);
+                    blocks.sort();
+                    if !blocks.is_empty() {
+                        let block = blocks[nth % blocks.len()];
+                        if store.corrupt_block(ev.node, block, nth).is_ok() {
+                            applied.push(AppliedFault::Corrupted {
+                                at: ev.at,
+                                node: ev.node,
+                                block,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.now = to;
+        self.slow.retain(|_, &mut (_, until)| until > to);
+        applied
+    }
+
+    /// Current latency multiplier of a node (1.0 when healthy).
+    pub fn slowdown(&self, node: usize) -> f64 {
+        self.slow.get(&node).map_or(1.0, |&(f, _)| f)
+    }
+
+    /// All currently-slow nodes and their multipliers.
+    pub fn slowdowns(&self) -> HashMap<usize, f64> {
+        self.slow.iter().map(|(&n, &(f, _))| (n, f)).collect()
+    }
+
+    /// Timed-out attempts to charge for a flaky (recently revived)
+    /// node; 0 when healthy.
+    pub fn flaky_attempts(&self, node: usize) -> u32 {
+        self.flaky.get(&node).copied().unwrap_or(0)
+    }
+
+    /// All flaky nodes and their timed-out attempt counts.
+    pub fn flaky_nodes(&self) -> HashMap<usize, u32> {
+        self.flaky.clone()
+    }
+
+    /// Clears the flaky mark of a node (its health is re-established,
+    /// e.g. after the client's first successful retry round).
+    pub fn clear_flaky(&mut self, node: usize) {
+        self.flaky.remove(&node);
+    }
+
+    /// True once every scheduled event and pending revival has fired.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.schedule.events.len() && self.revivals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn generate_is_deterministic_and_capped() {
+        for seed in 0..50u64 {
+            let a = FaultSchedule::generate(seed, 9, 3, Nanos::from_micros(10_000));
+            let b = FaultSchedule::generate(seed, 9, 3, Nanos::from_micros(10_000));
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert!(
+                a.max_concurrent_failures() <= 3,
+                "seed {seed} exceeds failure cap: {:?}",
+                a.events()
+            );
+        }
+    }
+
+    #[test]
+    fn transient_outage_revives_empty_and_flaky() {
+        let mut store = BlockStore::new(3);
+        store
+            .put(1, BlockId(0), Bytes::from_static(b"payload"))
+            .unwrap();
+        let schedule = FaultSchedule::new().transient(Nanos(100), 1, Nanos(50));
+        let mut inj = FaultInjector::new(schedule);
+
+        let before = inj.advance(Nanos(99), &mut store);
+        assert!(before.is_empty());
+        assert!(store.is_alive(1));
+
+        let crash = inj.advance(Nanos(100), &mut store);
+        assert_eq!(
+            crash,
+            vec![AppliedFault::Crashed {
+                at: Nanos(100),
+                node: 1
+            }]
+        );
+        assert!(!store.is_alive(1));
+
+        let revive = inj.advance(Nanos(200), &mut store);
+        assert_eq!(
+            revive,
+            vec![AppliedFault::Revived {
+                at: Nanos(150),
+                node: 1,
+                lost_blocks: 1
+            }]
+        );
+        assert!(store.is_alive(1));
+        assert!(store.blocks_on(1).is_empty());
+        assert_eq!(inj.flaky_attempts(1), 1);
+        inj.clear_flaky(1);
+        assert_eq!(inj.flaky_attempts(1), 0);
+        assert!(inj.exhausted());
+    }
+
+    #[test]
+    fn slowdown_expires() {
+        let mut store = BlockStore::new(2);
+        let schedule = FaultSchedule::new().slowdown(Nanos(10), 0, 4.0, Nanos(90));
+        let mut inj = FaultInjector::new(schedule);
+        inj.advance(Nanos(50), &mut store);
+        assert_eq!(inj.slowdown(0), 4.0);
+        assert_eq!(inj.slowdown(1), 1.0);
+        inj.advance(Nanos(200), &mut store);
+        assert_eq!(inj.slowdown(0), 1.0);
+        assert!(inj.slowdowns().is_empty());
+    }
+
+    #[test]
+    fn corruption_targets_nth_sorted_block() {
+        let mut store = BlockStore::new(1);
+        store
+            .put(0, BlockId(5), Bytes::from_static(b"five!"))
+            .unwrap();
+        store
+            .put(0, BlockId(2), Bytes::from_static(b"two!!"))
+            .unwrap();
+        let schedule = FaultSchedule::new().corrupt(Nanos(5), 0, 1);
+        let applied = FaultInjector::new(schedule).advance(Nanos(10), &mut store);
+        assert_eq!(
+            applied,
+            vec![AppliedFault::Corrupted {
+                at: Nanos(5),
+                node: 0,
+                block: BlockId(5)
+            }]
+        );
+        assert!(matches!(
+            store.get(0, BlockId(5)),
+            Err(crate::store::ClusterError::Corrupt { .. })
+        ));
+        assert_eq!(store.get(0, BlockId(2)).unwrap().as_ref(), b"two!!");
+    }
+
+    #[test]
+    fn builder_orders_events() {
+        let s = FaultSchedule::new()
+            .corrupt(Nanos(300), 0, 0)
+            .crash(Nanos(100), 1)
+            .slowdown(Nanos(200), 2, 2.0, Nanos(50));
+        let times: Vec<u64> = s.events().iter().map(|e| e.at.0).collect();
+        assert_eq!(times, vec![100, 200, 300]);
+        assert_eq!(s.max_concurrent_failures(), 1);
+    }
+}

@@ -46,11 +46,15 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod spec;
 pub mod store;
 pub mod time;
 
-pub use engine::{Breakdown, CostClass, Engine, ResourceKey, RunReport, StepId, Workflow, WorkflowStats};
-pub use spec::{ClusterSpec, CostModel};
+pub use engine::{
+    Breakdown, CostClass, Engine, ResourceKey, RunReport, StepId, Workflow, WorkflowStats,
+};
+pub use fault::{AppliedFault, FaultEvent, FaultInjector, FaultKind, FaultSchedule};
+pub use spec::{ClusterSpec, CostModel, RetryPolicy};
 pub use store::{BlockId, BlockStore, ClusterError};
 pub use time::{percentile, transfer_time, Nanos};

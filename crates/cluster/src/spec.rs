@@ -18,6 +18,9 @@ pub struct ClusterSpec {
     pub cores_per_node: usize,
     /// The cost model.
     pub cost: CostModel,
+    /// Retry/timeout policy for RPCs to flaky (failed-then-revived)
+    /// nodes.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClusterSpec {
@@ -26,14 +29,51 @@ impl Default for ClusterSpec {
             nodes: 9,
             cores_per_node: 64,
             cost: CostModel::default(),
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+/// How the client handles RPCs to nodes that recently failed: each
+/// failed attempt burns a full `timeout` before the next try, up to
+/// `max_retries` tries, after which the request is routed elsewhere.
+///
+/// The query executors consult this when a step lands on a node the
+/// fault injector marked flaky, charging `timeout × attempts` of pure
+/// delay ahead of the step — the time-plane cost of discovering a node
+/// is unhealthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Time a request waits before declaring an attempt dead.
+    pub timeout: Nanos,
+    /// Attempts before giving up on the node and re-routing.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: Nanos::from_micros(2_000),
+            max_retries: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay charged when `failed_attempts` tries timed out before one
+    /// succeeded (capped at `max_retries`).
+    pub fn penalty(&self, failed_attempts: u32) -> Nanos {
+        Nanos(self.timeout.0 * u64::from(failed_attempts.min(self.max_retries)))
     }
 }
 
 impl ClusterSpec {
     /// A spec with `nodes` storage nodes and default hardware.
     pub fn with_nodes(nodes: usize) -> ClusterSpec {
-        ClusterSpec { nodes, ..ClusterSpec::default() }
+        ClusterSpec {
+            nodes,
+            ..ClusterSpec::default()
+        }
     }
 }
 

@@ -6,7 +6,9 @@
 //! latency model be driven by measured byte counts instead of estimates.
 
 use bytes::Bytes;
+use fusion_format::util::crc32;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identifier of a stored block, assigned by the storage layer above.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,6 +34,14 @@ pub enum ClusterError {
         /// Block requested.
         block: BlockId,
     },
+    /// The block's bytes no longer match the checksum recorded at write
+    /// time (silent corruption / bit rot detected on read).
+    Corrupt {
+        /// Node holding the corrupt block.
+        node: usize,
+        /// The corrupt block.
+        block: BlockId,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -42,16 +52,31 @@ impl std::fmt::Display for ClusterError {
             ClusterError::NoSuchBlock { node, block } => {
                 write!(f, "{block} not found on node {node}")
             }
+            ClusterError::Corrupt { node, block } => {
+                write!(f, "{block} on node {node} failed checksum verification")
+            }
         }
     }
 }
 
 impl std::error::Error for ClusterError {}
 
+/// A block plus the CRC-32 recorded when it was written. Reads verify
+/// the payload against `crc` so bit rot surfaces as
+/// [`ClusterError::Corrupt`] instead of silently wrong bytes.
+#[derive(Debug, Clone)]
+struct StoredBlock {
+    data: Bytes,
+    crc: u32,
+}
+
 #[derive(Debug, Default)]
 struct NodeState {
     alive: bool,
-    blocks: HashMap<BlockId, Bytes>,
+    blocks: HashMap<BlockId, StoredBlock>,
+    /// Blocks lost at the most recent crash, reported by
+    /// [`BlockStore::revive_node`] and reset there.
+    lost_blocks: usize,
 }
 
 /// The cluster-wide collection of node-local block stores.
@@ -71,6 +96,9 @@ struct NodeState {
 #[derive(Debug)]
 pub struct BlockStore {
     nodes: Vec<NodeState>,
+    /// Successful block reads (whole-block or ranged), for asserting how
+    /// many shards a degraded read actually touched.
+    reads: AtomicU64,
 }
 
 impl BlockStore {
@@ -83,8 +111,12 @@ impl BlockStore {
         assert!(n > 0, "cluster needs at least one node");
         BlockStore {
             nodes: (0..n)
-                .map(|_| NodeState { alive: true, blocks: HashMap::new() })
+                .map(|_| NodeState {
+                    alive: true,
+                    ..NodeState::default()
+                })
                 .collect(),
+            reads: AtomicU64::new(0),
         }
     }
 
@@ -111,24 +143,31 @@ impl BlockStore {
         if !n.alive {
             return Err(ClusterError::NodeDown(node));
         }
-        n.blocks.insert(id, data);
+        let crc = crc32(&data);
+        n.blocks.insert(id, StoredBlock { data, crc });
         Ok(())
     }
 
-    /// Fetches a block.
+    /// Fetches a block, verifying its CRC-32.
     ///
     /// # Errors
     ///
-    /// Node missing/down or block absent.
+    /// Node missing/down, block absent, or checksum mismatch
+    /// ([`ClusterError::Corrupt`]).
     pub fn get(&self, node: usize, id: BlockId) -> Result<Bytes, ClusterError> {
         let n = self.node(node)?;
         if !n.alive {
             return Err(ClusterError::NodeDown(node));
         }
-        n.blocks
+        let stored = n
+            .blocks
             .get(&id)
-            .cloned()
-            .ok_or(ClusterError::NoSuchBlock { node, block: id })
+            .ok_or(ClusterError::NoSuchBlock { node, block: id })?;
+        if crc32(&stored.data) != stored.crc {
+            return Err(ClusterError::Corrupt { node, block: id });
+        }
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(stored.data.clone())
     }
 
     /// Reads a byte range of a block (a ranged GET).
@@ -166,6 +205,8 @@ impl BlockStore {
 
     /// Marks a node failed. Its blocks are **lost** (crash-stop model), so
     /// revival brings back an empty node, as in a replacement machine.
+    /// The number of blocks lost is recorded and reported by the matching
+    /// [`BlockStore::revive_node`].
     ///
     /// # Errors
     ///
@@ -173,18 +214,61 @@ impl BlockStore {
     pub fn fail_node(&mut self, node: usize) -> Result<(), ClusterError> {
         let n = self.node_mut(node)?;
         n.alive = false;
+        n.lost_blocks += n.blocks.len();
         n.blocks.clear();
         Ok(())
     }
 
-    /// Brings a (replacement) node online, empty.
+    /// Brings a (replacement) node online, **empty**, and returns how
+    /// many blocks the crash lost — the amount of reconstruction work a
+    /// repair pass (`Store::recover_node` in `fusion-core`) now owes it.
+    ///
+    /// Reviving an already-alive node returns 0.
     ///
     /// # Errors
     ///
     /// Node missing.
-    pub fn revive_node(&mut self, node: usize) -> Result<(), ClusterError> {
-        self.node_mut(node)?.alive = true;
+    pub fn revive_node(&mut self, node: usize) -> Result<usize, ClusterError> {
+        let n = self.node_mut(node)?;
+        n.alive = true;
+        Ok(std::mem::take(&mut n.lost_blocks))
+    }
+
+    /// Flips one byte of a stored block **without** updating its recorded
+    /// checksum — simulated silent bit rot. The next [`BlockStore::get`]
+    /// of this block returns [`ClusterError::Corrupt`].
+    ///
+    /// # Errors
+    ///
+    /// Node missing/down or block absent.
+    pub fn corrupt_block(
+        &mut self,
+        node: usize,
+        id: BlockId,
+        byte_index: usize,
+    ) -> Result<(), ClusterError> {
+        let n = self.node_mut(node)?;
+        if !n.alive {
+            return Err(ClusterError::NodeDown(node));
+        }
+        let stored = n
+            .blocks
+            .get_mut(&id)
+            .ok_or(ClusterError::NoSuchBlock { node, block: id })?;
+        let mut bytes = stored.data.to_vec();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let i = byte_index % bytes.len();
+        bytes[i] ^= 0xA5;
+        stored.data = Bytes::from(bytes);
         Ok(())
+    }
+
+    /// Number of successful block reads served so far (diagnostics; lets
+    /// tests assert exactly how many shards a degraded read touched).
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Whether a node is alive.
@@ -192,16 +276,28 @@ impl BlockStore {
         self.nodes.get(node).is_some_and(|n| n.alive)
     }
 
+    /// Whether `get(node, id)` would succeed right now: node alive,
+    /// block present, checksum intact. Unlike [`BlockStore::get`] this
+    /// moves no data and does not count as a read — planners use it to
+    /// pick shards without touching the disk model.
+    pub fn has_block(&self, node: usize, id: BlockId) -> bool {
+        self.nodes
+            .get(node)
+            .is_some_and(|n| n.alive && n.blocks.get(&id).is_some_and(|b| crc32(&b.data) == b.crc))
+    }
+
     /// Indices of alive nodes.
     pub fn alive_nodes(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.is_alive(i)).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.is_alive(i))
+            .collect()
     }
 
     /// Bytes stored on one node.
     pub fn node_bytes(&self, node: usize) -> u64 {
         self.nodes
             .get(node)
-            .map_or(0, |n| n.blocks.values().map(|b| b.len() as u64).sum())
+            .map_or(0, |n| n.blocks.values().map(|b| b.data.len() as u64).sum())
     }
 
     /// Bytes stored cluster-wide.
@@ -228,14 +324,18 @@ mod tests {
         assert_eq!(s.get(0, BlockId(1)).unwrap().as_ref(), b"abc");
         assert_eq!(
             s.get(1, BlockId(1)).unwrap_err(),
-            ClusterError::NoSuchBlock { node: 1, block: BlockId(1) }
+            ClusterError::NoSuchBlock {
+                node: 1,
+                block: BlockId(1)
+            }
         );
     }
 
     #[test]
     fn ranged_reads() {
         let mut s = BlockStore::new(1);
-        s.put(0, BlockId(1), Bytes::from_static(b"0123456789")).unwrap();
+        s.put(0, BlockId(1), Bytes::from_static(b"0123456789"))
+            .unwrap();
         assert_eq!(s.get_range(0, BlockId(1), 2, 3).unwrap().as_ref(), b"234");
         assert_eq!(s.get_range(0, BlockId(1), 8, 10).unwrap().as_ref(), b"89");
         assert_eq!(s.get_range(0, BlockId(1), 50, 10).unwrap().len(), 0);
@@ -253,7 +353,10 @@ mod tests {
         // Crash-stop: data is gone after revival.
         assert_eq!(
             s.get(0, BlockId(1)).unwrap_err(),
-            ClusterError::NoSuchBlock { node: 0, block: BlockId(1) }
+            ClusterError::NoSuchBlock {
+                node: 0,
+                block: BlockId(1)
+            }
         );
     }
 
@@ -277,8 +380,70 @@ mod tests {
             s.put(5, BlockId(0), Bytes::new()).unwrap_err(),
             ClusterError::NoSuchNode(5)
         );
-        assert_eq!(s.get(5, BlockId(0)).unwrap_err(), ClusterError::NoSuchNode(5));
+        assert_eq!(
+            s.get(5, BlockId(0)).unwrap_err(),
+            ClusterError::NoSuchNode(5)
+        );
         assert!(!s.is_alive(5));
+    }
+
+    #[test]
+    fn revive_reports_lost_blocks() {
+        let mut s = BlockStore::new(2);
+        s.put(0, BlockId(1), Bytes::from_static(b"abc")).unwrap();
+        s.put(0, BlockId(2), Bytes::from_static(b"defg")).unwrap();
+        s.put(1, BlockId(3), Bytes::from_static(b"h")).unwrap();
+        // Reviving an alive node loses nothing.
+        assert_eq!(s.revive_node(0).unwrap(), 0);
+        s.fail_node(0).unwrap();
+        // Accounting agrees with the crash-stop model: the dead node holds
+        // zero bytes and zero blocks.
+        assert_eq!(s.node_bytes(0), 0);
+        assert!(s.blocks_on(0).is_empty());
+        assert_eq!(s.total_bytes(), 1);
+        // Failing an already-dead node doesn't double-count.
+        s.fail_node(0).unwrap();
+        assert_eq!(s.revive_node(0).unwrap(), 2);
+        // The revived node starts empty and the loss counter resets.
+        assert!(s.blocks_on(0).is_empty());
+        assert_eq!(s.revive_node(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn corruption_is_detected_on_read() {
+        let mut s = BlockStore::new(1);
+        s.put(0, BlockId(1), Bytes::from_static(b"hello world"))
+            .unwrap();
+        s.corrupt_block(0, BlockId(1), 4).unwrap();
+        assert_eq!(
+            s.get(0, BlockId(1)).unwrap_err(),
+            ClusterError::Corrupt {
+                node: 0,
+                block: BlockId(1)
+            }
+        );
+        assert_eq!(
+            s.get_range(0, BlockId(1), 0, 3).unwrap_err(),
+            ClusterError::Corrupt {
+                node: 0,
+                block: BlockId(1)
+            }
+        );
+        // Overwriting the block clears the corruption.
+        s.put(0, BlockId(1), Bytes::from_static(b"fresh")).unwrap();
+        assert_eq!(s.get(0, BlockId(1)).unwrap().as_ref(), b"fresh");
+    }
+
+    #[test]
+    fn read_counter_counts_successes_only() {
+        let mut s = BlockStore::new(2);
+        s.put(0, BlockId(1), Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(s.reads(), 0);
+        s.get(0, BlockId(1)).unwrap();
+        s.get_range(0, BlockId(1), 0, 2).unwrap();
+        assert_eq!(s.reads(), 2);
+        let _ = s.get(1, BlockId(9));
+        assert_eq!(s.reads(), 2);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use crate::error::{Result, StoreError};
 use crate::store::Store;
+use bytes::Bytes;
 use fusion_cluster::store::ClusterError;
 
 /// Summary of one stored object (a `HEAD` response).
@@ -29,13 +30,20 @@ pub struct ObjectInfo {
 /// Result of a scrub pass.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScrubReport {
-    /// Stripes whose parity checked out.
+    /// Stripes whose parity checked out (including stripes healed in
+    /// this pass from checksum-detected loss).
     pub stripes_ok: usize,
-    /// Stripes with at least one unreadable block (failed node).
+    /// Stripes with a block on a **down** node — not repairable until
+    /// the node is replaced ([`Store::recover_node`]).
     pub stripes_degraded: usize,
-    /// Stripes whose parity did **not** match their data (silent
-    /// corruption).
+    /// Stripes whose parity did **not** match their checksum-valid data
+    /// (silent corruption that slipped past the CRC), or with too few
+    /// readable shards to rebuild.
     pub stripes_corrupt: usize,
+    /// Blocks rebuilt from parity and rewritten during this pass.
+    pub blocks_repaired: usize,
+    /// Stripes that had at least one block repaired.
+    pub stripes_repaired: usize,
 }
 
 impl ScrubReport {
@@ -98,33 +106,56 @@ impl Store {
         Ok(())
     }
 
-    /// Verifies the parity consistency of every stripe of every object.
+    /// Verifies — and where possible **heals** — the parity consistency
+    /// of every stripe of every object.
     ///
     /// Reads all blocks of each stripe and re-checks the Reed-Solomon
     /// relation; detects silent data corruption that checksumless reads
-    /// would miss. Stripes with unreadable blocks (failed nodes) are
-    /// counted as degraded, not corrupt.
-    pub fn scrub(&self) -> ScrubReport {
+    /// would miss. Repairs happen in two tiers:
+    ///
+    /// * Blocks the data plane itself flags — checksum mismatch
+    ///   ([`ClusterError::Corrupt`]) or missing on an alive node — are
+    ///   rebuilt from the stripe's surviving shards and rewritten in
+    ///   place. The healed stripe counts as ok.
+    /// * Parity mismatches among checksum-valid blocks (bit rot that
+    ///   also recomputed the CRC, i.e. a tampered write) are localized
+    ///   by leave-one-out reconstruction: the one block whose exclusion
+    ///   makes the stripe verify again is the culprit and is rewritten.
+    ///   The stripe still counts as corrupt so the detection is never
+    ///   silent.
+    ///
+    /// Stripes with a block on a **down** node are counted degraded and
+    /// left for [`Store::recover_node`].
+    pub fn scrub(&mut self) -> ScrubReport {
         let mut report = ScrubReport::default();
         for name in self.object_names() {
             let meta = match self.object(&name) {
-                Ok(m) => m,
+                Ok(m) => m.clone(),
                 Err(_) => continue,
             };
             for (si, sp) in meta.placement.iter().enumerate() {
                 let width = sp.width as usize;
-                let mut shards: Vec<Vec<u8>> = Vec::with_capacity(sp.nodes.len());
+                let k = self.config().ec.k;
+                // Classify every block of the stripe.
+                let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(sp.nodes.len());
+                let mut lost: Vec<usize> = Vec::new();
                 let mut degraded = false;
-                for (&node, &block) in sp.nodes.iter().zip(&sp.block_ids) {
+                for (i, (&node, &block)) in sp.nodes.iter().zip(&sp.block_ids).enumerate() {
                     match self.blocks().get(node, block) {
                         Ok(b) => {
                             let mut v = b.to_vec();
                             v.resize(width, 0);
-                            shards.push(v);
+                            shards.push(Some(v));
                         }
-                        Err(_) => {
+                        Err(ClusterError::NodeDown(_)) => {
                             degraded = true;
                             break;
+                        }
+                        // Checksum mismatch or block missing on an
+                        // alive node: rebuildable from parity.
+                        Err(_) => {
+                            shards.push(None);
+                            lost.push(i);
                         }
                     }
                 }
@@ -132,14 +163,79 @@ impl Store {
                     report.stripes_degraded += 1;
                     continue;
                 }
-                let _ = si;
-                if self.codec().verify(&shards) {
+
+                if !lost.is_empty() {
+                    if self.codec().reconstruct(&mut shards, width).is_err() {
+                        // Fewer than k readable shards: unrecoverable.
+                        report.stripes_corrupt += 1;
+                        continue;
+                    }
+                    for &i in &lost {
+                        let content =
+                            trim_shard(shards[i].clone().expect("reconstructed"), &meta, si, i, k);
+                        report.blocks_repaired += 1;
+                        let _ = self.blocks_mut().put(
+                            sp.nodes[i],
+                            sp.block_ids[i],
+                            Bytes::from(content),
+                        );
+                    }
+                    report.stripes_repaired += 1;
                     report.stripes_ok += 1;
-                } else {
-                    report.stripes_corrupt += 1;
+                    continue;
+                }
+
+                let full: Vec<Vec<u8>> = shards
+                    .iter()
+                    .map(|s| s.clone().expect("all readable"))
+                    .collect();
+                if self.codec().verify(&full) {
+                    report.stripes_ok += 1;
+                    continue;
+                }
+                // Silent corruption that slipped past the CRC. Localize
+                // it: excluding the corrupt block (and only it) yields a
+                // stripe that reconstructs AND verifies.
+                report.stripes_corrupt += 1;
+                for c in 0..full.len() {
+                    let mut cand: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                    cand[c] = None;
+                    if self.codec().reconstruct(&mut cand, width).is_err() {
+                        continue;
+                    }
+                    let rebuilt: Vec<Vec<u8>> = cand
+                        .into_iter()
+                        .map(|s| s.expect("reconstructed"))
+                        .collect();
+                    if self.codec().verify(&rebuilt) {
+                        let content = trim_shard(rebuilt[c].clone(), &meta, si, c, k);
+                        report.blocks_repaired += 1;
+                        report.stripes_repaired += 1;
+                        let _ = self.blocks_mut().put(
+                            sp.nodes[c],
+                            sp.block_ids[c],
+                            Bytes::from(content),
+                        );
+                        break;
+                    }
                 }
             }
         }
         report
     }
+}
+
+/// Trims a reconstructed shard back to its stored size: data bins are
+/// stored without implicit padding; parity stays at full stripe width.
+fn trim_shard(
+    mut shard: Vec<u8>,
+    meta: &crate::object::ObjectMeta,
+    stripe: usize,
+    bin: usize,
+    k: usize,
+) -> Vec<u8> {
+    if bin < k {
+        shard.truncate(meta.layout.stripes[stripe].bins[bin].stored_len() as usize);
+    }
+    shard
 }

@@ -208,7 +208,10 @@ mod tests {
     fn policy_names() {
         assert_eq!(LayoutPolicy::Fixed.name(), "fixed");
         assert_eq!(
-            LayoutPolicy::Oracle { deadline: std::time::Duration::from_secs(1) }.name(),
+            LayoutPolicy::Oracle {
+                deadline: std::time::Duration::from_secs(1)
+            }
+            .name(),
             "oracle"
         );
     }

@@ -52,10 +52,9 @@ impl std::fmt::Display for StoreError {
             StoreError::Cluster(e) => write!(f, "cluster error: {e}"),
             StoreError::Code(e) => write!(f, "erasure code error: {e}"),
             StoreError::Unrecoverable(e) => write!(f, "unrecoverable data: {e}"),
-            StoreError::OutOfRange { offset, len, size } => write!(
-                f,
-                "range {offset}+{len} outside object of {size} bytes"
-            ),
+            StoreError::OutOfRange { offset, len, size } => {
+                write!(f, "range {offset}+{len} outside object of {size} bytes")
+            }
             StoreError::Internal(why) => write!(f, "internal error: {why}"),
         }
     }
@@ -108,7 +107,11 @@ mod tests {
         assert!(e.to_string().contains("sql error"));
         let e: StoreError = ClusterError::NodeDown(3).into();
         assert!(e.to_string().contains("node 3"));
-        let e = StoreError::OutOfRange { offset: 10, len: 5, size: 12 };
+        let e = StoreError::OutOfRange {
+            offset: 10,
+            len: 5,
+            size: 12,
+        };
         assert!(e.to_string().contains("10+5"));
     }
 }

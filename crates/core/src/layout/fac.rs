@@ -91,7 +91,9 @@ pub fn pack(k: usize, items: &[PackItem]) -> Layout {
     }
 
     if stripes.is_empty() {
-        stripes.push(Stripe { bins: vec![Bin::default(); k] });
+        stripes.push(Stripe {
+            bins: vec![Bin::default(); k],
+        });
     }
     Layout { stripes }
 }
@@ -105,7 +107,11 @@ mod tests {
         let mut items = Vec::new();
         let mut pos = 0;
         for (i, &s) in sizes.iter().enumerate() {
-            items.push(PackItem { chunk: i, start: pos, end: pos + s });
+            items.push(PackItem {
+                chunk: i,
+                start: pos,
+                end: pos + s,
+            });
             pos += s;
         }
         items
@@ -179,7 +185,10 @@ mod tests {
         layout.assert_valid(sizes.iter().sum(), 6, true);
         let ec = EcConfig { n: 9, k: 6 };
         let overhead = layout.overhead_vs_optimal(ec);
-        assert!(overhead < 0.05, "overhead {overhead} too high for 600 chunks");
+        assert!(
+            overhead < 0.05,
+            "overhead {overhead} too high for 600 chunks"
+        );
     }
 
     #[test]

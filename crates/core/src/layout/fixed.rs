@@ -50,7 +50,11 @@ pub fn pack(object_len: u64, block_size: u64, k: usize, items: &[PackItem]) -> L
 /// carries at most one chunk tag.
 fn intersect(start: u64, end: u64, items: &[PackItem]) -> Vec<Piece> {
     if items.is_empty() {
-        return vec![Piece { start, end, chunk: None }];
+        return vec![Piece {
+            start,
+            end,
+            chunk: None,
+        }];
     }
     let mut out = Vec::new();
     let mut pos = start;
@@ -62,16 +66,28 @@ fn intersect(start: u64, end: u64, items: &[PackItem]) -> Vec<Piece> {
         let s = pos.max(it.start);
         let e = end.min(it.end);
         if s > pos {
-            out.push(Piece { start: pos, end: s, chunk: None });
+            out.push(Piece {
+                start: pos,
+                end: s,
+                chunk: None,
+            });
         }
-        out.push(Piece { start: s, end: e, chunk: Some(it.chunk) });
+        out.push(Piece {
+            start: s,
+            end: e,
+            chunk: Some(it.chunk),
+        });
         pos = e;
         if pos >= end {
             break;
         }
     }
     if pos < end {
-        out.push(Piece { start: pos, end, chunk: None });
+        out.push(Piece {
+            start: pos,
+            end,
+            chunk: None,
+        });
     }
     out
 }
@@ -105,7 +121,11 @@ mod tests {
         let mut items = Vec::new();
         let mut pos = 0;
         for (i, &s) in sizes.iter().enumerate() {
-            items.push(PackItem { chunk: i, start: pos, end: pos + s });
+            items.push(PackItem {
+                chunk: i,
+                start: pos,
+                end: pos + s,
+            });
             pos += s;
         }
         items
@@ -134,7 +154,14 @@ mod tests {
         let b0 = &layout.stripes[0].bins[0];
         assert_eq!(b0.pieces.len(), 2);
         assert_eq!(b0.pieces[0].chunk, Some(0));
-        assert_eq!(b0.pieces[1], Piece { start: 100, end: 150, chunk: Some(1) });
+        assert_eq!(
+            b0.pieces[1],
+            Piece {
+                start: 100,
+                end: 150,
+                chunk: Some(1)
+            }
+        );
     }
 
     #[test]

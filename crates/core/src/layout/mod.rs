@@ -285,8 +285,14 @@ mod tests {
         let layout = Layout {
             stripes: vec![Stripe {
                 bins: vec![
-                    Bin { pieces: vec![item(0, 0, 100).piece()], physical_pad: 0 },
-                    Bin { pieces: vec![item(1, 100, 150).piece()], physical_pad: 0 },
+                    Bin {
+                        pieces: vec![item(0, 0, 100).piece()],
+                        physical_pad: 0,
+                    },
+                    Bin {
+                        pieces: vec![item(1, 100, 150).piece()],
+                        physical_pad: 0,
+                    },
                 ],
             }],
         };
@@ -304,8 +310,14 @@ mod tests {
         let layout = Layout {
             stripes: vec![Stripe {
                 bins: vec![
-                    Bin { pieces: vec![item(0, 0, 10).piece()], physical_pad: 0 },
-                    Bin { pieces: vec![item(1, 10, 20).piece()], physical_pad: 0 },
+                    Bin {
+                        pieces: vec![item(0, 0, 10).piece()],
+                        physical_pad: 0,
+                    },
+                    Bin {
+                        pieces: vec![item(1, 10, 20).piece()],
+                        physical_pad: 0,
+                    },
                 ],
             }],
         };
@@ -318,8 +330,14 @@ mod tests {
         let layout = Layout {
             stripes: vec![Stripe {
                 bins: vec![
-                    Bin { pieces: vec![item(0, 0, 10).piece()], physical_pad: 0 },
-                    Bin { pieces: vec![item(1, 15, 20).piece()], physical_pad: 0 },
+                    Bin {
+                        pieces: vec![item(0, 0, 10).piece()],
+                        physical_pad: 0,
+                    },
+                    Bin {
+                        pieces: vec![item(1, 15, 20).piece()],
+                        physical_pad: 0,
+                    },
                 ],
             }],
         };
@@ -333,11 +351,19 @@ mod tests {
             stripes: vec![Stripe {
                 bins: vec![
                     Bin {
-                        pieces: vec![Piece { start: 0, end: 10, chunk: Some(0) }],
+                        pieces: vec![Piece {
+                            start: 0,
+                            end: 10,
+                            chunk: Some(0),
+                        }],
                         physical_pad: 0,
                     },
                     Bin {
-                        pieces: vec![Piece { start: 10, end: 20, chunk: Some(0) }],
+                        pieces: vec![Piece {
+                            start: 10,
+                            end: 20,
+                            chunk: Some(0),
+                        }],
                         physical_pad: 0,
                     },
                 ],

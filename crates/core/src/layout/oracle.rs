@@ -66,8 +66,8 @@ pub fn pack(k: usize, items: &[PackItem], deadline: Duration) -> OraclePack {
         start: Instant,
         nodes: u64,
         timed_out: bool,
-        loads: Vec<Vec<u64>>,      // [set][bin]
-        maxima: Vec<u64>,          // per set
+        loads: Vec<Vec<u64>>, // [set][bin]
+        maxima: Vec<u64>,     // per set
         assign: Vec<(usize, usize)>,
         remaining_volume: u64,
         best_obj: u64,
@@ -77,7 +77,8 @@ pub fn pack(k: usize, items: &[PackItem], deadline: Duration) -> OraclePack {
     impl Search<'_> {
         fn solve(&mut self, item: usize) {
             self.nodes += 1;
-            if self.timed_out || (self.nodes.is_multiple_of(4096) && self.start.elapsed() > self.deadline)
+            if self.timed_out
+                || (self.nodes.is_multiple_of(4096) && self.start.elapsed() > self.deadline)
             {
                 self.timed_out = true;
                 return;
@@ -179,7 +180,9 @@ pub fn pack(k: usize, items: &[PackItem], deadline: Duration) -> OraclePack {
         Some(assign) => {
             let num_sets = assign.iter().map(|&(s, _)| s + 1).max().unwrap_or(1);
             let mut stripes: Vec<Stripe> = (0..num_sets)
-                .map(|_| Stripe { bins: vec![Bin::default(); k] })
+                .map(|_| Stripe {
+                    bins: vec![Bin::default(); k],
+                })
                 .collect();
             for (pos, &(set, bin)) in assign.iter().enumerate() {
                 let it = items[idx[pos]];
@@ -209,7 +212,11 @@ mod tests {
         let mut items = Vec::new();
         let mut pos = 0;
         for (i, &s) in sizes.iter().enumerate() {
-            items.push(PackItem { chunk: i, start: pos, end: pos + s });
+            items.push(PackItem {
+                chunk: i,
+                start: pos,
+                end: pos + s,
+            });
             pos += s;
         }
         items
@@ -246,9 +253,7 @@ mod tests {
         // An instance where greedy FAC is suboptimal is hard to hand-pick;
         // at minimum the oracle can never be worse.
         for seed in 0..8u64 {
-            let sizes: Vec<u64> = (0..8)
-                .map(|i| ((i + 1) * 13 + seed * 7) % 50 + 5)
-                .collect();
+            let sizes: Vec<u64> = (0..8).map(|i| ((i + 1) * 13 + seed * 7) % 50 + 5).collect();
             let items = tile(&sizes);
             let fac_obj = fac::pack(3, &items).objective();
             let p = pack(3, &items, MINUTE);

@@ -67,9 +67,9 @@ pub mod object;
 pub mod query;
 pub mod store;
 
+pub use admin::{ObjectInfo, ScrubReport};
 pub use config::{EcConfig, LayoutPolicy, QueryMode, StoreConfig};
 pub use error::{Result, StoreError};
-pub use admin::{ObjectInfo, ScrubReport};
 pub use object::ObjectMeta;
 pub use query::{QueryOutput, QueryResult};
 pub use store::{PutReport, RecoveryReport, Store};

@@ -85,9 +85,18 @@ mod tests {
     fn wire_roundtrip() {
         let map = LocationMap {
             entries: vec![
-                LocationEntry { chunk_offset: 0, node: 3 },
-                LocationEntry { chunk_offset: 4096, node: 7 },
-                LocationEntry { chunk_offset: 123_456, node: 0 },
+                LocationEntry {
+                    chunk_offset: 0,
+                    node: 3,
+                },
+                LocationEntry {
+                    chunk_offset: 4096,
+                    node: 7,
+                },
+                LocationEntry {
+                    chunk_offset: 123_456,
+                    node: 0,
+                },
             ],
         };
         let bytes = map.to_bytes();
@@ -105,7 +114,10 @@ mod tests {
     #[test]
     fn node_lookup() {
         let map = LocationMap {
-            entries: vec![LocationEntry { chunk_offset: 0, node: 5 }],
+            entries: vec![LocationEntry {
+                chunk_offset: 0,
+                node: 5,
+            }],
         };
         assert_eq!(map.node_of(0), Some(5));
         assert_eq!(map.node_of(1), None);

@@ -217,7 +217,11 @@ mod tests {
         let mut items = Vec::new();
         let mut pos = 0;
         for (i, &s) in sizes.iter().enumerate() {
-            items.push(PackItem { chunk: i, start: pos, end: pos + s });
+            items.push(PackItem {
+                chunk: i,
+                start: pos,
+                end: pos + s,
+            });
             pos += s;
         }
         items

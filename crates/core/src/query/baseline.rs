@@ -10,7 +10,8 @@
 //! coordinator, where all decoding and evaluation happens.
 
 use super::{
-    assemble_result, result_wire_bytes, row_group_may_match, Ctx, Loc, QueryOutput,
+    assemble_result, degraded_fragment_fetch, result_wire_bytes, row_group_may_match, Ctx, Loc,
+    QueryOutput,
 };
 use crate::error::{Result, StoreError};
 use crate::query::fusion::concat_parts;
@@ -35,7 +36,12 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
     let mut pruned = 0usize;
 
     let arrival = ctx.rpc(Loc::Client, Loc::Node(coord), &[]);
-    let plan_step = ctx.cpu(Loc::Node(coord), cost.query_overhead, CostClass::Other, &arrival);
+    let plan_step = ctx.cpu(
+        Loc::Node(coord),
+        cost.query_overhead,
+        CostClass::Other,
+        &arrival,
+    );
 
     // Columns the query touches.
     let mut needed: Vec<usize> = plan.filter_columns();
@@ -76,11 +82,30 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
             decoded.insert((rg, col_idx), col);
 
             // Time plane: each fragment is read on its node and shipped to
-            // the coordinator in stored (compressed) form.
-            for f in meta.chunk_fragments(ordinal) {
-                let req = ctx.rpc(Loc::Node(coord), Loc::Node(f.node), &[plan_step]);
-                let read = ctx.disk(f.node, f.len, &req);
-                rg_arrived.extend(ctx.transfer(Loc::Node(f.node), Loc::Node(coord), f.len, &[read]));
+            // the coordinator in stored (compressed) form; fragments on
+            // dead nodes are rebuilt from their stripe's k surviving
+            // shards (degraded mode).
+            for f in &meta.chunk_fragments(ordinal) {
+                if store.blocks().has_block(f.node, f.block) {
+                    let req = ctx.rpc(Loc::Node(coord), Loc::Node(f.node), &[plan_step]);
+                    let req = ctx.retry(store.retry_penalty(f.node), &req);
+                    let read = ctx.disk(f.node, f.len, &req);
+                    rg_arrived.extend(ctx.transfer(
+                        Loc::Node(f.node),
+                        Loc::Node(coord),
+                        f.len,
+                        &[read],
+                    ));
+                } else {
+                    rg_arrived.push(degraded_fragment_fetch(
+                        store,
+                        meta,
+                        &mut ctx,
+                        coord,
+                        f,
+                        &[plan_step],
+                    )?);
+                }
             }
             decode_cost += cost.decode(cm.plain_size) + cost.eval(cm.value_count);
         }
@@ -88,8 +113,12 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
             rg_arrived.push(plan_step);
         }
         // Coordinator decodes and evaluates everything for this row group.
-        let eval =
-            ctx.cpu(Loc::Node(coord), decode_cost, CostClass::Processing, &rg_arrived);
+        let eval = ctx.cpu(
+            Loc::Node(coord),
+            decode_cost,
+            CostClass::Processing,
+            &rg_arrived,
+        );
         eval_frontier.push(eval);
 
         // Data plane: evaluate filters, combine.

@@ -14,8 +14,8 @@
 //! compressed chunk and project locally at the coordinator.
 
 use super::{
-    assemble_result, result_wire_bytes, row_group_may_match, Ctx, Loc, ProjectionDecision,
-    QueryOutput, QueryResult,
+    assemble_result, degraded_fragment_fetch, result_wire_bytes, row_group_may_match, Ctx, Loc,
+    ProjectionDecision, QueryOutput, QueryResult,
 };
 use crate::error::{Result, StoreError};
 use crate::store::Store;
@@ -46,7 +46,12 @@ pub fn execute(
 
     // Client issues the query.
     let arrival = ctx.rpc(Loc::Client, Loc::Node(coord), &[]);
-    let plan_step = ctx.cpu(Loc::Node(coord), cost.query_overhead, CostClass::Other, &arrival);
+    let plan_step = ctx.cpu(
+        Loc::Node(coord),
+        cost.query_overhead,
+        CostClass::Other,
+        &arrival,
+    );
 
     let num_rgs = fm.row_groups.len();
 
@@ -84,13 +89,18 @@ pub fn execute(
             let wire = fusion_snappy::compress(&bm.to_bytes());
             bitmap_wire_total += wire.len() as u64;
 
-            // Time plane.
+            // Time plane. In-situ evaluation needs the chunk whole AND
+            // its hosting node up; otherwise the coordinator rebuilds or
+            // reassembles and evaluates locally (degraded mode).
             let frags = meta.chunk_fragments(ordinal);
-            if frags.len() == 1 {
+            let healthy =
+                frags.len() == 1 && store.blocks().has_block(frags[0].node, frags[0].block);
+            if healthy {
                 let node = frags[0].node;
                 // Dispatch the sub-query, read, decode + evaluate in situ,
                 // return the compressed bitmap.
                 let req = ctx.rpc(Loc::Node(coord), Loc::Node(node), &[plan_step]);
+                let req = ctx.retry(store.retry_penalty(node), &req);
                 let read = ctx.disk(node, cm.len, &req);
                 let eval = ctx.cpu(
                     Loc::Node(node),
@@ -98,22 +108,40 @@ pub fn execute(
                     CostClass::Processing,
                     &[read],
                 );
-                let back = ctx.transfer(Loc::Node(node), Loc::Node(coord), wire.len() as u64, &[eval]);
+                let back = ctx.transfer(
+                    Loc::Node(node),
+                    Loc::Node(coord),
+                    wire.len() as u64,
+                    &[eval],
+                );
                 filter_frontier.extend(back);
                 decoded_on.insert(ordinal, (node, eval));
             } else {
-                // Split chunk (only when FAC fell back to fixed blocks):
-                // reassemble at the coordinator, evaluate there.
+                // Split chunk (FAC fell back to fixed blocks) or lost
+                // fragments: reassemble at the coordinator — rebuilding
+                // lost fragments from their stripes — evaluate there.
                 let mut arrived = Vec::new();
                 for f in &frags {
-                    let req = ctx.rpc(Loc::Node(coord), Loc::Node(f.node), &[plan_step]);
-                    let read = ctx.disk(f.node, f.len, &req);
-                    arrived.extend(ctx.transfer(
-                        Loc::Node(f.node),
-                        Loc::Node(coord),
-                        f.len,
-                        &[read],
-                    ));
+                    if store.blocks().has_block(f.node, f.block) {
+                        let req = ctx.rpc(Loc::Node(coord), Loc::Node(f.node), &[plan_step]);
+                        let req = ctx.retry(store.retry_penalty(f.node), &req);
+                        let read = ctx.disk(f.node, f.len, &req);
+                        arrived.extend(ctx.transfer(
+                            Loc::Node(f.node),
+                            Loc::Node(coord),
+                            f.len,
+                            &[read],
+                        ));
+                    } else {
+                        arrived.push(degraded_fragment_fetch(
+                            store,
+                            meta,
+                            &mut ctx,
+                            coord,
+                            f,
+                            &[plan_step],
+                        )?);
+                    }
                 }
                 let eval = ctx.cpu(
                     Loc::Node(coord),
@@ -214,7 +242,10 @@ pub fn execute(
             // chunk's own selectivity.
             let product = out_bytes as f64 / cm.len.max(1) as f64;
             let frags = meta.chunk_fragments(ordinal);
-            let push = (!adaptive || product < 1.0) && frags.len() == 1;
+            // Pushdown needs the chunk whole and its hosting node up.
+            let healthy =
+                frags.len() == 1 && store.blocks().has_block(frags[0].node, frags[0].block);
+            let push = (!adaptive || product < 1.0) && healthy;
             decisions.push(ProjectionDecision {
                 row_group: rg,
                 column: col_idx,
@@ -226,8 +257,8 @@ pub fn execute(
             if push {
                 let node = frags[0].node;
                 let bm_wire = fusion_snappy::compress(&rg_bitmaps[rg].to_bytes()).len() as u64;
-                let mut deps =
-                    ctx.transfer(Loc::Node(coord), Loc::Node(node), bm_wire, &[combine_step]);
+                let start = ctx.retry(store.retry_penalty(node), &[combine_step]);
+                let mut deps = ctx.transfer(Loc::Node(coord), Loc::Node(node), bm_wire, &start);
                 let work = match decoded_on.get(&ordinal) {
                     // The filter stage already read and decoded this chunk
                     // on this node: only the selection remains (paper
@@ -255,12 +286,30 @@ pub fn execute(
                 let back = ctx.transfer(Loc::Node(node), Loc::Node(coord), out_bytes, &[work]);
                 proj_frontier.extend(back);
             } else {
-                // Fetch the chunk in compressed form; project locally.
+                // Fetch the chunk in compressed form (rebuilding lost
+                // fragments from their stripes); project locally.
                 let mut arrived = Vec::new();
                 for f in &frags {
-                    let req = ctx.rpc(Loc::Node(coord), Loc::Node(f.node), &[combine_step]);
-                    let read = ctx.disk(f.node, f.len, &req);
-                    arrived.extend(ctx.transfer(Loc::Node(f.node), Loc::Node(coord), f.len, &[read]));
+                    if store.blocks().has_block(f.node, f.block) {
+                        let req = ctx.rpc(Loc::Node(coord), Loc::Node(f.node), &[combine_step]);
+                        let req = ctx.retry(store.retry_penalty(f.node), &req);
+                        let read = ctx.disk(f.node, f.len, &req);
+                        arrived.extend(ctx.transfer(
+                            Loc::Node(f.node),
+                            Loc::Node(coord),
+                            f.len,
+                            &[read],
+                        ));
+                    } else {
+                        arrived.push(degraded_fragment_fetch(
+                            store,
+                            meta,
+                            &mut ctx,
+                            coord,
+                            f,
+                            &[combine_step],
+                        )?);
+                    }
                 }
                 let work = ctx.cpu(
                     Loc::Node(coord),
@@ -385,12 +434,16 @@ fn aggregate_pushdown_stage(
                 pushed_down: true,
             });
 
-            // Time plane: bitmap down, partial scalars back.
+            // Time plane: bitmap down, partial scalars back. Pushdown
+            // needs the chunk whole and its hosting node up.
             let frags = meta.chunk_fragments(ordinal);
-            if frags.len() == 1 {
+            let healthy =
+                frags.len() == 1 && store.blocks().has_block(frags[0].node, frags[0].block);
+            if healthy {
                 let node = frags[0].node;
                 let bm_wire = fusion_snappy::compress(&rg_bitmaps[rg].to_bytes()).len() as u64;
-                let mut deps = ctx.transfer(Loc::Node(coord), Loc::Node(node), bm_wire, &[combine_step]);
+                let start = ctx.retry(store.retry_penalty(node), &[combine_step]);
+                let mut deps = ctx.transfer(Loc::Node(coord), Loc::Node(node), bm_wire, &start);
                 let work = match decoded_on.get(&ordinal) {
                     Some(&(n, eval_step)) if n == node => {
                         deps.push(eval_step);
@@ -414,12 +467,30 @@ fn aggregate_pushdown_stage(
                 };
                 frontier.extend(ctx.transfer(Loc::Node(node), Loc::Node(coord), wire, &[work]));
             } else {
-                // Split chunk: fetch fragments and aggregate locally.
+                // Split chunk or lost fragments: fetch (or rebuild)
+                // fragments and aggregate locally.
                 let mut arrived = Vec::new();
                 for f in &frags {
-                    let req = ctx.rpc(Loc::Node(coord), Loc::Node(f.node), &[combine_step]);
-                    let read = ctx.disk(f.node, f.len, &req);
-                    arrived.extend(ctx.transfer(Loc::Node(f.node), Loc::Node(coord), f.len, &[read]));
+                    if store.blocks().has_block(f.node, f.block) {
+                        let req = ctx.rpc(Loc::Node(coord), Loc::Node(f.node), &[combine_step]);
+                        let req = ctx.retry(store.retry_penalty(f.node), &req);
+                        let read = ctx.disk(f.node, f.len, &req);
+                        arrived.extend(ctx.transfer(
+                            Loc::Node(f.node),
+                            Loc::Node(coord),
+                            f.len,
+                            &[read],
+                        ));
+                    } else {
+                        arrived.push(degraded_fragment_fetch(
+                            store,
+                            meta,
+                            &mut ctx,
+                            coord,
+                            f,
+                            &[combine_step],
+                        )?);
+                    }
                 }
                 frontier.push(ctx.cpu(
                     Loc::Node(coord),

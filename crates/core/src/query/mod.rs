@@ -94,16 +94,17 @@ impl Store {
             crate::config::QueryMode::AdaptivePushdown => {
                 fusion::execute(self, object, &plan, true)
             }
-            crate::config::QueryMode::AlwaysPushdown => {
-                fusion::execute(self, object, &plan, false)
-            }
+            crate::config::QueryMode::AlwaysPushdown => fusion::execute(self, object, &plan, false),
         }
     }
 
     /// Runs workflows on this store's cluster spec (closed loop) and
-    /// returns the engine report.
+    /// returns the engine report. Straggler multipliers mirrored from
+    /// the fault injector apply to every step on a slowed node.
     pub fn simulate(&self, clients: Vec<Vec<Workflow>>) -> RunReport {
-        Engine::new(self.config().cluster.clone()).run_closed_loop(clients)
+        Engine::new(self.config().cluster.clone())
+            .with_slowdowns(self.slowdowns().clone())
+            .run_closed_loop(clients)
     }
 
     /// Simulates a single workflow alone on the cluster and returns its
@@ -151,6 +152,10 @@ pub(crate) struct Ctx<'a> {
     pub cost: &'a CostModel,
     pub wf: Workflow,
     pub net_bytes: u64,
+    /// Stripe index → decode step of an already-modelled degraded
+    /// reconstruction, so several fragments of one lost stripe pay for
+    /// the k-shard rebuild only once per query.
+    pub degraded: std::collections::HashMap<usize, StepId>,
 }
 
 impl<'a> Ctx<'a> {
@@ -159,6 +164,7 @@ impl<'a> Ctx<'a> {
             cost,
             wf: Workflow::new(),
             net_bytes: 0,
+            degraded: std::collections::HashMap::new(),
         }
     }
 
@@ -228,6 +234,72 @@ impl<'a> Ctx<'a> {
     pub fn cpu(&mut self, loc: Loc, dur: Nanos, class: CostClass, deps: &[StepId]) -> StepId {
         self.wf.step(loc.cpu(), dur, class, deps)
     }
+
+    /// Charges the retry-policy delay ahead of a dispatch to a flaky
+    /// (recently revived) node: `penalty` is the wall time burned on
+    /// timed-out attempts before one got through. Free for healthy
+    /// nodes.
+    pub fn retry(&mut self, penalty: Nanos, deps: &[StepId]) -> Vec<StepId> {
+        if penalty == Nanos::ZERO {
+            return deps.to_vec();
+        }
+        vec![self
+            .wf
+            .step(ResourceKey::Delay, penalty, CostClass::Network, deps)]
+    }
+}
+
+/// Time-plane model of a degraded fragment read (the fragment's block is
+/// on a dead node or lost): the coordinator pulls the stripe's k
+/// surviving shards — the same data-shard-first selection the data plane
+/// uses — decodes the stripe on its CPU, and serves the fragment from
+/// the rebuilt bin. Cached per stripe in [`Ctx::degraded`].
+///
+/// # Errors
+///
+/// [`StoreError::Internal`] when the fragment maps to no stripe or
+/// fewer than k shards survive (the data plane fails first in
+/// practice).
+pub(crate) fn degraded_fragment_fetch(
+    store: &Store,
+    meta: &crate::object::ObjectMeta,
+    ctx: &mut Ctx<'_>,
+    coord: usize,
+    frag: &crate::object::ChunkFragment,
+    deps: &[StepId],
+) -> Result<StepId> {
+    let (si, _) = store
+        .stripe_of(meta, frag.block)
+        .ok_or_else(|| StoreError::Internal("fragment without stripe".into()))?;
+    if let Some(&done) = ctx.degraded.get(&si) {
+        return Ok(done);
+    }
+    let sp = &meta.placement[si];
+    let k = store.config().ec.k;
+    let survivors = store.surviving_k_shards(sp);
+    if survivors.len() < k {
+        return Err(StoreError::Internal(format!(
+            "stripe {si} has only {} of {k} shards needed",
+            survivors.len()
+        )));
+    }
+    let mut arrived = Vec::new();
+    for &i in &survivors {
+        let src = sp.nodes[i];
+        let req = ctx.rpc(Loc::Node(coord), Loc::Node(src), deps);
+        let req = ctx.retry(store.retry_penalty(src), &req);
+        let read = ctx.disk(src, sp.width, &req);
+        arrived.extend(ctx.transfer(Loc::Node(src), Loc::Node(coord), sp.width, &[read]));
+    }
+    let decode_cost = ctx.cost.ec(sp.width * k as u64);
+    let decode = ctx.cpu(
+        Loc::Node(coord),
+        decode_cost,
+        CostClass::Processing,
+        &arrived,
+    );
+    ctx.degraded.insert(si, decode);
+    Ok(decode)
 }
 
 /// Applies a LIMIT by clearing every match bit after the first `limit`
@@ -331,7 +403,11 @@ pub(crate) fn assemble_result(
 /// Plain-encoding size of the final result payload sent back to the
 /// client.
 pub(crate) fn result_wire_bytes(result: &QueryResult) -> u64 {
-    let cols: u64 = result.columns.iter().map(|(_, c)| c.plain_size() as u64).sum();
+    let cols: u64 = result
+        .columns
+        .iter()
+        .map(|(_, c)| c.plain_size() as u64)
+        .sum();
     let aggs = result.aggregates.len() as u64 * 16;
     cols + aggs + 64
 }
@@ -393,8 +469,8 @@ mod tests {
         apply_limit(&plan_with_limit(Some(1), true), &mut bms);
         assert_eq!(bms[0].count_ones(), 8);
     }
-    use fusion_format::footer::{ChunkMeta, RowGroupMeta};
     use fusion_format::encoding::Encoding;
+    use fusion_format::footer::{ChunkMeta, RowGroupMeta};
 
     fn leaf(column: usize, op: CmpOp, constant: Value) -> FilterLeaf {
         FilterLeaf {
@@ -430,9 +506,17 @@ mod tests {
         let filters = vec![leaf(0, CmpOp::Gt, Value::Int(100))];
         let tree = BoolTree::Leaf(0);
         // max 50 < 100: cannot match.
-        assert!(!row_group_may_match(Some(&tree), &filters, &rg(&[0], &[50])));
+        assert!(!row_group_may_match(
+            Some(&tree),
+            &filters,
+            &rg(&[0], &[50])
+        ));
         // max 150: may match.
-        assert!(row_group_may_match(Some(&tree), &filters, &rg(&[0], &[150])));
+        assert!(row_group_may_match(
+            Some(&tree),
+            &filters,
+            &rg(&[0], &[150])
+        ));
         // No predicate: always may match.
         assert!(row_group_may_match(None, &filters, &rg(&[0], &[50])));
         // NOT stays conservative.

@@ -15,6 +15,7 @@ use crate::location_map::LocationMap;
 use crate::object::{ObjectMeta, StripePlacement};
 use bytes::Bytes;
 use fusion_cluster::engine::{CostClass, Engine, ResourceKey, Workflow};
+use fusion_cluster::fault::{AppliedFault, FaultInjector};
 use fusion_cluster::store::{BlockId, BlockStore, ClusterError};
 use fusion_cluster::time::Nanos;
 use fusion_ec::rs::ReedSolomon;
@@ -50,6 +51,10 @@ pub struct PutReport {
 /// Report returned by [`Store::recover_node`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
+    /// Blocks the node lost while it was down (reported by the data
+    /// plane at revival; the repair below rebuilds object blocks and
+    /// location-map replicas, so `stripes_repaired` can differ).
+    pub blocks_lost: usize,
     /// Stripes that needed repair.
     pub stripes_repaired: usize,
     /// Bytes written to the recovered node.
@@ -89,6 +94,12 @@ pub struct Store {
     maps: HashMap<String, (LocationMap, Vec<usize>)>,
     next_block: u64,
     rng: SmallRng,
+    /// Straggler multipliers mirrored from the fault injector; fed into
+    /// every simulation this store runs.
+    slowdowns: HashMap<usize, f64>,
+    /// Failed-then-revived nodes and how many RPC attempts to them time
+    /// out before one succeeds (drives [`fusion_cluster::RetryPolicy`]).
+    flaky: HashMap<usize, u32>,
 }
 
 impl Store {
@@ -112,6 +123,8 @@ impl Store {
             maps: HashMap::new(),
             next_block: 0,
             rng: SmallRng::seed_from_u64(config.seed),
+            slowdowns: HashMap::new(),
+            flaky: HashMap::new(),
             config,
         })
     }
@@ -175,11 +188,9 @@ impl Store {
     /// coordinator).
     pub fn coordinator_of(&self, name: &str) -> usize {
         let alive = self.blocks.alive_nodes();
-        let h = name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-            });
+        let h = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
         alive[(h % alive.len() as u64) as usize]
     }
 
@@ -216,9 +227,10 @@ impl Store {
                 fixed::pack(size, self.config.block_size, ec.k, &items),
                 "fixed",
             ),
-            LayoutPolicy::Padding if !items.is_empty() => {
-                (padding::pack(self.config.block_size, ec.k, &items).layout, "padding")
-            }
+            LayoutPolicy::Padding if !items.is_empty() => (
+                padding::pack(self.config.block_size, ec.k, &items).layout,
+                "padding",
+            ),
             LayoutPolicy::Padding => (
                 fixed::pack(size, self.config.block_size, ec.k, &items),
                 "fixed",
@@ -291,7 +303,11 @@ impl Store {
                 self.blocks.put(nodes[i], id, Bytes::from(content))?;
                 block_ids.push(id);
             }
-            placement.push(StripePlacement { nodes, block_ids, width });
+            placement.push(StripePlacement {
+                nodes,
+                block_ids,
+                width,
+            });
         }
 
         let meta = ObjectMeta::new(
@@ -351,10 +367,25 @@ impl Store {
         let coord = self.coordinator_of(&meta.name);
         let mut wf = Workflow::new();
         // Client -> coordinator: the whole object.
-        let tx = wf.step(ResourceKey::ClientNicTx, cost.wire(size), CostClass::Network, &[]);
+        let tx = wf.step(
+            ResourceKey::ClientNicTx,
+            cost.wire(size),
+            CostClass::Network,
+            &[],
+        );
         wf.transfer_bytes(tx, size);
-        let lat = wf.step(ResourceKey::Delay, cost.rpc_overhead, CostClass::Network, &[tx]);
-        let rx = wf.step(ResourceKey::NicRx(coord), cost.wire(size), CostClass::Network, &[lat]);
+        let lat = wf.step(
+            ResourceKey::Delay,
+            cost.rpc_overhead,
+            CostClass::Network,
+            &[tx],
+        );
+        let rx = wf.step(
+            ResourceKey::NicRx(coord),
+            cost.wire(size),
+            CostClass::Network,
+            &[lat],
+        );
         // Pack (real measured runtime) + erasure encode.
         let pack = wf.step(
             ResourceKey::Cpu(coord),
@@ -388,8 +419,12 @@ impl Store {
                     &[encode],
                 );
                 wf.transfer_bytes(tx, bytes);
-                let lat =
-                    wf.step(ResourceKey::Delay, cost.rpc_overhead, CostClass::Network, &[tx]);
+                let lat = wf.step(
+                    ResourceKey::Delay,
+                    cost.rpc_overhead,
+                    CostClass::Network,
+                    &[tx],
+                );
                 let rx = wf.step(
                     ResourceKey::NicRx(node),
                     cost.wire(bytes),
@@ -408,7 +443,10 @@ impl Store {
     }
 
     /// Reads `len` bytes at `offset`. Transparently reconstructs from
-    /// parity when a hosting node is down (degraded read).
+    /// parity when a hosting node is down, the block is missing (a node
+    /// that revived empty), or its checksum no longer matches (detected
+    /// bit rot) — a degraded read. Corruption is thus never served and
+    /// never fatal while the stripe stays recoverable.
     ///
     /// # Errors
     ///
@@ -416,14 +454,20 @@ impl Store {
     pub fn get(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
         let meta = self.object(name)?;
         if offset + len > meta.size {
-            return Err(StoreError::OutOfRange { offset, len, size: meta.size });
+            return Err(StoreError::OutOfRange {
+                offset,
+                len,
+                size: meta.size,
+            });
         }
         let mut out = Vec::with_capacity(len as usize);
         for frag in meta.locate(offset, len) {
-            match self
-                .blocks
-                .get_range(frag.node, frag.block, frag.offset_in_block as usize, frag.len as usize)
-            {
+            match self.blocks.get_range(
+                frag.node,
+                frag.block,
+                frag.offset_in_block as usize,
+                frag.len as usize,
+            ) {
                 Ok(bytes) => {
                     // A healthy block may still be shorter than the
                     // requested range only through corruption.
@@ -436,7 +480,11 @@ impl Store {
                     }
                     out.extend_from_slice(&bytes);
                 }
-                Err(ClusterError::NodeDown(_)) => {
+                Err(
+                    ClusterError::NodeDown(_)
+                    | ClusterError::NoSuchBlock { .. }
+                    | ClusterError::Corrupt { .. },
+                ) => {
                     // Degraded path: rebuild the bin from the stripe.
                     let (stripe_idx, bin_idx) = self
                         .stripe_of(meta, frag.block)
@@ -452,7 +500,7 @@ impl Store {
         Ok(out)
     }
 
-    fn stripe_of(&self, meta: &ObjectMeta, block: BlockId) -> Option<(usize, usize)> {
+    pub(crate) fn stripe_of(&self, meta: &ObjectMeta, block: BlockId) -> Option<(usize, usize)> {
         for (si, sp) in meta.placement.iter().enumerate() {
             if let Some(bi) = sp.block_ids.iter().position(|&b| b == block) {
                 return Some((si, bi));
@@ -461,20 +509,51 @@ impl Store {
         None
     }
 
+    /// Reads **exactly `k`** surviving shards of a stripe, leaving the
+    /// rest `None` — reading more would waste disk and network on the
+    /// degraded path. Placement stores data shards first (indices
+    /// `0..k`), so the in-order scan prefers data shards, which decode
+    /// without matrix inversion. Unreadable blocks — down node, missing
+    /// block, or CRC mismatch — are simply skipped, so corruption
+    /// degrades into reconstruction instead of wrong bytes.
+    pub(crate) fn read_k_shards(&self, sp: &StripePlacement) -> Vec<Option<Vec<u8>>> {
+        let (n, k) = (self.config.ec.n, self.config.ec.k);
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
+        let mut have = 0usize;
+        for (i, shard) in shards.iter_mut().enumerate() {
+            if have == k {
+                break;
+            }
+            if let Ok(b) = self.blocks.get(sp.nodes[i], sp.block_ids[i]) {
+                *shard = Some(b.to_vec());
+                have += 1;
+            }
+        }
+        shards
+    }
+
+    /// The shard indices [`Store::read_k_shards`] would read for a
+    /// stripe right now (for the time-plane model of a degraded read).
+    pub(crate) fn surviving_k_shards(&self, sp: &StripePlacement) -> Vec<usize> {
+        let (n, k) = (self.config.ec.n, self.config.ec.k);
+        let mut picked = Vec::with_capacity(k);
+        for i in 0..n {
+            if picked.len() == k {
+                break;
+            }
+            if self.blocks.has_block(sp.nodes[i], sp.block_ids[i]) {
+                picked.push(i);
+            }
+        }
+        picked
+    }
+
     /// Reconstructs the full contents of one data bin from surviving
     /// blocks (used by degraded reads and recovery).
     fn reconstruct_bin(&self, meta: &ObjectMeta, stripe: usize, bin: usize) -> Result<Vec<u8>> {
         let sp = &meta.placement[stripe];
         let width = sp.width as usize;
-        let n = self.config.ec.n;
-        let mut shards: Vec<Option<Vec<u8>>> = (0..n)
-            .map(|i| {
-                self.blocks
-                    .get(sp.nodes[i], sp.block_ids[i])
-                    .ok()
-                    .map(|b| b.to_vec())
-            })
-            .collect();
+        let mut shards = self.read_k_shards(sp);
         self.rs.reconstruct(&mut shards, width)?;
         let mut rebuilt = shards[bin].take().expect("reconstructed");
         // Trim back to stored length (implicit padding removed).
@@ -502,8 +581,13 @@ impl Store {
     ///
     /// Unknown node or unrecoverable stripes.
     pub fn recover_node(&mut self, node: usize) -> Result<RecoveryReport> {
-        self.blocks.revive_node(node)?;
-        let mut report = RecoveryReport::default();
+        let blocks_lost = self.blocks.revive_node(node)?;
+        let mut report = RecoveryReport {
+            blocks_lost,
+            ..RecoveryReport::default()
+        };
+        // The node answers RPCs again; stop charging retry penalties.
+        self.flaky.remove(&node);
         let cost = self.config.cluster.cost.clone();
         let mut wf = Workflow::new();
         let names: Vec<String> = self.objects.keys().cloned().collect();
@@ -514,17 +598,9 @@ impl Store {
                     if bnode != node || self.blocks.get(bnode, bid).is_ok() {
                         continue;
                     }
-                    // Rebuild this block from the stripe.
-                    let n = self.config.ec.n;
+                    // Rebuild this block from exactly k surviving shards.
                     let width = sp.width as usize;
-                    let mut shards: Vec<Option<Vec<u8>>> = (0..n)
-                        .map(|i| {
-                            self.blocks
-                                .get(sp.nodes[i], sp.block_ids[i])
-                                .ok()
-                                .map(|b| b.to_vec())
-                        })
-                        .collect();
+                    let mut shards = self.read_k_shards(sp);
                     self.rs.reconstruct(&mut shards, width)?;
                     let mut content = shards[bi].take().expect("reconstructed");
                     // Data bins are stored unpadded; parity at full width.
@@ -593,10 +669,46 @@ impl Store {
             }
         }
         if !wf.is_empty() {
-            let run = Engine::new(self.config.cluster.clone()).run_closed_loop(vec![vec![wf]]);
+            let run = Engine::new(self.config.cluster.clone())
+                .with_slowdowns(self.slowdowns.clone())
+                .run_closed_loop(vec![vec![wf]]);
             report.simulated_latency = run.stats[0].latency;
         }
         Ok(report)
+    }
+
+    /// Advances a fault injector to virtual time `to` against this
+    /// store's data plane, then mirrors the injector's straggler and
+    /// flaky-node state so subsequent queries and repairs model
+    /// slowdowns and retry penalties. Returns what fired.
+    pub fn apply_faults(&mut self, inj: &mut FaultInjector, to: Nanos) -> Vec<AppliedFault> {
+        let applied = inj.advance(to, &mut self.blocks);
+        self.slowdowns = inj.slowdowns();
+        self.flaky = inj.flaky_nodes();
+        applied
+    }
+
+    /// Current straggler multipliers (node → factor > 1.0).
+    pub fn slowdowns(&self) -> &HashMap<usize, f64> {
+        &self.slowdowns
+    }
+
+    /// How many RPC attempts to `node` time out before one succeeds
+    /// (non-zero only for recently revived nodes).
+    pub fn flaky_attempts(&self, node: usize) -> u32 {
+        self.flaky.get(&node).copied().unwrap_or(0)
+    }
+
+    /// The retry-policy delay charged ahead of any step on `node`
+    /// (zero for healthy nodes).
+    pub fn retry_penalty(&self, node: usize) -> Nanos {
+        self.config.cluster.retry.penalty(self.flaky_attempts(node))
+    }
+
+    /// Marks every node healthy for retry accounting (e.g. after a
+    /// health-check sweep confirmed revived nodes).
+    pub fn clear_flaky(&mut self) {
+        self.flaky.clear();
     }
 
     /// Reads the full raw bytes of one column chunk (reassembling
@@ -609,7 +721,9 @@ impl Store {
         let meta = self.object(name)?;
         let frags = meta.chunk_fragments(ordinal);
         if frags.is_empty() {
-            return Err(StoreError::Internal(format!("no such chunk ordinal {ordinal}")));
+            return Err(StoreError::Internal(format!(
+                "no such chunk ordinal {ordinal}"
+            )));
         }
         let start = frags[0].object_offset;
         let len: u64 = frags.iter().map(|f| f.len).sum();
@@ -640,7 +754,13 @@ mod tests {
             ],
         )
         .unwrap();
-        write_table(&table, WriteOptions { rows_per_group: per_group }).unwrap()
+        write_table(
+            &table,
+            WriteOptions {
+                rows_per_group: per_group,
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -657,7 +777,11 @@ mod tests {
         assert!(report.overhead_vs_optimal <= store.config().overhead_threshold + 1e-9);
         let meta = store.object("obj").unwrap();
         for c in 0..meta.num_chunks() {
-            assert_eq!(meta.chunk_fragments(c).len(), 1, "FAC must not split chunk {c}");
+            assert_eq!(
+                meta.chunk_fragments(c).len(),
+                1,
+                "FAC must not split chunk {c}"
+            );
         }
         assert_eq!(store.get("obj", 0, bytes.len() as u64).unwrap(), bytes);
         // Ranged read.
@@ -746,6 +870,64 @@ mod tests {
     }
 
     #[test]
+    fn degraded_read_touches_exactly_k_shards() {
+        let bytes = analytics_bytes(2000, 500);
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        store.put("obj", bytes.clone()).unwrap();
+        // Fail the node holding the first data block, so a 1-byte read
+        // at offset 0 must reconstruct.
+        let dead = store.object("obj").unwrap().node_of(0, 0);
+        store.fail_node(dead).unwrap();
+        let before = store.blocks().reads();
+        assert_eq!(store.get("obj", 0, 1).unwrap(), bytes[..1].to_vec());
+        let read = store.blocks().reads() - before;
+        assert_eq!(
+            read,
+            store.config().ec.k as u64,
+            "degraded read must touch exactly k surviving shards"
+        );
+    }
+
+    #[test]
+    fn shard_selection_prefers_data_shards() {
+        let bytes = analytics_bytes(2000, 500);
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        store.put("obj", bytes).unwrap();
+        let (k, n) = (store.config().ec.k, store.config().ec.n);
+        // Healthy stripe: the selection is exactly the data shards.
+        let sp = store.object("obj").unwrap().placement[0].clone();
+        assert_eq!(store.surviving_k_shards(&sp), (0..k).collect::<Vec<_>>());
+        // Losing one data shard pulls in exactly one parity shard.
+        store.fail_node(sp.nodes[1]).unwrap();
+        let picked = store.surviving_k_shards(&sp);
+        assert_eq!(picked.len(), k);
+        assert!(!picked.contains(&1));
+        assert_eq!(picked.iter().filter(|&&i| i >= k).count(), 1);
+        let _ = n;
+    }
+
+    #[test]
+    fn fail_revive_recover_roundtrip() {
+        let bytes = analytics_bytes(4000, 800);
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        store.put("obj", bytes.clone()).unwrap();
+        let node = store.object("obj").unwrap().placement[0].nodes[0];
+        let held = store.blocks().blocks_on(node).len();
+        assert!(held > 0);
+        store.fail_node(node).unwrap();
+        // Crash-stop: the blocks are gone, and recovery must both report
+        // the loss and rebuild every one of them.
+        let report = store.recover_node(node).unwrap();
+        assert_eq!(report.blocks_lost, held);
+        assert!(report.stripes_repaired > 0);
+        assert_eq!(store.get("obj", 0, bytes.len() as u64).unwrap(), bytes);
+        // A second recovery has nothing left to report.
+        let again = store.recover_node(node).unwrap();
+        assert_eq!(again.blocks_lost, 0);
+        assert_eq!(again.stripes_repaired, 0);
+    }
+
+    #[test]
     fn recovery_restores_blocks() {
         let bytes = analytics_bytes(4000, 800);
         let mut store = Store::new(StoreConfig::fusion()).unwrap();
@@ -761,7 +943,10 @@ mod tests {
         let meta = store.object("obj").unwrap();
         for sp in &meta.placement {
             for (&n, &b) in sp.nodes.iter().zip(&sp.block_ids) {
-                assert!(store.blocks().get(n, b).is_ok(), "block {b} missing after recovery");
+                assert!(
+                    store.blocks().get(n, b).is_ok(),
+                    "block {b} missing after recovery"
+                );
             }
         }
     }

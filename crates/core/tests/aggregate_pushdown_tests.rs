@@ -15,16 +15,30 @@ fn table(rows: usize) -> Table {
     Table::new(
         schema,
         vec![
-            ColumnData::Int64((0..rows as i64).map(|i| i.wrapping_mul(48_271) % 10_000).collect()),
+            ColumnData::Int64(
+                (0..rows as i64)
+                    .map(|i| i.wrapping_mul(48_271) % 10_000)
+                    .collect(),
+            ),
             ColumnData::Float64((0..rows).map(|i| (i % 977) as f64 * 1.5 + 0.25).collect()),
-            ColumnData::Utf8((0..rows).map(|i| ["a", "b", "c", "d"][i % 4].into()).collect()),
+            ColumnData::Utf8(
+                (0..rows)
+                    .map(|i| ["a", "b", "c", "d"][i % 4].into())
+                    .collect(),
+            ),
         ],
     )
     .unwrap()
 }
 
 fn store(agg_pd: bool, mode: QueryMode) -> Store {
-    let bytes = write_table(&table(4000), WriteOptions { rows_per_group: 800 }).unwrap();
+    let bytes = write_table(
+        &table(4000),
+        WriteOptions {
+            rows_per_group: 800,
+        },
+    )
+    .unwrap();
     let mut cfg = StoreConfig::fusion().with_aggregate_pushdown(agg_pd);
     cfg.query_mode = mode;
     cfg.overhead_threshold = 0.9;
@@ -45,9 +59,7 @@ const AGG_QUERIES: &[&str] = &[
 
 fn values_close(a: &Value, b: &Value) -> bool {
     match (a, b) {
-        (Value::Float(x), Value::Float(y)) => {
-            (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()))
-        }
+        (Value::Float(x), Value::Float(y)) => (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
         _ => a == b,
     }
 }
@@ -62,7 +74,11 @@ fn pushed_aggregates_match_coordinator_aggregates() {
         let b = without.query(sql).expect(sql);
         let c = baseline.query(sql).expect(sql);
         assert_eq!(a.result.row_count, b.result.row_count, "{sql}");
-        assert_eq!(a.result.aggregates.len(), b.result.aggregates.len(), "{sql}");
+        assert_eq!(
+            a.result.aggregates.len(),
+            b.result.aggregates.len(),
+            "{sql}"
+        );
         for (i, (label, v)) in a.result.aggregates.iter().enumerate() {
             assert_eq!(label, &b.result.aggregates[i].0, "{sql}");
             // Float sums may differ in grouping order only.
@@ -127,7 +143,9 @@ fn zero_match_aggregates_fall_back() {
 #[test]
 fn decisions_report_pushed_aggregates() {
     let with = store(true, QueryMode::AdaptivePushdown);
-    let out = with.query("SELECT avg(price) FROM t WHERE k < 5000").unwrap();
+    let out = with
+        .query("SELECT avg(price) FROM t WHERE k < 5000")
+        .unwrap();
     assert!(!out.decisions.is_empty());
     assert!(out.decisions.iter().all(|d| d.pushed_down));
     // Partials are tiny relative to chunks.

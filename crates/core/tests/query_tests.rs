@@ -17,7 +17,11 @@ fn test_table(rows: usize) -> Table {
     Table::new(
         schema,
         vec![
-            ColumnData::Int64((0..rows as i64).map(|i| i.wrapping_mul(2_654_435_761)).collect()),
+            ColumnData::Int64(
+                (0..rows as i64)
+                    .map(|i| i.wrapping_mul(2_654_435_761))
+                    .collect(),
+            ),
             ColumnData::Float64((0..rows).map(|i| (i % 1000) as f64 + 0.25).collect()),
             ColumnData::Utf8((0..rows).map(|i| ["N", "O", "F"][i % 3].into()).collect()),
             ColumnData::Int64((0..rows).map(|i| 9_000 + (i % 2500) as i64).collect()),
@@ -27,16 +31,22 @@ fn test_table(rows: usize) -> Table {
 }
 
 fn store_with(mode: QueryMode, table: &Table, per_group: usize) -> Store {
-    let bytes = write_table(table, WriteOptions { rows_per_group: per_group }).unwrap();
+    let bytes = write_table(
+        table,
+        WriteOptions {
+            rows_per_group: per_group,
+        },
+    )
+    .unwrap();
     let mut cfg = match mode {
         QueryMode::Reassemble => StoreConfig::baseline().with_block_size(16 << 10),
         _ => StoreConfig::fusion(),
     };
     cfg.query_mode = mode;
     cfg.overhead_threshold = 0.9; // small test files have few chunks
-    // Scale the cost model as the bench harness does: these tables are
-    // ~1000x smaller than production files, so throughput rates shrink to
-    // keep fixed costs (RPC, disk access) in proportion.
+                                  // Scale the cost model as the bench harness does: these tables are
+                                  // ~1000x smaller than production files, so throughput rates shrink to
+                                  // keep fixed costs (RPC, disk access) in proportion.
     cfg.cluster.cost = cfg.cluster.cost.clone().scaled_down(1000.0);
     let mut store = Store::new(cfg).unwrap();
     store.put("t", bytes).unwrap();
@@ -75,10 +85,16 @@ fn fusion_and_baseline_agree_on_all_queries() {
 fn results_match_brute_force() {
     let table = test_table(2000);
     let store = store_with(QueryMode::AdaptivePushdown, &table, 512);
-    let out = store.query("SELECT amount FROM t WHERE flag = 'O'").unwrap();
+    let out = store
+        .query("SELECT amount FROM t WHERE flag = 'O'")
+        .unwrap();
     // Brute force over the in-memory table.
     let flags = table.column_by_name("flag").unwrap().as_utf8().unwrap();
-    let amounts = table.column_by_name("amount").unwrap().as_float64().unwrap();
+    let amounts = table
+        .column_by_name("amount")
+        .unwrap()
+        .as_float64()
+        .unwrap();
     let expect: Vec<f64> = flags
         .iter()
         .zip(amounts)
@@ -96,9 +112,16 @@ fn aggregates_match_brute_force() {
     let out = store
         .query("SELECT count(*), avg(amount) FROM t WHERE amount < 100.0")
         .unwrap();
-    let amounts = table.column_by_name("amount").unwrap().as_float64().unwrap();
+    let amounts = table
+        .column_by_name("amount")
+        .unwrap()
+        .as_float64()
+        .unwrap();
     let selected: Vec<f64> = amounts.iter().copied().filter(|&a| a < 100.0).collect();
-    assert_eq!(out.result.aggregates[0].1, Value::Int(selected.len() as i64));
+    assert_eq!(
+        out.result.aggregates[0].1,
+        Value::Int(selected.len() as i64)
+    );
     match out.result.aggregates[1].1 {
         Value::Float(avg) => {
             let expect = selected.iter().sum::<f64>() / selected.len() as f64;
@@ -112,9 +135,13 @@ fn aggregates_match_brute_force() {
 fn selectivity_is_exact() {
     let table = test_table(3000);
     let store = store_with(QueryMode::AdaptivePushdown, &table, 750);
-    let out = store.query("SELECT orderkey FROM t WHERE flag = 'N'").unwrap();
+    let out = store
+        .query("SELECT orderkey FROM t WHERE flag = 'N'")
+        .unwrap();
     assert!((out.selectivity - 1.0 / 3.0).abs() < 0.01);
-    let out = store.query("SELECT orderkey FROM t WHERE flag = 'Z'").unwrap();
+    let out = store
+        .query("SELECT orderkey FROM t WHERE flag = 'Z'")
+        .unwrap();
     assert_eq!(out.selectivity, 0.0);
     assert_eq!(out.result.row_count, 0);
 }
@@ -136,16 +163,26 @@ fn cost_equation_disables_pushdown_for_compressed_high_selectivity() {
     assert!(!flag_decisions.is_empty());
     for d in &flag_decisions {
         assert!(d.cost_product > 1.0, "product {}", d.cost_product);
-        assert!(!d.pushed_down, "chunk rg={} should not be pushed", d.row_group);
+        assert!(
+            !d.pushed_down,
+            "chunk rg={} should not be pushed",
+            d.row_group
+        );
     }
 
     // orderkey is nearly incompressible: with ~1/3 selectivity the
     // product stays < 1 and pushdown stays on.
-    let out = store.query("SELECT orderkey FROM t WHERE flag = 'N'").unwrap();
+    let out = store
+        .query("SELECT orderkey FROM t WHERE flag = 'N'")
+        .unwrap();
     let ok_decisions: Vec<_> = out.decisions.iter().filter(|d| d.column == 0).collect();
     assert!(!ok_decisions.is_empty());
     for d in &ok_decisions {
-        assert!(d.pushed_down, "orderkey rg={} should be pushed", d.row_group);
+        assert!(
+            d.pushed_down,
+            "orderkey rg={} should be pushed",
+            d.row_group
+        );
     }
 }
 
@@ -186,7 +223,11 @@ fn footer_pruning_skips_chunks() {
         .unwrap();
     assert!(out.pruned_chunks > 0, "expected pruned chunks");
     // And the result is still correct.
-    let dates = table.column_by_name("shipdate").unwrap().as_int64().unwrap();
+    let dates = table
+        .column_by_name("shipdate")
+        .unwrap()
+        .as_int64()
+        .unwrap();
     let cutoff = fusion_sql::date::parse_date("1994-09-01").unwrap();
     let expect = dates.iter().filter(|&&d| d < cutoff).count();
     assert_eq!(out.result.row_count, expect);
@@ -216,7 +257,9 @@ fn query_errors() {
     assert!(store.query("SELECT ghost FROM t").is_err());
     assert!(store.query("SELECT orderkey FROM missing").is_err());
     assert!(store.query("not sql at all").is_err());
-    assert!(store.query("SELECT orderkey FROM t WHERE flag < 5").is_err());
+    assert!(store
+        .query("SELECT orderkey FROM t WHERE flag < 5")
+        .is_err());
 }
 
 #[test]
@@ -224,15 +267,25 @@ fn queries_after_failure_and_recovery() {
     let table = test_table(2000);
     let mut cfg = StoreConfig::fusion();
     cfg.overhead_threshold = 0.9;
-    let bytes = write_table(&table, WriteOptions { rows_per_group: 500 }).unwrap();
+    let bytes = write_table(
+        &table,
+        WriteOptions {
+            rows_per_group: 500,
+        },
+    )
+    .unwrap();
     let mut store = Store::new(cfg).unwrap();
     store.put("t", bytes).unwrap();
-    let before = store.query("SELECT count(*) FROM t WHERE flag = 'O'").unwrap();
+    let before = store
+        .query("SELECT count(*) FROM t WHERE flag = 'O'")
+        .unwrap();
 
     // Fail a node, recover it, and get identical answers.
     store.fail_node(3).unwrap();
     store.recover_node(3).unwrap();
-    let after = store.query("SELECT count(*) FROM t WHERE flag = 'O'").unwrap();
+    let after = store
+        .query("SELECT count(*) FROM t WHERE flag = 'O'")
+        .unwrap();
     assert_eq!(before.result, after.result);
 }
 
@@ -264,24 +317,44 @@ fn limit_edge_cases() {
     let table = test_table(1000);
     let store = store_with(QueryMode::AdaptivePushdown, &table, 250);
     // LIMIT larger than the match count is a no-op.
-    let a = store.query("SELECT orderkey FROM t WHERE flag = 'O' LIMIT 100000").unwrap();
-    let b = store.query("SELECT orderkey FROM t WHERE flag = 'O'").unwrap();
+    let a = store
+        .query("SELECT orderkey FROM t WHERE flag = 'O' LIMIT 100000")
+        .unwrap();
+    let b = store
+        .query("SELECT orderkey FROM t WHERE flag = 'O'")
+        .unwrap();
     assert_eq!(a.result, b.result);
     // LIMIT 0 returns no rows.
     let z = store.query("SELECT orderkey FROM t LIMIT 0").unwrap();
     assert_eq!(z.result.row_count, 0);
     assert!(z.result.columns[0].1.is_empty());
     // Aggregates summarize all matches regardless of LIMIT.
-    let c = store.query("SELECT count(*) FROM t WHERE flag = 'O' LIMIT 1").unwrap();
-    assert_eq!(c.result.aggregates[0].1, b.result.aggregates.first().map_or(
-        Value::Int(b.result.row_count as i64), |x| x.1.clone()));
+    let c = store
+        .query("SELECT count(*) FROM t WHERE flag = 'O' LIMIT 1")
+        .unwrap();
+    assert_eq!(
+        c.result.aggregates[0].1,
+        b.result
+            .aggregates
+            .first()
+            .map_or(Value::Int(b.result.row_count as i64), |x| x.1.clone())
+    );
 }
 
 #[test]
 fn limit_reduces_transfers() {
     let table = test_table(6000);
     let store = store_with(QueryMode::AdaptivePushdown, &table, 1000);
-    let small = store.query("SELECT orderkey FROM t WHERE amount >= 0.0 LIMIT 5").unwrap();
-    let full = store.query("SELECT orderkey FROM t WHERE amount >= 0.0").unwrap();
-    assert!(small.net_bytes < full.net_bytes, "{} vs {}", small.net_bytes, full.net_bytes);
+    let small = store
+        .query("SELECT orderkey FROM t WHERE amount >= 0.0 LIMIT 5")
+        .unwrap();
+    let full = store
+        .query("SELECT orderkey FROM t WHERE amount >= 0.0")
+        .unwrap();
+    assert!(
+        small.net_bytes < full.net_bytes,
+        "{} vs {}",
+        small.net_bytes,
+        full.net_bytes
+    );
 }

@@ -2,6 +2,8 @@
 //! through put/get under every layout policy, survive any tolerable
 //! failure pattern, and give identical query answers across executors.
 
+use fusion_cluster::fault::{AppliedFault, FaultInjector, FaultKind, FaultSchedule};
+use fusion_cluster::time::Nanos;
 use fusion_core::config::{LayoutPolicy, QueryMode, StoreConfig};
 use fusion_core::store::Store;
 use fusion_format::prelude::*;
@@ -24,9 +26,7 @@ fn arb_table() -> impl Strategy<Value = Table> {
                     schema,
                     vec![
                         ColumnData::Int64(ints),
-                        ColumnData::Utf8(
-                            tags.into_iter().map(|t| format!("t{t}")).collect(),
-                        ),
+                        ColumnData::Utf8(tags.into_iter().map(|t| format!("t{t}")).collect()),
                         ColumnData::Float64(floats),
                     ],
                 )
@@ -121,6 +121,119 @@ proptest! {
         let ns = table.column_by_name("n").unwrap().as_int64().unwrap();
         let expect = ns.iter().filter(|&&v| v < cutoff).count();
         prop_assert_eq!(a.result.row_count, expect);
+    }
+
+    #[test]
+    fn seeded_fault_lifecycle_preserves_data(
+        table in arb_table(),
+        fault_seed: u64,
+        seed: u64,
+    ) {
+        let bytes = write_table(&table, WriteOptions { rows_per_group: 64 }).unwrap();
+        let mut store = mk_store(LayoutPolicy::Fac, QueryMode::AdaptivePushdown, seed);
+        store.put("o", bytes.clone()).unwrap();
+
+        let horizon = Nanos::from_micros(10_000);
+        let mut inj = FaultInjector::from_seed(fault_seed, 9, 3, horizon);
+        // Step through every fault and scheduled-revival instant so the
+        // prompt repair below keeps cumulative block loss within the
+        // m = 3 shards RS(9,6) tolerates.
+        let mut times: Vec<Nanos> = Vec::new();
+        for ev in inj.schedule().events() {
+            times.push(ev.at);
+            if let FaultKind::Transient { down_for } = ev.kind {
+                times.push(ev.at + down_for);
+            }
+        }
+        times.sort_unstable();
+        times.dedup();
+
+        let mut corrupt = std::collections::HashSet::new();
+        let mut pending: Vec<usize> = Vec::new();
+        for &t in &times {
+            for f in store.apply_faults(&mut inj, t) {
+                match f {
+                    AppliedFault::Revived { node, .. } => pending.push(node),
+                    AppliedFault::Corrupted { node, block, .. } => {
+                        corrupt.insert((node, block));
+                    }
+                    // A crash wipes the node, rot included.
+                    AppliedFault::Crashed { node, .. } => corrupt.retain(|&(n, _)| n != node),
+                    AppliedFault::Slowed { .. } => {}
+                }
+            }
+            // Prompt repair: rebuild every node that came back empty.
+            pending.retain(|&n| store.recover_node(n).is_err());
+            let down = (0..9).filter(|&n| !store.blocks().is_alive(n)).count();
+            // Scrub the rot away once no stripe is degraded (scrub leaves
+            // degraded stripes for recover_node).
+            if !corrupt.is_empty() && down == 0 && pending.is_empty() {
+                store.scrub();
+                corrupt.clear();
+            }
+            // Whenever cumulative loss is within tolerance the object
+            // must read back byte-identical, degraded or not.
+            if down + pending.len() + corrupt.len() <= 3 {
+                prop_assert_eq!(&store.get("o", 0, bytes.len() as u64).unwrap(), &bytes);
+            }
+        }
+        prop_assert!(inj.exhausted());
+        pending.retain(|&n| store.recover_node(n).is_err());
+        prop_assert!(pending.is_empty());
+        store.scrub();
+        let r = store.scrub();
+        prop_assert!(r.is_clean());
+        prop_assert_eq!(r.stripes_degraded, 0);
+        prop_assert_eq!(&store.get("o", 0, bytes.len() as u64).unwrap(), &bytes);
+    }
+
+    #[test]
+    fn degraded_executors_agree_with_healthy(
+        table in arb_table(),
+        failures in prop::collection::btree_set(0usize..9, 1..=3),
+        nth in 0usize..64,
+        cutoff in -1000i64..1000,
+        seed: u64,
+    ) {
+        let bytes = write_table(&table, WriteOptions { rows_per_group: 64 }).unwrap();
+        let sql = format!("SELECT n, tag FROM o WHERE n < {cutoff}");
+        let mut healthy = mk_store(LayoutPolicy::Fac, QueryMode::AdaptivePushdown, seed);
+        healthy.put("o", bytes.clone()).unwrap();
+        let want = healthy.query(&sql).unwrap().result;
+
+        // Crash up to m nodes; add one silent corruption on a survivor
+        // when there is loss budget left (every stripe spans all nine
+        // nodes, so a corrupt block on top of three down nodes would
+        // exceed what RS(9,6) can rebuild).
+        let mut schedule = FaultSchedule::new();
+        for (i, &n) in failures.iter().enumerate() {
+            schedule = schedule.crash(Nanos(10 + i as u64), n);
+        }
+        if failures.len() < 3 {
+            let survivor = (0..9).find(|n| !failures.contains(n)).expect("nodes left");
+            schedule = schedule.corrupt(Nanos(100), survivor, nth);
+        }
+
+        for (layout, mode) in [
+            (LayoutPolicy::Fac, QueryMode::AdaptivePushdown),
+            (LayoutPolicy::Fixed, QueryMode::Reassemble),
+        ] {
+            let mut store = mk_store(layout, mode, seed);
+            store.put("o", bytes.clone()).unwrap();
+            let mut inj = FaultInjector::new(schedule.clone());
+            store.apply_faults(&mut inj, Nanos(1_000));
+            // Degraded reads and queries stay byte-identical to healthy.
+            prop_assert_eq!(&store.get("o", 0, bytes.len() as u64).unwrap(), &bytes);
+            prop_assert_eq!(&store.query(&sql).unwrap().result, &want);
+            // Repair: revive + rebuild the crashed nodes, scrub the rot.
+            for &n in &failures {
+                store.recover_node(n).unwrap();
+            }
+            let r = store.scrub();
+            prop_assert!(r.is_clean());
+            prop_assert_eq!(r.stripes_degraded, 0);
+            prop_assert_eq!(&store.get("o", 0, bytes.len() as u64).unwrap(), &bytes);
+        }
     }
 
     #[test]

@@ -316,10 +316,22 @@ mod tests {
 
     #[test]
     fn bad_params_rejected() {
-        assert_eq!(ReedSolomon::new(9, 0).unwrap_err(), CodeParamsError::ZeroDataBlocks);
-        assert_eq!(ReedSolomon::new(6, 6).unwrap_err(), CodeParamsError::NoParityBlocks);
-        assert_eq!(ReedSolomon::new(5, 6).unwrap_err(), CodeParamsError::NoParityBlocks);
-        assert_eq!(ReedSolomon::new(257, 6).unwrap_err(), CodeParamsError::TooManyBlocks);
+        assert_eq!(
+            ReedSolomon::new(9, 0).unwrap_err(),
+            CodeParamsError::ZeroDataBlocks
+        );
+        assert_eq!(
+            ReedSolomon::new(6, 6).unwrap_err(),
+            CodeParamsError::NoParityBlocks
+        );
+        assert_eq!(
+            ReedSolomon::new(5, 6).unwrap_err(),
+            CodeParamsError::NoParityBlocks
+        );
+        assert_eq!(
+            ReedSolomon::new(257, 6).unwrap_err(),
+            CodeParamsError::TooManyBlocks
+        );
         assert!(ReedSolomon::new(9, 6).is_ok());
     }
 
@@ -362,8 +374,7 @@ mod tests {
         for a in 0..9 {
             for b in (a + 1)..9 {
                 for c in (b + 1)..9 {
-                    let mut shards: Vec<Option<Vec<u8>>> =
-                        full.iter().cloned().map(Some).collect();
+                    let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
                     shards[a] = None;
                     shards[b] = None;
                     shards[c] = None;
@@ -381,8 +392,11 @@ mod tests {
         let rs = ReedSolomon::new(9, 6).unwrap();
         let data = sample_data(6, 16, 0);
         let parity = rs.encode(&data);
-        let mut shards: Vec<Option<Vec<u8>>> =
-            data.into_iter().map(Some).chain(parity.into_iter().map(Some)).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .into_iter()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
         for s in shards.iter_mut().take(4) {
             *s = None;
         }

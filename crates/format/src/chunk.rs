@@ -141,9 +141,16 @@ fn read_page<'a>(c: &mut Cursor<'a>) -> Result<Page<'a>> {
     if crc32(bytes) != crc {
         // Row group / column filled in by the caller's context; chunk-level
         // decode doesn't know them, so report 0/0 here.
-        return Err(FormatError::ChecksumMismatch { row_group: 0, column: 0 });
+        return Err(FormatError::ChecksumMismatch {
+            row_group: 0,
+            column: 0,
+        });
     }
-    Ok(Page { bytes, uncompressed_len: ulen, count })
+    Ok(Page {
+        bytes,
+        uncompressed_len: ulen,
+        count,
+    })
 }
 
 fn physical(ty: LogicalType) -> plain::PhysicalType {
@@ -214,7 +221,6 @@ pub fn chunk_layout(bytes: &[u8]) -> Result<(Encoding, usize)> {
     Ok((enc, bytes.len()))
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,7 +234,11 @@ mod tests {
         );
         let (bytes, stats) = encode_column_chunk(&col);
         assert_eq!(stats.encoding, Encoding::Dictionary);
-        assert!(stats.compressibility() > 5.0, "got {}", stats.compressibility());
+        assert!(
+            stats.compressibility() > 5.0,
+            "got {}",
+            stats.compressibility()
+        );
         assert_eq!(decode_column_chunk(&bytes, LogicalType::Utf8).unwrap(), col);
     }
 
@@ -247,14 +257,20 @@ mod tests {
         assert_eq!(stats.min, Some(Value::Int(0)));
         assert_eq!(stats.max, Some(Value::Int(6)));
         assert_eq!(stats.plain_size, 8000);
-        assert_eq!(decode_column_chunk(&bytes, LogicalType::Int64).unwrap(), col);
+        assert_eq!(
+            decode_column_chunk(&bytes, LogicalType::Int64).unwrap(),
+            col
+        );
     }
 
     #[test]
     fn float_roundtrip() {
         let col = ColumnData::Float64((0..500).map(|i| (i as f64) * 0.01).collect());
         let (bytes, _) = encode_column_chunk(&col);
-        assert_eq!(decode_column_chunk(&bytes, LogicalType::Float64).unwrap(), col);
+        assert_eq!(
+            decode_column_chunk(&bytes, LogicalType::Float64).unwrap(),
+            col
+        );
     }
 
     #[test]
@@ -270,7 +286,10 @@ mod tests {
         let (bytes, stats) = encode_column_chunk(&col);
         assert_eq!(stats.value_count, 0);
         assert_eq!(stats.min, None);
-        assert_eq!(decode_column_chunk(&bytes, LogicalType::Int64).unwrap(), col);
+        assert_eq!(
+            decode_column_chunk(&bytes, LogicalType::Int64).unwrap(),
+            col
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@ fn split_record(line: &str) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(FormatError::Corrupt("unterminated quote in csv record".into()));
+        return Err(FormatError::Corrupt(
+            "unterminated quote in csv record".into(),
+        ));
     }
     fields.push(cur);
     Ok(fields)
@@ -221,7 +223,8 @@ mod tests {
     use super::*;
     use crate::value::Value;
 
-    const SAMPLE: &str = "name,age,height,joined\nAlice,34,1.70,2020-01-15\n\"Bob, Jr.\",28,1.85,2021-06-01\n";
+    const SAMPLE: &str =
+        "name,age,height,joined\nAlice,34,1.70,2020-01-15\n\"Bob, Jr.\",28,1.85,2021-06-01\n";
 
     #[test]
     fn declared_schema_parse() {
@@ -244,7 +247,12 @@ mod tests {
         let types: Vec<LogicalType> = schema.fields().iter().map(|f| f.ty).collect();
         assert_eq!(
             types,
-            vec![LogicalType::Utf8, LogicalType::Int64, LogicalType::Float64, LogicalType::Date]
+            vec![
+                LogicalType::Utf8,
+                LogicalType::Int64,
+                LogicalType::Float64,
+                LogicalType::Date
+            ]
         );
         let t = import_csv(SAMPLE).unwrap();
         assert_eq!(t.num_rows(), 2);
@@ -266,7 +274,11 @@ mod tests {
         assert!(parse_csv("y\n1\n", &schema).is_err()); // wrong header
         assert!(parse_csv("x\n1,2\n", &schema).is_err()); // ragged
         assert!(parse_csv("x\nnope\n", &schema).is_err()); // bad int
-        assert!(parse_csv("x\n2020-13-01\n", &Schema::new(vec![Field::new("x", LogicalType::Date)])).is_err());
+        assert!(parse_csv(
+            "x\n2020-13-01\n",
+            &Schema::new(vec![Field::new("x", LogicalType::Date)])
+        )
+        .is_err());
     }
 
     #[test]

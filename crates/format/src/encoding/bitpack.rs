@@ -21,7 +21,11 @@ pub fn pack(values: &[u32], width: u32, out: &mut Vec<u8>) {
         debug_assert!(values.iter().all(|&v| v == 0));
         return;
     }
-    let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
     let mut acc: u64 = 0;
     let mut bits: u32 = 0;
     for &v in values {
@@ -53,7 +57,11 @@ pub fn unpack(input: &[u8], width: u32, count: usize) -> Result<Vec<u32>> {
     if input.len() < needed {
         return Err(FormatError::Truncated);
     }
-    let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
     let mut out = Vec::with_capacity(count);
     let mut acc: u64 = 0;
     let mut bits: u32 = 0;
@@ -107,7 +115,11 @@ mod tests {
             let mut buf = Vec::new();
             pack(&values, width, &mut buf);
             assert_eq!(buf.len(), packed_len(width, values.len()));
-            assert_eq!(unpack(&buf, width, values.len()).unwrap(), values, "width {width}");
+            assert_eq!(
+                unpack(&buf, width, values.len()).unwrap(),
+                values,
+                "width {width}"
+            );
         }
     }
 

@@ -116,9 +116,7 @@ pub fn decode(dictionary: &ColumnData, index_bytes: &[u8], count: usize) -> Resu
         )));
     }
     Ok(match dictionary {
-        ColumnData::Int64(d) => {
-            ColumnData::Int64(indices.iter().map(|&i| d[i as usize]).collect())
-        }
+        ColumnData::Int64(d) => ColumnData::Int64(indices.iter().map(|&i| d[i as usize]).collect()),
         ColumnData::Float64(d) => {
             ColumnData::Float64(indices.iter().map(|&i| d[i as usize]).collect())
         }

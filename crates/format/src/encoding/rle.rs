@@ -83,7 +83,9 @@ pub fn decode(input: &[u8], count: usize) -> Result<Vec<u32>> {
         } else {
             let n = (h >> 1) as usize;
             if out.len() + n > count {
-                return Err(FormatError::Corrupt("literal run overflows value count".into()));
+                return Err(FormatError::Corrupt(
+                    "literal run overflows value count".into(),
+                ));
             }
             let bytes = bitpack::packed_len(width, n);
             let raw = c.bytes(bytes)?;

@@ -40,7 +40,10 @@ impl std::fmt::Display for FormatError {
             FormatError::BadMagic => write!(f, "bad magic: not a fusion analytics file"),
             FormatError::Corrupt(why) => write!(f, "corrupt file: {why}"),
             FormatError::ChecksumMismatch { row_group, column } => {
-                write!(f, "checksum mismatch in row group {row_group}, column {column}")
+                write!(
+                    f,
+                    "checksum mismatch in row group {row_group}, column {column}"
+                )
             }
             FormatError::Decompress(e) => write!(f, "page decompression failed: {e}"),
             FormatError::NoSuchColumn(name) => write!(f, "no such column: {name}"),

@@ -87,7 +87,10 @@ impl FileMeta {
     /// Iterates `(row_group, column, &ChunkMeta)` in file order.
     pub fn chunks(&self) -> impl Iterator<Item = (usize, usize, &ChunkMeta)> {
         self.row_groups.iter().enumerate().flat_map(|(rg, g)| {
-            g.chunks.iter().enumerate().map(move |(col, c)| (rg, col, c))
+            g.chunks
+                .iter()
+                .enumerate()
+                .map(move |(col, c)| (rg, col, c))
         })
     }
 
@@ -350,7 +353,10 @@ mod tests {
 
     #[test]
     fn truncated_footer() {
-        assert_eq!(parse_footer(&[1, 2, 3]).unwrap_err(), FormatError::Truncated);
+        assert_eq!(
+            parse_footer(&[1, 2, 3]).unwrap_err(),
+            FormatError::Truncated
+        );
         let mut file = vec![0u8; 4];
         file.extend_from_slice(&999u32.to_le_bytes());
         file.extend_from_slice(MAGIC);

@@ -170,11 +170,21 @@ mod tests {
             vec![
                 ColumnData::Int64((0..rows as i64).collect()),
                 ColumnData::Float64((0..rows).map(|i| i as f64 * 0.5).collect()),
-                ColumnData::Utf8((0..rows).map(|i| ["AIR", "SHIP", "RAIL"][i % 3].into()).collect()),
+                ColumnData::Utf8(
+                    (0..rows)
+                        .map(|i| ["AIR", "SHIP", "RAIL"][i % 3].into())
+                        .collect(),
+                ),
             ],
         )
         .unwrap();
-        let bytes = write_table(&table, WriteOptions { rows_per_group: per_group }).unwrap();
+        let bytes = write_table(
+            &table,
+            WriteOptions {
+                rows_per_group: per_group,
+            },
+        )
+        .unwrap();
         (table, bytes)
     }
 
@@ -216,8 +226,13 @@ mod tests {
         let reader = FileReader::open(&bytes).unwrap();
         let err = reader.read_chunk(0, 0).unwrap_err();
         assert!(
-            matches!(err, FormatError::ChecksumMismatch { row_group: 0, column: 0 })
-                || matches!(err, FormatError::Corrupt(_))
+            matches!(
+                err,
+                FormatError::ChecksumMismatch {
+                    row_group: 0,
+                    column: 0
+                }
+            ) || matches!(err, FormatError::Corrupt(_))
                 || matches!(err, FormatError::Decompress(_)),
             "unexpected error {err:?}"
         );
@@ -231,10 +246,12 @@ mod tests {
         let footer_len = bytes.len() - meta.data_len() as usize;
         let mut chopped = bytes[meta.data_len() as usize..].to_vec();
         assert_eq!(chopped.len(), footer_len);
-        assert!(FileReader::open(&chopped).is_err() || {
-            chopped.clear();
-            true
-        });
+        assert!(
+            FileReader::open(&chopped).is_err() || {
+                chopped.clear();
+                true
+            }
+        );
     }
 
     #[test]

@@ -66,7 +66,10 @@ pub struct Field {
 impl Field {
     /// Creates a field.
     pub fn new(name: impl Into<String>, ty: LogicalType) -> Field {
-        Field { name: name.into(), ty }
+        Field {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -98,7 +101,11 @@ impl Schema {
         assert!(!fields.is_empty(), "schema needs at least one field");
         let mut seen = std::collections::HashSet::new();
         for f in &fields {
-            assert!(seen.insert(f.name.clone()), "duplicate column name {}", f.name);
+            assert!(
+                seen.insert(f.name.clone()),
+                "duplicate column name {}",
+                f.name
+            );
         }
         Schema { fields }
     }

@@ -119,7 +119,11 @@ impl Table {
     pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Table {
         Table {
             schema: self.schema.clone(),
-            columns: self.columns.iter().map(|c| c.slice(range.clone())).collect(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| c.slice(range.clone()))
+                .collect(),
         }
     }
 }
@@ -148,7 +152,10 @@ mod tests {
         .unwrap();
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.num_columns(), 2);
-        assert_eq!(t.column_by_name("a").unwrap(), &ColumnData::Int64(vec![1, 2]));
+        assert_eq!(
+            t.column_by_name("a").unwrap(),
+            &ColumnData::Int64(vec![1, 2])
+        );
     }
 
     #[test]

@@ -143,9 +143,7 @@ impl ColumnData {
         match self {
             ColumnData::Int64(v) => ColumnData::Int64(rows.iter().map(|&r| v[r]).collect()),
             ColumnData::Float64(v) => ColumnData::Float64(rows.iter().map(|&r| v[r]).collect()),
-            ColumnData::Utf8(v) => {
-                ColumnData::Utf8(rows.iter().map(|&r| v[r].clone()).collect())
-            }
+            ColumnData::Utf8(v) => ColumnData::Utf8(rows.iter().map(|&r| v[r].clone()).collect()),
         }
     }
 
@@ -260,7 +258,10 @@ mod tests {
             Value::Str("b".into()).partial_cmp_value(&Value::Str("a".into())),
             Some(Greater)
         );
-        assert_eq!(Value::Str("a".into()).partial_cmp_value(&Value::Int(1)), None);
+        assert_eq!(
+            Value::Str("a".into()).partial_cmp_value(&Value::Int(1)),
+            None
+        );
     }
 
     #[test]
@@ -299,7 +300,10 @@ mod tests {
         assert!(c.as_float64().is_ok());
         assert!(matches!(
             c.as_int64().unwrap_err(),
-            FormatError::TypeMismatch { expected: "int64", actual: "float64" }
+            FormatError::TypeMismatch {
+                expected: "int64",
+                actual: "float64"
+            }
         ));
     }
 

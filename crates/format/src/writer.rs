@@ -46,7 +46,9 @@ impl Default for WriteOptions {
 /// ```
 pub fn write_table(table: &Table, options: WriteOptions) -> Result<Vec<u8>> {
     if options.rows_per_group == 0 {
-        return Err(FormatError::Corrupt("rows_per_group must be positive".into()));
+        return Err(FormatError::Corrupt(
+            "rows_per_group must be positive".into(),
+        ));
     }
     let mut file: Vec<u8> = Vec::new();
     let mut row_groups = Vec::new();
@@ -114,7 +116,13 @@ mod tests {
     #[test]
     fn chunk_extents_are_contiguous_and_exact() {
         let table = two_col_table(1000);
-        let bytes = write_table(&table, WriteOptions { rows_per_group: 300 }).unwrap();
+        let bytes = write_table(
+            &table,
+            WriteOptions {
+                rows_per_group: 300,
+            },
+        )
+        .unwrap();
         let meta = parse_footer(&bytes).unwrap();
         assert_eq!(meta.row_groups.len(), 4); // 300*3 + 100
         let mut expected_offset = 0u64;
@@ -130,11 +138,20 @@ mod tests {
     #[test]
     fn row_counts_partition_table() {
         let table = two_col_table(1000);
-        let bytes = write_table(&table, WriteOptions { rows_per_group: 256 }).unwrap();
+        let bytes = write_table(
+            &table,
+            WriteOptions {
+                rows_per_group: 256,
+            },
+        )
+        .unwrap();
         let meta = parse_footer(&bytes).unwrap();
         assert_eq!(meta.num_rows(), 1000);
         assert_eq!(
-            meta.row_groups.iter().map(|g| g.row_count).collect::<Vec<_>>(),
+            meta.row_groups
+                .iter()
+                .map(|g| g.row_count)
+                .collect::<Vec<_>>(),
             vec![256, 256, 256, 232]
         );
     }

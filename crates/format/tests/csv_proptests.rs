@@ -11,7 +11,12 @@ use proptest::prelude::*;
 /// accept).
 fn to_csv(table: &Table) -> String {
     let mut out = String::new();
-    let names: Vec<&str> = table.schema().fields().iter().map(|f| f.name.as_str()).collect();
+    let names: Vec<&str> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for row in 0..table.num_rows() {

@@ -115,8 +115,9 @@ fn compress_fragment(base: usize, end: usize, whole: &[u8], out: &mut Vec<u8>) {
     // table[h] = absolute position of a prior 4-byte sequence with hash h.
     let mut table = vec![u32::MAX; HASH_SIZE];
     let hash = |w: u32| -> usize { (w.wrapping_mul(0x1E35_A7BD) >> (32 - HASH_BITS)) as usize };
-    let load32 =
-        |p: usize| -> u32 { u32::from_le_bytes([whole[p], whole[p + 1], whole[p + 2], whole[p + 3]]) };
+    let load32 = |p: usize| -> u32 {
+        u32::from_le_bytes([whole[p], whole[p + 1], whole[p + 2], whole[p + 3]])
+    };
 
     let mut lit_start = base; // start of pending literal run
     let mut p = base;
@@ -268,9 +269,12 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
                     return Err(DecompressError::Truncated);
                 }
                 let len = 1 + (tag >> 2) as usize;
-                let offset =
-                    u32::from_le_bytes([input[pos], input[pos + 1], input[pos + 2], input[pos + 3]])
-                        as usize;
+                let offset = u32::from_le_bytes([
+                    input[pos],
+                    input[pos + 1],
+                    input[pos + 2],
+                    input[pos + 3],
+                ]) as usize;
                 pos += 4;
                 copy_within(&mut out, offset, len)?;
             }
@@ -404,8 +408,8 @@ mod tests {
         // Hand-assembled stream: len=10, literal "ab", copy offset=2 len=8.
         // "ab" then 8 bytes copied from 2 back -> "ababababab".
         let stream = vec![
-            10u8,                       // uvarint length 10
-            (2 - 1) << 2,               // literal, len 2
+            10u8,         // uvarint length 10
+            (2 - 1) << 2, // literal, len 2
             b'a',
             b'b',
             TAG_COPY1 | ((8 - 4) << 2), // copy1, len 8, offset high bits 0

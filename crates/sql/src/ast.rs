@@ -197,7 +197,11 @@ impl Expr {
 impl std::fmt::Display for Expr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Expr::Cmp { column, op, literal } => write!(f, "{column} {op} {literal}"),
+            Expr::Cmp {
+                column,
+                op,
+                literal,
+            } => write!(f, "{column} {op} {literal}"),
             Expr::And(a, b) => write!(f, "({a} AND {b})"),
             Expr::Or(a, b) => write!(f, "({a} OR {b})"),
             Expr::Not(e) => write!(f, "(NOT {e})"),
@@ -289,7 +293,10 @@ mod tests {
         let q = Query {
             items: vec![
                 SelectItem::Column("x".into()),
-                SelectItem::Aggregate { func: AggFunc::Count, arg: None },
+                SelectItem::Aggregate {
+                    func: AggFunc::Count,
+                    arg: None,
+                },
             ],
             table: "t".into(),
             predicate: Some(Expr::Cmp {
@@ -299,6 +306,9 @@ mod tests {
             }),
             limit: Some(7),
         };
-        assert_eq!(q.to_string(), "SELECT x, count(*) FROM t WHERE x <= 2.5 LIMIT 7");
+        assert_eq!(
+            q.to_string(),
+            "SELECT x, count(*) FROM t WHERE x <= 2.5 LIMIT 7"
+        );
     }
 }

@@ -276,7 +276,10 @@ mod tests {
         let mut b = Bitmap::with_len(1_000_000);
         b.set(12345);
         let compressed = fusion_snappy::compress(&b.to_bytes());
-        assert!(compressed.len() * 15 < b.to_bytes().len(), "sparse bitmap should shrink on the wire");
+        assert!(
+            compressed.len() * 15 < b.to_bytes().len(),
+            "sparse bitmap should shrink on the wire"
+        );
         let back = Bitmap::from_bytes(&fusion_snappy::decompress(&compressed).unwrap()).unwrap();
         assert_eq!(back.count_ones(), 1);
     }

@@ -101,12 +101,22 @@ mod tests {
     fn parse_and_format() {
         assert_eq!(parse_date("2015-12-31").unwrap(), 16800);
         assert_eq!(format_date(16800), "2015-12-31");
-        assert_eq!(parse_date("1992-01-02").unwrap(), days_from_civil(1992, 1, 2));
+        assert_eq!(
+            parse_date("1992-01-02").unwrap(),
+            days_from_civil(1992, 1, 2)
+        );
     }
 
     #[test]
     fn bad_dates_rejected() {
-        for s in ["2015-13-01", "2015-00-10", "2015-01-40", "hello", "2015-1", "a-b-c"] {
+        for s in [
+            "2015-13-01",
+            "2015-00-10",
+            "2015-01-40",
+            "hello",
+            "2015-1",
+            "a-b-c",
+        ] {
             assert!(parse_date(s).is_err(), "{s} should fail");
         }
     }

@@ -103,11 +103,7 @@ pub fn combine(tree: &BoolTree, leaves: &[Bitmap]) -> Result<Bitmap> {
 /// *any* row of the chunk. Returns `false` only when the chunk provably
 /// contains no matching rows — the coordinator then skips it entirely
 /// (footer-based pruning, paper §5).
-pub fn stats_may_match(
-    leaf: &FilterLeaf,
-    min: Option<&Value>,
-    max: Option<&Value>,
-) -> bool {
+pub fn stats_may_match(leaf: &FilterLeaf, min: Option<&Value>, max: Option<&Value>) -> bool {
     use crate::ast::CmpOp::*;
     let (min, max) = match (min, max) {
         (Some(a), Some(b)) => (a, b),
@@ -177,9 +173,7 @@ pub fn eval_aggregate(
                     }
                 }
                 AggFunc::Min => Value::Float(v.iter().copied().fold(f64::INFINITY, f64::min)),
-                AggFunc::Max => {
-                    Value::Float(v.iter().copied().fold(f64::NEG_INFINITY, f64::max))
-                }
+                AggFunc::Max => Value::Float(v.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
                 AggFunc::Count => unreachable!("handled above"),
             }),
             ColumnData::Utf8(v) => match func {
@@ -262,17 +256,45 @@ mod tests {
     #[test]
     fn stats_pruning() {
         let l = leaf(CmpOp::Eq, Value::Int(50));
-        assert!(stats_may_match(&l, Some(&Value::Int(0)), Some(&Value::Int(100))));
-        assert!(!stats_may_match(&l, Some(&Value::Int(60)), Some(&Value::Int(100))));
-        assert!(!stats_may_match(&l, Some(&Value::Int(0)), Some(&Value::Int(40))));
+        assert!(stats_may_match(
+            &l,
+            Some(&Value::Int(0)),
+            Some(&Value::Int(100))
+        ));
+        assert!(!stats_may_match(
+            &l,
+            Some(&Value::Int(60)),
+            Some(&Value::Int(100))
+        ));
+        assert!(!stats_may_match(
+            &l,
+            Some(&Value::Int(0)),
+            Some(&Value::Int(40))
+        ));
 
         let l = leaf(CmpOp::Lt, Value::Int(10));
-        assert!(!stats_may_match(&l, Some(&Value::Int(10)), Some(&Value::Int(20))));
-        assert!(stats_may_match(&l, Some(&Value::Int(9)), Some(&Value::Int(20))));
+        assert!(!stats_may_match(
+            &l,
+            Some(&Value::Int(10)),
+            Some(&Value::Int(20))
+        ));
+        assert!(stats_may_match(
+            &l,
+            Some(&Value::Int(9)),
+            Some(&Value::Int(20))
+        ));
 
         let l = leaf(CmpOp::Ne, Value::Int(5));
-        assert!(!stats_may_match(&l, Some(&Value::Int(5)), Some(&Value::Int(5))));
-        assert!(stats_may_match(&l, Some(&Value::Int(5)), Some(&Value::Int(6))));
+        assert!(!stats_may_match(
+            &l,
+            Some(&Value::Int(5)),
+            Some(&Value::Int(5))
+        ));
+        assert!(stats_may_match(
+            &l,
+            Some(&Value::Int(5)),
+            Some(&Value::Int(6))
+        ));
 
         // No stats -> never prune.
         assert!(stats_may_match(&l, None, None));

@@ -100,7 +100,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             '=' => {
                 // Accept both `=` and `==` (the paper's running example
                 // uses `==`).
-                i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                i += if bytes.get(i + 1) == Some(&b'=') {
+                    2
+                } else {
+                    1
+                };
                 out.push(Token::Eq);
             }
             '!' => {
@@ -186,14 +190,14 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
                 let text = &input[start..i];
                 if is_float {
-                    let v: f64 = text
-                        .parse()
-                        .map_err(|_| SqlError::BadNumber { text: text.to_string() })?;
+                    let v: f64 = text.parse().map_err(|_| SqlError::BadNumber {
+                        text: text.to_string(),
+                    })?;
                     out.push(Token::Float(v));
                 } else {
-                    let v: i64 = text
-                        .parse()
-                        .map_err(|_| SqlError::BadNumber { text: text.to_string() })?;
+                    let v: i64 = text.parse().map_err(|_| SqlError::BadNumber {
+                        text: text.to_string(),
+                    })?;
                     out.push(Token::Int(v));
                 }
             }
@@ -294,7 +298,10 @@ mod tests {
             tokenize("'oops").unwrap_err(),
             SqlError::UnterminatedString { .. }
         ));
-        assert!(matches!(tokenize("a ! b").unwrap_err(), SqlError::UnexpectedChar { .. }));
+        assert!(matches!(
+            tokenize("a ! b").unwrap_err(),
+            SqlError::UnexpectedChar { .. }
+        ));
     }
 
     #[test]

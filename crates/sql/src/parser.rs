@@ -74,7 +74,10 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(SqlError::Expected { what: kw, found: self.peek_desc() })
+            Err(SqlError::Expected {
+                what: kw,
+                found: self.peek_desc(),
+            })
         }
     }
 
@@ -83,7 +86,10 @@ impl Parser {
             self.pos += 1;
             Ok(())
         } else {
-            Err(SqlError::Expected { what, found: self.peek_desc() })
+            Err(SqlError::Expected {
+                what,
+                found: self.peek_desc(),
+            })
         }
     }
 
@@ -130,7 +136,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { items, table, predicate, limit })
+        Ok(Query {
+            items,
+            table,
+            predicate,
+            limit,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -258,7 +269,11 @@ impl Parser {
             }
         };
         match (left, right) {
-            (Side::Col(column), Side::Lit(literal)) => Ok(Expr::Cmp { column, op, literal }),
+            (Side::Col(column), Side::Lit(literal)) => Ok(Expr::Cmp {
+                column,
+                op,
+                literal,
+            }),
             (Side::Lit(literal), Side::Col(column)) => Ok(Expr::Cmp {
                 column,
                 op: op.flip(),
@@ -348,10 +363,19 @@ mod tests {
     fn aggregates() {
         let q = parse("SELECT count(*), AVG(fare), sum(x), min(y), max(z) FROM taxi").unwrap();
         assert_eq!(q.items.len(), 5);
-        assert_eq!(q.items[0], SelectItem::Aggregate { func: AggFunc::Count, arg: None });
+        assert_eq!(
+            q.items[0],
+            SelectItem::Aggregate {
+                func: AggFunc::Count,
+                arg: None
+            }
+        );
         assert_eq!(
             q.items[1],
-            SelectItem::Aggregate { func: AggFunc::Avg, arg: Some("fare".into()) }
+            SelectItem::Aggregate {
+                func: AggFunc::Avg,
+                arg: Some("fare".into())
+            }
         );
     }
 

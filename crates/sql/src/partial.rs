@@ -189,11 +189,12 @@ mod tests {
 
     #[test]
     fn min_max_across_partials() {
-        let mut mn =
-            PartialAgg::compute(AggFunc::Min, &ColumnData::Utf8(vec!["m".into(), "z".into()]))
-                .unwrap();
-        let other =
-            PartialAgg::compute(AggFunc::Min, &ColumnData::Utf8(vec!["c".into()])).unwrap();
+        let mut mn = PartialAgg::compute(
+            AggFunc::Min,
+            &ColumnData::Utf8(vec!["m".into(), "z".into()]),
+        )
+        .unwrap();
+        let other = PartialAgg::compute(AggFunc::Min, &ColumnData::Utf8(vec!["c".into()])).unwrap();
         mn.merge(&other).unwrap();
         assert_eq!(mn.finalize(), Value::Str("c".into()));
 
@@ -235,7 +236,8 @@ mod tests {
             let mut acc = PartialAgg::identity(func, Some(&whole));
             for part in [0..100usize, 100..101, 101..1000] {
                 let sub = whole.slice(part);
-                acc.merge(&PartialAgg::compute(func, &sub).unwrap()).unwrap();
+                acc.merge(&PartialAgg::compute(func, &sub).unwrap())
+                    .unwrap();
             }
             assert_eq!(acc.finalize(), direct, "{func}");
         }

@@ -103,7 +103,10 @@ impl QueryPlan {
     /// True when the query computes only aggregates (no raw projections).
     pub fn aggregate_only(&self) -> bool {
         !self.outputs.is_empty()
-            && self.outputs.iter().all(|o| matches!(o, OutputItem::Aggregate(_)))
+            && self
+                .outputs
+                .iter()
+                .all(|o| matches!(o, OutputItem::Aggregate(_)))
     }
 }
 
@@ -208,7 +211,11 @@ pub fn plan(query: &Query, schema: &Schema) -> Result<QueryPlan> {
 
 fn build_tree(expr: &Expr, schema: &Schema, filters: &mut Vec<FilterLeaf>) -> Result<BoolTree> {
     Ok(match expr {
-        Expr::Cmp { column, op, literal } => {
+        Expr::Cmp {
+            column,
+            op,
+            literal,
+        } => {
             let idx = schema
                 .index_of(column)
                 .ok_or_else(|| SqlError::UnknownColumn(column.clone()))?;
@@ -326,7 +333,11 @@ mod tests {
         let s = schema();
         assert!(plan(&parse("SELECT name FROM t WHERE salary = 'x'").unwrap(), &s).is_err());
         assert!(plan(&parse("SELECT name FROM t WHERE name < 3").unwrap(), &s).is_err());
-        assert!(plan(&parse("SELECT name FROM t WHERE day = 'not-a-date'").unwrap(), &s).is_err());
+        assert!(plan(
+            &parse("SELECT name FROM t WHERE day = 'not-a-date'").unwrap(),
+            &s
+        )
+        .is_err());
         assert!(plan(&parse("SELECT sum(name) FROM t").unwrap(), &s).is_err());
     }
 

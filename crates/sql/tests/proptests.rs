@@ -6,8 +6,8 @@ use fusion_format::value::{ColumnData, Value};
 use fusion_sql::ast::CmpOp;
 use fusion_sql::bitmap::Bitmap;
 use fusion_sql::eval::{combine, eval_filter, stats_may_match};
-use fusion_sql::plan::{BoolTree, FilterLeaf};
 use fusion_sql::parser::parse;
+use fusion_sql::plan::{BoolTree, FilterLeaf};
 use proptest::prelude::*;
 
 fn arb_op() -> impl Strategy<Value = CmpOp> {

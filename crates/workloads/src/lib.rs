@@ -161,9 +161,15 @@ mod tests {
     #[test]
     fn table3_shapes() {
         // chunks = columns × row groups, as in Table 3.
-        assert_eq!(Dataset::TpchLineitem.columns() * Dataset::TpchLineitem.row_groups(), 160);
+        assert_eq!(
+            Dataset::TpchLineitem.columns() * Dataset::TpchLineitem.row_groups(),
+            160
+        );
         assert_eq!(Dataset::Taxi.columns() * Dataset::Taxi.row_groups(), 320);
-        assert_eq!(Dataset::RecipeNlg.columns() * Dataset::RecipeNlg.row_groups(), 84);
+        assert_eq!(
+            Dataset::RecipeNlg.columns() * Dataset::RecipeNlg.row_groups(),
+            84
+        );
         assert_eq!(Dataset::UkPp.columns() * Dataset::UkPp.row_groups(), 240);
     }
 

@@ -84,7 +84,11 @@ pub fn recipes(cfg: RecipesConfig) -> Table {
         ingredients.push(ing);
         directions.push(sentence(&mut rng, 30, 120));
         link.push(format!("www.recipes.example/{}", ident(&mut rng, 2)));
-        source.push(if rng.gen_bool(0.7) { "Gathered".into() } else { "Recipes1M".into() });
+        source.push(if rng.gen_bool(0.7) {
+            "Gathered".into()
+        } else {
+            "Recipes1M".into()
+        });
         ner.push(sentence(&mut rng, 4, 10));
     }
 
@@ -106,8 +110,13 @@ pub fn recipes(cfg: RecipesConfig) -> Table {
 /// Serializes with the paper's row-group structure.
 pub fn recipes_file(cfg: RecipesConfig) -> Vec<u8> {
     let table = recipes(cfg);
-    write_table(&table, WriteOptions { rows_per_group: cfg.rows_per_group })
-        .expect("write cannot fail on a valid table")
+    write_table(
+        &table,
+        WriteOptions {
+            rows_per_group: cfg.rows_per_group,
+        },
+    )
+    .expect("write cannot fail on a valid table")
 }
 
 #[cfg(test)]
@@ -115,7 +124,11 @@ mod tests {
     use super::*;
 
     fn small() -> RecipesConfig {
-        RecipesConfig { rows_per_group: 500, row_groups: 3, seed: 5 }
+        RecipesConfig {
+            rows_per_group: 500,
+            row_groups: 3,
+            seed: 5,
+        }
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub fn zipf_chunk_sizes(cfg: SynthConfig) -> Vec<u64> {
     assert!(cfg.max_size > cfg.min_size, "size range must be nonempty");
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     // Precompute the Zipf CDF over bucket ranks 1..=BUCKETS.
-    let weights: Vec<f64> = (1..=BUCKETS).map(|r| 1.0 / (r as f64).powf(cfg.theta)).collect();
+    let weights: Vec<f64> = (1..=BUCKETS)
+        .map(|r| 1.0 / (r as f64).powf(cfg.theta))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut cdf = Vec::with_capacity(BUCKETS);
     let mut acc = 0.0;
@@ -69,17 +71,27 @@ mod tests {
 
     #[test]
     fn sizes_in_range_and_deterministic() {
-        let cfg = SynthConfig { num_chunks: 500, theta: 0.5, ..Default::default() };
+        let cfg = SynthConfig {
+            num_chunks: 500,
+            theta: 0.5,
+            ..Default::default()
+        };
         let a = zipf_chunk_sizes(cfg);
         let b = zipf_chunk_sizes(cfg);
         assert_eq!(a, b);
         assert_eq!(a.len(), 500);
-        assert!(a.iter().all(|&s| (cfg.min_size..=cfg.max_size).contains(&s)));
+        assert!(a
+            .iter()
+            .all(|&s| (cfg.min_size..=cfg.max_size).contains(&s)));
     }
 
     #[test]
     fn theta_zero_is_roughly_uniform() {
-        let cfg = SynthConfig { num_chunks: 20_000, theta: 0.0, ..Default::default() };
+        let cfg = SynthConfig {
+            num_chunks: 20_000,
+            theta: 0.0,
+            ..Default::default()
+        };
         let sizes = zipf_chunk_sizes(cfg);
         let mid = (cfg.min_size + cfg.max_size) / 2;
         let below = sizes.iter().filter(|&&s| s < mid).count();
@@ -89,8 +101,16 @@ mod tests {
 
     #[test]
     fn high_theta_skews_small() {
-        let uni = zipf_chunk_sizes(SynthConfig { num_chunks: 20_000, theta: 0.0, ..Default::default() });
-        let skew = zipf_chunk_sizes(SynthConfig { num_chunks: 20_000, theta: 0.99, ..Default::default() });
+        let uni = zipf_chunk_sizes(SynthConfig {
+            num_chunks: 20_000,
+            theta: 0.0,
+            ..Default::default()
+        });
+        let skew = zipf_chunk_sizes(SynthConfig {
+            num_chunks: 20_000,
+            theta: 0.99,
+            ..Default::default()
+        });
         let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
         assert!(
             mean(&skew) < 0.6 * mean(&uni),
@@ -102,8 +122,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = zipf_chunk_sizes(SynthConfig { seed: 1, ..Default::default() });
-        let b = zipf_chunk_sizes(SynthConfig { seed: 2, ..Default::default() });
+        let a = zipf_chunk_sizes(SynthConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = zipf_chunk_sizes(SynthConfig {
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a, b);
     }
 }

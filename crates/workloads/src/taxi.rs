@@ -132,8 +132,16 @@ pub fn taxi(cfg: TaxiConfig) -> Table {
         dropoff.push(p + dur);
         passengers.push(rng.gen_range(1..=6i64));
         distance.push((dist * 100.0).round() / 100.0);
-        rate.push(if rng.gen_bool(0.95) { 1 } else { rng.gen_range(2..=6i64) });
-        store_fwd.push(if rng.gen_bool(0.99) { "N".into() } else { "Y".into() });
+        rate.push(if rng.gen_bool(0.95) {
+            1
+        } else {
+            rng.gen_range(2..=6i64)
+        });
+        store_fwd.push(if rng.gen_bool(0.99) {
+            "N".into()
+        } else {
+            "Y".into()
+        });
         pu.push(rng.gen_range(1..=265i64));
         dol.push(rng.gen_range(1..=265i64));
         payment.push(rng.gen_range(1..=5i64));
@@ -176,8 +184,13 @@ pub fn taxi(cfg: TaxiConfig) -> Table {
 /// Serializes the taxi table with the paper's row-group structure.
 pub fn taxi_file(cfg: TaxiConfig) -> Vec<u8> {
     let table = taxi(cfg);
-    write_table(&table, WriteOptions { rows_per_group: cfg.rows_per_group })
-        .expect("write cannot fail on a valid table")
+    write_table(
+        &table,
+        WriteOptions {
+            rows_per_group: cfg.rows_per_group,
+        },
+    )
+    .expect("write cannot fail on a valid table")
 }
 
 /// Epoch seconds for a calendar date (UTC midnight) — for query literals.
@@ -209,7 +222,11 @@ mod tests {
     use super::*;
 
     fn small() -> TaxiConfig {
-        TaxiConfig { rows_per_group: 2000, row_groups: 4, seed: 1 }
+        TaxiConfig {
+            rows_per_group: 2000,
+            row_groups: 4,
+            seed: 1,
+        }
     }
 
     #[test]
@@ -225,7 +242,11 @@ mod tests {
     #[test]
     fn pickups_cover_the_span_without_time_locality() {
         let t = taxi(small());
-        let p = t.column_by_name("pickup_datetime").unwrap().as_int64().unwrap();
+        let p = t
+            .column_by_name("pickup_datetime")
+            .unwrap()
+            .as_int64()
+            .unwrap();
         assert!(p.iter().all(|&x| (TRIPS_START..TRIPS_END).contains(&x)));
         // Every row group must span most of the time range (no pruning
         // possible), like the paper's file.
@@ -241,23 +262,30 @@ mod tests {
         let bytes = taxi_file(small());
         let meta = parse_footer(&bytes).unwrap();
         let s = taxi_schema();
-        let ratio = |name: &str| {
-            meta.row_groups[0].chunks[s.index_of(name).unwrap()].compressibility()
-        };
+        let ratio =
+            |name: &str| meta.row_groups[0].chunks[s.index_of(name).unwrap()].compressibility();
         assert!(ratio("fare") > 15.0, "fare ratio {}", ratio("fare"));
         assert!(
             ratio("pickup_datetime") < 4.0,
             "pickup ratio {}",
             ratio("pickup_datetime")
         );
-        assert!(ratio("mta_tax") > 50.0, "constant column {}", ratio("mta_tax"));
+        assert!(
+            ratio("mta_tax") > 50.0,
+            "constant column {}",
+            ratio("mta_tax")
+        );
     }
 
     #[test]
     fn q3_selectivity_near_375() {
         // 2015-01-01..2016-02-15 over a 3-year span ≈ 37.5%.
         let t = taxi(small());
-        let p = t.column_by_name("pickup_datetime").unwrap().as_int64().unwrap();
+        let p = t
+            .column_by_name("pickup_datetime")
+            .unwrap()
+            .as_int64()
+            .unwrap();
         let cut = epoch_seconds(2016, 2, 15);
         let sel = p.iter().filter(|&&x| x < cut).count() as f64 / p.len() as f64;
         assert!((sel - 0.375).abs() < 0.02, "selectivity {sel}");
@@ -266,7 +294,11 @@ mod tests {
     #[test]
     fn q4_selectivity_near_63() {
         let t = taxi(small());
-        let p = t.column_by_name("pickup_datetime").unwrap().as_int64().unwrap();
+        let p = t
+            .column_by_name("pickup_datetime")
+            .unwrap()
+            .as_int64()
+            .unwrap();
         let cut = epoch_seconds(2015, 3, 10);
         let sel = p.iter().filter(|&&x| x < cut).count() as f64 / p.len() as f64;
         assert!((sel - 0.063).abs() < 0.01, "selectivity {sel}");

@@ -5,13 +5,56 @@ use rand::Rng;
 
 /// A compact word pool in the spirit of the TPC-H grammar text pool.
 pub const WORDS: &[&str] = &[
-    "the", "special", "packages", "carefully", "final", "deposits", "sleep", "quickly",
-    "furiously", "ironic", "requests", "accounts", "pending", "regular", "instructions",
-    "theodolites", "slyly", "express", "foxes", "bold", "pinto", "beans", "wake", "blithely",
-    "even", "ideas", "haggle", "platelets", "unusual", "dependencies", "among", "silent",
-    "asymptotes", "cajole", "across", "daring", "courts", "dolphins", "nag", "fluffily",
-    "against", "epitaphs", "use", "never", "excuses", "detect", "above", "according",
-    "busy", "sometimes",
+    "the",
+    "special",
+    "packages",
+    "carefully",
+    "final",
+    "deposits",
+    "sleep",
+    "quickly",
+    "furiously",
+    "ironic",
+    "requests",
+    "accounts",
+    "pending",
+    "regular",
+    "instructions",
+    "theodolites",
+    "slyly",
+    "express",
+    "foxes",
+    "bold",
+    "pinto",
+    "beans",
+    "wake",
+    "blithely",
+    "even",
+    "ideas",
+    "haggle",
+    "platelets",
+    "unusual",
+    "dependencies",
+    "among",
+    "silent",
+    "asymptotes",
+    "cajole",
+    "across",
+    "daring",
+    "courts",
+    "dolphins",
+    "nag",
+    "fluffily",
+    "against",
+    "epitaphs",
+    "use",
+    "never",
+    "excuses",
+    "detect",
+    "above",
+    "according",
+    "busy",
+    "sometimes",
 ];
 
 /// Generates a sentence of `min_words..=max_words` random words.

@@ -63,8 +63,12 @@ impl TpchConfig {
 }
 
 /// The 4 `shipinstruct` phrases from the TPC-H specification.
-pub const SHIP_INSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const SHIP_INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// The 7 `shipmode` values from the TPC-H specification.
 pub const SHIP_MODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
@@ -198,8 +202,13 @@ pub fn lineitem(cfg: TpchConfig) -> Table {
 /// Serializes `lineitem` with the paper's row-group structure.
 pub fn lineitem_file(cfg: TpchConfig) -> Vec<u8> {
     let table = lineitem(cfg);
-    write_table(&table, WriteOptions { rows_per_group: cfg.rows_per_group })
-        .expect("write cannot fail on a valid table")
+    write_table(
+        &table,
+        WriteOptions {
+            rows_per_group: cfg.rows_per_group,
+        },
+    )
+    .expect("write cannot fail on a valid table")
 }
 
 /// The paper's two TPC-H evaluation queries (Table 4), parameterized on
@@ -230,7 +239,11 @@ mod tests {
     use super::*;
 
     fn small() -> TpchConfig {
-        TpchConfig { rows_per_group: 2000, row_groups: 3, seed: 42 }
+        TpchConfig {
+            rows_per_group: 2000,
+            row_groups: 3,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -276,9 +289,21 @@ mod tests {
             let rg = &meta.row_groups[0].chunks[c];
             rg.compressibility()
         };
-        assert!(ratio("linestatus") > 20.0, "linestatus {}", ratio("linestatus"));
-        assert!(ratio("returnflag") > 10.0, "returnflag {}", ratio("returnflag"));
-        assert!(ratio("extendedprice") < 3.0, "extendedprice {}", ratio("extendedprice"));
+        assert!(
+            ratio("linestatus") > 20.0,
+            "linestatus {}",
+            ratio("linestatus")
+        );
+        assert!(
+            ratio("returnflag") > 10.0,
+            "returnflag {}",
+            ratio("returnflag")
+        );
+        assert!(
+            ratio("extendedprice") < 3.0,
+            "extendedprice {}",
+            ratio("extendedprice")
+        );
         assert!(ratio("comment") < 4.0, "comment {}", ratio("comment"));
         assert!(
             ratio("linestatus") > 5.0 * ratio("extendedprice"),
@@ -296,7 +321,10 @@ mod tests {
         let comment = sizes[15];
         let linestatus = sizes[9];
         assert_eq!(sizes.iter().max(), Some(&comment), "comment is largest");
-        assert!(linestatus * 10 < comment, "linestatus far smaller than comment");
+        assert!(
+            linestatus * 10 < comment,
+            "linestatus far smaller than comment"
+        );
     }
 
     #[test]

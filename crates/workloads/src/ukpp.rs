@@ -67,10 +67,20 @@ pub fn ukpp(cfg: UkppConfig) -> Table {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
     // Moderate-cardinality address pools.
-    let towns: Vec<String> = (0..400).map(|i| format!("{}TON", WORDS[i % WORDS.len()].to_uppercase())).collect();
-    let counties: Vec<String> = (0..60).map(|i| format!("{}SHIRE", WORDS[i % WORDS.len()].to_uppercase())).collect();
+    let towns: Vec<String> = (0..400)
+        .map(|i| format!("{}TON", WORDS[i % WORDS.len()].to_uppercase()))
+        .collect();
+    let counties: Vec<String> = (0..60)
+        .map(|i| format!("{}SHIRE", WORDS[i % WORDS.len()].to_uppercase()))
+        .collect();
     let streets: Vec<String> = (0..5000)
-        .map(|i| format!("{} {} ROAD", WORDS[i % WORDS.len()].to_uppercase(), i / WORDS.len()))
+        .map(|i| {
+            format!(
+                "{} {} ROAD",
+                WORDS[i % WORDS.len()].to_uppercase(),
+                i / WORDS.len()
+            )
+        })
         .collect();
 
     let start = days_from_civil(1995, 1, 1);
@@ -107,8 +117,16 @@ pub fn ukpp(cfg: UkppConfig) -> Table {
             (b'A' + rng.gen_range(0..26u8)) as char,
         ));
         ptype.push(["D", "S", "T", "F", "O"][rng.gen_range(0..5)].to_string());
-        old_new.push(if rng.gen_bool(0.1) { "Y".into() } else { "N".into() });
-        duration.push(if rng.gen_bool(0.75) { "F".into() } else { "L".into() });
+        old_new.push(if rng.gen_bool(0.1) {
+            "Y".into()
+        } else {
+            "N".into()
+        });
+        duration.push(if rng.gen_bool(0.75) {
+            "F".into()
+        } else {
+            "L".into()
+        });
         paon.push(rng.gen_range(1..200).to_string());
         saon.push(if rng.gen_bool(0.85) {
             String::new()
@@ -125,7 +143,11 @@ pub fn ukpp(cfg: UkppConfig) -> Table {
         town.push(towns[t].clone());
         district.push(towns[(t + 13) % towns.len()].clone());
         county.push(counties[t % counties.len()].clone());
-        ppd.push(if rng.gen_bool(0.9) { "A".into() } else { "B".into() });
+        ppd.push(if rng.gen_bool(0.9) {
+            "A".into()
+        } else {
+            "B".into()
+        });
         status.push("A".to_string());
     }
 
@@ -156,8 +178,13 @@ pub fn ukpp(cfg: UkppConfig) -> Table {
 /// Serializes with the paper's row-group structure.
 pub fn ukpp_file(cfg: UkppConfig) -> Vec<u8> {
     let table = ukpp(cfg);
-    write_table(&table, WriteOptions { rows_per_group: cfg.rows_per_group })
-        .expect("write cannot fail on a valid table")
+    write_table(
+        &table,
+        WriteOptions {
+            rows_per_group: cfg.rows_per_group,
+        },
+    )
+    .expect("write cannot fail on a valid table")
 }
 
 #[cfg(test)]
@@ -165,7 +192,11 @@ mod tests {
     use super::*;
 
     fn small() -> UkppConfig {
-        UkppConfig { rows_per_group: 500, row_groups: 3, seed: 7 }
+        UkppConfig {
+            rows_per_group: 500,
+            row_groups: 3,
+            seed: 7,
+        }
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use fusion_format::footer::parse_footer;
 use fusion_workloads::synth::{zipf_chunk_sizes, SynthConfig};
-use fusion_workloads::tpch::{lineitem, lineitem_file, TpchConfig};
 use fusion_workloads::taxi::{taxi, TaxiConfig};
+use fusion_workloads::tpch::{lineitem, lineitem_file, TpchConfig};
 use proptest::prelude::*;
 
 proptest! {

@@ -14,7 +14,11 @@ use fusion::prelude::*;
 use fusion_workloads::ukpp::{ukpp_file, UkppConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let file = ukpp_file(UkppConfig { rows_per_group: 2000, row_groups: 5, seed: 11 });
+    let file = ukpp_file(UkppConfig {
+        rows_per_group: 2000,
+        row_groups: 5,
+        seed: 11,
+    });
     println!("uk-price-paid file: {} bytes", file.len());
 
     let mut cfg = StoreConfig::fusion();
@@ -42,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ranged Get still works via degraded reads (online reconstruction).
     let range = store.get("prices", 1000, 4096)?;
     assert_eq!(&range[..], &file[1000..5096]);
-    println!("degraded get(1000, 4096): {} bytes, verified against the original", range.len());
+    println!(
+        "degraded get(1000, 4096): {} bytes, verified against the original",
+        range.len()
+    );
 
     // Repair: each revived node gets its blocks rebuilt from parity.
     for node in [1, 4, 7] {

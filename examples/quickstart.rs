@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Serialize it as a columnar analytics file: 2 row groups of 3 rows,
     //    exactly as in the paper's Figure 3.
     let bytes = write_table(&table, WriteOptions { rows_per_group: 3 })?;
-    println!("analytics file: {} bytes, 2 row groups x 2 columns", bytes.len());
+    println!(
+        "analytics file: {} bytes, 2 row groups x 2 columns",
+        bytes.len()
+    );
 
     // 3. Store it in Fusion. FAC parses the footer and packs whole column
     //    chunks into variable-size erasure-code blocks (RS(9,6)).

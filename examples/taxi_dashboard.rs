@@ -12,12 +12,18 @@ use fusion::prelude::*;
 use fusion_workloads::taxi::{epoch_seconds, taxi_file, TaxiConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = std::env::args().nth(1).map_or(0.2, |s| s.parse().expect("numeric scale"));
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map_or(0.2, |s| s.parse().expect("numeric scale"));
     let cfg = TaxiConfig {
         rows_per_group: ((25_000.0 * scale) as usize).max(1000),
         ..Default::default()
     };
-    println!("generating taxi trips: {} rows x {} row groups...", cfg.rows(), cfg.row_groups);
+    println!(
+        "generating taxi trips: {} rows x {} row groups...",
+        cfg.rows(),
+        cfg.row_groups
+    );
     let file = taxi_file(cfg);
 
     let mut store_cfg = StoreConfig::fusion();
@@ -71,14 +77,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q4 = fusion_workloads::taxi::q4("taxi");
     let out = store.query(&q4)?;
     println!("\nQ4 per-chunk pushdown decisions (first row groups):");
-    let schema = store.object("taxi")?.file_meta.as_ref().expect("analytics").schema.clone();
+    let schema = store
+        .object("taxi")?
+        .file_meta
+        .as_ref()
+        .expect("analytics")
+        .schema
+        .clone();
     for d in out.decisions.iter().take(8) {
         println!(
             "  rg {:>2} {:<14} out/encoded = {:>6.2} -> {}",
             d.row_group,
             schema.fields()[d.column].name,
             d.cost_product,
-            if d.pushed_down { "push down" } else { "fetch compressed" }
+            if d.pushed_down {
+                "push down"
+            } else {
+                "fetch compressed"
+            }
         );
     }
     let pushed: Vec<&str> = out
@@ -93,8 +109,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|d| !d.pushed_down)
         .map(|d| schema.fields()[d.column].name.as_str())
         .collect();
-    assert!(pushed.contains(&"pickup_date"), "date projections should be pushed");
-    assert!(fetched.contains(&"fare"), "fare projections should be fetched compressed");
+    assert!(
+        pushed.contains(&"pickup_date"),
+        "date projections should be pushed"
+    );
+    assert!(
+        fetched.contains(&"fare"),
+        "fare projections should be fetched compressed"
+    );
     println!("\npushed-down columns: pickup_date; fetched compressed: fare — as in the paper.");
     Ok(())
 }

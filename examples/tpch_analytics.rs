@@ -29,12 +29,18 @@ fn store_for(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = std::env::args().nth(1).map_or(0.2, |s| s.parse().expect("numeric scale"));
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map_or(0.2, |s| s.parse().expect("numeric scale"));
     let cfg = TpchConfig {
         rows_per_group: ((30_000.0 * scale) as usize).max(1000),
         ..Default::default()
     };
-    println!("generating lineitem: {} rows x {} row groups...", cfg.rows(), cfg.row_groups);
+    println!(
+        "generating lineitem: {} rows x {} row groups...",
+        cfg.rows(),
+        cfg.row_groups
+    );
     let file = lineitem_file(cfg);
     println!("file: {:.1} MiB\n", file.len() as f64 / (1 << 20) as f64);
 
@@ -83,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             d.row_group,
             d.column,
             d.cost_product,
-            if d.pushed_down { "push down" } else { "fetch compressed" }
+            if d.pushed_down {
+                "push down"
+            } else {
+                "fetch compressed"
+            }
         );
     }
     Ok(())

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/admin_tests-619131d8a85ec295.d: crates/core/tests/admin_tests.rs
+
+/root/repo/target/debug/deps/admin_tests-619131d8a85ec295: crates/core/tests/admin_tests.rs
+
+crates/core/tests/admin_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/admin_tests-cc22514d1184f9b9.d: crates/core/tests/admin_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadmin_tests-cc22514d1184f9b9.rmeta: crates/core/tests/admin_tests.rs Cargo.toml
+
+crates/core/tests/admin_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/admin_tests-dc7c5fdd25f2d0ef.d: crates/core/tests/admin_tests.rs
+
+/root/repo/target/debug/deps/admin_tests-dc7c5fdd25f2d0ef: crates/core/tests/admin_tests.rs
+
+crates/core/tests/admin_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aggregate_pushdown_tests-52d053309c038f8c.d: crates/core/tests/aggregate_pushdown_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaggregate_pushdown_tests-52d053309c038f8c.rmeta: crates/core/tests/aggregate_pushdown_tests.rs Cargo.toml
+
+crates/core/tests/aggregate_pushdown_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

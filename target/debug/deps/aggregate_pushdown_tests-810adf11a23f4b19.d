@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aggregate_pushdown_tests-810adf11a23f4b19.d: crates/core/tests/aggregate_pushdown_tests.rs
+
+/root/repo/target/debug/deps/aggregate_pushdown_tests-810adf11a23f4b19: crates/core/tests/aggregate_pushdown_tests.rs
+
+crates/core/tests/aggregate_pushdown_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aggregate_pushdown_tests-fa33e5d3ef972d51.d: crates/core/tests/aggregate_pushdown_tests.rs
+
+/root/repo/target/debug/deps/aggregate_pushdown_tests-fa33e5d3ef972d51: crates/core/tests/aggregate_pushdown_tests.rs
+
+crates/core/tests/aggregate_pushdown_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bitmap-98e27574a28728c5.d: crates/bench/benches/bitmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbitmap-98e27574a28728c5.rmeta: crates/bench/benches/bitmap.rs Cargo.toml
+
+crates/bench/benches/bitmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csv_proptests-de7736ec312713de.d: crates/format/tests/csv_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsv_proptests-de7736ec312713de.rmeta: crates/format/tests/csv_proptests.rs Cargo.toml
+
+crates/format/tests/csv_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

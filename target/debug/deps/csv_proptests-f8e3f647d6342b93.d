@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csv_proptests-f8e3f647d6342b93.d: crates/format/tests/csv_proptests.rs
+
+/root/repo/target/debug/deps/csv_proptests-f8e3f647d6342b93: crates/format/tests/csv_proptests.rs
+
+crates/format/tests/csv_proptests.rs:

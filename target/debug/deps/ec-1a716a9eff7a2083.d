@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ec-1a716a9eff7a2083.d: crates/bench/benches/ec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libec-1a716a9eff7a2083.rmeta: crates/bench/benches/ec.rs Cargo.toml
+
+crates/bench/benches/ec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7591756e70c5ba7a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7591756e70c5ba7a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

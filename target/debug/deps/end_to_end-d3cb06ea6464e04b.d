@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d3cb06ea6464e04b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d3cb06ea6464e04b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-04a3b2eeda93230f.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-04a3b2eeda93230f: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

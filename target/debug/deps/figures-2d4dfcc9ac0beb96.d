@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-2d4dfcc9ac0beb96.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-2d4dfcc9ac0beb96: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-b16531ff7054f866.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-b16531ff7054f866: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

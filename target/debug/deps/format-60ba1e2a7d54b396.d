@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/format-60ba1e2a7d54b396.d: crates/bench/benches/format.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformat-60ba1e2a7d54b396.rmeta: crates/bench/benches/format.rs Cargo.toml
+
+crates/bench/benches/format.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fusion-16d0eed11a966220.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfusion-16d0eed11a966220.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fusion-47811854cd9644e3.d: src/lib.rs
+
+/root/repo/target/debug/deps/fusion-47811854cd9644e3: src/lib.rs
+
+src/lib.rs:

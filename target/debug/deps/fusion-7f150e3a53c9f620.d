@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fusion-7f150e3a53c9f620.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfusion-7f150e3a53c9f620.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fusion-a21830f7cdd96e7c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfusion-a21830f7cdd96e7c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfusion-a21830f7cdd96e7c.rmeta: src/lib.rs
+
+src/lib.rs:

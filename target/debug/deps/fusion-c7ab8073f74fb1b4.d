@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fusion-c7ab8073f74fb1b4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfusion-c7ab8073f74fb1b4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfusion-c7ab8073f74fb1b4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fusion-eed888253a3e7451.d: src/lib.rs
+
+/root/repo/target/debug/deps/fusion-eed888253a3e7451: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fusion_bench-0d363d999e871d6b.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libfusion_bench-0d363d999e871d6b.rlib: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libfusion_bench-0d363d999e871d6b.rmeta: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures/mod.rs:
+crates/bench/src/figures/latency.rs:
+crates/bench/src/figures/storage.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/report.rs:

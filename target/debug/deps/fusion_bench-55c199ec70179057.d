@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fusion_bench-55c199ec70179057.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/fusion_bench-55c199ec70179057: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures/mod.rs:
+crates/bench/src/figures/latency.rs:
+crates/bench/src/figures/storage.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fusion_bench-b91c77df92dd59d4.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfusion_bench-b91c77df92dd59d4.rmeta: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures/mod.rs:
+crates/bench/src/figures/degraded.rs:
+crates/bench/src/figures/latency.rs:
+crates/bench/src/figures/storage.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fusion_cluster-09949efaddbd9bea.d: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/fault.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+/root/repo/target/debug/deps/fusion_cluster-09949efaddbd9bea: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/fault.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/fault.rs:
+crates/cluster/src/spec.rs:
+crates/cluster/src/store.rs:
+crates/cluster/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fusion_cluster-171fc79b2dd68571.d: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/fault.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfusion_cluster-171fc79b2dd68571.rmeta: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/fault.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/fault.rs:
+crates/cluster/src/spec.rs:
+crates/cluster/src/store.rs:
+crates/cluster/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

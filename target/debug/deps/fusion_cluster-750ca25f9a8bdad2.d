@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fusion_cluster-750ca25f9a8bdad2.d: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+/root/repo/target/debug/deps/fusion_cluster-750ca25f9a8bdad2: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/spec.rs:
+crates/cluster/src/store.rs:
+crates/cluster/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fusion_cluster-eac002112e9ed322.d: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+/root/repo/target/debug/deps/libfusion_cluster-eac002112e9ed322.rlib: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+/root/repo/target/debug/deps/libfusion_cluster-eac002112e9ed322.rmeta: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/spec.rs:
+crates/cluster/src/store.rs:
+crates/cluster/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fusion_cluster-ee38c208cfd5241b.d: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/fault.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+/root/repo/target/debug/deps/libfusion_cluster-ee38c208cfd5241b.rlib: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/fault.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+/root/repo/target/debug/deps/libfusion_cluster-ee38c208cfd5241b.rmeta: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/fault.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/fault.rs:
+crates/cluster/src/spec.rs:
+crates/cluster/src/store.rs:
+crates/cluster/src/time.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fusion_format-b10154e17b42257d.d: crates/format/src/lib.rs crates/format/src/chunk.rs crates/format/src/csv.rs crates/format/src/encoding/mod.rs crates/format/src/encoding/bitpack.rs crates/format/src/encoding/dict.rs crates/format/src/encoding/plain.rs crates/format/src/encoding/rle.rs crates/format/src/error.rs crates/format/src/footer.rs crates/format/src/reader.rs crates/format/src/schema.rs crates/format/src/table.rs crates/format/src/util.rs crates/format/src/value.rs crates/format/src/writer.rs
+
+/root/repo/target/debug/deps/fusion_format-b10154e17b42257d: crates/format/src/lib.rs crates/format/src/chunk.rs crates/format/src/csv.rs crates/format/src/encoding/mod.rs crates/format/src/encoding/bitpack.rs crates/format/src/encoding/dict.rs crates/format/src/encoding/plain.rs crates/format/src/encoding/rle.rs crates/format/src/error.rs crates/format/src/footer.rs crates/format/src/reader.rs crates/format/src/schema.rs crates/format/src/table.rs crates/format/src/util.rs crates/format/src/value.rs crates/format/src/writer.rs
+
+crates/format/src/lib.rs:
+crates/format/src/chunk.rs:
+crates/format/src/csv.rs:
+crates/format/src/encoding/mod.rs:
+crates/format/src/encoding/bitpack.rs:
+crates/format/src/encoding/dict.rs:
+crates/format/src/encoding/plain.rs:
+crates/format/src/encoding/rle.rs:
+crates/format/src/error.rs:
+crates/format/src/footer.rs:
+crates/format/src/reader.rs:
+crates/format/src/schema.rs:
+crates/format/src/table.rs:
+crates/format/src/util.rs:
+crates/format/src/value.rs:
+crates/format/src/writer.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/fusion_format-f46cd9c95c1acced.d: crates/format/src/lib.rs crates/format/src/chunk.rs crates/format/src/csv.rs crates/format/src/encoding/mod.rs crates/format/src/encoding/bitpack.rs crates/format/src/encoding/dict.rs crates/format/src/encoding/plain.rs crates/format/src/encoding/rle.rs crates/format/src/error.rs crates/format/src/footer.rs crates/format/src/reader.rs crates/format/src/schema.rs crates/format/src/table.rs crates/format/src/util.rs crates/format/src/value.rs crates/format/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfusion_format-f46cd9c95c1acced.rmeta: crates/format/src/lib.rs crates/format/src/chunk.rs crates/format/src/csv.rs crates/format/src/encoding/mod.rs crates/format/src/encoding/bitpack.rs crates/format/src/encoding/dict.rs crates/format/src/encoding/plain.rs crates/format/src/encoding/rle.rs crates/format/src/error.rs crates/format/src/footer.rs crates/format/src/reader.rs crates/format/src/schema.rs crates/format/src/table.rs crates/format/src/util.rs crates/format/src/value.rs crates/format/src/writer.rs Cargo.toml
+
+crates/format/src/lib.rs:
+crates/format/src/chunk.rs:
+crates/format/src/csv.rs:
+crates/format/src/encoding/mod.rs:
+crates/format/src/encoding/bitpack.rs:
+crates/format/src/encoding/dict.rs:
+crates/format/src/encoding/plain.rs:
+crates/format/src/encoding/rle.rs:
+crates/format/src/error.rs:
+crates/format/src/footer.rs:
+crates/format/src/reader.rs:
+crates/format/src/schema.rs:
+crates/format/src/table.rs:
+crates/format/src/util.rs:
+crates/format/src/value.rs:
+crates/format/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

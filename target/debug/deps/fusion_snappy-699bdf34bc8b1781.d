@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fusion_snappy-699bdf34bc8b1781.d: crates/snappy/src/lib.rs crates/snappy/src/varint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfusion_snappy-699bdf34bc8b1781.rmeta: crates/snappy/src/lib.rs crates/snappy/src/varint.rs Cargo.toml
+
+crates/snappy/src/lib.rs:
+crates/snappy/src/varint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fusion_snappy-849de4137db369ae.d: crates/snappy/src/lib.rs crates/snappy/src/varint.rs
+
+/root/repo/target/debug/deps/libfusion_snappy-849de4137db369ae.rlib: crates/snappy/src/lib.rs crates/snappy/src/varint.rs
+
+/root/repo/target/debug/deps/libfusion_snappy-849de4137db369ae.rmeta: crates/snappy/src/lib.rs crates/snappy/src/varint.rs
+
+crates/snappy/src/lib.rs:
+crates/snappy/src/varint.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fusion_snappy-97e7be54f05da3be.d: crates/snappy/src/lib.rs crates/snappy/src/varint.rs
+
+/root/repo/target/debug/deps/fusion_snappy-97e7be54f05da3be: crates/snappy/src/lib.rs crates/snappy/src/varint.rs
+
+crates/snappy/src/lib.rs:
+crates/snappy/src/varint.rs:

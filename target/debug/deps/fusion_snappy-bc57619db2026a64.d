@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fusion_snappy-bc57619db2026a64.d: crates/snappy/src/lib.rs crates/snappy/src/varint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfusion_snappy-bc57619db2026a64.rmeta: crates/snappy/src/lib.rs crates/snappy/src/varint.rs Cargo.toml
+
+crates/snappy/src/lib.rs:
+crates/snappy/src/varint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fusion_sql-7f0a7574371b992c.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bitmap.rs crates/sql/src/date.rs crates/sql/src/error.rs crates/sql/src/eval.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/partial.rs crates/sql/src/plan.rs
+
+/root/repo/target/debug/deps/fusion_sql-7f0a7574371b992c: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bitmap.rs crates/sql/src/date.rs crates/sql/src/error.rs crates/sql/src/eval.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/partial.rs crates/sql/src/plan.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/bitmap.rs:
+crates/sql/src/date.rs:
+crates/sql/src/error.rs:
+crates/sql/src/eval.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/partial.rs:
+crates/sql/src/plan.rs:

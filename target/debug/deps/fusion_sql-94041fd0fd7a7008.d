@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fusion_sql-94041fd0fd7a7008.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bitmap.rs crates/sql/src/date.rs crates/sql/src/error.rs crates/sql/src/eval.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/partial.rs crates/sql/src/plan.rs
+
+/root/repo/target/debug/deps/libfusion_sql-94041fd0fd7a7008.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bitmap.rs crates/sql/src/date.rs crates/sql/src/error.rs crates/sql/src/eval.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/partial.rs crates/sql/src/plan.rs
+
+/root/repo/target/debug/deps/libfusion_sql-94041fd0fd7a7008.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bitmap.rs crates/sql/src/date.rs crates/sql/src/error.rs crates/sql/src/eval.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/partial.rs crates/sql/src/plan.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/bitmap.rs:
+crates/sql/src/date.rs:
+crates/sql/src/error.rs:
+crates/sql/src/eval.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/partial.rs:
+crates/sql/src/plan.rs:

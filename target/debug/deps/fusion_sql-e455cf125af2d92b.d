@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fusion_sql-e455cf125af2d92b.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bitmap.rs crates/sql/src/date.rs crates/sql/src/error.rs crates/sql/src/eval.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/partial.rs crates/sql/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfusion_sql-e455cf125af2d92b.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/bitmap.rs crates/sql/src/date.rs crates/sql/src/error.rs crates/sql/src/eval.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs crates/sql/src/partial.rs crates/sql/src/plan.rs Cargo.toml
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/bitmap.rs:
+crates/sql/src/date.rs:
+crates/sql/src/error.rs:
+crates/sql/src/eval.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/partial.rs:
+crates/sql/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fusion_workloads-612a9696d9e4b905.d: crates/workloads/src/lib.rs crates/workloads/src/recipes.rs crates/workloads/src/synth.rs crates/workloads/src/taxi.rs crates/workloads/src/text.rs crates/workloads/src/tpch.rs crates/workloads/src/ukpp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfusion_workloads-612a9696d9e4b905.rmeta: crates/workloads/src/lib.rs crates/workloads/src/recipes.rs crates/workloads/src/synth.rs crates/workloads/src/taxi.rs crates/workloads/src/text.rs crates/workloads/src/tpch.rs crates/workloads/src/ukpp.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/recipes.rs:
+crates/workloads/src/synth.rs:
+crates/workloads/src/taxi.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/tpch.rs:
+crates/workloads/src/ukpp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

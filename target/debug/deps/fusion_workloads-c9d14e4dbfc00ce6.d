@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fusion_workloads-c9d14e4dbfc00ce6.d: crates/workloads/src/lib.rs crates/workloads/src/recipes.rs crates/workloads/src/synth.rs crates/workloads/src/taxi.rs crates/workloads/src/text.rs crates/workloads/src/tpch.rs crates/workloads/src/ukpp.rs
+
+/root/repo/target/debug/deps/libfusion_workloads-c9d14e4dbfc00ce6.rlib: crates/workloads/src/lib.rs crates/workloads/src/recipes.rs crates/workloads/src/synth.rs crates/workloads/src/taxi.rs crates/workloads/src/text.rs crates/workloads/src/tpch.rs crates/workloads/src/ukpp.rs
+
+/root/repo/target/debug/deps/libfusion_workloads-c9d14e4dbfc00ce6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/recipes.rs crates/workloads/src/synth.rs crates/workloads/src/taxi.rs crates/workloads/src/text.rs crates/workloads/src/tpch.rs crates/workloads/src/ukpp.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/recipes.rs:
+crates/workloads/src/synth.rs:
+crates/workloads/src/taxi.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/tpch.rs:
+crates/workloads/src/ukpp.rs:

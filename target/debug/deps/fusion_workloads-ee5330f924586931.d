@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fusion_workloads-ee5330f924586931.d: crates/workloads/src/lib.rs crates/workloads/src/recipes.rs crates/workloads/src/synth.rs crates/workloads/src/taxi.rs crates/workloads/src/text.rs crates/workloads/src/tpch.rs crates/workloads/src/ukpp.rs
+
+/root/repo/target/debug/deps/fusion_workloads-ee5330f924586931: crates/workloads/src/lib.rs crates/workloads/src/recipes.rs crates/workloads/src/synth.rs crates/workloads/src/taxi.rs crates/workloads/src/text.rs crates/workloads/src/tpch.rs crates/workloads/src/ukpp.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/recipes.rs:
+crates/workloads/src/synth.rs:
+crates/workloads/src/taxi.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/tpch.rs:
+crates/workloads/src/ukpp.rs:

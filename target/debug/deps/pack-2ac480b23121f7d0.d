@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pack-2ac480b23121f7d0.d: crates/bench/benches/pack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpack-2ac480b23121f7d0.rmeta: crates/bench/benches/pack.rs Cargo.toml
+
+crates/bench/benches/pack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_properties-98945e466e7af5c8.d: tests/paper_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_properties-98945e466e7af5c8.rmeta: tests/paper_properties.rs Cargo.toml
+
+tests/paper_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

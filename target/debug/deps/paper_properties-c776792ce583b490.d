@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_properties-c776792ce583b490.d: tests/paper_properties.rs
+
+/root/repo/target/debug/deps/paper_properties-c776792ce583b490: tests/paper_properties.rs
+
+tests/paper_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_properties-e11631c164cc9b06.d: tests/paper_properties.rs
+
+/root/repo/target/debug/deps/paper_properties-e11631c164cc9b06: tests/paper_properties.rs
+
+tests/paper_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-217fb068fd751a2d.d: crates/sql/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-217fb068fd751a2d.rmeta: crates/sql/tests/proptests.rs Cargo.toml
+
+crates/sql/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

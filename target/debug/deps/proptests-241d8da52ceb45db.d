@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-241d8da52ceb45db.d: crates/ec/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-241d8da52ceb45db: crates/ec/tests/proptests.rs
+
+crates/ec/tests/proptests.rs:

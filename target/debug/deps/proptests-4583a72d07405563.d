@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-4583a72d07405563.d: crates/ec/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-4583a72d07405563.rmeta: crates/ec/tests/proptests.rs Cargo.toml
+
+crates/ec/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-5b2cf6265113aada.d: crates/format/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-5b2cf6265113aada.rmeta: crates/format/tests/proptests.rs Cargo.toml
+
+crates/format/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-64c20501a16dfd53.d: crates/snappy/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-64c20501a16dfd53: crates/snappy/tests/proptests.rs
+
+crates/snappy/tests/proptests.rs:

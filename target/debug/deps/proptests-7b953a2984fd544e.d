@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7b953a2984fd544e.d: crates/format/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7b953a2984fd544e: crates/format/tests/proptests.rs
+
+crates/format/tests/proptests.rs:

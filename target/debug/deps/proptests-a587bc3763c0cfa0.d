@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a587bc3763c0cfa0.d: crates/workloads/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a587bc3763c0cfa0: crates/workloads/tests/proptests.rs
+
+crates/workloads/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a6991e660e0e2181.d: crates/sql/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a6991e660e0e2181: crates/sql/tests/proptests.rs
+
+crates/sql/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-affab2b0e3919231.d: crates/cluster/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-affab2b0e3919231: crates/cluster/tests/proptests.rs
+
+crates/cluster/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cc9321180443fd32.d: crates/cluster/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cc9321180443fd32: crates/cluster/tests/proptests.rs
+
+crates/cluster/tests/proptests.rs:

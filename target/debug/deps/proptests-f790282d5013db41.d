@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f790282d5013db41.d: crates/snappy/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f790282d5013db41.rmeta: crates/snappy/tests/proptests.rs Cargo.toml
+
+crates/snappy/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query-2213d84d4ad10778.d: crates/bench/benches/query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery-2213d84d4ad10778.rmeta: crates/bench/benches/query.rs Cargo.toml
+
+crates/bench/benches/query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_tests-727e31ed612107ee.d: crates/core/tests/query_tests.rs
+
+/root/repo/target/debug/deps/query_tests-727e31ed612107ee: crates/core/tests/query_tests.rs
+
+crates/core/tests/query_tests.rs:

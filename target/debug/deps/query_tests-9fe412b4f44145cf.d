@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query_tests-9fe412b4f44145cf.d: crates/core/tests/query_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_tests-9fe412b4f44145cf.rmeta: crates/core/tests/query_tests.rs Cargo.toml
+
+crates/core/tests/query_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_tests-ae9f7a73831bcd79.d: crates/core/tests/query_tests.rs
+
+/root/repo/target/debug/deps/query_tests-ae9f7a73831bcd79: crates/core/tests/query_tests.rs
+
+crates/core/tests/query_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snappy-b112b3689170b2f0.d: crates/bench/benches/snappy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnappy-b112b3689170b2f0.rmeta: crates/bench/benches/snappy.rs Cargo.toml
+
+crates/bench/benches/snappy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

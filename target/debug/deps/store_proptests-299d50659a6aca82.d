@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_proptests-299d50659a6aca82.d: crates/core/tests/store_proptests.rs
+
+/root/repo/target/debug/deps/store_proptests-299d50659a6aca82: crates/core/tests/store_proptests.rs
+
+crates/core/tests/store_proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/store_proptests-a67603c897f5f70c.d: crates/core/tests/store_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstore_proptests-a67603c897f5f70c.rmeta: crates/core/tests/store_proptests.rs Cargo.toml
+
+crates/core/tests/store_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

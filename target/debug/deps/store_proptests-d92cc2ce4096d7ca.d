@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_proptests-d92cc2ce4096d7ca.d: crates/core/tests/store_proptests.rs
+
+/root/repo/target/debug/deps/store_proptests-d92cc2ce4096d7ca: crates/core/tests/store_proptests.rs
+
+crates/core/tests/store_proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/csv_import-077e2bf5550ef5c1.d: examples/csv_import.rs
+
+/root/repo/target/debug/examples/csv_import-077e2bf5550ef5c1: examples/csv_import.rs
+
+examples/csv_import.rs:

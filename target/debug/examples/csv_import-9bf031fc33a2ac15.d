@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/csv_import-9bf031fc33a2ac15.d: examples/csv_import.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcsv_import-9bf031fc33a2ac15.rmeta: examples/csv_import.rs Cargo.toml
+
+examples/csv_import.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

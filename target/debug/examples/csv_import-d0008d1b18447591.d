@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/csv_import-d0008d1b18447591.d: examples/csv_import.rs
+
+/root/repo/target/debug/examples/csv_import-d0008d1b18447591: examples/csv_import.rs
+
+examples/csv_import.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_recovery-59be1f55e200f9f9.d: examples/failure_recovery.rs
+
+/root/repo/target/debug/examples/failure_recovery-59be1f55e200f9f9: examples/failure_recovery.rs
+
+examples/failure_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_recovery-c886695a255f4b60.d: examples/failure_recovery.rs
+
+/root/repo/target/debug/examples/failure_recovery-c886695a255f4b60: examples/failure_recovery.rs
+
+examples/failure_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_drill-11d18d3072f15e23.d: examples/fault_drill.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_drill-11d18d3072f15e23.rmeta: examples/fault_drill.rs Cargo.toml
+
+examples/fault_drill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

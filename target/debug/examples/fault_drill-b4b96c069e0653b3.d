@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_drill-b4b96c069e0653b3.d: examples/fault_drill.rs
+
+/root/repo/target/debug/examples/fault_drill-b4b96c069e0653b3: examples/fault_drill.rs
+
+examples/fault_drill.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-05df94eeaf3762a9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-05df94eeaf3762a9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-230a3e275aa2d54a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-230a3e275aa2d54a: examples/quickstart.rs
+
+examples/quickstart.rs:

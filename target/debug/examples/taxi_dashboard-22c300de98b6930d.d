@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/taxi_dashboard-22c300de98b6930d.d: examples/taxi_dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtaxi_dashboard-22c300de98b6930d.rmeta: examples/taxi_dashboard.rs Cargo.toml
+
+examples/taxi_dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/taxi_dashboard-5ba244b8f148001b.d: examples/taxi_dashboard.rs
+
+/root/repo/target/debug/examples/taxi_dashboard-5ba244b8f148001b: examples/taxi_dashboard.rs
+
+examples/taxi_dashboard.rs:

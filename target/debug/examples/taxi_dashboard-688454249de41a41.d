@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/taxi_dashboard-688454249de41a41.d: examples/taxi_dashboard.rs
+
+/root/repo/target/debug/examples/taxi_dashboard-688454249de41a41: examples/taxi_dashboard.rs
+
+examples/taxi_dashboard.rs:

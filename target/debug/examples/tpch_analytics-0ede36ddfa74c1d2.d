@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpch_analytics-0ede36ddfa74c1d2.d: examples/tpch_analytics.rs
+
+/root/repo/target/debug/examples/tpch_analytics-0ede36ddfa74c1d2: examples/tpch_analytics.rs
+
+examples/tpch_analytics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpch_analytics-133e32f9177bf882.d: examples/tpch_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpch_analytics-133e32f9177bf882.rmeta: examples/tpch_analytics.rs Cargo.toml
+
+examples/tpch_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

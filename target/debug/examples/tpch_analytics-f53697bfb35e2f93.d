@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpch_analytics-f53697bfb35e2f93.d: examples/tpch_analytics.rs
+
+/root/repo/target/debug/examples/tpch_analytics-f53697bfb35e2f93: examples/tpch_analytics.rs
+
+examples/tpch_analytics.rs:

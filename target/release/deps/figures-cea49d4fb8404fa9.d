@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-cea49d4fb8404fa9.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-cea49d4fb8404fa9: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fusion-49433b0ac5e665f4.d: src/lib.rs
+
+/root/repo/target/release/deps/libfusion-49433b0ac5e665f4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfusion-49433b0ac5e665f4.rmeta: src/lib.rs
+
+src/lib.rs:

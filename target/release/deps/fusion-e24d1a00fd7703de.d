@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fusion-e24d1a00fd7703de.d: src/lib.rs
+
+/root/repo/target/release/deps/libfusion-e24d1a00fd7703de.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfusion-e24d1a00fd7703de.rmeta: src/lib.rs
+
+src/lib.rs:

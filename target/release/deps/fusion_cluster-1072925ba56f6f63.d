@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fusion_cluster-1072925ba56f6f63.d: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/fault.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+/root/repo/target/release/deps/libfusion_cluster-1072925ba56f6f63.rlib: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/fault.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+/root/repo/target/release/deps/libfusion_cluster-1072925ba56f6f63.rmeta: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/fault.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/fault.rs:
+crates/cluster/src/spec.rs:
+crates/cluster/src/store.rs:
+crates/cluster/src/time.rs:

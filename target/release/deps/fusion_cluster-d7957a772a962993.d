@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fusion_cluster-d7957a772a962993.d: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+/root/repo/target/release/deps/libfusion_cluster-d7957a772a962993.rlib: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+/root/repo/target/release/deps/libfusion_cluster-d7957a772a962993.rmeta: crates/cluster/src/lib.rs crates/cluster/src/engine.rs crates/cluster/src/spec.rs crates/cluster/src/store.rs crates/cluster/src/time.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/engine.rs:
+crates/cluster/src/spec.rs:
+crates/cluster/src/store.rs:
+crates/cluster/src/time.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fusion_snappy-93176525c46bcd6f.d: crates/snappy/src/lib.rs crates/snappy/src/varint.rs
+
+/root/repo/target/release/deps/libfusion_snappy-93176525c46bcd6f.rlib: crates/snappy/src/lib.rs crates/snappy/src/varint.rs
+
+/root/repo/target/release/deps/libfusion_snappy-93176525c46bcd6f.rmeta: crates/snappy/src/lib.rs crates/snappy/src/varint.rs
+
+crates/snappy/src/lib.rs:
+crates/snappy/src/varint.rs:

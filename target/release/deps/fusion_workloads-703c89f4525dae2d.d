@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fusion_workloads-703c89f4525dae2d.d: crates/workloads/src/lib.rs crates/workloads/src/recipes.rs crates/workloads/src/synth.rs crates/workloads/src/taxi.rs crates/workloads/src/text.rs crates/workloads/src/tpch.rs crates/workloads/src/ukpp.rs
+
+/root/repo/target/release/deps/libfusion_workloads-703c89f4525dae2d.rlib: crates/workloads/src/lib.rs crates/workloads/src/recipes.rs crates/workloads/src/synth.rs crates/workloads/src/taxi.rs crates/workloads/src/text.rs crates/workloads/src/tpch.rs crates/workloads/src/ukpp.rs
+
+/root/repo/target/release/deps/libfusion_workloads-703c89f4525dae2d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/recipes.rs crates/workloads/src/synth.rs crates/workloads/src/taxi.rs crates/workloads/src/text.rs crates/workloads/src/tpch.rs crates/workloads/src/ukpp.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/recipes.rs:
+crates/workloads/src/synth.rs:
+crates/workloads/src/taxi.rs:
+crates/workloads/src/text.rs:
+crates/workloads/src/tpch.rs:
+crates/workloads/src/ukpp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_drill-f95328e481d69a72.d: examples/fault_drill.rs
+
+/root/repo/target/release/examples/fault_drill-f95328e481d69a72: examples/fault_drill.rs
+
+examples/fault_drill.rs:

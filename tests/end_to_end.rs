@@ -49,15 +49,29 @@ fn fac_never_splits_chunks_on_any_dataset() {
 #[test]
 fn queries_work_on_every_dataset() {
     let cases = [
-        (Dataset::TpchLineitem, "SELECT count(*) FROM data WHERE quantity < 10"),
-        (Dataset::Taxi, "SELECT avg(fare) FROM data WHERE passenger_count = 1"),
-        (Dataset::RecipeNlg, "SELECT count(*) FROM data WHERE source = 'Gathered'"),
-        (Dataset::UkPp, "SELECT max(price) FROM data WHERE property_type = 'D'"),
+        (
+            Dataset::TpchLineitem,
+            "SELECT count(*) FROM data WHERE quantity < 10",
+        ),
+        (
+            Dataset::Taxi,
+            "SELECT avg(fare) FROM data WHERE passenger_count = 1",
+        ),
+        (
+            Dataset::RecipeNlg,
+            "SELECT count(*) FROM data WHERE source = 'Gathered'",
+        ),
+        (
+            Dataset::UkPp,
+            "SELECT max(price) FROM data WHERE property_type = 'D'",
+        ),
     ];
     for (d, sql) in cases {
         let file = d.file(0.02);
         let store = scaled_store(&file);
-        let out = store.query(sql).unwrap_or_else(|e| panic!("{}: {e}", d.name()));
+        let out = store
+            .query(sql)
+            .unwrap_or_else(|e| panic!("{}: {e}", d.name()));
         assert!(!out.result.aggregates.is_empty(), "{}", d.name());
         assert!(out.selectivity > 0.0, "{} matched nothing", d.name());
     }
@@ -67,7 +81,8 @@ fn queries_work_on_every_dataset() {
 fn baseline_and_fusion_agree_on_real_workload_queries() {
     let file = Dataset::TpchLineitem.file(0.02);
     let fusion = scaled_store(&file);
-    let mut base_cfg = StoreConfig::baseline().with_block_size((file.len() as u64 / 100).max(16 << 10));
+    let mut base_cfg =
+        StoreConfig::baseline().with_block_size((file.len() as u64 / 100).max(16 << 10));
     base_cfg.overhead_threshold = 0.1;
     let mut baseline = Store::new(base_cfg).expect("valid config");
     baseline.put("data", file.to_vec()).expect("put");
@@ -125,4 +140,46 @@ fn umbrella_prelude_supports_the_readme_flow() {
     assert_eq!(reader.read_table().expect("read"), table);
     let q = parse("SELECT salary FROM Employees WHERE name == 'Bob'").expect("parse");
     assert_eq!(q.table, "Employees");
+}
+
+#[test]
+fn query_with_too_many_failures_returns_typed_error() {
+    use fusion::core::error::StoreError;
+    let file = Dataset::TpchLineitem.file(0.02);
+    let mut store = scaled_store(&file);
+    // Break the stripe holding the first `quantity` chunk beyond repair:
+    // RS(9,6) tolerates 3 lost blocks per stripe; lose 4 nodes including
+    // that chunk's host, so the pushdown query must hit the lost stripe.
+    let (first, ..) = {
+        let meta = store.object("data").expect("stored");
+        let fm = meta.file_meta.as_ref().expect("analytics file");
+        let qcol = fm
+            .schema
+            .fields()
+            .iter()
+            .position(|f| f.name == "quantity")
+            .expect("lineitem has a quantity column");
+        let ordinal = meta.chunk_ordinal(0, qcol).expect("chunk exists");
+        (meta.chunk_fragments(ordinal)[0].node,)
+    };
+    let mut failed = vec![first];
+    for n in 0..9 {
+        if failed.len() == 4 {
+            break;
+        }
+        if n != first {
+            failed.push(n);
+        }
+    }
+    for &n in &failed {
+        store.fail_node(n).expect("fail");
+    }
+    // An unpruneable predicate, so the broken chunk cannot be skipped.
+    let err = store
+        .query("SELECT quantity FROM data WHERE quantity < 1000000")
+        .expect_err("query over unrecoverable data must fail, not fabricate rows");
+    assert!(
+        matches!(err, StoreError::Unrecoverable(_)),
+        "expected a typed unrecoverable error, got: {err:?}"
+    );
 }

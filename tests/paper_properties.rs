@@ -5,8 +5,8 @@
 use fusion::prelude::*;
 use fusion_bench::harness::{reduction, BenchEnv, SystemKind};
 use fusion_bench::microbench::microbench_query;
-use fusion_core::layout::{fac, items_from_meta, padding};
 use fusion_core::config::EcConfig;
+use fusion_core::layout::{fac, items_from_meta, padding};
 use fusion_workloads::synth::{zipf_chunk_sizes, SynthConfig};
 use fusion_workloads::Dataset;
 
@@ -22,14 +22,24 @@ fn fig6_compression_shape() {
     let meta = parse_footer(env.lineitem_file()).expect("valid");
     let mut ratios: Vec<f64> = (0..16)
         .map(|c| {
-            meta.row_groups.iter().map(|rg| rg.chunks[c].compressibility()).sum::<f64>()
+            meta.row_groups
+                .iter()
+                .map(|rg| rg.chunks[c].compressibility())
+                .sum::<f64>()
                 / meta.row_groups.len() as f64
         })
         .collect();
     ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let median = ratios[8];
-    assert!((4.0..25.0).contains(&median), "median ratio {median} (paper: 9.3)");
-    assert!(*ratios.last().expect("nonempty") > 20.0, "max {} (paper: 63.5)", ratios.last().unwrap());
+    assert!(
+        (4.0..25.0).contains(&median),
+        "median ratio {median} (paper: 9.3)"
+    );
+    assert!(
+        *ratios.last().expect("nonempty") > 20.0,
+        "max {} (paper: 63.5)",
+        ratios.last().unwrap()
+    );
     assert!(ratios[0] < 3.5, "min {} (paper: ~1.4)", ratios[0]);
 }
 
@@ -63,13 +73,22 @@ fn fig16a_overhead_decreases_with_chunks() {
     let ec = EcConfig::RS_9_6;
     for theta in [0.0, 0.5, 0.99] {
         let overhead = |n: usize| {
-            let sizes = zipf_chunk_sizes(SynthConfig { num_chunks: n, theta, seed: 7, ..Default::default() });
+            let sizes = zipf_chunk_sizes(SynthConfig {
+                num_chunks: n,
+                theta,
+                seed: 7,
+                ..Default::default()
+            });
             let mut pos = 0u64;
             let items: Vec<_> = sizes
                 .iter()
                 .enumerate()
                 .map(|(i, &s)| {
-                    let it = fusion_core::layout::PackItem { chunk: i, start: pos, end: pos + s };
+                    let it = fusion_core::layout::PackItem {
+                        chunk: i,
+                        start: pos,
+                        end: pos + s,
+                    };
                     pos += s;
                     it
                 })
@@ -77,8 +96,14 @@ fn fig16a_overhead_decreases_with_chunks() {
             fac::pack(ec.k, &items).overhead_vs_optimal(ec)
         };
         let big = overhead(500);
-        assert!(big < 0.02, "theta {theta}: 500 chunks gave {big} (paper: <1%)");
-        assert!(overhead(20) > big, "theta {theta}: overhead must shrink with more chunks");
+        assert!(
+            big < 0.02,
+            "theta {theta}: 500 chunks gave {big} (paper: <1%)"
+        );
+        assert!(
+            overhead(20) > big,
+            "theta {theta}: overhead must shrink with more chunks"
+        );
     }
 }
 
@@ -92,14 +117,20 @@ fn fig16b_fac_beats_padding_everywhere() {
         let meta = parse_footer(&file).expect("valid");
         let items = items_from_meta(&meta, file.len() as u64);
         let block = (file.len() as u64 * (100 << 20) / d.paper_bytes()).max(1 << 10);
-        let pad = padding::pack(block, ec.k, &items).layout.overhead_vs_optimal(ec);
+        let pad = padding::pack(block, ec.k, &items)
+            .layout
+            .overhead_vs_optimal(ec);
         let fac_oh = fac::pack(ec.k, &items).overhead_vs_optimal(ec);
         assert!(
             fac_oh * 3.0 < pad,
             "{}: fac {fac_oh:.4} should be far below padding {pad:.4}",
             d.name()
         );
-        assert!(fac_oh < 0.03, "{}: fac overhead {fac_oh:.4} (paper: ≤1.24%)", d.name());
+        assert!(
+            fac_oh < 0.03,
+            "{}: fac overhead {fac_oh:.4} (paper: ≤1.24%)",
+            d.name()
+        );
     }
 }
 
@@ -128,7 +159,12 @@ fn fig13_headline_direction() {
     let r = reduction(b9.latency.p50, f9.latency.p50);
     assert!(r.abs() < 0.25, "col9 should be near parity, got {r}");
     // Fusion moves far fewer bytes on the big column (paper: 64x).
-    assert!(f5.net_bytes * 5 < b5.net_bytes, "traffic {} vs {}", f5.net_bytes, b5.net_bytes);
+    assert!(
+        f5.net_bytes * 5 < b5.net_bytes,
+        "traffic {} vs {}",
+        f5.net_bytes,
+        b5.net_bytes
+    );
 }
 
 /// Figure 15 / Table 4: the four real-world queries all favor Fusion, and
@@ -150,15 +186,28 @@ fn fig15_q4_mixed_decisions() {
     let out = store
         .query_as("taxi_0", &fusion_workloads::taxi::q4("taxi_0"))
         .expect("q4 runs");
-    let schema = store.object("taxi_0").expect("stored").file_meta.as_ref().expect("analytics").schema.clone();
+    let schema = store
+        .object("taxi_0")
+        .expect("stored")
+        .file_meta
+        .as_ref()
+        .expect("analytics")
+        .schema
+        .clone();
     let fare = schema.index_of("fare").expect("fare exists");
     let date = schema.index_of("pickup_date").expect("date exists");
     assert!(
-        out.decisions.iter().filter(|d| d.column == fare).all(|d| !d.pushed_down),
+        out.decisions
+            .iter()
+            .filter(|d| d.column == fare)
+            .all(|d| !d.pushed_down),
         "fare must not be pushed down (paper: ratio 152 x 6.3% >> 1)"
     );
     assert!(
-        out.decisions.iter().filter(|d| d.column == date).all(|d| d.pushed_down),
+        out.decisions
+            .iter()
+            .filter(|d| d.column == date)
+            .all(|d| d.pushed_down),
         "pickup_date must be pushed down"
     );
 }
