@@ -5,6 +5,7 @@
 //! paper-vs-measured values.
 
 pub mod degraded;
+pub mod ec_throughput;
 pub mod latency;
 pub mod storage;
 
@@ -12,9 +13,27 @@ use crate::harness::BenchEnv;
 
 /// Every artifact id, in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "table3", "table4", "fig4a", "fig4b", "fig4c", "fig4d", "fig6", "fig10a", "fig10b", "fig12",
-    "fig13", "fig14ab", "fig14c", "fig14d", "fig15", "fig16a", "fig16bc", "ablation", "extagg",
+    "table3",
+    "table4",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+    "fig4d",
+    "fig6",
+    "fig10a",
+    "fig10b",
+    "fig12",
+    "fig13",
+    "fig14ab",
+    "fig14c",
+    "fig14d",
+    "fig15",
+    "fig16a",
+    "fig16bc",
+    "ablation",
+    "extagg",
     "degraded",
+    "ec_throughput",
 ];
 
 /// Runs one artifact by id.
@@ -44,6 +63,7 @@ pub fn run(id: &str, env: &BenchEnv) -> String {
         "ablation" => latency::ablation_adaptive(env),
         "extagg" => latency::ext_aggregate_pushdown(env),
         "degraded" => degraded::degraded_latency(env),
+        "ec_throughput" => ec_throughput::ec_throughput(env),
         id if id.starts_with("debugcol") => {
             let col: usize = id.trim_start_matches("debugcol").parse().unwrap_or(0);
             latency::debug_column(env, col)

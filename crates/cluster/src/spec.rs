@@ -179,9 +179,23 @@ impl CostModel {
         crate::time::transfer_time(bytes, self.cpu_project_bps)
     }
 
-    /// CPU time to erasure-code `bytes` of stripe data.
+    /// CPU time to erasure-code `bytes` of stripe data at the calibrated
+    /// scalar rate (equivalent to [`CostModel::ec_at`] with speedup 1).
     pub fn ec(&self, bytes: u64) -> Nanos {
-        crate::time::transfer_time(bytes, self.cpu_ec_bps)
+        self.ec_at(bytes, 1.0)
+    }
+
+    /// CPU time to erasure-code `bytes` with a GF(2^8) kernel running at
+    /// `speedup`× the calibrated scalar rate. The store's encode, repair,
+    /// and degraded-read paths pass the configured codec's measured
+    /// speedup here so the time plane reflects the kernel choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedup` is not positive.
+    pub fn ec_at(&self, bytes: u64, speedup: f64) -> Nanos {
+        assert!(speedup > 0.0, "codec speedup must be positive");
+        crate::time::transfer_time(bytes, self.cpu_ec_bps * speedup)
     }
 
     /// CPU time spent in the network stack to move `bytes` (charged at
@@ -231,6 +245,22 @@ mod tests {
     #[test]
     fn with_nodes_builder() {
         assert_eq!(ClusterSpec::with_nodes(14).nodes, 14);
+    }
+
+    #[test]
+    fn ec_at_scales_with_codec_speedup() {
+        let m = CostModel::default();
+        assert_eq!(m.ec_at(1 << 20, 1.0), m.ec(1 << 20));
+        // A 4x-faster kernel takes a quarter of the CPU time.
+        let fast = m.ec_at(4 << 20, 4.0);
+        assert_eq!(fast, m.ec(1 << 20));
+        assert!(m.ec_at(1 << 20, 4.0) < m.ec(1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "codec speedup must be positive")]
+    fn ec_at_rejects_nonpositive_speedup() {
+        let _ = CostModel::default().ec_at(1, 0.0);
     }
 
     #[test]

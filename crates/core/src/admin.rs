@@ -126,6 +126,10 @@ impl Store {
     ///
     /// Stripes with a block on a **down** node are counted degraded and
     /// left for [`Store::recover_node`].
+    ///
+    /// The expensive verify/reconstruct math of each stripe fans out
+    /// across the store's worker pool; block reads and repair writes stay
+    /// serial (the data plane is single-owner).
     pub fn scrub(&mut self) -> ScrubReport {
         let mut report = ScrubReport::default();
         for name in self.object_names() {
@@ -133,10 +137,12 @@ impl Store {
                 Ok(m) => m.clone(),
                 Err(_) => continue,
             };
+
+            // Phase 1 (serial): read and classify every block of every
+            // stripe of this object.
+            let mut jobs: Vec<ScrubJob> = Vec::with_capacity(meta.placement.len());
             for (si, sp) in meta.placement.iter().enumerate() {
                 let width = sp.width as usize;
-                let k = self.config().ec.k;
-                // Classify every block of the stripe.
                 let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(sp.nodes.len());
                 let mut lost: Vec<usize> = Vec::new();
                 let mut degraded = false;
@@ -159,70 +165,137 @@ impl Store {
                         }
                     }
                 }
-                if degraded {
-                    report.stripes_degraded += 1;
-                    continue;
-                }
+                jobs.push(ScrubJob {
+                    si,
+                    width,
+                    shards,
+                    lost,
+                    degraded,
+                    verdict: ScrubVerdict::Degraded,
+                });
+            }
 
-                if !lost.is_empty() {
-                    if self.codec().reconstruct(&mut shards, width).is_err() {
-                        // Fewer than k readable shards: unrecoverable.
-                        report.stripes_corrupt += 1;
-                        continue;
-                    }
-                    for &i in &lost {
-                        let content =
-                            trim_shard(shards[i].clone().expect("reconstructed"), &meta, si, i, k);
-                        report.blocks_repaired += 1;
-                        let _ = self.blocks_mut().put(
-                            sp.nodes[i],
-                            sp.block_ids[i],
-                            Bytes::from(content),
-                        );
-                    }
-                    report.stripes_repaired += 1;
-                    report.stripes_ok += 1;
-                    continue;
-                }
+            // Phase 2 (parallel): verify/reconstruct each stripe across
+            // the worker pool. Pure codec math over job-owned buffers.
+            {
+                let rs = self.codec();
+                self.pool().for_each_mut(&mut jobs, |_, job| {
+                    job.verdict = if job.degraded {
+                        ScrubVerdict::Degraded
+                    } else if !job.lost.is_empty() {
+                        match rs.reconstruct(&mut job.shards, job.width) {
+                            Ok(()) => ScrubVerdict::Healed,
+                            // Fewer than k readable shards: unrecoverable.
+                            Err(_) => ScrubVerdict::Unrecoverable,
+                        }
+                    } else {
+                        let full: Vec<&[u8]> = job
+                            .shards
+                            .iter()
+                            .map(|s| s.as_deref().expect("all readable"))
+                            .collect();
+                        if rs.verify(&full) {
+                            ScrubVerdict::Ok
+                        } else {
+                            ScrubVerdict::Mismatch
+                        }
+                    };
+                });
+            }
 
-                let full: Vec<Vec<u8>> = shards
-                    .iter()
-                    .map(|s| s.clone().expect("all readable"))
-                    .collect();
-                if self.codec().verify(&full) {
-                    report.stripes_ok += 1;
-                    continue;
-                }
-                // Silent corruption that slipped past the CRC. Localize
-                // it: excluding the corrupt block (and only it) yields a
-                // stripe that reconstructs AND verifies.
-                report.stripes_corrupt += 1;
-                for c in 0..full.len() {
-                    let mut cand: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
-                    cand[c] = None;
-                    if self.codec().reconstruct(&mut cand, width).is_err() {
-                        continue;
-                    }
-                    let rebuilt: Vec<Vec<u8>> = cand
-                        .into_iter()
-                        .map(|s| s.expect("reconstructed"))
-                        .collect();
-                    if self.codec().verify(&rebuilt) {
-                        let content = trim_shard(rebuilt[c].clone(), &meta, si, c, k);
-                        report.blocks_repaired += 1;
+            // Phase 3 (serial): apply verdicts — rewrite healed blocks,
+            // localize tampered ones — and tally the report.
+            let k = self.config().ec.k;
+            for job in jobs {
+                let sp = &meta.placement[job.si];
+                match job.verdict {
+                    ScrubVerdict::Degraded => report.stripes_degraded += 1,
+                    ScrubVerdict::Ok => report.stripes_ok += 1,
+                    ScrubVerdict::Unrecoverable => report.stripes_corrupt += 1,
+                    ScrubVerdict::Healed => {
+                        for &i in &job.lost {
+                            let content = trim_shard(
+                                job.shards[i].clone().expect("reconstructed"),
+                                &meta,
+                                job.si,
+                                i,
+                                k,
+                            );
+                            report.blocks_repaired += 1;
+                            let _ = self.blocks_mut().put(
+                                sp.nodes[i],
+                                sp.block_ids[i],
+                                Bytes::from(content),
+                            );
+                        }
                         report.stripes_repaired += 1;
-                        let _ = self.blocks_mut().put(
-                            sp.nodes[c],
-                            sp.block_ids[c],
-                            Bytes::from(content),
-                        );
-                        break;
+                        report.stripes_ok += 1;
+                    }
+                    ScrubVerdict::Mismatch => {
+                        // Silent corruption that slipped past the CRC.
+                        // Localize it: excluding the corrupt block (and
+                        // only it) yields a stripe that reconstructs AND
+                        // verifies. Rare, so stays serial.
+                        report.stripes_corrupt += 1;
+                        let full: Vec<Vec<u8>> = job
+                            .shards
+                            .iter()
+                            .map(|s| s.clone().expect("all readable"))
+                            .collect();
+                        for c in 0..full.len() {
+                            let mut cand: Vec<Option<Vec<u8>>> =
+                                full.iter().cloned().map(Some).collect();
+                            cand[c] = None;
+                            if self.codec().reconstruct(&mut cand, job.width).is_err() {
+                                continue;
+                            }
+                            let rebuilt: Vec<Vec<u8>> = cand
+                                .into_iter()
+                                .map(|s| s.expect("reconstructed"))
+                                .collect();
+                            if self.codec().verify(&rebuilt) {
+                                let content = trim_shard(rebuilt[c].clone(), &meta, job.si, c, k);
+                                report.blocks_repaired += 1;
+                                report.stripes_repaired += 1;
+                                let _ = self.blocks_mut().put(
+                                    sp.nodes[c],
+                                    sp.block_ids[c],
+                                    Bytes::from(content),
+                                );
+                                break;
+                            }
+                        }
                     }
                 }
             }
         }
         report
     }
+}
+
+/// What the parallel verify/reconstruct phase concluded about a stripe.
+enum ScrubVerdict {
+    /// A block sits on a down node; leave for `recover_node`.
+    Degraded,
+    /// Parity checks out.
+    Ok,
+    /// CRC-flagged/missing blocks were rebuilt into `shards`.
+    Healed,
+    /// Fewer than `k` readable shards remain.
+    Unrecoverable,
+    /// All blocks readable but parity disagrees (tampered write).
+    Mismatch,
+}
+
+/// One stripe's scrub work unit; owned buffers so the verify/reconstruct
+/// phase can run on pool workers without shared mutable state.
+struct ScrubJob {
+    si: usize,
+    width: usize,
+    shards: Vec<Option<Vec<u8>>>,
+    lost: Vec<usize>,
+    degraded: bool,
+    verdict: ScrubVerdict,
 }
 
 /// Trims a reconstructed shard back to its stored size: data bins are

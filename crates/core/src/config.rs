@@ -3,6 +3,7 @@
 
 use fusion_cluster::spec::ClusterSpec;
 use fusion_cluster::time::Nanos;
+use fusion_ec::codec::CodecKind;
 
 /// Erasure-code parameters `(n, k)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,6 +106,29 @@ pub struct StoreConfig {
     /// (COUNT/SUM/AVG/MIN/MAX) down to storage nodes for aggregate-only
     /// queries, so only tiny partial results cross the network.
     pub aggregate_pushdown: bool,
+    /// Which GF(2^8) kernel the stripe codec multiplies with. The default
+    /// [`CodecKind::Fast`] uses the split-nibble SIMD kernels;
+    /// [`CodecKind::Scalar`] selects the log/exp reference path.
+    pub codec: CodecKind,
+    /// Worker threads for stripe-level encode/scrub/reconstruct
+    /// parallelism. Zero is clamped to one; the default is the machine's
+    /// available parallelism capped at eight (see DESIGN.md §9).
+    pub ec_threads: usize,
+}
+
+/// Calibrated throughput ratio of [`CodecKind::Fast`] over
+/// [`CodecKind::Scalar`] at RS(9, 6) with 1 MiB shards — measured by the
+/// `ec_throughput` experiment (see `results/ec_throughput.json`; ~6.5x
+/// encode, ~2.5x worst-case reconstruct, blended to 4.0 since the time
+/// plane charges one rate for both). Used by the simulated time plane to
+/// scale EC CPU cost per configured codec.
+pub const FAST_CODEC_SPEEDUP: f64 = 4.0;
+
+/// Default EC worker-thread count: available parallelism, capped at eight.
+fn default_ec_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(8)
 }
 
 impl Default for StoreConfig {
@@ -118,6 +142,8 @@ impl Default for StoreConfig {
             cluster: ClusterSpec::default(),
             seed: 0xF051_0A11,
             aggregate_pushdown: false,
+            codec: CodecKind::default(),
+            ec_threads: default_ec_threads(),
         }
     }
 }
@@ -163,6 +189,28 @@ impl StoreConfig {
         self
     }
 
+    /// Overrides the GF(2^8) stripe codec kernel.
+    pub fn with_codec(mut self, codec: CodecKind) -> StoreConfig {
+        self.codec = codec;
+        self
+    }
+
+    /// Overrides the EC worker-thread count (zero is clamped to one).
+    pub fn with_ec_threads(mut self, threads: usize) -> StoreConfig {
+        self.ec_threads = threads.max(1);
+        self
+    }
+
+    /// Throughput multiplier of the configured codec relative to the
+    /// calibrated scalar EC rate (`CostModel::cpu_ec_bps`), used when the
+    /// time plane charges erasure-coding CPU.
+    pub fn codec_speedup(&self) -> f64 {
+        match self.codec {
+            CodecKind::Scalar => 1.0,
+            CodecKind::Fast => FAST_CODEC_SPEEDUP,
+        }
+    }
+
     /// Fixed per-query coordinator overhead from the cost model.
     pub fn query_overhead(&self) -> Nanos {
         self.cluster.cost.query_overhead
@@ -198,10 +246,26 @@ mod tests {
         let c = StoreConfig::default()
             .with_seed(7)
             .with_ec(EcConfig::RS_14_10)
-            .with_block_size(1 << 20);
+            .with_block_size(1 << 20)
+            .with_codec(CodecKind::Scalar)
+            .with_ec_threads(0);
         assert_eq!(c.seed, 7);
         assert_eq!(c.ec, EcConfig::RS_14_10);
         assert_eq!(c.block_size, 1 << 20);
+        assert_eq!(c.codec, CodecKind::Scalar);
+        assert_eq!(c.ec_threads, 1, "zero threads clamps to one");
+    }
+
+    #[test]
+    fn codec_defaults_and_speedup() {
+        let c = StoreConfig::default();
+        assert_eq!(c.codec, CodecKind::Fast);
+        assert!(c.ec_threads >= 1);
+        assert_eq!(c.codec_speedup(), FAST_CODEC_SPEEDUP);
+        assert_eq!(c.with_codec(CodecKind::Scalar).codec_speedup(), 1.0);
+        // Acceptance floor for FastCodec, kept as a const block so the
+        // build itself fails if the calibration ever drops below 3x.
+        const { assert!(FAST_CODEC_SPEEDUP >= 3.0) };
     }
 
     #[test]

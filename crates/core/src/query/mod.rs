@@ -291,7 +291,9 @@ pub(crate) fn degraded_fragment_fetch(
         let read = ctx.disk(src, sp.width, &req);
         arrived.extend(ctx.transfer(Loc::Node(src), Loc::Node(coord), sp.width, &[read]));
     }
-    let decode_cost = ctx.cost.ec(sp.width * k as u64);
+    let decode_cost = ctx
+        .cost
+        .ec_at(sp.width * k as u64, store.config().codec_speedup());
     let decode = ctx.cpu(
         Loc::Node(coord),
         decode_cost,

@@ -18,6 +18,7 @@ use fusion_cluster::engine::{CostClass, Engine, ResourceKey, Workflow};
 use fusion_cluster::fault::{AppliedFault, FaultInjector};
 use fusion_cluster::store::{BlockId, BlockStore, ClusterError};
 use fusion_cluster::time::Nanos;
+use fusion_ec::pool::WorkerPool;
 use fusion_ec::rs::ReedSolomon;
 use fusion_format::footer::parse_footer;
 use rand::rngs::SmallRng;
@@ -100,6 +101,38 @@ pub struct Store {
     /// Failed-then-revived nodes and how many RPC attempts to them time
     /// out before one succeeds (drives [`fusion_cluster::RetryPolicy`]).
     flaky: HashMap<usize, u32>,
+    /// Worker pool for stripe-level encode/scrub/reconstruct fan-out
+    /// (width = `StoreConfig::ec_threads`).
+    pool: WorkerPool,
+    /// Recycled parity buffer sets: `encode_into` reuses these across
+    /// puts so steady-state encoding allocates nothing per stripe.
+    parity_scratch: Vec<Vec<Vec<u8>>>,
+}
+
+/// Cap on recycled parity buffer sets held between puts.
+const PARITY_SCRATCH_CAP: usize = 32;
+
+/// One stripe's encode work unit: assembled data blocks in, parity out.
+/// Jobs are mutated on pool workers, so everything lives inside the job —
+/// no shared mutable state on the hot path.
+struct StripeJob {
+    data: Vec<Vec<u8>>,
+    parity: Vec<Vec<u8>>,
+}
+
+/// One lost block's repair work unit for [`Store::recover_node`]:
+/// survivors are read serially, reconstruction fans out across the pool,
+/// results are applied serially.
+struct RepairJob {
+    bid: BlockId,
+    bin: usize,
+    width: usize,
+    /// Bytes actually stored for this bin (data bins are unpadded).
+    stored_len: usize,
+    shards: Vec<Option<Vec<u8>>>,
+    /// Nodes the `k` survivor shards were read from (time-plane model).
+    sources: Vec<usize>,
+    outcome: std::result::Result<(), fusion_ec::rs::ReconstructError>,
 }
 
 impl Store {
@@ -109,7 +142,7 @@ impl Store {
     ///
     /// Invalid erasure-code parameters, or fewer cluster nodes than `n`.
     pub fn new(config: StoreConfig) -> Result<Store> {
-        let rs = ReedSolomon::new(config.ec.n, config.ec.k)?;
+        let rs = ReedSolomon::with_codec(config.ec.n, config.ec.k, config.codec)?;
         if config.cluster.nodes < config.ec.n {
             return Err(StoreError::Internal(format!(
                 "cluster has {} nodes but {} needs {}",
@@ -125,8 +158,26 @@ impl Store {
             rng: SmallRng::seed_from_u64(config.seed),
             slowdowns: HashMap::new(),
             flaky: HashMap::new(),
+            pool: WorkerPool::new(config.ec_threads),
+            parity_scratch: Vec::new(),
             config,
         })
+    }
+
+    /// The stripe worker pool (shared by put, scrub, and recovery).
+    pub(crate) fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Returns a parity buffer set to the scratch pool for reuse by the
+    /// next encode (bounded; excess sets are dropped).
+    fn recycle_parity(&mut self, mut parity: Vec<Vec<u8>>) {
+        if self.parity_scratch.len() < PARITY_SCRATCH_CAP {
+            for p in parity.iter_mut() {
+                p.clear();
+            }
+            self.parity_scratch.push(parity);
+        }
     }
 
     /// The configuration.
@@ -275,9 +326,11 @@ impl Store {
         }
         let mut placement = Vec::with_capacity(layout.stripes.len());
         let mut stored_bytes = 0u64;
+
+        // Assemble data block contents (pieces + physical padding) for
+        // every stripe, pairing each with a recycled parity buffer set.
+        let mut jobs: Vec<StripeJob> = Vec::with_capacity(layout.stripes.len());
         for stripe in &layout.stripes {
-            let width = stripe.block_size();
-            // Assemble data block contents (pieces + physical padding).
             let data_blocks: Vec<Vec<u8>> = stripe
                 .bins
                 .iter()
@@ -290,19 +343,47 @@ impl Store {
                     buf
                 })
                 .collect();
-            let parity = self.rs.encode(&data_blocks);
+            jobs.push(StripeJob {
+                data: data_blocks,
+                parity: self.parity_scratch.pop().unwrap_or_default(),
+            });
+        }
+
+        // Encode all stripes across the worker pool. Each job owns its
+        // buffers; the codec (and its coefficient table cache) is shared
+        // read-only, so workers never allocate or synchronize.
+        {
+            let rs = &self.rs;
+            self.pool.for_each_mut(&mut jobs, |_, job| {
+                rs.encode_into(&job.data, &mut job.parity)
+            });
+        }
+
+        // Place each stripe on n random distinct nodes (serial: placement
+        // consumes the store RNG and mutates the data plane).
+        for (stripe, job) in layout.stripes.iter().zip(jobs) {
+            let width = stripe.block_size();
+            let StripeJob { data, parity } = job;
             debug_assert!(parity.iter().all(|p| p.len() as u64 == width));
 
             let mut nodes = alive.clone();
             nodes.shuffle(&mut self.rng);
             nodes.truncate(ec.n);
             let mut block_ids = Vec::with_capacity(ec.n);
-            for (i, content) in data_blocks.into_iter().chain(parity).enumerate() {
+            for (i, content) in data.into_iter().enumerate() {
                 let id = self.fresh_block();
                 stored_bytes += content.len() as u64;
                 self.blocks.put(nodes[i], id, Bytes::from(content))?;
                 block_ids.push(id);
             }
+            for (p, content) in parity.iter().enumerate() {
+                let id = self.fresh_block();
+                stored_bytes += content.len() as u64;
+                self.blocks
+                    .put(nodes[ec.k + p], id, Bytes::copy_from_slice(content))?;
+                block_ids.push(id);
+            }
+            self.recycle_parity(parity);
             placement.push(StripePlacement {
                 nodes,
                 block_ids,
@@ -395,7 +476,7 @@ impl Store {
         );
         let encode = wf.step(
             ResourceKey::Cpu(coord),
-            cost.ec(stored_bytes),
+            cost.ec_at(stored_bytes, self.config.codec_speedup()),
             CostClass::Processing,
             &[pack],
         );
@@ -591,74 +672,103 @@ impl Store {
         let cost = self.config.cluster.cost.clone();
         let mut wf = Workflow::new();
         let names: Vec<String> = self.objects.keys().cloned().collect();
-        for name in names {
-            let meta = self.objects.get(&name).expect("object exists").clone();
+
+        // Phase 1 (serial): read k survivor shards for every block the
+        // node lost, across all objects.
+        let mut jobs: Vec<RepairJob> = Vec::new();
+        for name in &names {
+            let meta = self.objects.get(name).expect("object exists");
             for (si, sp) in meta.placement.iter().enumerate() {
                 for (bi, (&bnode, &bid)) in sp.nodes.iter().zip(&sp.block_ids).enumerate() {
                     if bnode != node || self.blocks.get(bnode, bid).is_ok() {
                         continue;
                     }
-                    // Rebuild this block from exactly k surviving shards.
-                    let width = sp.width as usize;
-                    let mut shards = self.read_k_shards(sp);
-                    self.rs.reconstruct(&mut shards, width)?;
-                    let mut content = shards[bi].take().expect("reconstructed");
+                    let shards = self.read_k_shards(sp);
+                    let sources: Vec<usize> = shards
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.is_some())
+                        .map(|(i, _)| sp.nodes[i])
+                        .collect();
                     // Data bins are stored unpadded; parity at full width.
-                    if bi < self.config.ec.k {
-                        content.truncate(meta.layout.stripes[si].bins[bi].stored_len() as usize);
-                    }
-                    report.stripes_repaired += 1;
-                    report.bytes_restored += content.len() as u64;
-
-                    // Virtual-time model of this stripe repair.
-                    let mut arrived = Vec::new();
-                    let mut sources = 0;
-                    for (&src, &src_bid) in sp.nodes.iter().zip(&sp.block_ids) {
-                        if src == node || self.blocks.get(src, src_bid).is_err() {
-                            continue;
-                        }
-                        if sources == self.config.ec.k {
-                            break;
-                        }
-                        sources += 1;
-                        let read = wf.step(
-                            ResourceKey::Disk(src),
-                            cost.disk_read(sp.width),
-                            CostClass::DiskRead,
-                            &[],
-                        );
-                        let tx = wf.step(
-                            ResourceKey::NicTx(src),
-                            cost.wire(sp.width),
-                            CostClass::Network,
-                            &[read],
-                        );
-                        wf.transfer_bytes(tx, sp.width);
-                        arrived.push(wf.step(
-                            ResourceKey::NicRx(node),
-                            cost.wire(sp.width),
-                            CostClass::Network,
-                            &[tx],
-                        ));
-                    }
-                    let decode = wf.step(
-                        ResourceKey::Cpu(node),
-                        cost.ec(sp.width * self.config.ec.k as u64),
-                        CostClass::Processing,
-                        &arrived,
-                    );
-                    wf.step(
-                        ResourceKey::Disk(node),
-                        cost.disk_read(content.len() as u64),
-                        CostClass::DiskRead,
-                        &[decode],
-                    );
-                    self.blocks.put(node, bid, Bytes::from(content))?;
+                    let stored_len = if bi < self.config.ec.k {
+                        meta.layout.stripes[si].bins[bi].stored_len() as usize
+                    } else {
+                        sp.width as usize
+                    };
+                    jobs.push(RepairJob {
+                        bid,
+                        bin: bi,
+                        width: sp.width as usize,
+                        stored_len,
+                        shards,
+                        sources,
+                        outcome: Ok(()),
+                    });
                 }
             }
-            // Restore location-map replicas that lived on the node. The
-            // map is recomputable from object metadata.
-            let map_bytes = match self.maps.get(&name) {
+        }
+
+        // Phase 2 (parallel): reconstruct every lost block across the
+        // worker pool. Each job owns its shard buffers.
+        {
+            let rs = &self.rs;
+            self.pool.for_each_mut(&mut jobs, |_, job| {
+                job.outcome = rs.reconstruct(&mut job.shards, job.width);
+            });
+        }
+
+        // Phase 3 (serial): surface failures, write rebuilt blocks, and
+        // model each stripe repair on the virtual clock.
+        for mut job in jobs {
+            job.outcome?;
+            let mut content = job.shards[job.bin].take().expect("reconstructed");
+            content.truncate(job.stored_len);
+            report.stripes_repaired += 1;
+            report.bytes_restored += content.len() as u64;
+
+            let width = job.width as u64;
+            let mut arrived = Vec::new();
+            for &src in &job.sources {
+                let read = wf.step(
+                    ResourceKey::Disk(src),
+                    cost.disk_read(width),
+                    CostClass::DiskRead,
+                    &[],
+                );
+                let tx = wf.step(
+                    ResourceKey::NicTx(src),
+                    cost.wire(width),
+                    CostClass::Network,
+                    &[read],
+                );
+                wf.transfer_bytes(tx, width);
+                arrived.push(wf.step(
+                    ResourceKey::NicRx(node),
+                    cost.wire(width),
+                    CostClass::Network,
+                    &[tx],
+                ));
+            }
+            let decode = wf.step(
+                ResourceKey::Cpu(node),
+                cost.ec_at(width * self.config.ec.k as u64, self.config.codec_speedup()),
+                CostClass::Processing,
+                &arrived,
+            );
+            wf.step(
+                ResourceKey::Disk(node),
+                cost.disk_read(content.len() as u64),
+                CostClass::DiskRead,
+                &[decode],
+            );
+            self.blocks.put(node, job.bid, Bytes::from(content))?;
+        }
+
+        // Restore location-map replicas that lived on the node. The map
+        // is recomputable from object metadata.
+        for name in &names {
+            let map_bytes = match self.maps.get(name) {
                 Some((map, nodes)) if nodes.contains(&node) => Some(map.to_bytes()),
                 _ => None,
             };
@@ -1003,5 +1113,78 @@ mod tests {
         assert!(report.simulated_latency > Nanos::ZERO);
         assert!(report.stored_bytes > 0);
         assert!(report.stripes >= 1);
+    }
+
+    #[test]
+    fn stored_blocks_identical_across_codecs_and_threads() {
+        use fusion_ec::codec::CodecKind;
+        let bytes = analytics_bytes(4000, 400);
+        let variants = [
+            (CodecKind::Fast, 1),
+            (CodecKind::Fast, 4),
+            (CodecKind::Scalar, 1),
+            (CodecKind::Scalar, 3),
+        ];
+        let mut fingerprints = Vec::new();
+        for (codec, threads) in variants {
+            let cfg = StoreConfig::fusion()
+                .with_codec(codec)
+                .with_ec_threads(threads);
+            let mut store = Store::new(cfg).unwrap();
+            store.put("obj", bytes.clone()).unwrap();
+            // Same seed => same placement; every block (data AND parity)
+            // must be byte-identical regardless of codec or parallelism.
+            let meta = store.object("obj").unwrap();
+            let mut fp: Vec<Vec<u8>> = Vec::new();
+            for sp in &meta.placement {
+                for (&n, &b) in sp.nodes.iter().zip(&sp.block_ids) {
+                    fp.push(store.blocks().get(n, b).unwrap().to_vec());
+                }
+            }
+            fingerprints.push(fp);
+        }
+        for fp in &fingerprints[1..] {
+            assert_eq!(fp, &fingerprints[0]);
+        }
+    }
+
+    #[test]
+    fn parity_scratch_survives_repeated_puts() {
+        // Several puts through the same store reuse recycled parity
+        // buffers; every object must still roundtrip.
+        let mut store = Store::new(StoreConfig::fusion().with_ec_threads(2)).unwrap();
+        let objs: Vec<(String, Vec<u8>)> = (0..4)
+            .map(|i| (format!("o{i}"), analytics_bytes(1000 + 700 * i, 250)))
+            .collect();
+        for (name, bytes) in &objs {
+            store.put(name, bytes.clone()).unwrap();
+        }
+        for (name, bytes) in &objs {
+            assert_eq!(&store.get(name, 0, bytes.len() as u64).unwrap(), bytes);
+        }
+    }
+
+    #[test]
+    fn parallel_recovery_matches_serial() {
+        let bytes = analytics_bytes(4000, 500);
+        for threads in [1usize, 4] {
+            let mut store = Store::new(StoreConfig::fusion().with_ec_threads(threads)).unwrap();
+            store.put("obj", bytes.clone()).unwrap();
+            let node = store.object("obj").unwrap().placement[0].nodes[0];
+            store.fail_node(node).unwrap();
+            let report = store.recover_node(node).unwrap();
+            assert!(report.stripes_repaired > 0, "threads={threads}");
+            assert_eq!(
+                store.get("obj", 0, bytes.len() as u64).unwrap(),
+                bytes,
+                "threads={threads}"
+            );
+            let meta = store.object("obj").unwrap();
+            for sp in &meta.placement {
+                for (&n, &b) in sp.nodes.iter().zip(&sp.block_ids) {
+                    assert!(store.blocks().get(n, b).is_ok(), "threads={threads}");
+                }
+            }
+        }
     }
 }

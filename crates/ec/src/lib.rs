@@ -16,6 +16,12 @@
 //! 2. **Systematic layout.** Data blocks are stored in plaintext, which is
 //!    what makes in-situ computation pushdown on storage nodes possible.
 //!
+//! The GF(2^8) inner loop is pluggable ([`codec::CodecKind`]): the default
+//! [`codec::FastCodec`] multiplies through split-nibble tables with SIMD
+//! byte-shuffle kernels ([`kernel`]), while [`codec::ScalarCodec`] keeps
+//! the original log/exp path as a differential-testing reference. Stripe
+//! fan-out for callers lives in [`pool::WorkerPool`].
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -32,10 +38,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod codec;
 pub mod gf;
+pub mod kernel;
 pub mod matrix;
+pub mod pool;
 pub mod rs;
 
+pub use codec::{Codec, CodecKind, FastCodec, ScalarCodec};
 pub use gf::Gf256;
 pub use matrix::Matrix;
+pub use pool::WorkerPool;
 pub use rs::{CodeParamsError, ReconstructError, ReedSolomon};

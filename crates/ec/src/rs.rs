@@ -14,7 +14,9 @@
 //! the storage overhead — of a stripe is dictated solely by its largest
 //! data block.
 
-use crate::gf::mul_acc;
+use std::sync::Arc;
+
+use crate::codec::{Codec, CodecKind};
 use crate::matrix::Matrix;
 
 /// Errors from constructing a [`ReedSolomon`] codec.
@@ -110,15 +112,33 @@ pub struct ReedSolomon {
     n: usize,
     k: usize,
     encode_matrix: Matrix,
+    codec: Arc<dyn Codec>,
 }
 
 impl ReedSolomon {
-    /// Creates an `(n, k)` codec.
+    /// Creates an `(n, k)` codec with the default GF(2^8) kernel
+    /// ([`CodecKind::Fast`]).
     ///
     /// # Errors
     ///
     /// Returns [`CodeParamsError`] for degenerate parameters.
     pub fn new(n: usize, k: usize) -> Result<ReedSolomon, CodeParamsError> {
+        ReedSolomon::with_codec(n, k, CodecKind::default())
+    }
+
+    /// Creates an `(n, k)` codec with an explicit GF(2^8) kernel choice.
+    ///
+    /// The codec's coefficient tables are built here, once per instance;
+    /// `encode`/`reconstruct` never rebuild tables on the hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeParamsError`] for degenerate parameters.
+    pub fn with_codec(
+        n: usize,
+        k: usize,
+        codec: CodecKind,
+    ) -> Result<ReedSolomon, CodeParamsError> {
         if k == 0 {
             return Err(CodeParamsError::ZeroDataBlocks);
         }
@@ -132,7 +152,13 @@ impl ReedSolomon {
             n,
             k,
             encode_matrix: Matrix::systematic_encode_matrix(n, k),
+            codec: codec.build(),
         })
+    }
+
+    /// Which GF(2^8) kernel this instance multiplies with.
+    pub fn codec_kind(&self) -> CodecKind {
+        self.codec.kind()
     }
 
     /// Total blocks per stripe (`n`).
@@ -166,16 +192,38 @@ impl ReedSolomon {
     ///
     /// Panics if `data.len() != k`.
     pub fn encode<T: AsRef<[u8]>>(&self, data: &[T]) -> Vec<Vec<u8>> {
+        let mut parity = Vec::new();
+        self.encode_into(data, &mut parity);
+        parity
+    }
+
+    /// Like [`ReedSolomon::encode`], but writes the parity into
+    /// caller-provided buffers so repeated stripes reuse allocations.
+    ///
+    /// `parity` is resized to `n − k` vectors and each vector to the
+    /// stripe width; existing capacity is reused, so a caller encoding
+    /// many stripes of similar width pays no per-stripe allocation. Any
+    /// prior contents of `parity` are overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k`.
+    pub fn encode_into<T: AsRef<[u8]>>(&self, data: &[T], parity: &mut Vec<Vec<u8>>) {
         assert_eq!(data.len(), self.k, "expected exactly k data blocks");
         let width = data.iter().map(|d| d.as_ref().len()).max().unwrap_or(0);
-        let mut parity = vec![vec![0u8; width]; self.n - self.k];
+        let m = self.n - self.k;
+        parity.truncate(m);
+        parity.resize_with(m, Vec::new);
+        for out in parity.iter_mut() {
+            out.clear();
+            out.resize(width, 0);
+        }
         for (p, out) in parity.iter_mut().enumerate() {
             let row = self.encode_matrix.row(self.k + p);
             for (j, d) in data.iter().enumerate() {
-                mul_acc(out, d.as_ref(), row[j]);
+                self.codec.mul_acc(out, d.as_ref(), row[j]);
             }
         }
-        parity
     }
 
     /// Verifies that a full stripe (data followed by parity, all padded to
@@ -255,7 +303,7 @@ impl ReedSolomon {
         for &m in missing.iter().filter(|&&m| m < self.k) {
             let mut out = vec![0u8; width];
             for (j, s) in survivors.iter().enumerate() {
-                mul_acc(&mut out, s, inv.get(m, j));
+                self.codec.mul_acc(&mut out, s, inv.get(m, j));
             }
             shards[m] = Some(out);
         }
@@ -279,7 +327,7 @@ impl ReedSolomon {
                 let row = self.encode_matrix.row(m);
                 let mut out = vec![0u8; width];
                 for (j, d) in data.iter().enumerate() {
-                    mul_acc(&mut out, d, row[j]);
+                    self.codec.mul_acc(&mut out, d, row[j]);
                 }
                 shards[m] = Some(out);
             }
@@ -513,5 +561,61 @@ mod tests {
         let rs = ReedSolomon::new(4, 2).unwrap();
         let parity = rs.encode(&[vec![], vec![]]);
         assert!(parity.iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    fn default_codec_is_fast_and_scalar_selectable() {
+        assert_eq!(
+            ReedSolomon::new(9, 6).unwrap().codec_kind(),
+            CodecKind::Fast
+        );
+        let rs = ReedSolomon::with_codec(9, 6, CodecKind::Scalar).unwrap();
+        assert_eq!(rs.codec_kind(), CodecKind::Scalar);
+        // Cloning shares the codec instance (and its table cache).
+        assert_eq!(rs.clone().codec_kind(), CodecKind::Scalar);
+    }
+
+    #[test]
+    fn encode_into_agrees_with_encode() {
+        let rs = ReedSolomon::new(9, 6).unwrap();
+        let data = sample_data(6, 100, 4);
+        let fresh = rs.encode(&data);
+
+        let mut reused = Vec::new();
+        rs.encode_into(&data, &mut reused);
+        assert_eq!(reused, fresh);
+
+        // Reuse with dirty, wrongly-sized buffers: a longer previous stripe
+        // (stale bytes must be cleared) and too many vectors.
+        let data2 = sample_data(6, 33, 9);
+        reused.push(vec![0xFF; 500]);
+        for p in reused.iter_mut() {
+            p.resize(200, 0xEE);
+        }
+        rs.encode_into(&data2, &mut reused);
+        assert_eq!(reused, rs.encode(&data2));
+
+        // And growing again after a shorter stripe.
+        rs.encode_into(&data, &mut reused);
+        assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn encode_into_reuses_capacity() {
+        let rs = ReedSolomon::new(9, 6).unwrap();
+        let mut parity = Vec::new();
+        rs.encode_into(&sample_data(6, 256, 1), &mut parity);
+        let ptrs: Vec<*const u8> = parity.iter().map(|p| p.as_ptr()).collect();
+        rs.encode_into(&sample_data(6, 100, 2), &mut parity);
+        let after: Vec<*const u8> = parity.iter().map(|p| p.as_ptr()).collect();
+        assert_eq!(ptrs, after, "smaller stripe must not reallocate parity");
+    }
+
+    #[test]
+    fn scalar_and_fast_agree_end_to_end() {
+        let data = sample_data(6, 97, 8);
+        let scalar = ReedSolomon::with_codec(9, 6, CodecKind::Scalar).unwrap();
+        let fast = ReedSolomon::with_codec(9, 6, CodecKind::Fast).unwrap();
+        assert_eq!(scalar.encode(&data), fast.encode(&data));
     }
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec_diff-a1f85b8bab4bcab1.d: crates/ec/tests/codec_diff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_diff-a1f85b8bab4bcab1.rmeta: crates/ec/tests/codec_diff.rs Cargo.toml
+
+crates/ec/tests/codec_diff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_diff-b4d5cbaff4c5594f.d: crates/ec/tests/codec_diff.rs
+
+/root/repo/target/debug/deps/codec_diff-b4d5cbaff4c5594f: crates/ec/tests/codec_diff.rs
+
+crates/ec/tests/codec_diff.rs:

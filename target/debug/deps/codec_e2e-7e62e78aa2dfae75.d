@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_e2e-7e62e78aa2dfae75.d: crates/core/tests/codec_e2e.rs
+
+/root/repo/target/debug/deps/codec_e2e-7e62e78aa2dfae75: crates/core/tests/codec_e2e.rs
+
+crates/core/tests/codec_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec_e2e-8f91410464118091.d: crates/core/tests/codec_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_e2e-8f91410464118091.rmeta: crates/core/tests/codec_e2e.rs Cargo.toml
+
+crates/core/tests/codec_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

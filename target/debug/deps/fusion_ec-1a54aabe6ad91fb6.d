@@ -1,10 +1,13 @@
-/root/repo/target/debug/deps/fusion_ec-1a54aabe6ad91fb6.d: crates/ec/src/lib.rs crates/ec/src/gf.rs crates/ec/src/matrix.rs crates/ec/src/rs.rs Cargo.toml
+/root/repo/target/debug/deps/fusion_ec-1a54aabe6ad91fb6.d: crates/ec/src/lib.rs crates/ec/src/codec.rs crates/ec/src/gf.rs crates/ec/src/kernel.rs crates/ec/src/matrix.rs crates/ec/src/pool.rs crates/ec/src/rs.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfusion_ec-1a54aabe6ad91fb6.rmeta: crates/ec/src/lib.rs crates/ec/src/gf.rs crates/ec/src/matrix.rs crates/ec/src/rs.rs Cargo.toml
+/root/repo/target/debug/deps/libfusion_ec-1a54aabe6ad91fb6.rmeta: crates/ec/src/lib.rs crates/ec/src/codec.rs crates/ec/src/gf.rs crates/ec/src/kernel.rs crates/ec/src/matrix.rs crates/ec/src/pool.rs crates/ec/src/rs.rs Cargo.toml
 
 crates/ec/src/lib.rs:
+crates/ec/src/codec.rs:
 crates/ec/src/gf.rs:
+crates/ec/src/kernel.rs:
 crates/ec/src/matrix.rs:
+crates/ec/src/pool.rs:
 crates/ec/src/rs.rs:
 Cargo.toml:
 

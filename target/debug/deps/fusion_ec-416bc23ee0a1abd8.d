@@ -1,8 +1,11 @@
-/root/repo/target/debug/deps/fusion_ec-416bc23ee0a1abd8.d: crates/ec/src/lib.rs crates/ec/src/gf.rs crates/ec/src/matrix.rs crates/ec/src/rs.rs
+/root/repo/target/debug/deps/fusion_ec-416bc23ee0a1abd8.d: crates/ec/src/lib.rs crates/ec/src/codec.rs crates/ec/src/gf.rs crates/ec/src/kernel.rs crates/ec/src/matrix.rs crates/ec/src/pool.rs crates/ec/src/rs.rs
 
-/root/repo/target/debug/deps/fusion_ec-416bc23ee0a1abd8: crates/ec/src/lib.rs crates/ec/src/gf.rs crates/ec/src/matrix.rs crates/ec/src/rs.rs
+/root/repo/target/debug/deps/fusion_ec-416bc23ee0a1abd8: crates/ec/src/lib.rs crates/ec/src/codec.rs crates/ec/src/gf.rs crates/ec/src/kernel.rs crates/ec/src/matrix.rs crates/ec/src/pool.rs crates/ec/src/rs.rs
 
 crates/ec/src/lib.rs:
+crates/ec/src/codec.rs:
 crates/ec/src/gf.rs:
+crates/ec/src/kernel.rs:
 crates/ec/src/matrix.rs:
+crates/ec/src/pool.rs:
 crates/ec/src/rs.rs:

@@ -1,10 +1,13 @@
-/root/repo/target/debug/deps/fusion_ec-ecd30e89e798d51e.d: crates/ec/src/lib.rs crates/ec/src/gf.rs crates/ec/src/matrix.rs crates/ec/src/rs.rs
+/root/repo/target/debug/deps/fusion_ec-ecd30e89e798d51e.d: crates/ec/src/lib.rs crates/ec/src/codec.rs crates/ec/src/gf.rs crates/ec/src/kernel.rs crates/ec/src/matrix.rs crates/ec/src/pool.rs crates/ec/src/rs.rs
 
-/root/repo/target/debug/deps/libfusion_ec-ecd30e89e798d51e.rlib: crates/ec/src/lib.rs crates/ec/src/gf.rs crates/ec/src/matrix.rs crates/ec/src/rs.rs
+/root/repo/target/debug/deps/libfusion_ec-ecd30e89e798d51e.rlib: crates/ec/src/lib.rs crates/ec/src/codec.rs crates/ec/src/gf.rs crates/ec/src/kernel.rs crates/ec/src/matrix.rs crates/ec/src/pool.rs crates/ec/src/rs.rs
 
-/root/repo/target/debug/deps/libfusion_ec-ecd30e89e798d51e.rmeta: crates/ec/src/lib.rs crates/ec/src/gf.rs crates/ec/src/matrix.rs crates/ec/src/rs.rs
+/root/repo/target/debug/deps/libfusion_ec-ecd30e89e798d51e.rmeta: crates/ec/src/lib.rs crates/ec/src/codec.rs crates/ec/src/gf.rs crates/ec/src/kernel.rs crates/ec/src/matrix.rs crates/ec/src/pool.rs crates/ec/src/rs.rs
 
 crates/ec/src/lib.rs:
+crates/ec/src/codec.rs:
 crates/ec/src/gf.rs:
+crates/ec/src/kernel.rs:
 crates/ec/src/matrix.rs:
+crates/ec/src/pool.rs:
 crates/ec/src/rs.rs:

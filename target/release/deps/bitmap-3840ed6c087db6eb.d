@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bitmap-3840ed6c087db6eb.d: crates/bench/benches/bitmap.rs
+
+/root/repo/target/release/deps/bitmap-3840ed6c087db6eb: crates/bench/benches/bitmap.rs
+
+crates/bench/benches/bitmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec_diff-b12994d409fad556.d: crates/ec/tests/codec_diff.rs
+
+/root/repo/target/release/deps/codec_diff-b12994d409fad556: crates/ec/tests/codec_diff.rs
+
+crates/ec/tests/codec_diff.rs:

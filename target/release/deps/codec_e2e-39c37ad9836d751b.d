@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec_e2e-39c37ad9836d751b.d: crates/core/tests/codec_e2e.rs
+
+/root/repo/target/release/deps/codec_e2e-39c37ad9836d751b: crates/core/tests/codec_e2e.rs
+
+crates/core/tests/codec_e2e.rs:

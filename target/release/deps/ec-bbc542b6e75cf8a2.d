@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ec-bbc542b6e75cf8a2.d: crates/bench/benches/ec.rs
+
+/root/repo/target/release/deps/ec-bbc542b6e75cf8a2: crates/bench/benches/ec.rs
+
+crates/bench/benches/ec.rs:

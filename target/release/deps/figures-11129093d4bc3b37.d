@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-11129093d4bc3b37.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-11129093d4bc3b37: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

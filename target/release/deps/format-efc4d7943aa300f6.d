@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/format-efc4d7943aa300f6.d: crates/bench/benches/format.rs
+
+/root/repo/target/release/deps/format-efc4d7943aa300f6: crates/bench/benches/format.rs
+
+crates/bench/benches/format.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fusion_ec-42ad3aa241517312.d: crates/ec/src/lib.rs crates/ec/src/codec.rs crates/ec/src/gf.rs crates/ec/src/kernel.rs crates/ec/src/matrix.rs crates/ec/src/pool.rs crates/ec/src/rs.rs
+
+/root/repo/target/release/deps/fusion_ec-42ad3aa241517312: crates/ec/src/lib.rs crates/ec/src/codec.rs crates/ec/src/gf.rs crates/ec/src/kernel.rs crates/ec/src/matrix.rs crates/ec/src/pool.rs crates/ec/src/rs.rs
+
+crates/ec/src/lib.rs:
+crates/ec/src/codec.rs:
+crates/ec/src/gf.rs:
+crates/ec/src/kernel.rs:
+crates/ec/src/matrix.rs:
+crates/ec/src/pool.rs:
+crates/ec/src/rs.rs:

@@ -1,10 +1,13 @@
-/root/repo/target/release/deps/fusion_ec-458623110cf8f2a1.d: crates/ec/src/lib.rs crates/ec/src/gf.rs crates/ec/src/matrix.rs crates/ec/src/rs.rs
+/root/repo/target/release/deps/fusion_ec-458623110cf8f2a1.d: crates/ec/src/lib.rs crates/ec/src/codec.rs crates/ec/src/gf.rs crates/ec/src/kernel.rs crates/ec/src/matrix.rs crates/ec/src/pool.rs crates/ec/src/rs.rs
 
-/root/repo/target/release/deps/libfusion_ec-458623110cf8f2a1.rlib: crates/ec/src/lib.rs crates/ec/src/gf.rs crates/ec/src/matrix.rs crates/ec/src/rs.rs
+/root/repo/target/release/deps/libfusion_ec-458623110cf8f2a1.rlib: crates/ec/src/lib.rs crates/ec/src/codec.rs crates/ec/src/gf.rs crates/ec/src/kernel.rs crates/ec/src/matrix.rs crates/ec/src/pool.rs crates/ec/src/rs.rs
 
-/root/repo/target/release/deps/libfusion_ec-458623110cf8f2a1.rmeta: crates/ec/src/lib.rs crates/ec/src/gf.rs crates/ec/src/matrix.rs crates/ec/src/rs.rs
+/root/repo/target/release/deps/libfusion_ec-458623110cf8f2a1.rmeta: crates/ec/src/lib.rs crates/ec/src/codec.rs crates/ec/src/gf.rs crates/ec/src/kernel.rs crates/ec/src/matrix.rs crates/ec/src/pool.rs crates/ec/src/rs.rs
 
 crates/ec/src/lib.rs:
+crates/ec/src/codec.rs:
 crates/ec/src/gf.rs:
+crates/ec/src/kernel.rs:
 crates/ec/src/matrix.rs:
+crates/ec/src/pool.rs:
 crates/ec/src/rs.rs:

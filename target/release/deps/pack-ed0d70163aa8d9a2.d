@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pack-ed0d70163aa8d9a2.d: crates/bench/benches/pack.rs
+
+/root/repo/target/release/deps/pack-ed0d70163aa8d9a2: crates/bench/benches/pack.rs
+
+crates/bench/benches/pack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-b30c39a63f65207b.d: crates/ec/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-b30c39a63f65207b: crates/ec/tests/proptests.rs
+
+crates/ec/tests/proptests.rs:

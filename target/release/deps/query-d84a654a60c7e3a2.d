@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/query-d84a654a60c7e3a2.d: crates/bench/benches/query.rs
+
+/root/repo/target/release/deps/query-d84a654a60c7e3a2: crates/bench/benches/query.rs
+
+crates/bench/benches/query.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/snappy-d722e3857e7bee95.d: crates/bench/benches/snappy.rs
+
+/root/repo/target/release/deps/snappy-d722e3857e7bee95: crates/bench/benches/snappy.rs
+
+crates/bench/benches/snappy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tpch_analytics-1204568552df3b3c.d: examples/tpch_analytics.rs
+
+/root/repo/target/release/examples/tpch_analytics-1204568552df3b3c: examples/tpch_analytics.rs
+
+examples/tpch_analytics.rs:
