@@ -7,6 +7,7 @@
 pub mod degraded;
 pub mod ec_throughput;
 pub mod latency;
+pub mod scan_throughput;
 pub mod storage;
 
 use crate::harness::BenchEnv;
@@ -34,6 +35,7 @@ pub const ALL_IDS: &[&str] = &[
     "extagg",
     "degraded",
     "ec_throughput",
+    "scan_throughput",
 ];
 
 /// Runs one artifact by id.
@@ -64,6 +66,7 @@ pub fn run(id: &str, env: &BenchEnv) -> String {
         "extagg" => latency::ext_aggregate_pushdown(env),
         "degraded" => degraded::degraded_latency(env),
         "ec_throughput" => ec_throughput::ec_throughput(env),
+        "scan_throughput" => scan_throughput::scan_throughput(env),
         id if id.starts_with("debugcol") => {
             let col: usize = id.trim_start_matches("debugcol").parse().unwrap_or(0);
             latency::debug_column(env, col)

@@ -1,0 +1,260 @@
+//! Encoded-domain scan throughput (kernel extension): wall-clock filter
+//! rate of the decode-then-filter path vs the encoded-domain kernels
+//! (`eval_filter_encoded`) over dictionary, RLE-friendly, and plain
+//! Int64 columns, swept across predicate selectivity.
+//!
+//! Like `ec_throughput`, this measures real CPU time with
+//! `std::time::Instant` — it is the calibration source for
+//! `ENCODED_SCAN_SPEEDUP` in `fusion-core::config`. Three variants per
+//! cell:
+//!
+//! * `decoded` — decode the chunk to `ColumnData`, then `eval_filter`
+//!   (what every query did before the encoded scan engine);
+//! * `encoded_cold` — parse the chunk to an [`EncodedChunk`] view, then
+//!   scan in the encoded domain (a node-cache miss);
+//! * `encoded_hot` — scan a pre-parsed resident view (a node-cache hit).
+//!
+//! Besides the rendered table, it writes machine-readable JSON to
+//! `results/scan_throughput.json`.
+
+use crate::harness::BenchEnv;
+use crate::report::Table;
+use fusion_format::chunk::{decode_column_chunk, encode_column_chunk, read_encoded_chunk};
+use fusion_format::schema::LogicalType;
+use fusion_format::value::{ColumnData, Value};
+use fusion_sql::ast::CmpOp;
+use fusion_sql::eval::{eval_filter, eval_filter_encoded};
+use fusion_sql::plan::FilterLeaf;
+use std::time::Instant;
+
+/// Rows per column chunk (a production-sized row group).
+const ROWS: usize = 1 << 18;
+/// Minimum measurement window per cell.
+const MIN_ELAPSED_NS: u128 = 150_000_000;
+/// Warmup iterations before timing.
+const WARMUP_ITERS: usize = 2;
+/// Predicate selectivities swept (fraction of rows expected to match).
+const SELECTIVITIES: &[f64] = &[0.001, 0.01, 0.1, 0.5, 1.0];
+
+/// The three column shapes: what the writer encodes them as, and the
+/// value domain the `Lt` threshold is drawn from.
+struct Shape {
+    name: &'static str,
+    /// Value at row `i`.
+    gen: fn(usize) -> i64,
+    /// Exclusive upper bound of the value domain (for thresholds).
+    domain: i64,
+}
+
+const SHAPES: &[Shape] = &[
+    // Low cardinality, shuffled order: dictionary page + literal-heavy
+    // code stream.
+    Shape {
+        name: "dictionary",
+        gen: |i| (i.wrapping_mul(2_654_435_761) % 1000) as i64,
+        domain: 1000,
+    },
+    // Low cardinality, sorted: dictionary page + long RLE runs.
+    Shape {
+        name: "rle",
+        gen: |i| (i / 256) as i64,
+        domain: (ROWS / 256) as i64,
+    },
+    // Cardinality above MAX_DICT_DISTINCT: stays plain.
+    Shape {
+        name: "plain",
+        gen: |i| (i.wrapping_mul(2_654_435_761) & 0xFFFF_FFFF) as i64,
+        domain: 1i64 << 32,
+    },
+];
+
+struct Cell {
+    shape: &'static str,
+    encoding: &'static str,
+    selectivity: f64,
+    variant: &'static str,
+    mrows_per_s: f64,
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+/// Times `body` in batches until the window fills; returns (iters, ns).
+fn measure<F: FnMut()>(mut body: F) -> (u64, u128) {
+    for _ in 0..WARMUP_ITERS {
+        body();
+    }
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        body();
+        iters += 1;
+        let elapsed = start.elapsed().as_nanos();
+        if elapsed >= MIN_ELAPSED_NS {
+            return (iters, elapsed);
+        }
+    }
+}
+
+fn push_cell(
+    cells: &mut Vec<Cell>,
+    shape: &'static str,
+    encoding: &'static str,
+    selectivity: f64,
+    variant: &'static str,
+    iters: u64,
+    elapsed_ns: u128,
+) {
+    let rows = ROWS as f64 * iters as f64;
+    cells.push(Cell {
+        shape,
+        encoding,
+        selectivity,
+        variant,
+        mrows_per_s: rows / 1e6 / (elapsed_ns as f64 / 1e9),
+        iters,
+        elapsed_ns,
+    });
+}
+
+fn run_shape(shape: &Shape, cells: &mut Vec<Cell>) {
+    let col = ColumnData::Int64((0..ROWS).map(shape.gen).collect());
+    let (bytes, stats) = encode_column_chunk(&col);
+    let encoding: &'static str = match stats.encoding {
+        fusion_format::encoding::Encoding::Dictionary => "dictionary",
+        fusion_format::encoding::Encoding::Plain => "plain",
+    };
+    let hot = read_encoded_chunk(&bytes, LogicalType::Int64).expect("valid chunk");
+
+    for &sel in SELECTIVITIES {
+        let c = (shape.domain as f64 * sel) as i64;
+        let leaf = FilterLeaf {
+            id: 0,
+            column: 0,
+            column_name: "v".into(),
+            op: CmpOp::Lt,
+            constant: Value::Int(c),
+        };
+
+        // All three paths must produce the same bitmap.
+        let want = eval_filter(&leaf, &col).expect("scalar eval");
+        let got = eval_filter_encoded(&leaf, &hot).expect("encoded eval");
+        assert_eq!(
+            want.words(),
+            got.words(),
+            "{}: encoded path diverged at selectivity {sel}",
+            shape.name
+        );
+
+        let (iters, ns) = measure(|| {
+            let decoded = decode_column_chunk(&bytes, LogicalType::Int64).expect("decode");
+            std::hint::black_box(eval_filter(&leaf, &decoded).expect("eval"));
+        });
+        push_cell(cells, shape.name, encoding, sel, "decoded", iters, ns);
+
+        let (iters, ns) = measure(|| {
+            let view = read_encoded_chunk(&bytes, LogicalType::Int64).expect("parse");
+            std::hint::black_box(eval_filter_encoded(&leaf, &view).expect("eval"));
+        });
+        push_cell(cells, shape.name, encoding, sel, "encoded_cold", iters, ns);
+
+        let (iters, ns) = measure(|| {
+            std::hint::black_box(eval_filter_encoded(&leaf, &hot).expect("eval"));
+        });
+        push_cell(cells, shape.name, encoding, sel, "encoded_hot", iters, ns);
+    }
+}
+
+fn find<'a>(cells: &'a [Cell], shape: &str, sel: f64, variant: &str) -> &'a Cell {
+    cells
+        .iter()
+        .find(|c| c.shape == shape && c.selectivity == sel && c.variant == variant)
+        .expect("cell present")
+}
+
+/// Geometric mean of encoded-vs-decoded speedup across the sweep.
+fn geomean_speedup(cells: &[Cell], shape: &str, variant: &str) -> f64 {
+    let logs: Vec<f64> = SELECTIVITIES
+        .iter()
+        .map(|&s| {
+            let d = find(cells, shape, s, "decoded").mrows_per_s;
+            let e = find(cells, shape, s, variant).mrows_per_s;
+            (e / d).ln()
+        })
+        .collect();
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+fn json(cells: &[Cell]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"scan_throughput\",\n");
+    out.push_str(&format!("  \"rows\": {ROWS},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"encoding\": \"{}\", \"selectivity\": {}, \
+             \"variant\": \"{}\", \"mrows_per_s\": {:.2}, \"iters\": {}, \"elapsed_ns\": {}}}{}\n",
+            c.shape,
+            c.encoding,
+            c.selectivity,
+            c.variant,
+            c.mrows_per_s,
+            c.iters,
+            c.elapsed_ns,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": {\n");
+    let mut lines = Vec::new();
+    for shape in ["dictionary", "rle", "plain"] {
+        for variant in ["encoded_cold", "encoded_hot"] {
+            lines.push(format!(
+                "    \"{shape}_{variant}\": {:.2}",
+                geomean_speedup(cells, shape, variant)
+            ));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Decode-then-filter vs encoded-domain kernels over a selectivity sweep.
+pub fn scan_throughput(_env: &BenchEnv) -> String {
+    let mut cells = Vec::new();
+    for shape in SHAPES {
+        run_shape(shape, &mut cells);
+    }
+
+    let _ = std::fs::create_dir_all("results");
+    std::fs::write("results/scan_throughput.json", json(&cells))
+        .expect("write results/scan_throughput.json");
+
+    let mut t = Table::new(&[
+        "shape",
+        "sel",
+        "decoded Mrows/s",
+        "cold Mrows/s",
+        "hot Mrows/s",
+        "hot speedup",
+    ]);
+    for shape in SHAPES {
+        for &sel in SELECTIVITIES {
+            let d = find(&cells, shape.name, sel, "decoded");
+            let c = find(&cells, shape.name, sel, "encoded_cold");
+            let h = find(&cells, shape.name, sel, "encoded_hot");
+            t.row(vec![
+                shape.name.to_string(),
+                format!("{sel}"),
+                format!("{:.0}", d.mrows_per_s),
+                format!("{:.0}", c.mrows_per_s),
+                format!("{:.0}", h.mrows_per_s),
+                format!("{:.1}x", h.mrows_per_s / d.mrows_per_s),
+            ]);
+        }
+    }
+    format!(
+        "Encoded-domain scan throughput (extension): decode-then-filter vs encoded kernels,\n\
+         {ROWS} rows/chunk (also written to results/scan_throughput.json; calibrates\n\
+         ENCODED_SCAN_SPEEDUP)\n{}",
+        t.render()
+    )
+}

@@ -166,12 +166,38 @@ impl CostModel {
     /// CPU time to decompress + decode a chunk producing
     /// `uncompressed_bytes`.
     pub fn decode(&self, uncompressed_bytes: u64) -> Nanos {
-        crate::time::transfer_time(uncompressed_bytes, self.cpu_decode_bps)
+        self.decode_at(uncompressed_bytes, 1.0)
+    }
+
+    /// CPU time to decompress + parse a chunk with a scan kernel running
+    /// at `speedup`× the calibrated decode rate — the encoded-domain scan
+    /// engine parses pages without materializing rows, so storage nodes
+    /// pass their calibrated speedup here (mirroring [`CostModel::ec_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedup` is not positive.
+    pub fn decode_at(&self, uncompressed_bytes: u64, speedup: f64) -> Nanos {
+        assert!(speedup > 0.0, "scan speedup must be positive");
+        crate::time::transfer_time(uncompressed_bytes, self.cpu_decode_bps * speedup)
     }
 
     /// CPU time to evaluate a predicate over `values` rows.
     pub fn eval(&self, values: u64) -> Nanos {
-        crate::time::transfer_time(values, self.cpu_eval_vps)
+        self.eval_at(values, 1.0)
+    }
+
+    /// CPU time to evaluate a predicate over `values` rows with a kernel
+    /// running at `speedup`× the calibrated per-row rate (dictionary-mask
+    /// and RLE-span kernels evaluate far fewer than one comparison per
+    /// row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedup` is not positive.
+    pub fn eval_at(&self, values: u64, speedup: f64) -> Nanos {
+        assert!(speedup > 0.0, "scan speedup must be positive");
+        crate::time::transfer_time(values, self.cpu_eval_vps * speedup)
     }
 
     /// CPU time to materialize `bytes` of projection output.

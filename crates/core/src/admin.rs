@@ -95,6 +95,7 @@ impl Store {
         let meta = self
             .take_object(name)
             .ok_or_else(|| StoreError::ObjectNotFound(name.to_string()))?;
+        self.chunk_cache().invalidate_object(name);
         for sp in &meta.placement {
             for (&node, &block) in sp.nodes.iter().zip(&sp.block_ids) {
                 match self.blocks_mut().delete(node, block) {
@@ -206,6 +207,7 @@ impl Store {
             // Phase 3 (serial): apply verdicts — rewrite healed blocks,
             // localize tampered ones — and tally the report.
             let k = self.config().ec.k;
+            let repaired_before = report.blocks_repaired;
             for job in jobs {
                 let sp = &meta.placement[job.si];
                 match job.verdict {
@@ -267,6 +269,11 @@ impl Store {
                         }
                     }
                 }
+            }
+            if report.blocks_repaired > repaired_before {
+                // Healed blocks were rewritten: cached views of this
+                // object may predate the heal.
+                self.chunk_cache().invalidate_object(&name);
             }
         }
         report

@@ -1,0 +1,253 @@
+//! Per-node encoded-chunk cache.
+//!
+//! Storage nodes that repeatedly serve filter pushdown over the same
+//! chunks should not re-read and re-parse them on every query (the paper's
+//! nodes scan chunks in situ; OASIS-style offloading engines keep exactly
+//! this working set hot). The cache holds [`EncodedChunk`] views — decoded
+//! dictionary plus run structure, cheap to hold and immediately scannable
+//! by the encoded-domain kernels — keyed by `(object, chunk ordinal)`,
+//! evicting least-recently-used entries once the configured byte capacity
+//! is exceeded.
+//!
+//! Queries run on `&Store`, so the cache uses interior mutability; all
+//! state sits behind one mutex, locked only for the brief lookup/insert
+//! bookkeeping (never across a parse or a scan). Entries are `Arc`s, so a
+//! hit shares the view with the scan fan-out without copying.
+//!
+//! Invalidation: anything that rewrites or loses blocks drops the affected
+//! entries — delete and scrub-heal invalidate per object; node failure,
+//! recovery, and injected faults clear the cache wholesale (the data any
+//! node cached may no longer match what the data plane would serve).
+
+use fusion_format::chunk::EncodedChunk;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cumulative cache counters (monotonic over the store's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    chunk: Arc<EncodedChunk>,
+    weight: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<(String, usize), Entry>,
+    tick: u64,
+    resident: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Byte-capacity LRU of parsed chunk views. See the module docs.
+#[derive(Debug)]
+pub struct ChunkCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ChunkCache {
+    /// Creates a cache holding at most `capacity` bytes (0 disables).
+    pub fn new(capacity: usize) -> ChunkCache {
+        ChunkCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Configured byte capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a chunk view, counting a hit or miss and refreshing
+    /// recency on hit.
+    pub fn get(&self, object: &str, ordinal: usize) -> Option<Arc<EncodedChunk>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        // Borrow-split: key lookup needs a owned-ish key; build once.
+        match inner.entries.get_mut(&(object.to_string(), ordinal)) {
+            Some(e) => {
+                e.last_used = tick;
+                let chunk = e.chunk.clone();
+                inner.hits += 1;
+                Some(chunk)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a chunk view, evicting LRU entries until the
+    /// capacity holds. Views heavier than the whole capacity are not
+    /// cached.
+    pub fn insert(&self, object: &str, ordinal: usize, chunk: Arc<EncodedChunk>) {
+        let weight = chunk.weight_bytes();
+        if self.capacity == 0 || weight > self.capacity {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let key = (object.to_string(), ordinal);
+        if let Some(old) = inner.entries.insert(
+            key,
+            Entry {
+                chunk,
+                weight,
+                last_used: tick,
+            },
+        ) {
+            inner.resident -= old.weight;
+        }
+        inner.resident += weight;
+        while inner.resident > self.capacity {
+            // Linear LRU scan: entry counts are modest (chunks, not rows),
+            // and eviction is off the scan hot path.
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("resident > 0 implies entries");
+            let evicted = inner.entries.remove(&victim).expect("victim present");
+            inner.resident -= evicted.weight;
+            inner.evictions += 1;
+        }
+    }
+
+    /// Drops every entry of one object (delete, scrub heal, re-put).
+    pub fn invalidate_object(&self, object: &str) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let removed: Vec<(String, usize)> = inner
+            .entries
+            .keys()
+            .filter(|(o, _)| o == object)
+            .cloned()
+            .collect();
+        for k in removed {
+            let e = inner.entries.remove(&k).expect("key present");
+            inner.resident -= e.weight;
+        }
+    }
+
+    /// Drops everything (node failure/recovery, injected faults).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.entries.clear();
+        inner.resident = 0;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            resident_bytes: inner.resident as u64,
+            entries: inner.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion_format::value::ColumnData;
+
+    fn chunk(n: usize) -> Arc<EncodedChunk> {
+        Arc::new(EncodedChunk::Plain(ColumnData::Int64(
+            (0..n as i64).collect(),
+        )))
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let c = ChunkCache::new(1 << 20);
+        assert!(c.get("o", 0).is_none());
+        c.insert("o", 0, chunk(10));
+        let got = c.get("o", 0).expect("hit");
+        assert_eq!(got.rows(), 10);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.resident_bytes, 80);
+    }
+
+    #[test]
+    fn lru_eviction_by_bytes() {
+        // Each 10-row Int64 chunk weighs 80 bytes; capacity fits two.
+        let c = ChunkCache::new(170);
+        c.insert("o", 0, chunk(10));
+        c.insert("o", 1, chunk(10));
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(c.get("o", 0).is_some());
+        c.insert("o", 2, chunk(10));
+        assert!(c.get("o", 1).is_none(), "LRU entry evicted");
+        assert!(c.get("o", 0).is_some());
+        assert!(c.get("o", 2).is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn oversized_and_disabled() {
+        let c = ChunkCache::new(8);
+        c.insert("o", 0, chunk(10)); // 80 bytes > capacity: not cached
+        assert!(c.get("o", 0).is_none());
+        let off = ChunkCache::new(0);
+        off.insert("o", 0, chunk(1));
+        assert!(off.get("o", 0).is_none());
+        // Disabled cache counts nothing.
+        assert_eq!(off.stats().misses, 0);
+    }
+
+    #[test]
+    fn invalidation() {
+        let c = ChunkCache::new(1 << 20);
+        c.insert("a", 0, chunk(10));
+        c.insert("a", 1, chunk(10));
+        c.insert("b", 0, chunk(10));
+        c.invalidate_object("a");
+        assert!(c.get("a", 0).is_none());
+        assert!(c.get("a", 1).is_none());
+        assert!(c.get("b", 0).is_some());
+        assert_eq!(c.stats().resident_bytes, 80);
+        c.clear();
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_weight() {
+        let c = ChunkCache::new(1 << 20);
+        c.insert("o", 0, chunk(10));
+        c.insert("o", 0, chunk(20));
+        let s = c.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.resident_bytes, 160);
+    }
+}

@@ -114,6 +114,16 @@ pub struct StoreConfig {
     /// parallelism. Zero is clamped to one; the default is the machine's
     /// available parallelism capped at eight (see DESIGN.md §9).
     pub ec_threads: usize,
+    /// Capacity of the per-node encoded-chunk cache in bytes (decoded
+    /// dictionary + run structure, weighed by [`fusion_format::chunk::EncodedChunk::weight_bytes`]).
+    /// Repeated queries over the same chunks then skip the read + parse
+    /// entirely. Zero disables caching.
+    pub chunk_cache_bytes: u64,
+    /// Evaluate filters with the encoded-domain scan kernels
+    /// (dictionary-mask + RLE-span + word-batched plain loops) instead of
+    /// decode-then-filter. `false` selects the scalar ablation path; the
+    /// result is bit-identical either way.
+    pub encoded_scan: bool,
 }
 
 /// Calibrated throughput ratio of [`CodecKind::Fast`] over
@@ -123,6 +133,21 @@ pub struct StoreConfig {
 /// plane charges one rate for both). Used by the simulated time plane to
 /// scale EC CPU cost per configured codec.
 pub const FAST_CODEC_SPEEDUP: f64 = 4.0;
+
+/// Calibrated throughput ratio of the encoded-domain scan kernels over the
+/// decode-then-filter path — measured by the `scan_throughput` experiment
+/// (geomean over a 0.001–1.0 selectivity sweep, 256Ki-row Int64 chunks;
+/// see `results/scan_throughput.json`). Cache-hot scans measure ~6.8x on
+/// dictionary columns, ~101x on RLE-run columns, and ~29x on plain
+/// columns (the hot view also skips the Snappy decompress); cache-cold
+/// scans measure ~1.3x / ~11.7x / ~1.0x. Blended conservatively to 6.0
+/// since the time plane charges one rate for both the parse and the
+/// predicate across all shapes. Used by the simulated time plane to scale
+/// filter-stage CPU cost when [`StoreConfig::encoded_scan`] is on.
+pub const ENCODED_SCAN_SPEEDUP: f64 = 6.0;
+
+/// Default per-node chunk-cache capacity: 64 MiB.
+pub const DEFAULT_CHUNK_CACHE_BYTES: u64 = 64 << 20;
 
 /// Default EC worker-thread count: available parallelism, capped at eight.
 fn default_ec_threads() -> usize {
@@ -144,6 +169,8 @@ impl Default for StoreConfig {
             aggregate_pushdown: false,
             codec: CodecKind::default(),
             ec_threads: default_ec_threads(),
+            chunk_cache_bytes: DEFAULT_CHUNK_CACHE_BYTES,
+            encoded_scan: true,
         }
     }
 }
@@ -201,6 +228,18 @@ impl StoreConfig {
         self
     }
 
+    /// Overrides the per-node chunk-cache capacity (zero disables).
+    pub fn with_chunk_cache_bytes(mut self, bytes: u64) -> StoreConfig {
+        self.chunk_cache_bytes = bytes;
+        self
+    }
+
+    /// Enables or disables the encoded-domain scan kernels.
+    pub fn with_encoded_scan(mut self, on: bool) -> StoreConfig {
+        self.encoded_scan = on;
+        self
+    }
+
     /// Throughput multiplier of the configured codec relative to the
     /// calibrated scalar EC rate (`CostModel::cpu_ec_bps`), used when the
     /// time plane charges erasure-coding CPU.
@@ -208,6 +247,17 @@ impl StoreConfig {
         match self.codec {
             CodecKind::Scalar => 1.0,
             CodecKind::Fast => FAST_CODEC_SPEEDUP,
+        }
+    }
+
+    /// Throughput multiplier of the configured filter-scan path relative
+    /// to the calibrated decode + per-row eval rates, used when the time
+    /// plane charges in-situ filter-stage CPU.
+    pub fn scan_speedup(&self) -> f64 {
+        if self.encoded_scan {
+            ENCODED_SCAN_SPEEDUP
+        } else {
+            1.0
         }
     }
 
@@ -266,6 +316,20 @@ mod tests {
         // Acceptance floor for FastCodec, kept as a const block so the
         // build itself fails if the calibration ever drops below 3x.
         const { assert!(FAST_CODEC_SPEEDUP >= 3.0) };
+    }
+
+    #[test]
+    fn scan_defaults_and_speedup() {
+        let c = StoreConfig::default();
+        assert!(c.encoded_scan);
+        assert_eq!(c.chunk_cache_bytes, DEFAULT_CHUNK_CACHE_BYTES);
+        assert_eq!(c.scan_speedup(), ENCODED_SCAN_SPEEDUP);
+        let c = c.with_encoded_scan(false).with_chunk_cache_bytes(0);
+        assert_eq!(c.scan_speedup(), 1.0);
+        assert_eq!(c.chunk_cache_bytes, 0);
+        // Acceptance floor for the encoded-domain kernels, kept as a
+        // const block so the build fails if calibration drops below 3x.
+        const { assert!(ENCODED_SCAN_SPEEDUP >= 3.0) };
     }
 
     #[test]

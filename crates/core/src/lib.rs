@@ -59,6 +59,7 @@
 //! ```
 
 pub mod admin;
+pub mod cache;
 pub mod config;
 pub mod error;
 pub mod layout;
@@ -68,6 +69,7 @@ pub mod query;
 pub mod store;
 
 pub use admin::{ObjectInfo, ScrubReport};
+pub use cache::{CacheStats, ChunkCache};
 pub use config::{EcConfig, LayoutPolicy, QueryMode, StoreConfig};
 pub use error::{Result, StoreError};
 pub use object::ObjectMeta;

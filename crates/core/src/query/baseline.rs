@@ -20,7 +20,7 @@ use fusion_cluster::engine::{CostClass, StepId};
 use fusion_format::chunk::decode_column_chunk;
 use fusion_format::value::ColumnData;
 use fusion_sql::bitmap::Bitmap;
-use fusion_sql::eval::{combine, eval_filter};
+use fusion_sql::eval::{combine, eval_filter, stats_all_match};
 use fusion_sql::plan::QueryPlan;
 
 /// Executes `plan` by reassembling all needed chunks at the coordinator.
@@ -124,6 +124,13 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
         // Data plane: evaluate filters, combine.
         let mut leaf_bitmaps = Vec::with_capacity(plan.filters.len());
         for leaf in &plan.filters {
+            let cm = fm.chunk(rg, leaf.column)?;
+            if stats_all_match(leaf, cm.min.as_ref(), cm.max.as_ref()) {
+                // Stats prove every row matches: skip the scan (the chunk
+                // is still fetched above — projections may need it).
+                leaf_bitmaps.push(Bitmap::ones_with_len(rows));
+                continue;
+            }
             let col = decoded
                 .get(&(rg, leaf.column))
                 .expect("filter column fetched above");
@@ -188,5 +195,9 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
         net_bytes: ctx.net_bytes,
         decisions: Vec::new(),
         pruned_chunks: pruned,
+        // The baseline reassembles at the coordinator and never touches
+        // the node-local chunk caches.
+        cache_hits: 0,
+        cache_misses: 0,
     })
 }

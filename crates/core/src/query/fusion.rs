@@ -3,9 +3,14 @@
 //!
 //! **Filter stage** — every filter comparison is dispatched to the node
 //! hosting the relevant column chunk (FAC guarantees the chunk is whole).
-//! The node reads the chunk, decodes it in situ, evaluates the predicate,
-//! and returns a Snappy-compressed bitmap. Chunks whose footer min/max
-//! statistics prove no match are skipped entirely.
+//! The node serves the chunk from its encoded-chunk cache (or reads and
+//! parses it on a miss), scans it in situ with the encoded-domain kernels
+//! (`eval_filter_encoded`: dictionary-mask + RLE-span + word-batched
+//! loops), and returns a Snappy-compressed bitmap. Chunks whose footer
+//! min/max statistics prove no match — or prove *every* row matches — are
+//! skipped entirely. The independent per-chunk scans fan out across the
+//! store's worker pool with the same serial-assemble / parallel-compute /
+//! serial-apply discipline as Put and scrub.
 //!
 //! **Projection stage** — the coordinator, now knowing the exact
 //! selectivity, applies the Cost Equation per chunk:
@@ -20,11 +25,49 @@ use super::{
 use crate::error::{Result, StoreError};
 use crate::store::Store;
 use fusion_cluster::engine::{CostClass, StepId};
-use fusion_format::chunk::decode_column_chunk;
+use fusion_format::chunk::{decode_column_chunk, read_encoded_chunk, EncodedChunk};
+use fusion_format::schema::LogicalType;
 use fusion_format::value::ColumnData;
 use fusion_sql::bitmap::Bitmap;
-use fusion_sql::eval::{combine, eval_filter, stats_may_match};
-use fusion_sql::plan::QueryPlan;
+use fusion_sql::eval::{
+    combine, eval_filter, eval_filter_encoded, stats_all_match, stats_may_match,
+};
+use fusion_sql::plan::{FilterLeaf, QueryPlan};
+use std::sync::Arc;
+
+/// One healthy chunk's filter-scan work unit: assembled serially, scanned
+/// on a pool worker, applied serially. Everything the worker needs lives
+/// inside the job — no shared mutable state on the hot path.
+struct ScanTask {
+    rg: usize,
+    leaf_idx: usize,
+    ordinal: usize,
+    node: usize,
+    ty: LogicalType,
+    cm_len: u64,
+    cm_plain: u64,
+    cm_count: u64,
+    /// Cache hit: the resident view (raw bytes stay empty).
+    cached: Option<Arc<EncodedChunk>>,
+    /// Cache miss: the chunk bytes read from the data plane.
+    raw: Vec<u8>,
+    out: Option<Result<(Arc<EncodedChunk>, Bitmap)>>,
+}
+
+/// Phase-2 worker body: parse the chunk on a miss, then scan it with the
+/// encoded-domain kernels (or the decode-then-filter ablation).
+fn scan_one(t: &ScanTask, leaf: &FilterLeaf, encoded: bool) -> Result<(Arc<EncodedChunk>, Bitmap)> {
+    let chunk = match &t.cached {
+        Some(c) => c.clone(),
+        None => Arc::new(read_encoded_chunk(&t.raw, t.ty)?),
+    };
+    let bm = if encoded {
+        eval_filter_encoded(leaf, &chunk)?
+    } else {
+        eval_filter(leaf, &chunk.decode()?)?
+    };
+    Ok((chunk, bm))
+}
 
 /// Executes `plan` with pushdown. `adaptive == false` pushes every
 /// projection down unconditionally (the paper's always-on ablation).
@@ -56,9 +99,12 @@ pub fn execute(
     let num_rgs = fm.row_groups.len();
 
     // ---- Filter stage ----
-    let mut rg_bitmaps: Vec<Bitmap> = Vec::with_capacity(num_rgs);
+    let encoded = store.config().encoded_scan;
+    let speedup = store.config().scan_speedup();
     let mut filter_frontier: Vec<StepId> = vec![plan_step];
     let mut bitmap_wire_total = 0u64;
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
     // Chunks already read + decoded on their node during the filter
     // stage. The projection stage reuses them instead of re-reading, which
     // is what makes Fusion's disk/processing time match the baseline's
@@ -67,59 +113,78 @@ pub fn execute(
     let mut decoded_on: std::collections::HashMap<usize, (usize, StepId)> =
         std::collections::HashMap::new();
 
+    // Phase 1 (serial): prune with stats, resolve cache hits, read raw
+    // bytes for misses. Healthy chunks become pool jobs; degraded chunks
+    // (split or with lost fragments) stay serial because their data-plane
+    // reads rebuild from stripes through `&Store`.
+    let mut leaf_acc: Vec<Vec<Option<Bitmap>>> = (0..num_rgs)
+        .map(|_| (0..plan.filters.len()).map(|_| None).collect())
+        .collect();
+    let mut tasks: Vec<ScanTask> = Vec::new();
+    // `rg` also indexes the footer metadata, not just `leaf_acc`.
+    #[allow(clippy::needless_range_loop)]
     for rg in 0..num_rgs {
         let rows = fm.row_groups[rg].row_count as usize;
         let rg_alive = row_group_may_match(plan.tree.as_ref(), &plan.filters, &fm.row_groups[rg]);
-        let mut leaf_bitmaps: Vec<Bitmap> = Vec::with_capacity(plan.filters.len());
-        for leaf in &plan.filters {
+        for (li, leaf) in plan.filters.iter().enumerate() {
             let cm = fm.chunk(rg, leaf.column)?;
             if !rg_alive || !stats_may_match(leaf, cm.min.as_ref(), cm.max.as_ref()) {
                 pruned += 1;
-                leaf_bitmaps.push(Bitmap::with_len(rows));
+                leaf_acc[rg][li] = Some(Bitmap::with_len(rows));
+                continue;
+            }
+            if stats_all_match(leaf, cm.min.as_ref(), cm.max.as_ref()) {
+                // Stats prove every row matches: no read, no scan, no
+                // dispatch — the bitmap is known from the footer alone.
+                leaf_acc[rg][li] = Some(Bitmap::ones_with_len(rows));
                 continue;
             }
             let ty = fm.schema.fields()[leaf.column].ty;
             let ordinal = meta
                 .chunk_ordinal(rg, leaf.column)
                 .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
-            // Data plane: decode and evaluate for real.
-            let chunk_bytes = store.chunk_bytes(object, ordinal)?;
-            let col = decode_column_chunk(&chunk_bytes, ty)?;
-            let bm = eval_filter(leaf, &col)?;
-            let wire = fusion_snappy::compress(&bm.to_bytes());
-            bitmap_wire_total += wire.len() as u64;
-
-            // Time plane. In-situ evaluation needs the chunk whole AND
-            // its hosting node up; otherwise the coordinator rebuilds or
-            // reassembles and evaluates locally (degraded mode).
             let frags = meta.chunk_fragments(ordinal);
             let healthy =
                 frags.len() == 1 && store.blocks().has_block(frags[0].node, frags[0].block);
             if healthy {
-                let node = frags[0].node;
-                // Dispatch the sub-query, read, decode + evaluate in situ,
-                // return the compressed bitmap.
-                let req = ctx.rpc(Loc::Node(coord), Loc::Node(node), &[plan_step]);
-                let req = ctx.retry(store.retry_penalty(node), &req);
-                let read = ctx.disk(node, cm.len, &req);
-                let eval = ctx.cpu(
-                    Loc::Node(node),
-                    cost.decode(cm.plain_size) + cost.eval(cm.value_count),
-                    CostClass::Processing,
-                    &[read],
-                );
-                let back = ctx.transfer(
-                    Loc::Node(node),
-                    Loc::Node(coord),
-                    wire.len() as u64,
-                    &[eval],
-                );
-                filter_frontier.extend(back);
-                decoded_on.insert(ordinal, (node, eval));
+                let (cached, raw) = match store.chunk_cache().get(object, ordinal) {
+                    Some(c) => {
+                        cache_hits += 1;
+                        (Some(c), Vec::new())
+                    }
+                    None => {
+                        cache_misses += 1;
+                        (None, store.chunk_bytes(object, ordinal)?)
+                    }
+                };
+                tasks.push(ScanTask {
+                    rg,
+                    leaf_idx: li,
+                    ordinal,
+                    node: frags[0].node,
+                    ty,
+                    cm_len: cm.len,
+                    cm_plain: cm.plain_size,
+                    cm_count: cm.value_count,
+                    cached,
+                    raw,
+                    out: None,
+                });
             } else {
                 // Split chunk (FAC fell back to fixed blocks) or lost
                 // fragments: reassemble at the coordinator — rebuilding
                 // lost fragments from their stripes — evaluate there.
+                // The coordinator runs the same scan kernels but its
+                // one-off reassembled view never enters the node cache.
+                let chunk_bytes = store.chunk_bytes(object, ordinal)?;
+                let view = read_encoded_chunk(&chunk_bytes, ty)?;
+                let bm = if encoded {
+                    eval_filter_encoded(leaf, &view)?
+                } else {
+                    eval_filter(leaf, &view.decode()?)?
+                };
+                let wire = fusion_snappy::compress(&bm.to_bytes());
+                bitmap_wire_total += wire.len() as u64;
                 let mut arrived = Vec::new();
                 for f in &frags {
                     if store.blocks().has_block(f.node, f.block) {
@@ -145,14 +210,76 @@ pub fn execute(
                 }
                 let eval = ctx.cpu(
                     Loc::Node(coord),
-                    cost.decode(cm.plain_size) + cost.eval(cm.value_count),
+                    cost.decode_at(cm.plain_size, speedup) + cost.eval_at(cm.value_count, speedup),
                     CostClass::Processing,
                     &arrived,
                 );
                 filter_frontier.push(eval);
+                leaf_acc[rg][li] = Some(bm);
             }
-            leaf_bitmaps.push(bm);
         }
+    }
+
+    // Phase 2 (parallel): parse + scan every healthy chunk across the
+    // worker pool. Pure CPU over job-owned buffers (and shared read-only
+    // cached views), same discipline as Put and scrub.
+    {
+        let filters = &plan.filters;
+        store.pool().for_each_mut(&mut tasks, |_, t| {
+            let r = scan_one(t, &filters[t.leaf_idx], encoded);
+            t.out = Some(r);
+        });
+    }
+
+    // Phase 3 (serial, original dispatch order): populate the cache,
+    // model each in-situ scan on the virtual clock, assemble bitmaps.
+    for t in tasks {
+        let hit = t.cached.is_some();
+        let (chunk, bm) = t.out.expect("scanned in phase 2")?;
+        if !hit {
+            store.chunk_cache().insert(object, t.ordinal, chunk);
+        }
+        let wire = fusion_snappy::compress(&bm.to_bytes());
+        bitmap_wire_total += wire.len() as u64;
+
+        // Time plane: dispatch the sub-query; a cache hit skips the disk
+        // read and the parse and goes straight to the masked scan.
+        let req = ctx.rpc(Loc::Node(coord), Loc::Node(t.node), &[plan_step]);
+        let req = ctx.retry(store.retry_penalty(t.node), &req);
+        let eval = if hit {
+            ctx.cpu(
+                Loc::Node(t.node),
+                cost.eval_at(t.cm_count, speedup),
+                CostClass::Processing,
+                &req,
+            )
+        } else {
+            let read = ctx.disk(t.node, t.cm_len, &req);
+            ctx.cpu(
+                Loc::Node(t.node),
+                cost.decode_at(t.cm_plain, speedup) + cost.eval_at(t.cm_count, speedup),
+                CostClass::Processing,
+                &[read],
+            )
+        };
+        let back = ctx.transfer(
+            Loc::Node(t.node),
+            Loc::Node(coord),
+            wire.len() as u64,
+            &[eval],
+        );
+        filter_frontier.extend(back);
+        decoded_on.insert(t.ordinal, (t.node, eval));
+        leaf_acc[t.rg][t.leaf_idx] = Some(bm);
+    }
+
+    let mut rg_bitmaps: Vec<Bitmap> = Vec::with_capacity(num_rgs);
+    for (rg, accs) in leaf_acc.into_iter().enumerate() {
+        let rows = fm.row_groups[rg].row_count as usize;
+        let leaf_bitmaps: Vec<Bitmap> = accs
+            .into_iter()
+            .map(|b| b.expect("every leaf pruned, proven, or scanned"))
+            .collect();
         let rg_bitmap = match &plan.tree {
             Some(tree) => combine(tree, &leaf_bitmaps)?,
             None => Bitmap::ones_with_len(rows),
@@ -204,6 +331,8 @@ pub fn execute(
                 selectivity,
                 total_matches,
                 pruned,
+                cache_hits,
+                cache_misses,
             },
         );
     }
@@ -228,10 +357,26 @@ pub fn execute(
             let ordinal = meta
                 .chunk_ordinal(rg, col_idx)
                 .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
+            let frags = meta.chunk_fragments(ordinal);
+            // Pushdown needs the chunk whole and its hosting node up.
+            let healthy =
+                frags.len() == 1 && store.blocks().has_block(frags[0].node, frags[0].block);
 
-            // Data plane.
-            let chunk_bytes = store.chunk_bytes(object, ordinal)?;
-            let col = decode_column_chunk(&chunk_bytes, ty)?;
+            // Data plane: healthy chunks are served through the hosting
+            // node's encoded-chunk cache; degraded chunks bypass it (the
+            // coordinator's reassembled view is one-off).
+            let (col, hit) = if healthy {
+                let (chunk, hit) = store.encoded_chunk(object, ordinal, ty)?;
+                if hit {
+                    cache_hits += 1;
+                } else {
+                    cache_misses += 1;
+                }
+                (chunk.decode()?, hit)
+            } else {
+                let chunk_bytes = store.chunk_bytes(object, ordinal)?;
+                (decode_column_chunk(&chunk_bytes, ty)?, false)
+            };
             let part = col.take(&matches);
             let out_bytes = part.plain_size() as u64;
 
@@ -241,10 +386,6 @@ pub fn execute(
             // count from the bitmap, so the product is computed with the
             // chunk's own selectivity.
             let product = out_bytes as f64 / cm.len.max(1) as f64;
-            let frags = meta.chunk_fragments(ordinal);
-            // Pushdown needs the chunk whole and its hosting node up.
-            let healthy =
-                frags.len() == 1 && store.blocks().has_block(frags[0].node, frags[0].block);
             let push = (!adaptive || product < 1.0) && healthy;
             decisions.push(ProjectionDecision {
                 row_group: rg,
@@ -273,6 +414,14 @@ pub fn execute(
                             &deps,
                         )
                     }
+                    // The node's cache holds the parsed view: skip the
+                    // disk read and full decode, gather straight from it.
+                    _ if hit => ctx.cpu(
+                        Loc::Node(node),
+                        cost.project(out_bytes),
+                        CostClass::Processing,
+                        &deps,
+                    ),
                     _ => {
                         let read = ctx.disk(node, cm.len, &deps);
                         ctx.cpu(
@@ -342,6 +491,8 @@ pub fn execute(
         net_bytes: ctx.net_bytes,
         decisions,
         pruned_chunks: pruned,
+        cache_hits,
+        cache_misses,
     })
 }
 
@@ -357,6 +508,8 @@ struct AggStageInputs<'a> {
     selectivity: f64,
     total_matches: usize,
     pruned: usize,
+    cache_hits: usize,
+    cache_misses: usize,
 }
 
 /// Completes an aggregate-only query by pushing partial-aggregate
@@ -381,6 +534,8 @@ fn aggregate_pushdown_stage(
         selectivity,
         total_matches,
         pruned,
+        mut cache_hits,
+        mut cache_misses,
     } = inputs;
     let cost = store.config().cluster.cost.clone();
     let num_rgs = fm.row_groups.len();
@@ -413,10 +568,24 @@ fn aggregate_pushdown_stage(
             let ordinal = meta
                 .chunk_ordinal(rg, *col_idx)
                 .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
+            let frags = meta.chunk_fragments(ordinal);
+            let healthy =
+                frags.len() == 1 && store.blocks().has_block(frags[0].node, frags[0].block);
 
-            // Data plane: decode once, compute every partial.
-            let chunk_bytes = store.chunk_bytes(object, ordinal)?;
-            let col = decode_column_chunk(&chunk_bytes, ty)?;
+            // Data plane: decode once (via the node cache when healthy),
+            // compute every partial.
+            let (col, hit) = if healthy {
+                let (chunk, hit) = store.encoded_chunk(object, ordinal, ty)?;
+                if hit {
+                    cache_hits += 1;
+                } else {
+                    cache_misses += 1;
+                }
+                (chunk.decode()?, hit)
+            } else {
+                let chunk_bytes = store.chunk_bytes(object, ordinal)?;
+                (decode_column_chunk(&chunk_bytes, ty)?, false)
+            };
             let part = col.take(&matches);
             let mut wire = 0u64;
             for &ai in agg_idxs {
@@ -436,9 +605,6 @@ fn aggregate_pushdown_stage(
 
             // Time plane: bitmap down, partial scalars back. Pushdown
             // needs the chunk whole and its hosting node up.
-            let frags = meta.chunk_fragments(ordinal);
-            let healthy =
-                frags.len() == 1 && store.blocks().has_block(frags[0].node, frags[0].block);
             if healthy {
                 let node = frags[0].node;
                 let bm_wire = fusion_snappy::compress(&rg_bitmaps[rg].to_bytes()).len() as u64;
@@ -454,6 +620,14 @@ fn aggregate_pushdown_stage(
                             &deps,
                         )
                     }
+                    // Parsed view resident in the node cache: aggregate
+                    // straight from it, no disk read or full decode.
+                    _ if hit => ctx.cpu(
+                        Loc::Node(node),
+                        cost.eval(matches.len() as u64 * agg_idxs.len() as u64),
+                        CostClass::Processing,
+                        &deps,
+                    ),
                     _ => {
                         let read = ctx.disk(node, cm.len, &deps);
                         ctx.cpu(
@@ -538,6 +712,8 @@ fn aggregate_pushdown_stage(
         net_bytes: ctx.net_bytes,
         decisions,
         pruned_chunks: pruned,
+        cache_hits,
+        cache_misses,
     })
 }
 

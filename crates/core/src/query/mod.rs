@@ -60,6 +60,11 @@ pub struct QueryOutput {
     pub decisions: Vec<ProjectionDecision>,
     /// Chunks skipped via footer min/max statistics.
     pub pruned_chunks: usize,
+    /// Chunk accesses this query served from the encoded-chunk cache.
+    pub cache_hits: usize,
+    /// Chunk accesses this query that read and parsed from the data
+    /// plane (populating the cache when healthy).
+    pub cache_misses: usize,
 }
 
 impl Store {

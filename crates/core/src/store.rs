@@ -8,6 +8,7 @@
 //! distinct nodes per stripe. `Get` serves ranged reads, transparently
 //! reconstructing from parity when nodes have failed.
 
+use crate::cache::ChunkCache;
 use crate::config::{LayoutPolicy, QueryMode, StoreConfig};
 use crate::error::{Result, StoreError};
 use crate::layout::{fac, fixed, items_from_meta, oracle, padding, Layout, PackItem};
@@ -107,6 +108,9 @@ pub struct Store {
     /// Recycled parity buffer sets: `encode_into` reuses these across
     /// puts so steady-state encoding allocates nothing per stripe.
     parity_scratch: Vec<Vec<Vec<u8>>>,
+    /// Per-node encoded-chunk cache: repeated queries skip the chunk
+    /// read + parse (capacity from [`StoreConfig::chunk_cache_bytes`]).
+    chunk_cache: ChunkCache,
 }
 
 /// Cap on recycled parity buffer sets held between puts.
@@ -160,6 +164,7 @@ impl Store {
             flaky: HashMap::new(),
             pool: WorkerPool::new(config.ec_threads),
             parity_scratch: Vec::new(),
+            chunk_cache: ChunkCache::new(config.chunk_cache_bytes as usize),
             config,
         })
     }
@@ -652,6 +657,9 @@ impl Store {
     /// Unknown node.
     pub fn fail_node(&mut self, node: usize) -> Result<()> {
         self.blocks.fail_node(node)?;
+        // Whatever that node had cached is gone with it; queries must not
+        // serve views the data plane can no longer back.
+        self.chunk_cache.clear();
         Ok(())
     }
 
@@ -663,6 +671,8 @@ impl Store {
     /// Unknown node or unrecoverable stripes.
     pub fn recover_node(&mut self, node: usize) -> Result<RecoveryReport> {
         let blocks_lost = self.blocks.revive_node(node)?;
+        // The replacement node starts cold.
+        self.chunk_cache.clear();
         let mut report = RecoveryReport {
             blocks_lost,
             ..RecoveryReport::default()
@@ -793,6 +803,10 @@ impl Store {
     /// slowdowns and retry penalties. Returns what fired.
     pub fn apply_faults(&mut self, inj: &mut FaultInjector, to: Nanos) -> Vec<AppliedFault> {
         let applied = inj.advance(to, &mut self.blocks);
+        if !applied.is_empty() {
+            // Failed/corrupted/revived blocks invalidate cached views.
+            self.chunk_cache.clear();
+        }
         self.slowdowns = inj.slowdowns();
         self.flaky = inj.flaky_nodes();
         applied
@@ -819,6 +833,33 @@ impl Store {
     /// health-check sweep confirmed revived nodes).
     pub fn clear_flaky(&mut self) {
         self.flaky.clear();
+    }
+
+    /// The per-node encoded-chunk cache (counters and tests).
+    pub fn chunk_cache(&self) -> &ChunkCache {
+        &self.chunk_cache
+    }
+
+    /// Reads one column chunk as a parsed [`EncodedChunk`] view, serving
+    /// it from the chunk cache when resident. Returns the view and
+    /// whether the lookup hit. Misses populate the cache.
+    ///
+    /// # Errors
+    ///
+    /// Unknown object/chunk, unrecoverable loss, or chunk corruption.
+    pub fn encoded_chunk(
+        &self,
+        name: &str,
+        ordinal: usize,
+        ty: fusion_format::schema::LogicalType,
+    ) -> Result<(std::sync::Arc<fusion_format::chunk::EncodedChunk>, bool)> {
+        if let Some(chunk) = self.chunk_cache.get(name, ordinal) {
+            return Ok((chunk, true));
+        }
+        let bytes = self.chunk_bytes(name, ordinal)?;
+        let chunk = std::sync::Arc::new(fusion_format::chunk::read_encoded_chunk(&bytes, ty)?);
+        self.chunk_cache.insert(name, ordinal, chunk.clone());
+        Ok((chunk, false))
     }
 
     /// Reads the full raw bytes of one column chunk (reassembling

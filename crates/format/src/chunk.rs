@@ -18,7 +18,8 @@
 //! Page bytes are Snappy-compressed encodings; `crc32` covers the
 //! compressed bytes.
 
-use crate::encoding::{dict, plain, Encoding};
+use crate::encoding::rle::Run;
+use crate::encoding::{dict, plain, rle, Encoding};
 use crate::error::{FormatError, Result};
 use crate::schema::LogicalType;
 use crate::util::{crc32, put, Cursor};
@@ -190,6 +191,145 @@ pub fn decode_column_chunk(bytes: &[u8], ty: LogicalType) -> Result<ColumnData> 
     }
 }
 
+/// A parsed-but-not-materialized view of a chunk: dictionary page decoded,
+/// code stream kept as runs. This is what the encoded-domain scan kernels
+/// in `fusion-sql` consume — a dictionary predicate is evaluated once per
+/// dictionary entry and an RLE run once per run, never once per row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodedChunk {
+    /// Plain-encoded chunks have no encoded domain to exploit; the column
+    /// is materialized and scanned with word-batched typed loops.
+    Plain(ColumnData),
+    /// Dictionary-encoded chunk: decoded dictionary plus the index stream
+    /// with run structure preserved.
+    Dictionary {
+        /// Distinct values, indexed by code.
+        dictionary: ColumnData,
+        /// The code stream as RLE/literal runs covering `rows` values.
+        runs: Vec<Run>,
+        /// Total row count.
+        rows: usize,
+    },
+}
+
+impl EncodedChunk {
+    /// Number of rows the chunk covers.
+    pub fn rows(&self) -> usize {
+        match self {
+            EncodedChunk::Plain(col) => col.len(),
+            EncodedChunk::Dictionary { rows, .. } => *rows,
+        }
+    }
+
+    /// The chunk's physical encoding.
+    pub fn encoding(&self) -> Encoding {
+        match self {
+            EncodedChunk::Plain(_) => Encoding::Plain,
+            EncodedChunk::Dictionary { .. } => Encoding::Dictionary,
+        }
+    }
+
+    /// Fully materializes the column, equivalent to
+    /// [`decode_column_chunk`] on the original bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a dictionary code is out of range (cannot happen for views
+    /// produced by [`read_encoded_chunk`], which validates codes up front).
+    pub fn decode(&self) -> Result<ColumnData> {
+        match self {
+            EncodedChunk::Plain(col) => Ok(col.clone()),
+            EncodedChunk::Dictionary {
+                dictionary,
+                runs,
+                rows,
+            } => {
+                let mut codes = Vec::with_capacity(*rows);
+                for r in runs {
+                    match r {
+                        Run::Rle { value, len } => codes.extend(std::iter::repeat_n(*value, *len)),
+                        Run::Literal(v) => codes.extend_from_slice(v),
+                    }
+                }
+                dict::gather(dictionary, &codes)
+            }
+        }
+    }
+
+    /// Approximate resident size in bytes, used for cache accounting.
+    pub fn weight_bytes(&self) -> usize {
+        match self {
+            EncodedChunk::Plain(col) => col.plain_size(),
+            EncodedChunk::Dictionary {
+                dictionary, runs, ..
+            } => {
+                let run_bytes: usize = runs
+                    .iter()
+                    .map(|r| match r {
+                        Run::Rle { .. } => std::mem::size_of::<Run>(),
+                        Run::Literal(v) => std::mem::size_of::<Run>() + v.len() * 4,
+                    })
+                    .sum();
+                dictionary.plain_size() + run_bytes
+            }
+        }
+    }
+}
+
+/// Parses chunk bytes into an [`EncodedChunk`] view: pages are checksummed
+/// and decompressed, the dictionary is decoded, but the code stream keeps
+/// its run structure and rows are never materialized. Every code is
+/// validated against the dictionary length here, so scan kernels can index
+/// the predicate mask unchecked.
+///
+/// # Errors
+///
+/// Fails on corruption, checksum mismatch, or out-of-range codes.
+pub fn read_encoded_chunk(bytes: &[u8], ty: LogicalType) -> Result<EncodedChunk> {
+    let mut c = Cursor::new(bytes);
+    let enc = Encoding::from_tag(c.u8()?)
+        .ok_or_else(|| FormatError::Corrupt("unknown encoding tag".into()))?;
+    match enc {
+        Encoding::Plain => {
+            let page = read_page(&mut c)?;
+            let raw = fusion_snappy::decompress(page.bytes)?;
+            if raw.len() != page.uncompressed_len {
+                return Err(FormatError::Corrupt("page length mismatch".into()));
+            }
+            Ok(EncodedChunk::Plain(plain::decode(
+                &raw,
+                physical(ty),
+                page.count,
+            )?))
+        }
+        Encoding::Dictionary => {
+            let dict_page = read_page(&mut c)?;
+            let dict_raw = fusion_snappy::decompress(dict_page.bytes)?;
+            let dictionary = plain::decode(&dict_raw, physical(ty), dict_page.count)?;
+            let idx_page = read_page(&mut c)?;
+            let idx_raw = fusion_snappy::decompress(idx_page.bytes)?;
+            let runs = rle::decode_runs(&idx_raw, idx_page.count)?;
+            let dict_len = dictionary.len() as u32;
+            for r in &runs {
+                let bad = match r {
+                    Run::Rle { value, .. } => *value >= dict_len,
+                    Run::Literal(v) => v.iter().any(|&code| code >= dict_len),
+                };
+                if bad {
+                    return Err(FormatError::Corrupt(format!(
+                        "dictionary code out of range (dict len {dict_len})"
+                    )));
+                }
+            }
+            Ok(EncodedChunk::Dictionary {
+                dictionary,
+                runs,
+                rows: idx_page.count,
+            })
+        }
+    }
+}
+
 /// Decodes only the number of values in a chunk without materializing data
 /// (reads the final page header).
 ///
@@ -326,6 +466,61 @@ mod tests {
             max: None,
         };
         assert_eq!(stats.compressibility(), 10.0);
+    }
+
+    #[test]
+    fn encoded_view_matches_full_decode() {
+        // Dictionary case with long runs and literals.
+        let col = ColumnData::Utf8(
+            (0..10_000)
+                .map(|i| {
+                    if i < 5000 {
+                        "RAIL".to_string()
+                    } else {
+                        ["AIR", "SHIP", "TRUCK"][i % 3].to_string()
+                    }
+                })
+                .collect(),
+        );
+        let (bytes, stats) = encode_column_chunk(&col);
+        assert_eq!(stats.encoding, Encoding::Dictionary);
+        let view = read_encoded_chunk(&bytes, LogicalType::Utf8).unwrap();
+        assert_eq!(view.encoding(), Encoding::Dictionary);
+        assert_eq!(view.rows(), 10_000);
+        assert!(view.weight_bytes() > 0);
+        assert_eq!(view.decode().unwrap(), col);
+        match &view {
+            EncodedChunk::Dictionary {
+                dictionary, runs, ..
+            } => {
+                assert_eq!(dictionary.len(), 4);
+                assert!(
+                    runs.iter()
+                        .any(|r| matches!(r, Run::Rle { len, .. } if *len >= 5000)),
+                    "sorted half should survive as one long run"
+                );
+            }
+            EncodedChunk::Plain(_) => panic!("expected dictionary view"),
+        }
+
+        // Plain case: unique ints defeat the dictionary.
+        let col = ColumnData::Int64((0..200_000).map(|i| i * 7919 % 1_000_003).collect());
+        let (bytes, stats) = encode_column_chunk(&col);
+        assert_eq!(stats.encoding, Encoding::Plain);
+        let view = read_encoded_chunk(&bytes, LogicalType::Int64).unwrap();
+        assert_eq!(view.encoding(), Encoding::Plain);
+        assert_eq!(view.rows(), 200_000);
+        assert_eq!(view.decode().unwrap(), col);
+    }
+
+    #[test]
+    fn encoded_view_detects_corruption() {
+        let col = ColumnData::Utf8((0..1000).map(|i| format!("v{}", i % 3)).collect());
+        let (mut bytes, _) = encode_column_chunk(&col);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(read_encoded_chunk(&bytes, LogicalType::Utf8).is_err());
+        assert!(read_encoded_chunk(&bytes[..4], LogicalType::Utf8).is_err());
     }
 
     #[test]

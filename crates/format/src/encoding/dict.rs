@@ -109,19 +109,28 @@ pub fn encode_indices(enc: &DictEncoded, out: &mut Vec<u8>) {
 /// malformed.
 pub fn decode(dictionary: &ColumnData, index_bytes: &[u8], count: usize) -> Result<ColumnData> {
     let indices = rle::decode(index_bytes, count)?;
+    gather(dictionary, &indices)
+}
+
+/// Materializes a column by looking each code up in the dictionary.
+///
+/// # Errors
+///
+/// Fails if a code is out of range for the dictionary.
+pub fn gather(dictionary: &ColumnData, codes: &[u32]) -> Result<ColumnData> {
     let dlen = dictionary.len() as u32;
-    if let Some(&bad) = indices.iter().find(|&&i| i >= dlen) {
+    if let Some(&bad) = codes.iter().find(|&&i| i >= dlen) {
         return Err(FormatError::Corrupt(format!(
             "dictionary index {bad} out of range ({dlen} entries)"
         )));
     }
     Ok(match dictionary {
-        ColumnData::Int64(d) => ColumnData::Int64(indices.iter().map(|&i| d[i as usize]).collect()),
+        ColumnData::Int64(d) => ColumnData::Int64(codes.iter().map(|&i| d[i as usize]).collect()),
         ColumnData::Float64(d) => {
-            ColumnData::Float64(indices.iter().map(|&i| d[i as usize]).collect())
+            ColumnData::Float64(codes.iter().map(|&i| d[i as usize]).collect())
         }
         ColumnData::Utf8(d) => {
-            ColumnData::Utf8(indices.iter().map(|&i| d[i as usize].clone()).collect())
+            ColumnData::Utf8(codes.iter().map(|&i| d[i as usize].clone()).collect())
         }
     })
 }

@@ -54,6 +54,81 @@ fn flush_literals(lits: &[u32], width: u32, out: &mut Vec<u8>) {
     bitpack::pack(lits, width, out);
 }
 
+/// One run of the hybrid stream, preserved instead of flattened — the
+/// structure the encoded-domain scan kernels exploit: an RLE run is one
+/// predicate evaluation plus one bitmap span fill, however long it is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Run {
+    /// `len` repetitions of `value`.
+    Rle {
+        /// The repeated value.
+        value: u32,
+        /// Repetition count.
+        len: usize,
+    },
+    /// Bit-packed literal values, unpacked.
+    Literal(Vec<u32>),
+}
+
+impl Run {
+    /// Number of values this run covers.
+    pub fn len(&self) -> usize {
+        match self {
+            Run::Rle { len, .. } => *len,
+            Run::Literal(v) => v.len(),
+        }
+    }
+
+    /// True when the run covers no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Decodes exactly `count` values from `input`, preserving the run
+/// structure. Flattening the result equals [`decode`] on the same input.
+///
+/// # Errors
+///
+/// Fails on truncation or if the stream holds a different number of values.
+pub fn decode_runs(input: &[u8], count: usize) -> Result<Vec<Run>> {
+    let mut c = Cursor::new(input);
+    let width = c.u8()? as u32;
+    if width > 32 {
+        return Err(FormatError::Corrupt(format!("rle width {width} > 32")));
+    }
+    let value_bytes = width.div_ceil(8) as usize;
+    let mut runs = Vec::new();
+    let mut covered = 0usize;
+    while covered < count {
+        let h = c.uvarint()?;
+        if h & 1 == 0 {
+            let run = (h >> 1) as usize;
+            let raw = c.bytes(value_bytes)?;
+            let mut le = [0u8; 4];
+            le[..value_bytes].copy_from_slice(raw);
+            let v = u32::from_le_bytes(le);
+            if covered + run > count {
+                return Err(FormatError::Corrupt("rle run overflows value count".into()));
+            }
+            covered += run;
+            runs.push(Run::Rle { value: v, len: run });
+        } else {
+            let n = (h >> 1) as usize;
+            if covered + n > count {
+                return Err(FormatError::Corrupt(
+                    "literal run overflows value count".into(),
+                ));
+            }
+            let bytes = bitpack::packed_len(width, n);
+            let raw = c.bytes(bytes)?;
+            covered += n;
+            runs.push(Run::Literal(bitpack::unpack(raw, width, n)?));
+        }
+    }
+    Ok(runs)
+}
+
 /// Decodes exactly `count` values from `input`.
 ///
 /// # Errors
@@ -167,5 +242,50 @@ mod tests {
     #[test]
     fn corrupt_width_is_error() {
         assert!(decode(&[60, 2, 0], 1).is_err());
+    }
+
+    fn flatten(runs: &[Run]) -> Vec<u32> {
+        let mut out = Vec::new();
+        for r in runs {
+            match r {
+                Run::Rle { value, len } => out.extend(std::iter::repeat_n(*value, *len)),
+                Run::Literal(v) => out.extend_from_slice(v),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn decode_runs_matches_decode() {
+        let mut values = Vec::new();
+        values.extend(std::iter::repeat_n(7u32, 100));
+        values.extend(0..50u32);
+        values.extend(std::iter::repeat_n(3u32, 9));
+        values.extend([1, 2, 1, 2, 1].iter());
+        let mut buf = Vec::new();
+        encode(&values, &mut buf);
+        let runs = decode_runs(&buf, values.len()).unwrap();
+        assert_eq!(flatten(&runs), values);
+        assert_eq!(flatten(&runs), decode(&buf, values.len()).unwrap());
+        // The long repetitions must survive as RLE runs, not literals.
+        assert!(runs
+            .iter()
+            .any(|r| matches!(r, Run::Rle { value: 7, len: 100 })));
+    }
+
+    #[test]
+    fn decode_runs_rejects_truncation_and_overflow() {
+        let mut buf = Vec::new();
+        encode(&(0..100u32).collect::<Vec<_>>(), &mut buf);
+        assert!(decode_runs(&buf[..buf.len() / 2], 100).is_err());
+        assert!(decode_runs(&buf, 10).is_err(), "runs overflow small count");
+        assert!(decode_runs(&[60, 2, 0], 1).is_err(), "width > 32");
+    }
+
+    #[test]
+    fn run_len_helpers() {
+        assert_eq!(Run::Rle { value: 1, len: 4 }.len(), 4);
+        assert_eq!(Run::Literal(vec![1, 2]).len(), 2);
+        assert!(Run::Literal(Vec::new()).is_empty());
     }
 }

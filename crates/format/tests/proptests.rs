@@ -101,3 +101,51 @@ proptest! {
         let _ = FileReader::open(&junk);
     }
 }
+
+mod rle_runs {
+    //! Differential: the run-structured RLE view must flatten to exactly
+    //! what the scalar decoder produces, for any code stream the encoder
+    //! can emit (mixed RLE runs and bit-packed literals, any width).
+
+    use fusion_format::encoding::rle::{self, Run};
+    use proptest::prelude::*;
+
+    fn arb_codes() -> impl Strategy<Value = Vec<u32>> {
+        prop::collection::vec(
+            (
+                prop_oneof![
+                    (0u32..4).boxed(),
+                    (0u32..100_000).boxed(),
+                    Just(u32::MAX).boxed(),
+                ],
+                1usize..50,
+            ),
+            0..30,
+        )
+        .prop_map(|runs| {
+            runs.into_iter()
+                .flat_map(|(v, n)| std::iter::repeat_n(v, n))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn decode_runs_flattens_to_decode(codes in arb_codes()) {
+            let mut bytes = Vec::new();
+            rle::encode(&codes, &mut bytes);
+            let flat = rle::decode(&bytes, codes.len()).unwrap();
+            prop_assert_eq!(&flat, &codes);
+            let runs = rle::decode_runs(&bytes, codes.len()).unwrap();
+            let expanded: Vec<u32> = runs
+                .iter()
+                .flat_map(|r| match r {
+                    Run::Rle { value, len } => vec![*value; *len],
+                    Run::Literal(vs) => vs.clone(),
+                })
+                .collect();
+            prop_assert_eq!(expanded, codes);
+            prop_assert_eq!(runs.iter().map(Run::len).sum::<usize>(), flat.len());
+        }
+    }
+}

@@ -45,6 +45,32 @@ impl Bitmap {
         b
     }
 
+    /// Builds a bitmap directly from its word representation. This is the
+    /// zero-copy exit of the encoded-domain scan kernels, which assemble
+    /// whole `u64` words instead of setting bits one at a time.
+    ///
+    /// Tail bits past `len` are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)`.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Bitmap {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(64),
+            "word count does not cover {len} bits"
+        );
+        let mut b = Bitmap { len, words };
+        b.clear_tail();
+        b
+    }
+
+    /// The backing words, least-significant bit first. The final word's
+    /// bits past `len` are always zero (tail hygiene invariant).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of bits.
     pub fn len(&self) -> usize {
         self.len
@@ -75,6 +101,22 @@ impl Bitmap {
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit {i} out of range ({})", self.len);
         self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets `count` consecutive bits starting at `start`, whole words at a
+    /// time — the RLE-run fast path: a run of ten thousand matching rows
+    /// costs ~160 word stores instead of ten thousand bit sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span exceeds the bitmap length.
+    pub fn set_span(&mut self, start: usize, count: usize) {
+        assert!(
+            start + count <= self.len,
+            "span {start}+{count} out of range ({})",
+            self.len
+        );
+        or_span(&mut self.words, start, count);
     }
 
     /// Number of set bits.
@@ -180,18 +222,70 @@ impl Bitmap {
     }
 
     /// Concatenates bitmaps (chunk-level results → object-level bitmap).
+    /// Word-wise: each part's words are OR-shifted into place rather than
+    /// copied bit by bit.
     pub fn concat<'a>(parts: impl IntoIterator<Item = &'a Bitmap>) -> Bitmap {
         let parts: Vec<&Bitmap> = parts.into_iter().collect();
         let total: usize = parts.iter().map(|b| b.len).sum();
-        let mut out = Bitmap::with_len(total);
+        let mut words = vec![0u64; total.div_ceil(64)];
         let mut base = 0;
         for p in parts {
-            for i in p.ones() {
-                out.set(base + i);
+            let mut bit = base;
+            let mut remaining = p.len;
+            for &w in &p.words {
+                let n = remaining.min(64);
+                or_bits(&mut words, bit, w, n);
+                bit += n;
+                remaining -= n;
             }
             base += p.len;
         }
-        out
+        Bitmap::from_words(total, words)
+    }
+}
+
+/// ORs `count` consecutive one-bits into `words` starting at bit `start`,
+/// whole words at a time. Shared by [`Bitmap::set_span`] and the scan
+/// kernels that assemble raw word vectors before wrapping them in a
+/// [`Bitmap`].
+pub fn or_span(words: &mut [u64], start: usize, count: usize) {
+    if count == 0 {
+        return;
+    }
+    let end = start + count; // exclusive
+    let (first_w, first_b) = (start / 64, start % 64);
+    let (last_w, last_b) = ((end - 1) / 64, (end - 1) % 64);
+    let head = u64::MAX << first_b;
+    let tail = u64::MAX >> (63 - last_b);
+    if first_w == last_w {
+        words[first_w] |= head & tail;
+        return;
+    }
+    words[first_w] |= head;
+    for w in &mut words[first_w + 1..last_w] {
+        *w = u64::MAX;
+    }
+    words[last_w] |= tail;
+}
+
+/// ORs the low `count` bits (≤ 64) of `bits` into `words` starting at bit
+/// `start`, which may be unaligned — the batch exit of the literal-run and
+/// plain-page scan loops: 64 predicate results land with at most two word
+/// stores.
+pub fn or_bits(words: &mut [u64], start: usize, bits: u64, count: usize) {
+    debug_assert!(count <= 64);
+    if count == 0 {
+        return;
+    }
+    let bits = if count == 64 {
+        bits
+    } else {
+        bits & ((1u64 << count) - 1)
+    };
+    let (wi, off) = (start / 64, start % 64);
+    words[wi] |= bits << off;
+    if off != 0 && off + count > 64 {
+        words[wi + 1] |= bits >> (64 - off);
     }
 }
 
@@ -304,5 +398,72 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn oob_set_panics() {
         Bitmap::with_len(3).set(3);
+    }
+
+    #[test]
+    fn from_words_clears_tail() {
+        let b = Bitmap::from_words(65, vec![u64::MAX, u64::MAX]);
+        assert_eq!(b.count_ones(), 65);
+        assert_eq!(b.words()[1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count")]
+    fn from_words_wrong_count_panics() {
+        Bitmap::from_words(65, vec![0]);
+    }
+
+    #[test]
+    fn set_span_matches_per_bit() {
+        for (start, count) in [
+            (0, 0),
+            (0, 64),
+            (3, 7),
+            (60, 10),
+            (63, 1),
+            (0, 130),
+            (64, 66),
+        ] {
+            let mut a = Bitmap::with_len(130);
+            a.set_span(start, count);
+            let mut b = Bitmap::with_len(130);
+            for i in start..start + count {
+                b.set(i);
+            }
+            assert_eq!(a, b, "span ({start}, {count})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_span_oob_panics() {
+        Bitmap::with_len(100).set_span(90, 20);
+    }
+
+    #[test]
+    fn or_bits_unaligned() {
+        let mut words = vec![0u64; 2];
+        or_bits(&mut words, 60, 0b1111, 4);
+        assert_eq!(words[0], 0b1111 << 60);
+        let mut words = vec![0u64; 2];
+        or_bits(&mut words, 62, u64::MAX, 4);
+        assert_eq!(words[0], 0b11 << 62);
+        assert_eq!(words[1], 0b11);
+    }
+
+    #[test]
+    fn concat_unaligned_parts() {
+        // Parts with non-multiple-of-64 lengths exercise the shifted OR.
+        let a: Bitmap = (0..70).map(|i| i % 3 == 0).collect();
+        let b: Bitmap = (0..13).map(|i| i % 2 == 0).collect();
+        let c: Bitmap = (0..129).map(|i| i % 5 == 0).collect();
+        let got = Bitmap::concat([&a, &b, &c]);
+        let mut want = Bitmap::with_len(70 + 13 + 129);
+        for (base, p) in [(0, &a), (70, &b), (83, &c)] {
+            for i in p.ones() {
+                want.set(base + i);
+            }
+        }
+        assert_eq!(got, want);
     }
 }

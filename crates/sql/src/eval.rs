@@ -2,10 +2,27 @@
 //! code that actually runs *in situ* on a storage node during pushdown.
 
 use crate::ast::AggFunc;
-use crate::bitmap::Bitmap;
+use crate::bitmap::{or_bits, or_span, Bitmap};
 use crate::error::{Result, SqlError};
 use crate::plan::{AggregateSpec, BoolTree, FilterLeaf};
+use fusion_format::chunk::EncodedChunk;
+use fusion_format::encoding::rle::Run;
 use fusion_format::value::{ColumnData, Value};
+
+/// Builds a bitmap from a typed slice one 64-row word at a time: the
+/// predicate results of each 64-row batch are accumulated into a register
+/// and stored with a single write, instead of a read-modify-write per bit.
+fn scan_words<T, F: Fn(&T) -> bool>(v: &[T], pred: F) -> Bitmap {
+    let mut words = vec![0u64; v.len().div_ceil(64)];
+    for (w, batch) in words.iter_mut().zip(v.chunks(64)) {
+        let mut acc = 0u64;
+        for (bit, x) in batch.iter().enumerate() {
+            acc |= (pred(x) as u64) << bit;
+        }
+        *w = acc;
+    }
+    Bitmap::from_words(v.len(), words)
+}
 
 /// Evaluates a single comparison over a decoded chunk, producing one bit
 /// per row.
@@ -14,49 +31,23 @@ use fusion_format::value::{ColumnData, Value};
 ///
 /// Type mismatches between the chunk and the (already coerced) constant.
 pub fn eval_filter(leaf: &FilterLeaf, col: &ColumnData) -> Result<Bitmap> {
-    let mut bm = Bitmap::with_len(col.len());
-    match (col, &leaf.constant) {
-        (ColumnData::Int64(v), Value::Int(c)) => {
-            for (i, x) in v.iter().enumerate() {
-                if leaf.op.matches(x.cmp(c)) {
-                    bm.set(i);
-                }
-            }
-        }
-        (ColumnData::Int64(v), Value::Float(c)) => {
-            for (i, x) in v.iter().enumerate() {
-                if let Some(ord) = (*x as f64).partial_cmp(c) {
-                    if leaf.op.matches(ord) {
-                        bm.set(i);
-                    }
-                }
-            }
-        }
+    let op = leaf.op;
+    Ok(match (col, &leaf.constant) {
+        (ColumnData::Int64(v), Value::Int(c)) => scan_words(v, |x| op.matches(x.cmp(c))),
+        (ColumnData::Int64(v), Value::Float(c)) => scan_words(v, |x| {
+            (*x as f64)
+                .partial_cmp(c)
+                .is_some_and(|ord| op.matches(ord))
+        }),
         (ColumnData::Float64(v), Value::Float(c)) => {
-            for (i, x) in v.iter().enumerate() {
-                if let Some(ord) = x.partial_cmp(c) {
-                    if leaf.op.matches(ord) {
-                        bm.set(i);
-                    }
-                }
-            }
+            scan_words(v, |x| x.partial_cmp(c).is_some_and(|ord| op.matches(ord)))
         }
         (ColumnData::Float64(v), Value::Int(c)) => {
             let c = *c as f64;
-            for (i, x) in v.iter().enumerate() {
-                if let Some(ord) = x.partial_cmp(&c) {
-                    if leaf.op.matches(ord) {
-                        bm.set(i);
-                    }
-                }
-            }
+            scan_words(v, |x| x.partial_cmp(&c).is_some_and(|ord| op.matches(ord)))
         }
         (ColumnData::Utf8(v), Value::Str(c)) => {
-            for (i, x) in v.iter().enumerate() {
-                if leaf.op.matches(x.as_str().cmp(c.as_str())) {
-                    bm.set(i);
-                }
-            }
+            scan_words(v, |x| op.matches(x.as_str().cmp(c.as_str())))
         }
         (col, c) => {
             return Err(SqlError::TypeError(format!(
@@ -65,8 +56,77 @@ pub fn eval_filter(leaf: &FilterLeaf, col: &ColumnData) -> Result<Bitmap> {
                 col.physical_name()
             )))
         }
+    })
+}
+
+/// Evaluates a comparison in the encoded domain, bit-identical to
+/// `decode()`-then-[`eval_filter`] but without materializing rows:
+///
+/// * **Dictionary** chunks: the predicate runs once per dictionary entry
+///   (the dictionary is tiny — at most `MAX_DICT_DISTINCT` values), then
+///   codes translate to bits through the resulting mask.
+/// * **RLE runs** of codes: one mask lookup sets the whole span word-wise.
+/// * **Literal runs**: mask lookups accumulate into 64-bit words.
+/// * **Plain** chunks fall back to the word-batched [`eval_filter`].
+///
+/// # Errors
+///
+/// Type mismatches, or a code out of range for the dictionary (impossible
+/// for views from `read_encoded_chunk`, which validates codes up front).
+pub fn eval_filter_encoded(leaf: &FilterLeaf, chunk: &EncodedChunk) -> Result<Bitmap> {
+    let (dictionary, runs, rows) = match chunk {
+        EncodedChunk::Plain(col) => return eval_filter(leaf, col),
+        EncodedChunk::Dictionary {
+            dictionary,
+            runs,
+            rows,
+        } => (dictionary, runs, *rows),
+    };
+    let dict_bits = eval_filter(leaf, dictionary)?;
+    let mask: Vec<bool> = (0..dictionary.len()).map(|i| dict_bits.get(i)).collect();
+    let code_match = |code: u32| -> Result<bool> {
+        mask.get(code as usize).copied().ok_or_else(|| {
+            SqlError::Invalid(format!(
+                "dictionary code {code} out of range ({} entries)",
+                mask.len()
+            ))
+        })
+    };
+
+    let mut words = vec![0u64; rows.div_ceil(64)];
+    let mut pos = 0usize;
+    for run in runs {
+        match run {
+            Run::Rle { value, len } => {
+                if pos + len > rows {
+                    return Err(SqlError::Invalid("run structure overflows chunk".into()));
+                }
+                if code_match(*value)? {
+                    or_span(&mut words, pos, *len);
+                }
+                pos += len;
+            }
+            Run::Literal(codes) => {
+                if pos + codes.len() > rows {
+                    return Err(SqlError::Invalid("run structure overflows chunk".into()));
+                }
+                for batch in codes.chunks(64) {
+                    let mut acc = 0u64;
+                    for (bit, &code) in batch.iter().enumerate() {
+                        acc |= (code_match(code)? as u64) << bit;
+                    }
+                    or_bits(&mut words, pos, acc, batch.len());
+                    pos += batch.len();
+                }
+            }
+        }
     }
-    Ok(bm)
+    if pos != rows {
+        return Err(SqlError::Invalid(format!(
+            "run structure covers {pos} of {rows} rows"
+        )));
+    }
+    Ok(Bitmap::from_words(rows, words))
 }
 
 /// Combines per-leaf bitmaps according to the boolean tree. All bitmaps
@@ -123,6 +183,40 @@ pub fn stats_may_match(leaf: &FilterLeaf, min: Option<&Value>, max: Option<&Valu
         Le => cmp_min != Greater,
         Gt => cmp_max == Greater,
         Ge => cmp_max != Less,
+    }
+}
+
+/// The dual of [`stats_may_match`]: returns `true` only when min/max
+/// statistics prove that *every* row of the chunk matches, so the scan can
+/// return [`Bitmap::ones_with_len`] without touching the data.
+///
+/// Float statistics never prove all-match: `f64` min/max aggregation skips
+/// NaN rows, but a NaN row fails every comparison — so a chunk whose stats
+/// bracket the constant may still contain non-matching NaN rows.
+pub fn stats_all_match(leaf: &FilterLeaf, min: Option<&Value>, max: Option<&Value>) -> bool {
+    use crate::ast::CmpOp::*;
+    let (min, max) = match (min, max) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return false, // no stats: cannot prove anything
+    };
+    if matches!(min, Value::Float(_)) || matches!(max, Value::Float(_)) {
+        return false;
+    }
+    let (cmp_min, cmp_max) = match (
+        min.partial_cmp_value(&leaf.constant),
+        max.partial_cmp_value(&leaf.constant),
+    ) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return false, // incomparable types: be safe
+    };
+    use std::cmp::Ordering::*;
+    match leaf.op {
+        Eq => cmp_min == Equal && cmp_max == Equal,
+        Ne => cmp_max == Less || cmp_min == Greater,
+        Lt => cmp_max == Less,
+        Le => cmp_max != Greater,
+        Gt => cmp_min == Greater,
+        Ge => cmp_min != Less,
     }
 }
 
@@ -298,6 +392,142 @@ mod tests {
 
         // No stats -> never prune.
         assert!(stats_may_match(&l, None, None));
+    }
+
+    #[test]
+    fn stats_all_match_proofs() {
+        let l = leaf(CmpOp::Lt, Value::Int(100));
+        assert!(stats_all_match(
+            &l,
+            Some(&Value::Int(0)),
+            Some(&Value::Int(99))
+        ));
+        assert!(!stats_all_match(
+            &l,
+            Some(&Value::Int(0)),
+            Some(&Value::Int(100))
+        ));
+        let l = leaf(CmpOp::Le, Value::Int(100));
+        assert!(stats_all_match(
+            &l,
+            Some(&Value::Int(0)),
+            Some(&Value::Int(100))
+        ));
+        let l = leaf(CmpOp::Eq, Value::Int(5));
+        assert!(stats_all_match(
+            &l,
+            Some(&Value::Int(5)),
+            Some(&Value::Int(5))
+        ));
+        assert!(!stats_all_match(
+            &l,
+            Some(&Value::Int(5)),
+            Some(&Value::Int(6))
+        ));
+        let l = leaf(CmpOp::Ne, Value::Int(5));
+        assert!(stats_all_match(
+            &l,
+            Some(&Value::Int(6)),
+            Some(&Value::Int(9))
+        ));
+        let l = leaf(CmpOp::Ge, Value::Int(5));
+        assert!(stats_all_match(
+            &l,
+            Some(&Value::Int(5)),
+            Some(&Value::Int(9))
+        ));
+        let l = leaf(CmpOp::Gt, Value::Int(5));
+        assert!(!stats_all_match(
+            &l,
+            Some(&Value::Int(5)),
+            Some(&Value::Int(9))
+        ));
+        // No stats, or float stats (NaN hazard): never prove all-match.
+        let l = leaf(CmpOp::Lt, Value::Int(100));
+        assert!(!stats_all_match(&l, None, None));
+        let l = leaf(CmpOp::Lt, Value::Float(100.0));
+        assert!(!stats_all_match(
+            &l,
+            Some(&Value::Float(0.0)),
+            Some(&Value::Float(1.0))
+        ));
+    }
+
+    fn encoded(col: &ColumnData) -> EncodedChunk {
+        let (bytes, _) = fusion_format::chunk::encode_column_chunk(col);
+        fusion_format::chunk::read_encoded_chunk(
+            &bytes,
+            match col {
+                ColumnData::Int64(_) => fusion_format::schema::LogicalType::Int64,
+                ColumnData::Float64(_) => fusion_format::schema::LogicalType::Float64,
+                ColumnData::Utf8(_) => fusion_format::schema::LogicalType::Utf8,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encoded_filter_matches_decoded() {
+        // Dictionary with long runs + literal tail, crossing word borders.
+        let mut vals: Vec<i64> = std::iter::repeat_n(3i64, 200).collect();
+        vals.extend((0..77).map(|i| i % 5));
+        vals.extend(std::iter::repeat_n(1i64, 100));
+        let col = ColumnData::Int64(vals);
+        let chunk = encoded(&col);
+        assert!(matches!(chunk, EncodedChunk::Dictionary { .. }));
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            let l = leaf(op, Value::Int(3));
+            let fast = eval_filter_encoded(&l, &chunk).unwrap();
+            let slow = eval_filter(&l, &col).unwrap();
+            assert_eq!(fast, slow, "op {op:?}");
+        }
+        // Plain chunk falls through to the word-batched scan.
+        let col = ColumnData::Int64((0..300).map(|i| i * 7919 % 1000).collect());
+        let chunk = encoded(&col);
+        assert!(matches!(chunk, EncodedChunk::Plain(_)));
+        let l = leaf(CmpOp::Lt, Value::Int(500));
+        assert_eq!(
+            eval_filter_encoded(&l, &chunk).unwrap(),
+            eval_filter(&l, &col).unwrap()
+        );
+    }
+
+    #[test]
+    fn encoded_filter_rejects_bad_views() {
+        // Hand-built views with out-of-range codes or short run coverage.
+        let dict = ColumnData::Int64(vec![10, 20]);
+        let l = leaf(CmpOp::Eq, Value::Int(10));
+        let bad_code = EncodedChunk::Dictionary {
+            dictionary: dict.clone(),
+            runs: vec![Run::Rle { value: 9, len: 4 }],
+            rows: 4,
+        };
+        assert!(eval_filter_encoded(&l, &bad_code).is_err());
+        let bad_literal = EncodedChunk::Dictionary {
+            dictionary: dict.clone(),
+            runs: vec![Run::Literal(vec![0, 7])],
+            rows: 2,
+        };
+        assert!(eval_filter_encoded(&l, &bad_literal).is_err());
+        let short = EncodedChunk::Dictionary {
+            dictionary: dict.clone(),
+            runs: vec![Run::Rle { value: 0, len: 2 }],
+            rows: 5,
+        };
+        assert!(eval_filter_encoded(&l, &short).is_err());
+        let long = EncodedChunk::Dictionary {
+            dictionary: dict,
+            runs: vec![Run::Rle { value: 0, len: 9 }],
+            rows: 5,
+        };
+        assert!(eval_filter_encoded(&l, &long).is_err());
     }
 
     #[test]

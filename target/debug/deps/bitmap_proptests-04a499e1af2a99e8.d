@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bitmap_proptests-04a499e1af2a99e8.d: crates/sql/tests/bitmap_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbitmap_proptests-04a499e1af2a99e8.rmeta: crates/sql/tests/bitmap_proptests.rs Cargo.toml
+
+crates/sql/tests/bitmap_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

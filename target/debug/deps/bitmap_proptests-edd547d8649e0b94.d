@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bitmap_proptests-edd547d8649e0b94.d: crates/sql/tests/bitmap_proptests.rs
+
+/root/repo/target/debug/deps/bitmap_proptests-edd547d8649e0b94: crates/sql/tests/bitmap_proptests.rs
+
+crates/sql/tests/bitmap_proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encoded_scan_proptests-862768c05a00e189.d: crates/sql/tests/encoded_scan_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencoded_scan_proptests-862768c05a00e189.rmeta: crates/sql/tests/encoded_scan_proptests.rs Cargo.toml
+
+crates/sql/tests/encoded_scan_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/encoded_scan_proptests-a24a28ed411d2beb.d: crates/sql/tests/encoded_scan_proptests.rs
+
+/root/repo/target/debug/deps/encoded_scan_proptests-a24a28ed411d2beb: crates/sql/tests/encoded_scan_proptests.rs
+
+crates/sql/tests/encoded_scan_proptests.rs:

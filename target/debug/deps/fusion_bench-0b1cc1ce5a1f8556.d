@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/fusion_bench-0b1cc1ce5a1f8556.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs Cargo.toml
+/root/repo/target/debug/deps/fusion_bench-0b1cc1ce5a1f8556.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/scan_throughput.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfusion_bench-0b1cc1ce5a1f8556.rmeta: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs Cargo.toml
+/root/repo/target/debug/deps/libfusion_bench-0b1cc1ce5a1f8556.rmeta: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/scan_throughput.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/figures/mod.rs:
 crates/bench/src/figures/degraded.rs:
 crates/bench/src/figures/ec_throughput.rs:
 crates/bench/src/figures/latency.rs:
+crates/bench/src/figures/scan_throughput.rs:
 crates/bench/src/figures/storage.rs:
 crates/bench/src/harness.rs:
 crates/bench/src/microbench.rs:

@@ -1,14 +1,15 @@
-/root/repo/target/debug/deps/fusion_bench-5f7bef6093bf302d.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/fusion_bench-5f7bef6093bf302d.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/scan_throughput.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
 
-/root/repo/target/debug/deps/libfusion_bench-5f7bef6093bf302d.rlib: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/libfusion_bench-5f7bef6093bf302d.rlib: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/scan_throughput.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
 
-/root/repo/target/debug/deps/libfusion_bench-5f7bef6093bf302d.rmeta: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/libfusion_bench-5f7bef6093bf302d.rmeta: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/scan_throughput.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/figures/mod.rs:
 crates/bench/src/figures/degraded.rs:
 crates/bench/src/figures/ec_throughput.rs:
 crates/bench/src/figures/latency.rs:
+crates/bench/src/figures/scan_throughput.rs:
 crates/bench/src/figures/storage.rs:
 crates/bench/src/harness.rs:
 crates/bench/src/microbench.rs:

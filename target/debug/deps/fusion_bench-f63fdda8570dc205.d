@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/fusion_bench-f63fdda8570dc205.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/fusion_bench-f63fdda8570dc205.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/scan_throughput.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
 
-/root/repo/target/debug/deps/fusion_bench-f63fdda8570dc205: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/fusion_bench-f63fdda8570dc205: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/scan_throughput.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/figures/mod.rs:
 crates/bench/src/figures/degraded.rs:
 crates/bench/src/figures/ec_throughput.rs:
 crates/bench/src/figures/latency.rs:
+crates/bench/src/figures/scan_throughput.rs:
 crates/bench/src/figures/storage.rs:
 crates/bench/src/harness.rs:
 crates/bench/src/microbench.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/fusion_core-769d5a3fe66ec06e.d: crates/core/src/lib.rs crates/core/src/admin.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/layout/mod.rs crates/core/src/layout/fac.rs crates/core/src/layout/fixed.rs crates/core/src/layout/oracle.rs crates/core/src/layout/padding.rs crates/core/src/location_map.rs crates/core/src/object.rs crates/core/src/query/mod.rs crates/core/src/query/baseline.rs crates/core/src/query/fusion.rs crates/core/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/fusion_core-769d5a3fe66ec06e.d: crates/core/src/lib.rs crates/core/src/admin.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/layout/mod.rs crates/core/src/layout/fac.rs crates/core/src/layout/fixed.rs crates/core/src/layout/oracle.rs crates/core/src/layout/padding.rs crates/core/src/location_map.rs crates/core/src/object.rs crates/core/src/query/mod.rs crates/core/src/query/baseline.rs crates/core/src/query/fusion.rs crates/core/src/store.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfusion_core-769d5a3fe66ec06e.rmeta: crates/core/src/lib.rs crates/core/src/admin.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/layout/mod.rs crates/core/src/layout/fac.rs crates/core/src/layout/fixed.rs crates/core/src/layout/oracle.rs crates/core/src/layout/padding.rs crates/core/src/location_map.rs crates/core/src/object.rs crates/core/src/query/mod.rs crates/core/src/query/baseline.rs crates/core/src/query/fusion.rs crates/core/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/libfusion_core-769d5a3fe66ec06e.rmeta: crates/core/src/lib.rs crates/core/src/admin.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/layout/mod.rs crates/core/src/layout/fac.rs crates/core/src/layout/fixed.rs crates/core/src/layout/oracle.rs crates/core/src/layout/padding.rs crates/core/src/location_map.rs crates/core/src/object.rs crates/core/src/query/mod.rs crates/core/src/query/baseline.rs crates/core/src/query/fusion.rs crates/core/src/store.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/admin.rs:
+crates/core/src/cache.rs:
 crates/core/src/config.rs:
 crates/core/src/error.rs:
 crates/core/src/layout/mod.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scan_cache_e2e-b683a4ce9808d52e.d: crates/core/tests/scan_cache_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscan_cache_e2e-b683a4ce9808d52e.rmeta: crates/core/tests/scan_cache_e2e.rs Cargo.toml
+
+crates/core/tests/scan_cache_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scan_cache_e2e-db3b51e1c2e73401.d: crates/core/tests/scan_cache_e2e.rs
+
+/root/repo/target/debug/deps/scan_cache_e2e-db3b51e1c2e73401: crates/core/tests/scan_cache_e2e.rs
+
+crates/core/tests/scan_cache_e2e.rs:

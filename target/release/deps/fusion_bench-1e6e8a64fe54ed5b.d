@@ -1,14 +1,15 @@
-/root/repo/target/release/deps/fusion_bench-1e6e8a64fe54ed5b.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
+/root/repo/target/release/deps/fusion_bench-1e6e8a64fe54ed5b.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/scan_throughput.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
 
-/root/repo/target/release/deps/libfusion_bench-1e6e8a64fe54ed5b.rlib: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
+/root/repo/target/release/deps/libfusion_bench-1e6e8a64fe54ed5b.rlib: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/scan_throughput.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
 
-/root/repo/target/release/deps/libfusion_bench-1e6e8a64fe54ed5b.rmeta: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
+/root/repo/target/release/deps/libfusion_bench-1e6e8a64fe54ed5b.rmeta: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/degraded.rs crates/bench/src/figures/ec_throughput.rs crates/bench/src/figures/latency.rs crates/bench/src/figures/scan_throughput.rs crates/bench/src/figures/storage.rs crates/bench/src/harness.rs crates/bench/src/microbench.rs crates/bench/src/report.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/figures/mod.rs:
 crates/bench/src/figures/degraded.rs:
 crates/bench/src/figures/ec_throughput.rs:
 crates/bench/src/figures/latency.rs:
+crates/bench/src/figures/scan_throughput.rs:
 crates/bench/src/figures/storage.rs:
 crates/bench/src/harness.rs:
 crates/bench/src/microbench.rs:

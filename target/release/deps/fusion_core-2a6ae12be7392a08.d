@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/fusion_core-2a6ae12be7392a08.d: crates/core/src/lib.rs crates/core/src/admin.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/layout/mod.rs crates/core/src/layout/fac.rs crates/core/src/layout/fixed.rs crates/core/src/layout/oracle.rs crates/core/src/layout/padding.rs crates/core/src/location_map.rs crates/core/src/object.rs crates/core/src/query/mod.rs crates/core/src/query/baseline.rs crates/core/src/query/fusion.rs crates/core/src/store.rs
+/root/repo/target/release/deps/fusion_core-2a6ae12be7392a08.d: crates/core/src/lib.rs crates/core/src/admin.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/layout/mod.rs crates/core/src/layout/fac.rs crates/core/src/layout/fixed.rs crates/core/src/layout/oracle.rs crates/core/src/layout/padding.rs crates/core/src/location_map.rs crates/core/src/object.rs crates/core/src/query/mod.rs crates/core/src/query/baseline.rs crates/core/src/query/fusion.rs crates/core/src/store.rs
 
-/root/repo/target/release/deps/libfusion_core-2a6ae12be7392a08.rlib: crates/core/src/lib.rs crates/core/src/admin.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/layout/mod.rs crates/core/src/layout/fac.rs crates/core/src/layout/fixed.rs crates/core/src/layout/oracle.rs crates/core/src/layout/padding.rs crates/core/src/location_map.rs crates/core/src/object.rs crates/core/src/query/mod.rs crates/core/src/query/baseline.rs crates/core/src/query/fusion.rs crates/core/src/store.rs
+/root/repo/target/release/deps/libfusion_core-2a6ae12be7392a08.rlib: crates/core/src/lib.rs crates/core/src/admin.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/layout/mod.rs crates/core/src/layout/fac.rs crates/core/src/layout/fixed.rs crates/core/src/layout/oracle.rs crates/core/src/layout/padding.rs crates/core/src/location_map.rs crates/core/src/object.rs crates/core/src/query/mod.rs crates/core/src/query/baseline.rs crates/core/src/query/fusion.rs crates/core/src/store.rs
 
-/root/repo/target/release/deps/libfusion_core-2a6ae12be7392a08.rmeta: crates/core/src/lib.rs crates/core/src/admin.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/layout/mod.rs crates/core/src/layout/fac.rs crates/core/src/layout/fixed.rs crates/core/src/layout/oracle.rs crates/core/src/layout/padding.rs crates/core/src/location_map.rs crates/core/src/object.rs crates/core/src/query/mod.rs crates/core/src/query/baseline.rs crates/core/src/query/fusion.rs crates/core/src/store.rs
+/root/repo/target/release/deps/libfusion_core-2a6ae12be7392a08.rmeta: crates/core/src/lib.rs crates/core/src/admin.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/layout/mod.rs crates/core/src/layout/fac.rs crates/core/src/layout/fixed.rs crates/core/src/layout/oracle.rs crates/core/src/layout/padding.rs crates/core/src/location_map.rs crates/core/src/object.rs crates/core/src/query/mod.rs crates/core/src/query/baseline.rs crates/core/src/query/fusion.rs crates/core/src/store.rs
 
 crates/core/src/lib.rs:
 crates/core/src/admin.rs:
+crates/core/src/cache.rs:
 crates/core/src/config.rs:
 crates/core/src/error.rs:
 crates/core/src/layout/mod.rs:

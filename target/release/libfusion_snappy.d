@@ -1,0 +1,1 @@
+/root/repo/target/release/libfusion_snappy.rlib: /root/repo/crates/snappy/src/lib.rs /root/repo/crates/snappy/src/varint.rs /root/repo/vendor/bytes/src/lib.rs
