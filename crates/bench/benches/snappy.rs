@@ -1,5 +1,10 @@
-//! Snappy codec throughput on the three regimes that matter to the store:
-//! highly repetitive pages, text, and incompressible data.
+//! `compression` criterion group: fast vs scalar-reference Snappy
+//! kernels, both directions, on the three regimes that matter to the
+//! store: highly repetitive pages, text, and incompressible data.
+//!
+//! `figures -- snappy_throughput` is the committed calibration run;
+//! this group is for interactive kernel work (`cargo bench -p
+//! fusion-bench --bench snappy`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -32,27 +37,45 @@ fn inputs() -> Vec<(&'static str, Vec<u8>)> {
 }
 
 fn bench_compress(c: &mut Criterion) {
-    let mut g = c.benchmark_group("snappy_compress");
+    let mut g = c.benchmark_group("compression/compress");
     for (name, data) in inputs() {
         g.throughput(Throughput::Bytes(data.len() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, d| {
-            b.iter(|| fusion_snappy::compress(std::hint::black_box(d)));
+        g.bench_with_input(BenchmarkId::new("scalar", name), &data, |b, d| {
+            b.iter(|| fusion_snappy::reference::compress(std::hint::black_box(d)));
+        });
+        g.bench_with_input(BenchmarkId::new("fast", name), &data, |b, d| {
+            let mut enc = fusion_snappy::Encoder::new();
+            let mut out = Vec::new();
+            b.iter(|| {
+                enc.compress_into(std::hint::black_box(d), &mut out);
+                std::hint::black_box(&out);
+            });
         });
     }
     g.finish();
 }
 
 fn bench_decompress(c: &mut Criterion) {
-    let mut g = c.benchmark_group("snappy_decompress");
+    let mut g = c.benchmark_group("compression/decompress");
     for (name, data) in inputs() {
         let compressed = fusion_snappy::compress(&data);
         g.throughput(Throughput::Bytes(data.len() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(name), &compressed, |b, d| {
-            b.iter(|| fusion_snappy::decompress(std::hint::black_box(d)).expect("valid stream"));
+        g.bench_with_input(BenchmarkId::new("scalar", name), &compressed, |b, d| {
+            b.iter(|| {
+                fusion_snappy::reference::decompress(std::hint::black_box(d)).expect("valid stream")
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("fast", name), &compressed, |b, d| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                fusion_snappy::decompress_into(std::hint::black_box(d), &mut out)
+                    .expect("valid stream");
+                std::hint::black_box(&out);
+            });
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_compress, bench_decompress);
-criterion_main!(benches);
+criterion_group!(compression, bench_compress, bench_decompress);
+criterion_main!(compression);

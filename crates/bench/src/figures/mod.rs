@@ -8,6 +8,7 @@ pub mod degraded;
 pub mod ec_throughput;
 pub mod latency;
 pub mod scan_throughput;
+pub mod snappy_throughput;
 pub mod storage;
 
 use crate::harness::BenchEnv;
@@ -36,6 +37,7 @@ pub const ALL_IDS: &[&str] = &[
     "degraded",
     "ec_throughput",
     "scan_throughput",
+    "snappy_throughput",
 ];
 
 /// Runs one artifact by id.
@@ -67,6 +69,7 @@ pub fn run(id: &str, env: &BenchEnv) -> String {
         "degraded" => degraded::degraded_latency(env),
         "ec_throughput" => ec_throughput::ec_throughput(env),
         "scan_throughput" => scan_throughput::scan_throughput(env),
+        "snappy_throughput" => snappy_throughput::snappy_throughput(env),
         id if id.starts_with("debugcol") => {
             let col: usize = id.trim_start_matches("debugcol").parse().unwrap_or(0);
             latency::debug_column(env, col)

@@ -1,0 +1,318 @@
+//! Snappy codec throughput (kernel extension): compress and decompress
+//! rates of the fast kernels (`fusion_snappy::compress` / `decompress`)
+//! vs the preserved scalar reference (`fusion_snappy::reference`) over
+//! the three page regimes the store actually produces:
+//!
+//! * `run_heavy` — long byte runs, the shape of RLE/dictionary index
+//!   pages (compresses to almost nothing, copy-dominated);
+//! * `text` — word soup from the workload generator, the shape of
+//!   string data pages (mixed literals and short copies);
+//! * `incompressible` — xorshift noise, the shape of high-cardinality
+//!   plain pages (literal-dominated, the codec's worst case).
+//!
+//! Like `ec_throughput` and `scan_throughput`, this measures real CPU
+//! time with `std::time::Instant`; it is the calibration source for
+//! `FAST_SNAPPY_SPEEDUP` in `fusion-core::config`. The headline number
+//! is the geometric-mean decompress speedup over the compressible mixes
+//! (`run_heavy` + `text`), which the PR's acceptance bar requires to be
+//! at least 3x.
+//!
+//! Besides the rendered table, it writes machine-readable JSON to
+//! `results/snappy_throughput.json`.
+
+use crate::harness::BenchEnv;
+use crate::report::Table;
+use std::time::Instant;
+
+/// Bytes per input buffer (a production-sized page run: 4 MiB spans
+/// many 64 KiB Snappy fragments, so the persistent-hash-table reuse in
+/// the fast encoder is exercised).
+const BYTES: usize = 4 << 20;
+/// Minimum measurement window per cell.
+const MIN_ELAPSED_NS: u128 = 150_000_000;
+/// Warmup iterations before timing.
+const WARMUP_ITERS: usize = 2;
+
+struct Mix {
+    name: &'static str,
+    gen: fn() -> Vec<u8>,
+}
+
+const MIXES: &[Mix] = &[
+    // Long runs of slowly varying bytes: RLE / dictionary index pages.
+    Mix {
+        name: "run_heavy",
+        gen: || (0..BYTES).map(|i| ((i / 4096) % 7) as u8).collect(),
+    },
+    // Space-separated word soup: string data pages.
+    Mix {
+        name: "text",
+        gen: || {
+            fusion_workloads::text::WORDS
+                .iter()
+                .cycle()
+                .flat_map(|w| {
+                    let mut v = w.as_bytes().to_vec();
+                    v.push(b' ');
+                    v
+                })
+                .take(BYTES)
+                .collect()
+        },
+    },
+    // xorshift64 noise: high-cardinality plain pages.
+    Mix {
+        name: "incompressible",
+        gen: || {
+            let mut x = 0x2545_F491_4F6C_DD1D_u64;
+            (0..BYTES)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x as u8
+                })
+                .collect()
+        },
+    },
+];
+
+struct Cell {
+    mix: &'static str,
+    codec: &'static str,
+    direction: &'static str,
+    gib_per_s: f64,
+    ratio: f64,
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+/// Times `body` in batches until the window fills; returns (iters, ns).
+fn measure<F: FnMut()>(mut body: F) -> (u64, u128) {
+    for _ in 0..WARMUP_ITERS {
+        body();
+    }
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        body();
+        iters += 1;
+        let elapsed = start.elapsed().as_nanos();
+        if elapsed >= MIN_ELAPSED_NS {
+            return (iters, elapsed);
+        }
+    }
+}
+
+impl Cell {
+    // Throughput is always over *uncompressed* bytes, both directions:
+    // that is the rate the read/write paths observe.
+    fn new(
+        mix: &'static str,
+        codec: &'static str,
+        direction: &'static str,
+        uncompressed: usize,
+        ratio: f64,
+        iters: u64,
+        elapsed_ns: u128,
+    ) -> Cell {
+        let bytes = uncompressed as f64 * iters as f64;
+        Cell {
+            mix,
+            codec,
+            direction,
+            gib_per_s: bytes / (1u64 << 30) as f64 / (elapsed_ns as f64 / 1e9),
+            ratio,
+            iters,
+            elapsed_ns,
+        }
+    }
+}
+
+fn run_mix(mix: &Mix, cells: &mut Vec<Cell>) {
+    let data = (mix.gen)();
+    let stream = fusion_snappy::compress(&data);
+    let ratio = stream.len() as f64 / data.len() as f64;
+
+    // Both codecs must agree with the input before we time anything.
+    let ref_stream = fusion_snappy::reference::compress(&data);
+    assert_eq!(
+        fusion_snappy::decompress(&stream).expect("fast stream"),
+        data,
+        "{}: fast roundtrip diverged",
+        mix.name
+    );
+    assert_eq!(
+        fusion_snappy::reference::decompress(&ref_stream).expect("reference stream"),
+        data,
+        "{}: reference roundtrip diverged",
+        mix.name
+    );
+
+    let (iters, ns) = measure(|| {
+        std::hint::black_box(fusion_snappy::reference::compress(std::hint::black_box(
+            &data,
+        )));
+    });
+    cells.push(Cell::new(
+        mix.name,
+        "scalar",
+        "compress",
+        data.len(),
+        ref_stream.len() as f64 / data.len() as f64,
+        iters,
+        ns,
+    ));
+
+    let mut enc = fusion_snappy::Encoder::new();
+    let mut out = Vec::new();
+    let (iters, ns) = measure(|| {
+        enc.compress_into(std::hint::black_box(&data), &mut out);
+        std::hint::black_box(&out);
+    });
+    cells.push(Cell::new(
+        mix.name,
+        "fast",
+        "compress",
+        data.len(),
+        ratio,
+        iters,
+        ns,
+    ));
+
+    // Each decoder times its own compressor's stream (what that
+    // configuration would actually read back).
+    let (iters, ns) = measure(|| {
+        std::hint::black_box(
+            fusion_snappy::reference::decompress(std::hint::black_box(&ref_stream))
+                .expect("valid stream"),
+        );
+    });
+    cells.push(Cell::new(
+        mix.name,
+        "scalar",
+        "decompress",
+        data.len(),
+        ref_stream.len() as f64 / data.len() as f64,
+        iters,
+        ns,
+    ));
+
+    let mut scratch = Vec::new();
+    let (iters, ns) = measure(|| {
+        fusion_snappy::decompress_into(std::hint::black_box(&stream), &mut scratch)
+            .expect("valid stream");
+        std::hint::black_box(&scratch);
+    });
+    cells.push(Cell::new(
+        mix.name,
+        "fast",
+        "decompress",
+        data.len(),
+        ratio,
+        iters,
+        ns,
+    ));
+}
+
+fn find<'a>(cells: &'a [Cell], mix: &str, codec: &str, direction: &str) -> &'a Cell {
+    cells
+        .iter()
+        .find(|c| c.mix == mix && c.codec == codec && c.direction == direction)
+        .expect("cell present")
+}
+
+/// Geometric-mean fast-vs-scalar speedup for one direction over `mixes`.
+fn geomean_speedup(cells: &[Cell], direction: &str, mixes: &[&str]) -> f64 {
+    let logs: Vec<f64> = mixes
+        .iter()
+        .map(|mix| {
+            let s = find(cells, mix, "scalar", direction).gib_per_s;
+            let f = find(cells, mix, "fast", direction).gib_per_s;
+            (f / s).ln()
+        })
+        .collect();
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+fn json(cells: &[Cell]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"snappy_throughput\",\n");
+    out.push_str(&format!("  \"bytes\": {BYTES},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mix\": \"{}\", \"codec\": \"{}\", \"direction\": \"{}\", \
+             \"gib_per_s\": {:.3}, \"ratio\": {:.4}, \"iters\": {}, \"elapsed_ns\": {}}}{}\n",
+            c.mix,
+            c.codec,
+            c.direction,
+            c.gib_per_s,
+            c.ratio,
+            c.iters,
+            c.elapsed_ns,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": {\n");
+    let compressible = &["run_heavy", "text"];
+    let all: Vec<&str> = MIXES.iter().map(|m| m.name).collect();
+    out.push_str(&format!(
+        "    \"decompress_geomean_compressible\": {:.2},\n",
+        geomean_speedup(cells, "decompress", compressible)
+    ));
+    out.push_str(&format!(
+        "    \"decompress_geomean_all\": {:.2},\n",
+        geomean_speedup(cells, "decompress", &all)
+    ));
+    out.push_str(&format!(
+        "    \"compress_geomean_all\": {:.2}\n",
+        geomean_speedup(cells, "compress", &all)
+    ));
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Fast vs scalar Snappy kernels over the store's three page regimes.
+pub fn snappy_throughput(_env: &BenchEnv) -> String {
+    let mut cells = Vec::new();
+    for mix in MIXES {
+        run_mix(mix, &mut cells);
+    }
+
+    let _ = std::fs::create_dir_all("results");
+    std::fs::write("results/snappy_throughput.json", json(&cells))
+        .expect("write results/snappy_throughput.json");
+
+    let mut t = Table::new(&[
+        "mix",
+        "ratio",
+        "scalar comp GiB/s",
+        "fast comp GiB/s",
+        "scalar decomp GiB/s",
+        "fast decomp GiB/s",
+        "decomp speedup",
+    ]);
+    for mix in MIXES {
+        let sc = find(&cells, mix.name, "scalar", "compress");
+        let fc = find(&cells, mix.name, "fast", "compress");
+        let sd = find(&cells, mix.name, "scalar", "decompress");
+        let fd = find(&cells, mix.name, "fast", "decompress");
+        t.row(vec![
+            mix.name.to_string(),
+            format!("{:.3}", fc.ratio),
+            format!("{:.2}", sc.gib_per_s),
+            format!("{:.2}", fc.gib_per_s),
+            format!("{:.2}", sd.gib_per_s),
+            format!("{:.2}", fd.gib_per_s),
+            format!("{:.1}x", fd.gib_per_s / sd.gib_per_s),
+        ]);
+    }
+    format!(
+        "Snappy kernel throughput: fast vs scalar reference, {} MiB inputs\n\
+         (also written to results/snappy_throughput.json; calibrates FAST_SNAPPY_SPEEDUP)\n\
+         decompress geomean speedup, compressible mixes: {:.2}x\n{}",
+        BYTES >> 20,
+        geomean_speedup(&cells, "decompress", &["run_heavy", "text"]),
+        t.render()
+    )
+}

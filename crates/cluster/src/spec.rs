@@ -99,6 +99,11 @@ pub struct CostModel {
     pub cpu_project_bps: f64,
     /// CPU throughput for Reed-Solomon coding, bytes/sec of stripe data.
     pub cpu_ec_bps: f64,
+    /// CPU throughput for Snappy *compression*, measured against
+    /// uncompressed input bytes — charged when a node compresses filter
+    /// bitmaps or candidate pages, mirroring `cpu_decode_bps` on the
+    /// write side.
+    pub cpu_compress_bps: f64,
     /// CPU cost of moving bytes through the network stack (TCP/RPC
     /// processing), bytes/sec per core — the "network processing CPU"
     /// the paper's §1 and Figure 14d refer to.
@@ -118,6 +123,7 @@ impl Default for CostModel {
             cpu_eval_vps: 2.0e9,
             cpu_project_bps: 3.0e9,
             cpu_ec_bps: 4.0e9,
+            cpu_compress_bps: 2.0e9,
             cpu_net_bps: 2.5e9,
             query_overhead: Nanos::from_micros(300),
         }
@@ -148,6 +154,7 @@ impl CostModel {
         self.cpu_eval_vps /= factor;
         self.cpu_project_bps /= factor;
         self.cpu_ec_bps /= factor;
+        self.cpu_compress_bps /= factor;
         self.cpu_net_bps /= factor;
         self
     }
@@ -224,6 +231,26 @@ impl CostModel {
         crate::time::transfer_time(bytes, self.cpu_ec_bps * speedup)
     }
 
+    /// CPU time to Snappy-compress `bytes` of uncompressed input at the
+    /// calibrated scalar rate (equivalent to [`CostModel::compress_at`]
+    /// with speedup 1).
+    pub fn compress(&self, bytes: u64) -> Nanos {
+        self.compress_at(bytes, 1.0)
+    }
+
+    /// CPU time to Snappy-compress `bytes` with a kernel running at
+    /// `speedup`× the calibrated scalar rate — storage nodes pass their
+    /// measured fast-codec speedup here, mirroring [`CostModel::ec_at`]
+    /// and [`CostModel::decode_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedup` is not positive.
+    pub fn compress_at(&self, bytes: u64, speedup: f64) -> Nanos {
+        assert!(speedup > 0.0, "compression speedup must be positive");
+        crate::time::transfer_time(bytes, self.cpu_compress_bps * speedup)
+    }
+
     /// CPU time spent in the network stack to move `bytes` (charged at
     /// both endpoints of a transfer).
     pub fn net_cpu(&self, bytes: u64) -> Nanos {
@@ -290,12 +317,28 @@ mod tests {
     }
 
     #[test]
+    fn compress_at_scales_with_speedup() {
+        let m = CostModel::default();
+        assert_eq!(m.compress_at(1 << 20, 1.0), m.compress(1 << 20));
+        let fast = m.compress_at(4 << 20, 4.0);
+        assert_eq!(fast, m.compress(1 << 20));
+        assert!(m.compress_at(1 << 20, 4.0) < m.compress(1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "compression speedup must be positive")]
+    fn compress_at_rejects_nonpositive_speedup() {
+        let _ = CostModel::default().compress_at(1, 0.0);
+    }
+
+    #[test]
     fn scaled_down_preserves_fixed_costs() {
         let base = CostModel::default();
         let scaled = base.clone().scaled_down(1000.0);
         // Per-byte costs grow by the factor...
         assert_eq!(scaled.wire(1_000).0, base.wire(1_000_000).0);
         assert_eq!(scaled.decode(1_000).0, base.decode(1_000_000).0);
+        assert_eq!(scaled.compress(1_000).0, base.compress(1_000_000).0);
         assert_eq!(scaled.net_cpu(1_000).0, base.net_cpu(1_000_000).0);
         // ...while fixed latencies stay put.
         assert_eq!(scaled.rpc_overhead, base.rpc_overhead);

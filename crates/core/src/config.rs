@@ -124,6 +124,13 @@ pub struct StoreConfig {
     /// decode-then-filter. `false` selects the scalar ablation path; the
     /// result is bit-identical either way.
     pub encoded_scan: bool,
+    /// Charge compression/decompression CPU at the fast Snappy kernels'
+    /// calibrated rate ([`FAST_SNAPPY_SPEEDUP`]) instead of the scalar
+    /// reference rate. This is a **time-plane** knob only: the data path
+    /// always runs the fast kernels (the differential suite proves them
+    /// byte-compatible with the reference codec), so toggling this changes
+    /// simulated latencies, never bytes.
+    pub fast_snappy: bool,
 }
 
 /// Calibrated throughput ratio of [`CodecKind::Fast`] over
@@ -137,14 +144,27 @@ pub const FAST_CODEC_SPEEDUP: f64 = 4.0;
 /// Calibrated throughput ratio of the encoded-domain scan kernels over the
 /// decode-then-filter path — measured by the `scan_throughput` experiment
 /// (geomean over a 0.001–1.0 selectivity sweep, 256Ki-row Int64 chunks;
-/// see `results/scan_throughput.json`). Cache-hot scans measure ~6.8x on
-/// dictionary columns, ~101x on RLE-run columns, and ~29x on plain
+/// see `results/scan_throughput.json`). Cache-hot scans measure ~5.3x on
+/// dictionary columns, ~121x on RLE-run columns, and ~27x on plain
 /// columns (the hot view also skips the Snappy decompress); cache-cold
-/// scans measure ~1.3x / ~11.7x / ~1.0x. Blended conservatively to 6.0
+/// scans measure ~1.4x / ~14.3x / ~1.0x (ratios over a decode path that
+/// itself now runs the fast Snappy kernels). Blended conservatively to 6.0
 /// since the time plane charges one rate for both the parse and the
 /// predicate across all shapes. Used by the simulated time plane to scale
 /// filter-stage CPU cost when [`StoreConfig::encoded_scan`] is on.
 pub const ENCODED_SCAN_SPEEDUP: f64 = 6.0;
+
+/// Calibrated throughput ratio of the fast Snappy kernels over the scalar
+/// reference codec — measured by the `snappy_throughput` experiment (see
+/// `results/snappy_throughput.json`). Decompress measures a ~11.2x
+/// geomean over the compressible page mixes (run-heavy + text, ~1.0x at
+/// the memcpy wall on incompressible pages, ~5.0x across all three);
+/// compress measures ~10.1x across all mixes. Blended conservatively to
+/// 6.0 since the time plane charges one rate for both directions across
+/// all page shapes. Used by the simulated time plane to scale
+/// page-decompression and bitmap-compression CPU cost when
+/// [`StoreConfig::fast_snappy`] is on.
+pub const FAST_SNAPPY_SPEEDUP: f64 = 6.0;
 
 /// Default per-node chunk-cache capacity: 64 MiB.
 pub const DEFAULT_CHUNK_CACHE_BYTES: u64 = 64 << 20;
@@ -171,6 +191,7 @@ impl Default for StoreConfig {
             ec_threads: default_ec_threads(),
             chunk_cache_bytes: DEFAULT_CHUNK_CACHE_BYTES,
             encoded_scan: true,
+            fast_snappy: true,
         }
     }
 }
@@ -240,6 +261,13 @@ impl StoreConfig {
         self
     }
 
+    /// Selects whether the time plane charges (de)compression at the fast
+    /// Snappy kernels' calibrated rate or the scalar reference rate.
+    pub fn with_fast_snappy(mut self, on: bool) -> StoreConfig {
+        self.fast_snappy = on;
+        self
+    }
+
     /// Throughput multiplier of the configured codec relative to the
     /// calibrated scalar EC rate (`CostModel::cpu_ec_bps`), used when the
     /// time plane charges erasure-coding CPU.
@@ -256,6 +284,19 @@ impl StoreConfig {
     pub fn scan_speedup(&self) -> f64 {
         if self.encoded_scan {
             ENCODED_SCAN_SPEEDUP
+        } else {
+            1.0
+        }
+    }
+
+    /// Throughput multiplier of the configured Snappy codec relative to
+    /// the calibrated scalar compression/decompression rates
+    /// (`CostModel::cpu_decode_bps`, `CostModel::cpu_compress_bps`), used
+    /// when the time plane charges page-decompression or
+    /// bitmap-compression CPU.
+    pub fn compression_speedup(&self) -> f64 {
+        if self.fast_snappy {
+            FAST_SNAPPY_SPEEDUP
         } else {
             1.0
         }
@@ -330,6 +371,17 @@ mod tests {
         // Acceptance floor for the encoded-domain kernels, kept as a
         // const block so the build fails if calibration drops below 3x.
         const { assert!(ENCODED_SCAN_SPEEDUP >= 3.0) };
+    }
+
+    #[test]
+    fn snappy_defaults_and_speedup() {
+        let c = StoreConfig::default();
+        assert!(c.fast_snappy);
+        assert_eq!(c.compression_speedup(), FAST_SNAPPY_SPEEDUP);
+        assert_eq!(c.with_fast_snappy(false).compression_speedup(), 1.0);
+        // Acceptance floor for the fast Snappy kernels, kept as a const
+        // block so the build fails if calibration drops below 3x.
+        const { assert!(FAST_SNAPPY_SPEEDUP >= 3.0) };
     }
 
     #[test]

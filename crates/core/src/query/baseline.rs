@@ -32,6 +32,9 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
         .ok_or_else(|| StoreError::NotAnalytics(object.to_string()))?;
     let coord = store.coordinator_of(object);
     let cost = &store.config().cluster.cost;
+    // The baseline decodes every fetched chunk at the coordinator; the
+    // Snappy share of that decode runs at the configured kernel's rate.
+    let csp = store.config().compression_speedup();
     let mut ctx = Ctx::new(cost);
     let mut pruned = 0usize;
 
@@ -107,7 +110,7 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
                     )?);
                 }
             }
-            decode_cost += cost.decode(cm.plain_size) + cost.eval(cm.value_count);
+            decode_cost += cost.decode_at(cm.plain_size, csp) + cost.eval(cm.value_count);
         }
         if rg_arrived.is_empty() {
             rg_arrived.push(plan_step);

@@ -101,6 +101,9 @@ pub fn execute(
     // ---- Filter stage ----
     let encoded = store.config().encoded_scan;
     let speedup = store.config().scan_speedup();
+    // Compression-kernel plane: scales the Snappy share of decode
+    // (page decompression) and the bitmap compression before shipping.
+    let csp = store.config().compression_speedup();
     let mut filter_frontier: Vec<StepId> = vec![plan_step];
     let mut bitmap_wire_total = 0u64;
     let mut cache_hits = 0usize;
@@ -183,7 +186,8 @@ pub fn execute(
                 } else {
                     eval_filter(leaf, &view.decode()?)?
                 };
-                let wire = fusion_snappy::compress(&bm.to_bytes());
+                let bm_raw = bm.to_bytes();
+                let wire = fusion_snappy::compress(&bm_raw);
                 bitmap_wire_total += wire.len() as u64;
                 let mut arrived = Vec::new();
                 for f in &frags {
@@ -210,7 +214,9 @@ pub fn execute(
                 }
                 let eval = ctx.cpu(
                     Loc::Node(coord),
-                    cost.decode_at(cm.plain_size, speedup) + cost.eval_at(cm.value_count, speedup),
+                    cost.decode_at(cm.plain_size, speedup * csp)
+                        + cost.eval_at(cm.value_count, speedup)
+                        + cost.compress_at(bm_raw.len() as u64, csp),
                     CostClass::Processing,
                     &arrived,
                 );
@@ -239,8 +245,11 @@ pub fn execute(
         if !hit {
             store.chunk_cache().insert(object, t.ordinal, chunk);
         }
-        let wire = fusion_snappy::compress(&bm.to_bytes());
+        let bm_raw = bm.to_bytes();
+        let wire = fusion_snappy::compress(&bm_raw);
         bitmap_wire_total += wire.len() as u64;
+        // The node compresses its result bitmap before shipping it back.
+        let bm_compress = cost.compress_at(bm_raw.len() as u64, csp);
 
         // Time plane: dispatch the sub-query; a cache hit skips the disk
         // read and the parse and goes straight to the masked scan.
@@ -249,7 +258,7 @@ pub fn execute(
         let eval = if hit {
             ctx.cpu(
                 Loc::Node(t.node),
-                cost.eval_at(t.cm_count, speedup),
+                cost.eval_at(t.cm_count, speedup) + bm_compress,
                 CostClass::Processing,
                 &req,
             )
@@ -257,7 +266,9 @@ pub fn execute(
             let read = ctx.disk(t.node, t.cm_len, &req);
             ctx.cpu(
                 Loc::Node(t.node),
-                cost.decode_at(t.cm_plain, speedup) + cost.eval_at(t.cm_count, speedup),
+                cost.decode_at(t.cm_plain, speedup * csp)
+                    + cost.eval_at(t.cm_count, speedup)
+                    + bm_compress,
                 CostClass::Processing,
                 &[read],
             )
@@ -397,9 +408,18 @@ pub fn execute(
             // Time plane.
             if push {
                 let node = frags[0].node;
-                let bm_wire = fusion_snappy::compress(&rg_bitmaps[rg].to_bytes()).len() as u64;
+                let bm_raw = rg_bitmaps[rg].to_bytes();
+                let bm_wire = fusion_snappy::compress(&bm_raw).len() as u64;
                 let start = ctx.retry(store.retry_penalty(node), &[combine_step]);
-                let mut deps = ctx.transfer(Loc::Node(coord), Loc::Node(node), bm_wire, &start);
+                // The coordinator compresses the bitmap before shipping it
+                // down to the chunk's node.
+                let comp = ctx.cpu(
+                    Loc::Node(coord),
+                    cost.compress_at(bm_raw.len() as u64, csp),
+                    CostClass::Other,
+                    &start,
+                );
+                let mut deps = ctx.transfer(Loc::Node(coord), Loc::Node(node), bm_wire, &[comp]);
                 let work = match decoded_on.get(&ordinal) {
                     // The filter stage already read and decoded this chunk
                     // on this node: only the selection remains (paper
@@ -426,7 +446,7 @@ pub fn execute(
                         let read = ctx.disk(node, cm.len, &deps);
                         ctx.cpu(
                             Loc::Node(node),
-                            cost.decode(cm.plain_size) + cost.project(out_bytes),
+                            cost.decode_at(cm.plain_size, csp) + cost.project(out_bytes),
                             CostClass::Processing,
                             &[read],
                         )
@@ -462,7 +482,7 @@ pub fn execute(
                 }
                 let work = ctx.cpu(
                     Loc::Node(coord),
-                    cost.decode(cm.plain_size) + cost.project(out_bytes),
+                    cost.decode_at(cm.plain_size, csp) + cost.project(out_bytes),
                     CostClass::Processing,
                     &arrived,
                 );
@@ -538,6 +558,7 @@ fn aggregate_pushdown_stage(
         mut cache_misses,
     } = inputs;
     let cost = store.config().cluster.cost.clone();
+    let csp = store.config().compression_speedup();
     let num_rgs = fm.row_groups.len();
 
     // Group aggregate specs by their argument column.
@@ -607,9 +628,18 @@ fn aggregate_pushdown_stage(
             // needs the chunk whole and its hosting node up.
             if healthy {
                 let node = frags[0].node;
-                let bm_wire = fusion_snappy::compress(&rg_bitmaps[rg].to_bytes()).len() as u64;
+                let bm_raw = rg_bitmaps[rg].to_bytes();
+                let bm_wire = fusion_snappy::compress(&bm_raw).len() as u64;
                 let start = ctx.retry(store.retry_penalty(node), &[combine_step]);
-                let mut deps = ctx.transfer(Loc::Node(coord), Loc::Node(node), bm_wire, &start);
+                // The coordinator compresses the bitmap before shipping it
+                // down to the chunk's node.
+                let comp = ctx.cpu(
+                    Loc::Node(coord),
+                    cost.compress_at(bm_raw.len() as u64, csp),
+                    CostClass::Other,
+                    &start,
+                );
+                let mut deps = ctx.transfer(Loc::Node(coord), Loc::Node(node), bm_wire, &[comp]);
                 let work = match decoded_on.get(&ordinal) {
                     Some(&(n, eval_step)) if n == node => {
                         deps.push(eval_step);
@@ -632,7 +662,7 @@ fn aggregate_pushdown_stage(
                         let read = ctx.disk(node, cm.len, &deps);
                         ctx.cpu(
                             Loc::Node(node),
-                            cost.decode(cm.plain_size)
+                            cost.decode_at(cm.plain_size, csp)
                                 + cost.eval(matches.len() as u64 * agg_idxs.len() as u64),
                             CostClass::Processing,
                             &[read],
@@ -668,7 +698,7 @@ fn aggregate_pushdown_stage(
                 }
                 frontier.push(ctx.cpu(
                     Loc::Node(coord),
-                    cost.decode(cm.plain_size) + cost.eval(matches.len() as u64),
+                    cost.decode_at(cm.plain_size, csp) + cost.eval(matches.len() as u64),
                     CostClass::Processing,
                     &arrived,
                 ));

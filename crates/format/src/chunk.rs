@@ -162,31 +162,82 @@ fn physical(ty: LogicalType) -> plain::PhysicalType {
     }
 }
 
-/// Decodes chunk bytes back into a column.
+/// Reusable page-decompression scratch.
+///
+/// Page decode is the hottest allocation site on the read path: every
+/// chunk-cache miss used to allocate one `Vec` per page just to hold the
+/// decompressed bytes between Snappy and the typed decoder. A
+/// `PageScratch` owns that buffer instead, so a caller (or the
+/// thread-local used by [`decode_column_chunk`] / [`read_encoded_chunk`])
+/// that decodes pages in a loop reaches steady state with **zero**
+/// transient page allocations.
+///
+/// One buffer suffices for dictionary chunks because the dictionary page
+/// is fully decoded into an owned [`ColumnData`] before the index page is
+/// decompressed into the same buffer.
+#[derive(Default)]
+pub struct PageScratch {
+    buf: Vec<u8>,
+}
+
+impl PageScratch {
+    /// Creates an empty scratch; the buffer grows to the largest page seen.
+    pub fn new() -> PageScratch {
+        PageScratch::default()
+    }
+
+    /// Decompresses `page` into the scratch buffer and returns the bytes.
+    fn page<'a>(&'a mut self, page: &Page<'_>) -> Result<&'a [u8]> {
+        fusion_snappy::decompress_into(page.bytes, &mut self.buf)?;
+        Ok(&self.buf)
+    }
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<PageScratch> =
+        std::cell::RefCell::new(PageScratch::new());
+}
+
+/// Decodes chunk bytes back into a column using a thread-local
+/// [`PageScratch`], so repeated decodes on one thread do not allocate
+/// transient page buffers.
 ///
 /// # Errors
 ///
 /// Fails on corruption, checksum mismatch, or type inconsistencies.
 pub fn decode_column_chunk(bytes: &[u8], ty: LogicalType) -> Result<ColumnData> {
+    SCRATCH.with(|s| decode_column_chunk_with(bytes, ty, &mut s.borrow_mut()))
+}
+
+/// [`decode_column_chunk`] with an explicit caller-owned scratch buffer,
+/// for callers that manage their own per-worker scratch.
+///
+/// # Errors
+///
+/// Fails on corruption, checksum mismatch, or type inconsistencies.
+pub fn decode_column_chunk_with(
+    bytes: &[u8],
+    ty: LogicalType,
+    scratch: &mut PageScratch,
+) -> Result<ColumnData> {
     let mut c = Cursor::new(bytes);
     let enc = Encoding::from_tag(c.u8()?)
         .ok_or_else(|| FormatError::Corrupt("unknown encoding tag".into()))?;
     match enc {
         Encoding::Plain => {
             let page = read_page(&mut c)?;
-            let raw = fusion_snappy::decompress(page.bytes)?;
+            let raw = scratch.page(&page)?;
             if raw.len() != page.uncompressed_len {
                 return Err(FormatError::Corrupt("page length mismatch".into()));
             }
-            plain::decode(&raw, physical(ty), page.count)
+            plain::decode(raw, physical(ty), page.count)
         }
         Encoding::Dictionary => {
             let dict_page = read_page(&mut c)?;
-            let dict_raw = fusion_snappy::decompress(dict_page.bytes)?;
-            let dictionary = plain::decode(&dict_raw, physical(ty), dict_page.count)?;
+            let dictionary =
+                plain::decode(scratch.page(&dict_page)?, physical(ty), dict_page.count)?;
             let idx_page = read_page(&mut c)?;
-            let idx_raw = fusion_snappy::decompress(idx_page.bytes)?;
-            dict::decode(&dictionary, &idx_raw, idx_page.count)
+            dict::decode(&dictionary, scratch.page(&idx_page)?, idx_page.count)
         }
     }
 }
@@ -282,33 +333,48 @@ impl EncodedChunk {
 /// validated against the dictionary length here, so scan kernels can index
 /// the predicate mask unchecked.
 ///
+/// Uses a thread-local [`PageScratch`], so a chunk-cache miss performs
+/// zero transient page allocations in steady state.
+///
 /// # Errors
 ///
 /// Fails on corruption, checksum mismatch, or out-of-range codes.
 pub fn read_encoded_chunk(bytes: &[u8], ty: LogicalType) -> Result<EncodedChunk> {
+    SCRATCH.with(|s| read_encoded_chunk_with(bytes, ty, &mut s.borrow_mut()))
+}
+
+/// [`read_encoded_chunk`] with an explicit caller-owned scratch buffer.
+///
+/// # Errors
+///
+/// Fails on corruption, checksum mismatch, or out-of-range codes.
+pub fn read_encoded_chunk_with(
+    bytes: &[u8],
+    ty: LogicalType,
+    scratch: &mut PageScratch,
+) -> Result<EncodedChunk> {
     let mut c = Cursor::new(bytes);
     let enc = Encoding::from_tag(c.u8()?)
         .ok_or_else(|| FormatError::Corrupt("unknown encoding tag".into()))?;
     match enc {
         Encoding::Plain => {
             let page = read_page(&mut c)?;
-            let raw = fusion_snappy::decompress(page.bytes)?;
+            let raw = scratch.page(&page)?;
             if raw.len() != page.uncompressed_len {
                 return Err(FormatError::Corrupt("page length mismatch".into()));
             }
             Ok(EncodedChunk::Plain(plain::decode(
-                &raw,
+                raw,
                 physical(ty),
                 page.count,
             )?))
         }
         Encoding::Dictionary => {
             let dict_page = read_page(&mut c)?;
-            let dict_raw = fusion_snappy::decompress(dict_page.bytes)?;
-            let dictionary = plain::decode(&dict_raw, physical(ty), dict_page.count)?;
+            let dictionary =
+                plain::decode(scratch.page(&dict_page)?, physical(ty), dict_page.count)?;
             let idx_page = read_page(&mut c)?;
-            let idx_raw = fusion_snappy::decompress(idx_page.bytes)?;
-            let runs = rle::decode_runs(&idx_raw, idx_page.count)?;
+            let runs = rle::decode_runs(scratch.page(&idx_page)?, idx_page.count)?;
             let dict_len = dictionary.len() as u32;
             for r in &runs {
                 let bad = match r {
@@ -521,6 +587,42 @@ mod tests {
         bytes[last] ^= 0xFF;
         assert!(read_encoded_chunk(&bytes, LogicalType::Utf8).is_err());
         assert!(read_encoded_chunk(&bytes[..4], LogicalType::Utf8).is_err());
+    }
+
+    #[test]
+    fn scratch_variants_match_and_reuse() {
+        let dict_col = ColumnData::Utf8(
+            (0..10_000)
+                .map(|i| ["AIR", "RAIL", "SHIP", "TRUCK"][i % 4].to_string())
+                .collect(),
+        );
+        let plain_col = ColumnData::Int64((0..50_000).map(|i| i * 7919 % 1_000_003).collect());
+        let mut scratch = PageScratch::new();
+        for (col, ty) in [
+            (&dict_col, LogicalType::Utf8),
+            (&plain_col, LogicalType::Int64),
+        ] {
+            let (bytes, _) = encode_column_chunk(col);
+            assert_eq!(
+                decode_column_chunk_with(&bytes, ty, &mut scratch).unwrap(),
+                *col
+            );
+            assert_eq!(
+                read_encoded_chunk_with(&bytes, ty, &mut scratch)
+                    .unwrap()
+                    .decode()
+                    .unwrap(),
+                *col
+            );
+            // The thread-local variants must agree.
+            assert_eq!(decode_column_chunk(&bytes, ty).unwrap(), *col);
+        }
+        // The scratch buffer has grown to the largest page; decoding the
+        // small chunk again must not reallocate.
+        let (bytes, _) = encode_column_chunk(&dict_col);
+        let cap = scratch.buf.capacity();
+        decode_column_chunk_with(&bytes, LogicalType::Utf8, &mut scratch).unwrap();
+        assert_eq!(scratch.buf.capacity(), cap);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Serializes an in-memory [`Table`] into analytics file bytes.
 
-use crate::chunk::encode_column_chunk;
+use crate::chunk::{encode_column_chunk, ChunkStats};
 use crate::error::{FormatError, Result};
 use crate::footer::{append_footer, ChunkMeta, FileMeta, RowGroupMeta};
 use crate::table::Table;
+use fusion_ec::pool::WorkerPool;
 
 /// Options controlling file layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,27 +46,75 @@ impl Default for WriteOptions {
 /// # Ok::<(), fusion_format::error::FormatError>(())
 /// ```
 pub fn write_table(table: &Table, options: WriteOptions) -> Result<Vec<u8>> {
+    write_table_with_pool(table, options, &WorkerPool::auto())
+}
+
+/// One chunk's worth of encoding work: the sliced column in, the encoded
+/// bytes and stats out.
+struct EncodeJob {
+    col: crate::value::ColumnData,
+    encoded: Option<(Vec<u8>, ChunkStats)>,
+}
+
+/// [`write_table`] with an explicit worker pool.
+///
+/// Chunk encoding — the plain-vs-dictionary candidate build plus a Snappy
+/// compression of every candidate page — dominates write cost, and each
+/// (row group, column) chunk is independent, so the jobs fan out across
+/// `pool`. Assembly stays serial and in order, so the output is
+/// byte-identical to the sequential writer's regardless of pool size.
+///
+/// # Errors
+///
+/// Returns [`FormatError::Corrupt`] when `rows_per_group` is zero.
+pub fn write_table_with_pool(
+    table: &Table,
+    options: WriteOptions,
+    pool: &WorkerPool,
+) -> Result<Vec<u8>> {
     if options.rows_per_group == 0 {
         return Err(FormatError::Corrupt(
             "rows_per_group must be positive".into(),
         ));
     }
-    let mut file: Vec<u8> = Vec::new();
-    let mut row_groups = Vec::new();
     let total = table.num_rows();
+    let ncols = table.num_columns();
+    let mut jobs: Vec<EncodeJob> = Vec::new();
+    let mut group_rows: Vec<u64> = Vec::new();
     let mut start = 0;
     // An empty table still gets one empty row group so the schema is
     // queryable.
     loop {
         let end = (start + options.rows_per_group).min(total);
-        let group = table.slice_rows(start..end);
-        let mut chunks = Vec::with_capacity(group.num_columns());
-        for col in group.columns() {
-            let offset = file.len() as u64;
-            let (bytes, stats) = encode_column_chunk(col);
-            file.extend_from_slice(&bytes);
+        group_rows.push((end - start) as u64);
+        for c in 0..ncols {
+            jobs.push(EncodeJob {
+                col: table.column(c).slice(start..end),
+                encoded: None,
+            });
+        }
+        start = end;
+        if start >= total {
+            break;
+        }
+    }
+
+    pool.for_each_mut(&mut jobs, |_, job| {
+        job.encoded = Some(encode_column_chunk(&job.col));
+    });
+
+    let mut file: Vec<u8> = Vec::new();
+    let mut row_groups = Vec::with_capacity(group_rows.len());
+    let mut job_iter = jobs.into_iter();
+    for row_count in group_rows {
+        let mut chunks = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let (bytes, stats) = job_iter
+                .next()
+                .and_then(|j| j.encoded)
+                .expect("one encoded chunk per (group, column) job");
             chunks.push(ChunkMeta {
-                offset,
+                offset: file.len() as u64,
                 len: bytes.len() as u64,
                 value_count: stats.value_count,
                 plain_size: stats.plain_size,
@@ -73,15 +122,9 @@ pub fn write_table(table: &Table, options: WriteOptions) -> Result<Vec<u8>> {
                 min: stats.min,
                 max: stats.max,
             });
+            file.extend_from_slice(&bytes);
         }
-        row_groups.push(RowGroupMeta {
-            row_count: (end - start) as u64,
-            chunks,
-        });
-        start = end;
-        if start >= total {
-            break;
-        }
+        row_groups.push(RowGroupMeta { row_count, chunks });
     }
     let meta = FileMeta {
         schema: table.schema().clone(),
@@ -170,6 +213,21 @@ mod tests {
         let meta = parse_footer(&bytes).unwrap();
         assert_eq!(meta.num_rows(), 0);
         assert_eq!(meta.row_groups.len(), 1);
+    }
+
+    #[test]
+    fn pool_output_is_byte_identical_to_serial() {
+        let table = two_col_table(5000);
+        let options = WriteOptions {
+            rows_per_group: 777,
+        };
+        let serial = write_table_with_pool(&table, options, &WorkerPool::new(1)).unwrap();
+        for threads in [2, 4, 7] {
+            let parallel =
+                write_table_with_pool(&table, options, &WorkerPool::new(threads)).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+        assert_eq!(serial, write_table(&table, options).unwrap());
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Fast Snappy block decompressor.
+//!
+//! The scalar decoder in [`crate::reference`] materializes copies with a
+//! byte-by-byte push loop and re-checks `Vec` bounds on every byte. This
+//! module decodes into a pre-sized `&mut [u8]` instead, which lets the
+//! hot tag-dispatch loop hoist its bounds checks to one comparison per
+//! element and use wide copies:
+//!
+//! * **wild copies** — literals and disjoint copies of ≤16 bytes are
+//!   materialized as one fixed 16-byte `copy_from_slice` whenever 16
+//!   bytes of slack exist on both sides (the tail beyond the element's
+//!   real length is overwritten by the next element);
+//! * **pattern expansion** — overlapping copies (offset < len, the RLE
+//!   case) replicate the pattern by doubling the materialized span per
+//!   `copy_within`, instead of one byte per iteration; offset 1 is a
+//!   straight `fill`;
+//! * **scratch-buffer reuse** — [`decompress_into`] writes into a
+//!   caller-owned `Vec`, so steady-state page decode performs zero
+//!   transient allocations (`fusion-format` threads one scratch buffer
+//!   per thread through the chunk-decode path).
+//!
+//! Both decoders reject exactly the same malformed inputs with the same
+//! [`DecompressError`], including the header-plausibility bound that
+//! defeats tiny inputs declaring multi-GiB lengths (see
+//! [`crate::parse_len`]).
+
+use crate::{parse_len, DecompressError, TAG_COPY1, TAG_COPY2, TAG_LITERAL};
+
+/// Returns the uncompressed length a stream declares, after validating
+/// the header — including the plausibility bound, so a hostile header can
+/// be rejected before any allocation is sized from it.
+///
+/// # Examples
+///
+/// ```
+/// let c = fusion_snappy::compress(&[7u8; 1000]);
+/// assert_eq!(fusion_snappy::decompress_len(&c).unwrap(), 1000);
+/// ```
+pub fn decompress_len(input: &[u8]) -> Result<usize, DecompressError> {
+    parse_len(input).map(|(expected, _)| expected)
+}
+
+/// Decompresses a Snappy block-format stream into a fresh buffer.
+///
+/// # Errors
+///
+/// Returns a [`DecompressError`] if the stream is malformed: truncated,
+/// bad or implausible header, invalid copy offsets, or length mismatch.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::new();
+    decompress_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a stream into a caller-owned buffer, returning the number
+/// of bytes produced. The buffer is resized to the declared length; its
+/// capacity is retained across calls, so reusing one `Vec` across pages
+/// makes steady-state decode allocation-free. The resize only zero-fills
+/// bytes beyond the buffer's current length — a successful decode
+/// overwrites every byte of the output, so stale contents never leak and
+/// a reused buffer skips the memset entirely.
+///
+/// On error the buffer is left empty.
+pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<usize, DecompressError> {
+    let (expected, header) = parse_len(input)?;
+    out.resize(expected, 0);
+    match decode_body(&input[header..], out) {
+        Ok(produced) if produced == expected => Ok(expected),
+        Ok(_) => {
+            out.clear();
+            Err(DecompressError::Truncated)
+        }
+        Err(e) => {
+            out.clear();
+            Err(e)
+        }
+    }
+}
+
+/// Decodes the element stream `src` into `dst` (pre-sized to the declared
+/// length), returning how many bytes were produced.
+fn decode_body(src: &[u8], dst: &mut [u8]) -> Result<usize, DecompressError> {
+    let slen = src.len();
+    let dlen = dst.len();
+    let mut ip = 0usize;
+    let mut op = 0usize;
+
+    while ip < slen {
+        let tag = src[ip];
+        ip += 1;
+
+        if tag & 0b11 == TAG_LITERAL {
+            let n6 = (tag >> 2) as usize;
+            let len = if n6 < 60 {
+                n6 + 1
+            } else {
+                let extra = n6 - 59; // 1..=4 length bytes
+                if ip + extra > slen {
+                    return Err(DecompressError::Truncated);
+                }
+                let mut v = 0usize;
+                for i in 0..extra {
+                    v |= (src[ip + i] as usize) << (8 * i);
+                }
+                ip += extra;
+                v + 1
+            };
+            if len > slen - ip {
+                return Err(DecompressError::Truncated);
+            }
+            if len > dlen - op {
+                return Err(DecompressError::TooLong);
+            }
+            if len <= 16 && ip + 16 <= slen && op + 16 <= dlen {
+                // Wild copy: write a fixed 16 bytes; the tail past `len`
+                // is garbage that the next element overwrites.
+                dst[op..op + 16].copy_from_slice(&src[ip..ip + 16]);
+            } else {
+                dst[op..op + len].copy_from_slice(&src[ip..ip + len]);
+            }
+            ip += len;
+            op += len;
+            continue;
+        }
+
+        let (len, offset) = match tag & 0b11 {
+            TAG_COPY1 => {
+                if ip >= slen {
+                    return Err(DecompressError::Truncated);
+                }
+                let len = 4 + ((tag >> 2) & 0b111) as usize;
+                let offset = (((tag >> 5) as usize) << 8) | src[ip] as usize;
+                ip += 1;
+                (len, offset)
+            }
+            TAG_COPY2 => {
+                if ip + 2 > slen {
+                    return Err(DecompressError::Truncated);
+                }
+                let len = 1 + (tag >> 2) as usize;
+                let offset = u16::from_le_bytes([src[ip], src[ip + 1]]) as usize;
+                ip += 2;
+                (len, offset)
+            }
+            _ => {
+                if ip + 4 > slen {
+                    return Err(DecompressError::Truncated);
+                }
+                let len = 1 + (tag >> 2) as usize;
+                let offset = u32::from_le_bytes(src[ip..ip + 4].try_into().unwrap()) as usize;
+                ip += 4;
+                (len, offset)
+            }
+        };
+        if offset == 0 {
+            return Err(DecompressError::ZeroOffset);
+        }
+        if offset > op {
+            return Err(DecompressError::OffsetTooFar);
+        }
+        if len > dlen - op {
+            return Err(DecompressError::TooLong);
+        }
+        let from = op - offset;
+
+        if offset >= len {
+            // Disjoint source and destination.
+            if offset >= 16 && len <= 16 && op + 16 <= dlen {
+                // Wild copy; offset ≥ 16 guarantees the full 16 source
+                // bytes are already materialized.
+                let (head, tail) = dst.split_at_mut(op);
+                tail[..16].copy_from_slice(&head[from..from + 16]);
+            } else {
+                dst.copy_within(from..from + len, op);
+            }
+        } else if offset == 1 {
+            // RLE of a single byte.
+            let b = dst[from];
+            dst[op..op + len].fill(b);
+        } else {
+            // Overlapping copy: expand the pattern by doubling. `copied`
+            // stays a multiple of `offset` until the final chunk, so every
+            // chunk starts at a pattern boundary and copies from the fully
+            // materialized prefix.
+            let mut pattern = offset;
+            let mut copied = 0;
+            while copied < len {
+                let n = pattern.min(len - copied);
+                dst.copy_within(from..from + n, op + copied);
+                copied += n;
+                pattern *= 2;
+            }
+        }
+        op += len;
+    }
+    Ok(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress, reference, varint::write_uvarint, TAG_COPY2};
+
+    #[test]
+    fn overlap_copy_every_offset() {
+        // For each offset 1..32, build: literal of `offset` distinct bytes,
+        // then a long overlapping copy. Exercises fill, doubling, and the
+        // final partial chunk.
+        for offset in 1usize..32 {
+            let pattern: Vec<u8> = (0..offset as u8).map(|i| i.wrapping_mul(37)).collect();
+            let copy_len = 200;
+            let mut stream = Vec::new();
+            write_uvarint(&mut stream, (offset + copy_len) as u64);
+            crate::emit_literal(&pattern, &mut stream);
+            stream.push(TAG_COPY2 | ((64 - 1) << 2));
+            stream.extend_from_slice(&(offset as u16).to_le_bytes());
+            stream.push(TAG_COPY2 | ((64 - 1) << 2));
+            stream.extend_from_slice(&(offset as u16).to_le_bytes());
+            stream.push(TAG_COPY2 | ((64 - 1) << 2));
+            stream.extend_from_slice(&(offset as u16).to_le_bytes());
+            stream.push(TAG_COPY2 | ((8 - 1) << 2));
+            stream.extend_from_slice(&(offset as u16).to_le_bytes());
+
+            let fast = decompress(&stream).expect("fast");
+            let reference = reference::decompress(&stream).expect("reference");
+            assert_eq!(fast, reference, "offset {offset}");
+            for (i, b) in fast.iter().enumerate() {
+                assert_eq!(*b, pattern[i % offset], "offset {offset} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn errors_leave_scratch_empty() {
+        let mut scratch = vec![1, 2, 3];
+        let bad = [5u8, (4 - 1) << 2, b'a']; // truncated literal
+        assert_eq!(
+            decompress_into(&bad, &mut scratch),
+            Err(DecompressError::Truncated)
+        );
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn wild_copy_tail_is_overwritten() {
+        // Many short literals back to back: each wild 16-byte write's tail
+        // must be overwritten by the next element.
+        let mut data = Vec::new();
+        for i in 0..500u32 {
+            data.extend_from_slice(&i.to_le_bytes());
+            data.push(0xFF); // breaks up matches a bit
+        }
+        let c = reference::compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn matches_reference_on_fragment_sized_runs() {
+        let data = vec![0x42u8; crate::FRAGMENT * 2 + 17];
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), reference::decompress(&c).unwrap());
+    }
+}

@@ -9,35 +9,58 @@
 //!
 //! Snappy is an LZ77-family byte-oriented codec that trades ratio for
 //! speed: a stream is a varint-encoded uncompressed length followed by a
-//! sequence of *literal* and *copy* elements. This implementation follows
-//! the reference format description and is written entirely in safe Rust.
+//! sequence of *literal* and *copy* elements.
+//!
+//! Two codecs share the wire format:
+//!
+//! * the default **fast** codec ([`compress`], [`decompress`],
+//!   [`decompress_into`]) — a persistent-hash-table compressor with
+//!   64-bit match probing and a wild-copy decompressor with hoisted
+//!   bounds checks (see [`compress`][mod@crate::compress] and
+//!   [`decompress`][mod@crate::decompress] module docs);
+//! * the [`reference`] codec — the original safe-but-scalar
+//!   byte-at-a-time implementation, preserved as the differential oracle
+//!   the fast kernels are tested against.
+//!
+//! Both produce streams the other decodes, and both decoders reject the
+//! same malformed inputs.
 //!
 //! [Snappy]: https://github.com/google/snappy/blob/main/format_description.txt
 //!
 //! ## Quickstart
 //!
 //! ```
-//! let input = b"an analytics object store optimized for query pushdown \
-//!               pushdown pushdown pushdown".to_vec();
+//! let input = b"an analytics object store optimized for query pushdown ".repeat(8);
 //! let compressed = fusion_snappy::compress(&input);
 //! assert!(compressed.len() < input.len());
 //! assert_eq!(fusion_snappy::decompress(&compressed)?, input);
+//!
+//! // Zero-alloc pipeline: decode into a caller-owned scratch buffer.
+//! let mut scratch = Vec::new();
+//! fusion_snappy::decompress_into(&compressed, &mut scratch)?;
+//! assert_eq!(scratch, input);
 //! # Ok::<(), fusion_snappy::DecompressError>(())
 //! ```
 
+pub mod compress;
+pub mod decompress;
+pub mod reference;
 pub mod varint;
 
-use varint::{read_uvarint, write_uvarint};
+pub use compress::Encoder;
+pub use decompress::{decompress, decompress_into, decompress_len};
+
+use varint::read_uvarint;
 
 /// Elements within a block are emitted per ≤64 KiB fragment, matching the
 /// reference implementation's working-set bound.
-const FRAGMENT: usize = 65536;
+pub(crate) const FRAGMENT: usize = 65536;
 
 /// Tag low bits.
-const TAG_LITERAL: u8 = 0b00;
-const TAG_COPY1: u8 = 0b01;
-const TAG_COPY2: u8 = 0b10;
-const TAG_COPY4: u8 = 0b11;
+pub(crate) const TAG_LITERAL: u8 = 0b00;
+pub(crate) const TAG_COPY1: u8 = 0b01;
+pub(crate) const TAG_COPY2: u8 = 0b10;
+pub(crate) const TAG_COPY4: u8 = 0b11;
 
 /// Errors produced by [`decompress`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +69,11 @@ pub enum DecompressError {
     Truncated,
     /// The length header is not a valid varint or exceeds 2^32−1.
     BadHeader,
+    /// The declared uncompressed length exceeds what the remaining input
+    /// bytes could possibly expand to (the densest element, a 3-byte
+    /// copy, produces at most 64 output bytes), so the header is hostile
+    /// or corrupt. Rejected before any allocation.
+    ImplausibleLength,
     /// A copy element referenced bytes before the start of the output.
     OffsetTooFar,
     /// A copy element had offset zero.
@@ -59,6 +87,9 @@ impl std::fmt::Display for DecompressError {
         let msg = match self {
             DecompressError::Truncated => "compressed stream is truncated",
             DecompressError::BadHeader => "invalid length header",
+            DecompressError::ImplausibleLength => {
+                "declared length exceeds any possible expansion of the input"
+            }
             DecompressError::OffsetTooFar => "copy offset precedes start of output",
             DecompressError::ZeroOffset => "copy offset of zero",
             DecompressError::TooLong => "stream decodes past its declared length",
@@ -77,81 +108,30 @@ pub fn max_compressed_len(len: usize) -> usize {
     32 + len + len / 6
 }
 
-/// Compresses `input` into a fresh buffer using the Snappy block format.
+/// Parses and validates the stream header, returning
+/// `(uncompressed_len, header_len)`.
 ///
-/// Compression is greedy LZ77 with a 16 K-entry hash table over 4-byte
-/// sequences, processed in 64 KiB fragments. Incompressible input degrades
-/// gracefully to literal runs (bounded expansion, see
-/// [`max_compressed_len`]).
-///
-/// # Examples
-///
-/// ```
-/// let c = fusion_snappy::compress(b"hello hello hello hello");
-/// assert_eq!(fusion_snappy::decompress(&c).unwrap(), b"hello hello hello hello");
-/// ```
-pub fn compress(input: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(max_compressed_len(input.len()));
-    write_uvarint(&mut out, input.len() as u64);
-    let mut pos = 0;
-    while pos < input.len() {
-        let end = (pos + FRAGMENT).min(input.len());
-        compress_fragment(pos, end, input, &mut out);
-        pos = end;
+/// Beyond varint validity, the declared length is checked against the
+/// maximum expansion the remaining bytes could produce — a 3-byte copy
+/// element emits at most 64 bytes, so `body_len / 3 × 64 + 11` bounds any
+/// valid stream. A hostile ≤5-byte input declaring a 4 GiB length is
+/// rejected here, before the decoder allocates anything.
+pub(crate) fn parse_len(input: &[u8]) -> Result<(usize, usize), DecompressError> {
+    let (expected, header) = read_uvarint(input).ok_or(DecompressError::BadHeader)?;
+    if expected > u32::MAX as u64 {
+        return Err(DecompressError::BadHeader);
     }
-    out
-}
-
-/// Compresses one fragment spanning `base..end` of `whole`. Matches may
-/// reach back across fragment boundaries (offsets are relative to the whole
-/// stream, as the format allows).
-fn compress_fragment(base: usize, end: usize, whole: &[u8], out: &mut Vec<u8>) {
-    const HASH_BITS: u32 = 14;
-    const HASH_SIZE: usize = 1 << HASH_BITS;
-    if end - base < 4 {
-        emit_literal(&whole[base..end], out);
-        return;
+    let expected = expected as usize;
+    let body = input.len() - header;
+    let plausible = body / 3 * 64 + 11;
+    if expected > plausible {
+        return Err(DecompressError::ImplausibleLength);
     }
-    // table[h] = absolute position of a prior 4-byte sequence with hash h.
-    let mut table = vec![u32::MAX; HASH_SIZE];
-    let hash = |w: u32| -> usize { (w.wrapping_mul(0x1E35_A7BD) >> (32 - HASH_BITS)) as usize };
-    let load32 = |p: usize| -> u32 {
-        u32::from_le_bytes([whole[p], whole[p + 1], whole[p + 2], whole[p + 3]])
-    };
-
-    let mut lit_start = base; // start of pending literal run
-    let mut p = base;
-    // Last position where a 4-byte load is valid.
-    let limit = end - 4;
-
-    while p <= limit {
-        let h = hash(load32(p));
-        let cand = table[h] as usize;
-        table[h] = p as u32;
-        // Valid candidate: strictly before p and matching 4 bytes.
-        if cand < p && cand + 4 <= end && load32(cand) == load32(p) {
-            // Extend the match.
-            let mut len = 4;
-            while p + len < end && whole[cand + len] == whole[p + len] {
-                len += 1;
-            }
-            if lit_start < p {
-                emit_literal(&whole[lit_start..p], out);
-            }
-            emit_copy(p - cand, len, out);
-            p += len;
-            lit_start = p;
-            continue;
-        }
-        p += 1;
-    }
-    if lit_start < end {
-        emit_literal(&whole[lit_start..end], out);
-    }
+    Ok((expected, header))
 }
 
 /// Emits a literal element (tag + raw bytes).
-fn emit_literal(lit: &[u8], out: &mut Vec<u8>) {
+pub(crate) fn emit_literal(lit: &[u8], out: &mut Vec<u8>) {
     if lit.is_empty() {
         return;
     }
@@ -176,7 +156,7 @@ fn emit_literal(lit: &[u8], out: &mut Vec<u8>) {
 
 /// Emits a copy element, splitting long copies into ≤64-byte pieces as the
 /// format requires.
-fn emit_copy(offset: usize, mut len: usize, out: &mut Vec<u8>) {
+pub(crate) fn emit_copy(offset: usize, mut len: usize, out: &mut Vec<u8>) {
     debug_assert!(offset > 0);
     // Long matches: emit 64-byte pieces while more than 68 remain so the
     // final two pieces both stay within the 4..=64 range.
@@ -206,105 +186,25 @@ fn emit_copy_piece(offset: usize, len: usize, out: &mut Vec<u8>) {
     }
 }
 
-/// Decompresses a Snappy block-format stream.
-///
-/// # Errors
-///
-/// Returns a [`DecompressError`] if the stream is malformed: truncated,
-/// bad header, invalid copy offsets, or length mismatch.
-pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
-    let (expected, mut pos) = read_uvarint(input).ok_or(DecompressError::BadHeader)?;
-    if expected > u32::MAX as u64 {
-        return Err(DecompressError::BadHeader);
-    }
-    let expected = expected as usize;
-    let mut out: Vec<u8> = Vec::with_capacity(expected);
-
-    while pos < input.len() {
-        let tag = input[pos];
-        pos += 1;
-        match tag & 0b11 {
-            TAG_LITERAL => {
-                let n6 = (tag >> 2) as usize;
-                let len = if n6 < 60 {
-                    n6 + 1
-                } else {
-                    let extra = n6 - 59; // 1..=4 length bytes
-                    if pos + extra > input.len() {
-                        return Err(DecompressError::Truncated);
-                    }
-                    let mut v = 0usize;
-                    for i in 0..extra {
-                        v |= (input[pos + i] as usize) << (8 * i);
-                    }
-                    pos += extra;
-                    v + 1
-                };
-                if pos + len > input.len() {
-                    return Err(DecompressError::Truncated);
-                }
-                out.extend_from_slice(&input[pos..pos + len]);
-                pos += len;
-            }
-            TAG_COPY1 => {
-                if pos >= input.len() {
-                    return Err(DecompressError::Truncated);
-                }
-                let len = 4 + ((tag >> 2) & 0b111) as usize;
-                let offset = (((tag >> 5) as usize) << 8) | input[pos] as usize;
-                pos += 1;
-                copy_within(&mut out, offset, len)?;
-            }
-            TAG_COPY2 => {
-                if pos + 2 > input.len() {
-                    return Err(DecompressError::Truncated);
-                }
-                let len = 1 + (tag >> 2) as usize;
-                let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
-                pos += 2;
-                copy_within(&mut out, offset, len)?;
-            }
-            _ => {
-                if pos + 4 > input.len() {
-                    return Err(DecompressError::Truncated);
-                }
-                let len = 1 + (tag >> 2) as usize;
-                let offset = u32::from_le_bytes([
-                    input[pos],
-                    input[pos + 1],
-                    input[pos + 2],
-                    input[pos + 3],
-                ]) as usize;
-                pos += 4;
-                copy_within(&mut out, offset, len)?;
-            }
-        }
-        if out.len() > expected {
-            return Err(DecompressError::TooLong);
-        }
-    }
-    if out.len() != expected {
-        return Err(DecompressError::Truncated);
-    }
-    Ok(out)
+thread_local! {
+    static ENCODER: std::cell::RefCell<Encoder> = std::cell::RefCell::new(Encoder::new());
 }
 
-/// Appends `len` bytes copied from `offset` bytes before the end of `out`.
-/// Overlapping copies (offset < len) replicate the run byte-by-byte, which
-/// is the defined RLE-style semantics.
-fn copy_within(out: &mut Vec<u8>, offset: usize, len: usize) -> Result<(), DecompressError> {
-    if offset == 0 {
-        return Err(DecompressError::ZeroOffset);
-    }
-    if offset > out.len() {
-        return Err(DecompressError::OffsetTooFar);
-    }
-    let start = out.len() - offset;
-    for i in 0..len {
-        let b = out[start + i];
-        out.push(b);
-    }
-    Ok(())
+/// Compresses `input` into a fresh buffer using the Snappy block format.
+///
+/// Uses the fast compressor with a thread-local [`Encoder`], so the hash
+/// table persists across calls as well as across fragments. Incompressible
+/// input degrades gracefully to literal runs (bounded expansion, see
+/// [`max_compressed_len`]).
+///
+/// # Examples
+///
+/// ```
+/// let c = fusion_snappy::compress(b"hello hello hello hello");
+/// assert_eq!(fusion_snappy::decompress(&c).unwrap(), b"hello hello hello hello");
+/// ```
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    ENCODER.with(|e| e.borrow_mut().compress(input))
 }
 
 /// Convenience: the compression ratio achieved on `input`
@@ -319,6 +219,7 @@ pub fn ratio(input: &[u8]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use varint::write_uvarint;
 
     fn roundtrip(data: &[u8]) {
         let c = compress(data);
@@ -327,6 +228,11 @@ mod tests {
             "exceeded max_compressed_len"
         );
         assert_eq!(decompress(&c).expect("decompress"), data);
+        // The reference decoder accepts the fast compressor's streams...
+        assert_eq!(reference::decompress(&c).expect("reference"), data);
+        // ...and the fast decoder accepts the reference compressor's.
+        let rc = reference::compress(data);
+        assert_eq!(decompress(&rc).expect("fast on reference"), data);
     }
 
     #[test]
@@ -416,6 +322,7 @@ mod tests {
             2,                          // offset low byte
         ];
         assert_eq!(decompress(&stream).unwrap(), b"ababababab");
+        assert_eq!(reference::decompress(&stream).unwrap(), b"ababababab");
     }
 
     #[test]
@@ -456,6 +363,39 @@ mod tests {
     }
 
     #[test]
+    fn error_implausible_length() {
+        // A 5-byte input declaring ~4 GiB: the old decoder allocated the
+        // full declared capacity before reading a single element; now the
+        // header is rejected outright, for both codecs.
+        let hostile = [0xFE, 0xFF, 0xFF, 0xFF, 0x0F];
+        assert_eq!(
+            decompress(&hostile),
+            Err(DecompressError::ImplausibleLength)
+        );
+        assert_eq!(
+            reference::decompress(&hostile),
+            Err(DecompressError::ImplausibleLength)
+        );
+        assert_eq!(
+            decompress_len(&hostile),
+            Err(DecompressError::ImplausibleLength)
+        );
+        // The bound tracks the body size: 3 body bytes can emit 64 bytes
+        // (one copy-2 element) but never 65+.
+        let mut plausible = vec![];
+        write_uvarint(&mut plausible, 64);
+        plausible.extend_from_slice(&[0, 0, 0]);
+        assert!(decompress_len(&plausible).is_ok());
+        let mut implausible = vec![];
+        write_uvarint(&mut implausible, 76);
+        implausible.extend_from_slice(&[0, 0, 0]);
+        assert_eq!(
+            decompress_len(&implausible),
+            Err(DecompressError::ImplausibleLength)
+        );
+    }
+
+    #[test]
     fn error_declared_length_mismatch() {
         let c = compress(b"hello world hello world");
         // Tamper: declare one more byte than the stream produces.
@@ -478,6 +418,7 @@ mod tests {
         // literal 'q', copy offset=1 len=7 -> "qqqqqqqq"
         let stream = vec![8u8, 0 << 2, b'q', TAG_COPY1 | ((7 - 4) << 2), 1];
         assert_eq!(decompress(&stream).unwrap(), b"qqqqqqqq");
+        assert_eq!(reference::decompress(&stream).unwrap(), b"qqqqqqqq");
     }
 
     #[test]
@@ -487,10 +428,34 @@ mod tests {
     }
 
     #[test]
+    fn decompress_into_reuses_scratch() {
+        let a = compress(b"first page first page first page");
+        let b = compress(&vec![7u8; 4096]);
+        let mut scratch = Vec::new();
+        assert_eq!(decompress_into(&a, &mut scratch).unwrap(), 32);
+        assert_eq!(scratch, b"first page first page first page");
+        let cap = scratch.capacity();
+        assert_eq!(decompress_into(&b, &mut scratch).unwrap(), 4096);
+        assert_eq!(scratch, vec![7u8; 4096]);
+        // Shrinking back to a smaller page must not reallocate.
+        assert_eq!(decompress_into(&a, &mut scratch).unwrap(), 32);
+        assert!(scratch.capacity() >= cap.min(4096));
+    }
+
+    #[test]
+    fn decompress_len_matches_output() {
+        for data in [&b""[..], b"abc", &[5u8; 100_000]] {
+            let c = compress(data);
+            assert_eq!(decompress_len(&c).unwrap(), data.len());
+        }
+    }
+
+    #[test]
     fn display_messages_nonempty() {
         for e in [
             DecompressError::Truncated,
             DecompressError::BadHeader,
+            DecompressError::ImplausibleLength,
             DecompressError::OffsetTooFar,
             DecompressError::ZeroOffset,
             DecompressError::TooLong,

@@ -1,0 +1,178 @@
+//! The original safe-but-scalar Snappy codec, preserved verbatim as the
+//! differential oracle for the fast kernels.
+//!
+//! The compressor allocates a fresh hash table per fragment and extends
+//! matches byte-at-a-time; the decompressor dispatches one tag at a time
+//! and materializes copies with a byte-by-byte push loop. Slow, simple,
+//! and obviously correct — the proptest suite in `tests/proptests.rs`
+//! checks the fast codec against this one on arbitrary inputs, and the
+//! golden vectors in `tests/golden.rs` pin both to the official block
+//! format.
+
+use crate::varint::write_uvarint;
+use crate::{
+    emit_copy, emit_literal, max_compressed_len, parse_len, DecompressError, FRAGMENT, TAG_COPY1,
+    TAG_COPY2, TAG_LITERAL,
+};
+
+/// Compresses `input` with the scalar reference compressor.
+///
+/// Greedy LZ77 with a 16 K-entry hash table over 4-byte sequences,
+/// processed in 64 KiB fragments; the table is re-allocated per fragment
+/// (the inefficiency [`crate::Encoder`] removes).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(max_compressed_len(input.len()));
+    write_uvarint(&mut out, input.len() as u64);
+    let mut pos = 0;
+    while pos < input.len() {
+        let end = (pos + FRAGMENT).min(input.len());
+        compress_fragment(pos, end, input, &mut out);
+        pos = end;
+    }
+    out
+}
+
+/// Compresses one fragment spanning `base..end` of `whole`. Matches may
+/// reach back across fragment boundaries (offsets are relative to the whole
+/// stream, as the format allows).
+fn compress_fragment(base: usize, end: usize, whole: &[u8], out: &mut Vec<u8>) {
+    const HASH_BITS: u32 = 14;
+    const HASH_SIZE: usize = 1 << HASH_BITS;
+    if end - base < 4 {
+        emit_literal(&whole[base..end], out);
+        return;
+    }
+    // table[h] = absolute position of a prior 4-byte sequence with hash h.
+    let mut table = vec![u32::MAX; HASH_SIZE];
+    let hash = |w: u32| -> usize { (w.wrapping_mul(0x1E35_A7BD) >> (32 - HASH_BITS)) as usize };
+    let load32 = |p: usize| -> u32 {
+        u32::from_le_bytes([whole[p], whole[p + 1], whole[p + 2], whole[p + 3]])
+    };
+
+    let mut lit_start = base; // start of pending literal run
+    let mut p = base;
+    // Last position where a 4-byte load is valid.
+    let limit = end - 4;
+
+    while p <= limit {
+        let h = hash(load32(p));
+        let cand = table[h] as usize;
+        table[h] = p as u32;
+        // Valid candidate: strictly before p and matching 4 bytes.
+        if cand < p && cand + 4 <= end && load32(cand) == load32(p) {
+            // Extend the match.
+            let mut len = 4;
+            while p + len < end && whole[cand + len] == whole[p + len] {
+                len += 1;
+            }
+            if lit_start < p {
+                emit_literal(&whole[lit_start..p], out);
+            }
+            emit_copy(p - cand, len, out);
+            p += len;
+            lit_start = p;
+            continue;
+        }
+        p += 1;
+    }
+    if lit_start < end {
+        emit_literal(&whole[lit_start..end], out);
+    }
+}
+
+/// Decompresses a Snappy block-format stream with the scalar decoder.
+///
+/// # Errors
+///
+/// Returns a [`DecompressError`] if the stream is malformed: truncated,
+/// bad or implausible header, invalid copy offsets, or length mismatch.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let (expected, mut pos) = parse_len(input)?;
+    let mut out: Vec<u8> = Vec::with_capacity(expected);
+
+    while pos < input.len() {
+        let tag = input[pos];
+        pos += 1;
+        match tag & 0b11 {
+            TAG_LITERAL => {
+                let n6 = (tag >> 2) as usize;
+                let len = if n6 < 60 {
+                    n6 + 1
+                } else {
+                    let extra = n6 - 59; // 1..=4 length bytes
+                    if pos + extra > input.len() {
+                        return Err(DecompressError::Truncated);
+                    }
+                    let mut v = 0usize;
+                    for i in 0..extra {
+                        v |= (input[pos + i] as usize) << (8 * i);
+                    }
+                    pos += extra;
+                    v + 1
+                };
+                if pos + len > input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                out.extend_from_slice(&input[pos..pos + len]);
+                pos += len;
+            }
+            TAG_COPY1 => {
+                if pos >= input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                let len = 4 + ((tag >> 2) & 0b111) as usize;
+                let offset = (((tag >> 5) as usize) << 8) | input[pos] as usize;
+                pos += 1;
+                copy_within(&mut out, offset, len)?;
+            }
+            TAG_COPY2 => {
+                if pos + 2 > input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                let len = 1 + (tag >> 2) as usize;
+                let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+                pos += 2;
+                copy_within(&mut out, offset, len)?;
+            }
+            _ => {
+                if pos + 4 > input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                let len = 1 + (tag >> 2) as usize;
+                let offset = u32::from_le_bytes([
+                    input[pos],
+                    input[pos + 1],
+                    input[pos + 2],
+                    input[pos + 3],
+                ]) as usize;
+                pos += 4;
+                copy_within(&mut out, offset, len)?;
+            }
+        }
+        if out.len() > expected {
+            return Err(DecompressError::TooLong);
+        }
+    }
+    if out.len() != expected {
+        return Err(DecompressError::Truncated);
+    }
+    Ok(out)
+}
+
+/// Appends `len` bytes copied from `offset` bytes before the end of `out`.
+/// Overlapping copies (offset < len) replicate the run byte-by-byte, which
+/// is the defined RLE-style semantics.
+fn copy_within(out: &mut Vec<u8>, offset: usize, len: usize) -> Result<(), DecompressError> {
+    if offset == 0 {
+        return Err(DecompressError::ZeroOffset);
+    }
+    if offset > out.len() {
+        return Err(DecompressError::OffsetTooFar);
+    }
+    let start = out.len() - offset;
+    for i in 0..len {
+        let b = out[start + i];
+        out.push(b);
+    }
+    Ok(())
+}

@@ -1,0 +1,237 @@
+//! Golden-vector tests: hand-assembled streams per the official Snappy
+//! block format description, pinning on-wire compatibility of both the
+//! fast and reference decoders for every tag kind and header width.
+//!
+//! Format reference:
+//! <https://github.com/google/snappy/blob/main/format_description.txt>
+//!
+//! * preamble: uncompressed length as a little-endian uvarint;
+//! * tag byte low 2 bits: 00 literal, 01 copy-1, 10 copy-2, 11 copy-4;
+//! * literal: upper 6 bits are len−1 when < 60, else 60..63 select 1..4
+//!   little-endian extra length bytes holding len−1;
+//! * copy-1: upper 3 tag bits are len−4 (4..=11), next 3 bits are offset
+//!   bits 8..10, one trailing byte holds offset bits 0..7 (offset < 2048);
+//! * copy-2: upper 6 tag bits are len−1 (1..=64), two trailing bytes hold
+//!   a 16-bit little-endian offset;
+//! * copy-4: as copy-2 but four trailing bytes hold a 32-bit offset.
+
+// Vectors spell out every tag field, including zero-valued ones, so the
+// bit layout above stays legible in the assertions.
+#![allow(clippy::identity_op)]
+
+use fusion_snappy::varint::write_uvarint;
+use fusion_snappy::{decompress, reference, DecompressError};
+
+const TAG_LITERAL: u8 = 0b00;
+const TAG_COPY1: u8 = 0b01;
+const TAG_COPY2: u8 = 0b10;
+const TAG_COPY4: u8 = 0b11;
+
+/// Asserts both decoders produce exactly `want` from `stream`.
+fn assert_decodes(stream: &[u8], want: &[u8]) {
+    assert_eq!(
+        decompress(stream).expect("fast decoder"),
+        want,
+        "fast decoder output mismatch"
+    );
+    assert_eq!(
+        reference::decompress(stream).expect("reference decoder"),
+        want,
+        "reference decoder output mismatch"
+    );
+}
+
+fn stream_with(payload_len: usize, elements: &[u8]) -> Vec<u8> {
+    let mut s = Vec::new();
+    write_uvarint(&mut s, payload_len as u64);
+    s.extend_from_slice(elements);
+    s
+}
+
+#[test]
+fn golden_inline_literal() {
+    // Literal of 5 bytes: tag (5-1)<<2 | 00.
+    let mut el = vec![(4u8 << 2) | TAG_LITERAL];
+    el.extend_from_slice(b"fuson");
+    assert_decodes(&stream_with(5, &el), b"fuson");
+}
+
+#[test]
+fn golden_literal_one_extra_length_byte() {
+    // n6 = 60: one extra byte holds len-1. len = 100.
+    let payload: Vec<u8> = (0..100u8).collect();
+    let mut el = vec![(60u8 << 2) | TAG_LITERAL, 99];
+    el.extend_from_slice(&payload);
+    assert_decodes(&stream_with(100, &el), &payload);
+}
+
+#[test]
+fn golden_literal_two_extra_length_bytes() {
+    // n6 = 61: two LE bytes hold len-1. len = 1000 -> 999 = 0x03E7.
+    let payload: Vec<u8> = (0..1000u32).map(|i| (i % 256) as u8).collect();
+    let mut el = vec![(61u8 << 2) | TAG_LITERAL, 0xE7, 0x03];
+    el.extend_from_slice(&payload);
+    assert_decodes(&stream_with(1000, &el), &payload);
+}
+
+#[test]
+fn golden_literal_three_extra_length_bytes() {
+    // n6 = 62: three LE bytes hold len-1. len = 100_000 -> 99_999 = 0x01869F.
+    let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+    let mut el = vec![(62u8 << 2) | TAG_LITERAL, 0x9F, 0x86, 0x01];
+    el.extend_from_slice(&payload);
+    assert_decodes(&stream_with(100_000, &el), &payload);
+}
+
+#[test]
+fn golden_literal_four_extra_length_bytes() {
+    // n6 = 63: four LE bytes hold len-1. len = 2^24 + 10 -> len-1 = 0x0100_0009.
+    let len = (1usize << 24) + 10;
+    let payload: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+    let mut el = vec![(63u8 << 2) | TAG_LITERAL, 0x09, 0x00, 0x00, 0x01];
+    el.extend_from_slice(&payload);
+    assert_decodes(&stream_with(len, &el), &payload);
+}
+
+#[test]
+fn golden_copy1_with_high_offset_bits() {
+    // 300 bytes of literal, then copy1 len 7, offset 300: offset bits 8..10
+    // live in the tag (300 = 0b1_0010_1100 -> high bits 001, low byte 0x2C).
+    let lit: Vec<u8> = (0..300u32).map(|i| (i * 7 % 256) as u8).collect();
+    let mut el = vec![(61u8 << 2) | TAG_LITERAL, 0x2B, 0x01]; // literal len 300
+    el.extend_from_slice(&lit);
+    el.push(((7 - 4) << 2) | (0b001 << 5) | TAG_COPY1);
+    el.push(0x2C);
+    let mut want = lit.clone();
+    want.extend_from_slice(&lit[0..7]);
+    assert_decodes(&stream_with(307, &el), &want);
+}
+
+#[test]
+fn golden_copy2() {
+    // 5000 literal bytes, then copy2 len 64, offset 5000 (0x1388).
+    let lit: Vec<u8> = (0..5000u32).map(|i| (i * 13 % 256) as u8).collect();
+    let mut el = vec![(61u8 << 2) | TAG_LITERAL, 0x87, 0x13]; // literal len 5000
+    el.extend_from_slice(&lit);
+    el.push(((64 - 1) << 2) | TAG_COPY2);
+    el.extend_from_slice(&0x1388u16.to_le_bytes());
+    let mut want = lit.clone();
+    want.extend_from_slice(&lit[0..64]);
+    assert_decodes(&stream_with(5064, &el), &want);
+}
+
+#[test]
+fn golden_copy4() {
+    // 70_000 literal bytes (past the 16-bit offset range), then copy4
+    // len 32, offset 70_000 (0x0001_1170) reaching back to the start.
+    let lit: Vec<u8> = (0..70_000u32).map(|i| (i * 31 % 256) as u8).collect();
+    let mut el = vec![(62u8 << 2) | TAG_LITERAL, 0x6F, 0x11, 0x01]; // literal len 70_000
+    el.extend_from_slice(&lit);
+    el.push(((32 - 1) << 2) | TAG_COPY4);
+    el.extend_from_slice(&70_000u32.to_le_bytes());
+    let mut want = lit.clone();
+    want.extend_from_slice(&lit[0..32]);
+    assert_decodes(&stream_with(70_032, &el), &want);
+}
+
+#[test]
+fn golden_overlapping_copy_is_rle() {
+    // Literal "ab", copy1 len 10 offset 2: the format defines overlapping
+    // copies as pattern repetition -> "ab" * 6.
+    let el = vec![
+        (1u8 << 2) | TAG_LITERAL,
+        b'a',
+        b'b',
+        ((10 - 4) << 2) | TAG_COPY1,
+        2,
+    ];
+    assert_decodes(&stream_with(12, &el), b"abababababab");
+}
+
+#[test]
+fn golden_mixed_element_sequence() {
+    // literal "snappy", copy1(6, off 6) -> "snappy" again, literal "!",
+    // copy2(12, off 13) -> "snappysnappy!"[..12]... assembled by hand:
+    let mut el = vec![(5u8 << 2) | TAG_LITERAL];
+    el.extend_from_slice(b"snappy");
+    el.push(((6 - 4) << 2) | TAG_COPY1);
+    el.push(6);
+    el.push(0u8 << 2 | TAG_LITERAL);
+    el.push(b'!');
+    el.push(((12 - 1) << 2) | TAG_COPY2);
+    el.extend_from_slice(&13u16.to_le_bytes());
+    let want = b"snappysnappy!snappysnappy".to_vec();
+    assert_decodes(&stream_with(want.len(), &el), &want);
+}
+
+#[test]
+fn golden_empty_stream() {
+    assert_decodes(&[0x00], b"");
+}
+
+#[test]
+fn golden_error_vectors_agree() {
+    // Malformed streams must produce the same error from both decoders.
+    let cases: Vec<(Vec<u8>, DecompressError)> = vec![
+        (vec![], DecompressError::BadHeader),
+        // 5-byte hostile header declaring ~4 GiB.
+        (
+            vec![0xFE, 0xFF, 0xFF, 0xFF, 0x0F],
+            DecompressError::ImplausibleLength,
+        ),
+        // Copy before any output exists.
+        (
+            stream_with(4, &[((4 - 4) << 2) | TAG_COPY1, 1]),
+            DecompressError::OffsetTooFar,
+        ),
+        // Zero offset.
+        (
+            stream_with(
+                6,
+                &[
+                    (1 << 2) | TAG_LITERAL,
+                    b'x',
+                    b'y',
+                    ((4 - 4) << 2) | TAG_COPY1,
+                    0,
+                ],
+            ),
+            DecompressError::ZeroOffset,
+        ),
+        // Literal runs past the declared length.
+        (
+            stream_with(1, &[(1 << 2) | TAG_LITERAL, b'x', b'y']),
+            DecompressError::TooLong,
+        ),
+        // Truncated literal body.
+        (
+            stream_with(4, &[(3 << 2) | TAG_LITERAL, b'x']),
+            DecompressError::Truncated,
+        ),
+        // Truncated copy-4 offset.
+        (
+            stream_with(
+                8,
+                &[
+                    (3 << 2) | TAG_LITERAL,
+                    b'a',
+                    b'b',
+                    b'c',
+                    b'd',
+                    ((4 - 1) << 2) | TAG_COPY4,
+                    0x04,
+                    0x00,
+                ],
+            ),
+            DecompressError::Truncated,
+        ),
+    ];
+    for (stream, want) in cases {
+        assert_eq!(decompress(&stream), Err(want), "fast: {stream:?}");
+        assert_eq!(
+            reference::decompress(&stream),
+            Err(want),
+            "reference: {stream:?}"
+        );
+    }
+}

@@ -1,7 +1,34 @@
-//! Property tests: compression must be lossless for arbitrary inputs and
-//! varints must roundtrip.
+//! Property tests: compression must be lossless for arbitrary inputs,
+//! the fast codec must be interchangeable with the preserved reference
+//! codec (differential testing), and varints must roundtrip.
 
+use fusion_snappy::reference;
 use proptest::prelude::*;
+
+/// Inputs shaped to stress specific codec paths: arbitrary bytes,
+/// low-entropy cycles (overlap copies at every small offset), and runs
+/// long enough to cross the 64 KiB fragment boundary.
+fn codec_inputs() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..20_000),
+        // Cyclic data: overlapping copies with offsets 1..=64.
+        (prop::collection::vec(any::<u8>(), 1..64), 1usize..2000).prop_map(|(seed, reps)| {
+            seed.iter()
+                .cycle()
+                .take(seed.len() * reps)
+                .copied()
+                .collect()
+        }),
+        // Fragment-boundary crossers: 64 KiB ± a small delta of mildly
+        // compressible data.
+        (0usize..256, any::<u8>()).prop_map(|(delta, b)| {
+            let n = 65536 - 128 + delta;
+            (0..n)
+                .map(|i| if i % 7 == 0 { b } else { (i % 251) as u8 })
+                .collect()
+        }),
+    ]
+}
 
 proptest! {
     #[test]
@@ -22,10 +49,70 @@ proptest! {
         prop_assert_eq!(fusion_snappy::decompress(&c).unwrap(), data);
     }
 
+    /// Differential: every stream the fast compressor emits decodes to the
+    /// original under BOTH decoders, and the reference compressor's
+    /// streams decode identically under the fast decoder — the two codecs
+    /// are fully interchangeable on the wire.
+    #[test]
+    fn differential_cross_codec_roundtrip(data in codec_inputs()) {
+        let fast_stream = fusion_snappy::compress(&data);
+        let ref_stream = reference::compress(&data);
+
+        prop_assert_eq!(&fusion_snappy::decompress(&fast_stream).unwrap()[..], &data[..]);
+        prop_assert_eq!(&reference::decompress(&fast_stream).unwrap()[..], &data[..]);
+        prop_assert_eq!(&fusion_snappy::decompress(&ref_stream).unwrap()[..], &data[..]);
+        prop_assert_eq!(&reference::decompress(&ref_stream).unwrap()[..], &data[..]);
+    }
+
+    /// Differential: on arbitrary (mostly malformed) streams the fast
+    /// decoder returns byte-identical output — and the identical error —
+    /// to the reference decoder.
+    #[test]
+    fn differential_decoders_agree_on_junk(junk in prop::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(fusion_snappy::decompress(&junk), reference::decompress(&junk));
+    }
+
+    /// Differential on well-formed prefixes: take a valid stream and
+    /// truncate or perturb it; both decoders must still agree.
+    #[test]
+    fn differential_decoders_agree_on_corrupted(
+        data in prop::collection::vec(any::<u8>(), 1..4096),
+        cut in any::<u16>(),
+        flip_at in any::<u16>(),
+        flip_bits in any::<u8>(),
+    ) {
+        let mut stream = fusion_snappy::compress(&data);
+        let cut = 1 + (cut as usize) % stream.len();
+        stream.truncate(cut);
+        let at = (flip_at as usize) % stream.len();
+        stream[at] ^= flip_bits;
+        prop_assert_eq!(fusion_snappy::decompress(&stream), reference::decompress(&stream));
+    }
+
     #[test]
     fn decompress_never_panics(junk in prop::collection::vec(any::<u8>(), 0..2048)) {
         // Malformed input must produce an error, never a panic.
         let _ = fusion_snappy::decompress(&junk);
+    }
+
+    #[test]
+    fn decompress_into_never_panics_and_reuses(
+        junk in prop::collection::vec(any::<u8>(), 0..2048),
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        // A scratch buffer cycled through junk and valid streams must
+        // never panic and must end up holding exactly the valid payload.
+        let mut scratch = Vec::new();
+        let _ = fusion_snappy::decompress_into(&junk, &mut scratch);
+        let c = fusion_snappy::compress(&data);
+        prop_assert_eq!(fusion_snappy::decompress_into(&c, &mut scratch), Ok(data.len()));
+        prop_assert_eq!(&scratch, &data);
+    }
+
+    #[test]
+    fn decompress_len_agrees(data in prop::collection::vec(any::<u8>(), 0..8192)) {
+        let c = fusion_snappy::compress(&data);
+        prop_assert_eq!(fusion_snappy::decompress_len(&c), Ok(data.len()));
     }
 
     #[test]
