@@ -7,6 +7,7 @@
 pub mod degraded;
 pub mod ec_throughput;
 pub mod latency;
+pub mod observability;
 pub mod scan_throughput;
 pub mod snappy_throughput;
 pub mod storage;
@@ -38,6 +39,7 @@ pub const ALL_IDS: &[&str] = &[
     "ec_throughput",
     "scan_throughput",
     "snappy_throughput",
+    "observability",
 ];
 
 /// Runs one artifact by id.
@@ -70,6 +72,7 @@ pub fn run(id: &str, env: &BenchEnv) -> String {
         "ec_throughput" => ec_throughput::ec_throughput(env),
         "scan_throughput" => scan_throughput::scan_throughput(env),
         "snappy_throughput" => snappy_throughput::snappy_throughput(env),
+        "observability" => observability::observability(env),
         id if id.starts_with("debugcol") => {
             let col: usize = id.trim_start_matches("debugcol").parse().unwrap_or(0);
             latency::debug_column(env, col)

@@ -10,6 +10,7 @@
 
 use crate::spec::ClusterSpec;
 use crate::time::Nanos;
+use fusion_obs::trace::{Phase, PhaseBreakdown};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -75,6 +76,9 @@ struct StepSpec {
     class: CostClass,
     deps: Vec<StepId>,
     net_bytes: u64,
+    /// Query-execution phase this step belongs to (the workflow's
+    /// current phase at `step()` time; [`Phase::Other`] by default).
+    phase: Phase,
 }
 
 /// A DAG of steps modelling one query (or one Put, recovery, …).
@@ -93,6 +97,9 @@ struct StepSpec {
 #[derive(Debug, Clone, Default)]
 pub struct Workflow {
     steps: Vec<StepSpec>,
+    /// Phase recorded onto steps added from here on (ambient, so call
+    /// sites don't have to thread a phase through every `step()` call).
+    cur_phase: Phase,
 }
 
 impl Workflow {
@@ -119,8 +126,22 @@ impl Workflow {
             class,
             deps: deps.to_vec(),
             net_bytes: 0,
+            phase: self.cur_phase,
         });
         StepId(self.steps.len() - 1)
+    }
+
+    /// Sets the query-execution phase recorded onto subsequently added
+    /// steps, returning the previous phase (so nested scopes — e.g. a
+    /// degraded reconstruct inside the filter stage — can restore it).
+    /// New workflows start in [`Phase::Other`].
+    pub fn set_phase(&mut self, phase: Phase) -> Phase {
+        std::mem::replace(&mut self.cur_phase, phase)
+    }
+
+    /// The phase currently recorded onto new steps.
+    pub fn phase(&self) -> Phase {
+        self.cur_phase
     }
 
     /// Tags a step as moving `bytes` over the network (for traffic
@@ -184,6 +205,10 @@ pub struct WorkflowStats {
     pub latency: Nanos,
     /// Critical-path partition of `latency`.
     pub breakdown: Breakdown,
+    /// Critical-path partition of `latency` by query-execution phase
+    /// (same walk as `breakdown`, keyed by [`Phase`] instead of
+    /// [`CostClass`]; components sum exactly to `latency`).
+    pub phases: PhaseBreakdown,
     /// Total bytes this workflow moved over the network (all steps, not
     /// just the critical path).
     pub net_bytes: u64,
@@ -196,6 +221,10 @@ pub struct RunReport {
     pub stats: Vec<WorkflowStats>,
     /// Busy time per resource.
     pub resource_busy: HashMap<ResourceKey, Nanos>,
+    /// Extra service time each straggling node added on top of nominal
+    /// step durations (node → summed stretch), for per-node straggler
+    /// accounting.
+    pub straggler_delay: HashMap<usize, Nanos>,
     /// Completion time of the last workflow.
     pub makespan: Nanos,
 }
@@ -356,6 +385,7 @@ struct Sim {
     seq: u64,
     cores_per_node: usize,
     slowdowns: HashMap<usize, f64>,
+    straggler_delay: HashMap<usize, Nanos>,
     #[allow(clippy::type_complexity)]
     events: BinaryHeap<Reverse<(Nanos, u64, EventBox)>>,
     resources: HashMap<ResourceKey, Res>,
@@ -385,6 +415,7 @@ impl Sim {
             seq: 0,
             cores_per_node,
             slowdowns,
+            straggler_delay: HashMap::new(),
             events: BinaryHeap::new(),
             resources: HashMap::new(),
         }
@@ -519,6 +550,7 @@ impl Sim {
         RunReport {
             stats,
             resource_busy,
+            straggler_delay: std::mem::take(&mut self.straggler_delay),
             makespan,
         }
     }
@@ -548,8 +580,14 @@ impl Sim {
         // stretched by the node's factor. Breakdown attribution works
         // off recorded completion times, so the stretch flows into the
         // per-class critical-path split for free.
-        if let Some(factor) = key.node_index().and_then(|n| self.slowdowns.get(&n)) {
-            dur = Nanos((dur.0 as f64 * factor).round() as u64);
+        if let Some((node, factor)) = key
+            .node_index()
+            .and_then(|n| self.slowdowns.get(&n).map(|f| (n, *f)))
+        {
+            let stretched = Nanos((dur.0 as f64 * factor).round() as u64);
+            *self.straggler_delay.entry(node).or_insert(Nanos::ZERO) +=
+                stretched.saturating_sub(dur);
+            dur = stretched;
         }
         let res = self.resources.get_mut(&key).expect("resource exists");
         res.busy += 1;
@@ -568,7 +606,7 @@ impl Sim {
         let w = &wfs[wf];
         let start = w.started.expect("workflow started");
         let finish = self.now;
-        let breakdown = critical_path_breakdown(w, start);
+        let (breakdown, phases) = critical_path_breakdown(w, start);
         let net_bytes = w.wf.steps.iter().map(|s| s.net_bytes).sum();
         finished[wf] = Some(WorkflowStats {
             client: w.client,
@@ -577,6 +615,7 @@ impl Sim {
             finish,
             latency: finish - start,
             breakdown,
+            phases,
             net_bytes,
         });
         if let Some(&next) = next_of.get(&(w.client, w.seq)) {
@@ -586,12 +625,13 @@ impl Sim {
 }
 
 /// Walks the critical path backwards, attributing each hop (queue wait +
-/// service) to the step's cost class. The components sum exactly to the
-/// workflow latency.
-fn critical_path_breakdown(w: &WfState, start: Nanos) -> Breakdown {
+/// service) to the step's cost class and to its query-execution phase.
+/// Both partitions sum exactly to the workflow latency.
+fn critical_path_breakdown(w: &WfState, start: Nanos) -> (Breakdown, PhaseBreakdown) {
     let mut bd = Breakdown::default();
+    let mut phases = PhaseBreakdown::new();
     if w.wf.steps.is_empty() {
-        return bd;
+        return (bd, phases);
     }
     // Find the step that finished last.
     let mut cur = (0..w.wf.steps.len())
@@ -606,13 +646,15 @@ fn critical_path_breakdown(w: &WfState, start: Nanos) -> Breakdown {
             .iter()
             .max_by_key(|d| w.steps[d.0].done_at.expect("deps done"));
         let from = dep.map_or(start, |d| w.steps[d.0].done_at.expect("done"));
-        bd.add(spec.class, done.saturating_sub(from));
+        let hop = done.saturating_sub(from);
+        bd.add(spec.class, hop);
+        phases.add(spec.phase, hop.0);
         match dep {
             Some(d) => cur = d.0,
             None => break,
         }
     }
-    bd
+    (bd, phases)
 }
 
 #[cfg(test)]
@@ -795,6 +837,86 @@ mod tests {
                 "breakdown must partition latency"
             );
         }
+    }
+
+    #[test]
+    fn phase_partition_sums_to_latency() {
+        // Tagged and untagged steps: the phase partition must cover the
+        // whole latency, with untagged time under Phase::Other.
+        let mut wf = Workflow::new();
+        let prev = wf.set_phase(Phase::ShardRead);
+        assert_eq!(prev, Phase::Other);
+        let a = wf.step(ResourceKey::Disk(0), Nanos(100), CostClass::DiskRead, &[]);
+        wf.set_phase(Phase::Filter);
+        let b = wf.step(ResourceKey::Cpu(0), Nanos(40), CostClass::Processing, &[a]);
+        wf.set_phase(Phase::Other);
+        wf.step(ResourceKey::ClientCpu, Nanos(10), CostClass::Other, &[b]);
+        let report = engine().run_closed_loop(vec![vec![wf]]);
+        let s = &report.stats[0];
+        assert_eq!(s.phases.get(Phase::ShardRead), 100);
+        assert_eq!(s.phases.get(Phase::Filter), 40);
+        assert_eq!(s.phases.get(Phase::Other), 10);
+        assert_eq!(s.phases.total(), s.latency.0);
+    }
+
+    #[test]
+    fn phase_partition_sums_under_contention() {
+        // Same DAG soup as the class-breakdown test, phases interleaved:
+        // the phase partition must also always sum to latency.
+        let mut clients = Vec::new();
+        for c in 0..5 {
+            let mut wfs = Vec::new();
+            for q in 0..4 {
+                let mut wf = Workflow::new();
+                wf.set_phase(Phase::ShardRead);
+                let d = wf.step(
+                    ResourceKey::Disk(c % 3),
+                    Nanos(30 + (q as u64) * 7),
+                    CostClass::DiskRead,
+                    &[],
+                );
+                wf.set_phase(Phase::Decode);
+                let p = wf.step(
+                    ResourceKey::Cpu(c % 3),
+                    Nanos(11 * (c as u64 + 1)),
+                    CostClass::Processing,
+                    &[d],
+                );
+                wf.set_phase(Phase::Network);
+                let n1 = wf.step(
+                    ResourceKey::NicTx(c % 3),
+                    Nanos(13),
+                    CostClass::Network,
+                    &[p],
+                );
+                wf.set_phase(Phase::Other);
+                wf.step(ResourceKey::ClientCpu, Nanos(5), CostClass::Other, &[n1, d]);
+                wfs.push(wf);
+            }
+            clients.push(wfs);
+        }
+        let report = engine().run_closed_loop(clients);
+        for s in &report.stats {
+            assert_eq!(
+                s.phases.total(),
+                s.latency.0,
+                "phase partition must cover latency"
+            );
+        }
+    }
+
+    #[test]
+    fn straggler_delay_is_accounted_per_node() {
+        let mut wf = Workflow::new();
+        let a = wf.step(ResourceKey::Disk(0), Nanos(100), CostClass::DiskRead, &[]);
+        wf.step(ResourceKey::Disk(1), Nanos(100), CostClass::DiskRead, &[a]);
+        let mut engine = engine();
+        engine.set_slowdown(1, 3.0);
+        let report = engine.run_closed_loop(vec![vec![wf]]);
+        // Node 1's step stretched 100 → 300: 200ns of straggler delay.
+        assert_eq!(report.straggler_delay.get(&1), Some(&Nanos(200)));
+        assert_eq!(report.straggler_delay.get(&0), None);
+        assert_eq!(report.stats[0].latency, Nanos(400));
     }
 
     #[test]

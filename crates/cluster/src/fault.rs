@@ -299,6 +299,11 @@ pub struct FaultInjector {
     /// Nodes that came back from a transient outage (flaky until the
     /// caller clears them): node → timed-out attempts to model.
     flaky: HashMap<usize, u32>,
+    /// Faults applied so far, per node (crashes, slowdowns, and
+    /// corruptions that actually landed; revivals counted separately).
+    faults_injected: HashMap<usize, u64>,
+    /// Revivals applied so far, per node.
+    revivals_applied: HashMap<usize, u64>,
 }
 
 impl FaultInjector {
@@ -311,6 +316,8 @@ impl FaultInjector {
             revivals: Vec::new(),
             slow: HashMap::new(),
             flaky: HashMap::new(),
+            faults_injected: HashMap::new(),
+            revivals_applied: HashMap::new(),
         }
     }
 
@@ -424,7 +431,45 @@ impl FaultInjector {
         }
         self.now = to;
         self.slow.retain(|_, &mut (_, until)| until > to);
+        for f in &applied {
+            match *f {
+                AppliedFault::Revived { node, .. } => {
+                    *self.revivals_applied.entry(node).or_insert(0) += 1;
+                }
+                AppliedFault::Crashed { node, .. }
+                | AppliedFault::Slowed { node, .. }
+                | AppliedFault::Corrupted { node, .. } => {
+                    *self.faults_injected.entry(node).or_insert(0) += 1;
+                }
+            }
+        }
         applied
+    }
+
+    /// Faults applied to `node` so far (crashes, slowdowns, corruptions
+    /// that actually landed).
+    pub fn faults_injected(&self, node: usize) -> u64 {
+        self.faults_injected.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Revivals applied to `node` so far.
+    pub fn revivals_applied(&self, node: usize) -> u64 {
+        self.revivals_applied.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Publishes the per-node fault counters into a metrics registry as
+    /// `node<i>.faults_injected` / `node<i>.revivals` (counters are
+    /// monotone, so this sets them to the current totals by adding the
+    /// delta since the last publish).
+    pub fn publish_metrics(&self, registry: &fusion_obs::metrics::MetricsRegistry) {
+        for (&node, &v) in &self.faults_injected {
+            let c = registry.node(node).counter("faults_injected");
+            c.add(v.saturating_sub(c.get()));
+        }
+        for (&node, &v) in &self.revivals_applied {
+            let c = registry.node(node).counter("revivals");
+            c.add(v.saturating_sub(c.get()));
+        }
     }
 
     /// Current latency multiplier of a node (1.0 when healthy).
@@ -517,6 +562,16 @@ mod tests {
         inj.clear_flaky(1);
         assert_eq!(inj.flaky_attempts(1), 0);
         assert!(inj.exhausted());
+        // One crash + one revival counted against node 1.
+        assert_eq!(inj.faults_injected(1), 1);
+        assert_eq!(inj.revivals_applied(1), 1);
+        assert_eq!(inj.faults_injected(0), 0);
+        let reg = fusion_obs::metrics::MetricsRegistry::new();
+        inj.publish_metrics(&reg);
+        inj.publish_metrics(&reg); // idempotent: totals, not doubled
+        let json = reg.to_json();
+        assert!(json.contains("\"node1.faults_injected\":1"));
+        assert!(json.contains("\"node1.revivals\":1"));
     }
 
     #[test]

@@ -58,3 +58,7 @@ pub use fault::{AppliedFault, FaultEvent, FaultInjector, FaultKind, FaultSchedul
 pub use spec::{ClusterSpec, CostModel, RetryPolicy};
 pub use store::{BlockId, BlockStore, ClusterError};
 pub use time::{percentile, transfer_time, Nanos};
+
+// Re-exported so workflow builders can tag steps without a direct
+// `fusion-obs` dependency.
+pub use fusion_obs::trace::{Phase, PhaseBreakdown};

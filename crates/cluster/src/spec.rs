@@ -351,4 +351,42 @@ mod tests {
     fn scaled_down_rejects_nonpositive() {
         let _ = CostModel::default().scaled_down(0.0);
     }
+
+    #[test]
+    fn scaled_down_covers_every_plane() {
+        // Audit: scaling by `f` must scale the output of every
+        // throughput plane — decode, eval, project, EC, compress,
+        // net-cpu, disk, wire — by exactly `f` (±1ns rounding). A plane
+        // whose rate `scaled_down` misses (as `cpu_compress_bps` almost
+        // was in the PR-4 bolt-on) fails this for that plane alone.
+        let f = 7.0;
+        let base = CostModel::default();
+        let scaled = base.clone().scaled_down(f);
+        // Base durations round to whole nanos before the ×f comparison,
+        // so allow that half-nano error amplified by f.
+        let close =
+            |a: Nanos, b: Nanos| (a.0 as i64 - b.0 as i64).unsigned_abs() as f64 <= f / 2.0 + 1.0;
+        let x = 9_000_000u64;
+        let times_f = |n: Nanos| Nanos((n.0 as f64 * f).round() as u64);
+        // Speedup-aware `*_at` variants, at a non-unit speedup so the
+        // speedup path is exercised too.
+        let s = 3.0;
+        assert!(close(scaled.decode_at(x, s), times_f(base.decode_at(x, s))));
+        assert!(close(scaled.eval_at(x, s), times_f(base.eval_at(x, s))));
+        assert!(close(scaled.ec_at(x, s), times_f(base.ec_at(x, s))));
+        assert!(close(
+            scaled.compress_at(x, s),
+            times_f(base.compress_at(x, s))
+        ));
+        // Plain planes.
+        assert!(close(scaled.project(x), times_f(base.project(x))));
+        assert!(close(scaled.net_cpu(x), times_f(base.net_cpu(x))));
+        assert!(close(scaled.wire(x), times_f(base.wire(x))));
+        // Disk scales only its bandwidth component; the fixed access
+        // latency stays put.
+        assert!(close(
+            scaled.disk_read(x).saturating_sub(scaled.disk_access),
+            times_f(base.disk_read(x).saturating_sub(base.disk_access))
+        ));
+    }
 }

@@ -7,8 +7,10 @@
 
 use bytes::Bytes;
 use fusion_format::util::crc32;
+use fusion_obs::metrics::{Counter, MetricsRegistry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identifier of a stored block, assigned by the storage layer above.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -79,6 +81,15 @@ struct NodeState {
     lost_blocks: usize,
 }
 
+/// Cached per-node serve counters (resolved from the metrics registry
+/// once at construction so the read path pays one relaxed atomic add,
+/// not a name lookup).
+#[derive(Debug)]
+struct NodeCounters {
+    bytes_served: Arc<Counter>,
+    blocks_served: Arc<Counter>,
+}
+
 /// The cluster-wide collection of node-local block stores.
 ///
 /// # Examples
@@ -99,6 +110,12 @@ pub struct BlockStore {
     /// Successful block reads (whole-block or ranged), for asserting how
     /// many shards a degraded read actually touched.
     reads: AtomicU64,
+    /// Per-node observability counters (`node<i>.bytes_served`,
+    /// `node<i>.blocks_served`), shared with `metrics`.
+    counters: Vec<NodeCounters>,
+    /// The registry backing the per-node counters (JSON export and
+    /// cross-layer counters live here).
+    metrics: MetricsRegistry,
 }
 
 impl BlockStore {
@@ -109,6 +126,16 @@ impl BlockStore {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> BlockStore {
         assert!(n > 0, "cluster needs at least one node");
+        let metrics = MetricsRegistry::new();
+        let counters = (0..n)
+            .map(|i| {
+                let scope = metrics.node(i);
+                NodeCounters {
+                    bytes_served: scope.counter("bytes_served"),
+                    blocks_served: scope.counter("blocks_served"),
+                }
+            })
+            .collect();
         BlockStore {
             nodes: (0..n)
                 .map(|_| NodeState {
@@ -117,6 +144,28 @@ impl BlockStore {
                 })
                 .collect(),
             reads: AtomicU64::new(0),
+            counters,
+            metrics,
+        }
+    }
+
+    /// The metrics registry holding per-node serve counters (plus any
+    /// counters upper layers register against the data plane).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Bytes this node has served to readers (full blocks and ranged
+    /// slices, post-CRC-verification).
+    pub fn bytes_served(&self, node: usize) -> u64 {
+        self.counters.get(node).map_or(0, |c| c.bytes_served.get())
+    }
+
+    fn record_read(&self, node: usize, bytes: usize) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self.counters.get(node) {
+            c.blocks_served.inc();
+            c.bytes_served.add(bytes as u64);
         }
     }
 
@@ -155,6 +204,13 @@ impl BlockStore {
     /// Node missing/down, block absent, or checksum mismatch
     /// ([`ClusterError::Corrupt`]).
     pub fn get(&self, node: usize, id: BlockId) -> Result<Bytes, ClusterError> {
+        let b = self.verified(node, id)?;
+        self.record_read(node, b.len());
+        Ok(b)
+    }
+
+    /// Fetches a verified block without touching the read counters.
+    fn verified(&self, node: usize, id: BlockId) -> Result<Bytes, ClusterError> {
         let n = self.node(node)?;
         if !n.alive {
             return Err(ClusterError::NodeDown(node));
@@ -166,11 +222,11 @@ impl BlockStore {
         if crc32(&stored.data) != stored.crc {
             return Err(ClusterError::Corrupt { node, block: id });
         }
-        self.reads.fetch_add(1, Ordering::Relaxed);
         Ok(stored.data.clone())
     }
 
-    /// Reads a byte range of a block (a ranged GET).
+    /// Reads a byte range of a block (a ranged GET). Byte accounting
+    /// charges the node only for the slice actually served.
     ///
     /// # Errors
     ///
@@ -183,10 +239,12 @@ impl BlockStore {
         offset: usize,
         len: usize,
     ) -> Result<Bytes, ClusterError> {
-        let b = self.get(node, id)?;
+        let b = self.verified(node, id)?;
         let start = offset.min(b.len());
         let end = (offset + len).min(b.len());
-        Ok(b.slice(start..end))
+        let slice = b.slice(start..end);
+        self.record_read(node, slice.len());
+        Ok(slice)
     }
 
     /// Removes a block. Missing blocks are ignored.
@@ -444,6 +502,27 @@ mod tests {
         assert_eq!(s.reads(), 2);
         let _ = s.get(1, BlockId(9));
         assert_eq!(s.reads(), 2);
+    }
+
+    #[test]
+    fn per_node_serve_counters() {
+        let mut s = BlockStore::new(2);
+        s.put(0, BlockId(1), Bytes::from_static(b"0123456789"))
+            .unwrap();
+        s.put(1, BlockId(2), Bytes::from_static(b"ab")).unwrap();
+        s.get(0, BlockId(1)).unwrap();
+        // Ranged reads charge only the served slice.
+        s.get_range(0, BlockId(1), 2, 3).unwrap();
+        s.get(1, BlockId(2)).unwrap();
+        // Failed reads charge nothing.
+        let _ = s.get(1, BlockId(99));
+        assert_eq!(s.bytes_served(0), 13);
+        assert_eq!(s.bytes_served(1), 2);
+        assert_eq!(s.bytes_served(7), 0);
+        let json = s.metrics().to_json();
+        assert!(json.contains("\"node0.bytes_served\":13"));
+        assert!(json.contains("\"node0.blocks_served\":2"));
+        assert!(json.contains("\"node1.blocks_served\":1"));
     }
 
     #[test]

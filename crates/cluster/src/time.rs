@@ -34,8 +34,18 @@ impl Nanos {
         Nanos(us * 1_000)
     }
 
-    /// From fractional seconds (saturating at zero for negatives).
+    /// From fractional seconds, totally defined over `f64`: negatives
+    /// and `-∞` clamp to zero, while `NaN` and `+∞` saturate to
+    /// `Nanos(u64::MAX)` — a cost-model product that degenerates must
+    /// surface as "forever", never as a free step. (`f64::max` returns
+    /// the non-NaN operand, so without the explicit check a `NaN` here
+    /// would silently become `Nanos(0)`.)
     pub fn from_secs_f64(s: f64) -> Nanos {
+        if s.is_nan() {
+            return Nanos(u64::MAX);
+        }
+        // The float→int `as` cast saturates, so `+∞` and overflowing
+        // finite products cap at `u64::MAX` on their own.
         Nanos((s.max(0.0) * 1e9).round() as u64)
     }
 
@@ -99,9 +109,18 @@ impl std::fmt::Display for Nanos {
 }
 
 /// Computes the transfer time of `bytes` at `bytes_per_sec`.
+///
+/// Total over `f64` rates: a degenerate rate (zero, negative, or `NaN`)
+/// saturates to `Nanos(u64::MAX)` — it must read as "forever", never as
+/// a free step — while an infinitely fast rate is genuinely free.
 pub fn transfer_time(bytes: u64, bytes_per_sec: f64) -> Nanos {
     if bytes == 0 {
         return Nanos::ZERO;
+    }
+    // NaN must land in the saturating arm, so the comparison admits it
+    // explicitly rather than negating `> 0.0`.
+    if bytes_per_sec <= 0.0 || bytes_per_sec.is_nan() {
+        return Nanos(u64::MAX);
     }
     Nanos::from_secs_f64(bytes as f64 / bytes_per_sec)
 }
@@ -139,6 +158,20 @@ mod tests {
         assert_eq!(Nanos::from_micros(5).0, 5_000);
         assert_eq!(Nanos::from_secs_f64(0.5), Nanos(500_000_000));
         assert_eq!(Nanos::from_secs_f64(-1.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn non_finite_seconds_saturate() {
+        assert_eq!(Nanos::from_secs_f64(f64::NAN), Nanos(u64::MAX));
+        assert_eq!(Nanos::from_secs_f64(f64::INFINITY), Nanos(u64::MAX));
+        assert_eq!(Nanos::from_secs_f64(f64::NEG_INFINITY), Nanos::ZERO);
+        assert_eq!(Nanos::from_secs_f64(-0.0), Nanos::ZERO);
+        // Finite overflow saturates rather than wrapping.
+        assert_eq!(Nanos::from_secs_f64(f64::MAX), Nanos(u64::MAX));
+        // A degenerate rate feeding transfer_time must not yield a free
+        // step either.
+        assert_eq!(transfer_time(1, 0.0), Nanos(u64::MAX));
+        assert_eq!(transfer_time(1, f64::NAN), Nanos(u64::MAX));
     }
 
     #[test]

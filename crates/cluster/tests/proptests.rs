@@ -65,7 +65,41 @@ proptest! {
         let report = Engine::new(ClusterSpec::with_nodes(3)).run_closed_loop(clients);
         for s in &report.stats {
             prop_assert_eq!(s.breakdown.total(), s.latency);
+            prop_assert_eq!(s.phases.total(), s.latency.0,
+                "phase partition must also cover latency");
             prop_assert!(s.finish >= s.start);
+        }
+    }
+
+    #[test]
+    fn from_secs_f64_is_total_and_monotone(s in any::<f64>()) {
+        // Any f64 — including NaN, ±∞, subnormals, and negative zero —
+        // must map to a well-defined duration without panicking.
+        let n = Nanos::from_secs_f64(s);
+        if s.is_nan() || s >= u64::MAX as f64 / 1e9 {
+            prop_assert_eq!(n, Nanos(u64::MAX), "degenerate inputs saturate");
+        } else if s <= 0.0 {
+            prop_assert_eq!(n, Nanos::ZERO);
+        } else {
+            // Round-trips within rounding error for representable values.
+            prop_assert!((n.as_secs_f64() - s).abs() <= s * 1e-9 + 1e-9);
+        }
+        // Monotone: a longer duration never maps to fewer nanos (NaN
+        // saturates high, so compare against finite doublings only).
+        if s.is_finite() && s > 0.0 {
+            prop_assert!(Nanos::from_secs_f64(s * 2.0) >= n);
+        }
+    }
+
+    #[test]
+    fn transfer_time_never_panics(bytes in any::<u64>(), rate in any::<f64>()) {
+        // Degenerate rates (zero, negative, NaN, ∞) must yield a defined
+        // duration; only bytes == 0 is free.
+        let t = fusion_cluster::time::transfer_time(bytes, rate);
+        if bytes == 0 {
+            prop_assert_eq!(t, Nanos::ZERO);
+        } else if rate.is_nan() || rate <= 0.0 {
+            prop_assert_eq!(t, Nanos(u64::MAX), "degenerate rate saturates");
         }
     }
 

@@ -224,6 +224,10 @@ impl Store {
                                 k,
                             );
                             report.blocks_repaired += 1;
+                            self.metrics()
+                                .node(sp.nodes[i])
+                                .counter("scrub_heals")
+                                .inc();
                             let _ = self.blocks_mut().put(
                                 sp.nodes[i],
                                 sp.block_ids[i],
@@ -259,6 +263,10 @@ impl Store {
                                 let content = trim_shard(rebuilt[c].clone(), &meta, job.si, c, k);
                                 report.blocks_repaired += 1;
                                 report.stripes_repaired += 1;
+                                self.metrics()
+                                    .node(sp.nodes[c])
+                                    .counter("scrub_heals")
+                                    .inc();
                                 let _ = self.blocks_mut().put(
                                     sp.nodes[c],
                                     sp.block_ids[c],

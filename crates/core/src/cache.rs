@@ -101,8 +101,10 @@ impl ChunkCache {
     }
 
     /// Inserts (or refreshes) a chunk view, evicting LRU entries until the
-    /// capacity holds. Views heavier than the whole capacity are not
-    /// cached.
+    /// capacity holds. Degenerate inserts — a disabled cache
+    /// (`capacity == 0`) or a view heavier than the whole capacity — are
+    /// rejected up front so they can never underflow `resident` or leave
+    /// the eviction loop spinning on an empty map.
     pub fn insert(&self, object: &str, ordinal: usize, chunk: Arc<EncodedChunk>) {
         let weight = chunk.weight_bytes();
         if self.capacity == 0 || weight > self.capacity {
@@ -120,20 +122,26 @@ impl ChunkCache {
                 last_used: tick,
             },
         ) {
-            inner.resident -= old.weight;
+            inner.resident = inner.resident.saturating_sub(old.weight);
         }
         inner.resident += weight;
         while inner.resident > self.capacity {
             // Linear LRU scan: entry counts are modest (chunks, not rows),
             // and eviction is off the scan hot path.
-            let victim = inner
+            let Some(victim) = inner
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
-                .expect("resident > 0 implies entries");
+            else {
+                // Accounting drift (resident > 0 with no entries) must
+                // degrade to a reset, not a panic on the query path.
+                debug_assert!(false, "resident > 0 with no entries");
+                inner.resident = 0;
+                break;
+            };
             let evicted = inner.entries.remove(&victim).expect("victim present");
-            inner.resident -= evicted.weight;
+            inner.resident = inner.resident.saturating_sub(evicted.weight);
             inner.evictions += 1;
         }
     }
@@ -223,6 +231,55 @@ mod tests {
         assert!(off.get("o", 0).is_none());
         // Disabled cache counts nothing.
         assert_eq!(off.stats().misses, 0);
+    }
+
+    #[test]
+    fn zero_capacity_inserts_never_underflow() {
+        // Regression: a disabled cache must absorb any insert pattern
+        // without touching `resident` (underflow) or evicting.
+        let off = ChunkCache::new(0);
+        for i in 0..10 {
+            off.insert("o", i, chunk(100));
+            off.insert("o", i, chunk(1)); // re-insert, lighter
+        }
+        let s = off.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.resident_bytes, 0);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn oversized_insert_leaves_residents_intact() {
+        // Regression: an entry heavier than the whole capacity must be
+        // rejected without evicting what is already cached or tripping
+        // the eviction loop.
+        let c = ChunkCache::new(100);
+        c.insert("o", 0, chunk(10)); // 80 bytes, fits
+        c.insert("o", 1, chunk(1_000)); // 8000 bytes > capacity: rejected
+        assert!(c.get("o", 0).is_some(), "resident entry survives");
+        assert!(c.get("o", 1).is_none());
+        let s = c.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.resident_bytes, 80);
+        assert_eq!(s.evictions, 0);
+        // Re-inserting the resident key with an oversized view keeps the
+        // old view rather than corrupting the accounting.
+        c.insert("o", 0, chunk(1_000));
+        assert_eq!(c.stats().resident_bytes, 80);
+        assert_eq!(c.get("o", 0).expect("still cached").rows(), 10);
+    }
+
+    #[test]
+    fn exact_capacity_insert_is_cached() {
+        // Boundary: weight == capacity is allowed and fully occupies the
+        // cache; the next insert evicts it.
+        let c = ChunkCache::new(80);
+        c.insert("o", 0, chunk(10));
+        assert!(c.get("o", 0).is_some());
+        c.insert("o", 1, chunk(10));
+        assert!(c.get("o", 1).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().resident_bytes, 80);
     }
 
     #[test]

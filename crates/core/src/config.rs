@@ -131,6 +131,12 @@ pub struct StoreConfig {
     /// byte-compatible with the reference codec), so toggling this changes
     /// simulated latencies, never bytes.
     pub fast_snappy: bool,
+    /// Record per-query structured trace spans ([`fusion_obs::trace::Trace`])
+    /// while executing. Off by default: the hot path then uses the no-op
+    /// recorder, which allocates nothing and records nothing, so benches
+    /// measure the same code they always did. Metrics counters (cheap
+    /// relaxed atomics) are always on regardless of this flag.
+    pub observability: bool,
 }
 
 /// Calibrated throughput ratio of [`CodecKind::Fast`] over
@@ -192,6 +198,7 @@ impl Default for StoreConfig {
             chunk_cache_bytes: DEFAULT_CHUNK_CACHE_BYTES,
             encoded_scan: true,
             fast_snappy: true,
+            observability: false,
         }
     }
 }
@@ -265,6 +272,12 @@ impl StoreConfig {
     /// Snappy kernels' calibrated rate or the scalar reference rate.
     pub fn with_fast_snappy(mut self, on: bool) -> StoreConfig {
         self.fast_snappy = on;
+        self
+    }
+
+    /// Enables or disables per-query trace-span recording.
+    pub fn with_observability(mut self, on: bool) -> StoreConfig {
+        self.observability = on;
         self
     }
 

@@ -19,6 +19,7 @@ use crate::store::Store;
 use fusion_cluster::engine::{CostClass, StepId};
 use fusion_format::chunk::decode_column_chunk;
 use fusion_format::value::ColumnData;
+use fusion_obs::trace::Phase;
 use fusion_sql::bitmap::Bitmap;
 use fusion_sql::eval::{combine, eval_filter, stats_all_match};
 use fusion_sql::plan::QueryPlan;
@@ -35,8 +36,11 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
     // The baseline decodes every fetched chunk at the coordinator; the
     // Snappy share of that decode runs at the configured kernel's rate.
     let csp = store.config().compression_speedup();
-    let mut ctx = Ctx::new(cost);
+    let mut ctx = Ctx::new(cost, store.config().observability);
     let mut pruned = 0usize;
+    let mut considered = 0usize;
+    let mut cache_misses = 0usize;
+    let mut shard_read_bytes = 0u64;
 
     let arrival = ctx.rpc(Loc::Client, Loc::Node(coord), &[]);
     let plan_step = ctx.cpu(
@@ -62,10 +66,16 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
         std::collections::HashMap::new();
     let mut eval_frontier: Vec<StepId> = vec![plan_step];
 
+    ctx.trace.enter(Phase::ShardRead, "fetch_stage");
+    // Coordinator-side decode + filter CPU is the baseline's "decode"
+    // phase on the virtual clock (reads, transfers, retries, and
+    // degraded rebuilds tag themselves).
+    ctx.phase(Phase::Decode);
     for rg in 0..num_rgs {
         let rows = fm.row_groups[rg].row_count as usize;
         if !row_group_may_match(plan.tree.as_ref(), &plan.filters, &fm.row_groups[rg]) {
             pruned += needed.len();
+            considered += needed.len();
             rg_bitmaps.push(Bitmap::with_len(rows));
             continue;
         }
@@ -79,8 +89,14 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
                 .chunk_ordinal(rg, col_idx)
                 .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
 
-            // Data plane: reassemble + decode at the coordinator.
+            // Data plane: reassemble + decode at the coordinator. Every
+            // fetched chunk is a data-plane read — a "miss" in the
+            // conservation invariant (the baseline has no node caches to
+            // hit).
+            considered += 1;
+            cache_misses += 1;
             let chunk_bytes = store.chunk_bytes(object, ordinal)?;
+            shard_read_bytes += chunk_bytes.len() as u64;
             let col = decode_column_chunk(&chunk_bytes, ty)?;
             decoded.insert((rg, col_idx), col);
 
@@ -146,6 +162,15 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
         rg_bitmaps.push(rg_bitmap);
     }
 
+    if ctx.trace.enabled() {
+        ctx.trace.enter(Phase::StatsPrune, "stats_prune");
+        ctx.trace.add_count(pruned as u64);
+        ctx.trace.exit();
+        ctx.trace.add_count(cache_misses as u64);
+        ctx.trace.add_bytes(shard_read_bytes);
+    }
+    ctx.trace.exit(); // fetch_stage
+
     let total_rows: usize = fm.row_groups.iter().map(|g| g.row_count as usize).sum();
     // Selectivity is measured before any LIMIT: it is the filter-stage
     // statistic the Cost Equation reasons about.
@@ -159,6 +184,8 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
     let total_matches: usize = rg_bitmaps.iter().map(Bitmap::count_ones).sum();
 
     // Project locally at the coordinator.
+    ctx.phase(Phase::Project);
+    ctx.trace.enter(Phase::Project, "projection_stage");
     let mut projected: Vec<ColumnData> = Vec::with_capacity(plan.projections.len());
     let mut project_bytes = 0u64;
     for &col_idx in &plan.projections {
@@ -181,6 +208,11 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
         projected.push(concat_parts(ty, parts));
     }
 
+    if ctx.trace.enabled() {
+        ctx.trace.add_bytes(project_bytes);
+    }
+    ctx.trace.exit(); // projection_stage
+
     let result = assemble_result(plan, &projected, total_matches)?;
     let reply_bytes = result_wire_bytes(&result);
     let assemble = ctx.cpu(
@@ -191,6 +223,11 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
     );
     ctx.transfer(Loc::Node(coord), Loc::Client, reply_bytes, &[assemble]);
 
+    debug_assert_eq!(
+        pruned + cache_misses,
+        considered,
+        "chunk accounting must conserve"
+    );
     Ok(QueryOutput {
         result,
         selectivity,
@@ -199,8 +236,10 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
         decisions: Vec::new(),
         pruned_chunks: pruned,
         // The baseline reassembles at the coordinator and never touches
-        // the node-local chunk caches.
+        // the node-local chunk caches: every fetched chunk is a miss.
         cache_hits: 0,
-        cache_misses: 0,
+        cache_misses,
+        chunks_considered: considered,
+        trace: ctx.trace,
     })
 }

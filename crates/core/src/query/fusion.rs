@@ -28,6 +28,7 @@ use fusion_cluster::engine::{CostClass, StepId};
 use fusion_format::chunk::{decode_column_chunk, read_encoded_chunk, EncodedChunk};
 use fusion_format::schema::LogicalType;
 use fusion_format::value::ColumnData;
+use fusion_obs::trace::Phase;
 use fusion_sql::bitmap::Bitmap;
 use fusion_sql::eval::{
     combine, eval_filter, eval_filter_encoded, stats_all_match, stats_may_match,
@@ -84,8 +85,9 @@ pub fn execute(
         .ok_or_else(|| StoreError::NotAnalytics(object.to_string()))?;
     let coord = store.coordinator_of(object);
     let cost = &store.config().cluster.cost;
-    let mut ctx = Ctx::new(cost);
+    let mut ctx = Ctx::new(cost, store.config().observability);
     let mut pruned = 0usize;
+    let mut considered = 0usize;
 
     // Client issues the query.
     let arrival = ctx.rpc(Loc::Client, Loc::Node(coord), &[]);
@@ -108,6 +110,12 @@ pub fn execute(
     let mut bitmap_wire_total = 0u64;
     let mut cache_hits = 0usize;
     let mut cache_misses = 0usize;
+    let mut shard_read_bytes = 0u64;
+    // Every CPU eval built in the filter stage is filter-phase work on
+    // the virtual clock (reads, transfers, retries, and degraded
+    // rebuilds tag themselves).
+    ctx.phase(Phase::Filter);
+    ctx.trace.enter(Phase::Filter, "filter_stage");
     // Chunks already read + decoded on their node during the filter
     // stage. The projection stage reuses them instead of re-reading, which
     // is what makes Fusion's disk/processing time match the baseline's
@@ -131,6 +139,7 @@ pub fn execute(
         let rg_alive = row_group_may_match(plan.tree.as_ref(), &plan.filters, &fm.row_groups[rg]);
         for (li, leaf) in plan.filters.iter().enumerate() {
             let cm = fm.chunk(rg, leaf.column)?;
+            considered += 1;
             if !rg_alive || !stats_may_match(leaf, cm.min.as_ref(), cm.max.as_ref()) {
                 pruned += 1;
                 leaf_acc[rg][li] = Some(Bitmap::with_len(rows));
@@ -138,7 +147,10 @@ pub fn execute(
             }
             if stats_all_match(leaf, cm.min.as_ref(), cm.max.as_ref()) {
                 // Stats prove every row matches: no read, no scan, no
-                // dispatch — the bitmap is known from the footer alone.
+                // dispatch — the bitmap is known from the footer alone,
+                // so this counts as a stats-pruned chunk (skipped), not
+                // a cache access.
+                pruned += 1;
                 leaf_acc[rg][li] = Some(Bitmap::ones_with_len(rows));
                 continue;
             }
@@ -157,7 +169,9 @@ pub fn execute(
                     }
                     None => {
                         cache_misses += 1;
-                        (None, store.chunk_bytes(object, ordinal)?)
+                        let raw = store.chunk_bytes(object, ordinal)?;
+                        shard_read_bytes += raw.len() as u64;
+                        (None, raw)
                     }
                 };
                 tasks.push(ScanTask {
@@ -178,8 +192,13 @@ pub fn execute(
                 // fragments: reassemble at the coordinator — rebuilding
                 // lost fragments from their stripes — evaluate there.
                 // The coordinator runs the same scan kernels but its
-                // one-off reassembled view never enters the node cache.
+                // one-off reassembled view never enters the node cache;
+                // it still reads the data plane, so it counts as a miss
+                // (keeping the hits + misses + pruned == considered
+                // invariant in degraded mode).
+                cache_misses += 1;
                 let chunk_bytes = store.chunk_bytes(object, ordinal)?;
+                shard_read_bytes += chunk_bytes.len() as u64;
                 let view = read_encoded_chunk(&chunk_bytes, ty)?;
                 let bm = if encoded {
                     eval_filter_encoded(leaf, &view)?
@@ -298,7 +317,22 @@ pub fn execute(
         rg_bitmaps.push(rg_bitmap);
     }
 
+    if ctx.trace.enabled() {
+        ctx.trace.enter(Phase::StatsPrune, "stats_prune");
+        ctx.trace.add_count(pruned as u64);
+        ctx.trace.exit();
+        ctx.trace.enter(Phase::CacheLookup, "cache_lookup");
+        ctx.trace.add_count((cache_hits + cache_misses) as u64);
+        ctx.trace.exit();
+        ctx.trace.enter(Phase::ShardRead, "shard_read");
+        ctx.trace.add_count(cache_misses as u64);
+        ctx.trace.add_bytes(shard_read_bytes);
+        ctx.trace.exit();
+    }
+    ctx.trace.exit(); // filter_stage
+
     // Coordinator consolidates all bitmaps (cheap CPU, but a real barrier).
+    ctx.phase(Phase::Other);
     let combine_step = ctx.cpu(
         Loc::Node(coord),
         cost.project(bitmap_wire_total + 1024),
@@ -344,6 +378,7 @@ pub fn execute(
                 pruned,
                 cache_hits,
                 cache_misses,
+                considered,
             },
         );
     }
@@ -352,6 +387,8 @@ pub fn execute(
     let mut projected: Vec<ColumnData> = Vec::with_capacity(plan.projections.len());
     let mut decisions = Vec::new();
     let mut proj_frontier: Vec<StepId> = vec![combine_step];
+    ctx.phase(Phase::Project);
+    ctx.trace.enter(Phase::Project, "projection_stage");
 
     for (pos, &col_idx) in plan.projections.iter().enumerate() {
         let _ = pos;
@@ -369,13 +406,15 @@ pub fn execute(
                 .chunk_ordinal(rg, col_idx)
                 .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
             let frags = meta.chunk_fragments(ordinal);
+            considered += 1;
             // Pushdown needs the chunk whole and its hosting node up.
             let healthy =
                 frags.len() == 1 && store.blocks().has_block(frags[0].node, frags[0].block);
 
             // Data plane: healthy chunks are served through the hosting
             // node's encoded-chunk cache; degraded chunks bypass it (the
-            // coordinator's reassembled view is one-off).
+            // coordinator's reassembled view is one-off) but still read
+            // the data plane, so they count as misses.
             let (col, hit) = if healthy {
                 let (chunk, hit) = store.encoded_chunk(object, ordinal, ty)?;
                 if hit {
@@ -385,6 +424,7 @@ pub fn execute(
                 }
                 (chunk.decode()?, hit)
             } else {
+                cache_misses += 1;
                 let chunk_bytes = store.chunk_bytes(object, ordinal)?;
                 (decode_column_chunk(&chunk_bytes, ty)?, false)
             };
@@ -492,10 +532,16 @@ pub fn execute(
         }
         projected.push(concat_parts(ty, parts));
     }
+    if ctx.trace.enabled() {
+        ctx.trace
+            .add_count(decisions.iter().filter(|d| d.pushed_down).count() as u64);
+    }
+    ctx.trace.exit(); // projection_stage
 
     // ---- Assemble and reply ----
     let result = assemble_result(plan, &projected, total_matches)?;
     let reply_bytes = result_wire_bytes(&result);
+    ctx.phase(Phase::Other);
     let assemble = ctx.cpu(
         Loc::Node(coord),
         cost.project(reply_bytes),
@@ -504,6 +550,11 @@ pub fn execute(
     );
     ctx.transfer(Loc::Node(coord), Loc::Client, reply_bytes, &[assemble]);
 
+    debug_assert_eq!(
+        pruned + cache_hits + cache_misses,
+        considered,
+        "chunk accounting must conserve"
+    );
     Ok(QueryOutput {
         result,
         selectivity,
@@ -513,6 +564,8 @@ pub fn execute(
         pruned_chunks: pruned,
         cache_hits,
         cache_misses,
+        chunks_considered: considered,
+        trace: ctx.trace,
     })
 }
 
@@ -530,6 +583,7 @@ struct AggStageInputs<'a> {
     pruned: usize,
     cache_hits: usize,
     cache_misses: usize,
+    considered: usize,
 }
 
 /// Completes an aggregate-only query by pushing partial-aggregate
@@ -556,10 +610,13 @@ fn aggregate_pushdown_stage(
         pruned,
         mut cache_hits,
         mut cache_misses,
+        mut considered,
     } = inputs;
     let cost = store.config().cluster.cost.clone();
     let csp = store.config().compression_speedup();
     let num_rgs = fm.row_groups.len();
+    ctx.phase(Phase::Aggregate);
+    ctx.trace.enter(Phase::Aggregate, "aggregate_stage");
 
     // Group aggregate specs by their argument column.
     let mut by_col: Vec<(usize, Vec<usize>)> = Vec::new();
@@ -590,11 +647,13 @@ fn aggregate_pushdown_stage(
                 .chunk_ordinal(rg, *col_idx)
                 .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
             let frags = meta.chunk_fragments(ordinal);
+            considered += 1;
             let healthy =
                 frags.len() == 1 && store.blocks().has_block(frags[0].node, frags[0].block);
 
             // Data plane: decode once (via the node cache when healthy),
-            // compute every partial.
+            // compute every partial. Degraded chunks bypass the cache but
+            // still read the data plane, so they count as misses.
             let (col, hit) = if healthy {
                 let (chunk, hit) = store.encoded_chunk(object, ordinal, ty)?;
                 if hit {
@@ -604,6 +663,7 @@ fn aggregate_pushdown_stage(
                 }
                 (chunk.decode()?, hit)
             } else {
+                cache_misses += 1;
                 let chunk_bytes = store.chunk_bytes(object, ordinal)?;
                 (decode_column_chunk(&chunk_bytes, ty)?, false)
             };
@@ -726,7 +786,13 @@ fn aggregate_pushdown_stage(
         aggregates,
     };
 
+    if ctx.trace.enabled() {
+        ctx.trace.add_count(decisions.len() as u64);
+    }
+    ctx.trace.exit(); // aggregate_stage
+
     let reply_bytes = result_wire_bytes(&result);
+    ctx.phase(Phase::Other);
     let assemble = ctx.cpu(
         Loc::Node(coord),
         cost.project(reply_bytes),
@@ -735,6 +801,11 @@ fn aggregate_pushdown_stage(
     );
     ctx.transfer(Loc::Node(coord), Loc::Client, reply_bytes, &[assemble]);
 
+    debug_assert_eq!(
+        pruned + cache_hits + cache_misses,
+        considered,
+        "chunk accounting must conserve"
+    );
     Ok(QueryOutput {
         result,
         selectivity,
@@ -744,6 +815,8 @@ fn aggregate_pushdown_stage(
         pruned_chunks: pruned,
         cache_hits,
         cache_misses,
+        chunks_considered: considered,
+        trace: ctx.trace,
     })
 }
 

@@ -17,6 +17,7 @@ use fusion_cluster::engine::{CostClass, Engine, ResourceKey, RunReport, StepId, 
 use fusion_cluster::spec::CostModel;
 use fusion_cluster::time::Nanos;
 use fusion_format::value::{ColumnData, Value};
+use fusion_obs::trace::{Phase, Trace};
 use fusion_sql::plan::{BoolTree, FilterLeaf, QueryPlan};
 
 /// The rows and aggregates a query returns.
@@ -58,13 +59,23 @@ pub struct QueryOutput {
     pub net_bytes: u64,
     /// Per-chunk projection decisions (empty for the baseline).
     pub decisions: Vec<ProjectionDecision>,
-    /// Chunks skipped via footer min/max statistics.
+    /// Chunks skipped via footer min/max statistics (no-match **and**
+    /// all-match proofs: either way the chunk is never read).
     pub pruned_chunks: usize,
     /// Chunk accesses this query served from the encoded-chunk cache.
     pub cache_hits: usize,
-    /// Chunk accesses this query that read and parsed from the data
-    /// plane (populating the cache when healthy).
+    /// Chunk accesses this query that read (and parsed) from the data
+    /// plane — healthy misses populate the cache; degraded and
+    /// coordinator-side reads bypass it but still count here.
     pub cache_misses: usize,
+    /// Every chunk access the executor considered. Conservation
+    /// invariant, healthy or degraded, for both executors:
+    /// `pruned_chunks + cache_hits + cache_misses == chunks_considered`.
+    pub chunks_considered: usize,
+    /// Structured span tree recorded during execution. A no-op recorder
+    /// (empty tree) unless [`crate::config::StoreConfig::observability`]
+    /// is set.
+    pub trace: Trace,
 }
 
 impl Store {
@@ -161,16 +172,30 @@ pub(crate) struct Ctx<'a> {
     /// reconstruction, so several fragments of one lost stripe pay for
     /// the k-shard rebuild only once per query.
     pub degraded: std::collections::HashMap<usize, StepId>,
+    /// Per-query span recorder (a strict no-op unless the store's
+    /// observability flag is on).
+    pub trace: Trace,
 }
 
 impl<'a> Ctx<'a> {
-    pub fn new(cost: &'a CostModel) -> Ctx<'a> {
+    pub fn new(cost: &'a CostModel, observability: bool) -> Ctx<'a> {
         Ctx {
             cost,
             wf: Workflow::new(),
             net_bytes: 0,
             degraded: std::collections::HashMap::new(),
+            trace: if observability {
+                Trace::new("query")
+            } else {
+                Trace::disabled()
+            },
         }
+    }
+
+    /// Sets the ambient phase tagged onto subsequently built steps,
+    /// returning the previous phase (for save/restore nesting).
+    pub fn phase(&mut self, phase: Phase) -> Phase {
+        self.wf.set_phase(phase)
     }
 
     /// Models a transfer of `bytes` from `from` to `to`; local transfers
@@ -183,6 +208,12 @@ impl<'a> Ctx<'a> {
     pub fn transfer(&mut self, from: Loc, to: Loc, bytes: u64, deps: &[StepId]) -> Vec<StepId> {
         if from == to {
             return deps.to_vec();
+        }
+        // Wire time is its own phase — except inside a degraded rebuild,
+        // whose survivor-shard traffic stays attributed to the repair.
+        let prev = self.wf.phase();
+        if prev != Phase::DegradedReconstruct {
+            self.wf.set_phase(Phase::Network);
         }
         let tx = self
             .wf
@@ -206,6 +237,7 @@ impl<'a> Ctx<'a> {
             self.wf.step(from.cpu(), net_cpu, CostClass::Network, &[]);
             self.wf.step(to.cpu(), net_cpu, CostClass::Network, &[]);
         }
+        self.wf.set_phase(prev);
         vec![rx]
     }
 
@@ -216,23 +248,34 @@ impl<'a> Ctx<'a> {
         if from == to {
             return deps.to_vec();
         }
+        let prev = self.wf.phase();
+        if prev != Phase::DegradedReconstruct {
+            self.wf.set_phase(Phase::Network);
+        }
         let lat = self.wf.step(
             ResourceKey::Delay,
             self.cost.rpc_overhead,
             CostClass::Network,
             deps,
         );
+        self.wf.set_phase(prev);
         vec![lat]
     }
 
     /// Models a disk read of `bytes` on `node`.
     pub fn disk(&mut self, node: usize, bytes: u64, deps: &[StepId]) -> StepId {
-        self.wf.step(
+        let prev = self.wf.phase();
+        if prev != Phase::DegradedReconstruct {
+            self.wf.set_phase(Phase::ShardRead);
+        }
+        let id = self.wf.step(
             ResourceKey::Disk(node),
             self.cost.disk_read(bytes),
             CostClass::DiskRead,
             deps,
-        )
+        );
+        self.wf.set_phase(prev);
+        id
     }
 
     /// Models CPU work at `loc`.
@@ -248,9 +291,17 @@ impl<'a> Ctx<'a> {
         if penalty == Nanos::ZERO {
             return deps.to_vec();
         }
-        vec![self
+        let prev = self.wf.set_phase(Phase::Retry);
+        let s = self
             .wf
-            .step(ResourceKey::Delay, penalty, CostClass::Network, deps)]
+            .step(ResourceKey::Delay, penalty, CostClass::Network, deps);
+        self.wf.set_phase(prev);
+        if self.trace.enabled() {
+            self.trace.enter(Phase::Retry, "retry_penalty");
+            self.trace.add_count(1);
+            self.trace.exit();
+        }
+        vec![s]
     }
 }
 
@@ -288,6 +339,16 @@ pub(crate) fn degraded_fragment_fetch(
             survivors.len()
         )));
     }
+    // Every step of the rebuild — survivor reads, wire time, decode —
+    // is attributed to the degraded-reconstruct phase.
+    let prev = ctx.phase(Phase::DegradedReconstruct);
+    if ctx.trace.enabled() {
+        ctx.trace
+            .enter(Phase::DegradedReconstruct, "degraded_reconstruct");
+        ctx.trace.add_count(k as u64);
+        ctx.trace.add_bytes(sp.width * k as u64);
+        ctx.trace.exit();
+    }
     let mut arrived = Vec::new();
     for &i in &survivors {
         let src = sp.nodes[i];
@@ -305,6 +366,7 @@ pub(crate) fn degraded_fragment_fetch(
         CostClass::Processing,
         &arrived,
     );
+    ctx.phase(prev);
     ctx.degraded.insert(si, decode);
     Ok(decode)
 }

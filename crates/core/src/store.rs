@@ -227,6 +227,13 @@ impl Store {
         &self.blocks
     }
 
+    /// The cluster-wide metrics registry (shared with the data plane's
+    /// per-node serve counters; store-level counters — shard
+    /// reconstructions, scrub heals, fault injections — land here too).
+    pub fn metrics(&self) -> &fusion_obs::metrics::MetricsRegistry {
+        self.blocks.metrics()
+    }
+
     /// Mutable access to the data plane (management operations and fault
     /// injection in tests).
     pub fn blocks_mut(&mut self) -> &mut BlockStore {
@@ -641,6 +648,12 @@ impl Store {
         let width = sp.width as usize;
         let mut shards = self.read_k_shards(sp);
         self.rs.reconstruct(&mut shards, width)?;
+        // Attributed to the node whose shard had to be rebuilt (cold
+        // path: the registry lookup is fine here).
+        self.metrics()
+            .node(sp.nodes[bin])
+            .counter("shards_reconstructed")
+            .inc();
         let mut rebuilt = shards[bin].take().expect("reconstructed");
         // Trim back to stored length (implicit padding removed).
         let stored = meta.layout.stripes[stripe].bins[bin].stored_len() as usize;
@@ -736,6 +749,10 @@ impl Store {
             content.truncate(job.stored_len);
             report.stripes_repaired += 1;
             report.bytes_restored += content.len() as u64;
+            self.metrics()
+                .node(node)
+                .counter("shards_reconstructed")
+                .inc();
 
             let width = job.width as u64;
             let mut arrived = Vec::new();
@@ -807,6 +824,9 @@ impl Store {
             // Failed/corrupted/revived blocks invalidate cached views.
             self.chunk_cache.clear();
         }
+        // Export the injector's per-node fault/revival tallies into the
+        // cluster registry (idempotent delta-add).
+        inj.publish_metrics(self.blocks.metrics());
         self.slowdowns = inj.slowdowns();
         self.flaky = inj.flaky_nodes();
         applied

@@ -138,6 +138,125 @@ fn degraded_mode_stays_correct_through_the_scan_path() {
     assert_eq!(recovered.cache_hits, 0, "cache must be cold after recovery");
 }
 
+/// Counter conservation: `pruned + hits + misses == considered` must hold
+/// for every executor in every mode — healthy, degraded, encoded scan on
+/// or off, cache enabled or disabled.
+#[test]
+fn chunk_accounting_conserves_in_every_mode() {
+    let assert_conserved = |out: &fusion_core::query::QueryOutput, what: &str| {
+        assert_eq!(
+            out.pruned_chunks + out.cache_hits + out.cache_misses,
+            out.chunks_considered,
+            "conservation violated ({what}): pruned={} hits={} misses={} considered={}",
+            out.pruned_chunks,
+            out.cache_hits,
+            out.cache_misses,
+            out.chunks_considered
+        );
+        assert!(
+            out.chunks_considered > 0,
+            "query touched no chunks ({what})"
+        );
+    };
+    let queries = [
+        SQL,
+        "SELECT count(*), avg(amount) FROM t WHERE amount < 500.0",
+        "SELECT amount FROM t WHERE orderkey >= 0",
+        "SELECT amount FROM t WHERE flag = 'Z'",
+    ];
+
+    for encoded in [true, false] {
+        for cache in [true, false] {
+            let mut store = fusion_store(|c| {
+                c.encoded_scan = encoded;
+                if !cache {
+                    c.chunk_cache_bytes = 0;
+                }
+            });
+            for sql in queries {
+                let label = format!("fusion encoded={encoded} cache={cache} healthy: {sql}");
+                assert_conserved(&store.query(sql).expect(sql), &label);
+                // Repeat so the second run exercises the hit path.
+                assert_conserved(&store.query(sql).expect(sql), &label);
+            }
+            store.fail_node(0).unwrap();
+            for sql in queries {
+                let label = format!("fusion encoded={encoded} cache={cache} degraded: {sql}");
+                assert_conserved(&store.query(sql).expect(sql), &label);
+            }
+        }
+    }
+
+    // Baseline: every fetched chunk is a data-plane miss; the invariant
+    // holds with zero hits, healthy and degraded.
+    let bytes = write_table(
+        &test_table(3000),
+        WriteOptions {
+            rows_per_group: 500,
+        },
+    )
+    .unwrap();
+    let mut bcfg = StoreConfig::baseline().with_block_size(16 << 10);
+    bcfg.overhead_threshold = 0.9;
+    bcfg.cluster.cost = bcfg.cluster.cost.clone().scaled_down(1000.0);
+    let mut baseline = Store::new(bcfg).unwrap();
+    baseline.put("t", bytes).unwrap();
+    for sql in queries {
+        let out = baseline.query(sql).expect(sql);
+        assert_eq!(out.cache_hits, 0, "baseline has no node caches");
+        assert_conserved(&out, &format!("baseline healthy: {sql}"));
+    }
+    baseline.fail_node(0).unwrap();
+    for sql in queries {
+        assert_conserved(
+            &baseline.query(sql).expect(sql),
+            &format!("baseline degraded: {sql}"),
+        );
+    }
+}
+
+/// The observability flag gates trace recording: off yields an empty
+/// no-op tree, on yields a span tree covering the executor stages.
+#[test]
+fn observability_flag_gates_trace_recording() {
+    let off = fusion_store(|_| {});
+    let out = off.query(SQL).unwrap();
+    assert!(!out.trace.enabled());
+    assert!(out.trace.root().children.is_empty(), "no-op trace recorded");
+
+    let mut on = fusion_store(|c| c.observability = true);
+    let out = on.query(SQL).unwrap();
+    assert!(out.trace.enabled());
+    let names: Vec<&str> = out
+        .trace
+        .root()
+        .children
+        .iter()
+        .map(|s| s.name.as_str())
+        .collect();
+    assert!(names.contains(&"filter_stage"), "spans: {names:?}");
+    assert!(names.contains(&"projection_stage"), "spans: {names:?}");
+    let filter =
+        &out.trace.root().children[names.iter().position(|n| *n == "filter_stage").unwrap()];
+    let kids: Vec<&str> = filter.children.iter().map(|s| s.name.as_str()).collect();
+    assert!(kids.contains(&"stats_prune"), "filter children: {kids:?}");
+    assert!(kids.contains(&"cache_lookup"), "filter children: {kids:?}");
+    assert!(kids.contains(&"shard_read"), "filter children: {kids:?}");
+
+    // Degraded queries grow degraded-reconstruct spans under the filter
+    // stage, and the JSON export round-trips the tree shape.
+    on.fail_node(0).unwrap();
+    let degraded = on.query(SQL).unwrap();
+    fn has_degraded(span: &fusion_obs::trace::Span) -> bool {
+        span.name == "degraded_reconstruct" || span.children.iter().any(has_degraded)
+    }
+    assert!(
+        has_degraded(degraded.trace.root()),
+        "degraded query must record reconstruct spans"
+    );
+    assert!(degraded.trace.to_json().contains("degraded_reconstruct"));
+}
+
 #[test]
 fn delete_invalidates_cached_chunks() {
     let mut store = fusion_store(|_| {});

@@ -1,0 +1,27 @@
+//! Observability layer for the Fusion store.
+//!
+//! The paper's evaluation (Figures 9–13) is about *explaining* where query
+//! time goes — network vs. decode vs. eval vs. degraded reconstruction.
+//! This crate provides the primitives the rest of the workspace threads
+//! through the stack to answer that question:
+//!
+//! * [`metrics`] — lock-free counters, gauges, and fixed-bucket
+//!   histograms, grouped into a [`metrics::MetricsRegistry`] with named
+//!   per-node scopes and JSON export. Every mutation is a single relaxed
+//!   atomic op, so the registry can stay enabled on hot paths.
+//! * [`trace`] — the [`trace::Phase`] taxonomy of query-execution
+//!   phases, exact per-phase critical-path partitions
+//!   ([`trace::PhaseBreakdown`]), and structured per-query span trees
+//!   ([`trace::Trace`]) with a no-op mode that allocates nothing when
+//!   observability is disabled.
+//!
+//! The crate has no dependencies; `fusion-cluster`, `fusion-core`, and
+//! `fusion-bench` all build on it.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use trace::{Phase, PhaseBreakdown, Span, Trace};

@@ -1,0 +1,362 @@
+//! Per-query tracing: the [`Phase`] taxonomy of executor phases, exact
+//! per-phase time partitions ([`PhaseBreakdown`]), and structured span
+//! trees ([`Trace`]) built by the query executors.
+//!
+//! Durations come from the discrete-event engine's critical-path walk
+//! (the same mechanism that makes `Breakdown` partition latency exactly),
+//! so a [`PhaseBreakdown`]'s components always sum to the workflow's
+//! total virtual time. The [`Trace`] tree records *structure* — which
+//! phases ran, over how many chunks and bytes — and is merged with the
+//! breakdown at export time.
+
+/// A query-execution phase, used both to tag virtual-time workflow steps
+/// and to label trace spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Phase {
+    /// Footer zone-map pruning (no data-plane access).
+    StatsPrune,
+    /// Node-local encoded-chunk cache lookups.
+    CacheLookup,
+    /// Reading column-chunk shards from disk.
+    ShardRead,
+    /// Snappy page decompression.
+    Decompress,
+    /// Decoding encoded pages into values.
+    Decode,
+    /// Predicate evaluation (encoded-domain or decoded).
+    Filter,
+    /// Projection: gathering selected values and shipping them back.
+    Project,
+    /// Aggregate pushdown: partial aggregation at data nodes.
+    Aggregate,
+    /// Erasure-coded reconstruction on the degraded path.
+    DegradedReconstruct,
+    /// Retry penalties charged against flaky (recently revived) nodes.
+    Retry,
+    /// Network transfers and RPC latency not inside another phase.
+    Network,
+    /// Everything untagged (per-query overheads); the default, so a
+    /// phase partition always covers the whole workflow.
+    #[default]
+    Other,
+}
+
+impl Phase {
+    /// Every phase, in display order.
+    pub const ALL: [Phase; 12] = [
+        Phase::StatsPrune,
+        Phase::CacheLookup,
+        Phase::ShardRead,
+        Phase::Decompress,
+        Phase::Decode,
+        Phase::Filter,
+        Phase::Project,
+        Phase::Aggregate,
+        Phase::DegradedReconstruct,
+        Phase::Retry,
+        Phase::Network,
+        Phase::Other,
+    ];
+
+    /// Number of phases (array size for [`PhaseBreakdown`]).
+    pub const COUNT: usize = Phase::ALL.len();
+
+    /// Stable snake_case name used in JSON exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::StatsPrune => "stats_prune",
+            Phase::CacheLookup => "cache_lookup",
+            Phase::ShardRead => "shard_read",
+            Phase::Decompress => "decompress",
+            Phase::Decode => "decode",
+            Phase::Filter => "filter",
+            Phase::Project => "project",
+            Phase::Aggregate => "aggregate",
+            Phase::DegradedReconstruct => "degraded_reconstruct",
+            Phase::Retry => "retry",
+            Phase::Network => "network",
+            Phase::Other => "other",
+        }
+    }
+
+    /// Dense index into [`Phase::ALL`] (and [`PhaseBreakdown`] storage).
+    pub fn index(self) -> usize {
+        match self {
+            Phase::StatsPrune => 0,
+            Phase::CacheLookup => 1,
+            Phase::ShardRead => 2,
+            Phase::Decompress => 3,
+            Phase::Decode => 4,
+            Phase::Filter => 5,
+            Phase::Project => 6,
+            Phase::Aggregate => 7,
+            Phase::DegradedReconstruct => 8,
+            Phase::Retry => 9,
+            Phase::Network => 10,
+            Phase::Other => 11,
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An exact partition of a workflow's critical-path latency by [`Phase`],
+/// in nanoseconds. Produced by the discrete-event engine; components sum
+/// to the workflow's total latency by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    ns: [u64; Phase::COUNT],
+}
+
+impl PhaseBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> PhaseBreakdown {
+        PhaseBreakdown::default()
+    }
+
+    /// Attributes `ns` nanoseconds to `phase`.
+    pub fn add(&mut self, phase: Phase, ns: u64) {
+        self.ns[phase.index()] += ns;
+    }
+
+    /// Nanoseconds attributed to `phase`.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.ns[phase.index()]
+    }
+
+    /// Sum over all phases (equals the workflow latency).
+    pub fn total(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Iterates `(phase, nanoseconds)` pairs in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        Phase::ALL.iter().map(|&p| (p, self.ns[p.index()]))
+    }
+
+    /// Renders the breakdown as a JSON object of phase → nanoseconds,
+    /// omitting zero phases.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (phase, ns) in self.iter() {
+            if ns == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{ns}", phase.as_str()));
+            first = false;
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One node of a query's span tree: a phase, a label, aggregate counts,
+/// and nested children.
+#[derive(Debug, Clone, Default)]
+pub struct Span {
+    /// Human-readable label (e.g. `"filter row-groups"`).
+    pub name: String,
+    /// The phase this span belongs to.
+    pub phase: Phase,
+    /// Items processed under this span (chunks, stripes, columns…).
+    pub count: u64,
+    /// Bytes moved or decoded under this span.
+    pub bytes: u64,
+    /// Nested sub-spans, in creation order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    fn new(phase: Phase, name: &str) -> Span {
+        Span {
+            name: name.to_string(),
+            phase,
+            ..Span::default()
+        }
+    }
+
+    /// Renders this span (and its children) as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"name\":\"{}\",\"phase\":\"{}\",\"count\":{},\"bytes\":{}",
+            self.name.replace('\\', "\\\\").replace('"', "\\\""),
+            self.phase.as_str(),
+            self.count,
+            self.bytes
+        );
+        if !self.children.is_empty() {
+            out.push_str(",\"children\":[");
+            for (i, c) in self.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_json());
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A per-query span-tree recorder.
+///
+/// Built by the query executors as they construct the virtual-time
+/// workflow: [`Trace::enter`]/[`Trace::exit`] bracket phases (nesting
+/// forms the tree — e.g. a degraded-reconstruct span under the filter
+/// span), and [`Trace::add_count`]/[`Trace::add_bytes`] accumulate onto
+/// the innermost open span.
+///
+/// A disabled trace ([`Trace::disabled`]) is a strict no-op: every method
+/// returns immediately and nothing is ever allocated, so executors can
+/// call it unconditionally.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    root: Span,
+    /// Child-index path from the root to the innermost open span.
+    stack: Vec<usize>,
+}
+
+impl Trace {
+    /// An enabled trace whose root span is labeled `name`.
+    pub fn new(name: &str) -> Trace {
+        Trace {
+            enabled: true,
+            root: Span::new(Phase::Other, name),
+            stack: Vec::new(),
+        }
+    }
+
+    /// A disabled, never-allocating trace.
+    pub fn disabled() -> Trace {
+        Trace::default()
+    }
+
+    /// Whether this trace records anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn current(&mut self) -> &mut Span {
+        let mut span = &mut self.root;
+        for &i in &self.stack {
+            span = &mut span.children[i];
+        }
+        span
+    }
+
+    /// Opens a child span under the innermost open span.
+    pub fn enter(&mut self, phase: Phase, name: &str) {
+        if !self.enabled {
+            return;
+        }
+        let cur = self.current();
+        cur.children.push(Span::new(phase, name));
+        let idx = cur.children.len() - 1;
+        self.stack.push(idx);
+    }
+
+    /// Closes the innermost open span (no-op at the root).
+    pub fn exit(&mut self) {
+        if self.enabled {
+            self.stack.pop();
+        }
+    }
+
+    /// Adds `n` to the innermost open span's item count.
+    pub fn add_count(&mut self, n: u64) {
+        if self.enabled {
+            self.current().count += n;
+        }
+    }
+
+    /// Adds `n` to the innermost open span's byte count.
+    pub fn add_bytes(&mut self, n: u64) {
+        if self.enabled {
+            self.current().bytes += n;
+        }
+    }
+
+    /// The root span (empty for a disabled trace).
+    pub fn root(&self) -> &Span {
+        &self.root
+    }
+
+    /// Renders the whole tree as JSON (`null` for a disabled trace).
+    pub fn to_json(&self) -> String {
+        if !self.enabled {
+            return "null".to_string();
+        }
+        self.root.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_are_dense_and_stable() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Phase::COUNT, 12);
+        assert_eq!(Phase::default(), Phase::Other);
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let mut bd = PhaseBreakdown::new();
+        bd.add(Phase::Filter, 100);
+        bd.add(Phase::Network, 50);
+        bd.add(Phase::Filter, 10);
+        assert_eq!(bd.get(Phase::Filter), 110);
+        assert_eq!(bd.total(), 160);
+        let json = bd.to_json();
+        assert!(json.contains("\"filter\":110"));
+        assert!(json.contains("\"network\":50"));
+        assert!(!json.contains("other"));
+    }
+
+    #[test]
+    fn trace_builds_a_tree() {
+        let mut t = Trace::new("q1");
+        t.enter(Phase::Filter, "filter row-groups");
+        t.add_count(4);
+        t.enter(Phase::DegradedReconstruct, "stripe 2");
+        t.add_bytes(4096);
+        t.exit();
+        t.exit();
+        t.enter(Phase::Project, "project");
+        t.add_count(1);
+        t.exit();
+        let root = t.root();
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].count, 4);
+        assert_eq!(root.children[0].children[0].bytes, 4096);
+        assert_eq!(root.children[1].phase, Phase::Project);
+        let json = t.to_json();
+        assert!(json.contains("\"degraded_reconstruct\""));
+    }
+
+    #[test]
+    fn disabled_trace_is_a_no_op() {
+        let mut t = Trace::disabled();
+        t.enter(Phase::Filter, "x");
+        t.add_count(1);
+        t.add_bytes(1);
+        t.exit();
+        assert!(!t.enabled());
+        assert!(t.root().children.is_empty());
+        assert_eq!(t.to_json(), "null");
+    }
+}

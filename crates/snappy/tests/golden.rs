@@ -235,3 +235,63 @@ fn golden_error_vectors_agree() {
         );
     }
 }
+
+/// Header-plausibility boundary: `parse_len` bounds the declared length
+/// by the maximum expansion of the remaining bytes (`body/3 × 64 + 11`).
+/// Exactly at the bound must pass the header check (and fail later, as
+/// the body is genuinely truncated); one past it must be rejected as
+/// implausible before any allocation — identically by both decoders.
+#[test]
+fn parse_len_boundary_cases() {
+    // Zero-length stream: no header at all.
+    assert_eq!(decompress(&[]), Err(DecompressError::BadHeader));
+    assert_eq!(reference::decompress(&[]), Err(DecompressError::BadHeader));
+    assert_eq!(
+        fusion_snappy::decompress_len(&[]),
+        Err(DecompressError::BadHeader)
+    );
+
+    // A declared length of zero over an empty body is the smallest valid
+    // stream.
+    assert_decodes(&stream_with(0, &[]), b"");
+
+    // 3-byte body ⇒ plausibility bound = 3/3·64 + 11 = 75. The body is a
+    // literal tag demanding 4 extra length bytes, so once the header
+    // passes, both decoders fail with Truncated — never Implausible.
+    let body = [(63u8 << 2) | TAG_LITERAL, 0xFF, 0xFF];
+    let at_bound = stream_with(75, &body);
+    assert_eq!(fusion_snappy::decompress_len(&at_bound), Ok(75));
+    assert_eq!(decompress(&at_bound), Err(DecompressError::Truncated));
+    assert_eq!(
+        reference::decompress(&at_bound),
+        Err(DecompressError::Truncated)
+    );
+
+    // One past the bound: rejected up front, identically everywhere.
+    let past_bound = stream_with(76, &body);
+    assert_eq!(
+        fusion_snappy::decompress_len(&past_bound),
+        Err(DecompressError::ImplausibleLength)
+    );
+    assert_eq!(
+        decompress(&past_bound),
+        Err(DecompressError::ImplausibleLength)
+    );
+    assert_eq!(
+        reference::decompress(&past_bound),
+        Err(DecompressError::ImplausibleLength)
+    );
+
+    // A bare header with an empty body still gets the +11 slack: up to 11
+    // declared bytes pass the header (then fail as truncated), 12 do not.
+    assert_eq!(decompress(&[11]), Err(DecompressError::Truncated));
+    assert_eq!(
+        reference::decompress(&[11]),
+        Err(DecompressError::Truncated)
+    );
+    assert_eq!(decompress(&[12]), Err(DecompressError::ImplausibleLength));
+    assert_eq!(
+        reference::decompress(&[12]),
+        Err(DecompressError::ImplausibleLength)
+    );
+}
