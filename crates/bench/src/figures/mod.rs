@@ -8,6 +8,7 @@ pub mod degraded;
 pub mod ec_throughput;
 pub mod latency;
 pub mod observability;
+pub mod repair_traffic;
 pub mod scan_throughput;
 pub mod snappy_throughput;
 pub mod storage;
@@ -40,6 +41,7 @@ pub const ALL_IDS: &[&str] = &[
     "scan_throughput",
     "snappy_throughput",
     "observability",
+    "repair_traffic",
 ];
 
 /// Runs one artifact by id.
@@ -73,6 +75,7 @@ pub fn run(id: &str, env: &BenchEnv) -> String {
         "scan_throughput" => scan_throughput::scan_throughput(env),
         "snappy_throughput" => snappy_throughput::snappy_throughput(env),
         "observability" => observability::observability(env),
+        "repair_traffic" => repair_traffic::repair_traffic(env),
         id if id.starts_with("debugcol") => {
             let col: usize = id.trim_start_matches("debugcol").parse().unwrap_or(0);
             latency::debug_column(env, col)

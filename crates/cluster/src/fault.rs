@@ -15,7 +15,8 @@
 
 use crate::store::{BlockId, BlockStore};
 use crate::time::Nanos;
-use std::collections::HashMap;
+use crate::topology::Topology;
+use std::collections::{BTreeSet, HashMap};
 
 /// What a fault does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -219,29 +220,229 @@ impl FaultSchedule {
         schedule
     }
 
-    /// Largest number of simultaneously-down nodes this schedule ever
-    /// produces (counting permanent crashes as down forever).
-    pub fn max_concurrent_failures(&self) -> usize {
-        let mut edges: Vec<(Nanos, i64)> = Vec::new();
+    /// Takes down every node of one failure domain at the same instant —
+    /// a whole-rack outage — with revival `down_for` later. The burst is
+    /// one correlated event: [`FaultSchedule::max_concurrent_failures`]
+    /// counts it as a single domain failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is out of range for `topo`.
+    pub fn rack_outage(
+        mut self,
+        at: Nanos,
+        topo: &Topology,
+        domain: usize,
+        down_for: Nanos,
+    ) -> FaultSchedule {
+        assert!(domain < topo.domains(), "domain out of range");
+        for node in topo.nodes_in(domain) {
+            self.push(FaultEvent {
+                at,
+                node,
+                kind: FaultKind::Transient { down_for },
+            });
+        }
+        self
+    }
+
+    /// A power-domain crash burst: the given nodes crash in quick
+    /// succession (`spacing` apart, starting at `at`), each reviving
+    /// `down_for` after it went down. Models a PDU brown-out rolling
+    /// through the hosts behind it.
+    pub fn crash_burst(
+        mut self,
+        at: Nanos,
+        nodes: &[usize],
+        spacing: Nanos,
+        down_for: Nanos,
+    ) -> FaultSchedule {
+        for (i, &node) in nodes.iter().enumerate() {
+            self.push(FaultEvent {
+                at: at + Nanos(spacing.0 * i as u64),
+                node,
+                kind: FaultKind::Transient { down_for },
+            });
+        }
+        self
+    }
+
+    /// Generates a schedule mixing independent node faults with
+    /// **correlated failures** — whole-rack outages and power-domain
+    /// crash bursts — from the same SplitMix64 seed machinery as
+    /// [`FaultSchedule::generate`]. The result always satisfies
+    /// [`FaultSchedule::validate`] for the given tolerance: at any
+    /// instant the down nodes either all sit in one failure domain (a
+    /// correlated event domain-aware placement survives by construction)
+    /// or number at most `tolerance`.
+    pub fn generate_correlated(
+        seed: u64,
+        topo: &Topology,
+        tolerance: usize,
+        horizon: Nanos,
+    ) -> FaultSchedule {
+        let mut rng = Mix64::new(seed);
+        let mut schedule = FaultSchedule::new();
+        let nodes = topo.nodes();
+        if nodes == 0 || horizon == Nanos::ZERO || tolerance == 0 {
+            return schedule;
+        }
+        // Disjoint event windows so correlated bursts never overlap
+        // independent faults (keeping the validity argument local).
+        let n_events = 3 + rng.below(4);
+        let window = Nanos(horizon.0 / (n_events + 1));
+        let mut t = Nanos(1 + rng.below(window.0.max(1)));
+        for _ in 0..n_events {
+            if t + window >= horizon {
+                break;
+            }
+            // Everything injected in this window ends before the next.
+            let down_for = Nanos(1 + rng.below((window.0 / 2).max(1)));
+            let roll = rng.unit();
+            if roll < 0.30 && !topo.is_flat() {
+                // Whole-rack outage.
+                let domain = rng.below(topo.domains() as u64) as usize;
+                schedule = schedule.rack_outage(t, topo, domain, down_for);
+            } else if roll < 0.55 && !topo.is_flat() {
+                // Power-domain crash burst inside one rack.
+                let domain = rng.below(topo.domains() as u64) as usize;
+                let members = topo.nodes_in(domain);
+                let count = 1 + rng.below(members.len() as u64) as usize;
+                let spacing = Nanos(1 + rng.below((window.0 / 8).max(1)));
+                // The whole burst (incl. revivals) must fit the window.
+                let spread = spacing.0 * (count as u64 - 1);
+                let burst_down = Nanos(down_for.0.saturating_sub(spread).max(1));
+                schedule = schedule.crash_burst(t, &members[..count], spacing, burst_down);
+            } else if roll < 0.80 {
+                // Independent transients, capped at the code tolerance.
+                let count = 1 + rng.below(tolerance as u64) as usize;
+                let mut picked = BTreeSet::new();
+                while picked.len() < count.min(nodes) {
+                    picked.insert(rng.below(nodes as u64) as usize);
+                }
+                for node in picked {
+                    schedule = schedule.transient(t, node, down_for);
+                }
+            } else {
+                let node = rng.below(nodes as u64) as usize;
+                let factor = 1.5 + rng.unit() * 6.0;
+                schedule = schedule.slowdown(t, node, factor, down_for);
+            }
+            t += window;
+        }
+        schedule
+    }
+
+    /// Largest number of simultaneously-failed **failure domains** this
+    /// schedule ever produces (counting permanent crashes as down
+    /// forever). A whole-rack outage — N nodes crashing at once — is one
+    /// correlated event, not N independent ones; under a flat topology
+    /// every node is its own domain and this degenerates to the old
+    /// per-node count.
+    pub fn max_concurrent_failures(&self, topo: &Topology) -> usize {
+        // Sweep boundaries: domain-down counts only change at event edges.
+        let mut edges: Vec<(Nanos, usize, i64)> = Vec::new();
         for ev in &self.events {
+            let domain = topo.domain_of(ev.node);
             match ev.kind {
-                FaultKind::Crash => edges.push((ev.at, 1)),
+                FaultKind::Crash => edges.push((ev.at, domain, 1)),
                 FaultKind::Transient { down_for } => {
-                    edges.push((ev.at, 1));
-                    edges.push((ev.at + down_for, -1));
+                    edges.push((ev.at, domain, 1));
+                    edges.push((ev.at + down_for, domain, -1));
                 }
                 _ => {}
             }
         }
-        edges.sort_by_key(|&(t, delta)| (t.0, delta));
-        let (mut cur, mut max) = (0i64, 0i64);
-        for (_, delta) in edges {
-            cur += delta;
-            max = max.max(cur);
+        edges.sort_by_key(|&(t, _, delta)| (t.0, delta));
+        let mut down_nodes: HashMap<usize, i64> = HashMap::new();
+        let mut max = 0usize;
+        for (_, domain, delta) in edges {
+            *down_nodes.entry(domain).or_insert(0) += delta;
+            down_nodes.retain(|_, v| *v > 0);
+            max = max.max(down_nodes.len());
         }
-        max as usize
+        max
+    }
+
+    /// Checks the schedule against an erasure code's guaranteed loss
+    /// `tolerance` (maximum simultaneous shard losses it always
+    /// recovers): at every instant, the simultaneously-down nodes must
+    /// either all sit in **one** failure domain (domain-aware placement
+    /// caps any domain at `tolerance` shards of a stripe, so a full
+    /// domain outage stays recoverable) or number at most `tolerance`
+    /// (each node holds at most one shard of a stripe).
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::ExceedsTolerance`] naming the first violating
+    /// instant.
+    pub fn validate(&self, topo: &Topology, tolerance: usize) -> Result<(), ScheduleError> {
+        let mut edges: Vec<(Nanos, usize, i64)> = Vec::new();
+        for ev in &self.events {
+            match ev.kind {
+                FaultKind::Crash => edges.push((ev.at, ev.node, 1)),
+                FaultKind::Transient { down_for } => {
+                    edges.push((ev.at, ev.node, 1));
+                    edges.push((ev.at + down_for, ev.node, -1));
+                }
+                _ => {}
+            }
+        }
+        edges.sort_by_key(|&(t, _, delta)| (t.0, delta));
+        let mut down: HashMap<usize, i64> = HashMap::new();
+        for (at, node, delta) in edges {
+            *down.entry(node).or_insert(0) += delta;
+            down.retain(|_, v| *v > 0);
+            let domains: BTreeSet<usize> = down.keys().map(|&n| topo.domain_of(n)).collect();
+            if domains.len() > 1 && down.len() > tolerance {
+                return Err(ScheduleError::ExceedsTolerance {
+                    at,
+                    nodes_down: down.len(),
+                    domains_down: domains.len(),
+                    tolerance,
+                });
+            }
+        }
+        Ok(())
     }
 }
+
+/// Why a [`FaultSchedule`] is unsafe for a given code and topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// At some instant the down nodes span multiple failure domains and
+    /// outnumber the code's guaranteed loss tolerance.
+    ExceedsTolerance {
+        /// When the violation first occurs.
+        at: Nanos,
+        /// Simultaneously-down nodes at that instant.
+        nodes_down: usize,
+        /// Distinct failure domains those nodes span.
+        domains_down: usize,
+        /// The code's guaranteed tolerance.
+        tolerance: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ScheduleError::ExceedsTolerance {
+                at,
+                nodes_down,
+                domains_down,
+                tolerance,
+            } => write!(
+                f,
+                "at t={}ns, {nodes_down} nodes down across {domains_down} domains \
+                 exceeds the code tolerance of {tolerance}",
+                at.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// A fault applied to the data plane, reported by
 /// [`FaultInjector::advance`].
@@ -319,6 +520,23 @@ impl FaultInjector {
             faults_injected: HashMap::new(),
             revivals_applied: HashMap::new(),
         }
+    }
+
+    /// An injector over a schedule that is validated against the code's
+    /// loss tolerance up front (see [`FaultSchedule::validate`]) — the
+    /// construction-time guard that keeps experiments from silently
+    /// running unrecoverable scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`] from validation.
+    pub fn validated(
+        schedule: FaultSchedule,
+        topo: &Topology,
+        tolerance: usize,
+    ) -> Result<FaultInjector, ScheduleError> {
+        schedule.validate(topo, tolerance)?;
+        Ok(FaultInjector::new(schedule))
     }
 
     /// An injector over a generated schedule (see
@@ -517,11 +735,75 @@ mod tests {
             let b = FaultSchedule::generate(seed, 9, 3, Nanos::from_micros(10_000));
             assert_eq!(a, b, "seed {seed} not deterministic");
             assert!(
-                a.max_concurrent_failures() <= 3,
+                a.max_concurrent_failures(&Topology::flat(9)) <= 3,
                 "seed {seed} exceeds failure cap: {:?}",
                 a.events()
             );
         }
+    }
+
+    #[test]
+    fn rack_outage_counts_as_one_domain_failure() {
+        let topo = Topology::racks(12, 4);
+        let s = FaultSchedule::new().rack_outage(Nanos(100), &topo, 1, Nanos(50));
+        // Three nodes crash at t=100, but they are ONE correlated event.
+        assert_eq!(s.events().len(), 3);
+        assert_eq!(s.max_concurrent_failures(&topo), 1);
+        // Under a flat view the same schedule is 3 independent failures.
+        assert_eq!(s.max_concurrent_failures(&Topology::flat(12)), 3);
+        // One-domain outage is valid for any tolerance.
+        s.validate(&topo, 1).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_cross_domain_overload() {
+        let topo = Topology::racks(12, 4);
+        // Four nodes down across two racks exceeds a tolerance of 3.
+        let s = FaultSchedule::new()
+            .transient(Nanos(10), 0, Nanos(100))
+            .transient(Nanos(10), 1, Nanos(100))
+            .transient(Nanos(10), 3, Nanos(100))
+            .transient(Nanos(20), 4, Nanos(100));
+        assert_eq!(
+            s.validate(&topo, 3),
+            Err(ScheduleError::ExceedsTolerance {
+                at: Nanos(20),
+                nodes_down: 4,
+                domains_down: 2,
+                tolerance: 3,
+            })
+        );
+        s.validate(&topo, 4).unwrap();
+        assert!(FaultInjector::validated(s.clone(), &topo, 3).is_err());
+        assert!(FaultInjector::validated(s, &topo, 4).is_ok());
+    }
+
+    #[test]
+    fn crash_burst_staggers_and_revives() {
+        let s = FaultSchedule::new().crash_burst(Nanos(100), &[2, 5, 7], Nanos(10), Nanos(1000));
+        let times: Vec<(u64, usize)> = s.events().iter().map(|e| (e.at.0, e.node)).collect();
+        assert_eq!(times, vec![(100, 2), (110, 5), (120, 7)]);
+        assert_eq!(s.max_concurrent_failures(&Topology::flat(9)), 3);
+    }
+
+    #[test]
+    fn generate_correlated_is_deterministic_and_valid() {
+        let topo = Topology::racks(16, 4);
+        for seed in 0..60u64 {
+            let a = FaultSchedule::generate_correlated(seed, &topo, 3, Nanos::from_micros(10_000));
+            let b = FaultSchedule::generate_correlated(seed, &topo, 3, Nanos::from_micros(10_000));
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            a.validate(&topo, 3)
+                .unwrap_or_else(|e| panic!("seed {seed} invalid: {e}; {:?}", a.events()));
+        }
+        // Correlated events do occur across seeds: some schedule takes a
+        // whole rack (4 nodes, 1 domain) down at once.
+        let saw_rack_outage = (0..60u64).any(|seed| {
+            let s = FaultSchedule::generate_correlated(seed, &topo, 3, Nanos::from_micros(10_000));
+            s.max_concurrent_failures(&Topology::flat(16)) >= 4
+                && s.max_concurrent_failures(&topo) == 1
+        });
+        assert!(saw_rack_outage, "no seed produced a whole-rack outage");
     }
 
     #[test]
@@ -621,6 +903,6 @@ mod tests {
             .slowdown(Nanos(200), 2, 2.0, Nanos(50));
         let times: Vec<u64> = s.events().iter().map(|e| e.at.0).collect();
         assert_eq!(times, vec![100, 200, 300]);
-        assert_eq!(s.max_concurrent_failures(), 1);
+        assert_eq!(s.max_concurrent_failures(&Topology::flat(9)), 1);
     }
 }

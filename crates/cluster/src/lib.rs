@@ -50,14 +50,16 @@ pub mod fault;
 pub mod spec;
 pub mod store;
 pub mod time;
+pub mod topology;
 
 pub use engine::{
     Breakdown, CostClass, Engine, ResourceKey, RunReport, StepId, Workflow, WorkflowStats,
 };
-pub use fault::{AppliedFault, FaultEvent, FaultInjector, FaultKind, FaultSchedule};
+pub use fault::{AppliedFault, FaultEvent, FaultInjector, FaultKind, FaultSchedule, ScheduleError};
 pub use spec::{ClusterSpec, CostModel, RetryPolicy};
 pub use store::{BlockId, BlockStore, ClusterError};
 pub use time::{percentile, transfer_time, Nanos};
+pub use topology::Topology;
 
 // Re-exported so workflow builders can tag steps without a direct
 // `fusion-obs` dependency.

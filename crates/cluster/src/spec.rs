@@ -8,6 +8,7 @@
 //! not on the exact constants.
 
 use crate::time::Nanos;
+use crate::topology::Topology;
 
 /// Static description of the simulated cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +22,12 @@ pub struct ClusterSpec {
     /// Retry/timeout policy for RPCs to flaky (failed-then-revived)
     /// nodes.
     pub retry: RetryPolicy,
+    /// Failure-domain layout of the nodes. Consumers should read it via
+    /// [`ClusterSpec::effective_topology`], which falls back to a flat
+    /// topology whenever this field describes a different node count
+    /// (e.g. a spec built with struct-update syntax that changed `nodes`
+    /// without touching `topology`).
+    pub topology: Topology,
 }
 
 impl Default for ClusterSpec {
@@ -30,6 +37,7 @@ impl Default for ClusterSpec {
             cores_per_node: 64,
             cost: CostModel::default(),
             retry: RetryPolicy::default(),
+            topology: Topology::flat(9),
         }
     }
 }
@@ -72,7 +80,29 @@ impl ClusterSpec {
     pub fn with_nodes(nodes: usize) -> ClusterSpec {
         ClusterSpec {
             nodes,
+            topology: Topology::flat(nodes),
             ..ClusterSpec::default()
+        }
+    }
+
+    /// A spec whose node count and failure domains both come from the
+    /// given topology.
+    pub fn with_topology(topology: Topology) -> ClusterSpec {
+        ClusterSpec {
+            nodes: topology.nodes(),
+            topology,
+            ..ClusterSpec::default()
+        }
+    }
+
+    /// The topology to actually use: the stored one when it matches
+    /// `nodes`, otherwise a flat fallback so stale or defaulted
+    /// topologies never mis-map nodes to domains.
+    pub fn effective_topology(&self) -> Topology {
+        if self.topology.nodes() == self.nodes {
+            self.topology.clone()
+        } else {
+            Topology::flat(self.nodes)
         }
     }
 }

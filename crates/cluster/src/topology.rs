@@ -1,0 +1,202 @@
+//! Failure-domain topology: which nodes share a fate.
+//!
+//! Real clusters fail in correlated units — a rack loses power, a PDU
+//! takes down every host behind it — so placement and fault injection
+//! both need to know which simulated nodes share a failure domain. The
+//! model is deliberately simple: every node has a rack and a host
+//! coordinate, and the *failure domain* used for placement constraints
+//! and correlated outage counting is the rack. A [`Topology::flat`]
+//! cluster puts each node in its own rack, which reproduces the
+//! pre-topology behavior exactly (every node an independent domain).
+
+/// Rack/host coordinates for every node in a cluster.
+///
+/// # Examples
+///
+/// ```
+/// use fusion_cluster::topology::Topology;
+///
+/// let t = Topology::racks(16, 4); // 4 racks × 4 nodes
+/// assert_eq!(t.domains(), 4);
+/// assert_eq!(t.domain_of(0), t.domain_of(3));
+/// assert_ne!(t.domain_of(3), t.domain_of(4));
+/// assert_eq!(t.nodes_in(1), vec![4, 5, 6, 7]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Topology {
+    /// `rack[i]` = failure domain (rack) of node `i`.
+    rack: Vec<usize>,
+    /// `host[i]` = host index of node `i` within the cluster (distinct
+    /// hosts may share a rack; kept for finer-grained future domains).
+    host: Vec<usize>,
+    domains: usize,
+}
+
+impl Topology {
+    /// Every node is its own failure domain — the pre-topology default,
+    /// under which domain-aware placement degenerates to "distinct
+    /// nodes" and correlated counting to per-node counting.
+    pub fn flat(nodes: usize) -> Topology {
+        Topology {
+            rack: (0..nodes).collect(),
+            host: (0..nodes).collect(),
+            domains: nodes,
+        }
+    }
+
+    /// Nodes split into `racks` contiguous, near-equal racks (the first
+    /// `nodes % racks` racks take one extra node). Each node is its own
+    /// host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `racks` is zero or exceeds `nodes`.
+    pub fn racks(nodes: usize, racks: usize) -> Topology {
+        assert!(racks > 0, "need at least one rack");
+        assert!(racks <= nodes, "more racks than nodes");
+        let base = nodes / racks;
+        let extra = nodes % racks;
+        let mut rack = Vec::with_capacity(nodes);
+        for r in 0..racks {
+            let size = base + usize::from(r < extra);
+            rack.extend(std::iter::repeat_n(r, size));
+        }
+        Topology {
+            rack,
+            host: (0..nodes).collect(),
+            domains: racks,
+        }
+    }
+
+    /// Explicit per-node rack assignment (racks must be labeled
+    /// `0..domains` densely).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rack` is empty or labels are not dense from zero.
+    pub fn from_racks(rack: Vec<usize>) -> Topology {
+        assert!(!rack.is_empty(), "topology needs at least one node");
+        let domains = rack.iter().max().unwrap() + 1;
+        for d in 0..domains {
+            assert!(rack.contains(&d), "rack labels must be dense from 0");
+        }
+        let host = (0..rack.len()).collect();
+        Topology {
+            rack,
+            host,
+            domains,
+        }
+    }
+
+    /// Number of nodes described.
+    pub fn nodes(&self) -> usize {
+        self.rack.len()
+    }
+
+    /// Number of failure domains (racks).
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// The failure domain (rack) of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn domain_of(&self, node: usize) -> usize {
+        self.rack[node]
+    }
+
+    /// The host coordinate of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn host_of(&self, node: usize) -> usize {
+        self.host[node]
+    }
+
+    /// All nodes in a failure domain, ascending.
+    pub fn nodes_in(&self, domain: usize) -> Vec<usize> {
+        (0..self.nodes())
+            .filter(|&i| self.rack[i] == domain)
+            .collect()
+    }
+
+    /// Size of the largest failure domain.
+    pub fn max_domain_size(&self) -> usize {
+        (0..self.domains)
+            .map(|d| self.rack.iter().filter(|&&r| r == d).count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every node sits in its own domain (i.e. [`Topology::flat`]).
+    pub fn is_flat(&self) -> bool {
+        self.domains == self.nodes()
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_flat() {
+            write!(f, "flat({})", self.nodes())
+        } else {
+            write!(f, "{} nodes / {} racks", self.nodes(), self.domains)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_one_node_per_domain() {
+        let t = Topology::flat(9);
+        assert_eq!(t.nodes(), 9);
+        assert_eq!(t.domains(), 9);
+        assert!(t.is_flat());
+        assert_eq!(t.max_domain_size(), 1);
+        for i in 0..9 {
+            assert_eq!(t.domain_of(i), i);
+            assert_eq!(t.nodes_in(i), vec![i]);
+        }
+        assert_eq!(t.to_string(), "flat(9)");
+    }
+
+    #[test]
+    fn racks_split_evenly_with_remainder_first() {
+        let t = Topology::racks(10, 4); // 3 + 3 + 2 + 2
+        assert_eq!(t.domains(), 4);
+        assert_eq!(t.nodes_in(0), vec![0, 1, 2]);
+        assert_eq!(t.nodes_in(1), vec![3, 4, 5]);
+        assert_eq!(t.nodes_in(2), vec![6, 7]);
+        assert_eq!(t.nodes_in(3), vec![8, 9]);
+        assert_eq!(t.max_domain_size(), 3);
+        assert!(!t.is_flat());
+        assert_eq!(t.to_string(), "10 nodes / 4 racks");
+    }
+
+    #[test]
+    fn from_racks_respects_labels() {
+        let t = Topology::from_racks(vec![0, 1, 0, 1, 2]);
+        assert_eq!(t.domains(), 3);
+        assert_eq!(t.nodes_in(0), vec![0, 2]);
+        assert_eq!(t.nodes_in(2), vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn from_racks_rejects_sparse_labels() {
+        let _ = Topology::from_racks(vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more racks than nodes")]
+    fn racks_rejects_too_many() {
+        let _ = Topology::racks(3, 4);
+    }
+}

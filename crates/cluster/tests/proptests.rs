@@ -8,6 +8,7 @@ use fusion_cluster::fault::{FaultInjector, FaultSchedule};
 use fusion_cluster::spec::ClusterSpec;
 use fusion_cluster::store::{BlockId, BlockStore, ClusterError};
 use fusion_cluster::time::Nanos;
+use fusion_cluster::topology::Topology;
 use proptest::prelude::*;
 
 /// A 9-node store with a few distinct blocks per node.
@@ -152,10 +153,51 @@ proptest! {
         let a = FaultSchedule::generate(seed, nodes, cap, horizon);
         let b = FaultSchedule::generate(seed, nodes, cap, horizon);
         prop_assert_eq!(&a, &b);
-        prop_assert!(a.max_concurrent_failures() <= cap);
+        prop_assert!(a.max_concurrent_failures(&Topology::flat(nodes)) <= cap);
         for ev in a.events() {
             prop_assert!(ev.node < nodes);
         }
+    }
+
+    #[test]
+    fn correlated_schedules_are_deterministic_and_tolerable(
+        seed: u64,
+        nodes in 4usize..20,
+        racks in 2usize..5,
+        tolerance in 1usize..4,
+    ) {
+        prop_assume!(racks <= nodes);
+        let topo = Topology::racks(nodes, racks);
+        let horizon = Nanos::from_micros(10_000);
+        let a = FaultSchedule::generate_correlated(seed, &topo, tolerance, horizon);
+        let b = FaultSchedule::generate_correlated(seed, &topo, tolerance, horizon);
+        prop_assert_eq!(&a, &b);
+        // Every generated schedule passes construction-time validation…
+        prop_assert!(a.validate(&topo, tolerance).is_ok());
+        prop_assert!(FaultInjector::validated(a.clone(), &topo, tolerance).is_ok());
+        // …and a whole-rack outage counts as one domain failure, never
+        // more than the rack count.
+        prop_assert!(a.max_concurrent_failures(&topo) <= topo.domains());
+        for ev in a.events() {
+            prop_assert!(ev.node < nodes);
+        }
+    }
+
+    #[test]
+    fn domain_counting_never_exceeds_node_counting(
+        seed: u64,
+        nodes in 4usize..16,
+        racks in 1usize..5,
+        cap in 0usize..4,
+    ) {
+        prop_assume!(racks <= nodes);
+        let topo = Topology::racks(nodes, racks);
+        let s = FaultSchedule::generate(seed, nodes, cap, Nanos::from_micros(10_000));
+        // Grouping nodes into racks can only merge concurrent failures.
+        prop_assert!(
+            s.max_concurrent_failures(&topo)
+                <= s.max_concurrent_failures(&Topology::flat(nodes))
+        );
     }
 
     #[test]

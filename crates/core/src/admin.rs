@@ -173,6 +173,7 @@ impl Store {
                     lost,
                     degraded,
                     verdict: ScrubVerdict::Degraded,
+                    sources: 0,
                 });
             }
 
@@ -184,9 +185,24 @@ impl Store {
                     job.verdict = if job.degraded {
                         ScrubVerdict::Degraded
                     } else if !job.lost.is_empty() {
-                        match rs.reconstruct(&mut job.shards, job.width) {
+                        // Single losses go through the code's cheapest
+                        // repair path (an LRC local group reads r shards,
+                        // not k); multi-loss falls back to full
+                        // reconstruction.
+                        let avail: Vec<bool> = job.shards.iter().map(|s| s.is_some()).collect();
+                        let healed = if let [single] = job.lost[..] {
+                            job.sources = rs
+                                .repair_sources(single, &avail)
+                                .map_or(rs.data_blocks(), |s| s.len());
+                            rs.repair_one(&mut job.shards, single, job.width)
+                        } else {
+                            job.sources =
+                                avail.iter().filter(|&&a| a).count().min(rs.data_blocks());
+                            rs.reconstruct(&mut job.shards, job.width)
+                        };
+                        match healed {
                             Ok(()) => ScrubVerdict::Healed,
-                            // Fewer than k readable shards: unrecoverable.
+                            // Too few readable shards: unrecoverable.
                             Err(_) => ScrubVerdict::Unrecoverable,
                         }
                     } else {
@@ -215,6 +231,11 @@ impl Store {
                     ScrubVerdict::Ok => report.stripes_ok += 1,
                     ScrubVerdict::Unrecoverable => report.stripes_corrupt += 1,
                     ScrubVerdict::Healed => {
+                        // Repair traffic: the heal read `sources` shards
+                        // off other nodes to rebuild the lost block(s).
+                        self.metrics()
+                            .counter("repair_bytes_moved")
+                            .add((job.sources * job.width) as u64);
                         for &i in &job.lost {
                             let content = trim_shard(
                                 job.shards[i].clone().expect("reconstructed"),
@@ -259,7 +280,8 @@ impl Store {
                                 .into_iter()
                                 .map(|s| s.expect("reconstructed"))
                                 .collect();
-                            if self.codec().verify(&rebuilt) {
+                            let refs: Vec<&[u8]> = rebuilt.iter().map(|v| v.as_slice()).collect();
+                            if self.codec().verify(&refs) {
                                 let content = trim_shard(rebuilt[c].clone(), &meta, job.si, c, k);
                                 report.blocks_repaired += 1;
                                 report.stripes_repaired += 1;
@@ -311,6 +333,8 @@ struct ScrubJob {
     lost: Vec<usize>,
     degraded: bool,
     verdict: ScrubVerdict,
+    /// Shards the heal read as repair sources (repair-traffic tally).
+    sources: usize,
 }
 
 /// Trims a reconstructed shard back to its stored size: data bins are

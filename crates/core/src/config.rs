@@ -5,36 +5,113 @@ use fusion_cluster::spec::ClusterSpec;
 use fusion_cluster::time::Nanos;
 use fusion_ec::codec::CodecKind;
 
-/// Erasure-code parameters `(n, k)`.
+/// Erasure-code parameters: `(n, k)` plus an optional local-group count
+/// selecting a locally-repairable code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EcConfig {
     /// Total blocks per stripe.
     pub n: usize,
     /// Data blocks per stripe.
     pub k: usize,
+    /// Local parity groups. Zero selects plain Reed-Solomon; `l > 0`
+    /// selects `LRC(n, k, l)` — `l` of the `n − k` parity blocks become
+    /// per-group local parities (cheap single-shard repair), the rest
+    /// stay global.
+    pub local_groups: usize,
 }
 
 impl EcConfig {
     /// The paper's default: RS(9, 6).
-    pub const RS_9_6: EcConfig = EcConfig { n: 9, k: 6 };
+    pub const RS_9_6: EcConfig = EcConfig::rs(9, 6);
     /// The other common production code: RS(14, 10).
-    pub const RS_14_10: EcConfig = EcConfig { n: 14, k: 10 };
+    pub const RS_14_10: EcConfig = EcConfig::rs(14, 10);
+    /// The repair-efficient code: LRC(10, 6, 2) — same guaranteed
+    /// tolerance (3) as RS(9, 6), one extra parity block, and
+    /// single-shard repair from 3 shards instead of 6.
+    pub const LRC_10_6: EcConfig = EcConfig::lrc(10, 6, 2);
+
+    /// Plain Reed-Solomon `(n, k)`.
+    pub const fn rs(n: usize, k: usize) -> EcConfig {
+        EcConfig {
+            n,
+            k,
+            local_groups: 0,
+        }
+    }
+
+    /// Locally-repairable `LRC(n, k, l)`.
+    pub const fn lrc(n: usize, k: usize, local_groups: usize) -> EcConfig {
+        EcConfig { n, k, local_groups }
+    }
 
     /// Parity blocks per stripe.
     pub fn parity(&self) -> usize {
         self.n - self.k
     }
 
+    /// Guaranteed simultaneous-loss tolerance: `n − k` for RS, `g + 1 =
+    /// n − k − l + 1` for LRC (local parities trade tolerance for repair
+    /// locality).
+    pub fn tolerance(&self) -> usize {
+        if self.local_groups == 0 {
+            self.n - self.k
+        } else {
+            self.n - self.k - self.local_groups + 1
+        }
+    }
+
     /// Optimal storage overhead `(n − k) / k`.
     pub fn optimal_overhead(&self) -> f64 {
         (self.n - self.k) as f64 / self.k as f64
+    }
+
+    /// Instantiates the stripe codec this config describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation from the codec constructors.
+    pub fn build_codec(
+        &self,
+        kind: fusion_ec::codec::CodecKind,
+    ) -> Result<std::sync::Arc<dyn fusion_ec::stripe::StripeCodec>, fusion_ec::rs::CodeParamsError>
+    {
+        if self.local_groups == 0 {
+            Ok(std::sync::Arc::new(fusion_ec::rs::ReedSolomon::with_codec(
+                self.n, self.k, kind,
+            )?))
+        } else {
+            Ok(std::sync::Arc::new(fusion_ec::lrc::LrcCodec::with_codec(
+                self.n,
+                self.k,
+                self.local_groups,
+                kind,
+            )?))
+        }
     }
 }
 
 impl std::fmt::Display for EcConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "RS({}, {})", self.n, self.k)
+        if self.local_groups == 0 {
+            write!(f, "RS({}, {})", self.n, self.k)
+        } else {
+            write!(f, "LRC({}, {}, {})", self.n, self.k, self.local_groups)
+        }
     }
+}
+
+/// How stripe shards are mapped to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Spread shards across failure domains: no domain holds more than
+    /// the code's tolerance in shards of one stripe, and no domain holds
+    /// two shards of the same local group. A whole-domain outage then
+    /// never loses data, and local repair stays available.
+    #[default]
+    DomainAware,
+    /// Topology-oblivious random placement (distinct nodes only) — the
+    /// pre-topology behavior, kept as the experimental control.
+    Naive,
 }
 
 /// How objects are cut into erasure-code data blocks.
@@ -137,6 +214,8 @@ pub struct StoreConfig {
     /// measure the same code they always did. Metrics counters (cheap
     /// relaxed atomics) are always on regardless of this flag.
     pub observability: bool,
+    /// How stripe shards map onto the cluster's failure domains.
+    pub placement: PlacementPolicy,
 }
 
 /// Calibrated throughput ratio of [`CodecKind::Fast`] over
@@ -199,6 +278,7 @@ impl Default for StoreConfig {
             encoded_scan: true,
             fast_snappy: true,
             observability: false,
+            placement: PlacementPolicy::default(),
         }
     }
 }
@@ -247,6 +327,19 @@ impl StoreConfig {
     /// Overrides the GF(2^8) stripe codec kernel.
     pub fn with_codec(mut self, codec: CodecKind) -> StoreConfig {
         self.codec = codec;
+        self
+    }
+
+    /// Overrides the shard-placement policy.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> StoreConfig {
+        self.placement = placement;
+        self
+    }
+
+    /// Overrides the simulated cluster spec (node count, topology, cost
+    /// model).
+    pub fn with_cluster(mut self, cluster: ClusterSpec) -> StoreConfig {
+        self.cluster = cluster;
         self
     }
 
@@ -331,6 +424,29 @@ mod tests {
         assert_eq!(EcConfig::RS_9_6.optimal_overhead(), 0.5);
         assert_eq!(EcConfig::RS_14_10.optimal_overhead(), 0.4);
         assert_eq!(EcConfig::RS_9_6.to_string(), "RS(9, 6)");
+    }
+
+    #[test]
+    fn ec_lrc_config() {
+        let lrc = EcConfig::LRC_10_6;
+        assert_eq!(lrc.parity(), 4);
+        assert_eq!(lrc.tolerance(), 3);
+        assert_eq!(EcConfig::RS_9_6.tolerance(), 3);
+        assert_eq!(lrc.to_string(), "LRC(10, 6, 2)");
+        let code = lrc.build_codec(CodecKind::Fast).unwrap();
+        assert_eq!(code.total_blocks(), 10);
+        assert_eq!(code.data_blocks(), 6);
+        assert_eq!(code.tolerance(), 3);
+        assert_eq!(code.placement_group(0), Some(0));
+        assert_eq!(code.placement_group(9), None);
+        let rs = EcConfig::RS_9_6.build_codec(CodecKind::Fast).unwrap();
+        assert_eq!(rs.tolerance(), 3);
+        assert_eq!(rs.placement_group(0), None);
+        assert_eq!(rs.label(), "RS(9, 6)");
+        // Bad LRC params surface as codec construction errors.
+        assert!(EcConfig::lrc(10, 6, 4)
+            .build_codec(CodecKind::Fast)
+            .is_err());
     }
 
     #[test]

@@ -155,7 +155,7 @@ mod tests {
         let items = tile(&[100; 12]);
         let layout = pack(6, &items);
         assert_eq!(layout.stripes.len(), 2);
-        let ec = EcConfig { n: 9, k: 6 };
+        let ec = EcConfig::rs(9, 6);
         assert!(layout.overhead_vs_optimal(ec).abs() < 1e-12);
     }
 
@@ -166,7 +166,7 @@ mod tests {
         let items = tile(&[1000]);
         let layout = pack(6, &items);
         assert_eq!(layout.stripes.len(), 1);
-        let ec = EcConfig { n: 9, k: 6 };
+        let ec = EcConfig::rs(9, 6);
         // total = 1000 + 3*1000 = 4000; optimal = 1500; overhead = 5/3.
         assert!((layout.overhead_vs_optimal(ec) - (4000.0 - 1500.0) / 1500.0).abs() < 1e-9);
     }
@@ -183,7 +183,7 @@ mod tests {
         let items = tile(&sizes);
         let layout = pack(6, &items);
         layout.assert_valid(sizes.iter().sum(), 6, true);
-        let ec = EcConfig { n: 9, k: 6 };
+        let ec = EcConfig::rs(9, 6);
         let overhead = layout.overhead_vs_optimal(ec);
         assert!(
             overhead < 0.05,

@@ -185,7 +185,7 @@ mod tests {
         // Fixed blocks are the storage-optimal reference when the object
         // divides evenly.
         let layout = pack(1200, 100, 6, &[]);
-        let ec = EcConfig { n: 9, k: 6 };
+        let ec = EcConfig::rs(9, 6);
         assert!(layout.overhead_vs_optimal(ec).abs() < 1e-9);
     }
 

@@ -296,7 +296,7 @@ mod tests {
                 ],
             }],
         };
-        let ec = EcConfig { n: 3, k: 2 };
+        let ec = EcConfig::rs(3, 2);
         assert_eq!(layout.data_len(), 150);
         assert_eq!(layout.parity_len(ec), 100);
         assert_eq!(layout.total_stored(ec), 250);

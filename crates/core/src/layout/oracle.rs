@@ -289,7 +289,7 @@ mod tests {
         let items = tile(&[100; 6]);
         let p = pack(3, &items, MINUTE);
         assert!(p.proven_optimal);
-        let ec = EcConfig { n: 5, k: 3 };
+        let ec = EcConfig::rs(5, 3);
         assert!(p.layout.overhead_vs_optimal(ec).abs() < 1e-12);
     }
 }

@@ -154,7 +154,7 @@ mod tests {
         // Chunks of size B/2 + 1 waste nearly half of every block.
         let items = tile(&[51, 51, 51, 51, 51, 51]);
         let p = pack(100, 6, &items);
-        let ec = EcConfig { n: 9, k: 6 };
+        let ec = EcConfig::rs(9, 6);
         let overhead = p.layout.overhead_vs_optimal(ec);
         assert!(overhead > 0.5, "expected large overhead, got {overhead}");
     }

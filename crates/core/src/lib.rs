@@ -70,7 +70,7 @@ pub mod store;
 
 pub use admin::{ObjectInfo, ScrubReport};
 pub use cache::{CacheStats, ChunkCache};
-pub use config::{EcConfig, LayoutPolicy, QueryMode, StoreConfig};
+pub use config::{EcConfig, LayoutPolicy, PlacementPolicy, QueryMode, StoreConfig};
 pub use error::{Result, StoreError};
 pub use object::ObjectMeta;
 pub use query::{QueryOutput, QueryResult};

@@ -168,10 +168,10 @@ pub(crate) struct Ctx<'a> {
     pub cost: &'a CostModel,
     pub wf: Workflow,
     pub net_bytes: u64,
-    /// Stripe index → decode step of an already-modelled degraded
-    /// reconstruction, so several fragments of one lost stripe pay for
-    /// the k-shard rebuild only once per query.
-    pub degraded: std::collections::HashMap<usize, StepId>,
+    /// (stripe, lost bin) → decode step of an already-modelled degraded
+    /// reconstruction, so several fragments of one lost bin pay for the
+    /// repair-set rebuild only once per query.
+    pub degraded: std::collections::HashMap<(usize, usize), StepId>,
     /// Per-query span recorder (a strict no-op unless the store's
     /// observability flag is on).
     pub trace: Trace,
@@ -306,16 +306,16 @@ impl<'a> Ctx<'a> {
 }
 
 /// Time-plane model of a degraded fragment read (the fragment's block is
-/// on a dead node or lost): the coordinator pulls the stripe's k
-/// surviving shards — the same data-shard-first selection the data plane
-/// uses — decodes the stripe on its CPU, and serves the fragment from
-/// the rebuilt bin. Cached per stripe in [`Ctx::degraded`].
+/// on a dead node or lost): the coordinator pulls the code's cheapest
+/// repair set for the lost bin — any `k` survivors for Reed-Solomon, the
+/// lost shard's local group for LRC — decodes on its CPU, and serves the
+/// fragment from the rebuilt bin. Cached per (stripe, bin) in
+/// [`Ctx::degraded`].
 ///
 /// # Errors
 ///
-/// [`StoreError::Internal`] when the fragment maps to no stripe or
-/// fewer than k shards survive (the data plane fails first in
-/// practice).
+/// [`StoreError::Internal`] when the fragment maps to no stripe or too
+/// few shards survive (the data plane fails first in practice).
 pub(crate) fn degraded_fragment_fetch(
     store: &Store,
     meta: &crate::object::ObjectMeta,
@@ -324,42 +324,40 @@ pub(crate) fn degraded_fragment_fetch(
     frag: &crate::object::ChunkFragment,
     deps: &[StepId],
 ) -> Result<StepId> {
-    let (si, _) = store
+    let (si, bi) = store
         .stripe_of(meta, frag.block)
         .ok_or_else(|| StoreError::Internal("fragment without stripe".into()))?;
-    if let Some(&done) = ctx.degraded.get(&si) {
+    if let Some(&done) = ctx.degraded.get(&(si, bi)) {
         return Ok(done);
     }
     let sp = &meta.placement[si];
-    let k = store.config().ec.k;
-    let survivors = store.surviving_k_shards(sp);
-    if survivors.len() < k {
-        return Err(StoreError::Internal(format!(
-            "stripe {si} has only {} of {k} shards needed",
-            survivors.len()
-        )));
-    }
-    // Every step of the rebuild — survivor reads, wire time, decode —
-    // is attributed to the degraded-reconstruct phase.
+    let sources = store.surviving_repair_shards(sp, bi).ok_or_else(|| {
+        StoreError::Internal(format!(
+            "stripe {si} has too few shards to rebuild bin {bi}"
+        ))
+    })?;
+    // Every step of the rebuild — source reads, wire time, decode — is
+    // attributed to the degraded-reconstruct phase.
     let prev = ctx.phase(Phase::DegradedReconstruct);
     if ctx.trace.enabled() {
         ctx.trace
             .enter(Phase::DegradedReconstruct, "degraded_reconstruct");
-        ctx.trace.add_count(k as u64);
-        ctx.trace.add_bytes(sp.width * k as u64);
+        ctx.trace.add_count(sources.len() as u64);
+        ctx.trace.add_bytes(sp.width * sources.len() as u64);
         ctx.trace.exit();
     }
     let mut arrived = Vec::new();
-    for &i in &survivors {
+    for &i in &sources {
         let src = sp.nodes[i];
         let req = ctx.rpc(Loc::Node(coord), Loc::Node(src), deps);
         let req = ctx.retry(store.retry_penalty(src), &req);
         let read = ctx.disk(src, sp.width, &req);
         arrived.extend(ctx.transfer(Loc::Node(src), Loc::Node(coord), sp.width, &[read]));
     }
-    let decode_cost = ctx
-        .cost
-        .ec_at(sp.width * k as u64, store.config().codec_speedup());
+    let decode_cost = ctx.cost.ec_at(
+        sp.width * sources.len() as u64,
+        store.config().codec_speedup(),
+    );
     let decode = ctx.cpu(
         Loc::Node(coord),
         decode_cost,
@@ -367,7 +365,7 @@ pub(crate) fn degraded_fragment_fetch(
         &arrived,
     );
     ctx.phase(prev);
-    ctx.degraded.insert(si, decode);
+    ctx.degraded.insert((si, bi), decode);
     Ok(decode)
 }
 

@@ -9,7 +9,7 @@
 //! reconstructing from parity when nodes have failed.
 
 use crate::cache::ChunkCache;
-use crate::config::{LayoutPolicy, QueryMode, StoreConfig};
+use crate::config::{LayoutPolicy, PlacementPolicy, QueryMode, StoreConfig};
 use crate::error::{Result, StoreError};
 use crate::layout::{fac, fixed, items_from_meta, oracle, padding, Layout, PackItem};
 use crate::location_map::LocationMap;
@@ -19,13 +19,19 @@ use fusion_cluster::engine::{CostClass, Engine, ResourceKey, Workflow};
 use fusion_cluster::fault::{AppliedFault, FaultInjector};
 use fusion_cluster::store::{BlockId, BlockStore, ClusterError};
 use fusion_cluster::time::Nanos;
+use fusion_cluster::topology::Topology;
 use fusion_ec::pool::WorkerPool;
-use fusion_ec::rs::ReedSolomon;
+use fusion_ec::rs::ReconstructError;
+use fusion_ec::stripe::StripeCodec;
 use fusion_format::footer::parse_footer;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One stripe's shard slots, `None` where the shard was not read.
+pub(crate) type ShardBuf = Vec<Option<Vec<u8>>>;
 
 /// Report returned by [`Store::put`].
 #[derive(Debug, Clone)]
@@ -61,6 +67,9 @@ pub struct RecoveryReport {
     pub stripes_repaired: usize,
     /// Bytes written to the recovered node.
     pub bytes_restored: u64,
+    /// Repair traffic: bytes read from surviving nodes to rebuild the
+    /// lost blocks (the number a repair-efficient code shrinks).
+    pub repair_bytes_moved: u64,
     /// Simulated wall time of the repair on the virtual clock: per stripe,
     /// read `k` surviving blocks in parallel, ship them to the recovering
     /// node, decode, and write the rebuilt block.
@@ -90,7 +99,10 @@ pub struct RecoveryReport {
 #[derive(Debug)]
 pub struct Store {
     config: StoreConfig,
-    rs: ReedSolomon,
+    code: Arc<dyn StripeCodec>,
+    /// Failure-domain layout resolved from the cluster spec at
+    /// construction (see [`fusion_cluster::spec::ClusterSpec::effective_topology`]).
+    topology: Topology,
     blocks: BlockStore,
     objects: HashMap<String, ObjectMeta>,
     maps: HashMap<String, (LocationMap, Vec<usize>)>,
@@ -134,9 +146,13 @@ struct RepairJob {
     /// Bytes actually stored for this bin (data bins are unpadded).
     stored_len: usize,
     shards: Vec<Option<Vec<u8>>>,
-    /// Nodes the `k` survivor shards were read from (time-plane model).
+    /// Nodes the survivor shards were read from (time-plane model and
+    /// repair-traffic accounting) — the code's cheapest repair set, a
+    /// local group for LRC single-shard repair.
     sources: Vec<usize>,
-    outcome: std::result::Result<(), fusion_ec::rs::ReconstructError>,
+    /// Bytes read off those nodes for this repair.
+    bytes_moved: u64,
+    outcome: std::result::Result<(), ReconstructError>,
 }
 
 impl Store {
@@ -146,15 +162,17 @@ impl Store {
     ///
     /// Invalid erasure-code parameters, or fewer cluster nodes than `n`.
     pub fn new(config: StoreConfig) -> Result<Store> {
-        let rs = ReedSolomon::with_codec(config.ec.n, config.ec.k, config.codec)?;
+        let code = config.ec.build_codec(config.codec)?;
         if config.cluster.nodes < config.ec.n {
             return Err(StoreError::Internal(format!(
                 "cluster has {} nodes but {} needs {}",
                 config.cluster.nodes, config.ec, config.ec.n
             )));
         }
+        let topology = config.cluster.effective_topology();
         Ok(Store {
-            rs,
+            code,
+            topology,
             blocks: BlockStore::new(config.cluster.nodes),
             objects: HashMap::new(),
             maps: HashMap::new(),
@@ -191,8 +209,13 @@ impl Store {
     }
 
     /// The erasure codec.
-    pub fn codec(&self) -> &ReedSolomon {
-        &self.rs
+    pub fn codec(&self) -> &dyn StripeCodec {
+        &*self.code
+    }
+
+    /// The failure-domain topology this store places shards against.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Metadata of a stored object.
@@ -260,6 +283,106 @@ impl Store {
     fn fresh_block(&mut self) -> BlockId {
         self.next_block += 1;
         BlockId(self.next_block)
+    }
+
+    /// Picks the `n` nodes of one stripe, shard `i` on the `i`-th
+    /// returned node.
+    ///
+    /// Under [`PlacementPolicy::DomainAware`], a greedy pass over the
+    /// shuffled alive nodes enforces two invariants against the cluster
+    /// topology: no failure domain receives more than `tolerance` shards
+    /// of the stripe (so a whole-domain outage stays within what the
+    /// code guarantees to recover), and no domain receives two shards of
+    /// the same local group (so single-shard repair survives any one
+    /// domain outage). On a flat topology every node is its own domain,
+    /// both constraints are vacuous, and the greedy pass degenerates to
+    /// exactly the naive shuffle-truncate — byte-identical placements
+    /// for the same seed.
+    ///
+    /// If the constraints are infeasible (e.g. too few domains), the
+    /// pass retries with fresh shuffles and finally relaxes to naive
+    /// placement rather than failing the put.
+    fn place_stripe(&mut self, alive: &[usize]) -> Vec<usize> {
+        let n = self.code.total_blocks();
+        let naive = self.config.placement == PlacementPolicy::Naive || self.topology.is_flat();
+        let mut nodes = alive.to_vec();
+        for _ in 0..8 {
+            nodes.shuffle(&mut self.rng);
+            if naive {
+                nodes.truncate(n);
+                return nodes;
+            }
+            if let Some(picked) = self.try_place(&nodes) {
+                return picked;
+            }
+        }
+        // Relaxation: the topology cannot satisfy the invariants.
+        nodes.truncate(n);
+        nodes
+    }
+
+    /// One greedy placement attempt over an already-shuffled node order.
+    fn try_place(&self, nodes: &[usize]) -> Option<Vec<usize>> {
+        let n = self.code.total_blocks();
+        let tolerance = self.code.tolerance();
+        let mut picked = Vec::with_capacity(n);
+        let mut used = vec![false; nodes.len()];
+        let mut per_domain: HashMap<usize, usize> = HashMap::new();
+        let mut group_domains: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::new();
+        for shard in 0..n {
+            let group = self.code.placement_group(shard);
+            let slot = nodes.iter().enumerate().position(|(i, &node)| {
+                if used[i] {
+                    return false;
+                }
+                let d = self.topology.domain_of(node);
+                per_domain.get(&d).copied().unwrap_or(0) < tolerance
+                    && group.is_none_or(|g| !group_domains.contains(&(g, d)))
+            })?;
+            used[slot] = true;
+            let node = nodes[slot];
+            let d = self.topology.domain_of(node);
+            *per_domain.entry(d).or_insert(0) += 1;
+            if let Some(g) = group {
+                group_domains.insert((g, d));
+            }
+            picked.push(node);
+        }
+        Some(picked)
+    }
+
+    /// Picks `count` replica nodes for a location map, spread across
+    /// failure domains so no single-domain outage can take every replica
+    /// (domains are filled round-robin, least-loaded first). Flat
+    /// topologies and naive placement reduce to shuffle-truncate.
+    fn place_replicas(&mut self, mut nodes: Vec<usize>, count: usize) -> Vec<usize> {
+        nodes.shuffle(&mut self.rng);
+        let naive = self.config.placement == PlacementPolicy::Naive || self.topology.is_flat();
+        if naive {
+            nodes.truncate(count);
+            return nodes;
+        }
+        let mut per_domain: HashMap<usize, usize> = HashMap::new();
+        let mut picked = Vec::with_capacity(count);
+        let mut remaining = nodes;
+        while picked.len() < count && !remaining.is_empty() {
+            // Least-loaded domain first; ties broken by shuffle order.
+            let (i, _) = remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &node)| {
+                    per_domain
+                        .get(&self.topology.domain_of(node))
+                        .copied()
+                        .unwrap_or(0)
+                })
+                .expect("nonempty");
+            let node = remaining.remove(i);
+            *per_domain.entry(self.topology.domain_of(node)).or_insert(0) += 1;
+            picked.push(node);
+        }
+        picked
     }
 
     /// Stores an object. Analytics files (recognized by the trailing
@@ -365,9 +488,9 @@ impl Store {
         // buffers; the codec (and its coefficient table cache) is shared
         // read-only, so workers never allocate or synchronize.
         {
-            let rs = &self.rs;
+            let code = &self.code;
             self.pool.for_each_mut(&mut jobs, |_, job| {
-                rs.encode_into(&job.data, &mut job.parity)
+                code.encode_into(&job.data, &mut job.parity)
             });
         }
 
@@ -378,9 +501,7 @@ impl Store {
             let StripeJob { data, parity } = job;
             debug_assert!(parity.iter().all(|p| p.len() as u64 == width));
 
-            let mut nodes = alive.clone();
-            nodes.shuffle(&mut self.rng);
-            nodes.truncate(ec.n);
+            let nodes = self.place_stripe(&alive);
             let mut block_ids = Vec::with_capacity(ec.n);
             for (i, content) in data.into_iter().enumerate() {
                 let id = self.fresh_block();
@@ -413,12 +534,11 @@ impl Store {
             overhead,
         );
 
-        // 4. Replicate the location map to k + 1 nodes.
+        // 4. Replicate the location map to k + 1 nodes, spread across
+        //    failure domains.
         let map = LocationMap::build(&meta);
         let map_bytes = map.to_bytes();
-        let mut map_nodes = alive;
-        map_nodes.shuffle(&mut self.rng);
-        map_nodes.truncate(ec.k + 1);
+        let map_nodes = self.place_replicas(alive, ec.k + 1);
         for &n in &map_nodes {
             let id = self.fresh_block();
             stored_bytes += map_bytes.len() as u64;
@@ -602,58 +722,97 @@ impl Store {
         None
     }
 
-    /// Reads **exactly `k`** surviving shards of a stripe, leaving the
-    /// rest `None` — reading more would waste disk and network on the
-    /// degraded path. Placement stores data shards first (indices
-    /// `0..k`), so the in-order scan prefers data shards, which decode
-    /// without matrix inversion. Unreadable blocks — down node, missing
-    /// block, or CRC mismatch — are simply skipped, so corruption
-    /// degrades into reconstruction instead of wrong bytes.
-    pub(crate) fn read_k_shards(&self, sp: &StripePlacement) -> Vec<Option<Vec<u8>>> {
-        let (n, k) = (self.config.ec.n, self.config.ec.k);
-        let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
-        let mut have = 0usize;
-        for (i, shard) in shards.iter_mut().enumerate() {
-            if have == k {
-                break;
-            }
-            if let Ok(b) = self.blocks.get(sp.nodes[i], sp.block_ids[i]) {
-                *shard = Some(b.to_vec());
-                have += 1;
-            }
-        }
-        shards
+    /// The shard indices a degraded read of shard `lost` would fetch
+    /// right now — the code's cheapest repair set against live
+    /// `has_block` probes (for the time-plane model of a degraded read).
+    /// `None` when the stripe is unrecoverable.
+    pub fn surviving_repair_shards(&self, sp: &StripePlacement, lost: usize) -> Option<Vec<usize>> {
+        let n = self.code.total_blocks();
+        let avail: Vec<bool> = (0..n)
+            .map(|i| i != lost && self.blocks.has_block(sp.nodes[i], sp.block_ids[i]))
+            .collect();
+        self.code.repair_sources(lost, &avail)
     }
 
-    /// The shard indices [`Store::read_k_shards`] would read for a
-    /// stripe right now (for the time-plane model of a degraded read).
-    pub(crate) fn surviving_k_shards(&self, sp: &StripePlacement) -> Vec<usize> {
-        let (n, k) = (self.config.ec.n, self.config.ec.k);
-        let mut picked = Vec::with_capacity(k);
-        for i in 0..n {
-            if picked.len() == k {
-                break;
+    /// Reads the code's cheapest repair set for shard `lost` of a
+    /// stripe, leaving the other slots `None`. For Reed-Solomon this is
+    /// any `k` survivors (data shards first); for LRC with an intact
+    /// local group it is the group's `r` members — the bandwidth saving
+    /// that motivates locally-repairable codes. The plan comes from
+    /// cheap `has_block` probes; if a planned source then fails to read
+    /// (e.g. bit rot detected on the actual read), it is dropped from
+    /// the mask and the plan recomputed.
+    pub(crate) fn read_repair_shards(
+        &self,
+        sp: &StripePlacement,
+        lost: usize,
+    ) -> Result<(ShardBuf, Vec<usize>)> {
+        let n = self.code.total_blocks();
+        let mut avail: Vec<bool> = (0..n)
+            .map(|i| i != lost && self.blocks.has_block(sp.nodes[i], sp.block_ids[i]))
+            .collect();
+        loop {
+            let sources = self
+                .code
+                .repair_sources(lost, &avail)
+                .ok_or(StoreError::Unrecoverable(ReconstructError::NotRecoverable))?;
+            let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
+            let mut dropped = None;
+            for &s in &sources {
+                match self.blocks.get(sp.nodes[s], sp.block_ids[s]) {
+                    Ok(b) => shards[s] = Some(b.to_vec()),
+                    Err(_) => {
+                        dropped = Some(s);
+                        break;
+                    }
+                }
             }
-            if self.blocks.has_block(sp.nodes[i], sp.block_ids[i]) {
-                picked.push(i);
+            match dropped {
+                Some(s) => avail[s] = false,
+                None => return Ok((shards, sources)),
             }
         }
-        picked
     }
 
-    /// Reconstructs the full contents of one data bin from surviving
-    /// blocks (used by degraded reads and recovery).
-    fn reconstruct_bin(&self, meta: &ObjectMeta, stripe: usize, bin: usize) -> Result<Vec<u8>> {
-        let sp = &meta.placement[stripe];
-        let width = sp.width as usize;
-        let mut shards = self.read_k_shards(sp);
-        self.rs.reconstruct(&mut shards, width)?;
-        // Attributed to the node whose shard had to be rebuilt (cold
-        // path: the registry lookup is fine here).
-        self.metrics()
+    /// Charges one bin repair to the metrics registry: the rebuilt
+    /// shard's node, cluster-wide and per-source repair traffic, and a
+    /// degraded-read latency estimate from the cost model (serial disk
+    /// read + one RPC + the source shards crossing the wire + decode).
+    fn account_repair(&self, sp: &StripePlacement, bin: usize, sources: &[usize], moved: u64) {
+        let metrics = self.metrics();
+        metrics
             .node(sp.nodes[bin])
             .counter("shards_reconstructed")
             .inc();
+        metrics.counter("repair_bytes_moved").add(moved);
+        for &s in sources {
+            metrics
+                .node(sp.nodes[s])
+                .counter("repair_bytes_served")
+                .add(sp.width);
+        }
+        let cost = &self.config.cluster.cost;
+        let ns = cost.disk_read(sp.width).0
+            + cost.rpc_overhead.0
+            + cost.wire(sp.width).0 * sources.len() as u64
+            + cost
+                .ec_at(sp.width * sources.len() as u64, self.config.codec_speedup())
+                .0;
+        metrics.histogram("degraded_read_ns").record(ns);
+    }
+
+    /// Reconstructs the full contents of one data bin from the cheapest
+    /// repair set (used by degraded reads and recovery).
+    fn reconstruct_bin(&self, meta: &ObjectMeta, stripe: usize, bin: usize) -> Result<Vec<u8>> {
+        let sp = &meta.placement[stripe];
+        let width = sp.width as usize;
+        let (mut shards, sources) = self.read_repair_shards(sp, bin)?;
+        self.code.repair_one(&mut shards, bin, width)?;
+        // Repair traffic at wire granularity — every fetched shard moves
+        // as a full-width block, matching the time-plane network charge.
+        // (Cold path: the registry lookups are fine here.)
+        let moved = sources.len() as u64 * sp.width;
+        self.account_repair(sp, bin, &sources, moved);
         let mut rebuilt = shards[bin].take().expect("reconstructed");
         // Trim back to stored length (implicit padding removed).
         let stored = meta.layout.stripes[stripe].bins[bin].stored_len() as usize;
@@ -696,8 +855,9 @@ impl Store {
         let mut wf = Workflow::new();
         let names: Vec<String> = self.objects.keys().cloned().collect();
 
-        // Phase 1 (serial): read k survivor shards for every block the
-        // node lost, across all objects.
+        // Phase 1 (serial): read each lost block's cheapest repair set,
+        // across all objects — the local group for LRC single losses,
+        // any k survivors for RS.
         let mut jobs: Vec<RepairJob> = Vec::new();
         for name in &names {
             let meta = self.objects.get(name).expect("object exists");
@@ -706,13 +866,23 @@ impl Store {
                     if bnode != node || self.blocks.get(bnode, bid).is_ok() {
                         continue;
                     }
-                    let shards = self.read_k_shards(sp);
-                    let sources: Vec<usize> = shards
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, s)| s.is_some())
-                        .map(|(i, _)| sp.nodes[i])
-                        .collect();
+                    let (shards, bytes_moved, source_nodes, outcome) = match self
+                        .read_repair_shards(sp, bi)
+                    {
+                        Ok((shards, sources)) => {
+                            // Wire granularity, as in the DES model:
+                            // full stripe width per fetched shard.
+                            let moved = sources.len() as u64 * sp.width;
+                            let nodes: Vec<usize> = sources.iter().map(|&s| sp.nodes[s]).collect();
+                            (shards, moved, nodes, Ok(()))
+                        }
+                        Err(_) => (
+                            Vec::new(),
+                            0,
+                            Vec::new(),
+                            Err(ReconstructError::NotRecoverable),
+                        ),
+                    };
                     // Data bins are stored unpadded; parity at full width.
                     let stored_len = if bi < self.config.ec.k {
                         meta.layout.stripes[si].bins[bi].stored_len() as usize
@@ -725,19 +895,22 @@ impl Store {
                         width: sp.width as usize,
                         stored_len,
                         shards,
-                        sources,
-                        outcome: Ok(()),
+                        sources: source_nodes,
+                        bytes_moved,
+                        outcome,
                     });
                 }
             }
         }
 
-        // Phase 2 (parallel): reconstruct every lost block across the
-        // worker pool. Each job owns its shard buffers.
+        // Phase 2 (parallel): rebuild every lost block across the worker
+        // pool. Each job owns its shard buffers.
         {
-            let rs = &self.rs;
+            let code = &self.code;
             self.pool.for_each_mut(&mut jobs, |_, job| {
-                job.outcome = rs.reconstruct(&mut job.shards, job.width);
+                if job.outcome.is_ok() {
+                    job.outcome = code.repair_one(&mut job.shards, job.bin, job.width);
+                }
             });
         }
 
@@ -749,14 +922,15 @@ impl Store {
             content.truncate(job.stored_len);
             report.stripes_repaired += 1;
             report.bytes_restored += content.len() as u64;
-            self.metrics()
-                .node(node)
-                .counter("shards_reconstructed")
-                .inc();
+            report.repair_bytes_moved += job.bytes_moved;
+            let metrics = self.metrics();
+            metrics.node(node).counter("shards_reconstructed").inc();
+            metrics.counter("repair_bytes_moved").add(job.bytes_moved);
 
             let width = job.width as u64;
             let mut arrived = Vec::new();
             for &src in &job.sources {
+                metrics.node(src).counter("repair_bytes_served").add(width);
                 let read = wf.step(
                     ResourceKey::Disk(src),
                     cost.disk_read(width),
@@ -777,9 +951,14 @@ impl Store {
                     &[tx],
                 ));
             }
+            // Decode cost scales with the bytes actually combined — a
+            // local-group repair touches r shards, not k.
             let decode = wf.step(
                 ResourceKey::Cpu(node),
-                cost.ec_at(width * self.config.ec.k as u64, self.config.codec_speedup()),
+                cost.ec_at(
+                    width * job.sources.len() as u64,
+                    self.config.codec_speedup(),
+                ),
                 CostClass::Processing,
                 &arrived,
             );
@@ -1065,15 +1244,16 @@ mod tests {
         let mut store = Store::new(StoreConfig::fusion()).unwrap();
         store.put("obj", bytes).unwrap();
         let (k, n) = (store.config().ec.k, store.config().ec.n);
-        // Healthy stripe: the selection is exactly the data shards.
+        // Repairing data shard 1 pulls the other data shards plus
+        // exactly one parity shard (RS prefers the systematic part).
         let sp = store.object("obj").unwrap().placement[0].clone();
-        assert_eq!(store.surviving_k_shards(&sp), (0..k).collect::<Vec<_>>());
-        // Losing one data shard pulls in exactly one parity shard.
-        store.fail_node(sp.nodes[1]).unwrap();
-        let picked = store.surviving_k_shards(&sp);
+        let picked = store.surviving_repair_shards(&sp, 1).unwrap();
         assert_eq!(picked.len(), k);
         assert!(!picked.contains(&1));
         assert_eq!(picked.iter().filter(|&&i| i >= k).count(), 1);
+        // Actually losing that node leaves the plan unchanged.
+        store.fail_node(sp.nodes[1]).unwrap();
+        assert_eq!(store.surviving_repair_shards(&sp, 1).unwrap(), picked);
         let _ = n;
     }
 

@@ -41,12 +41,16 @@
 pub mod codec;
 pub mod gf;
 pub mod kernel;
+pub mod lrc;
 pub mod matrix;
 pub mod pool;
 pub mod rs;
+pub mod stripe;
 
 pub use codec::{Codec, CodecKind, FastCodec, ScalarCodec};
 pub use gf::Gf256;
+pub use lrc::LrcCodec;
 pub use matrix::Matrix;
 pub use pool::WorkerPool;
 pub use rs::{CodeParamsError, ReconstructError, ReedSolomon};
+pub use stripe::StripeCodec;

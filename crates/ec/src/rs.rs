@@ -28,6 +28,10 @@ pub enum CodeParamsError {
     NoParityBlocks,
     /// `n > 256`: GF(2^8) supports at most 256 blocks per stripe.
     TooManyBlocks,
+    /// Locally-repairable code with a group count that does not divide
+    /// `k`, is zero, or leaves no global parity (see
+    /// [`crate::lrc::LrcCodec::with_codec`]).
+    InvalidLocalGroups,
 }
 
 impl std::fmt::Display for CodeParamsError {
@@ -36,6 +40,10 @@ impl std::fmt::Display for CodeParamsError {
             CodeParamsError::ZeroDataBlocks => write!(f, "k must be at least 1"),
             CodeParamsError::NoParityBlocks => write!(f, "n must exceed k"),
             CodeParamsError::TooManyBlocks => write!(f, "n must be at most 256"),
+            CodeParamsError::InvalidLocalGroups => write!(
+                f,
+                "local group count must divide k and leave at least one global parity"
+            ),
         }
     }
 }
@@ -61,6 +69,11 @@ pub enum ReconstructError {
     },
     /// A present shard is longer than the declared stripe width.
     ShardTooLong,
+    /// Enough shards are present by count, but their generator rows do
+    /// not determine the erased blocks (only possible for non-MDS codes
+    /// such as [`crate::lrc::LrcCodec`], where which shards survive
+    /// matters, not just how many).
+    NotRecoverable,
 }
 
 impl std::fmt::Display for ReconstructError {
@@ -75,6 +88,9 @@ impl std::fmt::Display for ReconstructError {
             }
             ReconstructError::ShardTooLong => {
                 write!(f, "a shard exceeds the declared stripe width")
+            }
+            ReconstructError::NotRecoverable => {
+                write!(f, "surviving shards do not determine the erased blocks")
             }
         }
     }
@@ -343,7 +359,7 @@ impl std::fmt::Display for ReedSolomon {
 }
 
 /// Compares two byte strings as if both were zero-padded to equal length.
-fn pad_eq(a: &[u8], b: &[u8]) -> bool {
+pub(crate) fn pad_eq(a: &[u8], b: &[u8]) -> bool {
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     long[..short.len()] == *short && long[short.len()..].iter().all(|&x| x == 0)
 }

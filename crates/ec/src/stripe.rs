@@ -1,0 +1,221 @@
+//! Code-agnostic stripe interface: the object-safe subset of erasure-code
+//! behavior the store needs, implemented by both [`ReedSolomon`] (MDS,
+//! any `k` survivors rebuild anything) and [`LrcCodec`] (locally
+//! repairable, single losses rebuild from a small group).
+//!
+//! The store holds an `Arc<dyn StripeCodec>` and never branches on the
+//! concrete code: placement asks [`StripeCodec::placement_group`] which
+//! shards must be kept in distinct failure domains, degraded reads and
+//! repair ask [`StripeCodec::repair_sources`] which shards to fetch, and
+//! both paths feed the result to [`StripeCodec::repair_one`] /
+//! [`StripeCodec::reconstruct`].
+
+use crate::lrc::LrcCodec;
+use crate::rs::{ReconstructError, ReedSolomon};
+
+/// Object-safe erasure-code interface over variable-width stripes.
+///
+/// Shard indexing convention: data blocks occupy `0..data_blocks()`,
+/// parity the rest. All byte semantics follow the implicit zero-padding
+/// rule — shards may be shorter than the stripe width and compare equal
+/// to their padded form.
+pub trait StripeCodec: std::fmt::Debug + Send + Sync {
+    /// Total blocks per stripe (`n`).
+    fn total_blocks(&self) -> usize;
+
+    /// Data blocks per stripe (`k`).
+    fn data_blocks(&self) -> usize;
+
+    /// Parity blocks per stripe (`n − k`).
+    fn parity_blocks(&self) -> usize {
+        self.total_blocks() - self.data_blocks()
+    }
+
+    /// How many simultaneous shard losses the code guarantees to recover
+    /// from, regardless of which shards are lost. Equals `n − k` for MDS
+    /// codes; strictly less for locally-repairable codes.
+    fn tolerance(&self) -> usize;
+
+    /// Encodes `k` data blocks into `n − k` parity blocks, reusing the
+    /// caller's buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k`.
+    fn encode_into(&self, data: &[Vec<u8>], parity: &mut Vec<Vec<u8>>);
+
+    /// Verifies a full stripe's parity consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards.len() != n`.
+    fn verify(&self, shards: &[&[u8]]) -> bool;
+
+    /// Recovers all missing shards in place.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReconstructError`]; non-MDS codes may also return
+    /// [`ReconstructError::NotRecoverable`] for masks their survivors do
+    /// not span.
+    fn reconstruct(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        width: usize,
+    ) -> Result<(), ReconstructError>;
+
+    /// Recovers one lost shard in place from whichever shards are
+    /// present — typically exactly the set returned by
+    /// [`StripeCodec::repair_sources`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ReconstructError`].
+    fn repair_one(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        lost: usize,
+        width: usize,
+    ) -> Result<(), ReconstructError>;
+
+    /// The cheapest shard set that rebuilds `lost` given the current
+    /// availability mask, or `None` when unrecoverable. The returned
+    /// indices are what a repair must actually read — their count times
+    /// the stripe width is the repair traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `available.len() != n`.
+    fn repair_sources(&self, lost: usize, available: &[bool]) -> Option<Vec<usize>>;
+
+    /// The repair-locality group of a shard, if the code has one. Shards
+    /// sharing a group must land in distinct failure domains so a domain
+    /// outage costs each group at most one shard (keeping cheap local
+    /// repair available). MDS codes return `None` for every shard.
+    fn placement_group(&self, shard: usize) -> Option<usize>;
+
+    /// Human-readable code label (e.g. `RS(9, 6)`), used in results
+    /// files and traces.
+    fn label(&self) -> String;
+}
+
+impl StripeCodec for ReedSolomon {
+    fn total_blocks(&self) -> usize {
+        ReedSolomon::total_blocks(self)
+    }
+
+    fn data_blocks(&self) -> usize {
+        ReedSolomon::data_blocks(self)
+    }
+
+    fn tolerance(&self) -> usize {
+        ReedSolomon::parity_blocks(self)
+    }
+
+    fn encode_into(&self, data: &[Vec<u8>], parity: &mut Vec<Vec<u8>>) {
+        ReedSolomon::encode_into(self, data, parity);
+    }
+
+    fn verify(&self, shards: &[&[u8]]) -> bool {
+        ReedSolomon::verify(self, shards)
+    }
+
+    fn reconstruct(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        width: usize,
+    ) -> Result<(), ReconstructError> {
+        ReedSolomon::reconstruct(self, shards, width)
+    }
+
+    fn repair_one(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        _lost: usize,
+        width: usize,
+    ) -> Result<(), ReconstructError> {
+        // MDS: single-shard repair is plain reconstruction from any k.
+        ReedSolomon::reconstruct(self, shards, width)
+    }
+
+    fn repair_sources(&self, lost: usize, available: &[bool]) -> Option<Vec<usize>> {
+        let n = ReedSolomon::total_blocks(self);
+        let k = ReedSolomon::data_blocks(self);
+        assert_eq!(available.len(), n, "expected n availability flags");
+        // Any k survivors work; prefer data shards (no decode matrix
+        // needed for the systematic part) exactly like the store's
+        // existing k-shard selection.
+        let all: Vec<usize> = (0..n).filter(|&i| available[i] && i != lost).collect();
+        let picked: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| i < k)
+            .chain(all.iter().copied().filter(|&i| i >= k))
+            .take(k)
+            .collect();
+        if picked.len() == k {
+            Some(picked)
+        } else {
+            None
+        }
+    }
+
+    fn placement_group(&self, _shard: usize) -> Option<usize> {
+        None
+    }
+
+    fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl StripeCodec for LrcCodec {
+    fn total_blocks(&self) -> usize {
+        LrcCodec::total_blocks(self)
+    }
+
+    fn data_blocks(&self) -> usize {
+        LrcCodec::data_blocks(self)
+    }
+
+    fn tolerance(&self) -> usize {
+        LrcCodec::tolerance(self)
+    }
+
+    fn encode_into(&self, data: &[Vec<u8>], parity: &mut Vec<Vec<u8>>) {
+        LrcCodec::encode_into(self, data, parity);
+    }
+
+    fn verify(&self, shards: &[&[u8]]) -> bool {
+        LrcCodec::verify(self, shards)
+    }
+
+    fn reconstruct(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        width: usize,
+    ) -> Result<(), ReconstructError> {
+        LrcCodec::reconstruct(self, shards, width)
+    }
+
+    fn repair_one(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        lost: usize,
+        width: usize,
+    ) -> Result<(), ReconstructError> {
+        LrcCodec::repair_one(self, shards, lost, width)
+    }
+
+    fn repair_sources(&self, lost: usize, available: &[bool]) -> Option<Vec<usize>> {
+        LrcCodec::repair_sources(self, lost, available)
+    }
+
+    fn placement_group(&self, shard: usize) -> Option<usize> {
+        LrcCodec::group_of(self, shard)
+    }
+
+    fn label(&self) -> String {
+        self.to_string()
+    }
+}

@@ -130,6 +130,31 @@ impl Histogram {
     pub fn bucket(&self, i: usize) -> u64 {
         self.buckets[i].load(Ordering::Relaxed)
     }
+
+    /// Approximate quantile from the power-of-two buckets: the upper edge
+    /// (`2^(b+1) − 1`) of the bucket containing the `q`-th observation.
+    /// Resolution is one octave — good enough for p50/p99 dashboards and
+    /// experiment snapshots, not for sub-bucket precision. Returns 0 for
+    /// an empty histogram; `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for b in 0..HISTOGRAM_BUCKETS {
+            seen += self.bucket(b);
+            if seen >= rank {
+                return if b >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (b + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
 }
 
 /// Converts seconds to saturated nanoseconds, totally defined over `f64`:
@@ -316,6 +341,20 @@ mod tests {
         g.set(10);
         g.add(-3);
         assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn quantile_from_buckets() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for _ in 0..99 {
+            h.record(100); // bucket 6: [64, 128)
+        }
+        h.record(1 << 20); // one outlier in bucket 20
+        assert_eq!(h.quantile(0.5), 127);
+        assert_eq!(h.quantile(0.98), 127);
+        assert_eq!(h.quantile(1.0), (1u64 << 21) - 1);
+        assert_eq!(h.quantile(0.0), 127); // clamped to rank 1
     }
 
     #[test]

@@ -39,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "fault schedule (seed {seed}): {} events, max {} concurrent node failures",
         inj.schedule().events().len(),
-        inj.schedule().max_concurrent_failures()
+        inj.schedule()
+            .max_concurrent_failures(&fusion::cluster::Topology::flat(9))
     );
     for fault in store.apply_faults(&mut inj, horizon) {
         match fault {
