@@ -12,6 +12,7 @@ pub mod repair_traffic;
 pub mod scan_throughput;
 pub mod snappy_throughput;
 pub mod storage;
+pub mod traffic_load;
 
 use crate::harness::BenchEnv;
 
@@ -42,6 +43,7 @@ pub const ALL_IDS: &[&str] = &[
     "snappy_throughput",
     "observability",
     "repair_traffic",
+    "traffic_load",
 ];
 
 /// Runs one artifact by id.
@@ -76,6 +78,7 @@ pub fn run(id: &str, env: &BenchEnv) -> String {
         "snappy_throughput" => snappy_throughput::snappy_throughput(env),
         "observability" => observability::observability(env),
         "repair_traffic" => repair_traffic::repair_traffic(env),
+        "traffic_load" => traffic_load::traffic_load(env),
         id if id.starts_with("debugcol") => {
             let col: usize = id.trim_start_matches("debugcol").parse().unwrap_or(0);
             latency::debug_column(env, col)

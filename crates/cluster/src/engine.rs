@@ -2,17 +2,39 @@
 //!
 //! Queries compile into **workflows**: DAGs of steps, each step occupying
 //! one server of one resource (a disk, a NIC direction, a CPU core pool)
-//! for a duration. The engine executes workflows under FIFO contention on
-//! a virtual clock and reports per-workflow latency, a critical-path
+//! for a duration. The engine executes workflows under contention on a
+//! virtual clock and reports per-workflow latency, a critical-path
 //! breakdown by cost class (disk / processing / network — the categories
 //! of the paper's Figures 4b and 13c/d), network traffic, and per-resource
 //! busy time (CPU utilization, Figure 14d).
+//!
+//! ## The scheduling layer (concurrent multi-tenant traffic)
+//!
+//! Contended resources order queued requests by a [`SchedulingPolicy`]:
+//!
+//! * [`SchedulingPolicy::Fifo`] (the default) serves requests in arrival
+//!   order — **byte-identical** to the pre-scheduling-layer engine, so
+//!   every paper figure replays unchanged (locked down by the golden
+//!   digests in `tests/fifo_golden.rs`).
+//! * [`SchedulingPolicy::WeightedFair`] runs start-time fair queueing
+//!   (SFQ) across tenants: each queued request is tagged with a virtual
+//!   start time `max(v, finish[tenant])`, the tenant's finish tag
+//!   advances by `duration / weight`, and the resource always serves the
+//!   smallest start tag. Backlogged tenants with equal weights receive
+//!   equal service; weights skew the share proportionally.
+//!
+//! Workflows carry a **tenant** id. Per-tenant admission control
+//! ([`AdmissionConfig`]: token-bucket rate limits plus a max-in-flight
+//! cap) runs at workflow start; rejected workflows never execute and are
+//! counted per tenant in [`RunReport::tenants`].
 
 use crate::spec::ClusterSpec;
-use crate::time::Nanos;
+use crate::time::{percentile, Nanos};
+use fusion_obs::metrics::MetricsRegistry;
 use fusion_obs::trace::{Phase, PhaseBreakdown};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// A contended resource in the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -47,6 +69,20 @@ impl ResourceKey {
             | ResourceKey::NicRx(n)
             | ResourceKey::Cpu(n) => Some(n),
             _ => None,
+        }
+    }
+
+    /// Stable snake_case label for metric names and JSON exports.
+    pub fn label(&self) -> String {
+        match *self {
+            ResourceKey::Disk(n) => format!("disk{n}"),
+            ResourceKey::NicTx(n) => format!("nic_tx{n}"),
+            ResourceKey::NicRx(n) => format!("nic_rx{n}"),
+            ResourceKey::Cpu(n) => format!("cpu{n}"),
+            ResourceKey::ClientCpu => "client_cpu".to_string(),
+            ResourceKey::ClientNicTx => "client_nic_tx".to_string(),
+            ResourceKey::ClientNicRx => "client_nic_rx".to_string(),
+            ResourceKey::Delay => "delay".to_string(),
         }
     }
 }
@@ -159,6 +195,120 @@ impl Workflow {
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
     }
+
+    /// Sum of every step's nominal duration — the total service demand
+    /// this workflow places on the cluster (busy-time conservation: with
+    /// no stragglers, the engine's summed resource busy time equals the
+    /// summed `total_work` of the workflows it ran).
+    pub fn total_work(&self) -> Nanos {
+        self.steps.iter().map(|s| s.duration).sum()
+    }
+
+    /// Length of the longest dependency chain by nominal duration — a
+    /// lower bound on the workflow's latency under any contention.
+    pub fn critical_work(&self) -> Nanos {
+        let mut finish = vec![0u64; self.steps.len()];
+        for (i, s) in self.steps.iter().enumerate() {
+            let ready = s.deps.iter().map(|d| finish[d.0]).max().unwrap_or(0);
+            finish[i] = ready + s.duration.0;
+        }
+        Nanos(finish.into_iter().max().unwrap_or(0))
+    }
+}
+
+/// How contended resources order queued requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulingPolicy {
+    /// Serve in arrival order. The default; byte-identical to the
+    /// pre-scheduling-layer engine for every existing experiment.
+    #[default]
+    Fifo,
+    /// Start-time fair queueing across tenants, weighted by
+    /// [`Engine::with_tenant_weight`] (default weight 1.0).
+    WeightedFair,
+}
+
+/// Per-tenant admission control, applied when a workflow starts.
+///
+/// Both limits default to "unlimited", so attaching an empty admission
+/// table changes nothing. The token bucket starts full (`burst` tokens)
+/// and refills continuously at `rate_per_sec`; a workflow arriving to an
+/// empty bucket is **rejected** (it never executes — open-loop clients
+/// don't retry). The in-flight cap instead **queues** arrivals beyond
+/// `max_in_flight` and releases them FIFO as the tenant's workflows
+/// complete. A token is consumed at arrival even when the workflow is
+/// then queued — rate and concurrency limits compose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Token refill rate (workflows/sec of virtual time); `None` means
+    /// no rate limit.
+    pub rate_per_sec: Option<f64>,
+    /// Token bucket capacity (burst size), in workflows. Must be ≥ 1 for
+    /// a rate-limited tenant to ever admit anything.
+    pub burst: f64,
+    /// Maximum concurrently executing workflows; `None` means unlimited.
+    /// A cap of 0 queues every arrival forever (they are reported as
+    /// queued, never served).
+    pub max_in_flight: Option<usize>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            rate_per_sec: None,
+            burst: 1.0,
+            max_in_flight: None,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// A pure rate limit: `rate` workflows/sec with `burst` capacity.
+    pub fn rate_limit(rate: f64, burst: f64) -> AdmissionConfig {
+        AdmissionConfig {
+            rate_per_sec: Some(rate),
+            burst,
+            max_in_flight: None,
+        }
+    }
+
+    /// A pure concurrency cap.
+    pub fn in_flight_cap(cap: usize) -> AdmissionConfig {
+        AdmissionConfig {
+            rate_per_sec: None,
+            burst: 1.0,
+            max_in_flight: Some(cap),
+        }
+    }
+}
+
+/// One open-loop submission: a workflow from a tenant, arriving at a
+/// fixed virtual time.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Client that issued the workflow (label only).
+    pub client: usize,
+    /// Sequence number within the client (label only).
+    pub seq: usize,
+    /// Tenant the workflow belongs to (drives fair queueing and
+    /// admission control).
+    pub tenant: usize,
+    /// Arrival time on the virtual clock.
+    pub arrival: Nanos,
+    /// The work itself.
+    pub workflow: Workflow,
+}
+
+/// One closed-loop client: issues its workflows strictly in order, each
+/// preceded by a think-time delay.
+#[derive(Debug, Clone)]
+pub struct ClosedClient {
+    /// Tenant every workflow of this client belongs to.
+    pub tenant: usize,
+    /// `(think, workflow)` pairs: the client waits `think` after the
+    /// previous completion (or after time zero for the first), then
+    /// issues `workflow`.
+    pub issues: Vec<(Nanos, Workflow)>,
 }
 
 /// Latency partition along the critical path.
@@ -197,6 +347,12 @@ pub struct WorkflowStats {
     pub client: usize,
     /// Sequence number within the client.
     pub seq: usize,
+    /// Tenant the workflow belonged to (0 for the single-tenant entry
+    /// points).
+    pub tenant: usize,
+    /// Virtual arrival time (when the workflow was submitted; equals
+    /// `start` unless admission control queued it).
+    pub arrival: Nanos,
     /// Virtual start time.
     pub start: Nanos,
     /// Virtual completion time.
@@ -214,23 +370,70 @@ pub struct WorkflowStats {
     pub net_bytes: u64,
 }
 
+impl WorkflowStats {
+    /// `finish - arrival`: the client-observed response time, including
+    /// any admission-queue wait ahead of `start`. Equals `latency`
+    /// whenever admission control is off.
+    pub fn sojourn(&self) -> Nanos {
+        self.finish.saturating_sub(self.arrival)
+    }
+}
+
+/// Per-tenant admission and completion counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Workflows that arrived (every trigger fire, before admission).
+    pub offered: u64,
+    /// Workflows that ran to completion.
+    pub served: u64,
+    /// Workflows dropped by the token-bucket rate limit.
+    pub rejected: u64,
+    /// Workflows that waited in the admission queue for an in-flight
+    /// slot before starting (each counted once).
+    pub queued: u64,
+}
+
+/// Latency and throughput summary for one tenant (see
+/// [`RunReport::tenant_summaries`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantSummary {
+    /// The tenant.
+    pub tenant: usize,
+    /// Admission/completion counters.
+    pub counters: TenantCounters,
+    /// Median sojourn time of served workflows.
+    pub p50: Nanos,
+    /// 99th-percentile sojourn time.
+    pub p99: Nanos,
+    /// 99.9th-percentile sojourn time.
+    pub p999: Nanos,
+    /// Served workflows per second of makespan (completed goodput).
+    pub goodput_qps: f64,
+}
+
 /// Results of a run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
-    /// Stats for every workflow, ordered by (client, seq).
+    /// Stats for every **served** workflow, ordered by
+    /// (tenant, client, seq). Rejected and never-started workflows are
+    /// excluded (see [`RunReport::tenants`]).
     pub stats: Vec<WorkflowStats>,
     /// Busy time per resource.
     pub resource_busy: HashMap<ResourceKey, Nanos>,
+    /// High-water mark of each resource's pending queue depth.
+    pub queue_depth_max: HashMap<ResourceKey, usize>,
     /// Extra service time each straggling node added on top of nominal
     /// step durations (node → summed stretch), for per-node straggler
     /// accounting.
     pub straggler_delay: HashMap<usize, Nanos>,
+    /// Per-tenant offered/served/rejected/queued counters.
+    pub tenants: BTreeMap<usize, TenantCounters>,
     /// Completion time of the last workflow.
     pub makespan: Nanos,
 }
 
 impl RunReport {
-    /// All latencies, in (client, seq) order.
+    /// All latencies, in stats order.
     pub fn latencies(&self) -> Vec<Nanos> {
         self.stats.iter().map(|s| s.latency).collect()
     }
@@ -258,6 +461,35 @@ impl RunReport {
         let avail = self.makespan.0 as f64 * (spec.nodes * spec.cores_per_node) as f64;
         busy as f64 / avail
     }
+
+    /// Per-tenant p50/p99/p999 sojourn, goodput, and counters, ordered
+    /// by tenant id. Percentiles are over **served** workflows; a tenant
+    /// whose every arrival was rejected still appears (zero latencies).
+    pub fn tenant_summaries(&self) -> Vec<TenantSummary> {
+        let mut sojourns: BTreeMap<usize, Vec<Nanos>> = BTreeMap::new();
+        for s in &self.stats {
+            sojourns.entry(s.tenant).or_default().push(s.sojourn());
+        }
+        let span = self.makespan.as_secs_f64();
+        self.tenants
+            .iter()
+            .map(|(&tenant, &counters)| {
+                let lats = sojourns.remove(&tenant).unwrap_or_default();
+                TenantSummary {
+                    tenant,
+                    counters,
+                    p50: percentile(&lats, 50.0),
+                    p99: percentile(&lats, 99.0),
+                    p999: percentile(&lats, 99.9),
+                    goodput_qps: if span > 0.0 {
+                        counters.served as f64 / span
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
+    }
 }
 
 /// One submission: a workflow plus when it may start.
@@ -265,24 +497,45 @@ impl RunReport {
 enum Trigger {
     /// Start at an absolute virtual time.
     At(Nanos),
-    /// Start when the same client's previous workflow finishes.
-    AfterPrevious,
+    /// Start when the same client's previous workflow finishes, plus a
+    /// think-time delay.
+    AfterPrevious(Nanos),
 }
 
-/// The engine. Holds the static spec; each [`Engine::run_closed_loop`] /
-/// [`Engine::run_open_loop`] call is an independent simulation.
+/// An internal submission record (the public entry points normalize to
+/// this).
+#[derive(Debug, Clone)]
+struct Submission {
+    client: usize,
+    seq: usize,
+    tenant: usize,
+    wf: Workflow,
+    trigger: Trigger,
+}
+
+/// The engine. Holds the static spec plus the scheduling configuration;
+/// each run call is an independent simulation.
 #[derive(Debug, Clone)]
 pub struct Engine {
     spec: ClusterSpec,
     slowdowns: HashMap<usize, f64>,
+    policy: SchedulingPolicy,
+    weights: HashMap<usize, f64>,
+    admission: HashMap<usize, AdmissionConfig>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Engine {
-    /// Creates an engine over `spec`.
+    /// Creates an engine over `spec` with FIFO scheduling and no
+    /// admission limits.
     pub fn new(spec: ClusterSpec) -> Engine {
         Engine {
             spec,
             slowdowns: HashMap::new(),
+            policy: SchedulingPolicy::default(),
+            weights: HashMap::new(),
+            admission: HashMap::new(),
+            metrics: None,
         }
     }
 
@@ -304,45 +557,186 @@ impl Engine {
         }
     }
 
+    /// Sets the queueing policy at contended resources.
+    pub fn with_scheduling(mut self, policy: SchedulingPolicy) -> Engine {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets a tenant's fair-queueing weight (default 1.0). Only
+    /// meaningful under [`SchedulingPolicy::WeightedFair`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weight` is finite and positive.
+    pub fn with_tenant_weight(mut self, tenant: usize, weight: f64) -> Engine {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "tenant weight must be finite and positive"
+        );
+        self.weights.insert(tenant, weight);
+        self
+    }
+
+    /// Sets a tenant's admission limits (default: unlimited).
+    pub fn with_admission(mut self, tenant: usize, cfg: AdmissionConfig) -> Engine {
+        self.admission.insert(tenant, cfg);
+        self
+    }
+
+    /// Attaches a metrics registry: each run records per-tenant
+    /// counters (`tenant<i>.{offered,served,rejected,queued}`), sojourn
+    /// histograms (`tenant<i>.sojourn_ns`), and per-resource queue-depth
+    /// high-water gauges (`queue_depth_max.<resource>`).
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Engine {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// The cluster spec.
     pub fn spec(&self) -> &ClusterSpec {
         &self.spec
     }
 
     /// Runs `clients`, where each client executes its workflows strictly
-    /// in order (closed loop — the paper's 10-client setup).
+    /// in order (closed loop — the paper's 10-client setup). Single
+    /// tenant 0, no think time.
     pub fn run_closed_loop(&self, clients: Vec<Vec<Workflow>>) -> RunReport {
-        let jobs = clients
+        let subs = clients
             .into_iter()
             .enumerate()
             .flat_map(|(c, wfs)| {
                 wfs.into_iter().enumerate().map(move |(i, wf)| {
-                    let trig = if i == 0 {
+                    let trigger = if i == 0 {
                         Trigger::At(Nanos::ZERO)
                     } else {
-                        Trigger::AfterPrevious
+                        Trigger::AfterPrevious(Nanos::ZERO)
                     };
-                    (c, i, wf, trig)
+                    Submission {
+                        client: c,
+                        seq: i,
+                        tenant: 0,
+                        wf,
+                        trigger,
+                    }
                 })
             })
             .collect();
-        self.run(jobs)
+        self.run(subs)
     }
 
     /// Runs workflows at fixed arrival times (open loop — the paper's
-    /// 10-queries-per-second utilization experiment).
+    /// 10-queries-per-second utilization experiment). Single tenant 0.
+    ///
+    /// Arrivals are stable-sorted by timestamp before ids are assigned,
+    /// so workflow ids follow arrival order and **equal-timestamp
+    /// arrivals start deterministically in id order** (ties keep their
+    /// input order). Previously tie order leaked from the input
+    /// ordering through the event heap; a time-sorted input — what every
+    /// existing caller builds — behaves identically before and after.
     pub fn run_open_loop(&self, arrivals: Vec<(Nanos, Workflow)>) -> RunReport {
-        let jobs = arrivals
+        let mut arrivals = arrivals;
+        arrivals.sort_by_key(|(t, _)| *t);
+        let subs = arrivals
             .into_iter()
             .enumerate()
-            .map(|(i, (t, wf))| (i, 0, wf, Trigger::At(t)))
+            .map(|(i, (t, wf))| Submission {
+                client: i,
+                seq: 0,
+                tenant: 0,
+                wf,
+                trigger: Trigger::At(t),
+            })
             .collect();
-        self.run(jobs)
+        self.run(subs)
     }
 
-    fn run(&self, jobs: Vec<(usize, usize, Workflow, Trigger)>) -> RunReport {
-        let mut sim = Sim::new(self.spec.cores_per_node, self.slowdowns.clone());
-        sim.execute(jobs)
+    /// Runs an open-loop multi-tenant job stream (the traffic
+    /// generator's output). Jobs are sorted by
+    /// `(arrival, tenant, client, seq)` first, so the report is a
+    /// function of the job **set**, not of submission order, and
+    /// equal-timestamp arrivals start in that deterministic order.
+    pub fn run_jobs(&self, jobs: Vec<Job>) -> RunReport {
+        let mut jobs = jobs;
+        jobs.sort_by_key(|j| (j.arrival, j.tenant, j.client, j.seq));
+        let subs = jobs
+            .into_iter()
+            .map(|j| Submission {
+                client: j.client,
+                seq: j.seq,
+                tenant: j.tenant,
+                wf: j.workflow,
+                trigger: Trigger::At(j.arrival),
+            })
+            .collect();
+        self.run(subs)
+    }
+
+    /// Runs closed-loop clients with think times and tenant labels (the
+    /// traffic generator's closed-loop output).
+    pub fn run_closed_clients(&self, clients: Vec<ClosedClient>) -> RunReport {
+        let subs = clients
+            .into_iter()
+            .enumerate()
+            .flat_map(|(c, cc)| {
+                let tenant = cc.tenant;
+                cc.issues
+                    .into_iter()
+                    .enumerate()
+                    .map(move |(i, (think, wf))| {
+                        let trigger = if i == 0 {
+                            Trigger::At(think)
+                        } else {
+                            Trigger::AfterPrevious(think)
+                        };
+                        Submission {
+                            client: c,
+                            seq: i,
+                            tenant,
+                            wf,
+                            trigger,
+                        }
+                    })
+            })
+            .collect();
+        self.run(subs)
+    }
+
+    fn run(&self, subs: Vec<Submission>) -> RunReport {
+        let mut sim = Sim::new(
+            self.spec.cores_per_node,
+            self.slowdowns.clone(),
+            self.policy,
+            self.weights.clone(),
+            self.admission.clone(),
+        );
+        let report = sim.execute(subs);
+        if let Some(metrics) = &self.metrics {
+            export_metrics(metrics, &report);
+        }
+        report
+    }
+}
+
+/// Records a finished run into a metrics registry (per-tenant counters
+/// and sojourn histograms, per-resource queue-depth gauges).
+fn export_metrics(metrics: &MetricsRegistry, report: &RunReport) {
+    for (&tenant, c) in &report.tenants {
+        let scope = metrics.tenant(tenant);
+        scope.counter("offered").add(c.offered);
+        scope.counter("served").add(c.served);
+        scope.counter("rejected").add(c.rejected);
+        scope.counter("queued").add(c.queued);
+    }
+    for s in &report.stats {
+        metrics
+            .tenant(s.tenant)
+            .histogram("sojourn_ns")
+            .record(s.sojourn().0);
+    }
+    for (key, depth) in &report.queue_depth_max {
+        let gauge = metrics.gauge(&format!("queue_depth_max.{}", key.label()));
+        gauge.set(gauge.get().max(*depth as i64));
     }
 }
 
@@ -358,20 +752,121 @@ struct StepState {
 struct WfState {
     client: usize,
     seq: usize,
+    tenant: usize,
     wf: Workflow,
     trigger: Trigger,
+    arrival: Option<Nanos>,
     started: Option<Nanos>,
     steps: Vec<StepState>,
     successors: Vec<Vec<usize>>,
     remaining_steps: usize,
 }
 
+/// A queued request under weighted-fair scheduling.
+#[derive(Debug, Clone, Copy)]
+struct FairReq {
+    /// SFQ virtual start tag.
+    tag: f64,
+    wf: usize,
+    step: usize,
+}
+
+/// Start-time fair queueing state for one resource: per-tenant FIFO
+/// queues ordered by virtual start tags.
+#[derive(Debug, Default)]
+struct FairQueue {
+    /// Resource virtual time (advances to the start tag of each
+    /// dispatched request).
+    vtime: f64,
+    /// Last finish tag per tenant.
+    finish_tag: HashMap<usize, f64>,
+    /// Per-tenant FIFO queues (BTreeMap so tag ties break toward the
+    /// lowest tenant id, deterministically).
+    queues: BTreeMap<usize, VecDeque<FairReq>>,
+    len: usize,
+}
+
+impl FairQueue {
+    /// Accounts service granted without queueing (a free server): the
+    /// tenant's finish tag still advances, so an uncontended head start
+    /// doesn't translate into extra share once the resource backlogs.
+    fn charge(&mut self, tenant: usize, weight: f64, dur: Nanos) {
+        let start = self
+            .vtime
+            .max(self.finish_tag.get(&tenant).copied().unwrap_or(0.0));
+        self.finish_tag
+            .insert(tenant, start + dur.0 as f64 / weight);
+        self.vtime = self.vtime.max(start);
+    }
+
+    fn enqueue(&mut self, tenant: usize, weight: f64, dur: Nanos, wf: usize, step: usize) {
+        let start = self
+            .vtime
+            .max(self.finish_tag.get(&tenant).copied().unwrap_or(0.0));
+        self.finish_tag
+            .insert(tenant, start + dur.0 as f64 / weight);
+        self.queues.entry(tenant).or_default().push_back(FairReq {
+            tag: start,
+            wf,
+            step,
+        });
+        self.len += 1;
+    }
+
+    /// Dispatches the queued request with the smallest start tag (ties:
+    /// lowest tenant id; within a tenant, FIFO).
+    fn pick(&mut self) -> Option<(usize, usize)> {
+        let mut best: Option<(f64, usize)> = None;
+        for (&tenant, q) in &self.queues {
+            if let Some(head) = q.front() {
+                if best.is_none_or(|(tag, _)| head.tag < tag) {
+                    best = Some((head.tag, tenant));
+                }
+            }
+        }
+        let (tag, tenant) = best?;
+        let q = self.queues.get_mut(&tenant).expect("queue exists");
+        let req = q.pop_front().expect("queue nonempty");
+        if q.is_empty() {
+            self.queues.remove(&tenant);
+        }
+        self.len -= 1;
+        self.vtime = self.vtime.max(tag);
+        Some((req.wf, req.step))
+    }
+}
+
 #[derive(Debug)]
 struct Res {
     servers: usize,
     busy: usize,
-    pending: VecDeque<(usize, usize)>, // (workflow, step)
+    pending: VecDeque<(usize, usize)>, // (workflow, step) — FIFO policy
+    fair: FairQueue,                   // WeightedFair policy
     busy_time: Nanos,
+    max_queue: usize,
+}
+
+impl Res {
+    fn queue_len(&self) -> usize {
+        self.pending.len() + self.fair.len
+    }
+}
+
+/// Per-tenant admission runtime (only materialized for tenants with an
+/// [`AdmissionConfig`]).
+#[derive(Debug)]
+struct TenantRt {
+    tokens: f64,
+    last_refill: Nanos,
+    in_flight: usize,
+    waitq: VecDeque<usize>,
+}
+
+/// Outcome of the admission check at workflow start.
+enum Admitted {
+    Start,
+    Queue,
+    Reject,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -386,6 +881,11 @@ struct Sim {
     cores_per_node: usize,
     slowdowns: HashMap<usize, f64>,
     straggler_delay: HashMap<usize, Nanos>,
+    policy: SchedulingPolicy,
+    weights: HashMap<usize, f64>,
+    admission: HashMap<usize, AdmissionConfig>,
+    tenant_rt: HashMap<usize, TenantRt>,
+    tenants: BTreeMap<usize, TenantCounters>,
     #[allow(clippy::type_complexity)]
     events: BinaryHeap<Reverse<(Nanos, u64, EventBox)>>,
     resources: HashMap<ResourceKey, Res>,
@@ -409,13 +909,24 @@ impl Ord for EventBox {
 }
 
 impl Sim {
-    fn new(cores_per_node: usize, slowdowns: HashMap<usize, f64>) -> Sim {
+    fn new(
+        cores_per_node: usize,
+        slowdowns: HashMap<usize, f64>,
+        policy: SchedulingPolicy,
+        weights: HashMap<usize, f64>,
+        admission: HashMap<usize, AdmissionConfig>,
+    ) -> Sim {
         Sim {
             now: Nanos::ZERO,
             seq: 0,
             cores_per_node,
             slowdowns,
             straggler_delay: HashMap::new(),
+            policy,
+            weights,
+            admission,
+            tenant_rt: HashMap::new(),
+            tenants: BTreeMap::new(),
             events: BinaryHeap::new(),
             resources: HashMap::new(),
         }
@@ -436,12 +947,43 @@ impl Sim {
         }
     }
 
-    fn execute(&mut self, jobs: Vec<(usize, usize, Workflow, Trigger)>) -> RunReport {
+    /// Token-bucket + in-flight admission for one arriving workflow.
+    /// Counters for `offered` are maintained by the caller.
+    fn admit(&mut self, tenant: usize, now: Nanos) -> Admitted {
+        let Some(cfg) = self.admission.get(&tenant).copied() else {
+            return Admitted::Start;
+        };
+        let rt = self.tenant_rt.entry(tenant).or_insert_with(|| TenantRt {
+            tokens: cfg.burst,
+            last_refill: Nanos::ZERO,
+            in_flight: 0,
+            waitq: VecDeque::new(),
+        });
+        if let Some(rate) = cfg.rate_per_sec {
+            let dt = now.saturating_sub(rt.last_refill).as_secs_f64();
+            rt.tokens = (rt.tokens + dt * rate).min(cfg.burst);
+            rt.last_refill = now;
+            if rt.tokens < 1.0 {
+                return Admitted::Reject;
+            }
+            rt.tokens -= 1.0;
+        }
+        if let Some(cap) = cfg.max_in_flight {
+            if rt.in_flight >= cap {
+                return Admitted::Queue;
+            }
+        }
+        rt.in_flight += 1;
+        Admitted::Start
+    }
+
+    fn execute(&mut self, subs: Vec<Submission>) -> RunReport {
         // Build runtime state.
-        let mut wfs: Vec<WfState> = jobs
+        let mut wfs: Vec<WfState> = subs
             .into_iter()
-            .map(|(client, seq, wf, trigger)| {
-                let steps: Vec<StepState> = wf
+            .map(|sub| {
+                let steps: Vec<StepState> = sub
+                    .wf
                     .steps
                     .iter()
                     .map(|s| StepState {
@@ -449,18 +991,20 @@ impl Sim {
                         done_at: None,
                     })
                     .collect();
-                let mut successors = vec![Vec::new(); wf.steps.len()];
-                for (i, s) in wf.steps.iter().enumerate() {
+                let mut successors = vec![Vec::new(); sub.wf.steps.len()];
+                for (i, s) in sub.wf.steps.iter().enumerate() {
                     for d in &s.deps {
                         successors[d.0].push(i);
                     }
                 }
-                let remaining_steps = wf.steps.len();
+                let remaining_steps = sub.wf.steps.len();
                 WfState {
-                    client,
-                    seq,
-                    wf,
-                    trigger,
+                    client: sub.client,
+                    seq: sub.seq,
+                    tenant: sub.tenant,
+                    wf: sub.wf,
+                    trigger: sub.trigger,
+                    arrival: None,
                     started: None,
                     steps,
                     successors,
@@ -480,7 +1024,9 @@ impl Sim {
 
         let mut finished: Vec<Option<WorkflowStats>> = (0..wfs.len()).map(|_| None).collect();
 
-        // Seed At-triggers.
+        // Seed At-triggers in index order (the entry points sort
+        // submissions by arrival first, so equal-timestamp ties fire in
+        // workflow-id order by construction).
         for (i, w) in wfs.iter().enumerate() {
             if let Trigger::At(t) = w.trigger {
                 self.push(t, Event::StartWorkflow { wf: i });
@@ -491,21 +1037,29 @@ impl Sim {
             self.now = t;
             match ev {
                 Event::StartWorkflow { wf } => {
-                    wfs[wf].started = Some(t);
-                    if wfs[wf].wf.steps.is_empty() {
-                        self.complete_workflow(wf, &mut wfs, &mut finished, &next_of);
-                        continue;
+                    let tenant = wfs[wf].tenant;
+                    if wfs[wf].arrival.is_none() {
+                        wfs[wf].arrival = Some(t);
                     }
-                    let ready: Vec<usize> = wfs[wf]
-                        .wf
-                        .steps
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, s)| s.deps.is_empty())
-                        .map(|(i, _)| i)
-                        .collect();
-                    for s in ready {
-                        self.request(wf, s, &mut wfs);
+                    self.tenants.entry(tenant).or_default().offered += 1;
+                    match self.admit(tenant, t) {
+                        Admitted::Start => {
+                            self.begin_workflow(wf, &mut wfs, &mut finished, &next_of);
+                        }
+                        Admitted::Queue => {
+                            self.tenants.entry(tenant).or_default().queued += 1;
+                            self.tenant_rt
+                                .get_mut(&tenant)
+                                .expect("admission runtime exists")
+                                .waitq
+                                .push_back(wf);
+                        }
+                        Admitted::Reject => {
+                            self.tenants.entry(tenant).or_default().rejected += 1;
+                            // A rejected workflow still unblocks its
+                            // client's next closed-loop submission.
+                            self.chain_next(wf, t, &wfs, &next_of);
+                        }
                     }
                 }
                 Event::StepDone { wf, step } => {
@@ -514,7 +1068,10 @@ impl Sim {
                     let next = {
                         let res = self.resources.get_mut(&key).expect("resource exists");
                         res.busy -= 1;
-                        res.pending.pop_front()
+                        match self.policy {
+                            SchedulingPolicy::Fifo => res.pending.pop_front(),
+                            SchedulingPolicy::WeightedFair => res.fair.pick(),
+                        }
                     };
                     if let Some((nwf, nstep)) = next {
                         self.start_step(nwf, nstep, &mut wfs);
@@ -540,34 +1097,102 @@ impl Sim {
         }
 
         let mut stats: Vec<WorkflowStats> = finished.into_iter().flatten().collect();
-        stats.sort_by_key(|s| (s.client, s.seq));
+        stats.sort_by_key(|s| (s.tenant, s.client, s.seq));
         let makespan = stats.iter().map(|s| s.finish).max().unwrap_or(Nanos::ZERO);
         let resource_busy = self
             .resources
             .iter()
             .map(|(k, r)| (*k, r.busy_time))
             .collect();
+        let queue_depth_max = self
+            .resources
+            .iter()
+            .map(|(k, r)| (*k, r.max_queue))
+            .collect();
         RunReport {
             stats,
             resource_busy,
+            queue_depth_max,
             straggler_delay: std::mem::take(&mut self.straggler_delay),
+            tenants: std::mem::take(&mut self.tenants),
             makespan,
+        }
+    }
+
+    /// Starts an admitted workflow at the current time: marks it
+    /// started, requests its ready steps (or completes it immediately
+    /// when empty).
+    fn begin_workflow(
+        &mut self,
+        wf: usize,
+        wfs: &mut [WfState],
+        finished: &mut [Option<WorkflowStats>],
+        next_of: &HashMap<(usize, usize), usize>,
+    ) {
+        wfs[wf].started = Some(self.now);
+        if wfs[wf].wf.steps.is_empty() {
+            self.complete_workflow(wf, wfs, finished, next_of);
+            return;
+        }
+        let ready: Vec<usize> = wfs[wf]
+            .wf
+            .steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.deps.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        for s in ready {
+            self.request(wf, s, wfs);
+        }
+    }
+
+    /// Fires the AfterPrevious trigger of `wf`'s successor (if any) at
+    /// `finish` plus the successor's think delay.
+    fn chain_next(
+        &mut self,
+        wf: usize,
+        finish: Nanos,
+        wfs: &[WfState],
+        next_of: &HashMap<(usize, usize), usize>,
+    ) {
+        let (client, seq) = (wfs[wf].client, wfs[wf].seq);
+        if let Some(&next) = next_of.get(&(client, seq)) {
+            // Only AfterPrevious successors wait on us; At-triggered
+            // workflows that happen to share a client were already
+            // seeded into the event heap.
+            if let Trigger::AfterPrevious(delay) = wfs[next].trigger {
+                self.push(finish + delay, Event::StartWorkflow { wf: next });
+            }
         }
     }
 
     fn request(&mut self, wf: usize, step: usize, wfs: &mut [WfState]) {
         let key = wfs[wf].wf.steps[step].resource;
         let servers = self.servers_for(key);
+        let tenant = wfs[wf].tenant;
+        let weight = self.weights.get(&tenant).copied().unwrap_or(1.0);
+        let dur = wfs[wf].wf.steps[step].duration;
+        let policy = self.policy;
         let res = self.resources.entry(key).or_insert_with(|| Res {
             servers,
             busy: 0,
             pending: VecDeque::new(),
+            fair: FairQueue::default(),
             busy_time: Nanos::ZERO,
+            max_queue: 0,
         });
         if res.busy < res.servers {
+            if policy == SchedulingPolicy::WeightedFair {
+                res.fair.charge(tenant, weight, dur);
+            }
             self.start_step(wf, step, wfs);
         } else {
-            res.pending.push_back((wf, step));
+            match policy {
+                SchedulingPolicy::Fifo => res.pending.push_back((wf, step)),
+                SchedulingPolicy::WeightedFair => res.fair.enqueue(tenant, weight, dur, wf, step),
+            }
+            res.max_queue = res.max_queue.max(res.queue_len());
         }
     }
 
@@ -604,13 +1229,17 @@ impl Sim {
         next_of: &HashMap<(usize, usize), usize>,
     ) {
         let w = &wfs[wf];
+        let tenant = w.tenant;
         let start = w.started.expect("workflow started");
+        let arrival = w.arrival.unwrap_or(start);
         let finish = self.now;
         let (breakdown, phases) = critical_path_breakdown(w, start);
         let net_bytes = w.wf.steps.iter().map(|s| s.net_bytes).sum();
         finished[wf] = Some(WorkflowStats {
             client: w.client,
             seq: w.seq,
+            tenant,
+            arrival,
             start,
             finish,
             latency: finish - start,
@@ -618,8 +1247,28 @@ impl Sim {
             phases,
             net_bytes,
         });
-        if let Some(&next) = next_of.get(&(w.client, w.seq)) {
-            self.push(finish, Event::StartWorkflow { wf: next });
+        self.tenants.entry(tenant).or_default().served += 1;
+        self.chain_next(wf, finish, wfs, next_of);
+        // Release the tenant's in-flight slot and dispatch its oldest
+        // queued arrival, if any.
+        if self.admission.contains_key(&tenant) {
+            let dispatch = {
+                let rt = self
+                    .tenant_rt
+                    .get_mut(&tenant)
+                    .expect("admission runtime exists");
+                rt.in_flight = rt.in_flight.saturating_sub(1);
+                match rt.waitq.pop_front() {
+                    Some(next) => {
+                        rt.in_flight += 1;
+                        Some(next)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(next) = dispatch {
+                self.begin_workflow(next, wfs, finished, next_of);
+            }
         }
     }
 }
@@ -730,6 +1379,8 @@ mod tests {
             .find(|s| s.latency == Nanos(200))
             .unwrap();
         assert_eq!(slow.breakdown.disk, Nanos(200));
+        // The second request waited: queue high-water mark is 1.
+        assert_eq!(report.queue_depth_max[&ResourceKey::Disk(0)], 1);
     }
 
     #[test]
@@ -772,6 +1423,73 @@ mod tests {
         assert_eq!(report.stats[0].latency, Nanos(50));
         assert_eq!(report.stats[1].latency, Nanos(90)); // waited 40
         assert_eq!(report.stats[2].latency, Nanos(50));
+    }
+
+    #[test]
+    fn open_loop_orders_unsorted_arrivals_by_time() {
+        // Regression (PR 7): arrival handling must not depend on input
+        // ordering. A time-unsorted arrival vector produces the same
+        // report as its time-sorted permutation — ids are assigned in
+        // arrival order, and equal-timestamp ties start in id order.
+        let mk = |d: u64| {
+            let mut wf = Workflow::new();
+            wf.step(ResourceKey::Disk(0), Nanos(d), CostClass::DiskRead, &[]);
+            wf
+        };
+        let unsorted = vec![
+            (Nanos(500), mk(70)),
+            (Nanos(0), mk(100)),
+            (Nanos(500), mk(30)),
+            (Nanos(200), mk(40)),
+        ];
+        let mut sorted = unsorted.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        let a = engine().run_open_loop(unsorted);
+        let b = engine().run_open_loop(sorted);
+        assert_eq!(a.stats.len(), b.stats.len());
+        for (x, y) in a.stats.iter().zip(&b.stats) {
+            assert_eq!(
+                (x.client, x.seq, x.start, x.finish),
+                (y.client, y.seq, y.start, y.finish)
+            );
+        }
+        assert_eq!(a.makespan, b.makespan);
+        // Ids follow arrival order; equal-timestamp ties (the two
+        // t=500 arrivals) keep input order and serve in id order: the
+        // 70ns workflow (earlier in input) runs before the 30ns one.
+        assert_eq!(a.stats[2].start, Nanos(500));
+        assert_eq!(a.stats[2].latency, Nanos(70));
+        assert_eq!(a.stats[3].latency, Nanos(30 + 70));
+    }
+
+    #[test]
+    fn run_jobs_is_permutation_invariant() {
+        let mk = |d: u64| {
+            let mut wf = Workflow::new();
+            wf.step(ResourceKey::Disk(0), Nanos(d), CostClass::DiskRead, &[]);
+            wf
+        };
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| Job {
+                client: i,
+                seq: 0,
+                tenant: i % 2,
+                arrival: Nanos((i as u64 / 2) * 40),
+                workflow: mk(30 + 10 * i as u64),
+            })
+            .collect();
+        let mut shuffled = jobs.clone();
+        shuffled.reverse();
+        shuffled.swap(0, 3);
+        let a = engine().run_jobs(jobs);
+        let b = engine().run_jobs(shuffled);
+        for (x, y) in a.stats.iter().zip(&b.stats) {
+            assert_eq!(
+                (x.tenant, x.client, x.seq, x.start, x.finish),
+                (y.tenant, y.client, y.seq, y.start, y.finish)
+            );
+        }
+        assert_eq!(a.makespan, b.makespan);
     }
 
     #[test]
@@ -930,6 +1648,21 @@ mod tests {
             &[StepId(5)],
         );
     }
+
+    #[test]
+    fn work_accessors() {
+        let mut wf = Workflow::new();
+        let a = wf.step(ResourceKey::Disk(0), Nanos(100), CostClass::DiskRead, &[]);
+        let b = wf.step(ResourceKey::Disk(1), Nanos(40), CostClass::DiskRead, &[]);
+        wf.step(
+            ResourceKey::Cpu(0),
+            Nanos(10),
+            CostClass::Processing,
+            &[a, b],
+        );
+        assert_eq!(wf.total_work(), Nanos(150));
+        assert_eq!(wf.critical_work(), Nanos(110));
+    }
 }
 
 #[cfg(test)]
@@ -998,5 +1731,198 @@ mod delay_tests {
             "fast branch is off the critical path"
         );
         assert_eq!(s.breakdown.other, Nanos(20));
+    }
+}
+
+#[cfg(test)]
+mod scheduling_tests {
+    use super::*;
+
+    fn disk_wf(d: u64) -> Workflow {
+        let mut wf = Workflow::new();
+        wf.step(ResourceKey::Disk(0), Nanos(d), CostClass::DiskRead, &[]);
+        wf
+    }
+
+    fn burst(tenant: usize, n: usize, d: u64) -> Vec<Job> {
+        (0..n)
+            .map(|i| Job {
+                client: tenant,
+                seq: i,
+                tenant,
+                arrival: Nanos::ZERO,
+                workflow: disk_wf(d),
+            })
+            .collect()
+    }
+
+    /// Served counts per tenant among workflows finishing by `cutoff`.
+    fn served_by(report: &RunReport, cutoff: Nanos) -> BTreeMap<usize, usize> {
+        let mut m = BTreeMap::new();
+        for s in &report.stats {
+            if s.finish <= cutoff {
+                *m.entry(s.tenant).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn fifo_starves_late_tenant_weighted_fair_interleaves() {
+        // Tenant 0's burst is submitted first; under FIFO tenant 1 waits
+        // for all of it, under WeightedFair service alternates.
+        let mut jobs = burst(0, 20, 100);
+        jobs.extend(burst(1, 20, 100));
+        let fifo = Engine::new(ClusterSpec::with_nodes(1)).run_jobs(jobs.clone());
+        let fair = Engine::new(ClusterSpec::with_nodes(1))
+            .with_scheduling(SchedulingPolicy::WeightedFair)
+            .run_jobs(jobs);
+        let half = Nanos(2000); // 20 services of 100ns each
+        let fifo_half = served_by(&fifo, half);
+        let fair_half = served_by(&fair, half);
+        // FIFO: the first-submitted tenant hogs the first half.
+        assert_eq!(fifo_half.get(&0), Some(&20));
+        assert_eq!(fifo_half.get(&1), None);
+        // WeightedFair: equal weights → equal halves (±1 for the pick
+        // at t=0).
+        let a = *fair_half.get(&0).unwrap_or(&0) as i64;
+        let b = *fair_half.get(&1).unwrap_or(&0) as i64;
+        assert!((a - b).abs() <= 1, "fair split, got {a} vs {b}");
+        // Everyone completes under both policies.
+        assert_eq!(fifo.stats.len(), 40);
+        assert_eq!(fair.stats.len(), 40);
+        assert_eq!(fifo.makespan, fair.makespan);
+    }
+
+    #[test]
+    fn weights_skew_the_share() {
+        let mut jobs = burst(0, 30, 100);
+        jobs.extend(burst(1, 30, 100));
+        let report = Engine::new(ClusterSpec::with_nodes(1))
+            .with_scheduling(SchedulingPolicy::WeightedFair)
+            .with_tenant_weight(0, 2.0)
+            .with_tenant_weight(1, 1.0)
+            .run_jobs(jobs);
+        // In the first 30 services, tenant 0 (weight 2) gets ~2/3.
+        let m = served_by(&report, Nanos(3000));
+        let a = *m.get(&0).unwrap_or(&0) as f64;
+        let b = *m.get(&1).unwrap_or(&0) as f64;
+        assert!(a / b > 1.5 && a / b < 2.5, "2:1 weights, got {a}:{b}");
+    }
+
+    #[test]
+    fn token_bucket_rejects_over_rate() {
+        // 10 arrivals in 1ms at a 1000/s limit with burst 2: tokens
+        // refill ~1 per ms, so roughly burst + rate×span ≈ 3 admit.
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| Job {
+                client: 0,
+                seq: i,
+                tenant: 0,
+                arrival: Nanos::from_micros(100 * i as u64),
+                workflow: disk_wf(10),
+            })
+            .collect();
+        let report = Engine::new(ClusterSpec::with_nodes(1))
+            .with_admission(0, AdmissionConfig::rate_limit(1000.0, 2.0))
+            .run_jobs(jobs);
+        let c = report.tenants[&0];
+        assert_eq!(c.offered, 10);
+        assert_eq!(c.served + c.rejected, 10);
+        // Burst (2) plus ~0.9ms × 1000/s of refill.
+        assert!(c.served >= 2 && c.served <= 3, "served {}", c.served);
+        assert_eq!(report.stats.len(), c.served as usize);
+    }
+
+    #[test]
+    fn in_flight_cap_queues_and_preserves_order() {
+        // 4 long workflows, cap 1: they serialize through admission and
+        // sojourn includes the queue wait while latency does not.
+        let jobs = burst(0, 4, 100);
+        let report = Engine::new(ClusterSpec::with_nodes(1))
+            .with_admission(0, AdmissionConfig::in_flight_cap(1))
+            .run_jobs(jobs);
+        let c = report.tenants[&0];
+        assert_eq!(c.offered, 4);
+        assert_eq!(c.served, 4);
+        assert_eq!(c.queued, 3);
+        assert_eq!(c.rejected, 0);
+        for (i, s) in report.stats.iter().enumerate() {
+            assert_eq!(s.seq, i, "admission queue is FIFO");
+            assert_eq!(s.latency, Nanos(100), "latency excludes admission wait");
+            assert_eq!(s.sojourn(), Nanos(100 * (i as u64 + 1)));
+            assert_eq!(s.arrival, Nanos::ZERO);
+            assert_eq!(s.start, Nanos(100 * i as u64));
+        }
+    }
+
+    #[test]
+    fn tenant_summaries_cover_counters_and_percentiles() {
+        let mut jobs = burst(0, 8, 100);
+        jobs.extend(burst(1, 4, 50));
+        let report = Engine::new(ClusterSpec::with_nodes(1))
+            .with_scheduling(SchedulingPolicy::WeightedFair)
+            .run_jobs(jobs);
+        let sums = report.tenant_summaries();
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].tenant, 0);
+        assert_eq!(sums[0].counters.served, 8);
+        assert_eq!(sums[1].counters.served, 4);
+        for s in &sums {
+            assert!(s.p999 >= s.p99 && s.p99 >= s.p50);
+            assert!(s.goodput_qps > 0.0);
+        }
+    }
+
+    #[test]
+    fn metrics_export_records_tenants_and_queues() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let jobs = burst(0, 3, 100);
+        let report = Engine::new(ClusterSpec::with_nodes(1))
+            .with_metrics(registry.clone())
+            .run_jobs(jobs);
+        assert_eq!(report.stats.len(), 3);
+        assert_eq!(registry.tenant(0).counter("offered").get(), 3);
+        assert_eq!(registry.tenant(0).counter("served").get(), 3);
+        assert_eq!(registry.tenant(0).histogram("sojourn_ns").count(), 3);
+        assert_eq!(registry.gauge("queue_depth_max.disk0").get(), 2);
+    }
+
+    #[test]
+    fn closed_clients_apply_think_time() {
+        let clients = vec![ClosedClient {
+            tenant: 3,
+            issues: vec![(Nanos(10), disk_wf(100)), (Nanos(40), disk_wf(100))],
+        }];
+        let report = Engine::new(ClusterSpec::with_nodes(1)).run_closed_clients(clients);
+        assert_eq!(report.stats.len(), 2);
+        assert_eq!(report.stats[0].tenant, 3);
+        assert_eq!(report.stats[0].start, Nanos(10));
+        // Second issue: finish of first (110) + think 40.
+        assert_eq!(report.stats[1].start, Nanos(150));
+        assert_eq!(report.tenants[&3].served, 2);
+    }
+
+    #[test]
+    fn rejected_closed_loop_workflow_still_chains() {
+        // Cap the rate so the second of three issues is rejected: the
+        // third must still run.
+        let clients = vec![ClosedClient {
+            tenant: 0,
+            issues: vec![
+                (Nanos::ZERO, disk_wf(100)),
+                (Nanos::ZERO, disk_wf(100)),
+                (Nanos::from_millis(2), disk_wf(100)),
+            ],
+        }];
+        let report = Engine::new(ClusterSpec::with_nodes(1))
+            .with_admission(0, AdmissionConfig::rate_limit(500.0, 1.0))
+            .run_closed_clients(clients);
+        let c = report.tenants[&0];
+        assert_eq!(c.offered, 3);
+        assert_eq!(c.rejected, 1);
+        assert_eq!(c.served, 2);
+        assert_eq!(report.stats.len(), 2);
+        assert_eq!(report.stats[1].seq, 2, "third issue ran after rejection");
     }
 }

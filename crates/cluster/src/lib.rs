@@ -51,15 +51,18 @@ pub mod spec;
 pub mod store;
 pub mod time;
 pub mod topology;
+pub mod traffic;
 
 pub use engine::{
-    Breakdown, CostClass, Engine, ResourceKey, RunReport, StepId, Workflow, WorkflowStats,
+    AdmissionConfig, Breakdown, ClosedClient, CostClass, Engine, Job, ResourceKey, RunReport,
+    SchedulingPolicy, StepId, TenantCounters, TenantSummary, Workflow, WorkflowStats,
 };
 pub use fault::{AppliedFault, FaultEvent, FaultInjector, FaultKind, FaultSchedule, ScheduleError};
 pub use spec::{ClusterSpec, CostModel, RetryPolicy};
 pub use store::{BlockId, BlockStore, ClusterError};
 pub use time::{percentile, transfer_time, Nanos};
 pub use topology::Topology;
+pub use traffic::{ArrivalModel, BurstShape, Traffic, TrafficConfig, TrafficGen};
 
 // Re-exported so workflow builders can tag steps without a direct
 // `fusion-obs` dependency.

@@ -3,7 +3,7 @@
 //! invariants that must hold for any fault schedule.
 
 use bytes::Bytes;
-use fusion_cluster::engine::{CostClass, Engine, ResourceKey, Workflow};
+use fusion_cluster::engine::{CostClass, Engine, Job, ResourceKey, SchedulingPolicy, Workflow};
 use fusion_cluster::fault::{FaultInjector, FaultSchedule};
 use fusion_cluster::spec::ClusterSpec;
 use fusion_cluster::store::{BlockId, BlockStore, ClusterError};
@@ -140,6 +140,92 @@ proptest! {
         let report = Engine::new(ClusterSpec::with_nodes(3)).run_closed_loop(vec![wfs]);
         for pair in report.stats.windows(2) {
             prop_assert!(pair[1].start >= pair[0].finish);
+        }
+    }
+
+    #[test]
+    fn busy_time_conserves_step_durations(
+        clients in prop::collection::vec(prop::collection::vec(arb_workflow(), 1..4), 1..5),
+    ) {
+        // With no stragglers, every nanosecond of demand lands on exactly
+        // one resource: summed busy time equals summed step durations.
+        let demand: Nanos = clients
+            .iter()
+            .flatten()
+            .map(|wf| wf.total_work())
+            .sum();
+        let report = Engine::new(ClusterSpec::with_nodes(3)).run_closed_loop(clients);
+        let busy: Nanos = report.resource_busy.values().copied().sum();
+        prop_assert_eq!(busy, demand, "busy time must conserve offered work");
+    }
+
+    #[test]
+    fn steps_never_start_before_dependencies_or_arrival(
+        specs in prop::collection::vec((arb_workflow(), 0u64..5_000), 1..10),
+    ) {
+        // Dependency ordering and arrival gating, observed through the
+        // report: a workflow starts no earlier than its arrival, and its
+        // latency is at least its uncontended critical path (impossible
+        // if any step jumped a dependency or the arrival gate).
+        let jobs: Vec<Job> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (wf, t))| Job {
+                client: i,
+                seq: 0,
+                tenant: i % 3,
+                arrival: Nanos(*t),
+                workflow: wf.clone(),
+            })
+            .collect();
+        let critical: std::collections::HashMap<usize, Nanos> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (wf, _))| (i, wf.critical_work()))
+            .collect();
+        let report = Engine::new(ClusterSpec::with_nodes(3)).run_jobs(jobs);
+        prop_assert_eq!(report.stats.len(), specs.len());
+        for s in &report.stats {
+            prop_assert!(s.start >= s.arrival, "started before arrival");
+            prop_assert!(
+                s.latency >= critical[&s.client],
+                "latency {} below critical path {}", s.latency, critical[&s.client]
+            );
+            prop_assert!(s.sojourn() >= s.latency);
+        }
+    }
+
+    #[test]
+    fn phase_partition_survives_multi_tenant_interleaving(
+        specs in prop::collection::vec((arb_workflow(), 0u64..3_000), 1..12),
+        weighted in any::<bool>(),
+    ) {
+        // PhaseBreakdown (and the class breakdown) must still partition
+        // latency exactly when tenants interleave under either policy.
+        let jobs: Vec<Job> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (wf, t))| Job {
+                client: i,
+                seq: 0,
+                tenant: i % 4,
+                arrival: Nanos(t),
+                workflow: wf,
+            })
+            .collect();
+        let policy = if weighted {
+            SchedulingPolicy::WeightedFair
+        } else {
+            SchedulingPolicy::Fifo
+        };
+        let report = Engine::new(ClusterSpec::with_nodes(3))
+            .with_scheduling(policy)
+            .with_tenant_weight(0, 2.0)
+            .run_jobs(jobs);
+        for s in &report.stats {
+            prop_assert_eq!(s.phases.total(), s.latency.0,
+                "phase partition must cover latency under {:?}", policy);
+            prop_assert_eq!(s.breakdown.total(), s.latency);
         }
     }
 

@@ -128,6 +128,39 @@ impl Store {
     pub fn simulate_solo(&self, workflow: &Workflow) -> Nanos {
         self.simulate(vec![vec![workflow.clone()]]).stats[0].latency
     }
+
+    /// Compiles a query mix — `(object, sql)` pairs — into workflow
+    /// templates for the traffic generator
+    /// ([`fusion_cluster::traffic::TrafficGen::generate`]). Each query
+    /// executes once on the data plane here; the generator then clones
+    /// the resulting workflows into timestamped submission streams.
+    ///
+    /// # Errors
+    ///
+    /// See [`Store::query_as`].
+    pub fn query_mix(&self, queries: &[(&str, &str)]) -> Result<Vec<Workflow>> {
+        queries
+            .iter()
+            .map(|(object, sql)| Ok(self.query_as(object, sql)?.workflow))
+            .collect()
+    }
+
+    /// Runs a multi-tenant open-loop job stream on this store's cluster
+    /// spec under `policy`, mirroring fault-injector straggler
+    /// multipliers — the traffic-engine counterpart of
+    /// [`Store::simulate`]. Admission limits and tenant weights beyond
+    /// the defaults are configured by building an
+    /// [`Engine`] directly.
+    pub fn simulate_jobs(
+        &self,
+        jobs: Vec<fusion_cluster::engine::Job>,
+        policy: fusion_cluster::engine::SchedulingPolicy,
+    ) -> RunReport {
+        Engine::new(self.config().cluster.clone())
+            .with_slowdowns(self.slowdowns().clone())
+            .with_scheduling(policy)
+            .run_jobs(jobs)
+    }
 }
 
 /// A location in the cluster for transfer modelling.

@@ -358,3 +358,44 @@ fn limit_reduces_transfers() {
         full.net_bytes
     );
 }
+
+#[test]
+fn query_mix_feeds_the_traffic_engine() {
+    use fusion_cluster::engine::SchedulingPolicy;
+    use fusion_cluster::time::Nanos;
+    use fusion_cluster::traffic::{ArrivalModel, BurstShape, Traffic, TrafficConfig, TrafficGen};
+
+    let table = test_table(3000);
+    let store = store_with(QueryMode::AdaptivePushdown, &table, 500);
+    let mix = store
+        .query_mix(&[
+            ("t", "SELECT orderkey FROM t WHERE flag = 'O'"),
+            ("t", "SELECT count(*) FROM t WHERE flag != 'N'"),
+        ])
+        .unwrap();
+    assert_eq!(mix.len(), 2);
+    assert!(mix.iter().all(|wf| !wf.is_empty()));
+
+    // Compile the mix into an open-loop two-tenant stream and run it.
+    let gen = TrafficGen::new(TrafficConfig {
+        seed: 11,
+        tenants: 2,
+        zipf_theta: 0.5,
+        arrivals: ArrivalModel::OpenPoisson { rate_qps: 2_000.0 },
+        burst: BurstShape::Steady,
+        horizon: Nanos::from_millis(50),
+    });
+    let Traffic::Open(jobs) = gen.generate(&[mix]) else {
+        panic!("expected open-loop traffic");
+    };
+    assert!(!jobs.is_empty());
+    let offered = jobs.len() as u64;
+    let report = store.simulate_jobs(jobs, SchedulingPolicy::WeightedFair);
+    assert_eq!(report.stats.len() as u64, offered);
+    let served: u64 = report.tenants.values().map(|c| c.served).sum();
+    assert_eq!(served, offered);
+    for summary in report.tenant_summaries() {
+        assert!(summary.p99 >= summary.p50);
+        assert!(summary.goodput_qps > 0.0);
+    }
+}
