@@ -108,6 +108,72 @@ fn bench_filter_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_grouped_aggregate(c: &mut Criterion) {
+    // GROUP BY pushdown: the end-to-end grouped query on both executors,
+    // plus the keyed kernels in isolation (code-indexed encoded-domain
+    // accumulation vs decode-then-hash-group).
+    use fusion_sql::ast::AggFunc;
+    use fusion_sql::bitmap::Bitmap;
+    use fusion_sql::eval::{group_aggregate_decoded, group_aggregate_encoded, AggInput};
+
+    let env = BenchEnv::new(0.05, 1, 1, 1);
+    let file = env.lineitem_file().to_vec();
+    let mut cfg = BenchEnv::store_config(SystemKind::Fusion, file.len(), 10 << 30);
+    cfg.aggregate_pushdown = true;
+    let mut fusion = Store::new(cfg).expect("valid config");
+    fusion.put("lineitem_0", file.clone()).expect("put");
+    let baseline = env.build_store(SystemKind::Baseline, "lineitem", &file);
+    let sql = "SELECT returnflag, count(*), sum(quantity), avg(extendedprice) \
+               FROM lineitem_0 WHERE quantity < 25 GROUP BY returnflag";
+
+    let mut g = c.benchmark_group("grouped_aggregate");
+    g.sample_size(20);
+    g.bench_function("fusion_pushdown", |b| {
+        b.iter(|| {
+            fusion
+                .query_as("lineitem_0", std::hint::black_box(sql))
+                .expect("runs")
+        });
+    });
+    g.bench_function("baseline_reassemble", |b| {
+        b.iter(|| {
+            baseline
+                .query_as("lineitem_0", std::hint::black_box(sql))
+                .expect("runs")
+        });
+    });
+
+    // Kernel-only: a dictionary/RLE key over 2^18 rows, one aggregate of
+    // each input kind, ~90% selectivity.
+    const ROWS: usize = 1 << 18;
+    let key = ColumnData::Int64((0..ROWS).map(|i| (i / 256 % 64) as i64).collect());
+    let (bytes, _) = encode_column_chunk(&key);
+    let hot = read_encoded_chunk(&bytes, LogicalType::Int64).expect("valid chunk");
+    let arg = ColumnData::Float64((0..ROWS).map(|i| i as f64 * 0.25).collect());
+    let filter: Bitmap = (0..ROWS).map(|i| i % 10 != 0).collect();
+    let aggs_enc = [
+        (AggFunc::Count, AggInput::Star),
+        (AggFunc::Sum, AggInput::Col(&arg)),
+        (AggFunc::Min, AggInput::Key),
+    ];
+    let decoded_key = decode_column_chunk(&bytes, LogicalType::Int64).expect("decode");
+    let aggs_dec: Vec<(AggFunc, Option<&ColumnData>)> = vec![
+        (AggFunc::Count, None),
+        (AggFunc::Sum, Some(&arg)),
+        (AggFunc::Min, Some(&decoded_key)),
+    ];
+    g.bench_function("kernel_encoded_hot", |b| {
+        b.iter(|| group_aggregate_encoded(&hot, std::hint::black_box(&aggs_enc), &filter))
+    });
+    g.bench_function("kernel_decode_then_group", |b| {
+        b.iter(|| {
+            let decoded = decode_column_chunk(&bytes, LogicalType::Int64).expect("decode");
+            group_aggregate_decoded(&[&decoded], std::hint::black_box(&aggs_dec), &filter)
+        })
+    });
+    g.finish();
+}
+
 fn bench_put(c: &mut Criterion) {
     let env = BenchEnv::new(0.02, 1, 1, 1);
     let file = env.lineitem_file().to_vec();
@@ -149,6 +215,7 @@ criterion_group!(
     benches,
     bench_query_dataplane,
     bench_filter_kernels,
+    bench_grouped_aggregate,
     bench_put,
     bench_simulation_replay
 );

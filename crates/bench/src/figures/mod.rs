@@ -4,6 +4,7 @@
 //! See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
 //! paper-vs-measured values.
 
+pub mod agg_pushdown;
 pub mod degraded;
 pub mod ec_throughput;
 pub mod latency;
@@ -37,6 +38,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig16bc",
     "ablation",
     "extagg",
+    "agg_pushdown",
     "degraded",
     "ec_throughput",
     "scan_throughput",
@@ -72,6 +74,7 @@ pub fn run(id: &str, env: &BenchEnv) -> String {
         "fig16bc" => storage::fig16bc(env),
         "ablation" => latency::ablation_adaptive(env),
         "extagg" => latency::ext_aggregate_pushdown(env),
+        "agg_pushdown" => agg_pushdown::agg_pushdown(env),
         "degraded" => degraded::degraded_latency(env),
         "ec_throughput" => ec_throughput::ec_throughput(env),
         "scan_throughput" => scan_throughput::scan_throughput(env),

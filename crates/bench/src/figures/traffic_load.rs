@@ -43,6 +43,8 @@ const MIX_SQL: &[&str] = &[
     "SELECT sum(extendedprice) FROM {} WHERE quantity < 25",
     "SELECT orderkey FROM {} WHERE shipdate < '1994-01-01' AND discount >= 0.05",
     "SELECT count(*) FROM {} WHERE returnflag != 'N'",
+    "SELECT returnflag, count(*), avg(extendedprice) FROM {} GROUP BY returnflag",
+    "SELECT returnflag, sum(quantity) FROM {} WHERE shipdate < '1995-01-01' GROUP BY returnflag",
 ];
 
 /// One measured point of the sweep.

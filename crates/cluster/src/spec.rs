@@ -242,6 +242,14 @@ impl CostModel {
         crate::time::transfer_time(bytes, self.cpu_project_bps)
     }
 
+    /// CPU time to build, merge, or serialize `bytes` of keyed
+    /// aggregate-state (GROUP BY pushdown ships per-group `PartialAgg`
+    /// slots instead of projected rows). State assembly is a gather-like
+    /// memory-bound pass, so it runs at the projection rate.
+    pub fn agg_state(&self, bytes: u64) -> Nanos {
+        crate::time::transfer_time(bytes, self.cpu_project_bps)
+    }
+
     /// CPU time to erasure-code `bytes` of stripe data at the calibrated
     /// scalar rate (equivalent to [`CostModel::ec_at`] with speedup 1).
     pub fn ec(&self, bytes: u64) -> Nanos {

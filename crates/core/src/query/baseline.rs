@@ -21,7 +21,8 @@ use fusion_format::chunk::decode_column_chunk;
 use fusion_format::value::ColumnData;
 use fusion_obs::trace::Phase;
 use fusion_sql::bitmap::Bitmap;
-use fusion_sql::eval::{combine, eval_filter, stats_all_match};
+use fusion_sql::eval::{combine, eval_filter, group_aggregate_decoded, stats_all_match};
+use fusion_sql::partial::GroupedAggs;
 use fusion_sql::plan::QueryPlan;
 
 /// Executes `plan` by reassembling all needed chunks at the coordinator.
@@ -182,6 +183,84 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
     };
     super::apply_limit(plan, &mut rg_bitmaps);
     let total_matches: usize = rg_bitmaps.iter().map(Bitmap::count_ones).sum();
+
+    // Grouped queries: the baseline has already reassembled every needed
+    // chunk at the coordinator, so it groups decoded values there —
+    // per row group, merged in row-group order (the same merge order the
+    // pushdown executor uses, so float results are bit-identical).
+    if plan.grouped() {
+        ctx.phase(Phase::GroupedAggregate);
+        ctx.trace
+            .enter(Phase::GroupedAggregate, "grouped_aggregate_stage");
+        let mut merged: Option<GroupedAggs> = None;
+        let mut group_cost = fusion_cluster::time::Nanos::ZERO;
+        for (rg, filter) in rg_bitmaps.iter().enumerate() {
+            let matches = filter.count_ones();
+            if matches == 0 {
+                continue;
+            }
+            let keys: Vec<&ColumnData> = plan
+                .group_by
+                .iter()
+                .map(|c| decoded.get(&(rg, *c)).expect("key column fetched above"))
+                .collect();
+            let aggs: Vec<_> = plan
+                .aggregates
+                .iter()
+                .map(|s| {
+                    (
+                        s.func,
+                        s.column.map(|c| {
+                            decoded
+                                .get(&(rg, c))
+                                .expect("aggregate column fetched above")
+                        }),
+                    )
+                })
+                .collect();
+            let rg_grouped = group_aggregate_decoded(&keys, &aggs, filter)?;
+            group_cost += cost.eval(matches as u64 * plan.aggregates.len().max(1) as u64)
+                + cost.agg_state(rg_grouped.wire_bytes());
+            match &mut merged {
+                Some(m) => m.merge(&rg_grouped)?,
+                slot => *slot = Some(rg_grouped),
+            }
+        }
+        let grouped = merged.unwrap_or_else(|| GroupedAggs::new(Vec::new()));
+        if ctx.trace.enabled() {
+            ctx.trace.add_count(grouped.len() as u64);
+            ctx.trace.add_bytes(grouped.wire_bytes());
+        }
+        ctx.trace.exit(); // grouped_aggregate_stage
+
+        let result = super::assemble_grouped_result(plan, &fm.schema, grouped, total_matches)?;
+        let reply_bytes = result_wire_bytes(&result);
+        let assemble = ctx.cpu(
+            Loc::Node(coord),
+            group_cost + cost.project(reply_bytes),
+            CostClass::Other,
+            &eval_frontier,
+        );
+        ctx.transfer(Loc::Node(coord), Loc::Client, reply_bytes, &[assemble]);
+
+        debug_assert_eq!(
+            pruned + cache_misses,
+            considered,
+            "chunk accounting must conserve"
+        );
+        return Ok(QueryOutput {
+            result,
+            selectivity,
+            workflow: ctx.wf,
+            net_bytes: ctx.net_bytes,
+            decisions: Vec::new(),
+            pruned_chunks: pruned,
+            cache_hits: 0,
+            cache_misses,
+            chunks_considered: considered,
+            trace: ctx.trace,
+        });
+    }
 
     // Project locally at the coordinator.
     ctx.phase(Phase::Project);

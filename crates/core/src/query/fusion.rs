@@ -352,6 +352,37 @@ pub fn execute(
     super::apply_limit(plan, &mut rg_bitmaps);
     let total_matches: usize = rg_bitmaps.iter().map(Bitmap::count_ones).sum();
 
+    // ---- GROUP BY pushdown (encoded-domain partial aggregation) ----
+    // Grouped queries never ship projected rows: each participating node
+    // reduces its matched rows to keyed `(group_key, PartialAgg)` states
+    // (dictionary codes index the accumulators, RLE runs accumulate whole
+    // spans), and the coordinator merges per-node states in row-group
+    // order so float accumulation stays deterministic. Multi-key grouping
+    // and the pushdown-off ablation fall back to grouping decoded values
+    // at the coordinator.
+    if plan.grouped() {
+        return grouped_aggregate_stage(
+            store,
+            object,
+            plan,
+            AggStageInputs {
+                fm,
+                meta,
+                coord,
+                ctx,
+                combine_step,
+                rg_bitmaps: &rg_bitmaps,
+                decoded_on: &decoded_on,
+                selectivity,
+                total_matches,
+                pruned,
+                cache_hits,
+                cache_misses,
+                considered,
+            },
+        );
+    }
+
     // ---- Aggregate pushdown (extension; paper future work) ----
     // For aggregate-only queries the nodes can compute partial aggregates
     // over their matched rows and ship back a handful of bytes instead of
@@ -796,6 +827,453 @@ fn aggregate_pushdown_stage(
     let assemble = ctx.cpu(
         Loc::Node(coord),
         cost.project(reply_bytes),
+        CostClass::Other,
+        &frontier,
+    );
+    ctx.transfer(Loc::Node(coord), Loc::Client, reply_bytes, &[assemble]);
+
+    debug_assert_eq!(
+        pruned + cache_hits + cache_misses,
+        considered,
+        "chunk accounting must conserve"
+    );
+    Ok(QueryOutput {
+        result,
+        selectivity,
+        workflow: ctx.wf,
+        net_bytes: ctx.net_bytes,
+        decisions,
+        pruned_chunks: pruned,
+        cache_hits,
+        cache_misses,
+        chunks_considered: considered,
+        trace: ctx.trace,
+    })
+}
+
+/// Completes a GROUP BY query by pushing keyed partial aggregation to
+/// the chunk-hosting nodes (the tentpole extension over scalar aggregate
+/// pushdown). With a single dictionary/RLE group key the nodes accumulate
+/// one slot vector per dictionary code — no per-row hashing — and RLE
+/// runs fold whole spans at a time. The wire carries per-node
+/// `(group_key, PartialAgg)` states instead of projected rows.
+///
+/// Per row group, the key chunk's node evaluates the aggregates whose
+/// argument is the key (or `COUNT(*)`); every other argument column's
+/// node receives the tiny encoded key descriptor plus the filter bitmap
+/// and reduces its own column. Degraded row groups — and multi-key or
+/// pushdown-off queries — fall back to fetching the touched chunks and
+/// running the decoded oracle kernel at the coordinator, so results are
+/// identical either way.
+fn grouped_aggregate_stage(
+    store: &Store,
+    object: &str,
+    plan: &QueryPlan,
+    inputs: AggStageInputs<'_>,
+) -> Result<QueryOutput> {
+    use fusion_sql::eval::{group_aggregate_decoded, group_aggregate_encoded, AggInput};
+    use fusion_sql::partial::{GroupKey, GroupedAggs};
+    let AggStageInputs {
+        fm,
+        meta,
+        coord,
+        mut ctx,
+        combine_step,
+        rg_bitmaps,
+        decoded_on,
+        selectivity,
+        total_matches,
+        pruned,
+        mut cache_hits,
+        mut cache_misses,
+        mut considered,
+    } = inputs;
+    let cost = store.config().cluster.cost.clone();
+    let csp = store.config().compression_speedup();
+    let speedup = store.config().scan_speedup();
+    let num_rgs = fm.row_groups.len();
+    ctx.phase(Phase::GroupedAggregate);
+    ctx.trace
+        .enter(Phase::GroupedAggregate, "grouped_aggregate_stage");
+
+    // The encoded fast path handles exactly one group key; multi-key
+    // grouping (and the pushdown-off ablation) groups decoded values at
+    // the coordinator instead.
+    let encoded_path = store.config().aggregate_pushdown && plan.group_by.len() == 1;
+
+    // Distinct aggregate-argument columns that are not the group key, in
+    // first-appearance order: each is reduced on its own hosting node.
+    let mut arg_cols: Vec<usize> = Vec::new();
+    for spec in &plan.aggregates {
+        if let Some(c) = spec.column {
+            if !plan.group_by.contains(&c) && !arg_cols.contains(&c) {
+                arg_cols.push(c);
+            }
+        }
+    }
+    // Aggregate indices the key node itself serves: `COUNT(*)` and any
+    // aggregate whose argument is a group-key column.
+    let key_aggs: Vec<usize> = plan
+        .aggregates
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.column.is_none() || s.column.is_some_and(|c| plan.group_by.contains(&c)))
+        .map(|(ai, _)| ai)
+        .collect();
+
+    let mut merged: Option<GroupedAggs> = None;
+    let mut frontier: Vec<StepId> = vec![combine_step];
+    let mut decisions = Vec::new();
+    let mut groups_emitted = 0u64;
+    let mut state_wire_total = 0u64;
+    // Counterfactual: what projecting the matched rows of every touched
+    // column would have shipped (average encoded-row width × matches).
+    let mut row_ship_bytes = 0u64;
+
+    // `rg` also indexes the footer metadata, not just the bitmaps.
+    #[allow(clippy::needless_range_loop)]
+    for rg in 0..num_rgs {
+        let filter = &rg_bitmaps[rg];
+        let matches = filter.count_ones();
+        if matches == 0 {
+            continue;
+        }
+        for &col_idx in plan.group_by.iter().chain(&arg_cols) {
+            let cm = fm.chunk(rg, col_idx)?;
+            row_ship_bytes += cm.plain_size * matches as u64 / cm.value_count.max(1);
+        }
+
+        // Pushdown needs every touched chunk whole and its node up.
+        let mut healthy = encoded_path;
+        if healthy {
+            for &col_idx in plan.group_by.iter().chain(&arg_cols) {
+                let ordinal = meta
+                    .chunk_ordinal(rg, col_idx)
+                    .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
+                let frags = meta.chunk_fragments(ordinal);
+                healthy &=
+                    frags.len() == 1 && store.blocks().has_block(frags[0].node, frags[0].block);
+            }
+        }
+
+        let rg_grouped = if healthy {
+            // ---- Encoded-domain pushdown for this row group ----
+            let key_col = plan.group_by[0];
+            let key_ty = fm.schema.fields()[key_col].ty;
+            let key_cm = fm.chunk(rg, key_col)?;
+            let key_ordinal = meta
+                .chunk_ordinal(rg, key_col)
+                .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
+            let key_node = meta.chunk_fragments(key_ordinal)[0].node;
+
+            // Data plane: the key chunk stays encoded (codes index the
+            // accumulators); argument columns decode on their own nodes.
+            considered += 1;
+            let (key_chunk, key_hit) = store.encoded_chunk(object, key_ordinal, key_ty)?;
+            if key_hit {
+                cache_hits += 1;
+            } else {
+                cache_misses += 1;
+            }
+            struct ArgFetch {
+                col: usize,
+                data: ColumnData,
+                hit: bool,
+                node: usize,
+                ordinal: usize,
+                cm_len: u64,
+                cm_plain: u64,
+                aggs: Vec<usize>,
+            }
+            let mut args: Vec<ArgFetch> = Vec::with_capacity(arg_cols.len());
+            for &col_idx in &arg_cols {
+                let ty = fm.schema.fields()[col_idx].ty;
+                let ordinal = meta
+                    .chunk_ordinal(rg, col_idx)
+                    .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
+                considered += 1;
+                let (chunk, hit) = store.encoded_chunk(object, ordinal, ty)?;
+                if hit {
+                    cache_hits += 1;
+                } else {
+                    cache_misses += 1;
+                }
+                let cm = fm.chunk(rg, col_idx)?;
+                args.push(ArgFetch {
+                    col: col_idx,
+                    data: chunk.decode()?,
+                    hit,
+                    node: meta.chunk_fragments(ordinal)[0].node,
+                    ordinal,
+                    cm_len: cm.len,
+                    cm_plain: cm.plain_size,
+                    aggs: plan
+                        .aggregates
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.column == Some(col_idx))
+                        .map(|(ai, _)| ai)
+                        .collect(),
+                });
+            }
+            let agg_inputs: Vec<(fusion_sql::ast::AggFunc, AggInput<'_>)> = plan
+                .aggregates
+                .iter()
+                .map(|s| {
+                    let input = match s.column {
+                        None => AggInput::Star,
+                        Some(c) if c == key_col => AggInput::Key,
+                        Some(c) => AggInput::Col(
+                            &args.iter().find(|a| a.col == c).expect("arg fetched").data,
+                        ),
+                    };
+                    (s.func, input)
+                })
+                .collect();
+            let rg_grouped = group_aggregate_encoded(&key_chunk, &agg_inputs, filter)
+                .map_err(StoreError::from)?;
+
+            // Per-node wire: every participating node returns the keys
+            // plus the states of the aggregates it owns.
+            let key_bytes: u64 = rg_grouped.groups.keys().map(GroupKey::wire_bytes).sum();
+            let state_bytes_for = |agg_idxs: &[usize]| -> u64 {
+                key_bytes
+                    + rg_grouped
+                        .groups
+                        .values()
+                        .map(|parts| {
+                            agg_idxs
+                                .iter()
+                                .map(|&ai| parts[ai].wire_bytes())
+                                .sum::<u64>()
+                        })
+                        .sum::<u64>()
+            };
+
+            // Time plane: bitmap down to the key node; descriptor + bitmap
+            // to each argument node; only keyed states come back.
+            let bm_raw = filter.to_bytes();
+            let bm_wire = fusion_snappy::compress(&bm_raw).len() as u64;
+            let start = ctx.retry(store.retry_penalty(key_node), &[combine_step]);
+            let comp = ctx.cpu(
+                Loc::Node(coord),
+                cost.compress_at(bm_raw.len() as u64, csp),
+                CostClass::Other,
+                &start,
+            );
+            let key_wire = state_bytes_for(&key_aggs);
+            let key_cpu = cost.eval_at(matches as u64 * key_aggs.len().max(1) as u64, speedup)
+                + cost.agg_state(key_wire);
+            let mut key_deps =
+                ctx.transfer(Loc::Node(coord), Loc::Node(key_node), bm_wire, &[comp]);
+            let key_work = match decoded_on.get(&key_ordinal) {
+                Some(&(n, eval_step)) if n == key_node => {
+                    key_deps.push(eval_step);
+                    ctx.cpu(
+                        Loc::Node(key_node),
+                        key_cpu,
+                        CostClass::Processing,
+                        &key_deps,
+                    )
+                }
+                _ if key_hit => ctx.cpu(
+                    Loc::Node(key_node),
+                    key_cpu,
+                    CostClass::Processing,
+                    &key_deps,
+                ),
+                _ => {
+                    let read = ctx.disk(key_node, key_cm.len, &key_deps);
+                    ctx.cpu(
+                        Loc::Node(key_node),
+                        cost.decode_at(key_cm.plain_size, speedup * csp) + key_cpu,
+                        CostClass::Processing,
+                        &[read],
+                    )
+                }
+            };
+            frontier.extend(ctx.transfer(
+                Loc::Node(key_node),
+                Loc::Node(coord),
+                key_wire,
+                &[key_work],
+            ));
+            state_wire_total += key_wire;
+            decisions.push(ProjectionDecision {
+                row_group: rg,
+                column: key_col,
+                cost_product: key_wire as f64 / key_cm.len.max(1) as f64,
+                pushed_down: true,
+            });
+
+            for arg in &args {
+                let wire = state_bytes_for(&arg.aggs);
+                let mut deps: Vec<StepId> = Vec::new();
+                if arg.node == key_node {
+                    // Same node already holds the parsed key chunk.
+                    deps.push(key_work);
+                } else {
+                    // Bitmap from the coordinator, encoded key descriptor
+                    // from the key node (tiny: the dictionary + runs).
+                    deps.extend(ctx.transfer(
+                        Loc::Node(coord),
+                        Loc::Node(arg.node),
+                        bm_wire,
+                        &[comp],
+                    ));
+                    deps.extend(ctx.transfer(
+                        Loc::Node(key_node),
+                        Loc::Node(arg.node),
+                        key_cm.len,
+                        &[key_work],
+                    ));
+                }
+                let deps = ctx.retry(store.retry_penalty(arg.node), &deps);
+                let arg_cpu = cost.eval_at(matches as u64 * arg.aggs.len() as u64, speedup)
+                    + cost.agg_state(wire);
+                let work = match decoded_on.get(&arg.ordinal) {
+                    Some(&(n, eval_step)) if n == arg.node => {
+                        let mut deps = deps.clone();
+                        deps.push(eval_step);
+                        ctx.cpu(Loc::Node(arg.node), arg_cpu, CostClass::Processing, &deps)
+                    }
+                    _ if arg.hit => {
+                        ctx.cpu(Loc::Node(arg.node), arg_cpu, CostClass::Processing, &deps)
+                    }
+                    _ => {
+                        let read = ctx.disk(arg.node, arg.cm_len, &deps);
+                        ctx.cpu(
+                            Loc::Node(arg.node),
+                            cost.decode_at(arg.cm_plain, csp) + arg_cpu,
+                            CostClass::Processing,
+                            &[read],
+                        )
+                    }
+                };
+                frontier.extend(ctx.transfer(Loc::Node(arg.node), Loc::Node(coord), wire, &[work]));
+                state_wire_total += wire;
+                decisions.push(ProjectionDecision {
+                    row_group: rg,
+                    column: arg.col,
+                    cost_product: wire as f64 / arg.cm_len.max(1) as f64,
+                    pushed_down: true,
+                });
+            }
+            rg_grouped
+        } else {
+            // ---- Coordinator fallback for this row group ----
+            // Fetch every touched chunk (rebuilding lost fragments from
+            // their stripes), decode, and run the decoded oracle kernel.
+            let mut arrived: Vec<StepId> = Vec::new();
+            let mut decode_cost = fusion_cluster::time::Nanos::ZERO;
+            let mut fetched: std::collections::HashMap<usize, ColumnData> =
+                std::collections::HashMap::new();
+            for &col_idx in plan.group_by.iter().chain(&arg_cols) {
+                let cm = fm.chunk(rg, col_idx)?;
+                let ty = fm.schema.fields()[col_idx].ty;
+                let ordinal = meta
+                    .chunk_ordinal(rg, col_idx)
+                    .ok_or_else(|| StoreError::Internal("chunk ordinal out of range".into()))?;
+                let frags = meta.chunk_fragments(ordinal);
+                considered += 1;
+                let chunk_healthy =
+                    frags.len() == 1 && store.blocks().has_block(frags[0].node, frags[0].block);
+                let col = if chunk_healthy {
+                    let (chunk, hit) = store.encoded_chunk(object, ordinal, ty)?;
+                    if hit {
+                        cache_hits += 1;
+                    } else {
+                        cache_misses += 1;
+                    }
+                    chunk.decode()?
+                } else {
+                    cache_misses += 1;
+                    let chunk_bytes = store.chunk_bytes(object, ordinal)?;
+                    decode_column_chunk(&chunk_bytes, ty)?
+                };
+                fetched.insert(col_idx, col);
+                for f in &frags {
+                    if store.blocks().has_block(f.node, f.block) {
+                        let req = ctx.rpc(Loc::Node(coord), Loc::Node(f.node), &[combine_step]);
+                        let req = ctx.retry(store.retry_penalty(f.node), &req);
+                        let read = ctx.disk(f.node, f.len, &req);
+                        arrived.extend(ctx.transfer(
+                            Loc::Node(f.node),
+                            Loc::Node(coord),
+                            f.len,
+                            &[read],
+                        ));
+                    } else {
+                        arrived.push(degraded_fragment_fetch(
+                            store,
+                            meta,
+                            &mut ctx,
+                            coord,
+                            f,
+                            &[combine_step],
+                        )?);
+                    }
+                }
+                decode_cost += cost.decode_at(cm.plain_size, csp) + cost.eval(cm.value_count);
+            }
+            let keys: Vec<&ColumnData> = plan
+                .group_by
+                .iter()
+                .map(|c| fetched.get(c).expect("key column fetched above"))
+                .collect();
+            let aggs: Vec<(fusion_sql::ast::AggFunc, Option<&ColumnData>)> = plan
+                .aggregates
+                .iter()
+                .map(|s| {
+                    (
+                        s.func,
+                        s.column
+                            .map(|c| fetched.get(&c).expect("aggregate column fetched above")),
+                    )
+                })
+                .collect();
+            let rg_grouped =
+                group_aggregate_decoded(&keys, &aggs, filter).map_err(StoreError::from)?;
+            frontier.push(ctx.cpu(
+                Loc::Node(coord),
+                decode_cost + cost.agg_state(rg_grouped.wire_bytes()),
+                CostClass::Processing,
+                &arrived,
+            ));
+            rg_grouped
+        };
+
+        groups_emitted += rg_grouped.len() as u64;
+        // Merge in row-group order: keyed float states accumulate in a
+        // fixed association order, so re-running the query is bit-stable.
+        match &mut merged {
+            Some(m) => m.merge(&rg_grouped).map_err(StoreError::from)?,
+            slot => *slot = Some(rg_grouped),
+        }
+    }
+
+    let grouped = merged.unwrap_or_else(|| GroupedAggs::new(Vec::new()));
+    store
+        .metrics()
+        .counter("agg_groups_emitted")
+        .add(groups_emitted);
+    store
+        .metrics()
+        .counter("agg_wire_bytes_saved")
+        .add(row_ship_bytes.saturating_sub(state_wire_total));
+    if ctx.trace.enabled() {
+        ctx.trace.add_count(groups_emitted);
+        ctx.trace.add_bytes(state_wire_total);
+    }
+    ctx.trace.exit(); // grouped_aggregate_stage
+
+    let result = super::assemble_grouped_result(plan, &fm.schema, grouped, total_matches)?;
+    let reply_bytes = result_wire_bytes(&result);
+    ctx.phase(Phase::Other);
+    // The coordinator merges per-node keyed states, then replies.
+    let assemble = ctx.cpu(
+        Loc::Node(coord),
+        cost.agg_state(state_wire_total) + cost.project(reply_bytes),
         CostClass::Other,
         &frontier,
     );

@@ -29,6 +29,8 @@ pub enum Phase {
     Project,
     /// Aggregate pushdown: partial aggregation at data nodes.
     Aggregate,
+    /// GROUP BY pushdown: keyed partial aggregation at data nodes.
+    GroupedAggregate,
     /// Erasure-coded reconstruction on the degraded path.
     DegradedReconstruct,
     /// Retry penalties charged against flaky (recently revived) nodes.
@@ -43,7 +45,7 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 13] = [
         Phase::StatsPrune,
         Phase::CacheLookup,
         Phase::ShardRead,
@@ -52,6 +54,7 @@ impl Phase {
         Phase::Filter,
         Phase::Project,
         Phase::Aggregate,
+        Phase::GroupedAggregate,
         Phase::DegradedReconstruct,
         Phase::Retry,
         Phase::Network,
@@ -72,6 +75,7 @@ impl Phase {
             Phase::Filter => "filter",
             Phase::Project => "project",
             Phase::Aggregate => "aggregate",
+            Phase::GroupedAggregate => "grouped_aggregate",
             Phase::DegradedReconstruct => "degraded_reconstruct",
             Phase::Retry => "retry",
             Phase::Network => "network",
@@ -90,10 +94,11 @@ impl Phase {
             Phase::Filter => 5,
             Phase::Project => 6,
             Phase::Aggregate => 7,
-            Phase::DegradedReconstruct => 8,
-            Phase::Retry => 9,
-            Phase::Network => 10,
-            Phase::Other => 11,
+            Phase::GroupedAggregate => 8,
+            Phase::DegradedReconstruct => 9,
+            Phase::Retry => 10,
+            Phase::Network => 11,
+            Phase::Other => 12,
         }
     }
 }
@@ -309,7 +314,7 @@ mod tests {
         for (i, p) in Phase::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
         }
-        assert_eq!(Phase::COUNT, 12);
+        assert_eq!(Phase::COUNT, 13);
         assert_eq!(Phase::default(), Phase::Other);
     }
 

@@ -1,7 +1,8 @@
 //! Abstract syntax tree for the supported SQL subset:
 //!
 //! ```sql
-//! SELECT <item> [, <item>]* FROM <table> [WHERE <expr>] [LIMIT <n>]
+//! SELECT <item> [, <item>]* FROM <table> [WHERE <expr>]
+//!        [GROUP BY <column> [, <column>]*] [LIMIT <n>]
 //! item  := column | COUNT(*) | COUNT(col) | SUM(col) | AVG(col)
 //!        | MIN(col) | MAX(col)
 //! expr  := expr OR expr | expr AND expr | NOT expr | (expr)
@@ -218,6 +219,8 @@ pub struct Query {
     pub table: String,
     /// Optional WHERE predicate.
     pub predicate: Option<Expr>,
+    /// GROUP BY columns, in declaration order (empty when absent).
+    pub group_by: Vec<String>,
     /// Optional LIMIT on returned rows.
     pub limit: Option<u64>,
 }
@@ -234,6 +237,9 @@ impl std::fmt::Display for Query {
         write!(f, " FROM {}", self.table)?;
         if let Some(p) = &self.predicate {
             write!(f, " WHERE {p}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY {}", self.group_by.join(", "))?;
         }
         if let Some(n) = self.limit {
             write!(f, " LIMIT {n}")?;
@@ -304,11 +310,30 @@ mod tests {
                 op: CmpOp::Le,
                 literal: Literal::Float(2.5),
             }),
+            group_by: vec![],
             limit: Some(7),
         };
         assert_eq!(
             q.to_string(),
             "SELECT x, count(*) FROM t WHERE x <= 2.5 LIMIT 7"
         );
+    }
+
+    #[test]
+    fn display_group_by() {
+        let q = Query {
+            items: vec![
+                SelectItem::Column("x".into()),
+                SelectItem::Aggregate {
+                    func: AggFunc::Sum,
+                    arg: Some("y".into()),
+                },
+            ],
+            table: "t".into(),
+            predicate: None,
+            group_by: vec!["x".into()],
+            limit: None,
+        };
+        assert_eq!(q.to_string(), "SELECT x, sum(y) FROM t GROUP BY x");
     }
 }

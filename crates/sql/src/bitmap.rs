@@ -124,6 +124,75 @@ impl Bitmap {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Number of set bits inside `[start, start + len)`, counted a word
+    /// at a time with masked popcounts. The grouped-aggregation kernel
+    /// uses this to fold an entire RLE run into a single `COUNT`/`SUM`
+    /// update without visiting individual rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends past the bitmap.
+    pub fn count_range(&self, start: usize, len: usize) -> usize {
+        assert!(start + len <= self.len, "range out of range");
+        if len == 0 {
+            return 0;
+        }
+        let end = start + len; // exclusive
+        let (first_w, first_b) = (start / 64, start % 64);
+        let (last_w, last_b) = ((end - 1) / 64, (end - 1) % 64);
+        let head = u64::MAX << first_b;
+        let tail = u64::MAX >> (63 - last_b);
+        if first_w == last_w {
+            return (self.words[first_w] & head & tail).count_ones() as usize;
+        }
+        let mut n = (self.words[first_w] & head).count_ones() as usize;
+        for &w in &self.words[first_w + 1..last_w] {
+            n += w.count_ones() as usize;
+        }
+        n + (self.words[last_w] & tail).count_ones() as usize
+    }
+
+    /// Iterates indices of set bits inside `[start, start + len)`, in
+    /// ascending order. Like [`Bitmap::ones`] but clipped to a span, so
+    /// run-at-a-time kernels can visit only the matching rows of one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends past the bitmap.
+    pub fn ones_range(&self, start: usize, len: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(start + len <= self.len, "range out of range");
+        let end = start + len;
+        let first_w = start / 64;
+        let last_w = if len == 0 { first_w } else { end.div_ceil(64) };
+        self.words[first_w..last_w]
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, &w)| {
+                let wi = first_w + i;
+                let mut w = w;
+                // Mask off bits before `start` / at-or-after `end`.
+                if wi * 64 < start {
+                    w &= u64::MAX << (start - wi * 64);
+                }
+                if (wi + 1) * 64 > end {
+                    let keep = end - wi * 64;
+                    w &= if keep == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << keep) - 1
+                    };
+                }
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        return None;
+                    }
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                })
+            })
+    }
+
     /// Fraction of set bits (0.0 for an empty bitmap) — the paper's
     /// *query selectivity* once all filters are combined.
     pub fn selectivity(&self) -> f64 {
@@ -449,6 +518,52 @@ mod tests {
         or_bits(&mut words, 62, u64::MAX, 4);
         assert_eq!(words[0], 0b11 << 62);
         assert_eq!(words[1], 0b11);
+    }
+
+    #[test]
+    fn count_range_matches_per_bit() {
+        let b: Bitmap = (0..200).map(|i| i % 3 == 0 || i % 7 == 0).collect();
+        for (start, len) in [
+            (0, 0),
+            (0, 200),
+            (0, 64),
+            (5, 3),
+            (60, 10),
+            (63, 1),
+            (64, 64),
+            (70, 129),
+            (199, 1),
+            (200, 0),
+        ] {
+            let want = (start..start + len).filter(|&i| b.get(i)).count();
+            assert_eq!(b.count_range(start, len), want, "range ({start}, {len})");
+        }
+    }
+
+    #[test]
+    fn ones_range_matches_per_bit() {
+        let b: Bitmap = (0..200).map(|i| i % 5 == 0 || i % 11 == 0).collect();
+        for (start, len) in [
+            (0, 0),
+            (0, 200),
+            (3, 7),
+            (60, 10),
+            (63, 2),
+            (64, 64),
+            (70, 129),
+            (128, 72),
+            (199, 1),
+        ] {
+            let want: Vec<usize> = (start..start + len).filter(|&i| b.get(i)).collect();
+            let got: Vec<usize> = b.ones_range(start, len).collect();
+            assert_eq!(got, want, "range ({start}, {len})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn count_range_oob_panics() {
+        Bitmap::with_len(100).count_range(90, 20);
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub enum SqlError {
     UnknownColumn(String),
     /// Predicate or projection type error.
     TypeError(String),
+    /// Integer overflow during aggregate accumulation or merge (e.g. a
+    /// SUM whose running total exceeds `i64`). Typed so executors can
+    /// surface it instead of silently wrapping.
+    Overflow(String),
     /// Anything else structurally invalid.
     Invalid(String),
 }
@@ -50,6 +54,7 @@ impl std::fmt::Display for SqlError {
             }
             SqlError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
             SqlError::TypeError(why) => write!(f, "type error: {why}"),
+            SqlError::Overflow(why) => write!(f, "integer overflow: {why}"),
             SqlError::Invalid(why) => write!(f, "invalid query: {why}"),
         }
     }

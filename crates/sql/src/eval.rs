@@ -4,6 +4,7 @@
 use crate::ast::AggFunc;
 use crate::bitmap::{or_bits, or_span, Bitmap};
 use crate::error::{Result, SqlError};
+use crate::partial::{GroupKey, GroupedAggs, PartialAgg};
 use crate::plan::{AggregateSpec, BoolTree, FilterLeaf};
 use fusion_format::chunk::EncodedChunk;
 use fusion_format::encoding::rle::Run;
@@ -281,6 +282,241 @@ pub fn eval_aggregate(
     }
 }
 
+/// The argument of one aggregate in a grouped computation over a single
+/// group-key column.
+#[derive(Debug, Clone, Copy)]
+pub enum AggInput<'a> {
+    /// `COUNT(*)` — no argument column.
+    Star,
+    /// The argument *is* the group-key column (e.g. `SELECT k, min(k)`),
+    /// so the encoded kernel can read it straight from the dictionary.
+    Key,
+    /// A separate argument column, decoded, full chunk length.
+    Col(&'a ColumnData),
+}
+
+/// Row-at-a-time grouped aggregation over decoded columns — the oracle
+/// the encoded kernel is differentially tested against, and the fallback
+/// for plain encodings and multi-column keys.
+///
+/// All columns are full chunk length; `filter` selects the rows that
+/// participate. Rows are visited in ascending order, so float sums
+/// accumulate in a fixed association order — [`group_aggregate_encoded`]
+/// reproduces the same order and is bit-identical, not merely close.
+///
+/// A `None` aggregate argument means `COUNT(*)`; since the format has no
+/// NULLs this is interchangeable with `COUNT(col)` (see `partial.rs`),
+/// and both count exactly the filtered rows of the group.
+///
+/// # Errors
+///
+/// Length mismatches, type mismatches, or SUM overflow.
+pub fn group_aggregate_decoded(
+    keys: &[&ColumnData],
+    aggs: &[(AggFunc, Option<&ColumnData>)],
+    filter: &Bitmap,
+) -> Result<GroupedAggs> {
+    if keys.is_empty() {
+        return Err(SqlError::Invalid(
+            "grouped aggregation requires at least one key column".into(),
+        ));
+    }
+    for col in keys
+        .iter()
+        .copied()
+        .chain(aggs.iter().filter_map(|(_, c)| *c))
+    {
+        if col.len() != filter.len() {
+            return Err(SqlError::Invalid(format!(
+                "grouped column length {} does not match filter length {}",
+                col.len(),
+                filter.len()
+            )));
+        }
+    }
+    let templates: Vec<PartialAgg> = aggs
+        .iter()
+        .map(|(func, col)| PartialAgg::identity(*func, *col))
+        .collect();
+    let mut out = GroupedAggs::new(templates);
+    for row in filter.ones() {
+        let key = GroupKey(keys.iter().map(|k| k.value(row)).collect());
+        let slots = out.slots(key);
+        for (slot, (_, col)) in slots.iter_mut().zip(aggs) {
+            // COUNT(*) ignores the value; lend it the key column.
+            slot.accumulate(col.unwrap_or(keys[0]), row)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Grouped aggregation in the encoded domain over a single group-key
+/// chunk — the node-side kernel of GROUP BY pushdown:
+///
+/// * **Dictionary** keys: group identity *is* the dictionary code, so the
+///   accumulator is a dense `Vec` indexed by code — no per-row hashing.
+///   Codes resolve to key [`Value`]s once, at the end.
+/// * **RLE runs** of codes: the whole run folds in at once — the filter
+///   bitmap's word-level popcount ([`Bitmap::count_range`]) gives the
+///   match count, and `COUNT`/integer-`SUM` update in O(1) via
+///   [`PartialAgg::accumulate_repeat`]. Non-key aggregate arguments still
+///   visit their matching rows ([`Bitmap::ones_range`]).
+/// * **Literal runs**: per matching row, still hash-free through the code
+///   index.
+/// * **Plain** chunks fall back to [`group_aggregate_decoded`].
+///
+/// Bit-identical to decode-then-[`group_aggregate_decoded`]: every group
+/// state receives the same sequence of scalar adds in the same order
+/// (float repeats loop rather than multiply — see `accumulate_repeat`).
+///
+/// # Errors
+///
+/// Length/type mismatches, malformed run structure, codes out of range,
+/// or SUM overflow.
+pub fn group_aggregate_encoded(
+    key: &EncodedChunk,
+    aggs: &[(AggFunc, AggInput<'_>)],
+    filter: &Bitmap,
+) -> Result<GroupedAggs> {
+    let (dictionary, runs, rows) = match key {
+        EncodedChunk::Plain(col) => {
+            let decoded: Vec<(AggFunc, Option<&ColumnData>)> = aggs
+                .iter()
+                .map(|(func, input)| {
+                    let col = match input {
+                        AggInput::Star => None,
+                        AggInput::Key => Some(col),
+                        AggInput::Col(c) => Some(*c),
+                    };
+                    (*func, col)
+                })
+                .collect();
+            return group_aggregate_decoded(&[col], &decoded, filter);
+        }
+        EncodedChunk::Dictionary {
+            dictionary,
+            runs,
+            rows,
+        } => (dictionary, runs, *rows),
+    };
+    if rows != filter.len() {
+        return Err(SqlError::Invalid(format!(
+            "encoded key has {rows} rows but filter has {}",
+            filter.len()
+        )));
+    }
+    for (_, input) in aggs {
+        if let AggInput::Col(c) = input {
+            if c.len() != rows {
+                return Err(SqlError::Invalid(format!(
+                    "aggregate column length {} does not match chunk rows {rows}",
+                    c.len()
+                )));
+            }
+        }
+    }
+    let templates: Vec<PartialAgg> = aggs
+        .iter()
+        .map(|(func, input)| {
+            let col = match input {
+                AggInput::Star => None,
+                AggInput::Key => Some(dictionary),
+                AggInput::Col(c) => Some(*c),
+            };
+            PartialAgg::identity(*func, col)
+        })
+        .collect();
+
+    // One accumulator slot vector per dictionary code, allocated lazily:
+    // untouched codes never materialize a group.
+    let mut slots: Vec<Option<Vec<PartialAgg>>> = vec![None; dictionary.len()];
+    fn slot<'s>(
+        slots: &'s mut [Option<Vec<PartialAgg>>],
+        code: u32,
+        templates: &[PartialAgg],
+    ) -> Result<&'s mut Vec<PartialAgg>> {
+        let entry = slots
+            .get_mut(code as usize)
+            .ok_or_else(|| SqlError::Invalid(format!("dictionary code {code} out of range")))?;
+        Ok(entry.get_or_insert_with(|| templates.to_vec()))
+    }
+
+    let mut pos = 0usize;
+    for run in runs {
+        match run {
+            Run::Rle { value: code, len } => {
+                if pos + len > rows {
+                    return Err(SqlError::Invalid("run structure overflows chunk".into()));
+                }
+                let n = filter.count_range(pos, *len);
+                if n > 0 {
+                    let parts = slot(&mut slots, *code, &templates)?;
+                    for (part, (_, input)) in parts.iter_mut().zip(aggs) {
+                        match input {
+                            // The key value repeats across the run: fold
+                            // all n matches in one call.
+                            AggInput::Star | AggInput::Key => {
+                                part.accumulate_repeat(dictionary, *code as usize, n)?;
+                            }
+                            AggInput::Col(c) => {
+                                for row in filter.ones_range(pos, *len) {
+                                    part.accumulate(c, row)?;
+                                }
+                            }
+                        }
+                    }
+                }
+                pos += len;
+            }
+            Run::Literal(codes) => {
+                if pos + codes.len() > rows {
+                    return Err(SqlError::Invalid("run structure overflows chunk".into()));
+                }
+                for row in filter.ones_range(pos, codes.len()) {
+                    let code = codes[row - pos];
+                    let parts = slot(&mut slots, code, &templates)?;
+                    for (part, (_, input)) in parts.iter_mut().zip(aggs) {
+                        match input {
+                            AggInput::Star | AggInput::Key => {
+                                part.accumulate(dictionary, code as usize)?;
+                            }
+                            AggInput::Col(c) => part.accumulate(c, row)?,
+                        }
+                    }
+                }
+                pos += codes.len();
+            }
+        }
+    }
+    if pos != rows {
+        return Err(SqlError::Invalid(format!(
+            "run structure covers {pos} of {rows} rows"
+        )));
+    }
+
+    // Resolve codes to key values once — the only decode work the key
+    // column ever needs.
+    let mut out = GroupedAggs::new(templates);
+    for (code, entry) in slots.into_iter().enumerate() {
+        if let Some(parts) = entry {
+            let key = GroupKey(vec![dictionary.value(code)]);
+            // Dictionaries dedupe by bit pattern so codes map 1:1 to
+            // keys, but merge defensively rather than overwrite.
+            match out.groups.get_mut(&key) {
+                None => {
+                    out.groups.insert(key, parts);
+                }
+                Some(existing) => {
+                    for (a, b) in existing.iter_mut().zip(&parts) {
+                        a.merge(b)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,6 +764,154 @@ mod tests {
             rows: 5,
         };
         assert!(eval_filter_encoded(&l, &long).is_err());
+    }
+
+    // Finalized rows, with the value vector wrapped in GroupKey so floats
+    // compare by bit pattern (NaN == NaN) rather than IEEE equality.
+    fn finalized(g: GroupedAggs) -> Vec<(GroupKey, GroupKey)> {
+        g.into_sorted()
+            .into_iter()
+            .map(|(k, parts)| {
+                (
+                    k,
+                    GroupKey(parts.iter().map(PartialAgg::finalize).collect()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grouped_encoded_matches_decoded_oracle() {
+        // Dictionary key with long RLE runs and a literal tail, plus a
+        // plain float argument column — the full kernel surface.
+        let mut keys: Vec<i64> = std::iter::repeat_n(3i64, 150).collect();
+        keys.extend((0..80).map(|i| i % 5));
+        keys.extend(std::iter::repeat_n(1i64, 90));
+        let n = keys.len();
+        let key_col = ColumnData::Int64(keys);
+        let arg = ColumnData::Float64((0..n).map(|i| (i as f64) * 0.31 - 17.0).collect());
+        let chunk = encoded(&key_col);
+        assert!(matches!(chunk, EncodedChunk::Dictionary { .. }));
+
+        let filter: Bitmap = (0..n).map(|i| i % 3 != 0).collect();
+        let aggs_enc = [
+            (AggFunc::Count, AggInput::Star),
+            (AggFunc::Sum, AggInput::Key),
+            (AggFunc::Avg, AggInput::Col(&arg)),
+            (AggFunc::Min, AggInput::Col(&arg)),
+            (AggFunc::Max, AggInput::Key),
+        ];
+        let aggs_dec = [
+            (AggFunc::Count, None),
+            (AggFunc::Sum, Some(&key_col)),
+            (AggFunc::Avg, Some(&arg)),
+            (AggFunc::Min, Some(&arg)),
+            (AggFunc::Max, Some(&key_col)),
+        ];
+        let fast = group_aggregate_encoded(&chunk, &aggs_enc, &filter).unwrap();
+        let slow = group_aggregate_decoded(&[&key_col], &aggs_dec, &filter).unwrap();
+        // Bit-exact, including float sums (same association order).
+        assert_eq!(finalized(fast), finalized(slow));
+    }
+
+    #[test]
+    fn grouped_plain_key_falls_back() {
+        let key_col = ColumnData::Int64((0..300).map(|i| i * 7919 % 1000).collect());
+        let chunk = encoded(&key_col);
+        assert!(matches!(chunk, EncodedChunk::Plain(_)));
+        let filter = Bitmap::ones_with_len(300);
+        let fast =
+            group_aggregate_encoded(&chunk, &[(AggFunc::Count, AggInput::Star)], &filter).unwrap();
+        let slow =
+            group_aggregate_decoded(&[&key_col], &[(AggFunc::Count, None)], &filter).unwrap();
+        assert_eq!(finalized(fast), finalized(slow));
+    }
+
+    #[test]
+    fn grouped_selectivity_edges() {
+        let key_col = ColumnData::Utf8((0..100).map(|i| format!("g{}", i % 4)).collect());
+        let chunk = encoded(&key_col);
+        // 0%: no groups materialize at all.
+        let none = Bitmap::with_len(100);
+        let g =
+            group_aggregate_encoded(&chunk, &[(AggFunc::Count, AggInput::Star)], &none).unwrap();
+        assert!(g.is_empty());
+        // 100%: every key appears, counts sum to the row count.
+        let all = Bitmap::ones_with_len(100);
+        let g = group_aggregate_encoded(&chunk, &[(AggFunc::Count, AggInput::Star)], &all).unwrap();
+        assert_eq!(g.len(), 4);
+        let total: i64 = g
+            .into_sorted()
+            .iter()
+            .map(|(_, p)| match p[0].finalize() {
+                Value::Int(n) => n,
+                other => panic!("count finalized to {other:?}"),
+            })
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn grouped_count_col_equals_count_star() {
+        // COUNT(col) and COUNT(*) per group are pinned equal: no NULLs.
+        let key_col = ColumnData::Int64((0..64).map(|i| i % 3).collect());
+        let chunk = encoded(&key_col);
+        let filter: Bitmap = (0..64).map(|i| i % 2 == 0).collect();
+        let g = group_aggregate_encoded(
+            &chunk,
+            &[
+                (AggFunc::Count, AggInput::Star),
+                (AggFunc::Count, AggInput::Key),
+            ],
+            &filter,
+        )
+        .unwrap();
+        for (key, parts) in g.into_sorted() {
+            assert_eq!(parts[0], parts[1], "COUNT(*) != COUNT(col) for {key:?}");
+        }
+    }
+
+    #[test]
+    fn grouped_nan_min_max_matches_oracle() {
+        // NaN argument values: MIN/MAX skip incomparable values in merge
+        // order, so the encoded path must see rows in oracle order.
+        let key_col = ColumnData::Int64(std::iter::repeat_n(7i64, 96).collect());
+        let arg = ColumnData::Float64(
+            (0..96)
+                .map(|i| if i % 5 == 0 { f64::NAN } else { i as f64 })
+                .collect(),
+        );
+        let chunk = encoded(&key_col);
+        let filter = Bitmap::ones_with_len(96);
+        let aggs_enc = [
+            (AggFunc::Min, AggInput::Col(&arg)),
+            (AggFunc::Max, AggInput::Col(&arg)),
+        ];
+        let aggs_dec = [(AggFunc::Min, Some(&arg)), (AggFunc::Max, Some(&arg))];
+        let fast = group_aggregate_encoded(&chunk, &aggs_enc, &filter).unwrap();
+        let slow = group_aggregate_decoded(&[&key_col], &aggs_dec, &filter).unwrap();
+        assert_eq!(finalized(fast), finalized(slow));
+    }
+
+    #[test]
+    fn grouped_rejects_bad_shapes() {
+        let key_col = ColumnData::Int64(vec![1, 2, 3]);
+        let short_filter = Bitmap::with_len(2);
+        assert!(
+            group_aggregate_decoded(&[&key_col], &[(AggFunc::Count, None)], &short_filter).is_err()
+        );
+        assert!(group_aggregate_decoded(&[], &[(AggFunc::Count, None)], &short_filter).is_err());
+        let chunk = EncodedChunk::Dictionary {
+            dictionary: ColumnData::Int64(vec![10, 20]),
+            runs: vec![Run::Rle { value: 9, len: 3 }],
+            rows: 3,
+        };
+        assert!(group_aggregate_encoded(
+            &chunk,
+            &[(AggFunc::Count, AggInput::Star)],
+            &Bitmap::ones_with_len(3)
+        )
+        .is_err());
     }
 
     #[test]

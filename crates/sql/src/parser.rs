@@ -123,6 +123,17 @@ impl Parser {
         } else {
             None
         };
+        let group_by = if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            let mut cols = vec![self.ident("GROUP BY column")?];
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                cols.push(self.ident("GROUP BY column")?);
+            }
+            cols
+        } else {
+            Vec::new()
+        };
         let limit = if self.eat_keyword("LIMIT") {
             match self.bump() {
                 Some(Token::Int(n)) if n >= 0 => Some(n as u64),
@@ -140,6 +151,7 @@ impl Parser {
             items,
             table,
             predicate,
+            group_by,
             limit,
         })
     }
@@ -292,7 +304,7 @@ impl Parser {
 fn is_reserved(word: &str) -> bool {
     matches!(
         word.to_ascii_uppercase().as_str(),
-        "SELECT" | "FROM" | "WHERE" | "AND" | "OR" | "NOT" | "LIMIT"
+        "SELECT" | "FROM" | "WHERE" | "AND" | "OR" | "NOT" | "GROUP" | "BY" | "LIMIT"
     )
 }
 
@@ -426,6 +438,35 @@ mod tests {
         // Roundtrips through Display.
         let q = parse("SELECT a FROM t WHERE a > 1 LIMIT 10").unwrap();
         assert_eq!(parse(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn group_by_clause() {
+        let q = parse("SELECT cat, count(*) FROM t WHERE k < 10 GROUP BY cat").unwrap();
+        assert_eq!(q.group_by, vec!["cat".to_string()]);
+        assert!(q.predicate.is_some());
+        // Multi-column keys, and GROUP BY without a WHERE.
+        let q = parse("SELECT a, b, sum(x) FROM t GROUP BY a, b").unwrap();
+        assert_eq!(q.group_by, vec!["a".to_string(), "b".to_string()]);
+        // Clause order: GROUP BY sits between WHERE and LIMIT.
+        let q = parse("SELECT a FROM t WHERE a > 1 GROUP BY a LIMIT 5").unwrap();
+        assert_eq!(q.group_by, vec!["a".to_string()]);
+        assert_eq!(q.limit, Some(5));
+        // Roundtrips through Display.
+        let q = parse("SELECT a, b, min(x) FROM t WHERE x != 3 GROUP BY a, b").unwrap();
+        assert_eq!(parse(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn group_by_errors() {
+        assert!(parse("SELECT a FROM t GROUP").is_err());
+        assert!(parse("SELECT a FROM t GROUP BY").is_err());
+        assert!(parse("SELECT a FROM t GROUP BY 1").is_err());
+        assert!(parse("SELECT a FROM t GROUP BY a,").is_err());
+        assert!(parse("SELECT a FROM t GROUP BY SELECT").is_err());
+        // GROUP/BY are reserved words now.
+        assert!(parse("SELECT group FROM t").is_err());
+        assert!(parse("SELECT a FROM by").is_err());
     }
 
     #[test]

@@ -85,8 +85,15 @@ pub struct QueryPlan {
     pub aggregates: Vec<AggregateSpec>,
     /// Output shape, mapping SELECT items to plan structures.
     pub outputs: Vec<OutputItem>,
+    /// GROUP BY column indices in declaration order (empty when the query
+    /// is not grouped). Every entry also appears in `projections` so the
+    /// executors fetch the key column like any other.
+    pub group_by: Vec<usize>,
+    /// GROUP BY column names, parallel to `group_by`.
+    pub group_by_names: Vec<String>,
     /// Optional LIMIT on returned rows (applied after filtering; never
-    /// affects aggregates, which summarize all matched rows).
+    /// affects aggregates, which summarize all matched rows). Mutually
+    /// exclusive with GROUP BY at plan time.
     pub limit: Option<usize>,
 }
 
@@ -107,6 +114,11 @@ impl QueryPlan {
                 .outputs
                 .iter()
                 .all(|o| matches!(o, OutputItem::Aggregate(_)))
+    }
+
+    /// True when the query has a GROUP BY clause.
+    pub fn grouped(&self) -> bool {
+        !self.group_by.is_empty()
     }
 }
 
@@ -197,6 +209,45 @@ pub fn plan(query: &Query, schema: &Schema) -> Result<QueryPlan> {
         }
     }
 
+    // GROUP BY keys: resolve, dedupe (keeping first occurrence), and
+    // project so executors fetch the key column like any projection.
+    let mut group_by: Vec<usize> = Vec::new();
+    let mut group_by_names: Vec<String> = Vec::new();
+    for name in &query.group_by {
+        let idx = schema
+            .index_of(name)
+            .ok_or_else(|| SqlError::UnknownColumn(name.to_string()))?;
+        if group_by.contains(&idx) {
+            continue;
+        }
+        project(name)?;
+        group_by.push(idx);
+        group_by_names.push(name.clone());
+    }
+
+    if !group_by.is_empty() {
+        // Every bare SELECT column must be a group key — anything else
+        // has no single value per group.
+        for output in &outputs {
+            if let OutputItem::Projection(pos) = output {
+                let idx = projections[*pos];
+                if !group_by.contains(&idx) {
+                    return Err(SqlError::Invalid(format!(
+                        "column {} must appear in GROUP BY or inside an aggregate",
+                        projection_names[*pos]
+                    )));
+                }
+            }
+        }
+        // LIMIT over an unordered group set is ill-defined (no ORDER BY
+        // in this subset) — reject rather than return arbitrary groups.
+        if query.limit.is_some() {
+            return Err(SqlError::Invalid(
+                "LIMIT is not supported with GROUP BY".to_string(),
+            ));
+        }
+    }
+
     Ok(QueryPlan {
         table: query.table.clone(),
         filters,
@@ -205,6 +256,8 @@ pub fn plan(query: &Query, schema: &Schema) -> Result<QueryPlan> {
         projection_names,
         aggregates,
         outputs,
+        group_by,
+        group_by_names,
         limit: query.limit.map(|n| n as usize),
     })
 }
@@ -350,6 +403,62 @@ mod tests {
         ));
         assert!(plan(&parse("SELECT name FROM t WHERE ghost = 1").unwrap(), &s).is_err());
         assert!(plan(&parse("SELECT avg(ghost) FROM t").unwrap(), &s).is_err());
+    }
+
+    #[test]
+    fn grouped_plan_resolves_keys() {
+        let q = parse("SELECT name, count(*), sum(salary) FROM t GROUP BY name").unwrap();
+        let p = plan(&q, &schema()).unwrap();
+        assert!(p.grouped());
+        assert_eq!(p.group_by, vec![0]);
+        assert_eq!(p.group_by_names, vec!["name".to_string()]);
+        // Key column is projected alongside the aggregate argument.
+        assert_eq!(p.projections, vec![0, 1]);
+        assert_eq!(p.aggregates.len(), 2);
+        assert!(!p.aggregate_only());
+    }
+
+    #[test]
+    fn grouped_key_projected_even_if_unselected() {
+        let q = parse("SELECT count(*) FROM t GROUP BY name, day").unwrap();
+        let p = plan(&q, &schema()).unwrap();
+        assert_eq!(p.group_by, vec![0, 3]);
+        assert_eq!(p.projections, vec![0, 3]);
+    }
+
+    #[test]
+    fn grouped_duplicate_keys_deduplicated() {
+        let q = parse("SELECT name FROM t GROUP BY name, name").unwrap();
+        let p = plan(&q, &schema()).unwrap();
+        assert_eq!(p.group_by, vec![0]);
+    }
+
+    #[test]
+    fn grouped_plan_errors() {
+        let s = schema();
+        // Bare column that is not a group key.
+        assert!(matches!(
+            plan(
+                &parse("SELECT salary, count(*) FROM t GROUP BY name").unwrap(),
+                &s
+            )
+            .unwrap_err(),
+            SqlError::Invalid(_)
+        ));
+        // Unknown key column.
+        assert!(matches!(
+            plan(&parse("SELECT count(*) FROM t GROUP BY ghost").unwrap(), &s).unwrap_err(),
+            SqlError::UnknownColumn(_)
+        ));
+        // LIMIT + GROUP BY is rejected (no ORDER BY in the subset).
+        assert!(matches!(
+            plan(
+                &parse("SELECT name FROM t GROUP BY name LIMIT 3").unwrap(),
+                &s
+            )
+            .unwrap_err(),
+            SqlError::Invalid(_)
+        ));
     }
 
     #[test]

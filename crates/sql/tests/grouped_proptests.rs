@@ -1,0 +1,374 @@
+//! Differential property tests for encoded-domain grouped aggregation:
+//! `group_aggregate_encoded` over an [`EncodedChunk`] view must be
+//! *bit-identical* to decode-then-`group_aggregate_decoded` for every
+//! encoding the writer chooses (dictionary/RLE/plain), every key type,
+//! NaN MIN/MAX ordering, empty filters, and 0%/100% selectivity — and
+//! must fail identically (SUM overflow) when the oracle fails.
+//!
+//! A second family checks the distributed shape: splitting a column into
+//! chunks, aggregating each chunk with the encoded kernel, and merging
+//! keyed states in chunk order equals doing the same with the decoded
+//! oracle — the coordinator-side contract of GROUP BY pushdown.
+
+use fusion_format::chunk::{decode_column_chunk, encode_column_chunk, read_encoded_chunk};
+use fusion_format::schema::LogicalType;
+use fusion_format::value::ColumnData;
+use fusion_sql::ast::AggFunc;
+use fusion_sql::bitmap::Bitmap;
+use fusion_sql::error::SqlError;
+use fusion_sql::eval::{group_aggregate_decoded, group_aggregate_encoded, AggInput};
+use fusion_sql::partial::{GroupKey, GroupedAggs, PartialAgg};
+use proptest::prelude::*;
+
+/// Run-shaped integers (dictionary + RLE friendly) with i64 extremes
+/// mixed in so SUM overflow paths get exercised.
+fn arb_runs_int() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                (-3i64..4).boxed(),
+                Just(i64::MIN).boxed(),
+                Just(i64::MAX).boxed(),
+            ],
+            1usize..80,
+        ),
+        0..30,
+    )
+    .prop_map(|runs| {
+        runs.into_iter()
+            .flat_map(|(v, n)| std::iter::repeat_n(v, n))
+            .collect()
+    })
+}
+
+/// Run-shaped floats with NaN, infinities, and signed zero.
+fn arb_runs_float() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                (-2.0f64..3.0).boxed(),
+                Just(f64::NAN).boxed(),
+                Just(f64::INFINITY).boxed(),
+                Just(-0.0f64).boxed(),
+            ],
+            1usize..60,
+        ),
+        0..25,
+    )
+    .prop_map(|runs| {
+        runs.into_iter()
+            .flat_map(|(v, n)| std::iter::repeat_n(v, n))
+            .collect()
+    })
+}
+
+/// Run-shaped strings from a tiny alphabet.
+fn arb_runs_utf8() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(("[a-c]{0,3}", 1usize..60), 0..25).prop_map(|runs| {
+        runs.into_iter()
+            .flat_map(|(v, n)| std::iter::repeat_n(v, n))
+            .collect()
+    })
+}
+
+/// High-cardinality integers the writer keeps plain.
+fn arb_plain_int() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-1000i64..1000, 0..250)
+}
+
+/// A filter over `n` rows: random bits, all ones, or all zeros (the 0%
+/// and 100% selectivity edges).
+fn arb_filter(n: usize) -> BoxedStrategy<Vec<bool>> {
+    prop_oneof![
+        prop::collection::vec(any::<bool>(), n..=n).boxed(),
+        Just(vec![true; n]).boxed(),
+        Just(vec![false; n]).boxed(),
+    ]
+    .boxed()
+}
+
+/// Pairs a generated column with a matching-length filter.
+fn with_filter<T: std::fmt::Debug + Clone>(
+    data: impl Strategy<Value = Vec<T>>,
+) -> impl Strategy<Value = (Vec<T>, Vec<bool>)> {
+    data.prop_flat_map(|d| {
+        let n = d.len();
+        (Just(d), arb_filter(n))
+    })
+}
+
+/// A deterministic float argument column (some NaN rows) so AVG/MIN/MAX
+/// over a non-key column is exercised everywhere.
+fn float_arg(n: usize) -> ColumnData {
+    ColumnData::Float64(
+        (0..n)
+            .map(|i| {
+                if i % 11 == 7 {
+                    f64::NAN
+                } else {
+                    (i as f64) * 0.37 - 20.0
+                }
+            })
+            .collect(),
+    )
+}
+
+fn bitmap(bits: &[bool]) -> Bitmap {
+    bits.iter().copied().collect()
+}
+
+/// Finalized rows with values wrapped in [`GroupKey`] so floats compare
+/// by bit pattern — `assert_eq!` on these is a *bitwise* differential.
+fn finalized(g: GroupedAggs) -> Vec<(GroupKey, GroupKey)> {
+    g.into_sorted()
+        .into_iter()
+        .map(|(k, parts)| {
+            (
+                k,
+                GroupKey(parts.iter().map(PartialAgg::finalize).collect()),
+            )
+        })
+        .collect()
+}
+
+/// Runs both kernels and demands identical outcomes: bit-equal grouped
+/// rows, or the same typed overflow error.
+fn assert_grouped_agree(
+    key: &ColumnData,
+    ty: LogicalType,
+    aggs_enc: &[(AggFunc, AggInput<'_>)],
+    aggs_dec: &[(AggFunc, Option<&ColumnData>)],
+    filter: &Bitmap,
+) -> Result<(), TestCaseError> {
+    let (bytes, _) = encode_column_chunk(key);
+    let chunk = read_encoded_chunk(&bytes, ty).unwrap();
+    let decoded = decode_column_chunk(&bytes, ty).unwrap();
+    let fast = group_aggregate_encoded(&chunk, aggs_enc, filter);
+    let slow = group_aggregate_decoded(&[&decoded], aggs_dec, filter);
+    match (fast, slow) {
+        (Ok(fast), Ok(slow)) => {
+            prop_assert_eq!(finalized(fast), finalized(slow));
+        }
+        (Err(SqlError::Overflow(_)), Err(SqlError::Overflow(_))) => {}
+        (fast, slow) => {
+            return Err(TestCaseError::fail(format!(
+                "kernels disagree: encoded={fast:?} decoded={slow:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn int_key_case(key: Vec<i64>, filter: Vec<bool>) -> Result<(), TestCaseError> {
+    let n = key.len();
+    let key = ColumnData::Int64(key);
+    let arg = float_arg(n);
+    let aggs_enc = [
+        (AggFunc::Count, AggInput::Star),
+        (AggFunc::Count, AggInput::Key),
+        (AggFunc::Sum, AggInput::Key),
+        (AggFunc::Min, AggInput::Key),
+        (AggFunc::Max, AggInput::Key),
+        (AggFunc::Avg, AggInput::Col(&arg)),
+        (AggFunc::Sum, AggInput::Col(&arg)),
+        (AggFunc::Min, AggInput::Col(&arg)),
+        (AggFunc::Max, AggInput::Col(&arg)),
+    ];
+    let aggs_dec = [
+        (AggFunc::Count, None),
+        (AggFunc::Count, Some(&key)),
+        (AggFunc::Sum, Some(&key)),
+        (AggFunc::Min, Some(&key)),
+        (AggFunc::Max, Some(&key)),
+        (AggFunc::Avg, Some(&arg)),
+        (AggFunc::Sum, Some(&arg)),
+        (AggFunc::Min, Some(&arg)),
+        (AggFunc::Max, Some(&arg)),
+    ];
+    assert_grouped_agree(
+        &key,
+        LogicalType::Int64,
+        &aggs_enc,
+        &aggs_dec,
+        &bitmap(&filter),
+    )
+}
+
+fn plain_int_key_case(key: Vec<i64>, filter: Vec<bool>) -> Result<(), TestCaseError> {
+    let n = key.len();
+    let key = ColumnData::Int64(key);
+    let arg = float_arg(n);
+    let aggs_enc = [
+        (AggFunc::Count, AggInput::Star),
+        (AggFunc::Sum, AggInput::Key),
+        (AggFunc::Avg, AggInput::Col(&arg)),
+    ];
+    let aggs_dec = [
+        (AggFunc::Count, None),
+        (AggFunc::Sum, Some(&key)),
+        (AggFunc::Avg, Some(&arg)),
+    ];
+    assert_grouped_agree(
+        &key,
+        LogicalType::Int64,
+        &aggs_enc,
+        &aggs_dec,
+        &bitmap(&filter),
+    )
+}
+
+// NaN / -0.0 keys: GroupKey's bit-pattern identity must group them
+// identically on both paths.
+fn float_key_case(key: Vec<f64>, filter: Vec<bool>) -> Result<(), TestCaseError> {
+    let key = ColumnData::Float64(key);
+    let aggs_enc = [
+        (AggFunc::Count, AggInput::Star),
+        (AggFunc::Sum, AggInput::Key),
+        (AggFunc::Avg, AggInput::Key),
+        (AggFunc::Min, AggInput::Key),
+        (AggFunc::Max, AggInput::Key),
+    ];
+    let aggs_dec = [
+        (AggFunc::Count, None),
+        (AggFunc::Sum, Some(&key)),
+        (AggFunc::Avg, Some(&key)),
+        (AggFunc::Min, Some(&key)),
+        (AggFunc::Max, Some(&key)),
+    ];
+    assert_grouped_agree(
+        &key,
+        LogicalType::Float64,
+        &aggs_enc,
+        &aggs_dec,
+        &bitmap(&filter),
+    )
+}
+
+fn utf8_key_case(key: Vec<String>, filter: Vec<bool>) -> Result<(), TestCaseError> {
+    let n = key.len();
+    let key = ColumnData::Utf8(key);
+    let arg = float_arg(n);
+    let aggs_enc = [
+        (AggFunc::Count, AggInput::Star),
+        (AggFunc::Min, AggInput::Key),
+        (AggFunc::Max, AggInput::Key),
+        (AggFunc::Avg, AggInput::Col(&arg)),
+        (AggFunc::Min, AggInput::Col(&arg)),
+    ];
+    let aggs_dec = [
+        (AggFunc::Count, None),
+        (AggFunc::Min, Some(&key)),
+        (AggFunc::Max, Some(&key)),
+        (AggFunc::Avg, Some(&arg)),
+        (AggFunc::Min, Some(&arg)),
+    ];
+    assert_grouped_agree(
+        &key,
+        LogicalType::Utf8,
+        &aggs_enc,
+        &aggs_dec,
+        &bitmap(&filter),
+    )
+}
+
+// The distributed shape: per-chunk encoded kernels merged in chunk order
+// vs per-chunk decoded oracles merged in the same order. Both sides
+// accumulate and merge identically, so even float sums are bit-equal —
+// and SUM overflow must strike both sides or neither.
+fn chunked_merge_case(
+    key: Vec<i64>,
+    filter: Vec<bool>,
+    chunk_rows: usize,
+) -> Result<(), TestCaseError> {
+    let n = key.len();
+    let arg = float_arg(n);
+    let mut enc_acc: Option<GroupedAggs> = None;
+    let mut dec_acc: Option<GroupedAggs> = None;
+    let mut failed = (false, false);
+    for start in (0..n).step_by(chunk_rows) {
+        let end = (start + chunk_rows).min(n);
+        let key_chunk = ColumnData::Int64(key[start..end].to_vec());
+        let arg_chunk = match &arg {
+            ColumnData::Float64(v) => ColumnData::Float64(v[start..end].to_vec()),
+            _ => unreachable!(),
+        };
+        let fchunk = bitmap(&filter[start..end]);
+        let (bytes, _) = encode_column_chunk(&key_chunk);
+        let view = read_encoded_chunk(&bytes, LogicalType::Int64).unwrap();
+        let aggs_enc = [
+            (AggFunc::Count, AggInput::Star),
+            (AggFunc::Sum, AggInput::Key),
+            (AggFunc::Avg, AggInput::Col(&arg_chunk)),
+            (AggFunc::Min, AggInput::Col(&arg_chunk)),
+        ];
+        let aggs_dec = [
+            (AggFunc::Count, None),
+            (AggFunc::Sum, Some(&key_chunk)),
+            (AggFunc::Avg, Some(&arg_chunk)),
+            (AggFunc::Min, Some(&arg_chunk)),
+        ];
+        let templates = vec![
+            PartialAgg::identity(AggFunc::Count, None),
+            PartialAgg::identity(AggFunc::Sum, Some(&key_chunk)),
+            PartialAgg::identity(AggFunc::Avg, Some(&arg_chunk)),
+            PartialAgg::identity(AggFunc::Min, Some(&arg_chunk)),
+        ];
+        match group_aggregate_encoded(&view, &aggs_enc, &fchunk) {
+            Ok(g) => {
+                let acc = enc_acc.get_or_insert_with(|| GroupedAggs::new(templates.clone()));
+                if acc.merge(&g).is_err() {
+                    failed.0 = true;
+                }
+            }
+            Err(SqlError::Overflow(_)) => failed.0 = true,
+            Err(e) => return Err(TestCaseError::fail(format!("encoded kernel: {e}"))),
+        }
+        match group_aggregate_decoded(&[&key_chunk], &aggs_dec, &fchunk) {
+            Ok(g) => {
+                let acc = dec_acc.get_or_insert_with(|| GroupedAggs::new(templates));
+                if acc.merge(&g).is_err() {
+                    failed.1 = true;
+                }
+            }
+            Err(SqlError::Overflow(_)) => failed.1 = true,
+            Err(e) => return Err(TestCaseError::fail(format!("decoded kernel: {e}"))),
+        }
+    }
+    prop_assert_eq!(failed.0, failed.1, "overflow outcome diverged");
+    if !failed.0 {
+        let enc = enc_acc.unwrap_or_else(|| GroupedAggs::new(vec![]));
+        let dec = dec_acc.unwrap_or_else(|| GroupedAggs::new(vec![]));
+        prop_assert_eq!(finalized(enc), finalized(dec));
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn int_key_encoded_matches_oracle(case in with_filter(arb_runs_int())) {
+        int_key_case(case.0, case.1)?;
+    }
+
+    #[test]
+    fn plain_int_key_encoded_matches_oracle(case in with_filter(arb_plain_int())) {
+        plain_int_key_case(case.0, case.1)?;
+    }
+
+    #[test]
+    fn float_key_encoded_matches_oracle(case in with_filter(arb_runs_float())) {
+        float_key_case(case.0, case.1)?;
+    }
+
+    #[test]
+    fn utf8_key_encoded_matches_oracle(case in with_filter(arb_runs_utf8())) {
+        utf8_key_case(case.0, case.1)?;
+    }
+
+    #[test]
+    fn chunked_merge_matches_chunked_oracle(
+        case in with_filter(arb_runs_int()),
+        chunk_rows in 1usize..97,
+    ) {
+        chunked_merge_case(case.0, case.1, chunk_rows)?;
+    }
+}
