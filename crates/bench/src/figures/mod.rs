@@ -8,6 +8,7 @@ pub mod agg_pushdown;
 pub mod degraded;
 pub mod ec_throughput;
 pub mod latency;
+pub mod meta_scale;
 pub mod observability;
 pub mod repair_traffic;
 pub mod scan_throughput;
@@ -46,6 +47,7 @@ pub const ALL_IDS: &[&str] = &[
     "observability",
     "repair_traffic",
     "traffic_load",
+    "meta_scale",
 ];
 
 /// Runs one artifact by id.
@@ -82,6 +84,7 @@ pub fn run(id: &str, env: &BenchEnv) -> String {
         "observability" => observability::observability(env),
         "repair_traffic" => repair_traffic::repair_traffic(env),
         "traffic_load" => traffic_load::traffic_load(env),
+        "meta_scale" => meta_scale::meta_scale(env),
         id if id.starts_with("debugcol") => {
             let col: usize = id.trim_start_matches("debugcol").parse().unwrap_or(0);
             latency::debug_column(env, col)

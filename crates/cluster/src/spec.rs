@@ -294,6 +294,15 @@ impl CostModel {
     pub fn net_cpu(&self, bytes: u64) -> Nanos {
         crate::time::transfer_time(bytes, self.cpu_net_bps)
     }
+
+    /// End-to-end time of one metadata-plane RPC carrying `bytes` of
+    /// location state: RPC framing + one-way latency plus wire time.
+    /// PUT charges this per location-record replica; a stored-map read
+    /// pays it for the whole paper-format map, a computed-placement
+    /// read only for the compact layout record.
+    pub fn meta_rpc(&self, bytes: u64) -> Nanos {
+        self.rpc_overhead + self.wire(bytes)
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +340,16 @@ mod tests {
         assert!(close(m.eval(2_000), Nanos(2 * m.eval(1_000).0)));
         assert!(close(m.project(4_000), Nanos(2 * m.project(2_000).0)));
         assert!(close(m.ec(4_000), Nanos(2 * m.ec(2_000).0)));
+    }
+
+    #[test]
+    fn meta_rpc_is_overhead_plus_wire() {
+        let m = CostModel::default();
+        assert_eq!(m.meta_rpc(0), m.rpc_overhead);
+        assert_eq!(m.meta_rpc(1 << 20), m.rpc_overhead + m.wire(1 << 20));
+        // Compact records make the metadata RPC strictly cheaper than
+        // shipping a full per-chunk map.
+        assert!(m.meta_rpc(32) < m.meta_rpc(512));
     }
 
     #[test]

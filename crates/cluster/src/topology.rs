@@ -137,6 +137,51 @@ impl Topology {
     pub fn is_flat(&self) -> bool {
         self.domains == self.nodes()
     }
+
+    /// A copy of this topology with one new node appended in `rack`.
+    /// The new node gets id `nodes()` and a fresh host coordinate; a
+    /// `rack` equal to `domains()` opens a new failure domain.
+    ///
+    /// This is the membership-change primitive for rebalance
+    /// experiments: the identity of every existing node is preserved,
+    /// so deterministic placement moves only the ~1/n of chunks whose
+    /// rendezvous winner changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rack > domains()` (labels must stay dense).
+    pub fn with_added_node(&self, rack: usize) -> Topology {
+        assert!(rack <= self.domains, "rack labels must stay dense");
+        let mut t = self.clone();
+        t.rack.push(rack);
+        t.host.push(t.host.len());
+        t.domains = t.domains.max(rack + 1);
+        t
+    }
+
+    /// A copy of this topology with the last node removed. Node ids are
+    /// positional, so only tail removal preserves every surviving
+    /// node's identity (the property rendezvous rebalancing relies on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer than two nodes or if removing
+    /// the tail node would empty its rack while higher-numbered rack
+    /// labels exist (labels must stay dense).
+    pub fn with_removed_tail(&self) -> Topology {
+        assert!(self.nodes() > 1, "cannot empty the topology");
+        let mut t = self.clone();
+        let gone = t.rack.pop().expect("nonempty");
+        t.host.pop();
+        if !t.rack.contains(&gone) {
+            assert!(
+                gone + 1 == self.domains,
+                "removing the tail node may not leave a rack-label gap"
+            );
+            t.domains = gone;
+        }
+        t
+    }
 }
 
 impl std::fmt::Display for Topology {
@@ -198,5 +243,37 @@ mod tests {
     #[should_panic(expected = "more racks than nodes")]
     fn racks_rejects_too_many() {
         let _ = Topology::racks(3, 4);
+    }
+
+    #[test]
+    fn with_added_node_preserves_existing_ids() {
+        let t = Topology::racks(8, 4);
+        let t2 = t.with_added_node(2);
+        assert_eq!(t2.nodes(), 9);
+        assert_eq!(t2.domains(), 4);
+        assert_eq!(t2.domain_of(8), 2);
+        for i in 0..8 {
+            assert_eq!(t2.domain_of(i), t.domain_of(i));
+        }
+        // A rack label equal to domains() opens a new domain.
+        let t3 = t.with_added_node(4);
+        assert_eq!(t3.domains(), 5);
+        assert_eq!(t3.nodes_in(4), vec![8]);
+    }
+
+    #[test]
+    fn with_removed_tail_inverts_add() {
+        let t = Topology::racks(9, 3);
+        assert_eq!(t.with_added_node(1).with_removed_tail(), t);
+        // Removing the sole node of the last rack shrinks domains.
+        let t = Topology::racks(4, 4).with_removed_tail();
+        assert_eq!(t.domains(), 3);
+        assert_eq!(t.nodes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn with_added_node_rejects_label_gap() {
+        let _ = Topology::racks(4, 2).with_added_node(3);
     }
 }

@@ -109,7 +109,7 @@ fn digest(report: &fusion_cluster::engine::RunReport) -> u64 {
             // (asserted); skip them so the hashed stream stays the
             // pre-PR-7 one and vocabulary growth alone cannot move
             // the digest.
-            if p == Phase::GroupedAggregate {
+            if matches!(p, Phase::GroupedAggregate | Phase::Metadata) {
                 assert_eq!(s.phases.get(p), 0, "post-golden phase must be unused");
                 continue;
             }

@@ -25,6 +25,10 @@ pub struct ObjectInfo {
     pub layout: &'static str,
     /// Additional storage overhead vs optimal (fraction).
     pub overhead_vs_optimal: f64,
+    /// Serialized location-metadata bytes across all replicas (the
+    /// paper's 8-bytes-per-chunk map, or the compact layout record under
+    /// deterministic placement).
+    pub metadata_bytes: u64,
 }
 
 /// Result of a scrub pass.
@@ -81,18 +85,20 @@ impl Store {
             stripes: meta.layout.stripes.len(),
             layout: meta.policy_used,
             overhead_vs_optimal: meta.overhead_vs_optimal,
+            metadata_bytes: self.metadata_bytes(name).unwrap_or(0),
         })
     }
 
     /// Deletes an object: removes every data/parity block of every stripe
-    /// from alive nodes (blocks on failed nodes are already gone) and
-    /// drops the metadata and location map.
+    /// from alive nodes (blocks on failed nodes are already gone), drops
+    /// the metadata record, and reclaims its replica blocks from the data
+    /// plane (previously those replicas leaked past delete).
     ///
     /// # Errors
     ///
     /// [`StoreError::ObjectNotFound`].
     pub fn delete(&mut self, name: &str) -> Result<()> {
-        let meta = self
+        let (meta, replicas) = self
             .take_object(name)
             .ok_or_else(|| StoreError::ObjectNotFound(name.to_string()))?;
         self.chunk_cache().invalidate_object(name);
@@ -102,6 +108,15 @@ impl Store {
                     Ok(()) | Err(ClusterError::NodeDown(_)) => {}
                     Err(e) => return Err(e.into()),
                 }
+            }
+        }
+        for (node, block) in replicas {
+            // A replica rewritten by recovery keeps its tracked id
+            // current, but a node that failed after the last recovery
+            // may simply no longer hold the block.
+            match self.blocks_mut().delete(node, block) {
+                Ok(()) | Err(ClusterError::NodeDown(_) | ClusterError::NoSuchBlock { .. }) => {}
+                Err(e) => return Err(e.into()),
             }
         }
         Ok(())

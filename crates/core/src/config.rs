@@ -112,6 +112,15 @@ pub enum PlacementPolicy {
     /// Topology-oblivious random placement (distinct nodes only) — the
     /// pre-topology behavior, kept as the experimental control.
     Naive,
+    /// Seeded rendezvous (highest-random-weight) hashing over
+    /// `(seed, object, stripe, shard, node)` with the same
+    /// failure-domain constraints as [`PlacementPolicy::DomainAware`].
+    /// Placement becomes a pure function of the object key and cluster
+    /// membership — the store keeps a compact
+    /// [`crate::meta::LayoutRecord`] per object instead of a full
+    /// per-chunk map, and membership changes move only ~1/n of chunks
+    /// (DESIGN.md §16).
+    Deterministic,
 }
 
 /// How objects are cut into erasure-code data blocks.

@@ -1,5 +1,6 @@
 //! Unified error type for the Fusion store.
 
+use crate::location_map::LocationMapError;
 use fusion_cluster::store::ClusterError;
 use fusion_ec::rs::{CodeParamsError, ReconstructError};
 use fusion_format::error::FormatError;
@@ -35,6 +36,9 @@ pub enum StoreError {
         /// Actual object size.
         size: u64,
     },
+    /// Corrupt or out-of-range location metadata (bad wire payload,
+    /// entry naming a node outside the cluster, offset overflow).
+    Metadata(LocationMapError),
     /// Anything else.
     Internal(String),
 }
@@ -55,6 +59,7 @@ impl std::fmt::Display for StoreError {
             StoreError::OutOfRange { offset, len, size } => {
                 write!(f, "range {offset}+{len} outside object of {size} bytes")
             }
+            StoreError::Metadata(e) => write!(f, "metadata error: {e}"),
             StoreError::Internal(why) => write!(f, "internal error: {why}"),
         }
     }
@@ -92,6 +97,12 @@ impl From<ReconstructError> for StoreError {
     }
 }
 
+impl From<LocationMapError> for StoreError {
+    fn from(e: LocationMapError) -> Self {
+        StoreError::Metadata(e)
+    }
+}
+
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, StoreError>;
 
@@ -113,5 +124,7 @@ mod tests {
             size: 12,
         };
         assert!(e.to_string().contains("10+5"));
+        let e: StoreError = LocationMapError::BadLength(7).into();
+        assert!(e.to_string().contains("metadata error"));
     }
 }

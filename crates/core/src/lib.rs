@@ -64,7 +64,9 @@ pub mod config;
 pub mod error;
 pub mod layout;
 pub mod location_map;
+pub mod meta;
 pub mod object;
+pub mod placement;
 pub mod query;
 pub mod store;
 
@@ -72,6 +74,9 @@ pub use admin::{ObjectInfo, ScrubReport};
 pub use cache::{CacheStats, ChunkCache};
 pub use config::{EcConfig, LayoutPolicy, PlacementPolicy, QueryMode, StoreConfig};
 pub use error::{Result, StoreError};
+pub use location_map::{LocationMap, LocationMapError};
+pub use meta::{LayoutRecord, Membership, Namespace, RebalanceReport};
 pub use object::ObjectMeta;
+pub use placement::{object_id, object_key, ObjectId, StripeShape};
 pub use query::{QueryOutput, QueryResult};
-pub use store::{PutReport, RecoveryReport, Store};
+pub use store::{ObjectMetaRecord, PutReport, RecoveryReport, Store};

@@ -85,6 +85,69 @@ proptest! {
         }
     }
 
+    /// The deterministic rendezvous policy honors the same PR-6
+    /// invariants as the stored-map path, for both RS and LRC, over
+    /// random rack topologies — and its placement is a pure function of
+    /// `(seed, name, membership)`: two independently built stores agree
+    /// on every stripe.
+    #[test]
+    fn deterministic_placement_respects_invariants_and_is_stable(
+        seed: u64,
+        racks in 4usize..7,
+        per_rack in 3usize..6,
+        lrc: bool,
+        rows in 500usize..2000,
+    ) {
+        let ec = if lrc { EcConfig::LRC_10_6 } else { EcConfig::rs(9, 6) };
+        let bytes = analytics_bytes(rows);
+        let topo = Topology::racks(racks * per_rack, racks);
+        let mut store = store_on(ec, topo.clone(), seed, PlacementPolicy::Deterministic);
+        store.put("obj", bytes.clone()).unwrap();
+
+        let tolerance = store.codec().tolerance();
+        let meta = store.object("obj").unwrap();
+        for sp in &meta.placement {
+            // Distinct nodes, always.
+            let mut uniq = sp.nodes.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), sp.nodes.len());
+            // No domain exceeds the code's loss tolerance.
+            for (&d, &c) in &domain_counts(&store, &sp.nodes) {
+                prop_assert!(
+                    c <= tolerance,
+                    "domain {} holds {} shards, tolerance {}", d, c, tolerance
+                );
+            }
+            // No domain holds two shards of one local group.
+            let mut group_domains: Vec<(usize, usize)> = Vec::new();
+            for (shard, &node) in sp.nodes.iter().enumerate() {
+                if let Some(g) = store.codec().placement_group(shard) {
+                    let d = store.topology().domain_of(node);
+                    prop_assert!(
+                        !group_domains.contains(&(g, d)),
+                        "group {} has two shards in domain {}", g, d
+                    );
+                    group_domains.push((g, d));
+                }
+            }
+        }
+
+        // Byte stability: an independently built store with the same
+        // seed and membership reproduces every placement and the same
+        // materialized location map.
+        let mut twin = store_on(ec, topo, seed, PlacementPolicy::Deterministic);
+        twin.put("obj", bytes).unwrap();
+        let tm = twin.object("obj").unwrap();
+        for (sp, tp) in meta.placement.iter().zip(&tm.placement) {
+            prop_assert_eq!(&sp.nodes, &tp.nodes);
+        }
+        prop_assert_eq!(
+            store.location_map("obj").unwrap(),
+            twin.location_map("obj").unwrap()
+        );
+    }
+
     /// On a flat topology the domain-aware greedy pass must degenerate
     /// to exactly the naive shuffle-truncate: same seed, same placement.
     #[test]

@@ -35,6 +35,9 @@ pub enum Phase {
     DegradedReconstruct,
     /// Retry penalties charged against flaky (recently revived) nodes.
     Retry,
+    /// Metadata-plane work: location-record replication on PUT and
+    /// location lookups on the read path.
+    Metadata,
     /// Network transfers and RPC latency not inside another phase.
     Network,
     /// Everything untagged (per-query overheads); the default, so a
@@ -45,7 +48,7 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 14] = [
         Phase::StatsPrune,
         Phase::CacheLookup,
         Phase::ShardRead,
@@ -57,6 +60,7 @@ impl Phase {
         Phase::GroupedAggregate,
         Phase::DegradedReconstruct,
         Phase::Retry,
+        Phase::Metadata,
         Phase::Network,
         Phase::Other,
     ];
@@ -78,6 +82,7 @@ impl Phase {
             Phase::GroupedAggregate => "grouped_aggregate",
             Phase::DegradedReconstruct => "degraded_reconstruct",
             Phase::Retry => "retry",
+            Phase::Metadata => "metadata",
             Phase::Network => "network",
             Phase::Other => "other",
         }
@@ -97,8 +102,9 @@ impl Phase {
             Phase::GroupedAggregate => 8,
             Phase::DegradedReconstruct => 9,
             Phase::Retry => 10,
-            Phase::Network => 11,
-            Phase::Other => 12,
+            Phase::Metadata => 11,
+            Phase::Network => 12,
+            Phase::Other => 13,
         }
     }
 }
@@ -314,7 +320,7 @@ mod tests {
         for (i, p) in Phase::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
         }
-        assert_eq!(Phase::COUNT, 13);
+        assert_eq!(Phase::COUNT, 14);
         assert_eq!(Phase::default(), Phase::Other);
     }
 
