@@ -88,7 +88,7 @@ fn stripe_shape() -> StripeShape {
 /// returning it plus the object ids in insertion order.
 fn build_namespace(objects: usize) -> (Namespace, Vec<ObjectId>) {
     let topo = Topology::racks(NODES, RACKS);
-    let mut ns =
+    let ns =
         Namespace::new(SEED, SHARDS, EcConfig::RS_9_6, Membership::full(topo)).expect("valid code");
     let mut ids = Vec::with_capacity(objects);
     for i in 0..objects {
@@ -219,7 +219,7 @@ pub fn meta_scale(env: &BenchEnv) -> String {
 
     // --- build the 10M-object namespace.
     let t0 = Instant::now();
-    let (mut ns, ids) = build_namespace(objects);
+    let (ns, ids) = build_namespace(objects);
     let build_s = t0.elapsed().as_secs_f64();
 
     let compact_bytes_per_object = (ns.record_bytes() * replicas) as f64 / objects as f64;
@@ -280,7 +280,7 @@ pub fn meta_scale(env: &BenchEnv) -> String {
 
     // --- rebalance, node remove: separate namespace (so the add and
     // remove epochs don't cancel out), full scan.
-    let (mut rem_ns, _) = build_namespace(REMOVE_OBJECTS.min(objects));
+    let (rem_ns, _) = build_namespace(REMOVE_OBJECTS.min(objects));
     rem_ns.remove_node(NODES - 1);
     let rem_report = rem_ns.rebalance(CHUNK_BYTES, None);
     let remove_frac = rem_report.moved_fraction();

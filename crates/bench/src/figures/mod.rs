@@ -12,6 +12,7 @@ pub mod meta_scale;
 pub mod observability;
 pub mod repair_traffic;
 pub mod scan_throughput;
+pub mod service_throughput;
 pub mod snappy_throughput;
 pub mod storage;
 pub mod traffic_load;
@@ -48,6 +49,7 @@ pub const ALL_IDS: &[&str] = &[
     "repair_traffic",
     "traffic_load",
     "meta_scale",
+    "service_throughput",
 ];
 
 /// Runs one artifact by id.
@@ -85,6 +87,7 @@ pub fn run(id: &str, env: &BenchEnv) -> String {
         "repair_traffic" => repair_traffic::repair_traffic(env),
         "traffic_load" => traffic_load::traffic_load(env),
         "meta_scale" => meta_scale::meta_scale(env),
+        "service_throughput" => service_throughput::service_throughput(env),
         id if id.starts_with("debugcol") => {
             let col: usize = id.trim_start_matches("debugcol").parse().unwrap_or(0);
             latency::debug_column(env, col)

@@ -241,7 +241,9 @@ impl BlockStore {
     ) -> Result<Bytes, ClusterError> {
         let b = self.verified(node, id)?;
         let start = offset.min(b.len());
-        let end = (offset + len).min(b.len());
+        // Saturating: `offset + len` from a hostile range request must
+        // clamp to the block, not wrap usize and slice backwards.
+        let end = offset.saturating_add(len).min(b.len());
         let slice = b.slice(start..end);
         self.record_read(node, slice.len());
         Ok(slice)
@@ -374,6 +376,18 @@ impl BlockStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn get_range_saturates_on_overflow() {
+        // Regression: `offset + len` near usize::MAX must clamp to the
+        // block instead of wrapping and slicing backwards (panic).
+        let mut s = BlockStore::new(1);
+        s.put(0, BlockId(1), Bytes::from_static(b"abcdef")).unwrap();
+        let got = s.get_range(0, BlockId(1), 2, usize::MAX).unwrap();
+        assert_eq!(got.as_ref(), b"cdef");
+        let got = s.get_range(0, BlockId(1), usize::MAX, usize::MAX).unwrap();
+        assert!(got.is_empty());
+    }
 
     #[test]
     fn put_get_roundtrip() {

@@ -1,0 +1,185 @@
+//! The backend split (DESIGN.md §17): one request-facing trait over two
+//! execution planes.
+//!
+//! The paper's Fusion is a live object-storage service fielding
+//! `GET`/`PUT`/`Query` traffic; this reproduction additionally runs the
+//! same data plane under a discrete-event simulation for the paper's
+//! figures. [`Backend`] is the seam between the two: it captures exactly
+//! the storage/transport-plane operations a client can issue, with no
+//! time-plane types in its signatures, so the *same* query executors and
+//! test suites run unmodified against
+//!
+//! * [`DesBackend`] — the in-process [`Store`] as used by every figure:
+//!   single caller at a time (a mutex models the DES's one-event-at-a-time
+//!   world), virtual clock available out-of-band via [`DesBackend::store`];
+//! * `fusion-service`'s `ServiceBackend` — the same `Store` behind real
+//!   worker threads and a length-prefixed wire protocol, where the time
+//!   plane is the wall clock.
+//!
+//! Bit-identical results across the two are a hard invariant (the
+//! service equivalence suite enforces it): the trait returns the exact
+//! [`QueryResult`]/byte payloads the store computes, never summaries.
+
+use crate::error::Result;
+use crate::query::QueryResult;
+use crate::store::{PutReport, Store};
+use std::sync::Mutex;
+
+/// The wire-friendly residue of a [`PutReport`]: what a remote client
+/// can know about its Put. Simulated latency and packer wall-clock stay
+/// behind on the server — they are time-plane observations, not part of
+/// the storage contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// Total bytes stored (data + padding + parity + metadata replicas).
+    pub stored_bytes: u64,
+    /// Number of stripes created.
+    pub stripes: u64,
+    /// Number of column chunks detected (0 for blobs).
+    pub chunks: u64,
+}
+
+impl From<&PutReport> for PutOutcome {
+    fn from(r: &PutReport) -> PutOutcome {
+        PutOutcome {
+            stored_bytes: r.stored_bytes,
+            stripes: r.stripes as u64,
+            chunks: r.chunks as u64,
+        }
+    }
+}
+
+/// The storage/transport plane a client sees, independent of how time
+/// advances behind it. See the module docs for the two implementations.
+///
+/// All methods take `&self`: a backend is shared across client threads,
+/// and each implementation chooses its own interior locking (the DES
+/// backend serializes everything; the service backend read-locks for
+/// `get`/`query` so real readers overlap).
+pub trait Backend: Send + Sync {
+    /// Stores an object under `name`.
+    fn put(&self, name: &str, data: Vec<u8>) -> Result<PutOutcome>;
+
+    /// Reads `len` bytes at `offset` of object `name` (degraded reads
+    /// reconstruct transparently).
+    fn get(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>>;
+
+    /// Runs a SQL query against `object` (the `FROM` name is ignored)
+    /// and returns the exact result rows/aggregates.
+    fn query(&self, object: &str, sql: &str) -> Result<QueryResult>;
+
+    /// Marks a node failed (fault injection / operator action).
+    fn fail_node(&self, node: usize) -> Result<()>;
+
+    /// Revives a node and heals its blocks.
+    fn recover_node(&self, node: usize) -> Result<()>;
+
+    /// A short human-readable label for test/diagnostic output.
+    fn label(&self) -> &'static str;
+}
+
+/// The simulation-plane backend: the plain in-process [`Store`] behind a
+/// mutex. One request at a time, exactly like the single-threaded DES
+/// world every figure runs in — the mutex is correctness scaffolding for
+/// sharing across test threads, not a performance claim.
+#[derive(Debug)]
+pub struct DesBackend {
+    store: Mutex<Store>,
+}
+
+impl DesBackend {
+    /// Wraps a store.
+    pub fn new(store: Store) -> DesBackend {
+        DesBackend {
+            store: Mutex::new(store),
+        }
+    }
+
+    /// Runs `f` with the underlying store locked — for time-plane
+    /// observations (simulated latencies, cache counters) the [`Backend`]
+    /// surface deliberately omits.
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut Store) -> R) -> R {
+        let mut store = self
+            .store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut store)
+    }
+
+    /// Consumes the backend, returning the store.
+    pub fn into_store(self) -> Store {
+        self.store
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Backend for DesBackend {
+    fn put(&self, name: &str, data: Vec<u8>) -> Result<PutOutcome> {
+        self.with_store(|s| s.put(name, data).map(|r| PutOutcome::from(&r)))
+    }
+
+    fn get(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.with_store(|s| s.get(name, offset, len))
+    }
+
+    fn query(&self, object: &str, sql: &str) -> Result<QueryResult> {
+        self.with_store(|s| s.query_as(object, sql).map(|o| o.result))
+    }
+
+    fn fail_node(&self, node: usize) -> Result<()> {
+        self.with_store(|s| s.fail_node(node))
+    }
+
+    fn recover_node(&self, node: usize) -> Result<()> {
+        self.with_store(|s| s.recover_node(node).map(|_| ()))
+    }
+
+    fn label(&self) -> &'static str {
+        "des"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StoreConfig;
+    use fusion_format::prelude::*;
+
+    fn analytics_bytes(rows: usize) -> Vec<u8> {
+        let schema = Schema::new(vec![Field::new("v", LogicalType::Int64)]);
+        let table =
+            Table::new(schema, vec![ColumnData::Int64((0..rows as i64).collect())]).unwrap();
+        write_table(
+            &table,
+            WriteOptions {
+                rows_per_group: 128,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn des_backend_round_trips() {
+        let be = DesBackend::new(Store::new(StoreConfig::fusion()).unwrap());
+        let bytes = analytics_bytes(500);
+        let out = be.put("obj", bytes.clone()).unwrap();
+        assert!(out.stored_bytes as usize >= bytes.len());
+        assert!(out.stripes >= 1);
+        assert_eq!(be.get("obj", 0, bytes.len() as u64).unwrap(), bytes);
+        let r = be
+            .query("obj", "SELECT SUM(v) FROM t WHERE v >= 0")
+            .unwrap();
+        assert_eq!(r.aggregates.len(), 1);
+        assert_eq!(be.label(), "des");
+        // The trait object is usable as such.
+        let dynamic: &dyn Backend = &be;
+        assert_eq!(dynamic.get("obj", 4, 4).unwrap(), bytes[4..8]);
+    }
+
+    #[test]
+    fn des_backend_is_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DesBackend>();
+    }
+}

@@ -106,24 +106,50 @@ impl ChunkCache {
     /// rejected up front so they can never underflow `resident` or leave
     /// the eviction loop spinning on an empty map.
     pub fn insert(&self, object: &str, ordinal: usize, chunk: Arc<EncodedChunk>) {
+        self.insert_or_get(object, ordinal, chunk);
+    }
+
+    /// Race-safe miss-path insert: publishes `chunk` under the key
+    /// **unless another thread got there first**, in which case the
+    /// already-resident view is promoted and returned and `chunk` is
+    /// dropped. The read-back and the publish are one critical section,
+    /// so two threads that both missed on the same chunk converge on a
+    /// single shared view instead of the second insert evicting (and
+    /// re-accounting) the first — the get/insert promotion race that a
+    /// naive `get` + `insert` pair has under real concurrency.
+    ///
+    /// Counter discipline: this path counts neither a hit nor a miss (the
+    /// preceding [`ChunkCache::get`] already counted the miss), so
+    /// `hits + misses` equals lookups exactly, no matter how the race
+    /// lands.
+    pub fn insert_or_get(
+        &self,
+        object: &str,
+        ordinal: usize,
+        chunk: Arc<EncodedChunk>,
+    ) -> Arc<EncodedChunk> {
         let weight = chunk.weight_bytes();
         if self.capacity == 0 || weight > self.capacity {
-            return;
+            return chunk;
         }
         let mut inner = self.inner.lock().expect("cache lock");
         inner.tick += 1;
         let tick = inner.tick;
         let key = (object.to_string(), ordinal);
-        if let Some(old) = inner.entries.insert(
+        if let Some(existing) = inner.entries.get_mut(&key) {
+            // Lost the race (or a refresh of a live entry): keep the
+            // resident view and its accounting, refresh recency only.
+            existing.last_used = tick;
+            return existing.chunk.clone();
+        }
+        inner.entries.insert(
             key,
             Entry {
-                chunk,
+                chunk: chunk.clone(),
                 weight,
                 last_used: tick,
             },
-        ) {
-            inner.resident = inner.resident.saturating_sub(old.weight);
-        }
+        );
         inner.resident += weight;
         while inner.resident > self.capacity {
             // Linear LRU scan: entry counts are modest (chunks, not rows),
@@ -144,6 +170,7 @@ impl ChunkCache {
             inner.resident = inner.resident.saturating_sub(evicted.weight);
             inner.evictions += 1;
         }
+        chunk
     }
 
     /// Drops every entry of one object (delete, scrub heal, re-put).
@@ -299,12 +326,61 @@ mod tests {
     }
 
     #[test]
-    fn reinsert_replaces_weight() {
+    fn reinsert_keeps_resident_view() {
+        // Chunk views are immutable for a given (object, ordinal) — re-put
+        // is rejected upstream and heals invalidate first — so a racing
+        // second insert must converge on the first view instead of
+        // replacing it (which would churn accounting and drop sharing).
         let c = ChunkCache::new(1 << 20);
-        c.insert("o", 0, chunk(10));
-        c.insert("o", 0, chunk(20));
+        let first = chunk(10);
+        c.insert("o", 0, first.clone());
+        let got = c.insert_or_get("o", 0, chunk(20));
+        assert!(Arc::ptr_eq(&got, &first), "loser adopts the winner's view");
         let s = c.stats();
         assert_eq!(s.entries, 1);
-        assert_eq!(s.resident_bytes, 160);
+        assert_eq!(s.resident_bytes, 80);
+    }
+
+    #[test]
+    fn racing_threads_converge_without_evictions() {
+        // Regression for the get/insert promotion race: many threads all
+        // miss on the same chunk and publish concurrently. Exactly one
+        // view must win, nobody may evict anybody, counters must satisfy
+        // hits + misses == lookups, and resident accounting must be exact.
+        use std::sync::Barrier;
+        let c = Arc::new(ChunkCache::new(1 << 20));
+        let threads = 8;
+        let rounds = 50;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..rounds {
+                        let view = match c.get("o", i) {
+                            Some(v) => v,
+                            None => c.insert_or_get("o", i, chunk(10)),
+                        };
+                        assert_eq!(view.rows(), 10);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics under the race");
+        }
+        let s = c.stats();
+        assert_eq!(s.entries, rounds);
+        assert_eq!(s.resident_bytes, 80 * rounds as u64);
+        assert_eq!(s.evictions, 0, "convergence never evicts");
+        assert_eq!(
+            s.hits + s.misses,
+            (threads * rounds) as u64,
+            "every lookup counted exactly once"
+        );
+        // At least one miss per distinct chunk (the first thread there).
+        assert!(s.misses >= rounds as u64);
     }
 }

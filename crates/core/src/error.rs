@@ -39,6 +39,15 @@ pub enum StoreError {
     /// Corrupt or out-of-range location metadata (bad wire payload,
     /// entry naming a node outside the cluster, offset overflow).
     Metadata(LocationMapError),
+    /// A request argument is invalid before any data-plane work starts:
+    /// an empty or oversized object key, an offset+length that overflows
+    /// `u64`, or a node index outside the cluster. These come from the
+    /// request boundary (untrusted wire input in service mode) and must
+    /// stay typed — never a panic in a worker thread.
+    InvalidRequest(String),
+    /// The cluster cannot serve the request right now (e.g. no alive
+    /// nodes to coordinate it). Retryable, unlike [`StoreError::Internal`].
+    Unavailable(String),
     /// Anything else.
     Internal(String),
 }
@@ -60,6 +69,8 @@ impl std::fmt::Display for StoreError {
                 write!(f, "range {offset}+{len} outside object of {size} bytes")
             }
             StoreError::Metadata(e) => write!(f, "metadata error: {e}"),
+            StoreError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
+            StoreError::Unavailable(why) => write!(f, "unavailable: {why}"),
             StoreError::Internal(why) => write!(f, "internal error: {why}"),
         }
     }
@@ -126,5 +137,9 @@ mod tests {
         assert!(e.to_string().contains("10+5"));
         let e: StoreError = LocationMapError::BadLength(7).into();
         assert!(e.to_string().contains("metadata error"));
+        let e = StoreError::InvalidRequest("empty key".into());
+        assert!(e.to_string().contains("invalid request"));
+        let e = StoreError::Unavailable("no alive nodes".into());
+        assert!(e.to_string().contains("unavailable"));
     }
 }

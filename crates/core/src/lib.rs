@@ -59,6 +59,7 @@
 //! ```
 
 pub mod admin;
+pub mod backend;
 pub mod cache;
 pub mod config;
 pub mod error;
@@ -71,6 +72,7 @@ pub mod query;
 pub mod store;
 
 pub use admin::{ObjectInfo, ScrubReport};
+pub use backend::{Backend, DesBackend, PutOutcome};
 pub use cache::{CacheStats, ChunkCache};
 pub use config::{EcConfig, LayoutPolicy, PlacementPolicy, QueryMode, StoreConfig};
 pub use error::{Result, StoreError};

@@ -32,7 +32,7 @@ pub fn execute(store: &Store, object: &str, plan: &QueryPlan) -> Result<QueryOut
         .file_meta
         .as_ref()
         .ok_or_else(|| StoreError::NotAnalytics(object.to_string()))?;
-    let coord = store.coordinator_of(object);
+    let coord = store.coordinator_of(object)?;
     let cost = &store.config().cluster.cost;
     // The baseline decodes every fetched chunk at the coordinator; the
     // Snappy share of that decode runs at the configured kernel's rate.

@@ -83,7 +83,7 @@ pub fn execute(
         .file_meta
         .as_ref()
         .ok_or_else(|| StoreError::NotAnalytics(object.to_string()))?;
-    let coord = store.coordinator_of(object);
+    let coord = store.coordinator_of(object)?;
     let cost = &store.config().cluster.cost;
     let mut ctx = Ctx::new(cost, store.config().observability);
     let mut pruned = 0usize;

@@ -98,6 +98,7 @@ impl Store {
     ///
     /// See [`Store::query`].
     pub fn query_as(&self, object: &str, sql: &str) -> Result<QueryOutput> {
+        crate::store::validate_key(object)?;
         let meta = self.object(object)?;
         let fm = meta
             .file_meta

@@ -176,6 +176,28 @@ pub struct Store {
 /// Cap on recycled parity buffer sets held between puts.
 const PARITY_SCRATCH_CAP: usize = 32;
 
+/// Longest object key the request boundary accepts, in bytes (S3 caps
+/// keys at 1 KiB; anything longer from the wire is hostile or broken).
+pub const MAX_KEY_BYTES: usize = 1024;
+
+/// Validates an object key at the request boundary: non-empty, at most
+/// [`MAX_KEY_BYTES`] bytes. Service workers feed untrusted wire input
+/// straight into [`Store::get`]/[`Store::put`]/query, so a bad key must
+/// come back as a typed [`StoreError::InvalidRequest`], never a panic or
+/// an unbounded allocation keyed on attacker-controlled strings.
+pub fn validate_key(name: &str) -> Result<()> {
+    if name.is_empty() {
+        return Err(StoreError::InvalidRequest("empty object key".into()));
+    }
+    if name.len() > MAX_KEY_BYTES {
+        return Err(StoreError::InvalidRequest(format!(
+            "object key of {} bytes exceeds the {MAX_KEY_BYTES}-byte cap",
+            name.len()
+        )));
+    }
+    Ok(())
+}
+
 /// One stripe's encode work unit: assembled data blocks in, parity out.
 /// Jobs are mutated on pool workers, so everything lives inside the job —
 /// no shared mutable state on the hot path.
@@ -437,12 +459,23 @@ impl Store {
     /// The coordinator node for an object: hash of the name over alive
     /// nodes (paper §5 — every node can coordinate; no dedicated
     /// coordinator).
-    pub fn coordinator_of(&self, name: &str) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] when no node is alive — a fully-dead
+    /// cluster must reject the request, not divide by zero (this is
+    /// reachable from untrusted wire input in service mode).
+    pub fn coordinator_of(&self, name: &str) -> Result<usize> {
         let alive = self.blocks.alive_nodes();
+        if alive.is_empty() {
+            return Err(StoreError::Unavailable(
+                "no alive nodes to coordinate the request".into(),
+            ));
+        }
         let h = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
             (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
         });
-        alive[(h % alive.len() as u64) as usize]
+        Ok(alive[(h % alive.len() as u64) as usize])
     }
 
     fn fresh_block(&mut self) -> BlockId {
@@ -596,6 +629,7 @@ impl Store {
     ///
     /// Duplicate names, corrupt analytics footers, or cluster failures.
     pub fn put(&mut self, name: &str, data: Vec<u8>) -> Result<PutReport> {
+        validate_key(name)?;
         if self.objects.contains_key(name) {
             return Err(StoreError::ObjectExists(name.to_string()));
         }
@@ -825,7 +859,9 @@ impl Store {
         replicas: &[usize],
     ) -> Workflow {
         let cost = &self.config.cluster.cost;
-        let coord = self.coordinator_of(&meta.name);
+        // Put just wrote this object's blocks, so at least one node is
+        // alive; the fallback keeps this modelling path infallible anyway.
+        let coord = self.coordinator_of(&meta.name).unwrap_or(0);
         let mut wf = Workflow::new();
         // Client -> coordinator: the whole object.
         let tx = wf.step(
@@ -952,13 +988,24 @@ impl Store {
     ///
     /// Unknown object, out-of-range request, or unrecoverable data loss.
     pub fn get(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        validate_key(name)?;
         let meta = self.object(name)?;
-        if offset + len > meta.size {
+        // `offset + len` on untrusted wire input can wrap u64 and sneak
+        // past the range check; checked arithmetic keeps it typed.
+        let end = offset.checked_add(len).ok_or_else(|| {
+            StoreError::InvalidRequest(format!("range {offset}+{len} overflows u64"))
+        })?;
+        if end > meta.size {
             return Err(StoreError::OutOfRange {
                 offset,
                 len,
                 size: meta.size,
             });
+        }
+        if len == 0 {
+            // A zero-length range inside the object is a valid no-op read;
+            // skip the locate fan-out entirely.
+            return Ok(Vec::new());
         }
         let mut out = Vec::with_capacity(len as usize);
         for frag in meta.locate(offset, len) {
@@ -1351,7 +1398,10 @@ impl Store {
         }
         let bytes = self.chunk_bytes(name, ordinal)?;
         let chunk = std::sync::Arc::new(fusion_format::chunk::read_encoded_chunk(&bytes, ty)?);
-        self.chunk_cache.insert(name, ordinal, chunk.clone());
+        // Race-safe publish: if another worker populated this ordinal
+        // between our miss and here, adopt its view so concurrent misses
+        // converge on one Arc instead of churning the LRU.
+        let chunk = self.chunk_cache.insert_or_get(name, ordinal, chunk);
         Ok((chunk, false))
     }
 
@@ -1739,12 +1789,57 @@ mod tests {
     #[test]
     fn coordinator_is_stable_and_alive() {
         let mut store = Store::new(StoreConfig::fusion()).unwrap();
-        let c1 = store.coordinator_of("some-object");
-        assert_eq!(c1, store.coordinator_of("some-object"));
+        let c1 = store.coordinator_of("some-object").unwrap();
+        assert_eq!(c1, store.coordinator_of("some-object").unwrap());
         store.fail_node(c1).unwrap();
-        let c2 = store.coordinator_of("some-object");
+        let c2 = store.coordinator_of("some-object").unwrap();
         assert_ne!(c1, c2);
         assert!(store.blocks().is_alive(c2));
+    }
+
+    #[test]
+    fn coordinator_of_dead_cluster_is_typed() {
+        // A fully-dead cluster must reject coordination with a typed
+        // error, never divide by zero (reachable from wire input).
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        let n = store.config().cluster.nodes;
+        for i in 0..n {
+            store.fail_node(i).unwrap();
+        }
+        match store.coordinator_of("obj") {
+            Err(StoreError::Unavailable(_)) => {}
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_boundary_is_typed() {
+        let bytes = analytics_bytes(2000, 500);
+        let mut store = Store::new(StoreConfig::fusion()).unwrap();
+        store.put("obj", bytes).unwrap();
+        // Overflowing range wraps past the u64 check without checked_add.
+        match store.get("obj", u64::MAX - 4, 16) {
+            Err(StoreError::InvalidRequest(_)) => {}
+            other => panic!("expected InvalidRequest, got {other:?}"),
+        }
+        // Zero-length reads inside the object are valid no-ops.
+        assert_eq!(store.get("obj", 0, 0).unwrap(), Vec::<u8>::new());
+        // ... but not past the end.
+        assert!(matches!(
+            store.get("obj", u64::MAX, 0),
+            Err(StoreError::OutOfRange { .. })
+        ));
+        // Empty and oversized keys are rejected before any data-plane work.
+        assert!(matches!(
+            store.get("", 0, 1),
+            Err(StoreError::InvalidRequest(_))
+        ));
+        let huge = "k".repeat(MAX_KEY_BYTES + 1);
+        assert!(matches!(
+            store.put(&huge, vec![1, 2, 3]),
+            Err(StoreError::InvalidRequest(_))
+        ));
+        assert!(validate_key(&"k".repeat(MAX_KEY_BYTES)).is_ok());
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Typed client handle over any [`Transport`].
+//!
+//! The client owns the encode/decode halves the server's workers mirror:
+//! requests go out as checked frames, responses come back through the
+//! same validated codec, and server-side failures surface as
+//! [`ClientError::Service`] with the typed wire code — callers can match
+//! on [`ErrorCode::retryable`] without parsing strings.
+
+use crate::proto::{ErrorCode, FrameError, Request, Response};
+use crate::transport::Transport;
+use fusion_core::query::QueryResult;
+use fusion_core::PutOutcome;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (socket error, server gone).
+    Io(std::io::Error),
+    /// The response frame failed to decode — protocol bug or corruption.
+    Frame(FrameError),
+    /// The server answered with a typed error.
+    Service {
+        /// Typed wire code.
+        code: ErrorCode,
+        /// Server-side detail.
+        message: String,
+    },
+    /// The server answered with the wrong response kind.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Frame(e) => write!(f, "bad response frame: {e}"),
+            ClientError::Service { code, message } => {
+                write!(f, "service error {code:?}: {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected response kind: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+impl ClientError {
+    /// The wire code, when the server produced one.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Service { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A typed handle over one transport. Not `Clone`: one transport, one
+/// request at a time — open more clients for more concurrency.
+pub struct Client<T: Transport> {
+    transport: T,
+}
+
+impl<T: Transport> Client<T> {
+    /// Wraps a transport.
+    pub fn new(transport: T) -> Client<T> {
+        Client { transport }
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> ClientResult<Response> {
+        let resp_body = self.transport.call(&req.encode())?;
+        let resp = Response::decode(&resp_body)?;
+        if let Response::Err { code, message } = resp {
+            return Err(ClientError::Service { code, message });
+        }
+        Ok(resp)
+    }
+
+    /// Stores `data` under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Transport, frame, or typed service errors.
+    pub fn put(&mut self, key: &str, data: Vec<u8>) -> ClientResult<PutOutcome> {
+        match self.roundtrip(&Request::Put {
+            key: key.to_string(),
+            data,
+        })? {
+            Response::Put(outcome) => Ok(outcome),
+            _ => Err(ClientError::Unexpected("put")),
+        }
+    }
+
+    /// Reads `len` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Transport, frame, or typed service errors.
+    pub fn get(&mut self, key: &str, offset: u64, len: u64) -> ClientResult<Vec<u8>> {
+        match self.roundtrip(&Request::Get {
+            key: key.to_string(),
+            offset,
+            len,
+        })? {
+            Response::Get(data) => Ok(data),
+            _ => Err(ClientError::Unexpected("get")),
+        }
+    }
+
+    /// Runs `sql` against `object`.
+    ///
+    /// # Errors
+    ///
+    /// Transport, frame, or typed service errors.
+    pub fn query(&mut self, object: &str, sql: &str) -> ClientResult<QueryResult> {
+        match self.roundtrip(&Request::Query {
+            object: object.to_string(),
+            sql: sql.to_string(),
+        })? {
+            Response::Query(result) => Ok(result),
+            _ => Err(ClientError::Unexpected("query")),
+        }
+    }
+
+    /// Marks a node failed.
+    ///
+    /// # Errors
+    ///
+    /// Transport, frame, or typed service errors.
+    pub fn fail_node(&mut self, node: u32) -> ClientResult<()> {
+        match self.roundtrip(&Request::FailNode(node))? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("fail_node")),
+        }
+    }
+
+    /// Revives and heals a node.
+    ///
+    /// # Errors
+    ///
+    /// Transport, frame, or typed service errors.
+    pub fn recover_node(&mut self, node: u32) -> ClientResult<()> {
+        match self.roundtrip(&Request::RecoverNode(node))? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Unexpected("recover_node")),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport, frame, or typed service errors.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("ping")),
+        }
+    }
+}
